@@ -1,0 +1,322 @@
+(* eagerdb — a small SQL engine demonstrating group-by pushdown
+   (Yan & Larson, "Performing Group-By before Join", ICDE 1994).
+
+   Subcommands:
+     run FILE     execute a SQL script (SELECTs print results; EXPLAIN
+                  SELECT prints the optimizer's reasoning and both plans)
+     demo NAME    run a built-in workload report (fig1 | fig8 | ex3 | parts)
+*)
+
+open Eager_schema
+open Eager_storage
+open Eager_exec
+open Eager_core
+open Eager_opt
+open Eager_parser
+open Eager_workload
+
+let print_table heap =
+  let schema = Heap.schema heap in
+  let headers =
+    Array.map (fun (c, _) -> Colref.to_string c) (Schema.cols schema)
+  in
+  let rows =
+    Heap.to_list heap
+    |> List.map (fun row -> Array.map Eager_value.Value.to_string row)
+  in
+  let ncols = Array.length headers in
+  let widths = Array.map String.length headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)) row)
+    rows;
+  let line cells =
+    String.concat " | "
+      (List.init ncols (fun i ->
+           let s = if i < Array.length cells then cells.(i) else "" in
+           s ^ String.make (widths.(i) - String.length s) ' '))
+  in
+  print_endline (line headers);
+  print_endline (String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter (fun r -> print_endline (line r)) rows;
+  Printf.printf "(%d rows)\n" (List.length rows)
+
+type show = Results | Explain | Explain_analyze
+
+let run_query db (q : Binder.bound_query) ~order ~(show : show) =
+  let analyze plan =
+    let t0 = Unix.gettimeofday () in
+    let heap, stats = Exec.run db (Binder.apply_order order plan) in
+    Printf.printf "%s(%d rows in %.2f ms)\n" (Optree.to_string stats)
+      (Heap.length heap)
+      ((Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let finish plan =
+    match show with
+    | Explain ->
+        print_endline (Eager_algebra.Plan.to_string (Binder.apply_order order plan))
+    | Explain_analyze -> analyze plan
+    | Results ->
+        let heap, _ = Exec.run db (Binder.apply_order order plan) in
+        print_table heap
+  in
+  match q with
+  | Binder.Grouped input -> (
+      match Canonical.of_input db input with
+      | Ok cq -> (
+          let decision = Planner.decide db cq in
+          match show with
+          | Explain ->
+              print_string (Planner.explain db decision);
+              if order <> [] then
+                print_endline "-- final output sorted per ORDER BY"
+          | Explain_analyze ->
+              Printf.printf "-- plan: %s\n"
+                (Planner.kind_to_string decision.Planner.chosen_kind);
+              analyze decision.Planner.chosen
+          | Results ->
+              let plan = Binder.apply_order order decision.Planner.chosen in
+              let heap, _ = Exec.run db plan in
+              print_table heap;
+              Printf.printf "-- plan: %s\n"
+                (Planner.kind_to_string decision.Planner.chosen_kind))
+      | Error reason -> (
+          (* outside the canonical class: run the straightforward plan *)
+          match Binder.to_plan db q with
+          | Ok plan ->
+              if show <> Results then
+                Printf.printf "-- not in the transformable class: %s\n" reason;
+              finish plan
+          | Error msg -> Printf.printf "error: %s\n" msg))
+  | _ -> (
+      match Binder.to_plan db q with
+      | Ok plan -> finish plan
+      | Error msg -> Printf.printf "error: %s\n" msg)
+
+let run_file db_dir save_dir path =
+  let src =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let db =
+    match db_dir with
+    | None -> Database.create ()
+    | Some dir -> (
+        match Persist.load ~dir with
+        | Ok db ->
+            Printf.printf "loaded database from %s\n" dir;
+            db
+        | Error msg ->
+            Printf.eprintf "error loading %s: %s\n" dir msg;
+            exit 1)
+  in
+  (* execute eagerly so SELECTs interleaved with DML see the right state *)
+  match
+    Binder.run_script_with db src ~f:(fun o ->
+        match o with
+        | Binder.Created msg -> Printf.printf "%s\n" msg
+        | Binder.Inserted n -> Printf.printf "%d row(s) inserted\n" n
+        | Binder.Updated n -> Printf.printf "%d row(s) updated\n" n
+        | Binder.Deleted n -> Printf.printf "%d row(s) deleted\n" n
+        | Binder.Query (q, order) -> run_query db q ~order ~show:Results
+        | Binder.Explained (q, order, an) ->
+            run_query db q ~order
+              ~show:(if an then Explain_analyze else Explain))
+  with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok () -> (
+      match save_dir with
+      | None -> 0
+      | Some dir -> (
+          match Persist.save db ~dir with
+          | Ok () ->
+              Printf.printf "database saved to %s\n" dir;
+              0
+          | Error msg ->
+              Printf.eprintf "error saving %s: %s\n" dir msg;
+              1))
+
+let repl () =
+  let db = ref (Database.create ()) in
+  let timing = ref false in
+  print_endline
+    "eagerdb — SQL statements end with ';'.  \\q quits, \\h lists \
+     meta-commands.  EXPLAIN SELECT shows both plans.";
+  let meta line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "\\h" ] ->
+        print_endline
+          "\\d           list tables and views\n\
+           \\d NAME      describe a table\n\
+           \\save DIR    save the database\n\
+           \\load DIR    load a database (replaces the session)\n\
+           \\timing      toggle wall-clock reporting\n\
+           \\q           quit"
+    | [ "\\d" ] ->
+        let cat = Database.catalog !db in
+        List.iter
+          (fun (td : Eager_catalog.Table_def.t) ->
+            Printf.printf "table %-20s %6d row(s)\n" td.Eager_catalog.Table_def.tname
+              (Database.row_count !db td.Eager_catalog.Table_def.tname))
+          (Eager_catalog.Catalog.tables cat);
+        List.iter
+          (fun (v : Eager_catalog.Catalog.view_def) ->
+            Printf.printf "view  %s\n" v.Eager_catalog.Catalog.vname)
+          (Eager_catalog.Catalog.views cat);
+        List.iter
+          (fun (i : Eager_catalog.Catalog.index_def) ->
+            Printf.printf "index %s ON %s (%s)\n" i.Eager_catalog.Catalog.iname
+              i.Eager_catalog.Catalog.itable
+              (String.concat ", " i.Eager_catalog.Catalog.icols))
+          (Eager_catalog.Catalog.indexes cat)
+    | [ "\\d"; name ] -> (
+        match Eager_catalog.Catalog.find_table (Database.catalog !db) name with
+        | Some td ->
+            print_endline (Format.asprintf "%a" Eager_catalog.Table_def.pp td)
+        | None -> Printf.printf "unknown table %s\n" name)
+    | [ "\\save"; dir ] -> (
+        match Persist.save !db ~dir with
+        | Ok () -> Printf.printf "saved to %s\n" dir
+        | Error msg -> Printf.printf "error: %s\n" msg)
+    | [ "\\load"; dir ] -> (
+        match Persist.load ~dir with
+        | Ok d ->
+            db := d;
+            Printf.printf "loaded %s\n" dir
+        | Error msg -> Printf.printf "error: %s\n" msg)
+    | [ "\\timing" ] ->
+        timing := not !timing;
+        Printf.printf "timing %s\n" (if !timing then "on" else "off")
+    | _ -> print_endline "unknown meta-command (\\h for help)"
+  in
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buffer = 0 then "eagerdb> " else "     ... ");
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> 0
+    | line when String.trim line = "\\q" && Buffer.length buffer = 0 -> 0
+    | line
+      when Buffer.length buffer = 0
+           && String.length (String.trim line) > 0
+           && (String.trim line).[0] = '\\' ->
+        meta line;
+        loop ()
+    | line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        let trimmed = String.trim text in
+        if String.length trimmed > 0
+           && trimmed.[String.length trimmed - 1] = ';'
+        then begin
+          Buffer.clear buffer;
+          let t0 = Unix.gettimeofday () in
+          (match
+             Binder.run_script_with !db text ~f:(fun o ->
+                 match o with
+                 | Binder.Created msg -> print_endline msg
+                 | Binder.Inserted n -> Printf.printf "%d row(s) inserted\n" n
+                 | Binder.Updated n -> Printf.printf "%d row(s) updated\n" n
+                 | Binder.Deleted n -> Printf.printf "%d row(s) deleted\n" n
+                 | Binder.Query (q, order) ->
+                     run_query !db q ~order ~show:Results
+                 | Binder.Explained (q, order, an) ->
+                     run_query !db q ~order
+                       ~show:(if an then Explain_analyze else Explain))
+           with
+          | Error msg -> Printf.printf "error: %s\n" msg
+          | Ok () -> ());
+          if !timing then
+            Printf.printf "time: %.2f ms\n"
+              ((Unix.gettimeofday () -. t0) *. 1000.);
+          loop ()
+        end
+        else loop ()
+  in
+  loop ()
+
+let demo name =
+  let report db (q : Canonical.t) =
+    let decision = Planner.decide db q in
+    print_string (Planner.explain db decision);
+    let h1, s1 = Exec.run db (Plans.e1 db q) in
+    print_endline "-- executed E1:";
+    print_endline (Optree.to_string s1);
+    (match decision.Planner.plan_eager with
+    | Some p2 ->
+        let h2, s2 = Exec.run db p2 in
+        print_endline "-- executed E2:";
+        print_endline (Optree.to_string s2);
+        Printf.printf "results equal: %b\n"
+          (Exec.multiset_equal (Heap.to_list h1) (Heap.to_list h2))
+    | None -> ());
+    0
+  in
+  match name with
+  | "fig1" ->
+      let w = Employee_dept.setup () in
+      report w.Employee_dept.db w.Employee_dept.query
+  | "fig8" ->
+      let w = Contrived.setup () in
+      report w.Contrived.db w.Contrived.query
+  | "ex3" ->
+      let w = Printers.setup () in
+      report w.Printers.db w.Printers.query
+  | "parts" ->
+      let w = Parts.setup () in
+      report w.Parts.db w.Parts.query
+  | "sales" ->
+      let w = Sales.setup () in
+      report w.Sales.db w.Sales.query
+  | _ ->
+      Printf.eprintf
+        "unknown demo %s (try: fig1 | fig8 | ex3 | parts | sales)\n" name;
+      1
+
+open Cmdliner
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let db_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "db" ] ~docv:"DIR" ~doc:"Load the database from $(docv) first")
+  in
+  let save_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"Save the database to $(docv) after the script")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
+    Term.(const run_file $ db_dir $ save_dir $ file)
+
+let demo_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a built-in paper workload (fig1|fig8|ex3|parts)")
+    Term.(const demo $ name_arg)
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive SQL shell on an in-memory database")
+    Term.(const repl $ const ())
+
+let () =
+  let main =
+    Cmd.group
+      (Cmd.info "eagerdb" ~version:"1.0.0"
+         ~doc:"Group-by pushdown demonstrator (Yan & Larson, ICDE 1994)")
+      [ run_cmd; demo_cmd; repl_cmd ]
+  in
+  exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/parts_suppliers.mli:

@@ -1,0 +1,1 @@
+examples/plan_explorer.ml: Array Contrived Eager_core Eager_exec Eager_opt Eager_workload Employee_dept Exec List Option Planner Plans Printf Sweep Sys

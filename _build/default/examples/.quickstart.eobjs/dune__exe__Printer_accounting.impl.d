@@ -1,0 +1,1 @@
+examples/printer_accounting.ml: Canonical Eager_algebra Eager_core Eager_exec Eager_opt Eager_schema Eager_workload Exec Format List Planner Plans Printers Printf Reverse String Testfd

@@ -1,0 +1,1 @@
+examples/printer_accounting.mli:

@@ -1,0 +1,86 @@
+(* Parts & suppliers: the paper's Example 2 — derived functional
+   dependencies — plus constraint enforcement in action.
+
+   Run with:  dune exec examples/parts_suppliers.exe
+
+   The paper's point: in the derived table
+
+     SELECT P.PartNo, P.PartName, S.SupplierNo, S.Name
+     FROM Part P, Supplier S
+     WHERE P.ClassCode = 25 AND P.SupplierNo = S.SupplierNo
+
+   PartNo is a key, and SupplierNo → Name survives as a non-key derived
+   dependency.  We derive both mechanically with the attribute closure and
+   then verify them against the actual instance. *)
+
+open Eager_value
+open Eager_schema
+open Eager_catalog
+open Eager_storage
+open Eager_fd
+open Eager_core
+open Eager_workload
+
+let cr = Colref.make
+
+let () =
+  let w = Parts.setup ~parts:2_000 ~suppliers:50 ~classes:40 () in
+  let db = w.Parts.db in
+
+  print_endline "== Derived dependencies (Example 2) ==";
+  let part = Option.get (Catalog.find_table (Database.catalog db) "Part") in
+  let supplier =
+    Option.get (Catalog.find_table (Database.catalog db) "Supplier")
+  in
+  let fds =
+    From_catalog.key_fds ~rel:"P" part @ From_catalog.key_fds ~rel:"S" supplier
+  in
+  let constants = Colref.set_of_list [ cr "P" "ClassCode" ] in
+  let equalities = [ (cr "P" "SupplierNo", cr "S" "SupplierNo") ] in
+  let derived lhs rhs =
+    Closure.implies ~constants ~equalities ~fds (Fd.make lhs rhs)
+  in
+  Printf.printf "PartNo -> PartName           : %b\n"
+    (derived [ cr "P" "PartNo" ] [ cr "P" "PartName" ]);
+  Printf.printf "PartNo -> S.Name (via join)  : %b\n"
+    (derived [ cr "P" "PartNo" ] [ cr "S" "Name" ]);
+  Printf.printf "SupplierNo -> Name           : %b\n"
+    (derived [ cr "S" "SupplierNo" ] [ cr "S" "Name" ]);
+  Printf.printf "Name -> SupplierNo (false!)  : %b\n"
+    (derived [ cr "S" "Name" ] [ cr "S" "SupplierNo" ]);
+
+  (* verify the derived key on the materialised derived table *)
+  let q = w.Parts.query in
+  let joined = Theorem.join_with_provenance db q in
+  let joint = Schema.concat q.Canonical.schema1 q.Canonical.schema2 in
+  let holds lhs rhs =
+    Instance_check.fd_holds ~schema:joint ~lhs ~rhs (List.map fst joined)
+  in
+  Printf.printf
+    "\ninstance check over %d joined rows:\n  PartNo determines everything: %b\n"
+    (List.length joined)
+    (holds [ cr "P" "PartNo" ] (Schema.colrefs joint));
+
+  print_endline "\n== Aggregation query: class-25 parts per supplier ==";
+  print_endline (Format.asprintf "%a" Canonical.pp q);
+  (match Testfd.test db q with
+  | Testfd.Yes -> print_endline "TestFD: YES"
+  | Testfd.No r -> Printf.printf "TestFD: NO (%s)\n" r);
+  let rows = Eager_exec.Exec.run_rows db (Plans.e2 db q) in
+  Printf.printf "suppliers with class-25 parts: %d\n" (List.length rows);
+  Printf.printf "plans agree: %b\n" (Theorem.equivalent db q);
+
+  print_endline "\n== Constraint enforcement ==";
+  let try_insert label values =
+    match Database.insert db "Part" values with
+    | Ok () -> Printf.printf "%-46s accepted\n" label
+    | Error msg -> Printf.printf "%-46s rejected: %s\n" label msg
+  in
+  try_insert "new part, valid supplier"
+    [ Value.Int 25; Value.Int 99_001; Value.Str "widget"; Value.Int 1 ];
+  try_insert "duplicate (ClassCode, PartNo) key"
+    [ Value.Int 25; Value.Int 99_001; Value.Str "again"; Value.Int 1 ];
+  try_insert "unknown supplier (FK violation)"
+    [ Value.Int 25; Value.Int 99_002; Value.Str "orphan"; Value.Int 9_999 ];
+  try_insert "NULL supplier (allowed by SQL2 FK rules)"
+    [ Value.Int 25; Value.Int 99_003; Value.Str "loose"; Value.Null ]

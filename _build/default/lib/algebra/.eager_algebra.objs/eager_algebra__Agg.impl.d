@@ -1,0 +1,1 @@
+lib/algebra/agg.ml: Colref Ctype Eager_expr Eager_schema Eager_value Expr Format Printf Value

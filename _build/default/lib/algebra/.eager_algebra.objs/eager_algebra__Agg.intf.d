@@ -1,0 +1,1 @@
+lib/algebra/agg.mli: Colref Ctype Eager_expr Eager_schema Eager_value Expr Format Schema Value

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Agg Colref Eager_expr Eager_schema Expr Format List Printf Schema String

@@ -1,0 +1,1 @@
+lib/algebra/plan.mli: Agg Colref Eager_expr Eager_schema Expr Format Schema

@@ -1,0 +1,108 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+
+type func =
+  | Count_star
+  | Count of Expr.t
+  | Count_distinct of Expr.t
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Avg of Expr.t
+
+type calc =
+  | Const of Value.t
+  | Call of func
+  | Arith of Expr.binop * calc * calc
+  | Neg of calc
+
+type t = { name : Colref.t; calc : calc }
+
+let make name calc = { name; calc }
+let count_star name = make name (Call Count_star)
+let count name e = make name (Call (Count e))
+let count_distinct name e = make name (Call (Count_distinct e))
+let sum name e = make name (Call (Sum e))
+let min_ name e = make name (Call (Min e))
+let max_ name e = make name (Call (Max e))
+let avg name e = make name (Call (Avg e))
+
+let func_operand = function
+  | Count_star -> None
+  | Count e | Count_distinct e | Sum e | Min e | Max e | Avg e -> Some e
+
+let columns t =
+  let rec go acc = function
+    | Const _ -> acc
+    | Call f -> (
+        match func_operand f with
+        | None -> acc
+        | Some e -> Colref.Set.union acc (Expr.columns e))
+    | Arith (_, a, b) -> go (go acc a) b
+    | Neg a -> go acc a
+  in
+  go Colref.Set.empty t.calc
+
+let equal_func a b =
+  match a, b with
+  | Count_star, Count_star -> true
+  | Count x, Count y
+  | Count_distinct x, Count_distinct y
+  | Sum x, Sum y | Min x, Min y | Max x, Max y | Avg x, Avg y ->
+      Expr.equal x y
+  | _ -> false
+
+let rec equal_calc a b =
+  match a, b with
+  | Const x, Const y -> Eager_value.Value.equal x y
+  | Call f, Call g -> equal_func f g
+  | Arith (o1, x1, y1), Arith (o2, x2, y2) ->
+      o1 = o2 && equal_calc x1 x2 && equal_calc y1 y2
+  | Neg x, Neg y -> equal_calc x y
+  | _ -> false
+
+let operand_type schema e =
+  match Expr.infer schema e with Ok t -> t | Error _ -> Ctype.Float
+
+let rec out_type schema = function
+  | Const Value.Null -> Ctype.Int
+  | Const (Value.Int _) -> Ctype.Int
+  | Const (Value.Float _) -> Ctype.Float
+  | Const (Value.Str _) -> Ctype.String
+  | Const (Value.Bool _) -> Ctype.Bool
+  | Call Count_star | Call (Count _) | Call (Count_distinct _) -> Ctype.Int
+  | Call (Avg _) -> Ctype.Float
+  | Call (Sum e) | Call (Min e) | Call (Max e) -> operand_type schema e
+  | Arith (_, a, b) ->
+      let ta = out_type schema a and tb = out_type schema b in
+      if Ctype.equal ta tb then ta else Ctype.Float
+  | Neg a -> out_type schema a
+
+let func_to_string = function
+  | Count_star -> "COUNT(*)"
+  | Count e -> Printf.sprintf "COUNT(%s)" (Expr.to_string e)
+  | Count_distinct e -> Printf.sprintf "COUNT(DISTINCT %s)" (Expr.to_string e)
+  | Sum e -> Printf.sprintf "SUM(%s)" (Expr.to_string e)
+  | Min e -> Printf.sprintf "MIN(%s)" (Expr.to_string e)
+  | Max e -> Printf.sprintf "MAX(%s)" (Expr.to_string e)
+  | Avg e -> Printf.sprintf "AVG(%s)" (Expr.to_string e)
+
+let rec calc_to_string = function
+  | Const v -> Value.to_string v
+  | Call f -> func_to_string f
+  | Arith (op, a, b) ->
+      let ops =
+        match op with
+        | Expr.Add -> "+"
+        | Expr.Sub -> "-"
+        | Expr.Mul -> "*"
+        | Expr.Div -> "/"
+      in
+      Printf.sprintf "(%s %s %s)" (calc_to_string a) ops (calc_to_string b)
+  | Neg a -> Printf.sprintf "(-%s)" (calc_to_string a)
+
+let to_string t =
+  Printf.sprintf "%s AS %s" (calc_to_string t.calc) (Colref.to_string t.name)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

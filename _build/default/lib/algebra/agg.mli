@@ -1,0 +1,57 @@
+(** Aggregation expressions — the paper's [F[AA]].
+
+    Each output column of a group-by is an arithmetic expression over
+    aggregate-function calls, e.g. [COUNT(A1) + SUM(A2 + A3)] (Section 4.1).
+    SQL2 NULL rules apply: [Count_star] counts rows, COUNT(e)/SUM/MIN/MAX/AVG
+    ignore rows where the operand is NULL, and SUM/MIN/MAX/AVG of an
+    all-NULL group is NULL. *)
+
+open Eager_value
+open Eager_schema
+open Eager_expr
+
+type func =
+  | Count_star
+  | Count of Expr.t
+  | Count_distinct of Expr.t
+      (** duplicate-sensitive, yet still pushable: when FD1/FD2 hold, an E1
+          group and its E2 counterpart contain matching rows with equal
+          R1-column values (Main Theorem proof), so any function of that
+          multiset — including DISTINCT aggregates — agrees *)
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Avg of Expr.t
+
+type calc =
+  | Const of Value.t
+  | Call of func
+  | Arith of Expr.binop * calc * calc
+  | Neg of calc
+
+type t = { name : Colref.t; calc : calc }
+(** A named output column of the aggregation. *)
+
+val make : Colref.t -> calc -> t
+val count_star : Colref.t -> t
+val count : Colref.t -> Expr.t -> t
+val count_distinct : Colref.t -> Expr.t -> t
+val sum : Colref.t -> Expr.t -> t
+val min_ : Colref.t -> Expr.t -> t
+val max_ : Colref.t -> Expr.t -> t
+val avg : Colref.t -> Expr.t -> t
+
+val columns : t -> Colref.Set.t
+(** The aggregation columns [AA] referenced by this expression. *)
+
+val equal_calc : calc -> calc -> bool
+(** Structural equality (used to match HAVING aggregates against the
+    SELECT list). *)
+
+val out_type : Schema.t -> calc -> Ctype.t
+(** Result type given the input schema: COUNT is [Int], AVG is [Float],
+    SUM/MIN/MAX take the operand's type. *)
+
+val func_to_string : func -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

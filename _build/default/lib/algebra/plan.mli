@@ -1,0 +1,84 @@
+(** Logical query plans — the paper's algebra (Section 4.1).
+
+    [G[GA]] is {!constructor:Group} (with the aggregation [F[AA]] fused in,
+    as every execution engine does — the paper's [F[AA] πA[GA AA] G[GA]]
+    pipeline), [σ[C]] is {!constructor:Select}, [πA/πD[B]] is
+    {!constructor:Project} with [dedup] false/true, [×] is
+    {!constructor:Product}, and [Join] abbreviates [σ[C](L × R)]. *)
+
+open Eager_schema
+open Eager_expr
+
+type t =
+  | Scan of { table : string; rel : string; schema : Schema.t }
+  | Select of { pred : Expr.t; input : t }
+  | Project of { dedup : bool; cols : Colref.t list; input : t }
+  | Product of t * t
+  | Join of { pred : Expr.t; left : t; right : t }
+  | Group of {
+      by : Colref.t list;
+      aggs : Agg.t list;
+      scalar : bool;
+          (** Distinguishes two semantics that coincide except on empty
+              input.  [scalar = false] is the paper's [F[AA] G[GA]]: an
+              empty input has no groups and yields no rows — {i even when
+              [by] is empty} (this arises in E2 when [GA1+] is empty,
+              paper Theorem 1 Case 1).  [scalar = true] is SQL aggregation
+              without GROUP BY: always exactly one row; requires
+              [by = []]. *)
+      unique_groups : bool;
+          (** An optimizer promise that [by] functionally determines the
+              whole input row (it contains a derived key), so every group
+              is a singleton: the executor skips hashing/sorting and maps
+              rows directly — Klug's observation with Dayal's key
+              condition, generalised to derived keys (paper Section 2).
+              Set by [Eager_opt.Unique_group.mark]; unsound if the promise
+              is false. *)
+      input : t;
+    }
+  | Sort of { by : (Colref.t * bool) list; input : t }
+      (** ORDER BY; the flag is [true] for DESC.  NULLs sort first on
+          ascending columns (the [Value.compare_total] order). *)
+  | Map of { items : (Colref.t * Expr.t) list; input : t }
+      (** Generalised projection: each output column is a named scalar
+          expression over the input row (SELECT a, price * qty AS total).
+          Never eliminates duplicates. *)
+
+val scan : table:string -> rel:string -> Schema.t -> t
+(** [Schema.t] here is the base-table schema qualified by [rel]. *)
+
+val select : Expr.t -> t -> t
+(** Identity when the predicate is trivially true. *)
+
+val sort : (Colref.t * bool) list -> t -> t
+(** Identity when the column list is empty. *)
+
+val map_items : (Colref.t * Expr.t) list -> t -> t
+
+val project : ?dedup:bool -> Colref.t list -> t -> t
+val join : Expr.t -> t -> t -> t
+val group :
+  ?scalar:bool ->
+  ?unique_groups:bool ->
+  by:Colref.t list ->
+  aggs:Agg.t list ->
+  t ->
+  t
+(** [scalar] and [unique_groups] default to [false]; raises
+    [Invalid_argument] if [scalar] is set with non-empty [by]. *)
+
+val schema_of : t -> Schema.t
+(** Raises [Failure] on ill-formed plans (unknown columns etc.). *)
+
+val relations : t -> string list
+(** Range variables introduced by scans, left to right. *)
+
+val label : t -> string
+(** One-line description of the root operator (no children). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val pp_annotated : note:(t -> string option) -> Format.formatter -> t -> unit
+(** Tree printer with a per-node annotation — used to render the
+    cardinality-labelled plans of Figures 1 and 8. *)

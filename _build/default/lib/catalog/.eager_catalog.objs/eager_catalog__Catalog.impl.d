@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Colref Constr Ctype Eager_expr Eager_schema Expr List Map Option Printf String Table_def

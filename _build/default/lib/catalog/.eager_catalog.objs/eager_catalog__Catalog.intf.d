@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Ctype Eager_expr Eager_schema Expr Table_def

@@ -1,0 +1,1 @@
+lib/catalog/constr.ml: Colref Eager_expr Eager_schema Expr Format List Option Printf String

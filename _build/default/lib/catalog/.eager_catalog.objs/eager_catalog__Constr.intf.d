@@ -1,0 +1,1 @@
+lib/catalog/constr.mli: Eager_expr Expr Format

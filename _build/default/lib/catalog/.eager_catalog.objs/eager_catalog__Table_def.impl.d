@@ -1,0 +1,1 @@
+lib/catalog/table_def.ml: Colref Constr Ctype Eager_expr Eager_schema Expr Format Hashtbl List Option Printf Schema String

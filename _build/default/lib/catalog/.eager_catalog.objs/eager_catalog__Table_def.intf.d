@@ -1,0 +1,1 @@
+lib/catalog/table_def.mli: Colref Constr Ctype Eager_schema Format Schema

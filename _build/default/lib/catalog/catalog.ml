@@ -1,0 +1,138 @@
+open Eager_schema
+open Eager_expr
+
+type domain_def = { dname : string; dtype : Ctype.t; dcheck : Expr.t option }
+type view_def = { vname : string; vsql : string }
+type index_def = { iname : string; itable : string; icols : string list }
+
+module Smap = Map.Make (String)
+
+type t = {
+  tabs : Table_def.t Smap.t;
+  doms : domain_def Smap.t;
+  views : view_def Smap.t;
+  idxs : index_def Smap.t;
+}
+
+let empty =
+  { tabs = Smap.empty; doms = Smap.empty; views = Smap.empty; idxs = Smap.empty }
+
+let name_taken t name =
+  Smap.mem name t.tabs || Smap.mem name t.views
+
+let add_table t (td : Table_def.t) =
+  if name_taken t td.Table_def.tname then
+    failwith (Printf.sprintf "name %s already defined" td.Table_def.tname);
+  List.iter
+    (fun (c : Table_def.column_def) ->
+      match c.Table_def.domain with
+      | None -> ()
+      | Some d -> (
+          match Smap.find_opt d t.doms with
+          | None -> failwith (Printf.sprintf "unknown domain %s" d)
+          | Some dd ->
+              if not (Ctype.equal dd.dtype c.Table_def.ctype) then
+                failwith
+                  (Printf.sprintf "column %s: type differs from domain %s"
+                     c.Table_def.cname d)))
+    td.Table_def.columns;
+  { t with tabs = Smap.add td.Table_def.tname td t.tabs }
+
+let add_domain t d =
+  if Smap.mem d.dname t.doms then
+    failwith (Printf.sprintf "domain %s already defined" d.dname);
+  { t with doms = Smap.add d.dname d t.doms }
+
+let add_view t v =
+  if name_taken t v.vname then
+    failwith (Printf.sprintf "name %s already defined" v.vname);
+  { t with views = Smap.add v.vname v t.views }
+
+let add_index t (i : index_def) =
+  if Smap.mem i.iname t.idxs || name_taken t i.iname then
+    failwith (Printf.sprintf "name %s already defined" i.iname);
+  (match Smap.find_opt i.itable t.tabs with
+  | None -> failwith (Printf.sprintf "unknown table %s" i.itable)
+  | Some td ->
+      List.iter
+        (fun c ->
+          if not (Table_def.has_column td c) then
+            failwith
+              (Printf.sprintf "index %s: unknown column %s" i.iname c))
+        i.icols);
+  if i.icols = [] then failwith "an index needs at least one column";
+  { t with idxs = Smap.add i.iname i t.idxs }
+
+let find_table t name = Smap.find_opt name t.tabs
+let find_domain t name = Smap.find_opt name t.doms
+let find_view t name = Smap.find_opt name t.views
+let tables t = Smap.bindings t.tabs |> List.map snd
+let domains t = Smap.bindings t.doms |> List.map snd
+let views t = Smap.bindings t.views |> List.map snd
+let indexes t = Smap.bindings t.idxs |> List.map snd
+
+let indexes_on t table =
+  indexes t |> List.filter (fun i -> String.equal i.itable table)
+
+let check_predicates t ~rel (td : Table_def.t) =
+  let checks =
+    Constr.checks td.Table_def.constraints |> List.map (Constr.requalify rel)
+  in
+  let domain_checks =
+    List.filter_map
+      (fun (c : Table_def.column_def) ->
+        match c.Table_def.domain with
+        | None -> None
+        | Some d -> (
+            match Smap.find_opt d t.doms with
+            | Some { dcheck = Some e; _ } ->
+                (* substitute the pseudo-column VALUE by the actual column *)
+                let rec subst (e : Expr.t) : Expr.t =
+                  match e with
+                  | Expr.Col _ -> Expr.Col (Colref.make rel c.Table_def.cname)
+                  | Expr.Const _ | Expr.Param _ -> e
+                  | Expr.Neg a -> Expr.Neg (subst a)
+                  | Expr.Not a -> Expr.Not (subst a)
+                  | Expr.Is_null a -> Expr.Is_null (subst a)
+                  | Expr.Is_not_null a -> Expr.Is_not_null (subst a)
+                  | Expr.Like { negated; arg; pattern } ->
+                      Expr.Like { negated; arg = subst arg; pattern }
+                  | Expr.Case { branches; else_ } ->
+                      Expr.Case
+                        {
+                          branches = List.map (fun (c, v) -> (subst c, subst v)) branches;
+                          else_ = Option.map subst else_;
+                        }
+                  | Expr.Arith (op, a, b) -> Expr.Arith (op, subst a, subst b)
+                  | Expr.Cmp (op, a, b) -> Expr.Cmp (op, subst a, subst b)
+                  | Expr.And (a, b) -> Expr.And (subst a, subst b)
+                  | Expr.Or (a, b) -> Expr.Or (subst a, subst b)
+                in
+                Some (subst e)
+            | _ -> None))
+      td.Table_def.columns
+  in
+  checks @ domain_checks
+
+let table_checks t ~rel (td : Table_def.t) =
+  let not_null = Table_def.not_null td in
+  let is_not_null name = List.mem name not_null in
+  let weaken e =
+    let nullable =
+      Colref.Set.filter
+        (fun c -> not (is_not_null c.Colref.name))
+        (Expr.columns e)
+    in
+    if Colref.Set.is_empty nullable then e
+    else
+      Expr.disj
+        (e
+        :: (Colref.Set.elements nullable
+           |> List.map (fun c -> Expr.Is_null (Expr.Col c))))
+  in
+  let checks = List.map weaken (check_predicates t ~rel td) in
+  let not_nulls =
+    not_null
+    |> List.map (fun c -> Expr.Is_not_null (Expr.Col (Colref.make rel c)))
+  in
+  checks @ not_nulls

@@ -1,0 +1,59 @@
+(** The catalog: tables, domains and views known to the system. *)
+
+open Eager_schema
+open Eager_expr
+
+type domain_def = {
+  dname : string;
+  dtype : Ctype.t;
+  dcheck : Expr.t option;
+      (** check over the pseudo-column [VALUE] (a [Colref] with empty rel) *)
+}
+
+type view_def = {
+  vname : string;
+  vsql : string;  (** the defining SELECT, parsed lazily by the binder *)
+}
+
+type index_def = {
+  iname : string;
+  itable : string;
+  icols : string list;  (** equality-lookup key, in declaration order *)
+}
+
+type t
+
+val empty : t
+val add_table : t -> Table_def.t -> t
+(** Raises [Failure] if the name is taken or a declared column domain is
+    unknown/mistyped. *)
+
+val add_domain : t -> domain_def -> t
+val add_view : t -> view_def -> t
+val add_index : t -> index_def -> t
+(** Raises [Failure] when the name is taken or the table/columns are
+    unknown. *)
+
+val find_table : t -> string -> Table_def.t option
+val find_domain : t -> string -> domain_def option
+val find_view : t -> string -> view_def option
+val tables : t -> Table_def.t list
+val domains : t -> domain_def list
+val views : t -> view_def list
+val indexes : t -> index_def list
+val indexes_on : t -> string -> index_def list
+(** Indexes declared on the given table. *)
+
+val check_predicates : t -> rel:string -> Table_def.t -> Expr.t list
+(** Raw CHECK constraints plus domain checks instantiated at each column
+    declared over the domain, qualified by [rel].  Per SQL2, these are
+    enforced as "not false": a row whose check evaluates to {i unknown}
+    (because a participating column is NULL) is accepted. *)
+
+val table_checks : t -> rel:string -> Table_def.t -> Expr.t list
+(** The single-table predicates [T] of the paper — statements guaranteed to
+    evaluate to {i true} on every stored row, suitable as premises for
+    Theorem 3 / TestFD.  A CHECK whose columns are all NOT NULL is emitted
+    as-is; otherwise it is weakened to [check OR col IS NULL OR ...], since
+    SQL2's "not false" enforcement admits NULLs.  NOT NULL constraints are
+    emitted as [IS NOT NULL] predicates. *)

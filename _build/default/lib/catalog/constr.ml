@@ -1,0 +1,55 @@
+open Eager_schema
+open Eager_expr
+
+type t =
+  | Primary_key of string list
+  | Unique of string list
+  | Not_null of string
+  | Check of Expr.t
+  | Foreign_key of { cols : string list; ref_table : string; ref_cols : string list }
+
+let rec requalify rel (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Col c -> Expr.Col (Colref.make rel c.Colref.name)
+  | Expr.Const _ | Expr.Param _ -> e
+  | Expr.Neg a -> Expr.Neg (requalify rel a)
+  | Expr.Not a -> Expr.Not (requalify rel a)
+  | Expr.Is_null a -> Expr.Is_null (requalify rel a)
+  | Expr.Is_not_null a -> Expr.Is_not_null (requalify rel a)
+  | Expr.Like { negated; arg; pattern } ->
+      Expr.Like { negated; arg = requalify rel arg; pattern }
+  | Expr.Case { branches; else_ } ->
+      Expr.Case
+        {
+          branches = List.map (fun (c, v) -> ((requalify rel) c, (requalify rel) v)) branches;
+          else_ = Option.map (requalify rel) else_;
+        }
+  | Expr.Arith (op, a, b) -> Expr.Arith (op, requalify rel a, requalify rel b)
+  | Expr.Cmp (op, a, b) -> Expr.Cmp (op, requalify rel a, requalify rel b)
+  | Expr.And (a, b) -> Expr.And (requalify rel a, requalify rel b)
+  | Expr.Or (a, b) -> Expr.Or (requalify rel a, requalify rel b)
+
+let keys cs =
+  let primary = List.filter_map (function Primary_key k -> Some k | _ -> None) cs in
+  let unique = List.filter_map (function Unique k -> Some k | _ -> None) cs in
+  primary @ unique
+
+let not_null_cols cs =
+  List.concat_map
+    (function Not_null c -> [ c ] | Primary_key k -> k | _ -> [])
+    cs
+  |> List.sort_uniq String.compare
+
+let checks cs = List.filter_map (function Check e -> Some e | _ -> None) cs
+
+let to_string = function
+  | Primary_key k -> "PRIMARY KEY (" ^ String.concat ", " k ^ ")"
+  | Unique k -> "UNIQUE (" ^ String.concat ", " k ^ ")"
+  | Not_null c -> c ^ " NOT NULL"
+  | Check e -> "CHECK (" ^ Expr.to_string e ^ ")"
+  | Foreign_key { cols; ref_table; ref_cols } ->
+      Printf.sprintf "FOREIGN KEY (%s) REFERENCES %s (%s)"
+        (String.concat ", " cols) ref_table
+        (String.concat ", " ref_cols)
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,28 @@
+(** SQL2 integrity constraints (paper Section 6.1, Figure 5).
+
+    Column names inside a constraint are unqualified — they refer to columns
+    of the owning table.  CHECK expressions use [Colref]s with an empty
+    range variable; {!requalify} rebinds them to a query's range variable. *)
+
+open Eager_expr
+
+type t =
+  | Primary_key of string list
+  | Unique of string list  (** candidate key; unlike a primary key it may contain NULL *)
+  | Not_null of string
+  | Check of Expr.t
+  | Foreign_key of { cols : string list; ref_table : string; ref_cols : string list }
+
+val requalify : string -> Expr.t -> Expr.t
+(** Re-qualify every column reference with the given range variable. *)
+
+val keys : t list -> string list list
+(** All candidate keys declared by the constraints (primary first). *)
+
+val not_null_cols : t list -> string list
+(** Columns that cannot be NULL: explicit NOT NULL plus primary-key columns
+    (SQL2 forbids NULL in a primary key). *)
+
+val checks : t list -> Expr.t list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,54 @@
+open Eager_schema
+open Eager_expr
+
+type column_def = { cname : string; ctype : Ctype.t; domain : string option }
+type t = { tname : string; columns : column_def list; constraints : Constr.t list }
+
+let column_names t = List.map (fun c -> c.cname) t.columns
+let has_column t name = List.exists (fun c -> String.equal c.cname name) t.columns
+
+let make tname columns constraints =
+  let t = { tname; columns; constraints } in
+  let check_col c =
+    if not (has_column t c) then
+      failwith (Printf.sprintf "table %s: constraint references unknown column %s" tname c)
+  in
+  List.iter
+    (function
+      | Constr.Primary_key k | Constr.Unique k -> List.iter check_col k
+      | Constr.Not_null c -> check_col c
+      | Constr.Check e ->
+          Colref.Set.iter (fun cr -> check_col cr.Colref.name) (Expr.columns e)
+      | Constr.Foreign_key { cols; _ } -> List.iter check_col cols)
+    constraints;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.cname then
+        failwith (Printf.sprintf "table %s: duplicate column %s" tname c.cname)
+      else Hashtbl.add seen c.cname ())
+    columns;
+  t
+
+let schema ?rel t =
+  let rel = Option.value rel ~default:t.tname in
+  Schema.make
+    (List.map (fun c -> (Colref.make rel c.cname, c.ctype)) t.columns)
+
+let keys t = Constr.keys t.constraints
+let not_null t = Constr.not_null_cols t.constraints
+
+let key_colrefs ~rel t =
+  List.map (fun k -> List.map (Colref.make rel) k) (keys t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>CREATE TABLE %s (@,%a%a)@]" t.tname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+       (fun ppf c ->
+         Format.fprintf ppf "%s %a%s" c.cname Ctype.pp c.ctype
+           (match c.domain with Some d -> " /* domain " ^ d ^ " */" | None -> "")))
+    t.columns
+    (fun ppf cs ->
+      List.iter (fun c -> Format.fprintf ppf ",@,%a" Constr.pp c) cs)
+    t.constraints

@@ -1,0 +1,25 @@
+(** Base-table definitions. *)
+
+open Eager_schema
+
+type column_def = {
+  cname : string;
+  ctype : Ctype.t;
+  domain : string option;  (** name of the domain the column was declared with *)
+}
+
+type t = { tname : string; columns : column_def list; constraints : Constr.t list }
+
+val make : string -> column_def list -> Constr.t list -> t
+(** Validates that constraint columns exist.  Raises [Failure] otherwise. *)
+
+val column_names : t -> string list
+val has_column : t -> string -> bool
+val schema : ?rel:string -> t -> Schema.t
+(** Schema with columns qualified by [rel] (default: the table name). *)
+
+val keys : t -> string list list
+val not_null : t -> string list
+
+val key_colrefs : rel:string -> t -> Colref.t list list
+val pp : Format.formatter -> t -> unit

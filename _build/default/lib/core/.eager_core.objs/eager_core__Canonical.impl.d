@@ -1,0 +1,1 @@
+lib/core/canonical.ml: Agg Catalog Colref Database Eager_algebra Eager_catalog Eager_expr Eager_schema Eager_storage Expr Format Hashtbl List Printf Result Schema String Table_def

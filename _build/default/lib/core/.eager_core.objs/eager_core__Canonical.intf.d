@@ -1,0 +1,1 @@
+lib/core/canonical.mli: Agg Colref Database Eager_algebra Eager_expr Eager_schema Eager_storage Expr Format Schema

@@ -1,0 +1,1 @@
+lib/core/eager.ml: Buffer Canonical Eager_algebra Format Plan Plans Printf Testfd

@@ -1,0 +1,1 @@
+lib/core/eager.mli: Canonical Database Eager_algebra Eager_storage Plan Testfd

@@ -1,0 +1,1 @@
+lib/core/expand.ml: Canonical Colref Eager_expr Eager_schema Eager_value Expr Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/plans.ml: Canonical Catalog Colref Database Eager_algebra Eager_catalog Eager_expr Eager_schema Eager_storage Expr List Plan Printf Schema Table_def

@@ -1,0 +1,1 @@
+lib/core/plans.mli: Canonical Database Eager_algebra Eager_expr Eager_storage Plan

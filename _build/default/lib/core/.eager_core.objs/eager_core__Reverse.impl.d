@@ -1,0 +1,1 @@
+lib/core/reverse.ml: Database Eager_algebra Eager_storage Plan Plans Testfd

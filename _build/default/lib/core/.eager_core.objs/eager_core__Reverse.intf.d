@@ -1,0 +1,1 @@
+lib/core/reverse.mli: Canonical Database Eager_algebra Eager_storage Plan

@@ -1,0 +1,1 @@
+lib/core/substitute.ml: Agg Canonical Colref Eager_algebra Eager_expr Eager_schema Expr Hashtbl List Option Testfd

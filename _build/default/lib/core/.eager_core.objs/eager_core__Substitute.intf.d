@@ -1,0 +1,1 @@
+lib/core/substitute.mli: Canonical Database Eager_storage

@@ -1,0 +1,1 @@
+lib/core/testfd.ml: Canonical Catalog Closure Colref Database Eager_catalog Eager_expr Eager_fd Eager_schema Eager_storage Expr From_catalog List Mine Printf

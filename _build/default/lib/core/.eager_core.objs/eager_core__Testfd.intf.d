@@ -1,0 +1,1 @@
+lib/core/testfd.mli: Canonical Database Eager_storage

@@ -1,0 +1,1 @@
+lib/core/theorem.ml: Canonical Eager_exec Eager_expr Eager_fd Eager_schema Eager_value Exec Expr Instance_check List Plans Row Schema Tbool Value

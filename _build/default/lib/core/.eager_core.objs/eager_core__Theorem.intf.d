@@ -1,0 +1,1 @@
+lib/core/theorem.mli: Canonical Database Eager_expr Eager_schema Eager_storage Expr Row

@@ -1,0 +1,257 @@
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+
+type source = { table : string; rel : string }
+
+type t = {
+  r1 : source list;
+  r2 : source list;
+  schema1 : Schema.t;
+  schema2 : Schema.t;
+  c1 : Expr.t list;
+  c0 : Expr.t list;
+  c2 : Expr.t list;
+  ga1 : Colref.t list;
+  ga2 : Colref.t list;
+  sga1 : Colref.t list;
+  sga2 : Colref.t list;
+  aggs : Agg.t list;
+  distinct : bool;
+  having : Expr.t option;
+}
+
+type input = {
+  sources : source list;
+  where : Expr.t;
+  group_by : Colref.t list;
+  select_cols : Colref.t list;
+  select_aggs : Agg.t list;
+  select_distinct : bool;
+  select_having : Expr.t option;
+  r1_hint : string list;
+}
+
+let source_schema db (s : source) =
+  match Catalog.find_table (Database.catalog db) s.table with
+  | None -> Error (Printf.sprintf "unknown table %s" s.table)
+  | Some td -> Ok (Table_def.schema ~rel:s.rel td)
+
+let concat_schemas = function
+  | [] -> Schema.make []
+  | s :: rest -> List.fold_left Schema.concat s rest
+
+let of_input db (q : input) : (t, string) result =
+  let ( let* ) = Result.bind in
+  (* resolve sources *)
+  let* resolved =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* sch = source_schema db s in
+        Ok ((s, sch) :: acc))
+      (Ok []) q.sources
+    |> Result.map List.rev
+  in
+  let rels = List.map (fun (s, _) -> s.rel) resolved in
+  let* () =
+    if List.length (List.sort_uniq String.compare rels) <> List.length rels
+    then Error "duplicate range variables in FROM clause"
+    else Ok ()
+  in
+  (* aggregation columns AA *)
+  let aa =
+    List.fold_left
+      (fun acc a -> Colref.Set.union acc (Agg.columns a))
+      Colref.Set.empty q.select_aggs
+  in
+  (* partition the sources: tables holding aggregation columns (or hinted)
+     form R1, the rest form R2 *)
+  let holds_agg (s, sch) =
+    List.mem s.rel q.r1_hint
+    || Colref.Set.exists (fun c -> Schema.mem sch c) aa
+  in
+  let r1_resolved, r2_resolved = List.partition holds_agg resolved in
+  let* () =
+    if r1_resolved = [] then
+      Error
+        "cannot partition: no table carries an aggregation column \
+         (use r1_hint to designate the R1 side)"
+    else if r2_resolved = [] then
+      Error "cannot partition: every table carries an aggregation column"
+    else Ok ()
+  in
+  let schema1 = concat_schemas (List.map snd r1_resolved) in
+  let schema2 = concat_schemas (List.map snd r2_resolved) in
+  let side1 = Schema.colset schema1 and side2 = Schema.colset schema2 in
+  (* aggregation columns must all live on the R1 side *)
+  let* () =
+    if Colref.Set.subset aa side1 then Ok ()
+    else
+      Error
+        (Printf.sprintf "aggregation column %s is not on the R1 side"
+           (Colref.to_string (Colref.Set.choose (Colref.Set.diff aa side1))))
+  in
+  (* split WHERE *)
+  let* c1, c0, c2 =
+    match Expr.split_conjuncts ~left:side1 ~right:side2 q.where with
+    | parts -> Ok parts
+    | exception Failure msg -> Error msg
+  in
+  (* grouping columns by side *)
+  let* ga1, ga2 =
+    List.fold_left
+      (fun acc g ->
+        let* ga1, ga2 = acc in
+        if Colref.Set.mem g side1 then Ok (g :: ga1, ga2)
+        else if Colref.Set.mem g side2 then Ok (ga1, g :: ga2)
+        else Error (Printf.sprintf "unknown grouping column %s" (Colref.to_string g)))
+      (Ok ([], [])) q.group_by
+  in
+  let ga1 = List.rev ga1 and ga2 = List.rev ga2 in
+  let* () =
+    if ga1 = [] && ga2 = [] then
+      Error "the query has no grouping columns (not in the considered class)"
+    else Ok ()
+  in
+  (* selection columns must be a subset of the grouping columns, per SQL2 *)
+  let* sga1, sga2 =
+    List.fold_left
+      (fun acc c ->
+        let* sga1, sga2 = acc in
+        if List.exists (Colref.equal c) ga1 then Ok (c :: sga1, sga2)
+        else if List.exists (Colref.equal c) ga2 then Ok (sga1, c :: sga2)
+        else
+          Error
+            (Printf.sprintf "selection column %s is not a grouping column"
+               (Colref.to_string c)))
+      (Ok ([], [])) q.select_cols
+  in
+  let sga1 = List.rev sga1 and sga2 = List.rev sga2 in
+  (* aggregate output names must not clash with source columns *)
+  let* () =
+    List.fold_left
+      (fun acc (a : Agg.t) ->
+        let* () = acc in
+        if Schema.mem schema1 a.Agg.name || Schema.mem schema2 a.Agg.name then
+          Error
+            (Printf.sprintf "aggregate output name %s clashes with a column"
+               (Colref.to_string a.Agg.name))
+        else Ok ())
+      (Ok ()) q.select_aggs
+  in
+  (* HAVING may reference grouping columns and aggregate output names *)
+  let* () =
+    match q.select_having with
+    | None -> Ok ()
+    | Some h ->
+        let allowed =
+          Colref.Set.union
+            (Colref.set_of_list (ga1 @ ga2))
+            (Colref.set_of_list
+               (List.map (fun (a : Agg.t) -> a.Agg.name) q.select_aggs))
+        in
+        let bad = Colref.Set.diff (Expr.columns h) allowed in
+        if Colref.Set.is_empty bad then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "HAVING references %s, which is neither a grouping column \
+                nor an aggregate output"
+               (Colref.to_string (Colref.Set.choose bad)))
+  in
+  Ok
+    {
+      r1 = List.map fst r1_resolved;
+      r2 = List.map fst r2_resolved;
+      schema1;
+      schema2;
+      c1;
+      c0;
+      c2;
+      ga1;
+      ga2;
+      sga1;
+      sga2;
+      aggs = q.select_aggs;
+      distinct = q.select_distinct;
+      having = q.select_having;
+    }
+
+let of_input_exn db q =
+  match of_input db q with Ok t -> t | Error msg -> failwith msg
+
+let add_predicates t ~side1 ~side2 =
+  let check cols_ok e =
+    if not (Colref.Set.subset (Expr.columns e) cols_ok) then
+      failwith
+        (Printf.sprintf "add_predicates: %s crosses sides" (Expr.to_string e))
+  in
+  List.iter (check (Schema.colset t.schema1)) side1;
+  List.iter (check (Schema.colset t.schema2)) side2;
+  { t with c1 = t.c1 @ side1; c2 = t.c2 @ side2 }
+
+let dedup_keep_order cols =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    cols
+
+let c0_cols t =
+  List.fold_left
+    (fun acc e -> Colref.Set.union acc (Expr.columns e))
+    Colref.Set.empty t.c0
+
+let ga1_plus t =
+  let side1 = Schema.colset t.schema1 in
+  let joins = Colref.Set.inter (c0_cols t) side1 in
+  dedup_keep_order (t.ga1 @ Colref.Set.elements joins)
+
+let ga2_plus t =
+  let side2 = Schema.colset t.schema2 in
+  let joins = Colref.Set.inter (c0_cols t) side2 in
+  dedup_keep_order (t.ga2 @ Colref.Set.elements joins)
+
+let agg_names t = List.map (fun (a : Agg.t) -> a.Agg.name) t.aggs
+let side1_cols t = Schema.colset t.schema1
+let side2_cols t = Schema.colset t.schema2
+
+let pp ppf t =
+  let cols l = String.concat ", " (List.map Colref.to_string l) in
+  let pred l =
+    match l with
+    | [] -> "TRUE"
+    | _ -> String.concat " AND " (List.map Expr.to_string l)
+  in
+  let items =
+    List.map Colref.to_string (t.sga1 @ t.sga2)
+    @ List.map Agg.to_string t.aggs
+  in
+  Format.fprintf ppf
+    "@[<v>SELECT %s%s@,FROM %s@,WHERE %s@,GROUP BY %s%s@,\
+     -- R1 = {%s}  R2 = {%s}@,-- C1: %s@,-- C0: %s@,-- C2: %s@,\
+     -- GA1+ = [%s]  GA2+ = [%s]@]"
+    (if t.distinct then "DISTINCT " else "")
+    (String.concat ", " items)
+    (String.concat ", "
+       (List.map
+          (fun s ->
+            if s.table = s.rel then s.table else s.table ^ " " ^ s.rel)
+          (t.r1 @ t.r2)))
+    (pred (t.c1 @ t.c0 @ t.c2))
+    (cols (t.ga1 @ t.ga2))
+    (match t.having with
+    | None -> ""
+    | Some h -> " HAVING " ^ Expr.to_string h)
+    (String.concat "," (List.map (fun s -> s.rel) t.r1))
+    (String.concat "," (List.map (fun s -> s.rel) t.r2))
+    (pred t.c1) (pred t.c0) (pred t.c2)
+    (cols (ga1_plus t))
+    (cols (ga2_plus t))

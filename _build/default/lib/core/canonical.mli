@@ -1,0 +1,80 @@
+(** The class of queries the paper considers (Section 3).
+
+    A query is canonicalised into two sides: [R1] — the tables that carry
+    aggregation columns — and [R2] — the tables that do not.  Each side is
+    formally a single table (the Cartesian product of its members).  The
+    WHERE clause splits into [C1] (columns of R1 only), [C2] (R2 only) and
+    [C0] (spanning both); grouping columns split into [GA1]/[GA2], and the
+    SELECT list consists of selection columns [SGA1 ⊆ GA1], [SGA2 ⊆ GA2]
+    plus aggregation expressions [F(AA)] over R1 columns.
+
+    [GA1+]/[GA2+] extend the grouping columns with each side's join columns:
+    [GA1+ = GA1 ∪ (cols(C0) ∩ R1)]. *)
+
+open Eager_schema
+open Eager_expr
+open Eager_storage
+open Eager_algebra
+
+type source = { table : string; rel : string }
+
+type t = private {
+  r1 : source list;
+  r2 : source list;
+  schema1 : Schema.t;  (** concatenated schemas of the R1-side sources *)
+  schema2 : Schema.t;
+  c1 : Expr.t list;
+  c0 : Expr.t list;
+  c2 : Expr.t list;
+  ga1 : Colref.t list;
+  ga2 : Colref.t list;
+  sga1 : Colref.t list;
+  sga2 : Colref.t list;
+  aggs : Agg.t list;
+  distinct : bool;
+  having : Expr.t option;
+      (** Extension beyond the paper (its stated future work): a filter
+          over grouping columns and aggregate output names, applied after
+          aggregation.  When FD1/FD2 hold, E1's groups and E2's joined
+          rows are in value-preserving bijection on exactly those columns,
+          so the same filter applied above the Group (E1) and above the
+          Join (E2) preserves the equivalence — see [Plans] and the
+          HAVING cases of the equivalence property suite. *)
+}
+
+type input = {
+  sources : source list;
+  where : Expr.t;
+  group_by : Colref.t list;
+  select_cols : Colref.t list;
+  select_aggs : Agg.t list;
+  select_distinct : bool;
+  select_having : Expr.t option;
+      (** may reference grouping columns and aggregate output names *)
+  r1_hint : string list;
+      (** range variables to force onto the R1 side — needed when the
+          aggregates reference no columns at all (pure COUNT-star queries
+          leave the partition ambiguous) *)
+}
+
+val of_input : Database.t -> input -> (t, string) result
+(** Canonicalise and validate: resolves sources against the catalog,
+    partitions the FROM list, splits the WHERE clause, and checks the
+    class restrictions (selection columns ⊆ grouping columns, aggregation
+    columns confined to R1, both sides non-empty, GA1 ∪ GA2 non-empty). *)
+
+val of_input_exn : Database.t -> input -> t
+
+val add_predicates : t -> side1:Expr.t list -> side2:Expr.t list -> t
+(** Append extra single-side conjuncts to [c1]/[c2].  Raises [Failure] if a
+    predicate touches columns outside its side.  Used by [Expand]; only
+    sound when the added predicates cannot change the query's result. *)
+
+val ga1_plus : t -> Colref.t list
+val ga2_plus : t -> Colref.t list
+val agg_names : t -> Colref.t list
+val side1_cols : t -> Colref.Set.t
+val side2_cols : t -> Colref.Set.t
+
+val pp : Format.formatter -> t -> unit
+(** Render back as SQL-ish text, for EXPLAIN output. *)

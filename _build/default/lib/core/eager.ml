@@ -1,0 +1,26 @@
+open Eager_algebra
+
+let canonicalize = Canonical.of_input
+let canonicalize_exn = Canonical.of_input_exn
+let validate ?strict db q = Testfd.test ?strict db q
+let lazy_plan db q = Plans.e1 db q
+
+let transform ?strict db q =
+  match Testfd.test ?strict db q with
+  | Testfd.Yes -> Ok (Plans.e2 db q)
+  | Testfd.No reason -> Error reason
+
+let explain ?strict db q =
+  let verdict = Testfd.test ?strict db q in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Format.asprintf "%a@." Canonical.pp q);
+  Buffer.add_string buf
+    (Printf.sprintf "TestFD: %s\n" (Testfd.verdict_to_string verdict));
+  Buffer.add_string buf "-- Plan E1 (group after join):\n";
+  Buffer.add_string buf (Plan.to_string (Plans.e1 db q));
+  (match verdict with
+  | Testfd.Yes ->
+      Buffer.add_string buf "\n-- Plan E2 (group before join):\n";
+      Buffer.add_string buf (Plan.to_string (Plans.e2 db q))
+  | Testfd.No _ -> ());
+  Buffer.contents buf

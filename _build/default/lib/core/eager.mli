@@ -1,0 +1,27 @@
+(** Facade for the group-by pushdown machinery.
+
+    Typical use:
+    {[
+      let q = Eager.canonicalize_exn db input in
+      match Eager.transform db q with
+      | Ok eager_plan -> (* run it, or cost it against Eager.lazy_plan *)
+      | Error reason  -> (* fall back to the standard plan *)
+    ]} *)
+
+open Eager_storage
+open Eager_algebra
+
+val canonicalize : Database.t -> Canonical.input -> (Canonical.t, string) result
+val canonicalize_exn : Database.t -> Canonical.input -> Canonical.t
+
+val validate : ?strict:bool -> Database.t -> Canonical.t -> Testfd.verdict
+(** Run TestFD: may the group-by be performed before the join? *)
+
+val lazy_plan : Database.t -> Canonical.t -> Plan.t
+(** E1 — join first, then group (the standard plan). *)
+
+val transform : ?strict:bool -> Database.t -> Canonical.t -> (Plan.t, string) result
+(** E2 — group before join — when the transformation is provably valid. *)
+
+val explain : ?strict:bool -> Database.t -> Canonical.t -> string
+(** Human-readable report: canonical query, TestFD verdict, and both plans. *)

@@ -1,0 +1,82 @@
+open Eager_schema
+open Eager_expr
+
+(* union-find over column references *)
+module Uf = struct
+  type t = (Colref.t, Colref.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let rec find uf c =
+    match Hashtbl.find_opt uf c with
+    | None -> c
+    | Some p ->
+        let root = find uf p in
+        if not (Colref.equal root p) then Hashtbl.replace uf c root;
+        root
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if not (Colref.equal ra rb) then Hashtbl.replace uf ra rb
+end
+
+(* the constant (or host variable) a class is bound to *)
+type binding = Const of Eager_value.Value.t | Param of string
+
+let binding_expr col = function
+  | Const v -> Expr.eq (Expr.Col col) (Expr.Const v)
+  | Param p -> Expr.eq (Expr.Col col) (Expr.Param p)
+
+let derive (q : Canonical.t) =
+  let conjuncts = q.Canonical.c1 @ q.Canonical.c0 @ q.Canonical.c2 in
+  let uf = Uf.create () in
+  let bindings : (Colref.t, binding) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun atom ->
+      match Expr.classify_atom atom with
+      | Expr.Col_eq_col (a, b) -> Uf.union uf a b
+      | Expr.Col_eq_const (c, v) -> Hashtbl.replace bindings c (Const v)
+      | Expr.Col_eq_param (c, p) -> Hashtbl.replace bindings c (Param p)
+      | Expr.Other_atom -> ())
+    conjuncts;
+  (* root -> binding *)
+  let class_binding : (Colref.t, binding) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun c b -> Hashtbl.replace class_binding (Uf.find uf c) b)
+    bindings;
+  (* every column mentioned in any equality, bound through its class *)
+  let members = Hashtbl.create 16 in
+  List.iter
+    (fun atom ->
+      match Expr.classify_atom atom with
+      | Expr.Col_eq_col (a, b) ->
+          Hashtbl.replace members a ();
+          Hashtbl.replace members b ()
+      | _ -> ())
+    conjuncts;
+  let already_bound c = Hashtbl.mem bindings c in
+  Hashtbl.fold
+    (fun c () acc ->
+      match Hashtbl.find_opt class_binding (Uf.find uf c) with
+      | Some b when not (already_bound c) -> binding_expr c b :: acc
+      | _ -> acc)
+    members []
+
+let split_by_side (q : Canonical.t) atoms =
+  let side1 = Canonical.side1_cols q and side2 = Canonical.side2_cols q in
+  List.partition
+    (fun e ->
+      let cols = Expr.columns e in
+      if Colref.Set.subset cols side1 then true
+      else if Colref.Set.subset cols side2 then false
+      else assert false (* derived atoms are single-column *))
+    atoms
+
+let derived_count q = List.length (derive q)
+
+let query (q : Canonical.t) =
+  match derive q with
+  | [] -> q
+  | atoms ->
+      let side1, side2 = split_by_side q atoms in
+      Canonical.add_predicates q ~side1 ~side2

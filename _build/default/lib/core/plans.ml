@@ -1,0 +1,105 @@
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+
+let scan_of db (s : Canonical.source) =
+  match Catalog.find_table (Database.catalog db) s.Canonical.table with
+  | None -> failwith (Printf.sprintf "unknown table %s" s.Canonical.table)
+  | Some td ->
+      Plan.scan ~table:s.Canonical.table ~rel:s.Canonical.rel
+        (Table_def.schema ~rel:s.Canonical.rel td)
+
+(* Greedy join tree over one side: per-source conjuncts become selections on
+   the scans, cross-source conjuncts become join predicates as soon as both
+   ends are in scope, leftovers end up in a final selection. *)
+let join_side db sources conjuncts =
+  match sources with
+  | [] -> failwith "join_side: empty side"
+  | first :: rest ->
+      let remaining = ref conjuncts in
+      let take_covered schema =
+        let covered, rest =
+          List.partition
+            (fun e -> Colref.Set.subset (Expr.columns e) (Schema.colset schema))
+            !remaining
+        in
+        remaining := rest;
+        covered
+      in
+      let scan_with_filter s =
+        let scan = scan_of db s in
+        Plan.select (Expr.conj (take_covered (Plan.schema_of scan))) scan
+      in
+      let init = scan_with_filter first in
+      let tree =
+        List.fold_left
+          (fun acc s ->
+            let right = scan_with_filter s in
+            let joint =
+              Schema.concat (Plan.schema_of acc) (Plan.schema_of right)
+            in
+            let usable =
+              let covered, rest =
+                List.partition
+                  (fun e ->
+                    Colref.Set.subset (Expr.columns e) (Schema.colset joint))
+                  !remaining
+              in
+              remaining := rest;
+              covered
+            in
+            match usable with
+            | [] -> Plan.Product (acc, right)
+            | _ -> Plan.join (Expr.conj usable) acc right)
+          init rest
+      in
+      Plan.select (Expr.conj !remaining) tree
+
+let join_tree = join_side
+let side1 db (q : Canonical.t) = join_side db q.Canonical.r1 q.Canonical.c1
+let side2 db (q : Canonical.t) = join_side db q.Canonical.r2 q.Canonical.c2
+
+let join_sides q left right =
+  match q.Canonical.c0 with
+  | [] -> Plan.Product (left, right)
+  | c0 -> Plan.join (Expr.conj c0) left right
+
+(* The HAVING filter commutes with the group↔joined-row bijection that FD1
+   and FD2 establish: in E1 it sits above the Group, in E2 above the Join —
+   in both cases every column it may reference (grouping columns and
+   aggregate outputs) is in scope with the same value. *)
+let apply_having (q : Canonical.t) inner =
+  match q.Canonical.having with
+  | None -> inner
+  | Some h -> Plan.select h inner
+
+let final_project (q : Canonical.t) inner =
+  let cols =
+    q.Canonical.sga1 @ q.Canonical.sga2 @ Canonical.agg_names q
+  in
+  Plan.project ~dedup:q.Canonical.distinct cols (apply_having q inner)
+
+let e1_with (q : Canonical.t) ~side1 ~side2 =
+  let joined = join_sides q side1 side2 in
+  let grouped =
+    Plan.group
+      ~by:(q.Canonical.ga1 @ q.Canonical.ga2)
+      ~aggs:q.Canonical.aggs joined
+  in
+  final_project q grouped
+
+let e2_with (q : Canonical.t) ~side1 ~side2 =
+  let r1' = Plan.group ~by:(Canonical.ga1_plus q) ~aggs:q.Canonical.aggs side1 in
+  let r2' = Plan.project (Canonical.ga2_plus q) side2 in
+  final_project q (join_sides q r1' r2')
+
+let e1 db (q : Canonical.t) =
+  e1_with q ~side1:(side1 db q) ~side2:(side2 db q)
+
+let e2_r1_prime db (q : Canonical.t) =
+  Plan.group ~by:(Canonical.ga1_plus q) ~aggs:q.Canonical.aggs (side1 db q)
+
+let e2 db (q : Canonical.t) =
+  e2_with q ~side1:(side1 db q) ~side2:(side2 db q)

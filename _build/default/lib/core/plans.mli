@@ -1,0 +1,39 @@
+(** Building the two competing plans of the paper.
+
+    [e1] is the standard plan — join everything, then group (Plan 1 of
+    Figure 1).  [e2] is the transformed plan — group the R1 side on [GA1+]
+    first, then join (Plan 2 of Figure 1).  Both push the single-side
+    selections [C1]/[C2] below the join, as the paper's own expressions do
+    (E1 is evaluated as [σC0 (σC1 R1 × σC2 R2)], which is literally
+    [σ(C1∧C0∧C2)(R1×R2)]). *)
+
+open Eager_storage
+open Eager_algebra
+
+val join_tree :
+  Database.t -> Canonical.source list -> Eager_expr.Expr.t list -> Plan.t
+(** Greedy left-deep join tree over arbitrary sources: per-source conjuncts
+    become selections on the scans, cross-source conjuncts become join
+    predicates as soon as both ends are in scope, leftovers end up in a
+    final selection.  Raises [Failure] on an empty source list. *)
+
+val side1 : Database.t -> Canonical.t -> Plan.t
+(** [σC1](R1-side), built as a greedy join tree over the side's sources
+    using the applicable conjuncts of C1. *)
+
+val side2 : Database.t -> Canonical.t -> Plan.t
+
+val e1 : Database.t -> Canonical.t -> Plan.t
+val e2 : Database.t -> Canonical.t -> Plan.t
+
+val e1_with : Canonical.t -> side1:Plan.t -> side2:Plan.t -> Plan.t
+(** E1 over externally-built side plans (e.g. [Eager_opt.Join_order]'s
+    DP-enumerated trees).  The side plans must compute [σC1(R1)] /
+    [σC2(R2)] with the side's schemas. *)
+
+val e2_with : Canonical.t -> side1:Plan.t -> side2:Plan.t -> Plan.t
+
+val e2_r1_prime : Database.t -> Canonical.t -> Plan.t
+(** The sub-plan [R1' = F[AA] G[GA1+] σC1 R1] of E2 — exposed because the
+    reverse transformation of Section 8 materialises exactly this plan as
+    an aggregated view. *)

@@ -1,0 +1,22 @@
+open Eager_storage
+open Eager_algebra
+
+type direction = Materialize_view | Flatten
+
+let eligible ?strict db q =
+  match Testfd.test ?strict db q with
+  | Testfd.Yes -> Ok ()
+  | Testfd.No reason -> Error reason
+
+let view_plan db q = Plans.e2_r1_prime db q
+
+let plan_of db q = function
+  | Materialize_view -> Plans.e2 db q
+  | Flatten -> Plans.e1 db q
+
+let direction_to_string = function
+  | Materialize_view -> "materialize view, then join (E2)"
+  | Flatten -> "join base tables, then group (E1)"
+
+let _ = (fun (db : Database.t) -> db)
+let _ = (fun (p : Plan.t) -> p)

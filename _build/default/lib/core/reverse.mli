@@ -1,0 +1,32 @@
+(** Performing join before group-by (paper Section 8).
+
+    When a FROM clause mentions an {i aggregated view} — a view defined by a
+    grouped, aggregated query — the straightforward strategy materialises
+    the view first and then joins: that is exactly plan E2, with the view
+    body as [R1' = F[AA] G[GA1+] σC1 R1] ({!Plans.e2_r1_prime}).  The
+    reverse transformation replaces it with the flattened plan E1 — join
+    everything, then group — which wins when the join is selective enough
+    to shrink the grouping input below the view's own cardinality.
+
+    Both directions are governed by the same Main-Theorem conditions, so
+    eligibility is again decided by {!Testfd}.  The caller expresses the
+    query in flattened canonical form (Example 5 shows the rewrite); this
+    module names the two strategies and exposes the view sub-plan. *)
+
+open Eager_storage
+open Eager_algebra
+
+type direction =
+  | Materialize_view  (** evaluate the view, then join: plan E2 *)
+  | Flatten  (** join base tables, then group: plan E1 *)
+
+val eligible : ?strict:bool -> Database.t -> Canonical.t -> (unit, string) result
+(** Can the view be flattened (E2 → E1)?  [Error reason] when TestFD cannot
+    establish FD1/FD2 for the flattened query. *)
+
+val view_plan : Database.t -> Canonical.t -> Plan.t
+(** The aggregated view body that the straightforward strategy would
+    materialise. *)
+
+val plan_of : Database.t -> Canonical.t -> direction -> Plan.t
+val direction_to_string : direction -> string

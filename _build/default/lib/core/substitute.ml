@@ -1,0 +1,111 @@
+open Eager_schema
+open Eager_expr
+open Eager_algebra
+
+(* equality pairs available for substitution, from the WHERE conjuncts *)
+let equalities (input : Canonical.input) =
+  Expr.conjuncts input.Canonical.where
+  |> List.filter_map (fun atom ->
+         match Expr.classify_atom atom with
+         | Expr.Col_eq_col (a, b) -> Some (a, b)
+         | _ -> None)
+
+let subst_colref (from_c, to_c) c = if Colref.equal c from_c then to_c else c
+
+let rec subst_expr sub (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Col c -> Expr.Col (subst_colref sub c)
+  | Expr.Const _ | Expr.Param _ -> e
+  | Expr.Neg a -> Expr.Neg (subst_expr sub a)
+  | Expr.Not a -> Expr.Not (subst_expr sub a)
+  | Expr.Is_null a -> Expr.Is_null (subst_expr sub a)
+  | Expr.Is_not_null a -> Expr.Is_not_null (subst_expr sub a)
+  | Expr.Like { negated; arg; pattern } ->
+      Expr.Like { negated; arg = subst_expr sub arg; pattern }
+  | Expr.Case { branches; else_ } ->
+      Expr.Case
+        {
+          branches = List.map (fun (c, v) -> ((subst_expr sub) c, (subst_expr sub) v)) branches;
+          else_ = Option.map (subst_expr sub) else_;
+        }
+  | Expr.Arith (op, a, b) -> Expr.Arith (op, subst_expr sub a, subst_expr sub b)
+  | Expr.Cmp (op, a, b) -> Expr.Cmp (op, subst_expr sub a, subst_expr sub b)
+  | Expr.And (a, b) -> Expr.And (subst_expr sub a, subst_expr sub b)
+  | Expr.Or (a, b) -> Expr.Or (subst_expr sub a, subst_expr sub b)
+
+let subst_func sub (f : Agg.func) : Agg.func =
+  match f with
+  | Agg.Count_star -> Agg.Count_star
+  | Agg.Count e -> Agg.Count (subst_expr sub e)
+  | Agg.Count_distinct e -> Agg.Count_distinct (subst_expr sub e)
+  | Agg.Sum e -> Agg.Sum (subst_expr sub e)
+  | Agg.Min e -> Agg.Min (subst_expr sub e)
+  | Agg.Max e -> Agg.Max (subst_expr sub e)
+  | Agg.Avg e -> Agg.Avg (subst_expr sub e)
+
+let rec subst_calc sub (c : Agg.calc) : Agg.calc =
+  match c with
+  | Agg.Const _ -> c
+  | Agg.Call f -> Agg.Call (subst_func sub f)
+  | Agg.Arith (op, a, b) -> Agg.Arith (op, subst_calc sub a, subst_calc sub b)
+  | Agg.Neg a -> Agg.Neg (subst_calc sub a)
+
+let apply sub (input : Canonical.input) : Canonical.input =
+  {
+    input with
+    Canonical.group_by = List.map (subst_colref sub) input.Canonical.group_by;
+    select_cols = List.map (subst_colref sub) input.Canonical.select_cols;
+    select_aggs =
+      List.map
+        (fun (a : Agg.t) -> { a with Agg.calc = subst_calc sub a.Agg.calc })
+        input.Canonical.select_aggs;
+  }
+
+(* a cheap structural fingerprint for de-duplication *)
+let fingerprint (input : Canonical.input) =
+  ( List.map Colref.to_string input.Canonical.group_by,
+    List.map Colref.to_string input.Canonical.select_cols,
+    List.map Agg.to_string input.Canonical.select_aggs )
+
+let variants (input : Canonical.input) : Canonical.input list =
+  let subs =
+    List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) (equalities input)
+  in
+  let singles = List.map (fun s -> apply s input) subs in
+  let doubles =
+    List.concat_map (fun s1 -> List.map (fun s2 -> apply s2 (apply s1 input)) subs) subs
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun v ->
+      let fp = fingerprint v in
+      if Hashtbl.mem seen fp then false
+      else begin
+        Hashtbl.add seen fp ();
+        true
+      end)
+    ((input :: singles) @ doubles)
+
+let find_transformable ?strict db (input : Canonical.input) =
+  let original_failure = ref None in
+  let remember msg =
+    if !original_failure = None then original_failure := Some msg
+  in
+  let rec go = function
+    | [] ->
+        Error
+          (Option.value !original_failure
+             ~default:"no transformable variant found")
+    | v :: rest -> (
+        match Canonical.of_input db v with
+        | Error msg ->
+            remember msg;
+            go rest
+        | Ok q -> (
+            match Testfd.test ?strict db q with
+            | Testfd.Yes -> Ok (q, v)
+            | Testfd.No msg ->
+                remember msg;
+                go rest))
+  in
+  go (variants input)

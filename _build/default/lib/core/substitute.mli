@@ -1,0 +1,30 @@
+(** Column substitution (paper Section 9, "Concluding remarks").
+
+    A query may fail to canonicalise or to pass TestFD as written, yet an
+    equivalent query — obtained by replacing a column with one it is
+    equated to in the WHERE clause — may succeed.  Within the join result,
+    an equality conjunct [a = b] that {i holds} forces both columns
+    non-NULL and equal, so substituting [b] for [a] inside aggregation
+    operands, grouping columns or selection columns preserves the query's
+    value while possibly changing the R1/R2 partition (aggregation columns
+    determine which side a table lands on) or the derivable dependencies.
+
+    Substitution never touches the WHERE clause itself (that would lose
+    the equality that justifies the rewrite). *)
+
+open Eager_storage
+
+val variants : Canonical.input -> Canonical.input list
+(** The original input first, followed by the inputs obtained by applying
+    each single equality substitution to the SELECT and GROUP BY clauses
+    (both directions), then pairs of substitutions.  Duplicates are
+    pruned; the list is finite and small. *)
+
+val find_transformable :
+  ?strict:bool ->
+  Database.t ->
+  Canonical.input ->
+  (Canonical.t * Canonical.input, string) result
+(** Try each variant in order: the first one that canonicalises {i and}
+    passes TestFD is returned together with the rewritten input.
+    [Error] carries the reason the original query failed. *)

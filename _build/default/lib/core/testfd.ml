@@ -1,0 +1,132 @@
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_fd
+
+type verdict = Yes | No of string
+
+type trace = {
+  clauses_kept : int;
+  clauses_dropped : int;
+  disjuncts : int;
+  closures : (string list * bool * bool) list;
+}
+
+let verdict_to_string = function
+  | Yes -> "YES"
+  | No reason -> "NO (" ^ reason ^ ")"
+
+let source_constraints db (s : Canonical.source) =
+  match Catalog.find_table (Database.catalog db) s.Canonical.table with
+  | None -> failwith (Printf.sprintf "unknown table %s" s.Canonical.table)
+  | Some td -> Catalog.table_checks (Database.catalog db) ~rel:s.Canonical.rel td
+
+let source_key_fds db (s : Canonical.source) =
+  match Catalog.find_table (Database.catalog db) s.Canonical.table with
+  | None -> []
+  | Some td -> From_catalog.key_fds ~rel:s.Canonical.rel td
+
+let source_key_sets db (s : Canonical.source) =
+  match Catalog.find_table (Database.catalog db) s.Canonical.table with
+  | None -> []
+  | Some td -> From_catalog.key_sets ~rel:s.Canonical.rel td
+
+let test_traced ?(strict = false) ?(dnf_cap = 64) db (q : Canonical.t) =
+  let empty_trace =
+    { clauses_kept = 0; clauses_dropped = 0; disjuncts = 0; closures = [] }
+  in
+  (* T1 and T2: single-table semantic constraints of both sides *)
+  let t1 = List.concat_map (source_constraints db) q.Canonical.r1 in
+  let t2 = List.concat_map (source_constraints db) q.Canonical.r2 in
+  (* Step 1: CNF of C1 ∧ C0 ∧ C2 ∧ T1 ∧ T2 *)
+  let c =
+    Expr.conj (q.Canonical.c1 @ q.Canonical.c0 @ q.Canonical.c2 @ t1 @ t2)
+  in
+  let clauses = Expr.cnf c in
+  (* Step 2: drop clauses containing a non-equality atom *)
+  let kept, dropped =
+    List.partition (fun clause -> Mine.all_equality_atoms clause) clauses
+  in
+  let base_trace =
+    {
+      empty_trace with
+      clauses_kept = List.length kept;
+      clauses_dropped = List.length dropped;
+    }
+  in
+  (* Step 3: DNF *)
+  let disjuncts =
+    if kept = [] then if strict then None else Some [ [] ]
+    else
+      match Expr.dnf_of_cnf ~cap:dnf_cap kept with
+      | None -> None
+      | Some [] ->
+          (* the retained condition is unsatisfiable; conservatively say NO
+             rather than reasoning from an inconsistent premise *)
+          Some [ [] ]
+      | Some ds -> Some ds
+  in
+  match disjuncts with
+  | None ->
+      if kept = [] then
+        (No "no equality conditions remain (strict mode)", base_trace)
+      else (No "DNF blow-up beyond cap", base_trace)
+  | Some ds ->
+      let key_fds =
+        List.concat_map (source_key_fds db) (q.Canonical.r1 @ q.Canonical.r2)
+      in
+      let ga = Colref.set_of_list (q.Canonical.ga1 @ q.Canonical.ga2) in
+      let ga1_plus = Colref.set_of_list (Canonical.ga1_plus q) in
+      let r2_keys_per_table =
+        List.map (fun s -> source_key_sets db s) q.Canonical.r2
+      in
+      (* Step 4, one iteration per disjunct *)
+      let rec go acc_closures = function
+        | [] ->
+            ( Yes,
+              {
+                base_trace with
+                disjuncts = List.length ds;
+                closures = List.rev acc_closures;
+              } )
+        | atoms :: rest ->
+            let mined = Mine.of_atoms atoms in
+            let closure =
+              Closure.compute ~start:ga ~constants:mined.Mine.constants
+                ~equalities:mined.Mine.equalities ~fds:key_fds
+            in
+            (* (d) every R2-side table must have a candidate key in S *)
+            let r2_ok =
+              List.for_all
+                (fun keys ->
+                  keys <> []
+                  && List.exists (fun k -> Colref.Set.subset k closure) keys)
+                r2_keys_per_table
+            in
+            (* (h) GA1+ must be in S *)
+            let ga1_ok = Colref.Set.subset ga1_plus closure in
+            let entry =
+              ( List.map Colref.to_string (Colref.Set.elements closure),
+                r2_ok,
+                ga1_ok )
+            in
+            if not r2_ok then
+              ( No "no candidate key of the R2 side is implied (FD2)",
+                {
+                  base_trace with
+                  disjuncts = List.length ds;
+                  closures = List.rev (entry :: acc_closures);
+                } )
+            else if not ga1_ok then
+              ( No "GA1+ is not functionally determined by (GA1,GA2) (FD1)",
+                {
+                  base_trace with
+                  disjuncts = List.length ds;
+                  closures = List.rev (entry :: acc_closures);
+                } )
+            else go (entry :: acc_closures) rest
+      in
+      go [] ds
+
+let test ?strict ?dnf_cap db q = fst (test_traced ?strict ?dnf_cap db q)

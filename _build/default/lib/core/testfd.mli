@@ -1,0 +1,54 @@
+(** Algorithm TestFD (paper Section 6.3): a fast, sufficient test deciding
+    whether FD1 and FD2 are guaranteed to hold in the join result — i.e.
+    whether group-by may be pushed past the join.
+
+    The algorithm uses only primary/candidate keys and equality conditions
+    from the WHERE clause plus the column/domain constraints [T1]/[T2]:
+
+    1. convert [C1 ∧ C0 ∧ C2 ∧ T1 ∧ T2] to CNF;
+    2. delete every clause containing an atom that is not of Type 1
+       ([v = c]) or Type 2 ([v1 = v2]);
+    3. convert the rest to DNF (bounded — see [dnf_cap]);
+    4. for every disjunct: seed a set with [GA1 ∪ GA2] plus the columns
+       bound to constants, close it under column equalities and key
+       dependencies, and require (d) some candidate key of every R2-side
+       table and (h) all of [GA1+] to be inside the closure.
+
+    A [Yes] answer is sound (Theorem 4); [No] answers may be false
+    negatives — the exact conditions are undecidable to test in general.
+
+    Two deliberate refinements over the paper's listing, both
+    answer-preserving and noted in DESIGN.md:
+    - steps 4(a–c) and 4(e–g) build the same closure, so we compute it once
+      per disjunct and check both goals against it;
+    - when step 2 deletes {i every} clause the paper returns NO outright;
+      with [strict = false] (the default) we instead run step 4 on a single
+      empty disjunct, which still exploits the key dependencies (e.g. GA2
+      containing a key of R2 with no WHERE clause at all).  [strict = true]
+      reproduces the paper's behaviour verbatim. *)
+
+open Eager_storage
+
+type verdict = Yes | No of string
+
+type trace = {
+  clauses_kept : int;
+  clauses_dropped : int;
+  disjuncts : int;
+  closures : (string list * bool * bool) list;
+      (** per disjunct: closure columns, key-of-R2 check, GA1+ check *)
+}
+
+val test :
+  ?strict:bool -> ?dnf_cap:int -> Database.t -> Canonical.t -> verdict
+
+val test_traced :
+  ?strict:bool ->
+  ?dnf_cap:int ->
+  Database.t ->
+  Canonical.t ->
+  verdict * trace
+(** Same, returning the intermediate state — used to print the Example 3
+    walk-through and Figure 7-style traces. *)
+
+val verdict_to_string : verdict -> string

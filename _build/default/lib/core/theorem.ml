@@ -1,0 +1,64 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_fd
+open Eager_exec
+
+type check = { fd1 : bool; fd2 : bool }
+
+let join_with_provenance ?(params = Expr.no_params) db (q : Canonical.t) =
+  let options = { Exec.default_options with params } in
+  let rows1 = Exec.run_rows ~options db (Plans.side1 db q) in
+  let rows2 = Exec.run_rows ~options db (Plans.side2 db q) in
+  let joint = Schema.concat q.Canonical.schema1 q.Canonical.schema2 in
+  let c0 = Expr.compile_pred ~params joint (Expr.conj q.Canonical.c0) in
+  let out = ref [] in
+  List.iter
+    (fun r1 ->
+      List.iteri
+        (fun i2 r2 ->
+          let row = Row.concat r1 r2 in
+          if Tbool.holds (c0 row) then out := (row, i2) :: !out)
+        rows2)
+    rows1;
+  List.rev !out
+
+let joint_schema (q : Canonical.t) =
+  Schema.concat q.Canonical.schema1 q.Canonical.schema2
+
+let fd1_of ?params db q tagged =
+  ignore params;
+  ignore db;
+  let schema = joint_schema q in
+  Instance_check.fd_holds ~schema
+    ~lhs:(q.Canonical.ga1 @ q.Canonical.ga2)
+    ~rhs:(Canonical.ga1_plus q)
+    (List.map fst tagged)
+
+let fd2_of ?params db q tagged =
+  ignore params;
+  ignore db;
+  let schema = joint_schema q in
+  let lhs_idx =
+    Schema.indices schema (Canonical.ga1_plus q @ q.Canonical.ga2)
+  in
+  Instance_check.determines
+    ~key_of:(fun (row, _) -> Row.key_on lhs_idx row)
+    ~value_of:(fun (_, i2) -> [ Value.Int i2 ])
+    tagged
+
+let check ?params db q =
+  let tagged = join_with_provenance ?params db q in
+  { fd1 = fd1_of ?params db q tagged; fd2 = fd2_of ?params db q tagged }
+
+let fd1_holds ?params db q =
+  fd1_of ?params db q (join_with_provenance ?params db q)
+
+let fd2_holds ?params db q =
+  fd2_of ?params db q (join_with_provenance ?params db q)
+
+let equivalent ?(params = Expr.no_params) db q =
+  let options = { Exec.default_options with params } in
+  let rows_e1 = Exec.run_rows ~options db (Plans.e1 db q) in
+  let rows_e2 = Exec.run_rows ~options db (Plans.e2 db q) in
+  Exec.multiset_equal rows_e1 rows_e2

@@ -1,0 +1,34 @@
+(** Instance-level verification of the Main Theorem (Section 5).
+
+    These functions materialise the join [σ(C1∧C0∧C2)(r1 × r2)] with
+    provenance — which R2-side row produced each joined row — and check the
+    two dependencies directly against Definition 2:
+
+    - [FD1 : (GA1, GA2) → GA1+]
+    - [FD2 : (GA1+, GA2) → RowID(R2)]
+
+    They are exponential in nothing but linear in the join size, yet the
+    join size itself can be huge — this is the "expensive or even
+    impossible" exact test that motivates TestFD.  We use it as ground
+    truth: by the Main Theorem, [fd1_holds && fd2_holds] on given instances
+    is implied by plan equivalence on those instances, and (together over
+    all instances) implies it. *)
+
+open Eager_schema
+open Eager_expr
+open Eager_storage
+
+type check = { fd1 : bool; fd2 : bool }
+
+val join_with_provenance :
+  ?params:Expr.env -> Database.t -> Canonical.t -> (Row.t * int) list
+(** Rows of the selected join, each tagged with the index (RowID) of the
+    R2-side row that produced it.  The row layout is [schema1 ++ schema2]. *)
+
+val check : ?params:Expr.env -> Database.t -> Canonical.t -> check
+val fd1_holds : ?params:Expr.env -> Database.t -> Canonical.t -> bool
+val fd2_holds : ?params:Expr.env -> Database.t -> Canonical.t -> bool
+
+val equivalent : ?params:Expr.env -> Database.t -> Canonical.t -> bool
+(** Execute both E1 and E2 on the instance and compare results as multisets
+    under [=ⁿ]. *)

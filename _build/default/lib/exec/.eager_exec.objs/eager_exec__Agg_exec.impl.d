@@ -1,0 +1,1 @@
+lib/exec/agg_exec.ml: Agg Array Eager_algebra Eager_expr Eager_schema Eager_value Expr Hashtbl List Row Schema Value

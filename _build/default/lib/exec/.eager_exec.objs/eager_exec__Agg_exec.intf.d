@@ -1,0 +1,1 @@
+lib/exec/agg_exec.mli: Agg Eager_algebra Eager_expr Eager_schema Eager_value Row Schema Value

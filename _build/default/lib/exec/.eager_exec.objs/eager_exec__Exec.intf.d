@@ -1,0 +1,1 @@
+lib/exec/exec.mli: Colref Database Eager_algebra Eager_expr Eager_schema Eager_storage Expr Heap Optree Plan Row Schema

@@ -1,0 +1,1 @@
+lib/exec/optree.ml: Format List String

@@ -1,0 +1,134 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_algebra
+
+(* Accumulator for one aggregate-function call. *)
+type acc =
+  | Acount of int ref
+  | Adistinct of (Value.t list, unit) Hashtbl.t  (* =ⁿ classes seen *)
+  | Asum of Value.t option ref  (* None until the first non-NULL operand *)
+  | Amin of Value.t option ref
+  | Amax of Value.t option ref
+  | Aavg of (float * int) ref   (* running sum and non-NULL count *)
+
+(* A compiled Call site: the operand evaluator (None for COUNT star) plus a
+   constructor for its accumulator and the fold step. *)
+type call_site = { operand : (Row.t -> Value.t) option; kind : Agg.func }
+
+(* The calc tree with Call nodes replaced by call-site indices. *)
+type calc_ir =
+  | Iconst of Value.t
+  | Icall of int
+  | Iarith of Expr.binop * calc_ir * calc_ir
+  | Ineg of calc_ir
+
+type compiled = { sites : call_site array; irs : calc_ir array }
+
+type group_state = acc array
+
+let compile ?params schema (aggs : Agg.t list) =
+  let sites = ref [] in
+  let n = ref 0 in
+  let add_site kind operand =
+    sites := { operand; kind } :: !sites;
+    incr n;
+    !n - 1
+  in
+  let rec compile_calc (c : Agg.calc) : calc_ir =
+    match c with
+    | Agg.Const v -> Iconst v
+    | Agg.Call f ->
+        let operand =
+          match f with
+          | Agg.Count_star -> None
+          | Agg.Count e | Agg.Count_distinct e | Agg.Sum e | Agg.Min e
+          | Agg.Max e | Agg.Avg e ->
+              Some (Expr.compile ?params schema e)
+        in
+        Icall (add_site f operand)
+    | Agg.Arith (op, a, b) -> Iarith (op, compile_calc a, compile_calc b)
+    | Agg.Neg a -> Ineg (compile_calc a)
+  in
+  let irs = List.map (fun (a : Agg.t) -> compile_calc a.Agg.calc) aggs in
+  { sites = Array.of_list (List.rev !sites); irs = Array.of_list irs }
+
+let fresh t =
+  Array.map
+    (fun site ->
+      match site.kind with
+      | Agg.Count_star | Agg.Count _ -> Acount (ref 0)
+      | Agg.Count_distinct _ -> Adistinct (Hashtbl.create 16)
+      | Agg.Sum _ -> Asum (ref None)
+      | Agg.Min _ -> Amin (ref None)
+      | Agg.Max _ -> Amax (ref None)
+      | Agg.Avg _ -> Aavg (ref (0., 0)))
+    t.sites
+
+let update t state row =
+  Array.iteri
+    (fun i site ->
+      let v = match site.operand with None -> Value.Null | Some f -> f row in
+      match state.(i) with
+      | Acount r -> (
+          match site.kind with
+          | Agg.Count_star -> incr r
+          | _ -> if not (Value.is_null v) then incr r)
+      | Adistinct tbl ->
+          if not (Value.is_null v) then
+            Hashtbl.replace tbl (Row.key_on [| 0 |] [| v |]) ()
+      | Asum r ->
+          if not (Value.is_null v) then
+            r := Some (match !r with None -> v | Some acc -> Value.add acc v)
+      | Amin r ->
+          if not (Value.is_null v) then
+            r :=
+              Some
+                (match !r with
+                | None -> v
+                | Some acc -> if Value.compare_total v acc < 0 then v else acc)
+      | Amax r ->
+          if not (Value.is_null v) then
+            r :=
+              Some
+                (match !r with
+                | None -> v
+                | Some acc -> if Value.compare_total v acc > 0 then v else acc)
+      | Aavg r ->
+          if not (Value.is_null v) then begin
+            let fl =
+              match v with
+              | Value.Int x -> float_of_int x
+              | Value.Float x -> x
+              | _ -> 0.
+            in
+            let s, c = !r in
+            r := (s +. fl, c + 1)
+          end)
+    t.sites
+
+let result_of_acc = function
+  | Acount r -> Value.Int !r
+  | Adistinct tbl -> Value.Int (Hashtbl.length tbl)
+  | Asum r | Amin r | Amax r -> ( match !r with None -> Value.Null | Some v -> v)
+  | Aavg r ->
+      let s, c = !r in
+      if c = 0 then Value.Null else Value.Float (s /. float_of_int c)
+
+let finalize t state =
+  let rec eval_ir = function
+    | Iconst v -> v
+    | Icall i -> result_of_acc state.(i)
+    | Iarith (op, a, b) ->
+        let va = eval_ir a and vb = eval_ir b in
+        (match op with
+        | Expr.Add -> Value.add va vb
+        | Expr.Sub -> Value.sub va vb
+        | Expr.Mul -> Value.mul va vb
+        | Expr.Div -> Value.div va vb)
+    | Ineg a -> Value.neg (eval_ir a)
+  in
+  Array.map eval_ir t.irs
+
+(* Unused Schema open guard *)
+let _ = Schema.arity

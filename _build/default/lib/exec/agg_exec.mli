@@ -1,0 +1,20 @@
+(** Runtime evaluation of aggregation expressions.
+
+    A compiled aggregate owns mutable accumulator state per group; [update]
+    folds one input row in and [finalize] evaluates the arithmetic shell over
+    the accumulated aggregate-function results. *)
+
+open Eager_value
+open Eager_schema
+open Eager_algebra
+
+type compiled
+
+val compile : ?params:Eager_expr.Expr.env -> Schema.t -> Agg.t list -> compiled
+
+type group_state
+
+val fresh : compiled -> group_state
+val update : compiled -> group_state -> Row.t -> unit
+val finalize : compiled -> group_state -> Value.t array
+(** One value per aggregate, in declaration order. *)

@@ -1,0 +1,430 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_storage
+open Eager_algebra
+
+type join_algo = Nested_loop | Hash_join | Merge_join | Auto
+type group_algo = Hash_group | Sort_group
+
+type options = {
+  join_algo : join_algo;
+  group_algo : group_algo;
+  params : Expr.env;
+  use_indexes : bool;
+}
+
+let default_options =
+  {
+    join_algo = Auto;
+    group_algo = Hash_group;
+    params = Expr.no_params;
+    use_indexes = true;
+  }
+
+let split_equijoin lsch rsch pred =
+  let conjs = Expr.conjuncts pred in
+  List.partition_map
+    (fun c ->
+      match Expr.classify_atom c with
+      | Expr.Col_eq_col (a, b) when Schema.mem lsch a && Schema.mem rsch b ->
+          Either.Left (a, b)
+      | Expr.Col_eq_col (a, b) when Schema.mem lsch b && Schema.mem rsch a ->
+          Either.Left (b, a)
+      | _ -> Either.Right c)
+    conjs
+
+let all_non_null idxs (row : Row.t) =
+  Array.for_all (fun i -> not (Value.is_null row.(i))) idxs
+
+(* is [keys] a prefix of the known sort order [order]? *)
+let covered_by_order keys order =
+  let rec go ks os =
+    match ks, os with
+    | [], _ -> true
+    | _, [] -> false
+    | k :: ks, o :: os -> Colref.equal k o && go ks os
+  in
+  go keys order
+
+(* Nested-loop join/product with an optional residual predicate compiled
+   over the concatenated schema. *)
+let nested_loop out pred_opt lrows rrows =
+  List.iter
+    (fun l ->
+      List.iter
+        (fun r ->
+          let row = Row.concat l r in
+          match pred_opt with
+          | Some p when not (Tbool.holds (p row)) -> ()
+          | _ -> Heap.insert out row)
+        rrows)
+    lrows
+
+let hash_join out pred_opt lrows rrows lidx ridx =
+  let table = Hashtbl.create (List.length rrows * 2 + 1) in
+  List.iter
+    (fun r -> if all_non_null ridx r then Hashtbl.add table (Row.key_on ridx r) r)
+    rrows;
+  List.iter
+    (fun l ->
+      if all_non_null lidx l then
+        let matches = Hashtbl.find_all table (Row.key_on lidx l) in
+        List.iter
+          (fun r ->
+            let row = Row.concat l r in
+            match pred_opt with
+            | Some p when not (Tbool.holds (p row)) -> ()
+            | _ -> Heap.insert out row)
+          matches)
+    lrows
+
+(* [lsorted]/[rsorted]: the caller proved the input is already sorted on
+   the key columns, so the sort is skipped (Section 7 exploitation). *)
+let merge_join out pred_opt lrows rrows lidx ridx ~lsorted ~rsorted =
+  let l = Array.of_list (List.filter (all_non_null lidx) lrows) in
+  let r = Array.of_list (List.filter (all_non_null ridx) rrows) in
+  if not lsorted then Array.sort (Row.compare_on lidx) l;
+  if not rsorted then Array.sort (Row.compare_on ridx) r;
+  let key_cmp (a : Row.t) (b : Row.t) =
+    let n = Array.length lidx in
+    let rec go k =
+      if k >= n then 0
+      else
+        let c = Value.compare_total a.(lidx.(k)) b.(ridx.(k)) in
+        if c <> 0 then c else go (k + 1)
+    in
+    go 0
+  in
+  let nl = Array.length l and nr = Array.length r in
+  let i = ref 0 and j = ref 0 in
+  while !i < nl && !j < nr do
+    let c = key_cmp l.(!i) r.(!j) in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      (* find the extent of the equal-key runs on both sides *)
+      let i2 = ref !i in
+      while !i2 < nl && Row.compare_on lidx l.(!i) l.(!i2) = 0 do
+        incr i2
+      done;
+      let j2 = ref !j in
+      while !j2 < nr && Row.compare_on ridx r.(!j) r.(!j2) = 0 do
+        incr j2
+      done;
+      for a = !i to !i2 - 1 do
+        for b = !j to !j2 - 1 do
+          let row = Row.concat l.(a) r.(b) in
+          match pred_opt with
+          | Some p when not (Tbool.holds (p row)) -> ()
+          | _ -> Heap.insert out row
+        done
+      done;
+      i := !i2;
+      j := !j2
+    end
+  done
+
+(* longest prefix of [order] whose columns all appear in [cols] *)
+let order_through_projection order cols =
+  let colset = Colref.set_of_list cols in
+  let rec go = function
+    | c :: rest when Colref.Set.mem c colset -> c :: go rest
+    | _ -> []
+  in
+  go order
+
+let run_ordered ?(options = default_options) db plan =
+  let params = options.params in
+  let rec eval (p : Plan.t) : Heap.t * Optree.t * Colref.t list =
+    let label = Plan.label p in
+    match p with
+    | Plan.Scan { table; schema; _ } ->
+        let src = Database.heap db table in
+        if Schema.arity schema <> Schema.arity (Heap.schema src) then
+          failwith (Printf.sprintf "scan of %s: schema arity mismatch" table);
+        let out = Heap.create schema in
+        Heap.iter (Heap.insert out) src;
+        (out, Optree.leaf label (Heap.length out), [])
+    | Plan.Select { pred; input } -> (
+        (* point-lookup path: a [col = const] conjunct over a base-table
+           scan with a declared single-column index *)
+        let index_path () =
+          match input with
+          | Plan.Scan { table; schema; rel = _; _ } when options.use_indexes ->
+              List.find_map
+                (fun atom ->
+                  let resolved =
+                    match Expr.classify_atom atom with
+                    | Expr.Col_eq_const (c, v) -> Some (c, v)
+                    | Expr.Col_eq_param (c, pname) -> Some (c, params pname)
+                    | _ -> None
+                  in
+                  match resolved with
+                  | Some (c, v)
+                    when Schema.mem schema c && not (Value.is_null v) -> (
+                      match
+                        Database.find_equality_index db ~table
+                          ~col:c.Colref.name
+                      with
+                      | Some def -> Some (def, v)
+                      | None -> None)
+                  | _ -> None)
+                (Expr.conjuncts pred)
+              |> Option.map (fun (def, v) -> (def, v, schema, table))
+          | _ -> None
+        in
+        match index_path () with
+        | Some (def, v, schema, table) ->
+            let candidates = Database.index_lookup db def [ v ] in
+            let test = Expr.compile_pred ~params schema pred in
+            let out = Heap.create schema in
+            List.iter
+              (fun row -> if Tbool.holds (test row) then Heap.insert out row)
+              candidates;
+            let leaf =
+              Optree.leaf
+                (Printf.sprintf "IndexScan %s via %s" table def.Eager_catalog.Catalog.iname)
+                (List.length candidates)
+            in
+            (out, Optree.node label (Heap.length out) [ leaf ], [])
+        | None ->
+            let h, st, order = eval input in
+            let test = Expr.compile_pred ~params (Heap.schema h) pred in
+            let out = Heap.create (Heap.schema h) in
+            Heap.iter
+              (fun row -> if Tbool.holds (test row) then Heap.insert out row)
+              h;
+            (out, Optree.node label (Heap.length out) [ st ], order))
+    | Plan.Project { dedup; cols; input } ->
+        let h, st, order = eval input in
+        let schema = Heap.schema h in
+        let idxs = Schema.indices schema cols in
+        let out = Heap.create (Schema.project schema cols) in
+        if dedup then begin
+          let seen = Hashtbl.create 256 in
+          Heap.iter
+            (fun row ->
+              let key = Row.key_on idxs row in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                Heap.insert out (Row.project idxs row)
+              end)
+            h
+        end
+        else Heap.iter (fun row -> Heap.insert out (Row.project idxs row)) h;
+        ( out,
+          Optree.node label (Heap.length out) [ st ],
+          order_through_projection order cols )
+    | Plan.Map { items; input } ->
+        let h, st, order = eval input in
+        let in_schema = Heap.schema h in
+        let fns =
+          List.map (fun (_, e) -> Expr.compile ~params in_schema e) items
+        in
+        let out = Heap.create (Plan.schema_of p) in
+        Heap.iter
+          (fun row ->
+            Heap.insert out (Array.of_list (List.map (fun f -> f row) fns)))
+          h;
+        (* identity items keep their column's position in the sort order *)
+        let identity =
+          List.filter_map
+            (fun (c, e) ->
+              match e with
+              | Expr.Col src when Colref.equal src c -> Some c
+              | _ -> None)
+            items
+        in
+        let out_order =
+          let idset = Colref.set_of_list identity in
+          let rec prefix = function
+            | c :: rest when Colref.Set.mem c idset -> c :: prefix rest
+            | _ -> []
+          in
+          prefix order
+        in
+        (out, Optree.node label (Heap.length out) [ st ], out_order)
+    | Plan.Sort { by; input } ->
+        let h, st, _ = eval input in
+        let schema = Heap.schema h in
+        let keys =
+          List.map (fun (c, desc) -> (Schema.index_of schema c, desc)) by
+        in
+        let cmp (a : Row.t) (b : Row.t) =
+          let rec go = function
+            | [] -> 0
+            | (i, desc) :: rest ->
+                let c = Value.compare_total a.(i) b.(i) in
+                if c <> 0 then if desc then -c else c else go rest
+          in
+          go keys
+        in
+        let sorted = List.stable_sort cmp (Heap.to_list h) in
+        let out = Heap.create schema in
+        List.iter (Heap.insert out) sorted;
+        (* the known (ascending) order is the prefix before the first DESC *)
+        let rec asc_prefix = function
+          | (c, false) :: rest -> c :: asc_prefix rest
+          | _ -> []
+        in
+        (out, Optree.node label (Heap.length out) [ st ], asc_prefix by)
+    | Plan.Product (a, b) ->
+        let ha, sa, order_a = eval a in
+        let hb, sb, _ = eval b in
+        let out = Heap.create (Schema.concat (Heap.schema ha) (Heap.schema hb)) in
+        nested_loop out None (Heap.to_list ha) (Heap.to_list hb);
+        (* outer-loop order: the left order survives *)
+        (out, Optree.node label (Heap.length out) [ sa; sb ], order_a)
+    | Plan.Join { pred; left; right } ->
+        let hl, sl, order_l = eval left in
+        let hr, sr, order_r = eval right in
+        let lsch = Heap.schema hl and rsch = Heap.schema hr in
+        let out_schema = Schema.concat lsch rsch in
+        let out = Heap.create out_schema in
+        let keys, residual = split_equijoin lsch rsch pred in
+        let lrows = Heap.to_list hl and rrows = Heap.to_list hr in
+        let residual_pred =
+          match residual with
+          | [] -> None
+          | conjs -> Some (Expr.compile_pred ~params out_schema (Expr.conj conjs))
+        in
+        let algo =
+          match options.join_algo with
+          | Auto -> if keys = [] then Nested_loop else Hash_join
+          | a -> a
+        in
+        let lkeys = List.map fst keys and rkeys = List.map snd keys in
+        let out_order, presorted =
+          match algo, keys with
+          | (Nested_loop | Hash_join), _ | _, [] -> (order_l, 0)
+          | (Merge_join | Auto), _ ->
+              (* merge join emits rows in join-key order *)
+              let ls = covered_by_order lkeys order_l in
+              let rs = covered_by_order rkeys order_r in
+              (lkeys, (if ls then 1 else 0) + if rs then 1 else 0)
+        in
+        (match algo, keys with
+        | Nested_loop, _ | _, [] ->
+            let full = Expr.compile_pred ~params out_schema pred in
+            nested_loop out (Some full) lrows rrows
+        | Hash_join, _ ->
+            let lidx = Schema.indices lsch lkeys in
+            let ridx = Schema.indices rsch rkeys in
+            hash_join out residual_pred lrows rrows lidx ridx
+        | Merge_join, _ ->
+            let lidx = Schema.indices lsch lkeys in
+            let ridx = Schema.indices rsch rkeys in
+            merge_join out residual_pred lrows rrows lidx ridx
+              ~lsorted:(covered_by_order lkeys order_l)
+              ~rsorted:(covered_by_order rkeys order_r)
+        | Auto, _ -> assert false);
+        let label =
+          if presorted > 0 then
+            Printf.sprintf "%s (%d presorted input%s)" label presorted
+              (if presorted > 1 then "s" else "")
+          else label
+        in
+        (out, Optree.node label (Heap.length out) [ sl; sr ], out_order)
+    | Plan.Group { by; aggs; scalar; unique_groups; input } ->
+        let h, st, in_order = eval input in
+        let in_schema = Heap.schema h in
+        let by_idx = Schema.indices in_schema by in
+        let compiled = Agg_exec.compile ~params in_schema aggs in
+        let out = Heap.create (Plan.schema_of p) in
+        let emit repr state =
+          let key_vals = Row.project by_idx repr in
+          Heap.insert out
+            (Array.append key_vals (Agg_exec.finalize compiled state))
+        in
+        let out_order =
+          if unique_groups then order_through_projection in_order by
+          else
+            match options.group_algo with
+            | Sort_group -> by
+            | Hash_group ->
+                (* first-seen emission: sorted input stays sorted *)
+                if covered_by_order by in_order then by else []
+        in
+        (if unique_groups then
+           Heap.iter
+             (fun row ->
+               let state = Agg_exec.fresh compiled in
+               Agg_exec.update compiled state row;
+               emit row state)
+             h
+         else
+           match options.group_algo with
+           | Hash_group ->
+               let groups : (Value.t list, Row.t * Agg_exec.group_state) Hashtbl.t
+                   =
+                 Hashtbl.create 256
+               in
+               let order = ref [] in
+               Heap.iter
+                 (fun row ->
+                   let key = Row.key_on by_idx row in
+                   match Hashtbl.find_opt groups key with
+                   | Some (_, state) -> Agg_exec.update compiled state row
+                   | None ->
+                       let state = Agg_exec.fresh compiled in
+                       Agg_exec.update compiled state row;
+                       Hashtbl.add groups key (row, state);
+                       order := key :: !order)
+                 h;
+               List.iter
+                 (fun key ->
+                   let repr, state = Hashtbl.find groups key in
+                   emit repr state)
+                 (List.rev !order)
+           | Sort_group ->
+               let rows = Array.of_list (Heap.to_list h) in
+               if not (covered_by_order by in_order) then
+                 Array.sort (Row.compare_on by_idx) rows;
+               let n = Array.length rows in
+               let i = ref 0 in
+               while !i < n do
+                 let state = Agg_exec.fresh compiled in
+                 let repr = rows.(!i) in
+                 let j = ref !i in
+                 while !j < n && Row.compare_on by_idx repr rows.(!j) = 0 do
+                   Agg_exec.update compiled state rows.(!j);
+                   incr j
+                 done;
+                 emit repr state;
+                 i := !j
+               done);
+        (* SQL scalar aggregation yields one row even for empty input; the
+           paper's G[GA] (scalar = false) yields zero groups instead *)
+        if scalar && Heap.length out = 0 then begin
+          let state = Agg_exec.fresh compiled in
+          Heap.insert out (Agg_exec.finalize compiled state)
+        end;
+        (out, Optree.node label (Heap.length out) [ st ], out_order)
+  in
+  eval plan
+
+let run ?options db plan =
+  let h, st, _ = run_ordered ?options db plan in
+  (h, st)
+
+let run_rows ?options db plan =
+  let h, _ = run ?options db plan in
+  Heap.to_list h
+
+let multiset_equal a b =
+  let tally rows =
+    let t = Hashtbl.create 64 in
+    List.iter
+      (fun row ->
+        let key = Row.key_on (Array.init (Array.length row) Fun.id) row in
+        let n = Option.value (Hashtbl.find_opt t key) ~default:0 in
+        Hashtbl.replace t key (n + 1))
+      rows;
+    t
+  in
+  List.length a = List.length b
+  &&
+  let ta = tally a and tb = tally b in
+  Hashtbl.length ta = Hashtbl.length tb
+  && Hashtbl.fold (fun k n acc -> acc && Hashtbl.find_opt tb k = Some n) ta true

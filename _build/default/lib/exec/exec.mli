@@ -1,0 +1,61 @@
+(** Plan interpreter.
+
+    Evaluates a logical plan against a database instance, materialising each
+    operator's output and recording per-operator cardinalities.  Join and
+    group-by algorithms are selectable; [`Auto] uses a hash join whenever the
+    predicate contains an equi-join conjunct and falls back to nested loops
+    otherwise.
+
+    Semantics notes:
+    - selections and join predicates keep a row only when the condition
+      {i holds} (3VL, unknown = false), so NULL join keys never match;
+    - DISTINCT projection and grouping use [=ⁿ] (NULL equals NULL);
+    - a [Group] marked [scalar] produces exactly one row even for empty
+      input (SQL aggregation without GROUP BY); a non-scalar [Group] over
+      an empty input yields zero rows even when [by] is empty — the
+      paper's [F[AA] G[GA]] semantics, which E2 relies on when [GA1+] is
+      empty. *)
+
+open Eager_schema
+open Eager_expr
+open Eager_storage
+open Eager_algebra
+
+type join_algo = Nested_loop | Hash_join | Merge_join | Auto
+type group_algo = Hash_group | Sort_group
+
+type options = {
+  join_algo : join_algo;
+  group_algo : group_algo;
+  params : Expr.env;
+  use_indexes : bool;
+      (** when a selection over a base-table scan contains a [col = const]
+          conjunct and a single-column index is declared on [col], fetch
+          the candidates through the index instead of scanning (the
+          statistics tree shows an [IndexScan] leaf) *)
+}
+
+val default_options : options
+
+val run : ?options:options -> Database.t -> Plan.t -> Heap.t * Optree.t
+val run_rows : ?options:options -> Database.t -> Plan.t -> Row.t list
+(** [run] then [Heap.to_list], discarding statistics. *)
+
+val run_ordered :
+  ?options:options -> Database.t -> Plan.t -> Heap.t * Optree.t * Colref.t list
+(** Like [run], also returning the column list the output is {i known} to
+    be sorted on (ascending, [Value.compare_total] order; [[]] when
+    unknown).  This implements the paper's Section 7 observation: sort-based
+    grouping leaves its output sorted on the grouping columns, selections
+    and joins preserve their outer input's order, and a merge join skips
+    re-sorting an input whose known order covers the join keys (the
+    [sorted_inputs] count in the join's statistics label records this). *)
+
+val split_equijoin :
+  Schema.t -> Schema.t -> Expr.t -> (Colref.t * Colref.t) list * Expr.t list
+(** Partition a join predicate's conjuncts into equi-join column pairs
+    (left column, right column) and residual conjuncts. *)
+
+val multiset_equal : Row.t list -> Row.t list -> bool
+(** Multiset equality under [=ⁿ] — the equivalence the Main Theorem is
+    stated in.  Exposed for tests and the theorem checker. *)

@@ -1,0 +1,25 @@
+type t = { label : string; out_rows : int; children : t list }
+
+let leaf label out_rows = { label; out_rows; children = [] }
+let node label out_rows children = { label; out_rows; children }
+let in_rows t = List.map (fun c -> c.out_rows) t.children
+
+let rec total_produced t =
+  t.out_rows + List.fold_left (fun acc c -> acc + total_produced c) 0 t.children
+
+let rec find ~prefix t =
+  if String.length t.label >= String.length prefix
+     && String.sub t.label 0 (String.length prefix) = prefix
+  then Some t
+  else List.find_map (find ~prefix) t.children
+
+let pp ppf t =
+  let rec go indent n =
+    Format.fprintf ppf "%s%s   -- %d rows@," indent n.label n.out_rows;
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  Format.fprintf ppf "@[<v>";
+  go "" t;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

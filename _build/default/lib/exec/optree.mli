@@ -1,0 +1,21 @@
+(** Per-operator execution statistics, mirroring the plan tree.
+
+    These are the numbers printed next to the plan edges in the paper's
+    Figures 1 and 8: how many rows each operator consumed and produced. *)
+
+type t = { label : string; out_rows : int; children : t list }
+
+val leaf : string -> int -> t
+val node : string -> int -> t list -> t
+
+val in_rows : t -> int list
+(** Output cardinalities of the children, i.e. this operator's input sizes. *)
+
+val total_produced : t -> int
+(** Sum of [out_rows] over the whole tree — a crude work measure. *)
+
+val find : prefix:string -> t -> t option
+(** First node (pre-order) whose label starts with [prefix]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

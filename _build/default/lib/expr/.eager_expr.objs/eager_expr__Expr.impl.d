@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Array Colref Ctype Eager_schema Eager_value Format List Printf Result Row Schema String Tbool Value

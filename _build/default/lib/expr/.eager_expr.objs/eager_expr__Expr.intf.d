@@ -1,0 +1,1 @@
+lib/expr/expr.mli: Colref Ctype Eager_schema Eager_value Format Row Schema Tbool Value

@@ -1,0 +1,488 @@
+open Eager_value
+open Eager_schema
+
+type binop = Add | Sub | Mul | Div
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Col of Colref.t
+  | Param of string
+  | Arith of binop * t * t
+  | Neg of t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Is_not_null of t
+  | Like of { negated : bool; arg : t; pattern : string }
+  | Case of { branches : (t * t) list; else_ : t option }
+
+let etrue = Const (Value.Bool true)
+let efalse = Const (Value.Bool false)
+let col rel name = Col (Colref.make rel name)
+let int n = Const (Value.Int n)
+let str s = Const (Value.Str s)
+let eq a b = Cmp (Eq, a, b)
+
+let conj = function
+  | [] -> etrue
+  | e :: rest -> List.fold_left (fun acc e -> And (acc, e)) e rest
+
+let disj = function
+  | [] -> efalse
+  | e :: rest -> List.fold_left (fun acc e -> Or (acc, e)) e rest
+
+let rec conjuncts e =
+  match e with
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | Const (Value.Bool true) -> []
+  | _ -> [ e ]
+
+let rec disjuncts e =
+  match e with
+  | Or (a, b) -> disjuncts a @ disjuncts b
+  | Const (Value.Bool false) -> []
+  | _ -> [ e ]
+
+let rec columns e =
+  match e with
+  | Const _ | Param _ -> Colref.Set.empty
+  | Col c -> Colref.Set.singleton c
+  | Neg a | Not a | Is_null a | Is_not_null a -> columns a
+  | Like { arg; _ } -> columns arg
+  | Case { branches; else_ } ->
+      let acc =
+        List.fold_left
+          (fun acc (c, v) -> Colref.Set.union acc (Colref.Set.union (columns c) (columns v)))
+          Colref.Set.empty branches
+      in
+      (match else_ with
+      | None -> acc
+      | Some e -> Colref.Set.union acc (columns e))
+  | Arith (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      Colref.Set.union (columns a) (columns b)
+
+let params e =
+  let rec go acc = function
+    | Param p -> p :: acc
+    | Const _ | Col _ -> acc
+    | Neg a | Not a | Is_null a | Is_not_null a -> go acc a
+    | Like { arg; _ } -> go acc arg
+    | Case { branches; else_ } ->
+        let acc =
+          List.fold_left (fun acc (c, v) -> go (go acc c) v) acc branches
+        in
+        (match else_ with None -> acc | Some e -> go acc e)
+    | Arith (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+        go (go acc a) b
+  in
+  List.sort_uniq String.compare (go [] e)
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> Value.equal x y
+  | Col x, Col y -> Colref.equal x y
+  | Param x, Param y -> String.equal x y
+  | Neg x, Neg y | Not x, Not y -> equal x y
+  | Is_null x, Is_null y | Is_not_null x, Is_not_null y -> equal x y
+  | Like l1, Like l2 ->
+      l1.negated = l2.negated && String.equal l1.pattern l2.pattern
+      && equal l1.arg l2.arg
+  | Case c1, Case c2 ->
+      List.length c1.branches = List.length c2.branches
+      && List.for_all2
+           (fun (a1, v1) (a2, v2) -> equal a1 a2 && equal v1 v2)
+           c1.branches c2.branches
+      && (match c1.else_, c2.else_ with
+         | None, None -> true
+         | Some e1, Some e2 -> equal e1 e2
+         | _ -> false)
+  | Arith (o1, x1, y1), Arith (o2, x2, y2) -> o1 = o2 && equal x1 x2 && equal y1 y2
+  | Cmp (o1, x1, y1), Cmp (o2, x2, y2) -> o1 = o2 && equal x1 x2 && equal y1 y2
+  | And (x1, y1), And (x2, y2) | Or (x1, y1), Or (x2, y2) ->
+      equal x1 x2 && equal y1 y2
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+type env = string -> Value.t
+
+let no_params : env = fun _ -> Value.Null
+
+let apply_cmp op a b : Tbool.t =
+  match op with
+  | Eq -> Value.cmp_eq a b
+  | Ne -> Value.cmp_ne a b
+  | Lt -> Value.cmp_lt a b
+  | Le -> Value.cmp_le a b
+  | Gt -> Value.cmp_gt a b
+  | Ge -> Value.cmp_ge a b
+
+let apply_arith op a b =
+  match op with
+  | Add -> Value.add a b
+  | Sub -> Value.sub a b
+  | Mul -> Value.mul a b
+  | Div -> Value.div a b
+
+let value_of_tbool : Tbool.t -> Value.t = function
+  | True -> Value.Bool true
+  | False -> Value.Bool false
+  | Unknown -> Value.Null
+
+let tbool_of_value : Value.t -> Tbool.t = function
+  | Value.Bool true -> True
+  | Value.Bool false -> False
+  | Value.Null -> Unknown
+  | _ -> False (* non-boolean in predicate position never holds *)
+
+(* Classic wildcard matching with backtracking on the last '%':
+   linear-ish in practice, no exponential blow-up. *)
+let like_matches ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si star_pi star_si =
+    if si >= ns then begin
+      (* consume trailing '%'s *)
+      let rec only_percent k = k >= np || (pattern.[k] = '%' && only_percent (k + 1)) in
+      if only_percent pi then true
+      else if star_pi >= 0 && star_si < ns then
+        go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+      else false
+    end
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if pi < np && pattern.[pi] = '%' then go (pi + 1) si pi si
+    else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+(* Compile to closures with column indices resolved once. *)
+let rec compile ?(params = no_params) schema e : Row.t -> Value.t =
+  match e with
+  | Const v -> fun _ -> v
+  | Col c ->
+      let i =
+        match Schema.index_of_opt schema c with
+        | Some i -> i
+        | None ->
+            failwith
+              (Printf.sprintf "unknown column %s in %s" (Colref.to_string c)
+                 (Format.asprintf "%a" Schema.pp schema))
+      in
+      fun row -> row.(i)
+  | Param p ->
+      let v = params p in
+      fun _ -> v
+  | Arith (op, a, b) ->
+      let fa = compile ~params schema a and fb = compile ~params schema b in
+      fun row -> apply_arith op (fa row) (fb row)
+  | Neg a ->
+      let fa = compile ~params schema a in
+      fun row -> Value.neg (fa row)
+  | Cmp (op, a, b) ->
+      let fa = compile ~params schema a and fb = compile ~params schema b in
+      fun row -> value_of_tbool (apply_cmp op (fa row) (fb row))
+  | And (a, b) ->
+      let fa = compile_pred ~params schema a
+      and fb = compile_pred ~params schema b in
+      fun row -> value_of_tbool (Tbool.and_ (fa row) (fb row))
+  | Or (a, b) ->
+      let fa = compile_pred ~params schema a
+      and fb = compile_pred ~params schema b in
+      fun row -> value_of_tbool (Tbool.or_ (fa row) (fb row))
+  | Not a ->
+      let fa = compile_pred ~params schema a in
+      fun row -> value_of_tbool (Tbool.not_ (fa row))
+  | Is_null a ->
+      let fa = compile ~params schema a in
+      fun row -> Value.Bool (Value.is_null (fa row))
+  | Is_not_null a ->
+      let fa = compile ~params schema a in
+      fun row -> Value.Bool (not (Value.is_null (fa row)))
+  | Like { negated; arg; pattern } -> (
+      let fa = compile ~params schema arg in
+      fun row ->
+        match fa row with
+        | Value.Str s ->
+            let m = like_matches ~pattern s in
+            Value.Bool (if negated then not m else m)
+        | Value.Null -> Value.Null
+        | _ -> Value.Bool false)
+  | Case { branches; else_ } ->
+      let compiled =
+        List.map
+          (fun (c, v) ->
+            (compile_pred ~params schema c, compile ~params schema v))
+          branches
+      in
+      let fallback =
+        match else_ with
+        | None -> fun _ -> Value.Null
+        | Some e -> compile ~params schema e
+      in
+      fun row ->
+        let rec pick = function
+          | [] -> fallback row
+          | (c, v) :: rest -> if Tbool.holds (c row) then v row else pick rest
+        in
+        pick compiled
+
+and compile_pred ?(params = no_params) schema e : Row.t -> Tbool.t =
+  match e with
+  | And (a, b) ->
+      let fa = compile_pred ~params schema a
+      and fb = compile_pred ~params schema b in
+      fun row -> Tbool.and_ (fa row) (fb row)
+  | Or (a, b) ->
+      let fa = compile_pred ~params schema a
+      and fb = compile_pred ~params schema b in
+      fun row -> Tbool.or_ (fa row) (fb row)
+  | Not a ->
+      let fa = compile_pred ~params schema a in
+      fun row -> Tbool.not_ (fa row)
+  | Cmp (op, a, b) ->
+      let fa = compile ~params schema a and fb = compile ~params schema b in
+      fun row -> apply_cmp op (fa row) (fb row)
+  | _ ->
+      let f = compile ~params schema e in
+      fun row -> tbool_of_value (f row)
+
+let eval ?params schema e row = compile ?params schema e row
+let eval_pred ?params schema e row = compile_pred ?params schema e row
+
+(* ------------------------------------------------------------------ *)
+(* Typing *)
+
+let rec infer schema e : (Ctype.t, string) result =
+  let ( let* ) = Result.bind in
+  let numeric side =
+    let* t = infer schema side in
+    match t with
+    | Ctype.Int | Ctype.Float -> Ok t
+    | t -> Error (Printf.sprintf "expected numeric, got %s" (Ctype.to_string t))
+  in
+  match e with
+  | Const Value.Null -> Ok Ctype.Int (* NULL literal: any type; pick Int *)
+  | Const (Value.Int _) -> Ok Ctype.Int
+  | Const (Value.Float _) -> Ok Ctype.Float
+  | Const (Value.Str _) -> Ok Ctype.String
+  | Const (Value.Bool _) -> Ok Ctype.Bool
+  | Param _ -> Ok Ctype.Int
+  | Col c -> (
+      match Schema.index_of_opt schema c with
+      | Some i -> Ok (Schema.type_at schema i)
+      | None -> Error (Printf.sprintf "unknown column %s" (Colref.to_string c)))
+  | Neg a -> numeric a
+  | Arith (_, a, b) ->
+      let* ta = numeric a in
+      let* tb = numeric b in
+      Ok (if Ctype.equal ta tb then ta else Ctype.Float)
+  | Cmp (_, a, b) ->
+      let* ta = infer schema a in
+      let* tb = infer schema b in
+      let compatible =
+        Ctype.equal ta tb
+        || match ta, tb with
+           | (Ctype.Int | Ctype.Float), (Ctype.Int | Ctype.Float) -> true
+           | _ -> false
+      in
+      if compatible then Ok Ctype.Bool
+      else
+        Error
+          (Printf.sprintf "cannot compare %s with %s" (Ctype.to_string ta)
+             (Ctype.to_string tb))
+  | And (a, b) | Or (a, b) ->
+      let* ta = infer schema a in
+      let* tb = infer schema b in
+      if Ctype.equal ta Ctype.Bool && Ctype.equal tb Ctype.Bool then
+        Ok Ctype.Bool
+      else Error "boolean connective over non-boolean operands"
+  | Not a ->
+      let* ta = infer schema a in
+      if Ctype.equal ta Ctype.Bool then Ok Ctype.Bool
+      else Error "NOT over non-boolean operand"
+  | Is_null a | Is_not_null a ->
+      let* _ = infer schema a in
+      Ok Ctype.Bool
+  | Like { arg; _ } ->
+      let* ta = infer schema arg in
+      if Ctype.equal ta Ctype.String then Ok Ctype.Bool
+      else Error "LIKE requires a string operand"
+  | Case { branches; else_ } -> (
+      let* () =
+        List.fold_left
+          (fun acc (c, _) ->
+            let* () = acc in
+            let* tc = infer schema c in
+            if Ctype.equal tc Ctype.Bool then Ok ()
+            else Error "CASE condition must be boolean")
+          (Ok ()) branches
+      in
+      let results =
+        List.map snd branches @ match else_ with None -> [] | Some e -> [ e ]
+      in
+      match results with
+      | [] -> Error "CASE needs at least one branch"
+      | first :: rest ->
+          let* t0 = infer schema first in
+          List.fold_left
+            (fun acc e ->
+              let* t = acc in
+              let* te = infer schema e in
+              if Ctype.equal t te then Ok t
+              else
+                match t, te with
+                | (Ctype.Int | Ctype.Float), (Ctype.Int | Ctype.Float) ->
+                    Ok Ctype.Float
+                | _ -> Error "CASE branches have incompatible types")
+            (Ok t0) rest)
+
+(* ------------------------------------------------------------------ *)
+(* Normal forms *)
+
+let negate_cmp = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let rec nnf e =
+  match e with
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Not a -> nnf_neg a
+  | _ -> e
+
+and nnf_neg e =
+  match e with
+  | And (a, b) -> Or (nnf_neg a, nnf_neg b)
+  | Or (a, b) -> And (nnf_neg a, nnf_neg b)
+  | Not a -> nnf a
+  | Cmp (op, a, b) -> Cmp (negate_cmp op, a, b)
+  | Is_null a -> Is_not_null a
+  | Is_not_null a -> Is_null a
+  | Like l -> Like { l with negated = not l.negated }
+  | Const (Value.Bool b) -> Const (Value.Bool (not b))
+  | e -> Not e
+
+(* NOTE on NNF and 3VL: ¬(a = b) and (a ≠ b) agree in three-valued logic
+   (both unknown when NULL is involved), and De Morgan holds in Kleene
+   logic, so [nnf] preserves the three-valued semantics exactly. *)
+
+let rec cnf_of e : t list list =
+  match nnf e with
+  | Const (Value.Bool true) -> []
+  | Const (Value.Bool false) -> [ [] ]
+  | And (a, b) -> cnf_of a @ cnf_of b
+  | Or (a, b) ->
+      let ca = cnf_of a and cb = cnf_of b in
+      if ca = [] || cb = [] then [] (* one side is TRUE: the OR is TRUE *)
+      else List.concat_map (fun cla -> List.map (fun clb -> cla @ clb) cb) ca
+  | lit -> [ [ lit ] ]
+
+let cnf e = cnf_of e
+
+let dnf_of_cnf ?(cap = 64) clauses =
+  (* DNF components are one literal picked from each CNF clause. *)
+  let rec go acc = function
+    | [] -> Some acc
+    | clause :: rest ->
+        let acc' =
+          List.concat_map (fun comp -> List.map (fun lit -> lit :: comp) clause) acc
+        in
+        if acc' = [] then Some [] (* an empty clause: condition is false *)
+        else if List.length acc' > cap then None
+        else go acc' rest
+  in
+  go [ [] ] clauses
+
+let of_cnf clauses = conj (List.map disj clauses)
+let of_dnf comps = disj (List.map conj comps)
+
+(* ------------------------------------------------------------------ *)
+(* Atoms *)
+
+type atom_class =
+  | Col_eq_const of Colref.t * Value.t
+  | Col_eq_param of Colref.t * string
+  | Col_eq_col of Colref.t * Colref.t
+  | Other_atom
+
+let classify_atom = function
+  | Cmp (Eq, Col c, Const v) | Cmp (Eq, Const v, Col c) -> Col_eq_const (c, v)
+  | Cmp (Eq, Col c, Param p) | Cmp (Eq, Param p, Col c) -> Col_eq_param (c, p)
+  | Cmp (Eq, Col a, Col b) -> Col_eq_col (a, b)
+  | _ -> Other_atom
+
+(* ------------------------------------------------------------------ *)
+(* Predicate classification *)
+
+let split_conjuncts ~left ~right c =
+  let place (c1, c0, c2) e =
+    let cols = columns e in
+    let in_left = not (Colref.Set.is_empty (Colref.Set.inter cols left)) in
+    let in_right = not (Colref.Set.is_empty (Colref.Set.inter cols right)) in
+    let unknown = Colref.Set.diff cols (Colref.Set.union left right) in
+    if not (Colref.Set.is_empty unknown) then
+      failwith
+        (Printf.sprintf "predicate mentions unknown column %s"
+           (Colref.to_string (Colref.Set.choose unknown)));
+    match in_left, in_right with
+    | true, true -> (c1, e :: c0, c2)
+    | true, false -> (e :: c1, c0, c2)
+    | false, true -> (c1, c0, e :: c2)
+    | false, false -> (e :: c1, c0, c2)
+  in
+  let c1, c0, c2 = List.fold_left place ([], [], []) (conjuncts c) in
+  (List.rev c1, List.rev c0, List.rev c2)
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let binop_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmpop_str = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec to_string e =
+  match e with
+  | Const v -> Value.to_string v
+  | Col c -> Colref.to_string c
+  | Param p -> ":" ^ p
+  | Arith (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (to_string a) (binop_str op) (to_string b)
+  | Neg a -> Printf.sprintf "(-%s)" (to_string a)
+  | Cmp (op, a, b) ->
+      Printf.sprintf "%s %s %s" (to_string a) (cmpop_str op) (to_string b)
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "(NOT %s)" (to_string a)
+  | Is_null a -> Printf.sprintf "%s IS NULL" (to_string a)
+  | Is_not_null a -> Printf.sprintf "%s IS NOT NULL" (to_string a)
+  | Like { negated; arg; pattern } ->
+      Printf.sprintf "%s %sLIKE '%s'" (to_string arg)
+        (if negated then "NOT " else "")
+        pattern
+  | Case { branches; else_ } ->
+      Printf.sprintf "CASE%s%s END"
+        (String.concat ""
+           (List.map
+              (fun (c, v) ->
+                Printf.sprintf " WHEN %s THEN %s" (to_string c) (to_string v))
+              branches))
+        (match else_ with
+        | None -> ""
+        | Some e -> " ELSE " ^ to_string e)
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,120 @@
+(** Scalar expressions and search conditions of the SQL subset.
+
+    Search conditions evaluate under SQL2 three-valued logic ({!Eager_value.Tbool});
+    a WHERE clause keeps a row only when the condition {i holds} (unknown is
+    treated as false, the ⌊·⌋ interpreter of the paper). *)
+
+open Eager_value
+open Eager_schema
+
+type binop = Add | Sub | Mul | Div
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Col of Colref.t
+  | Param of string  (** host variable, e.g. [:uid]; fixed during evaluation *)
+  | Arith of binop * t * t
+  | Neg of t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Is_not_null of t
+  | Like of { negated : bool; arg : t; pattern : string }
+      (** SQL LIKE: [%] matches any sequence, [_] any single character.
+          NULL argument yields unknown. *)
+  | Case of { branches : (t * t) list; else_ : t option }
+      (** searched CASE: the first branch whose condition {i holds} (3VL)
+          supplies the value; otherwise [else_], or NULL if absent. *)
+
+val etrue : t
+val efalse : t
+val col : string -> string -> t
+val int : int -> t
+val str : string -> t
+val eq : t -> t -> t
+val conj : t list -> t
+(** Conjunction of a list; empty list is [etrue]. *)
+
+val disj : t list -> t
+(** Disjunction of a list; empty list is [efalse]. *)
+
+val conjuncts : t -> t list
+(** Flatten nested [And]s. [conjuncts etrue = []]. *)
+
+val disjuncts : t -> t list
+
+val columns : t -> Colref.Set.t
+val params : t -> string list
+val equal : t -> t -> bool
+
+(** {2 Evaluation} *)
+
+type env = string -> Value.t
+(** Host-variable environment.  [fun _ -> Value.Null] when there are none. *)
+
+val no_params : env
+
+val eval : ?params:env -> Schema.t -> t -> Row.t -> Value.t
+(** Scalar evaluation; boolean sub-results surface as [Bool]/[Null]. *)
+
+val eval_pred : ?params:env -> Schema.t -> t -> Row.t -> Tbool.t
+(** Three-valued evaluation of a search condition. *)
+
+val compile_pred : ?params:env -> Schema.t -> t -> Row.t -> Tbool.t
+(** Like {!eval_pred} but resolves all column positions once up front;
+    use this on hot paths (the returned closure is applied per row). *)
+
+val compile : ?params:env -> Schema.t -> t -> Row.t -> Value.t
+
+(** {2 Typing} *)
+
+val infer : Schema.t -> t -> (Ctype.t, string) result
+(** Light type inference; comparisons and connectives are [Bool]. *)
+
+(** {2 Normal forms} *)
+
+val nnf : t -> t
+(** Negation normal form: [Not] pushed to atoms and absorbed into
+    comparison/IS NULL duals. *)
+
+val cnf : t -> t list list
+(** Conjunctive normal form over literals, as a list of clauses.
+    [cnf etrue = []]. *)
+
+val dnf_of_cnf : ?cap:int -> t list list -> t list list option
+(** Distribute a CNF into DNF (list of conjunctive components).  Returns
+    [None] when the result would exceed [cap] (default 64) components —
+    callers must then answer conservatively. *)
+
+val of_cnf : t list list -> t
+val of_dnf : t list list -> t
+
+(** {2 Atoms (TestFD step 2)} *)
+
+type atom_class =
+  | Col_eq_const of Colref.t * Value.t  (** Type 1: [v = c] *)
+  | Col_eq_param of Colref.t * string   (** Type 1 with a host variable *)
+  | Col_eq_col of Colref.t * Colref.t   (** Type 2: [v1 = v2] *)
+  | Other_atom
+
+val classify_atom : t -> atom_class
+
+(** {2 Predicate classification (Section 3)} *)
+
+val split_conjuncts :
+  left:Colref.Set.t -> right:Colref.Set.t -> t -> t list * t list * t list
+(** [split_conjuncts ~left ~right c] partitions the conjuncts of [c] into
+    [(c1, c0, c2)]: conjuncts touching only [left] columns, conjuncts
+    touching both sides, and conjuncts touching only [right] columns.
+    Column-free conjuncts land in [c1].  Raises [Failure] if a conjunct
+    mentions a column in neither set. *)
+
+val like_matches : pattern:string -> string -> bool
+(** The LIKE pattern matcher, exposed for tests: [%] = any sequence,
+    [_] = any single character, everything else literal. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/fd/closure.ml: Colref Eager_schema Fd List

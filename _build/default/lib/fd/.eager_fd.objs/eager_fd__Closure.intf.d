@@ -1,0 +1,1 @@
+lib/fd/closure.mli: Colref Eager_schema Fd

@@ -1,0 +1,1 @@
+lib/fd/fd.ml: Colref Eager_schema Format List

@@ -1,0 +1,1 @@
+lib/fd/fd.mli: Colref Eager_schema Format

@@ -1,0 +1,1 @@
+lib/fd/from_catalog.ml: Colref Eager_catalog Eager_schema Fd List Table_def

@@ -1,0 +1,1 @@
+lib/fd/from_catalog.mli: Eager_catalog Eager_schema Fd Table_def

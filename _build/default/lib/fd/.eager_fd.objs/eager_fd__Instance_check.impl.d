@@ -1,0 +1,1 @@
+lib/fd/instance_check.ml: Eager_schema Hashtbl List Row Schema

@@ -1,0 +1,1 @@
+lib/fd/instance_check.mli: Colref Eager_schema Eager_value Row Schema

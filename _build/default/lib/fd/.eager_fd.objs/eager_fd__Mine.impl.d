@@ -1,0 +1,1 @@
+lib/fd/mine.ml: Colref Eager_expr Eager_schema Expr List

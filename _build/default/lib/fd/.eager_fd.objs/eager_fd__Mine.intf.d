@@ -1,0 +1,1 @@
+lib/fd/mine.mli: Colref Eager_expr Eager_schema Expr

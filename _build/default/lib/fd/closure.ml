@@ -1,0 +1,28 @@
+open Eager_schema
+
+let compute ~start ~constants ~equalities ~fds =
+  let s = ref (Colref.Set.union start constants) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let add c =
+      if not (Colref.Set.mem c !s) then begin
+        s := Colref.Set.add c !s;
+        changed := true
+      end
+    in
+    List.iter
+      (fun (a, b) ->
+        if Colref.Set.mem a !s then add b;
+        if Colref.Set.mem b !s then add a)
+      equalities;
+    List.iter
+      (fun (fd : Fd.t) ->
+        if Colref.Set.subset fd.Fd.lhs !s then Colref.Set.iter add fd.Fd.rhs)
+      fds
+  done;
+  !s
+
+let implies ~constants ~equalities ~fds (fd : Fd.t) =
+  let closure = compute ~start:fd.Fd.lhs ~constants ~equalities ~fds in
+  Colref.Set.subset fd.Fd.rhs closure

@@ -1,0 +1,27 @@
+(** Attribute-set closure (the transitive-closure step 4(c) of TestFD,
+    illustrated by paper Figure 7).
+
+    Starting from a seed set [S], repeatedly add:
+    - columns bound to constants (every column determines a constant, so
+      constants belong to every closure);
+    - [v2] whenever an equality [v1 = v2] has one side in [S];
+    - the right-hand side of a functional dependency whose left-hand side is
+      contained in [S] (in TestFD the dependencies are the declared key
+      dependencies of the two tables). *)
+
+open Eager_schema
+
+val compute :
+  start:Colref.Set.t ->
+  constants:Colref.Set.t ->
+  equalities:(Colref.t * Colref.t) list ->
+  fds:Fd.t list ->
+  Colref.Set.t
+
+val implies :
+  constants:Colref.Set.t ->
+  equalities:(Colref.t * Colref.t) list ->
+  fds:Fd.t list ->
+  Fd.t ->
+  bool
+(** [implies ... fd] — does the closure of [fd.lhs] cover [fd.rhs]? *)

@@ -1,0 +1,14 @@
+open Eager_schema
+
+type t = { lhs : Colref.Set.t; rhs : Colref.Set.t }
+
+let of_sets lhs rhs = { lhs; rhs }
+let make lhs rhs = { lhs = Colref.set_of_list lhs; rhs = Colref.set_of_list rhs }
+
+let key_dependency ~rel ~key ~all_cols =
+  make (List.map (Colref.make rel) key) (List.map (Colref.make rel) all_cols)
+
+let to_string t =
+  Format.asprintf "%a -> %a" Colref.pp_set t.lhs Colref.pp_set t.rhs
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,20 @@
+(** Functional dependencies over qualified columns (paper Definition 2).
+
+    A dependency [lhs → rhs] holds in a table instance when any two rows that
+    are [=ⁿ]-equivalent on [lhs] are [=ⁿ]-equivalent on [rhs] — note the
+    "NULL equals NULL" reading on both sides, which is what makes derived
+    dependencies well-defined in the presence of NULLs. *)
+
+open Eager_schema
+
+type t = { lhs : Colref.Set.t; rhs : Colref.Set.t }
+
+val make : Colref.t list -> Colref.t list -> t
+val of_sets : Colref.Set.t -> Colref.Set.t -> t
+
+val key_dependency : rel:string -> key:string list -> all_cols:string list -> t
+(** The dependency contributed by a declared key: key columns determine every
+    column of the table (paper Section 4.3). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

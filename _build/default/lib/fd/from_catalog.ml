@@ -1,0 +1,19 @@
+open Eager_schema
+open Eager_catalog
+
+let reliable_keys td =
+  let not_null = Table_def.not_null td in
+  List.filter
+    (fun key -> List.for_all (fun c -> List.mem c not_null) key)
+    (Table_def.keys td)
+
+let key_fds ~rel td =
+  let all_cols = Table_def.column_names td in
+  List.map
+    (fun key -> Fd.key_dependency ~rel ~key ~all_cols)
+    (reliable_keys td)
+
+let key_sets ~rel td =
+  List.map
+    (fun key -> Colref.set_of_list (List.map (Colref.make rel) key))
+    (reliable_keys td)

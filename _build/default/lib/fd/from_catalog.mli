@@ -1,0 +1,21 @@
+(** Lifting catalog key declarations into functional dependencies.
+
+    Only keys whose columns are all NOT NULL yield dependencies.  SQL2
+    enforces UNIQUE with "NULL not equal to NULL" semantics, so a nullable
+    UNIQUE key admits two rows that are [=ⁿ]-equivalent on the key (both
+    all-NULL) yet differ elsewhere — the [=ⁿ] key dependency of paper
+    Section 4.3 simply does not hold for such keys, and using them would
+    make TestFD unsound (there is a concrete E1 ≠ E2 counterexample in
+    test_core.ml).  Primary keys qualify automatically (SQL2 forbids NULL
+    in them); UNIQUE keys qualify when their columns carry NOT NULL. *)
+
+open Eager_catalog
+
+val reliable_keys : Table_def.t -> string list list
+(** Declared keys whose columns are all NOT NULL. *)
+
+val key_fds : rel:string -> Table_def.t -> Fd.t list
+(** One dependency per reliable key: key → all columns. *)
+
+val key_sets : rel:string -> Table_def.t -> Eager_schema.Colref.Set.t list
+(** The reliable keys themselves, as column sets qualified by [rel]. *)

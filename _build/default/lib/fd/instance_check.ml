@@ -1,0 +1,22 @@
+open Eager_schema
+
+let determines ~key_of ~value_of items =
+  let seen = Hashtbl.create 64 in
+  List.for_all
+    (fun item ->
+      let k = key_of item in
+      let v = value_of item in
+      match Hashtbl.find_opt seen k with
+      | None ->
+          Hashtbl.add seen k v;
+          true
+      | Some v' -> v = v')
+    items
+
+let fd_holds ~schema ~lhs ~rhs rows =
+  let lidx = Schema.indices schema lhs in
+  let ridx = Schema.indices schema rhs in
+  determines
+    ~key_of:(fun row -> Row.key_on lidx row)
+    ~value_of:(fun row -> Row.key_on ridx row)
+    rows

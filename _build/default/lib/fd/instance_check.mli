@@ -1,0 +1,21 @@
+(** Instance-level functional-dependency verification.
+
+    This is the "expensive or even impossible" exact test the paper contrasts
+    with TestFD: materialise the join and check FD1/FD2 directly against
+    Definition 2.  We use it as ground truth in tests and to demonstrate the
+    necessity direction of the Main Theorem. *)
+
+open Eager_schema
+
+val fd_holds :
+  schema:Schema.t -> lhs:Colref.t list -> rhs:Colref.t list -> Row.t list -> bool
+(** Do all rows that agree ([=ⁿ]) on [lhs] also agree on [rhs]? *)
+
+val determines :
+  key_of:('a -> Eager_value.Value.t list) ->
+  value_of:('a -> Eager_value.Value.t list) ->
+  'a list ->
+  bool
+(** Generic form: items with equal [key_of] must have equal [value_of].
+    Used for FD2, where the "value" is the provenance RowID of R2 rather
+    than a schema column. *)

@@ -1,0 +1,25 @@
+open Eager_schema
+open Eager_expr
+
+type t = {
+  constants : Colref.Set.t;
+  equalities : (Colref.t * Colref.t) list;
+  residual : Expr.t list;
+}
+
+let of_atoms atoms =
+  List.fold_left
+    (fun acc atom ->
+      match Expr.classify_atom atom with
+      | Expr.Col_eq_const (c, _) | Expr.Col_eq_param (c, _) ->
+          { acc with constants = Colref.Set.add c acc.constants }
+      | Expr.Col_eq_col (a, b) -> { acc with equalities = (a, b) :: acc.equalities }
+      | Expr.Other_atom -> { acc with residual = atom :: acc.residual })
+    { constants = Colref.Set.empty; equalities = []; residual = [] }
+    atoms
+
+let all_equality_atoms atoms =
+  List.for_all
+    (fun atom ->
+      match Expr.classify_atom atom with Expr.Other_atom -> false | _ -> true)
+    atoms

@@ -1,0 +1,21 @@
+(** Mining equality information from a conjunctive component (TestFD step 2).
+
+    Only two kinds of atomic conditions generate new functional dependencies
+    (paper Section 6.3): Type 1 [v = c] (constant or host variable) and
+    Type 2 [v1 = v2]. *)
+
+open Eager_schema
+open Eager_expr
+
+type t = {
+  constants : Colref.Set.t;  (** columns bound to a constant / host variable *)
+  equalities : (Colref.t * Colref.t) list;
+  residual : Expr.t list;  (** atoms of neither type *)
+}
+
+val of_atoms : Expr.t list -> t
+(** Classify each atom of a conjunctive component. *)
+
+val all_equality_atoms : Expr.t list -> bool
+(** True when every atom is Type 1 or Type 2 — the retention criterion of
+    TestFD step 2 applied to a whole clause. *)

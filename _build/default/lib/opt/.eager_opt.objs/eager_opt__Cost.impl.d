@@ -1,0 +1,1 @@
+lib/opt/cost.ml: Eager_algebra Eager_exec Estimate Exec Float Format List Plan

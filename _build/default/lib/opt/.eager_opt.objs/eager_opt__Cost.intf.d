@@ -1,0 +1,1 @@
+lib/opt/cost.mli: Database Eager_algebra Eager_storage Format Plan

@@ -1,0 +1,1 @@
+lib/opt/estimate.ml: Agg Array Colref Database Eager_algebra Eager_expr Eager_schema Eager_storage Eager_value Expr Float List Option Plan Schema Stats

@@ -1,0 +1,1 @@
+lib/opt/estimate.mli: Colref Database Eager_algebra Eager_expr Eager_schema Eager_storage Plan Stats

@@ -1,0 +1,1 @@
+lib/opt/join_order.ml: Array Canonical Catalog Colref Cost Database Eager_algebra Eager_catalog Eager_core Eager_expr Eager_schema Eager_storage Expr Hashtbl List Plan Plans Printf Schema Table_def

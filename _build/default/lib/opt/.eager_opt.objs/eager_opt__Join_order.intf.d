@@ -1,0 +1,1 @@
+lib/opt/join_order.mli: Canonical Database Eager_algebra Eager_core Eager_expr Eager_storage Plan

@@ -1,0 +1,1 @@
+lib/opt/planner.ml: Buffer Canonical Cost Eager_algebra Eager_core Expand Format Join_order List Plan Plans Printf Testfd

@@ -1,0 +1,1 @@
+lib/opt/planner.mli: Canonical Database Eager_algebra Eager_core Eager_storage Plan Testfd

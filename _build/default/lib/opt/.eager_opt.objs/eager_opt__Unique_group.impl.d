@@ -1,0 +1,1 @@
+lib/opt/unique_group.ml: Agg Catalog Closure Colref Database Eager_algebra Eager_catalog Eager_expr Eager_fd Eager_schema Eager_storage Expr Fd From_catalog List Mine Plan Schema

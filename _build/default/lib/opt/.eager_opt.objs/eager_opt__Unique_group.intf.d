@@ -1,0 +1,1 @@
+lib/opt/unique_group.mli: Database Eager_algebra Eager_schema Eager_storage Plan

@@ -1,0 +1,78 @@
+open Eager_algebra
+open Eager_exec
+
+type breakdown = {
+  total : float;
+  node_label : string;
+  node_cost : float;
+  out_card : float;
+  inputs : breakdown list;
+}
+
+let log2 x = if x <= 2.0 then 1.0 else Float.log x /. Float.log 2.0
+
+let breakdown ?(sort_group = false) db plan =
+  let rec go (p : Plan.t) : breakdown =
+    let prof = Estimate.profile db p in
+    let label = Plan.label p in
+    match p with
+    | Plan.Scan _ ->
+        { total = prof.Estimate.card; node_label = label;
+          node_cost = prof.Estimate.card; out_card = prof.Estimate.card;
+          inputs = [] }
+    | Plan.Select { input; _ } ->
+        let bin = go input in
+        let c = bin.out_card in
+        { total = bin.total +. c; node_label = label; node_cost = c;
+          out_card = prof.Estimate.card; inputs = [ bin ] }
+    | Plan.Project { dedup; input; _ } ->
+        let bin = go input in
+        let c = bin.out_card *. if dedup then 2.0 else 1.0 in
+        { total = bin.total +. c; node_label = label; node_cost = c;
+          out_card = prof.Estimate.card; inputs = [ bin ] }
+    | Plan.Product (a, b) ->
+        let ba = go a and bb = go b in
+        let c = ba.out_card *. bb.out_card in
+        { total = ba.total +. bb.total +. c; node_label = label;
+          node_cost = c; out_card = prof.Estimate.card; inputs = [ ba; bb ] }
+    | Plan.Join { pred; left; right } ->
+        let ba = go left and bb = go right in
+        let lsch = Plan.schema_of left and rsch = Plan.schema_of right in
+        let keys, _ = Exec.split_equijoin lsch rsch pred in
+        let c =
+          if keys = [] then ba.out_card *. bb.out_card
+          else ba.out_card +. bb.out_card +. prof.Estimate.card
+        in
+        { total = ba.total +. bb.total +. c; node_label = label;
+          node_cost = c; out_card = prof.Estimate.card; inputs = [ ba; bb ] }
+    | Plan.Group { input; _ } ->
+        let bin = go input in
+        let n = bin.out_card in
+        let c = if sort_group then n *. log2 n else n in
+        { total = bin.total +. c; node_label = label; node_cost = c;
+          out_card = prof.Estimate.card; inputs = [ bin ] }
+    | Plan.Map { input; _ } ->
+        let bin = go input in
+        let c = bin.out_card in
+        { total = bin.total +. c; node_label = label; node_cost = c;
+          out_card = prof.Estimate.card; inputs = [ bin ] }
+    | Plan.Sort { input; _ } ->
+        let bin = go input in
+        let n = bin.out_card in
+        let c = n *. log2 n in
+        { total = bin.total +. c; node_label = label; node_cost = c;
+          out_card = prof.Estimate.card; inputs = [ bin ] }
+  in
+  go plan
+
+let cost ?sort_group db plan = (breakdown ?sort_group db plan).total
+
+let pp_breakdown ppf b =
+  let rec go indent b =
+    Format.fprintf ppf "%s%s   -- cost %.0f, est. %.0f rows@," indent
+      b.node_label b.node_cost b.out_card;
+    List.iter (go (indent ^ "  ")) b.inputs
+  in
+  Format.fprintf ppf "@[<v>";
+  go "" b;
+  Format.fprintf ppf "total: %.0f@]" b.total

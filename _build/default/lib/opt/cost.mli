@@ -1,0 +1,22 @@
+(** Plan costing.
+
+    Mirrors the executor's algorithms: a hash join costs its inputs plus its
+    output, a nested-loop join (used when no equi-join conjunct exists)
+    costs the product of its inputs, hash grouping costs its input, sort
+    grouping costs [n log n].  Units are abstract "row touches"; only
+    comparisons between plans are meaningful. *)
+
+open Eager_storage
+open Eager_algebra
+
+type breakdown = {
+  total : float;
+  node_label : string;
+  node_cost : float;  (** this operator alone *)
+  out_card : float;
+  inputs : breakdown list;
+}
+
+val cost : ?sort_group:bool -> Database.t -> Plan.t -> float
+val breakdown : ?sort_group:bool -> Database.t -> Plan.t -> breakdown
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,224 @@
+open Eager_schema
+open Eager_expr
+open Eager_storage
+open Eager_algebra
+
+type profile = {
+  card : float;
+  ndv : float Colref.Map.t;
+  nullfrac : float Colref.Map.t;
+  hist : Stats.histogram Colref.Map.t;
+}
+
+let lookup_ndv map c = Option.value (Colref.Map.find_opt c map) ~default:10.
+let lookup_nf map c = Option.value (Colref.Map.find_opt c map) ~default:0.
+let lookup_hist map c = Colref.Map.find_opt c map
+
+let const_float (e : Expr.t) =
+  match e with
+  | Expr.Const (Eager_value.Value.Int n) -> Some (float_of_int n)
+  | Expr.Const (Eager_value.Value.Float f) -> Some f
+  | _ -> None
+
+let rec selectivity ~ndv ?(nullfrac = fun _ -> 0.) ?(hist = fun _ -> None)
+    (e : Expr.t) =
+  let not_null c = Float.max 0. (1.0 -. nullfrac c) in
+  (* histogram-based range estimate; None when no histogram applies *)
+  let range_sel op col const =
+    match hist col, const_float const with
+    | Some h, Some v ->
+        let below = Stats.fraction_below h v in
+        let frac =
+          match op with
+          | Expr.Lt | Expr.Le -> below
+          | Expr.Gt | Expr.Ge -> 1.0 -. below
+          | _ -> 1.0 /. 3.0
+        in
+        Some (not_null col *. Float.max 0.001 (Float.min 1.0 frac))
+    | _ -> None
+  in
+  match e with
+  | Expr.Const (Eager_value.Value.Bool true) -> 1.0
+  | Expr.Const (Eager_value.Value.Bool false) -> 0.0
+  | Expr.And (a, b) ->
+      selectivity ~ndv ~nullfrac ~hist a *. selectivity ~ndv ~nullfrac ~hist b
+  | Expr.Or (a, b) ->
+      let sa = selectivity ~ndv ~nullfrac ~hist a
+      and sb = selectivity ~ndv ~nullfrac ~hist b in
+      sa +. sb -. (sa *. sb)
+  | Expr.Not a -> 1.0 -. selectivity ~ndv ~nullfrac ~hist a
+  | Expr.Cmp (Expr.Eq, a, b) -> (
+      match a, b with
+      | Expr.Col c, (Expr.Const _ | Expr.Param _)
+      | (Expr.Const _ | Expr.Param _), Expr.Col c ->
+          not_null c /. Float.max 1.0 (ndv c)
+      | Expr.Col c1, Expr.Col c2 ->
+          not_null c1 *. not_null c2
+          /. Float.max 1.0 (Float.max (ndv c1) (ndv c2))
+      | _ -> 0.1)
+  | Expr.Cmp (Expr.Ne, _, _) -> 0.9
+  | Expr.Cmp (op, Expr.Col c, (Expr.Const _ as k))
+    when range_sel op c k <> None ->
+      Option.get (range_sel op c k)
+  | Expr.Cmp (op, (Expr.Const _ as k), Expr.Col c) ->
+      (* flip the comparison around the constant *)
+      let flipped =
+        match op with
+        | Expr.Lt -> Expr.Gt
+        | Expr.Le -> Expr.Ge
+        | Expr.Gt -> Expr.Lt
+        | Expr.Ge -> Expr.Le
+        | o -> o
+      in
+      (match range_sel flipped c k with
+      | Some s -> s
+      | None -> 1.0 /. 3.0)
+  | Expr.Cmp (_, _, _) -> 1.0 /. 3.0
+  | Expr.Is_null (Expr.Col c) -> Float.max 0.02 (nullfrac c)
+  | Expr.Is_null _ -> 0.05
+  | Expr.Is_not_null (Expr.Col c) -> not_null c
+  | Expr.Is_not_null _ -> 0.95
+  | _ -> 1.0 /. 3.0
+
+let clamp_ndv card map = Colref.Map.map (fun d -> Float.min d card) map
+
+(* Combined distinct count of a column set with exponential backoff: the
+   independence assumption overestimates badly for correlated columns
+   (e.g. a key and an attribute it determines), so successive factors are
+   dampened: d1 · d2^(1/2) · d3^(1/4) · ... *)
+let combined_ndv ~ndv cols =
+  let ds = List.map ndv cols |> List.sort (fun a b -> compare (b : float) a) in
+  let _, product =
+    List.fold_left
+      (fun (exp, acc) d -> (exp /. 2.0, acc *. Float.pow d exp))
+      (1.0, 1.0) ds
+  in
+  product
+
+let rec profile db (p : Plan.t) : profile =
+  match p with
+  | Plan.Scan { table; schema; _ } ->
+      let stats = Database.stats db table in
+      let rows = float_of_int (Stats.row_count stats) in
+      let per_col f =
+        Array.to_list (Schema.cols schema)
+        |> List.mapi (fun i (c, _) -> (c, f (Stats.col stats i)))
+        |> List.to_seq |> Colref.Map.of_seq
+      in
+      let ndv =
+        per_col (fun cs ->
+            float_of_int
+              (max 1 (cs.Stats.ndv + if cs.Stats.nulls > 0 then 1 else 0)))
+      in
+      let nullfrac =
+        per_col (fun cs ->
+            if rows <= 0. then 0. else float_of_int cs.Stats.nulls /. rows)
+      in
+      let hist =
+        Array.to_list (Schema.cols schema)
+        |> List.mapi (fun i (c, _) -> (c, (Stats.col stats i).Stats.hist))
+        |> List.filter_map (fun (c, h) -> Option.map (fun h -> (c, h)) h)
+        |> List.to_seq |> Colref.Map.of_seq
+      in
+      { card = rows; ndv; nullfrac; hist }
+  | Plan.Sort { input; _ } -> profile db input
+  | Plan.Map { items; input } ->
+      let pin = profile db input in
+      (* identity items keep their statistics; computed items get defaults *)
+      let keep pick =
+        List.fold_left
+          (fun m (c, e) ->
+            match e with
+            | Expr.Col src -> (
+                match pick src with Some v -> Colref.Map.add c v m | None -> m)
+            | _ -> m)
+          Colref.Map.empty items
+      in
+      {
+        card = pin.card;
+        ndv = keep (fun c -> Colref.Map.find_opt c pin.ndv);
+        nullfrac = keep (fun c -> Colref.Map.find_opt c pin.nullfrac);
+        hist = keep (fun c -> Colref.Map.find_opt c pin.hist);
+      }
+  | Plan.Select { pred; input } ->
+      let pin = profile db input in
+      let s =
+        selectivity ~ndv:(lookup_ndv pin.ndv)
+          ~nullfrac:(lookup_nf pin.nullfrac)
+          ~hist:(lookup_hist pin.hist) pred
+      in
+      let card = Float.max 0. (pin.card *. s) in
+      { pin with card; ndv = clamp_ndv card pin.ndv }
+  | Plan.Project { dedup; cols; input } ->
+      let pin = profile db input in
+      let keep map default =
+        List.fold_left
+          (fun m c ->
+            Colref.Map.add c
+              (Option.value (Colref.Map.find_opt c map) ~default)
+              m)
+          Colref.Map.empty cols
+      in
+      let ndv = keep pin.ndv 10. and nullfrac = keep pin.nullfrac 0. in
+      let hist =
+        List.fold_left
+          (fun m c ->
+            match Colref.Map.find_opt c pin.hist with
+            | Some h -> Colref.Map.add c h m
+            | None -> m)
+          Colref.Map.empty cols
+      in
+      if dedup then begin
+        let distinct = combined_ndv ~ndv:(lookup_ndv pin.ndv) cols in
+        let card = Float.min pin.card distinct in
+        { card; ndv = clamp_ndv card ndv; nullfrac; hist }
+      end
+      else { card = pin.card; ndv; nullfrac; hist }
+  | Plan.Product (a, b) ->
+      let pa = profile db a and pb = profile db b in
+      {
+        card = pa.card *. pb.card;
+        ndv = Colref.Map.union (fun _ x _ -> Some x) pa.ndv pb.ndv;
+        nullfrac =
+          Colref.Map.union (fun _ x _ -> Some x) pa.nullfrac pb.nullfrac;
+        hist = Colref.Map.union (fun _ x _ -> Some x) pa.hist pb.hist;
+      }
+  | Plan.Join { pred; left; right } ->
+      let pa = profile db left and pb = profile db right in
+      let ndv = Colref.Map.union (fun _ x _ -> Some x) pa.ndv pb.ndv in
+      let nullfrac =
+        Colref.Map.union (fun _ x _ -> Some x) pa.nullfrac pb.nullfrac
+      in
+      let hist = Colref.Map.union (fun _ x _ -> Some x) pa.hist pb.hist in
+      let s =
+        selectivity ~ndv:(lookup_ndv ndv) ~nullfrac:(lookup_nf nullfrac)
+          ~hist:(lookup_hist hist) pred
+      in
+      let card = pa.card *. pb.card *. s in
+      { card; ndv = clamp_ndv card ndv; nullfrac; hist }
+  | Plan.Group { by; aggs; input; _ } ->
+      let pin = profile db input in
+      let groups =
+        if by = [] then 1.0
+        else Float.min pin.card (combined_ndv ~ndv:(lookup_ndv pin.ndv) by)
+      in
+      let groups = Float.max 1.0 groups in
+      let ndv =
+        List.fold_left
+          (fun m c ->
+            Colref.Map.add c (Float.min groups (lookup_ndv pin.ndv c)) m)
+          Colref.Map.empty by
+      in
+      let ndv =
+        List.fold_left
+          (fun m (a : Agg.t) -> Colref.Map.add a.Agg.name groups m)
+          ndv aggs
+      in
+      let nullfrac =
+        List.fold_left
+          (fun m c -> Colref.Map.add c (lookup_nf pin.nullfrac c) m)
+          Colref.Map.empty by
+      in
+      { card = groups; ndv; nullfrac; hist = Colref.Map.empty }
+
+let card db p = (profile db p).card

@@ -1,0 +1,37 @@
+(** Cardinality estimation.
+
+    A classic System-R-style estimator: per-column distinct counts and
+    equi-width histograms from base-table statistics, independence between
+    predicates, and containment for equi-joins.  Good enough to reproduce
+    the direction of the Section 7 trade-off (it does not need to be
+    accurate, only monotone in the right places). *)
+
+open Eager_schema
+open Eager_storage
+open Eager_algebra
+
+type profile = {
+  card : float;  (** estimated output rows *)
+  ndv : float Colref.Map.t;  (** per-column distinct-value estimates *)
+  nullfrac : float Colref.Map.t;  (** per-column NULL fraction estimates *)
+  hist : Stats.histogram Colref.Map.t;
+      (** equi-width histograms for numeric base-table columns, propagated
+          through filter/join/projection operators *)
+}
+
+val profile : Database.t -> Plan.t -> profile
+val card : Database.t -> Plan.t -> float
+
+val selectivity :
+  ndv:(Colref.t -> float) ->
+  ?nullfrac:(Colref.t -> float) ->
+  ?hist:(Colref.t -> Stats.histogram option) ->
+  Eager_expr.Expr.t ->
+  float
+(** Selectivity of a predicate given column distinct counts: [(1-nf)/ndv]
+    for equality with a constant, [(1-nf₁)(1-nf₂)/max ndv] for column
+    equality (NULL keys never join, paper Section 4.2), 1/3 for ranges
+    unless a histogram is available — in which case the bucket fraction
+    below/above the constant is used — product over conjuncts,
+    inclusion-exclusion over disjuncts.  [nullfrac] defaults to 0 and
+    [hist] to absent. *)

@@ -1,0 +1,100 @@
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_core
+open Eager_algebra
+
+let scan_of db (s : Canonical.source) =
+  match Catalog.find_table (Database.catalog db) s.Canonical.table with
+  | None -> failwith (Printf.sprintf "unknown table %s" s.Canonical.table)
+  | Some td ->
+      Plan.scan ~table:s.Canonical.table ~rel:s.Canonical.rel
+        (Table_def.schema ~rel:s.Canonical.rel td)
+
+let best_tree ?(max_relations = 12) db (sources : Canonical.source list)
+    conjuncts =
+  let n = List.length sources in
+  if n = 0 then failwith "Join_order.best_tree: empty source list";
+  if n > max_relations then Plans.join_tree db sources conjuncts
+  else begin
+    let sources = Array.of_list sources in
+    let scans = Array.map (scan_of db) sources in
+    let colsets = Array.map (fun s -> Schema.colset (Plan.schema_of s)) scans in
+    (* column set covered by a subset mask *)
+    let cols_of_mask mask =
+      let acc = ref Colref.Set.empty in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then acc := Colref.Set.union !acc colsets.(i)
+      done;
+      !acc
+    in
+    (* conjuncts applicable once exactly the columns of [mask] are in scope *)
+    let applicable =
+      let memo = Hashtbl.create 64 in
+      fun mask ->
+        match Hashtbl.find_opt memo mask with
+        | Some l -> l
+        | None ->
+            let cols = cols_of_mask mask in
+            let l =
+              List.filter
+                (fun e -> Colref.Set.subset (Expr.columns e) cols)
+                conjuncts
+            in
+            Hashtbl.replace memo mask l;
+            l
+    in
+    (* filtered base relation for a singleton *)
+    let leaf i =
+      Plan.select (Expr.conj (applicable (1 lsl i))) scans.(i)
+    in
+    let best : (float * Plan.t) option array = Array.make (1 lsl n) None in
+    for i = 0 to n - 1 do
+      let p = leaf i in
+      best.(1 lsl i) <- Some (Cost.cost db p, p)
+    done;
+    (* enumerate subsets in increasing popcount *)
+    let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+    let by_popcount =
+      List.init ((1 lsl n) - 1) (fun k -> k + 1)
+      |> List.sort (fun a b -> compare (popcount a) (popcount b))
+    in
+    List.iter
+      (fun mask ->
+        if popcount mask >= 2 then
+          for i = 0 to n - 1 do
+            let bit = 1 lsl i in
+            if mask land bit <> 0 then begin
+              let rest = mask lxor bit in
+              match best.(rest) with
+              | None -> ()
+              | Some (_, left_plan) ->
+                  let right = leaf i in
+                  (* predicates that become applicable at this join *)
+                  let new_preds =
+                    let before_left = applicable rest in
+                    let before_right = applicable bit in
+                    let already e l = List.exists (Expr.equal e) l in
+                    List.filter
+                      (fun e ->
+                        (not (already e before_left))
+                        && not (already e before_right))
+                      (applicable mask)
+                  in
+                  let plan =
+                    match new_preds with
+                    | [] -> Plan.Product (left_plan, right)
+                    | _ -> Plan.join (Expr.conj new_preds) left_plan right
+                  in
+                  let cost = Cost.cost db plan in
+                  (match best.(mask) with
+                  | Some (c, _) when c <= cost -> ()
+                  | _ -> best.(mask) <- Some (cost, plan))
+            end
+          done)
+      by_popcount;
+    match best.((1 lsl n) - 1) with
+    | Some (_, plan) -> plan
+    | None -> Plans.join_tree db (Array.to_list sources) conjuncts
+  end

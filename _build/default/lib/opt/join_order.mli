@@ -1,0 +1,26 @@
+(** System-R-style join-order enumeration for the multi-table sides of the
+    canonical query (e.g. Example 3's R1 = PrinterAuth × Printer).
+
+    [Plans.join_tree] is a greedy left-deep builder in FROM-clause order;
+    this module enumerates {i all} left-deep orders with dynamic
+    programming over relation subsets and keeps the cheapest under
+    {!Cost.cost}.  Exhaustive up to the subset budget (default 12
+    relations, i.e. 4096 subsets); beyond it the greedy tree is returned.
+
+    Single-table predicates are pushed onto the scans and every
+    cross-table conjunct is applied at the first join where both sides
+    are in scope — exactly the invariant [Plans.join_tree] maintains, so
+    the two builders always produce semantically equal plans. *)
+
+open Eager_core
+open Eager_storage
+open Eager_algebra
+
+val best_tree :
+  ?max_relations:int ->
+  Database.t ->
+  Canonical.source list ->
+  Eager_expr.Expr.t list ->
+  Plan.t
+(** Cheapest left-deep join tree over the sources applying the conjuncts.
+    Raises [Failure] on an empty source list. *)

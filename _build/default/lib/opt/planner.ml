@@ -1,0 +1,83 @@
+open Eager_core
+open Eager_algebra
+
+type kind = Lazy_group | Eager_group
+
+type decision = {
+  verdict : Testfd.verdict;
+  plan_lazy : Plan.t;
+  cost_lazy : float;
+  plan_eager : Plan.t option;
+  cost_eager : float option;
+  chosen : Plan.t;
+  chosen_kind : kind;
+  expanded_atoms : int;
+}
+
+let kind_to_string = function
+  | Lazy_group -> "group after join (E1)"
+  | Eager_group -> "group before join (E2)"
+
+let decide ?strict ?(expand = true) db q =
+  let expanded_atoms = if expand then Expand.derived_count q else 0 in
+  let q = if expand then Expand.query q else q in
+  let verdict = Testfd.test ?strict db q in
+  (* multi-table sides go through the DP join-order enumerator *)
+  let side sources conjuncts fallback =
+    if List.length sources >= 3 then Join_order.best_tree db sources conjuncts
+    else fallback
+  in
+  let side1 = side q.Canonical.r1 q.Canonical.c1 (Plans.side1 db q) in
+  let side2 = side q.Canonical.r2 q.Canonical.c2 (Plans.side2 db q) in
+  let plan_lazy = Plans.e1_with q ~side1 ~side2 in
+  let cost_lazy = Cost.cost db plan_lazy in
+  match verdict with
+  | Testfd.No _ ->
+      {
+        verdict;
+        plan_lazy;
+        cost_lazy;
+        plan_eager = None;
+        cost_eager = None;
+        chosen = plan_lazy;
+        chosen_kind = Lazy_group;
+        expanded_atoms;
+      }
+  | Testfd.Yes ->
+      let plan_eager = Plans.e2_with q ~side1 ~side2 in
+      let cost_eager = Cost.cost db plan_eager in
+      let chosen, chosen_kind =
+        if cost_eager < cost_lazy then (plan_eager, Eager_group)
+        else (plan_lazy, Lazy_group)
+      in
+      {
+        verdict;
+        plan_lazy;
+        cost_lazy;
+        plan_eager = Some plan_eager;
+        cost_eager = Some cost_eager;
+        chosen;
+        chosen_kind;
+        expanded_atoms;
+      }
+
+let explain db d =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "TestFD: %s\n" (Testfd.verdict_to_string d.verdict));
+  if d.expanded_atoms > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "predicate expansion: %d derived binding(s)\n"
+         d.expanded_atoms);
+  Buffer.add_string buf
+    (Format.asprintf "E1 (lazy):@.%a@." Cost.pp_breakdown
+       (Cost.breakdown db d.plan_lazy));
+  (match d.plan_eager with
+  | Some p ->
+      Buffer.add_string buf
+        (Format.asprintf "E2 (eager):@.%a@." Cost.pp_breakdown
+           (Cost.breakdown db p))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "chosen: %s\n" (kind_to_string d.chosen_kind));
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** The cost-based decision: validity by TestFD, desirability by cost.
+
+    The paper establishes {i when the transformation is valid} (Theorem 1/2,
+    TestFD) and observes that validity does not imply profitability
+    (Section 7, Figure 8).  The planner combines both: it proposes E2 only
+    when TestFD says YES, and picks whichever of E1/E2 the cost model
+    prefers. *)
+
+open Eager_core
+open Eager_storage
+open Eager_algebra
+
+type kind = Lazy_group | Eager_group
+
+type decision = {
+  verdict : Testfd.verdict;
+  plan_lazy : Plan.t;
+  cost_lazy : float;
+  plan_eager : Plan.t option;
+  cost_eager : float option;
+  chosen : Plan.t;
+  chosen_kind : kind;
+  expanded_atoms : int;
+      (** predicate-expansion bindings derived before planning (paper
+          Example 3's closing optimization); 0 when [expand:false] *)
+}
+
+val decide : ?strict:bool -> ?expand:bool -> Database.t -> Canonical.t -> decision
+(** [expand] (default true) applies {!Eager_core.Expand.query} first, so
+    derived constant bindings shrink the eager plan's grouping input. *)
+
+val explain : Database.t -> decision -> string
+val kind_to_string : kind -> string

@@ -1,0 +1,114 @@
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_fd
+open Eager_algebra
+
+type facts = {
+  fds : Fd.t list;
+  constants : Colref.Set.t;
+  equalities : (Colref.t * Colref.t) list;
+  (* per source: the candidate keys (at least one must land in the closure)
+     paired with every column the source contributes *)
+  sources : (Colref.Set.t list * Colref.Set.t) list;
+}
+
+let empty_facts =
+  { fds = []; constants = Colref.Set.empty; equalities = []; sources = [] }
+
+let merge a b =
+  {
+    fds = a.fds @ b.fds;
+    constants = Colref.Set.union a.constants b.constants;
+    equalities = a.equalities @ b.equalities;
+    sources = a.sources @ b.sources;
+  }
+
+let mine_pred facts pred =
+  let mined = Mine.of_atoms (Expr.conjuncts pred) in
+  {
+    facts with
+    constants = Colref.Set.union facts.constants mined.Mine.constants;
+    equalities = mined.Mine.equalities @ facts.equalities;
+  }
+
+(* Facts about the rows a sub-plan produces.  Selections only filter, so
+   their predicates hold on every surviving row; projections narrow
+   visibility but do not merge rows we must keep distinct — the source
+   entry keeps the pre-projection column set, which the closure can still
+   reason about. *)
+let rec facts_of db (p : Plan.t) : facts =
+  match p with
+  | Plan.Scan { table; rel; schema } -> (
+      match Catalog.find_table (Database.catalog db) table with
+      | None -> { empty_facts with sources = [ ([], Schema.colset schema) ] }
+      | Some td ->
+          {
+            empty_facts with
+            fds = From_catalog.key_fds ~rel td;
+            sources = [ (From_catalog.key_sets ~rel td, Schema.colset schema) ];
+          })
+  | Plan.Select { pred; input } -> mine_pred (facts_of db input) pred
+  | Plan.Project { input; _ } | Plan.Sort { input; _ }
+  | Plan.Map { input; _ } ->
+      facts_of db input
+  | Plan.Product (a, b) -> merge (facts_of db a) (facts_of db b)
+  | Plan.Join { pred; left; right } ->
+      mine_pred (merge (facts_of db left) (facts_of db right)) pred
+  | Plan.Group { by; aggs; scalar; input; _ } ->
+      (* a grouped output is keyed by its grouping columns (one row per
+         group); its other columns are the aggregate outputs *)
+      let bys = Colref.set_of_list by in
+      let outs =
+        Colref.Set.union bys
+          (Colref.set_of_list (List.map (fun (a : Agg.t) -> a.Agg.name) aggs))
+      in
+      ignore (facts_of db input);
+      if scalar || by = [] then
+        (* at most one row: the empty column set is a key *)
+        {
+          empty_facts with
+          fds = [ Fd.of_sets Colref.Set.empty outs ];
+          sources = [ ([ Colref.Set.empty ], outs) ];
+        }
+      else
+        {
+          empty_facts with
+          fds = [ Fd.of_sets bys outs ];
+          sources = [ ([ bys ], outs) ];
+        }
+
+let groups_are_unique db ~by input =
+  let f = facts_of db input in
+  if f.sources = [] then false
+  else begin
+    let closure =
+      Closure.compute
+        ~start:(Colref.set_of_list by)
+        ~constants:f.constants ~equalities:f.equalities ~fds:f.fds
+    in
+    List.for_all
+      (fun (keys, _cols) ->
+        keys <> []
+        && List.exists (fun k -> Colref.Set.subset k closure) keys)
+      f.sources
+  end
+
+let rec mark db (p : Plan.t) : Plan.t =
+  match p with
+  | Plan.Scan _ -> p
+  | Plan.Select { pred; input } -> Plan.Select { pred; input = mark db input }
+  | Plan.Project { dedup; cols; input } ->
+      Plan.Project { dedup; cols; input = mark db input }
+  | Plan.Sort { by; input } -> Plan.Sort { by; input = mark db input }
+  | Plan.Map { items; input } -> Plan.Map { items; input = mark db input }
+  | Plan.Product (a, b) -> Plan.Product (mark db a, mark db b)
+  | Plan.Join { pred; left; right } ->
+      Plan.Join { pred; left = mark db left; right = mark db right }
+  | Plan.Group { by; aggs; scalar; unique_groups; input } ->
+      let input = mark db input in
+      let unique_groups =
+        unique_groups || ((not scalar) && by <> [] && groups_are_unique db ~by input)
+      in
+      Plan.Group { by; aggs; scalar; unique_groups; input }

@@ -1,0 +1,27 @@
+(** Recognising singleton groups — Klug's observation with Dayal's key
+    condition, generalised to derived keys (paper Section 2).
+
+    Klug observed that the result of a join is sometimes "already grouped";
+    Dayal stated the condition: the grouping columns contain a key of the
+    join's outer table.  With the attribute-closure machinery this
+    generalises: if the closure of the grouping columns — under the key
+    dependencies of the scanned tables and the equality/constant atoms of
+    the predicates below the group — covers a reliable (NOT NULL) key of
+    {i every} scanned table, then each group contains exactly one row and
+    the executor can skip hashing/sorting entirely.
+
+    The full-coverage requirement matters: grouping on a key of only one
+    table of a join still admits multi-row groups through the other table,
+    and a table without any reliable key can hold duplicate rows that are
+    [=ⁿ]-equal everywhere, so it can never be covered. *)
+
+open Eager_storage
+open Eager_algebra
+
+val groups_are_unique : Database.t -> by:Eager_schema.Colref.t list -> Plan.t -> bool
+(** Can we prove that grouping [input] on [by] yields singleton groups? *)
+
+val mark : Database.t -> Plan.t -> Plan.t
+(** Rewrite the plan, setting [unique_groups] on every [Group] node whose
+    singleton property is provable.  Sound: the flag is only set when the
+    closure proof succeeds. *)

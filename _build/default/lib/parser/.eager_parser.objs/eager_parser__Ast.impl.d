@@ -1,0 +1,1 @@
+lib/parser/ast.ml: Format List Printf String

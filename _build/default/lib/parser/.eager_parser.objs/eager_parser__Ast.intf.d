@@ -1,0 +1,1 @@
+lib/parser/ast.mli: Format

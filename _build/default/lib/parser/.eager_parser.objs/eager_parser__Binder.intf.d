@@ -1,0 +1,1 @@
+lib/parser/binder.mli: Agg Ast Canonical Colref Database Eager_algebra Eager_core Eager_expr Eager_schema Eager_storage Expr Plan

@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Array Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/parser/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/parser/persist.mli: Database Eager_storage

@@ -1,0 +1,145 @@
+type texpr =
+  | E_int of int
+  | E_float of float
+  | E_str of string
+  | E_bool of bool
+  | E_null
+  | E_param of string
+  | E_col of string option * string
+  | E_star
+  | E_call of string * texpr list
+  | E_bin of string * texpr * texpr
+  | E_neg of texpr
+  | E_not of texpr
+  | E_is_null of { negated : bool; arg : texpr }
+  | E_like of { negated : bool; arg : texpr; pattern : string }
+  | E_case of { branches : (texpr * texpr) list; else_ : texpr option }
+
+type type_ast = { tybase : string; tyarg : int option }
+
+type col_constraint =
+  | Cc_not_null
+  | Cc_unique
+  | Cc_primary
+  | Cc_check of texpr
+  | Cc_references of string * string list
+
+type table_item =
+  | It_column of { name : string; ty : type_ast; constraints : col_constraint list }
+  | It_primary of string list
+  | It_unique of string list
+  | It_check of texpr
+  | It_foreign of { cols : string list; ref_table : string; ref_cols : string list }
+
+type select_ast = {
+  distinct : bool;
+  items : (texpr * string option) list;
+  from : (string * string option) list;
+  where : texpr option;
+  group_by : (string option * string) list;
+  having : texpr option;
+  order_by : ((string option * string) * bool) list;
+}
+
+type statement =
+  | S_create_table of string * table_item list
+  | S_create_domain of string * type_ast * texpr option
+  | S_create_view of { name : string; body_sql : string; body : select_ast }
+  | S_create_index of { name : string; table : string; cols : string list }
+  | S_insert of string * texpr list list
+  | S_update of { table : string; set : (string * texpr) list; where : texpr option }
+  | S_delete of { table : string; where : texpr option }
+  | S_select of select_ast
+  | S_explain of { analyze : bool; body : select_ast }
+
+let rec pp_texpr ppf = function
+  | E_int n -> Format.pp_print_int ppf n
+  | E_float f -> Format.pp_print_float ppf f
+  | E_str s -> Format.fprintf ppf "'%s'" s
+  | E_bool b -> Format.pp_print_bool ppf b
+  | E_null -> Format.pp_print_string ppf "NULL"
+  | E_param p -> Format.fprintf ppf ":%s" p
+  | E_col (None, c) -> Format.pp_print_string ppf c
+  | E_col (Some q, c) -> Format.fprintf ppf "%s.%s" q c
+  | E_star -> Format.pp_print_string ppf "*"
+  | E_call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_texpr)
+        args
+  | E_bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp_texpr a op pp_texpr b
+  | E_neg a -> Format.fprintf ppf "(-%a)" pp_texpr a
+  | E_not a -> Format.fprintf ppf "(NOT %a)" pp_texpr a
+  | E_is_null { negated; arg } ->
+      Format.fprintf ppf "%a IS %sNULL" pp_texpr arg
+        (if negated then "NOT " else "")
+  | E_like { negated; arg; pattern } ->
+      Format.fprintf ppf "%a %sLIKE '%s'" pp_texpr arg
+        (if negated then "NOT " else "")
+        pattern
+  | E_case { branches; else_ } ->
+      Format.fprintf ppf "CASE";
+      List.iter
+        (fun (c, v) ->
+          Format.fprintf ppf " WHEN %a THEN %a" pp_texpr c pp_texpr v)
+        branches;
+      (match else_ with
+      | None -> ()
+      | Some e -> Format.fprintf ppf " ELSE %a" pp_texpr e);
+      Format.fprintf ppf " END"
+
+let texpr_to_string e = Format.asprintf "%a" pp_texpr e
+
+let select_to_string (s : select_ast) =
+  let items =
+    String.concat ", "
+      (List.map
+         (fun (e, alias) ->
+           texpr_to_string e
+           ^ match alias with Some a -> " AS " ^ a | None -> "")
+         s.items)
+  in
+  let from =
+    String.concat ", "
+      (List.map
+         (fun (t, alias) ->
+           t ^ match alias with Some a -> " " ^ a | None -> "")
+         s.from)
+  in
+  let where =
+    match s.where with
+    | None -> ""
+    | Some e -> " WHERE " ^ texpr_to_string e
+  in
+  let group =
+    match s.group_by with
+    | [] -> ""
+    | cols ->
+        " GROUP BY "
+        ^ String.concat ", "
+            (List.map
+               (fun (q, c) ->
+                 match q with Some q -> q ^ "." ^ c | None -> c)
+               cols)
+  in
+  let having =
+    match s.having with
+    | None -> ""
+    | Some e -> " HAVING " ^ texpr_to_string e
+  in
+  let order =
+    match s.order_by with
+    | [] -> ""
+    | cols ->
+        " ORDER BY "
+        ^ String.concat ", "
+            (List.map
+               (fun ((q, c), desc) ->
+                 (match q with Some q -> q ^ "." ^ c | None -> c)
+                 ^ if desc then " DESC" else "")
+               cols)
+  in
+  Printf.sprintf "SELECT %s%s FROM %s%s%s%s%s"
+    (if s.distinct then "DISTINCT " else "")
+    items from where group having order

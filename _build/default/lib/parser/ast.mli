@@ -1,0 +1,65 @@
+(** Parse trees for the SQL subset (unresolved names). *)
+
+type texpr =
+  | E_int of int
+  | E_float of float
+  | E_str of string
+  | E_bool of bool
+  | E_null
+  | E_param of string  (** host variable [:name] *)
+  | E_col of string option * string  (** optional qualifier *)
+  | E_star  (** only valid as the argument of COUNT *)
+  | E_call of string * texpr list  (** function call, e.g. SUM(x) *)
+  | E_bin of string * texpr * texpr  (** +,-,*,/,=,<>,<,<=,>,>=,AND,OR *)
+  | E_neg of texpr
+  | E_not of texpr
+  | E_is_null of { negated : bool; arg : texpr }
+  | E_like of { negated : bool; arg : texpr; pattern : string }
+      (** IN and BETWEEN are desugared by the parser into [E_bin] trees; LIKE
+          needs its own node because pattern matching is not expressible in
+          the comparison algebra. *)
+  | E_case of { branches : (texpr * texpr) list; else_ : texpr option }
+
+type type_ast = { tybase : string; tyarg : int option }  (** e.g. VARCHAR(30) *)
+
+type col_constraint =
+  | Cc_not_null
+  | Cc_unique
+  | Cc_primary
+  | Cc_check of texpr
+  | Cc_references of string * string list
+
+type table_item =
+  | It_column of { name : string; ty : type_ast; constraints : col_constraint list }
+  | It_primary of string list
+  | It_unique of string list
+  | It_check of texpr
+  | It_foreign of { cols : string list; ref_table : string; ref_cols : string list }
+
+type select_ast = {
+  distinct : bool;
+  items : (texpr * string option) list;  (** expression, optional alias *)
+  from : (string * string option) list;  (** table/view name, optional alias *)
+  where : texpr option;
+  group_by : (string option * string) list;
+  having : texpr option;
+      (** may reference grouping columns and aggregate aliases, or repeat an
+          aggregate expression from the SELECT list *)
+  order_by : ((string option * string) * bool) list;
+      (** output-column references; [true] means DESC *)
+}
+
+type statement =
+  | S_create_table of string * table_item list
+  | S_create_domain of string * type_ast * texpr option
+  | S_create_view of { name : string; body_sql : string; body : select_ast }
+  | S_create_index of { name : string; table : string; cols : string list }
+  | S_insert of string * texpr list list
+  | S_update of { table : string; set : (string * texpr) list; where : texpr option }
+  | S_delete of { table : string; where : texpr option }
+  | S_select of select_ast
+  | S_explain of { analyze : bool; body : select_ast }
+
+val pp_texpr : Format.formatter -> texpr -> unit
+val texpr_to_string : texpr -> string
+val select_to_string : select_ast -> string

@@ -1,0 +1,935 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_core
+open Eager_algebra
+
+type bound_query =
+  | Grouped of Canonical.input
+  | Scalar of {
+      sources : Canonical.source list;
+      where : Expr.t;
+      aggs : Agg.t list;
+    }
+  | Simple of {
+      sources : Canonical.source list;
+      where : Expr.t;
+      cols : Colref.t list;
+      distinct : bool;
+    }
+  | Computed of {
+      sources : Canonical.source list;
+      where : Expr.t;
+      items : (Colref.t * Expr.t) list;
+          (** at least one SELECT item is a scalar expression *)
+      distinct : bool;
+    }
+
+type outcome =
+  | Created of string
+  | Inserted of int
+  | Updated of int
+  | Deleted of int
+  | Query of bound_query * (Colref.t * bool) list
+  | Explained of bound_query * (Colref.t * bool) list * bool
+
+let ( let* ) = Result.bind
+
+let rec result_map f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = result_map f rest in
+      Ok (y :: ys)
+
+(* ---------------- types ---------------- *)
+
+let bind_type db (ty : Ast.type_ast) :
+    (Ctype.t * string option (* domain *), string) result =
+  match String.uppercase_ascii ty.Ast.tybase with
+  | "INT" | "INTEGER" | "SMALLINT" | "BIGINT" -> Ok (Ctype.Int, None)
+  | "FLOAT" | "REAL" | "DOUBLE" | "DOUBLE PRECISION" | "NUMERIC" | "DECIMAL" ->
+      Ok (Ctype.Float, None)
+  | "CHAR" | "CHARACTER" | "VARCHAR" | "CHARACTER VARYING" | "TEXT" ->
+      Ok (Ctype.String, None)
+  | "BOOLEAN" | "BOOL" -> Ok (Ctype.Bool, None)
+  | _ -> (
+      match Catalog.find_domain (Database.catalog db) ty.Ast.tybase with
+      | Some d -> Ok (d.Catalog.dtype, Some d.Catalog.dname)
+      | None -> Error (Printf.sprintf "unknown type or domain %s" ty.Ast.tybase))
+
+(* ---------------- expressions ---------------- *)
+
+type env = (string * Schema.t) list
+
+let resolve_col (env : env) qualifier name : (Colref.t, string) result =
+  match qualifier with
+  | Some q -> (
+      match List.assoc_opt q env with
+      | None -> Error (Printf.sprintf "unknown range variable %s" q)
+      | Some schema ->
+          let c = Colref.make q name in
+          if Schema.mem schema c then Ok c
+          else Error (Printf.sprintf "unknown column %s.%s" q name))
+  | None -> (
+      let hits =
+        List.filter_map
+          (fun (rel, schema) ->
+            let c = Colref.make rel name in
+            if Schema.mem schema c then Some c else None)
+          env
+      in
+      match hits with
+      | [ c ] -> Ok c
+      | [] -> Error (Printf.sprintf "unknown column %s" name)
+      | _ -> Error (Printf.sprintf "ambiguous column %s" name))
+
+let binop_of_string = function
+  | "+" -> Ok (`Arith Expr.Add)
+  | "-" -> Ok (`Arith Expr.Sub)
+  | "*" -> Ok (`Arith Expr.Mul)
+  | "/" -> Ok (`Arith Expr.Div)
+  | "=" -> Ok (`Cmp Expr.Eq)
+  | "<>" -> Ok (`Cmp Expr.Ne)
+  | "<" -> Ok (`Cmp Expr.Lt)
+  | "<=" -> Ok (`Cmp Expr.Le)
+  | ">" -> Ok (`Cmp Expr.Gt)
+  | ">=" -> Ok (`Cmp Expr.Ge)
+  | "AND" -> Ok `And
+  | "OR" -> Ok `Or
+  | op -> Error (Printf.sprintf "unknown operator %s" op)
+
+let rec bind_expr (env : env) (e : Ast.texpr) : (Expr.t, string) result =
+  match e with
+  | Ast.E_int n -> Ok (Expr.Const (Value.Int n))
+  | Ast.E_float f -> Ok (Expr.Const (Value.Float f))
+  | Ast.E_str s -> Ok (Expr.Const (Value.Str s))
+  | Ast.E_bool b -> Ok (Expr.Const (Value.Bool b))
+  | Ast.E_null -> Ok (Expr.Const Value.Null)
+  | Ast.E_param p -> Ok (Expr.Param p)
+  | Ast.E_col (q, name) ->
+      let* c = resolve_col env q name in
+      Ok (Expr.Col c)
+  | Ast.E_star -> Error "'*' is only valid inside COUNT(...)"
+  | Ast.E_call (f, _) ->
+      Error (Printf.sprintf "aggregate %s is not allowed in this context" f)
+  | Ast.E_neg a ->
+      let* a = bind_expr env a in
+      Ok (Expr.Neg a)
+  | Ast.E_not a ->
+      let* a = bind_expr env a in
+      Ok (Expr.Not a)
+  | Ast.E_is_null { negated; arg } ->
+      let* a = bind_expr env arg in
+      Ok (if negated then Expr.Is_not_null a else Expr.Is_null a)
+  | Ast.E_like { negated; arg; pattern } ->
+      let* a = bind_expr env arg in
+      Ok (Expr.Like { negated; arg = a; pattern })
+  | Ast.E_case { branches; else_ } ->
+      let* branches =
+        result_map
+          (fun (c, v) ->
+            let* c = bind_expr env c in
+            let* v = bind_expr env v in
+            Ok (c, v))
+          branches
+      in
+      let* else_ =
+        match else_ with
+        | None -> Ok None
+        | Some e ->
+            let* e = bind_expr env e in
+            Ok (Some e)
+      in
+      Ok (Expr.Case { branches; else_ })
+  | Ast.E_bin (op, a, b) -> (
+      let* a = bind_expr env a in
+      let* b = bind_expr env b in
+      let* op = binop_of_string op in
+      match op with
+      | `Arith o -> Ok (Expr.Arith (o, a, b))
+      | `Cmp o -> Ok (Expr.Cmp (o, a, b))
+      | `And -> Ok (Expr.And (a, b))
+      | `Or -> Ok (Expr.Or (a, b)))
+
+let rec contains_agg (e : Ast.texpr) =
+  match e with
+  | Ast.E_call _ -> true
+  | Ast.E_bin (_, a, b) -> contains_agg a || contains_agg b
+  | Ast.E_neg a | Ast.E_not a -> contains_agg a
+  | Ast.E_is_null { arg; _ } | Ast.E_like { arg; _ } -> contains_agg arg
+  | Ast.E_case { branches; else_ } ->
+      List.exists (fun (c, v) -> contains_agg c || contains_agg v) branches
+      || (match else_ with None -> false | Some e -> contains_agg e)
+  | _ -> false
+
+let rec bind_agg_calc (env : env) (e : Ast.texpr) : (Agg.calc, string) result =
+  match e with
+  | Ast.E_int n -> Ok (Agg.Const (Value.Int n))
+  | Ast.E_float f -> Ok (Agg.Const (Value.Float f))
+  | Ast.E_call (f, args) -> (
+      let operand () =
+        match args with
+        | [ Ast.E_star ] -> Error "'*' is only valid in COUNT(*)"
+        | [ a ] -> bind_expr env a
+        | _ -> Error (Printf.sprintf "%s takes exactly one argument" f)
+      in
+      match f with
+      | "COUNT" -> (
+          match args with
+          | [ Ast.E_star ] -> Ok (Agg.Call Agg.Count_star)
+          | _ ->
+              let* a = operand () in
+              Ok (Agg.Call (Agg.Count a)))
+      | "COUNT_DISTINCT" ->
+          let* a = operand () in
+          Ok (Agg.Call (Agg.Count_distinct a))
+      | "SUM" ->
+          let* a = operand () in
+          Ok (Agg.Call (Agg.Sum a))
+      | "MIN" ->
+          let* a = operand () in
+          Ok (Agg.Call (Agg.Min a))
+      | "MAX" ->
+          let* a = operand () in
+          Ok (Agg.Call (Agg.Max a))
+      | "AVG" ->
+          let* a = operand () in
+          Ok (Agg.Call (Agg.Avg a))
+      | _ -> Error (Printf.sprintf "unknown aggregate function %s" f))
+  | Ast.E_bin (op, a, b) -> (
+      let* a = bind_agg_calc env a in
+      let* b = bind_agg_calc env b in
+      let* op = binop_of_string op in
+      match op with
+      | `Arith o -> Ok (Agg.Arith (o, a, b))
+      | _ -> Error "only arithmetic is allowed between aggregates")
+  | Ast.E_neg a ->
+      let* a = bind_agg_calc env a in
+      Ok (Agg.Neg a)
+  | Ast.E_col (q, name) ->
+      Error
+        (Printf.sprintf
+           "column %s%s mixed into an aggregate expression — SELECT items \
+            must be either grouping columns or pure aggregate expressions"
+           (match q with Some q -> q ^ "." | None -> "")
+           name)
+  | _ -> Error "unsupported aggregate expression"
+
+(* ---------------- FROM resolution and simple-view inlining ---------------- *)
+
+type from_parts = {
+  sources : Canonical.source list;
+  env : env;
+  extra_where : Expr.t list;
+  (* view-column renaming: (alias, visible name) -> underlying column *)
+  renames : (string * string, Colref.t) Hashtbl.t;
+}
+
+let schema_of_table db name rel =
+  match Catalog.find_table (Database.catalog db) name with
+  | Some td -> Ok (Table_def.schema ~rel td)
+  | None -> Error (Printf.sprintf "unknown table or view %s" name)
+
+let rec resolve_from db (from : (string * string option) list) :
+    (from_parts, string) result =
+  let renames = Hashtbl.create 8 in
+  let* parts =
+    result_map
+      (fun (name, alias) ->
+        let rel = Option.value alias ~default:name in
+        match Catalog.find_view (Database.catalog db) name with
+        | None ->
+            let* schema = schema_of_table db name rel in
+            Ok
+              ( [ { Canonical.table = name; rel } ],
+                [ (rel, schema) ],
+                [],
+                [] )
+        | Some v -> inline_view db rel v)
+      from
+  in
+  let sources = List.concat_map (fun (s, _, _, _) -> s) parts in
+  let env = List.concat_map (fun (_, e, _, _) -> e) parts in
+  let extra_where = List.concat_map (fun (_, _, w, _) -> w) parts in
+  List.iter
+    (fun (_, _, _, rn) -> List.iter (fun (k, v) -> Hashtbl.replace renames k v) rn)
+    parts;
+  (* duplicate range variables? *)
+  let rels = List.map (fun s -> s.Canonical.rel) sources in
+  if List.length (List.sort_uniq String.compare rels) <> List.length rels then
+    Error "duplicate range variables in FROM clause"
+  else Ok { sources; env; extra_where; renames }
+
+and inline_view db alias (v : Catalog.view_def) :
+    ( Canonical.source list
+      * env
+      * Expr.t list
+      * ((string * string) * Colref.t) list,
+      string )
+    result =
+  let* body =
+    match Parser.parse_select v.Catalog.vsql with
+    | b -> Ok b
+    | exception Parser.Parse_error msg ->
+        Error (Printf.sprintf "view %s: %s" v.Catalog.vname msg)
+  in
+  if body.Ast.group_by <> [] || List.exists (fun (e, _) -> contains_agg e) body.Ast.items
+  then
+    Error
+      (Printf.sprintf
+         "view %s is an aggregated view; FROM-clause merging of aggregated \
+          views is the reverse transformation of Section 8 — write the \
+          flattened query instead (see Eager_core.Reverse)"
+         v.Catalog.vname)
+  else begin
+    (* inline, re-qualifying inner range variables as <alias>_<rel> *)
+    let prefix rel = alias ^ "_" ^ rel in
+    let* inner = resolve_from db body.Ast.from in
+    if Hashtbl.length inner.renames > 0 then
+      Error
+        (Printf.sprintf "view %s: views over views are not supported"
+           v.Catalog.vname)
+    else
+      let sources =
+        List.map
+          (fun s -> { s with Canonical.rel = prefix s.Canonical.rel })
+          inner.sources
+      in
+      let env =
+        List.map (fun (rel, sch) -> (prefix rel, Schema.rename_rel (prefix rel) sch))
+          inner.env
+      in
+      (* bind the view's WHERE against the prefixed environment *)
+      let prefixed_env_for_bind =
+        (* inner names must resolve against prefixed rels; rebuild an env
+           whose rels are the *original* inner rels mapped to prefixed
+           colrefs via renaming after binding *)
+        inner.env
+      in
+      let* where_inner =
+        match body.Ast.where with
+        | None -> Ok []
+        | Some w ->
+            let* e = bind_expr prefixed_env_for_bind w in
+            Ok [ e ]
+      in
+      let reprefix (e : Expr.t) : Expr.t =
+        Constr.requalify "" e |> ignore;
+        (* re-qualify each colref with the prefix *)
+        let rec go (e : Expr.t) : Expr.t =
+          match e with
+          | Expr.Col c -> Expr.Col (Colref.make (prefix c.Colref.rel) c.Colref.name)
+          | Expr.Const _ | Expr.Param _ -> e
+          | Expr.Neg a -> Expr.Neg (go a)
+          | Expr.Not a -> Expr.Not (go a)
+          | Expr.Is_null a -> Expr.Is_null (go a)
+          | Expr.Is_not_null a -> Expr.Is_not_null (go a)
+          | Expr.Like { negated; arg; pattern } ->
+              Expr.Like { negated; arg = go arg; pattern }
+          | Expr.Case { branches; else_ } ->
+              Expr.Case
+                {
+                  branches = List.map (fun (c, v) -> (go c, go v)) branches;
+                  else_ = Option.map go else_;
+                }
+          | Expr.Arith (op, a, b) -> Expr.Arith (op, go a, go b)
+          | Expr.Cmp (op, a, b) -> Expr.Cmp (op, go a, go b)
+          | Expr.And (a, b) -> Expr.And (go a, go b)
+          | Expr.Or (a, b) -> Expr.Or (go a, go b)
+        in
+        go e
+      in
+      let where = List.map reprefix where_inner in
+      (* visible columns of the view: each item must be a bare column *)
+      let* renames =
+        result_map
+          (fun (item, item_alias) ->
+            match item with
+            | Ast.E_col (q, name) ->
+                let* c = resolve_col inner.env q name in
+                let visible = Option.value item_alias ~default:name in
+                Ok
+                  ( (alias, visible),
+                    Colref.make (prefix c.Colref.rel) c.Colref.name )
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "view %s: only plain column items are supported in \
+                      simple views"
+                     v.Catalog.vname))
+          body.Ast.items
+      in
+      Ok (sources, env, where, renames)
+  end
+
+(* resolve a column reference, honouring view renames first *)
+let resolve_col_renamed (parts : from_parts) qualifier name =
+  match qualifier with
+  | Some q when Hashtbl.mem parts.renames (q, name) ->
+      Ok (Hashtbl.find parts.renames (q, name))
+  | Some _ -> resolve_col parts.env qualifier name
+  | None -> (
+      let view_hits =
+        Hashtbl.fold
+          (fun (_, vis) c acc -> if vis = name then c :: acc else acc)
+          parts.renames []
+      in
+      match view_hits, resolve_col parts.env None name with
+      | [ c ], Error _ -> Ok c
+      | [], r -> r
+      | [ _ ], Ok _ -> Error (Printf.sprintf "ambiguous column %s" name)
+      | _ :: _ :: _, _ -> Error (Printf.sprintf "ambiguous column %s" name))
+
+(* bind an expression against a from_parts (with view renames) *)
+let bind_expr_renamed (parts : from_parts) e =
+  (* reuse bind_expr by first rewriting view-column references *)
+  let rec rewrite (e : Ast.texpr) : (Ast.texpr, string) result =
+    match e with
+    | Ast.E_col (q, name) -> (
+        match resolve_col_renamed parts q name with
+        | Ok c -> Ok (Ast.E_col (Some c.Colref.rel, c.Colref.name))
+        | Error msg -> Error msg)
+    | Ast.E_bin (op, a, b) ->
+        let* a = rewrite a in
+        let* b = rewrite b in
+        Ok (Ast.E_bin (op, a, b))
+    | Ast.E_neg a ->
+        let* a = rewrite a in
+        Ok (Ast.E_neg a)
+    | Ast.E_not a ->
+        let* a = rewrite a in
+        Ok (Ast.E_not a)
+    | Ast.E_is_null { negated; arg } ->
+        let* arg = rewrite arg in
+        Ok (Ast.E_is_null { negated; arg })
+    | Ast.E_like { negated; arg; pattern } ->
+        let* arg = rewrite arg in
+        Ok (Ast.E_like { negated; arg; pattern })
+    | Ast.E_case { branches; else_ } ->
+        let* branches =
+          result_map
+            (fun (c, v) ->
+              let* c = rewrite c in
+              let* v = rewrite v in
+              Ok (c, v))
+            branches
+        in
+        let* else_ =
+          match else_ with
+          | None -> Ok None
+          | Some e ->
+              let* e = rewrite e in
+              Ok (Some e)
+        in
+        Ok (Ast.E_case { branches; else_ })
+    | Ast.E_call (f, args) ->
+        let* args = result_map rewrite args in
+        Ok (Ast.E_call (f, args))
+    | _ -> Ok e
+  in
+  let* e = rewrite e in
+  bind_expr parts.env e
+
+(* ---------------- SELECT ---------------- *)
+
+let synth_agg_name (calc : Agg.calc) i =
+  let base =
+    match calc with
+    | Agg.Call Agg.Count_star | Agg.Call (Agg.Count _) -> "count"
+    | Agg.Call (Agg.Sum _) -> "sum"
+    | Agg.Call (Agg.Min _) -> "min"
+    | Agg.Call (Agg.Max _) -> "max"
+    | Agg.Call (Agg.Avg _) -> "avg"
+    | _ -> "agg"
+  in
+  Printf.sprintf "%s_%d" base i
+
+(* rewrite view-exported column references to the underlying base columns,
+   structurally, so the result can be bound against the plain environment *)
+let rewrite_view_cols parts (e : Ast.texpr) : (Ast.texpr, string) result =
+  let rec rw (e : Ast.texpr) : (Ast.texpr, string) result =
+    match e with
+    | Ast.E_col (q, name) -> (
+        match resolve_col_renamed parts q name with
+        | Ok c -> Ok (Ast.E_col (Some c.Colref.rel, c.Colref.name))
+        | Error msg -> Error msg)
+    | Ast.E_bin (op, a, b) ->
+        let* a = rw a in
+        let* b = rw b in
+        Ok (Ast.E_bin (op, a, b))
+    | Ast.E_neg a ->
+        let* a = rw a in
+        Ok (Ast.E_neg a)
+    | Ast.E_not a ->
+        let* a = rw a in
+        Ok (Ast.E_not a)
+    | Ast.E_is_null { negated; arg } ->
+        let* arg = rw arg in
+        Ok (Ast.E_is_null { negated; arg })
+    | Ast.E_like { negated; arg; pattern } ->
+        let* arg = rw arg in
+        Ok (Ast.E_like { negated; arg; pattern })
+    | Ast.E_case { branches; else_ } ->
+        let* branches =
+          result_map
+            (fun (c, v) ->
+              let* c = rw c in
+              let* v = rw v in
+              Ok (c, v))
+            branches
+        in
+        let* else_ =
+          match else_ with
+          | None -> Ok None
+          | Some e ->
+              let* e = rw e in
+              Ok (Some e)
+        in
+        Ok (Ast.E_case { branches; else_ })
+    | Ast.E_call (f, args) ->
+        let* args = result_map rw args in
+        Ok (Ast.E_call (f, args))
+    | _ -> Ok e
+  in
+  rw e
+
+(* HAVING: references to grouping columns bind normally; an aggregate alias
+   binds to the aggregate's output column; an aggregate expression must
+   match (structurally) an aggregate of the SELECT list, whose output
+   column it becomes. *)
+let bind_having parts (aggs : Agg.t list) (h : Ast.texpr) :
+    (Expr.t, string) result =
+  let is_alias name =
+    List.exists
+      (fun (a : Agg.t) ->
+        a.Agg.name.Colref.rel = "" && String.equal a.Agg.name.Colref.name name)
+      aggs
+  in
+  let rec go (e : Ast.texpr) : (Expr.t, string) result =
+    if contains_agg e then begin
+      let whole =
+        let* e' = rewrite_view_cols parts e in
+        bind_agg_calc parts.env e'
+      in
+      match whole with
+      | Ok calc -> (
+          match
+            List.find_opt (fun (a : Agg.t) -> Agg.equal_calc a.Agg.calc calc) aggs
+          with
+          | Some a -> Ok (Expr.Col a.Agg.name)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "HAVING aggregate %s must also appear in the SELECT list"
+                   (Ast.texpr_to_string e)))
+      | Error _ -> (
+          match e with
+          | Ast.E_bin (op, a, b) -> (
+              let* a = go a in
+              let* b = go b in
+              let* op = binop_of_string op in
+              match op with
+              | `Arith o -> Ok (Expr.Arith (o, a, b))
+              | `Cmp o -> Ok (Expr.Cmp (o, a, b))
+              | `And -> Ok (Expr.And (a, b))
+              | `Or -> Ok (Expr.Or (a, b)))
+          | Ast.E_not a ->
+              let* a = go a in
+              Ok (Expr.Not a)
+          | Ast.E_neg a ->
+              let* a = go a in
+              Ok (Expr.Neg a)
+          | Ast.E_is_null { negated; arg } ->
+              let* a = go arg in
+              Ok (if negated then Expr.Is_not_null a else Expr.Is_null a)
+          | _ ->
+              Error
+                (Printf.sprintf "unsupported HAVING expression %s"
+                   (Ast.texpr_to_string e)))
+    end
+    else
+      match e with
+      | Ast.E_col (None, name) when is_alias name ->
+          Ok (Expr.Col (Colref.make "" name))
+      | Ast.E_bin (op, a, b) -> (
+          let* a = go a in
+          let* b = go b in
+          let* op = binop_of_string op in
+          match op with
+          | `Arith o -> Ok (Expr.Arith (o, a, b))
+          | `Cmp o -> Ok (Expr.Cmp (o, a, b))
+          | `And -> Ok (Expr.And (a, b))
+          | `Or -> Ok (Expr.Or (a, b)))
+      | Ast.E_not a ->
+          let* a = go a in
+          Ok (Expr.Not a)
+      | Ast.E_neg a ->
+          let* a = go a in
+          Ok (Expr.Neg a)
+      | Ast.E_is_null { negated; arg } ->
+          let* a = go arg in
+          Ok (if negated then Expr.Is_not_null a else Expr.Is_null a)
+      | _ -> bind_expr_renamed parts e
+  in
+  go h
+
+let bind_select db (s : Ast.select_ast) : (bound_query, string) result =
+  let* parts = resolve_from db s.Ast.from in
+  let* where =
+    match s.Ast.where with
+    | None -> Ok Expr.etrue
+    | Some w -> bind_expr_renamed parts w
+  in
+  let where = Expr.conj (Expr.conjuncts where @ parts.extra_where) in
+  (* classify items: plain columns, aggregate expressions, or scalar
+     expressions (the last only legal without GROUP BY / aggregates) *)
+  let* classified =
+    result_map
+      (fun (i, (item, alias)) ->
+        if contains_agg item then begin
+          let* calc =
+            let* item = rewrite_view_cols parts item in
+            bind_agg_calc parts.env item
+          in
+          let name =
+            Colref.make ""
+              (match alias with Some a -> a | None -> synth_agg_name calc i)
+          in
+          Ok (`Agg (Agg.make name calc))
+        end
+        else
+          match item with
+          | Ast.E_col (q, name) ->
+              let* c = resolve_col_renamed parts q name in
+              Ok (`Col c)
+          | _ ->
+              let* e = bind_expr_renamed parts item in
+              let name =
+                Colref.make ""
+                  (match alias with
+                  | Some a -> a
+                  | None -> Printf.sprintf "expr_%d" i)
+              in
+              Ok (`Expr (name, e)))
+      (List.mapi (fun i it -> (i, it)) s.Ast.items)
+  in
+  let cols = List.filter_map (function `Col c -> Some c | _ -> None) classified in
+  let aggs = List.filter_map (function `Agg a -> Some a | _ -> None) classified in
+  let exprs =
+    List.filter_map (function `Expr (n, e) -> Some (n, e) | _ -> None) classified
+  in
+  let* group_by =
+    result_map (fun (q, name) -> resolve_col_renamed parts q name) s.Ast.group_by
+  in
+  let* having =
+    match s.Ast.having with
+    | None -> Ok None
+    | Some h ->
+        let* bound = bind_having parts aggs h in
+        Ok (Some bound)
+  in
+  match group_by, aggs with
+  | _ when exprs <> [] && (group_by <> [] || aggs <> []) ->
+      Error
+        "scalar expressions in the SELECT list are not supported together \
+         with GROUP BY or aggregates"
+  | [], [] when exprs <> [] ->
+      (* keep the SELECT-list order: columns become identity items *)
+      let items =
+        List.map
+          (function
+            | `Col c -> (c, Expr.Col c)
+            | `Expr (n, e) -> (n, e)
+            | `Agg _ -> assert false)
+          classified
+      in
+      Ok
+        (Computed
+           { sources = parts.sources; where; items; distinct = s.Ast.distinct })
+  | [], [] ->
+      Ok
+        (Simple
+           { sources = parts.sources; where; cols; distinct = s.Ast.distinct })
+  | [], _ ->
+      if cols <> [] then
+        Error
+          "SELECT mixes aggregates and plain columns without GROUP BY"
+      else Ok (Scalar { sources = parts.sources; where; aggs })
+  | _, _ ->
+      Ok
+        (Grouped
+           {
+             Canonical.sources = parts.sources;
+             where;
+             group_by;
+             select_cols = cols;
+             select_aggs = aggs;
+             select_distinct = s.Ast.distinct;
+             select_having = having;
+             r1_hint = [];
+           })
+
+(* ---------------- ORDER BY ---------------- *)
+
+let output_columns (q : bound_query) : Colref.t list =
+  match q with
+  | Simple { cols; _ } -> cols
+  | Computed { items; _ } -> List.map fst items
+  | Scalar { aggs; _ } -> List.map (fun (a : Agg.t) -> a.Agg.name) aggs
+  | Grouped input ->
+      input.Canonical.select_cols
+      @ List.map (fun (a : Agg.t) -> a.Agg.name) input.Canonical.select_aggs
+
+let bind_order (q : bound_query) order :
+    ((Colref.t * bool) list, string) result =
+  let outputs = output_columns q in
+  let resolve (qual, name) =
+    let hits =
+      List.filter
+        (fun (c : Colref.t) ->
+          String.equal c.Colref.name name
+          && match qual with Some r -> String.equal c.Colref.rel r | None -> true)
+        outputs
+    in
+    match hits with
+    | [ c ] -> Ok c
+    | [] ->
+        Error
+          (Printf.sprintf "ORDER BY column %s%s is not an output column"
+             (match qual with Some r -> r ^ "." | None -> "")
+             name)
+    | _ -> Error (Printf.sprintf "ambiguous ORDER BY column %s" name)
+  in
+  result_map
+    (fun (col, desc) ->
+      let* c = resolve col in
+      Ok (c, desc))
+    order
+
+let apply_order order plan = Plan.sort order plan
+
+(* ---------------- plans ---------------- *)
+
+let to_plan db (q : bound_query) : (Plan.t, string) result =
+  match q with
+  | Simple { sources; where; cols; distinct } ->
+      if sources = [] then Error "empty FROM clause"
+      else
+        let tree = Plans.join_tree db sources (Expr.conjuncts where) in
+        Ok (Plan.project ~dedup:distinct cols tree)
+  | Computed { sources; where; items; distinct } ->
+      if sources = [] then Error "empty FROM clause"
+      else begin
+        let tree = Plans.join_tree db sources (Expr.conjuncts where) in
+        let mapped = Plan.map_items items tree in
+        Ok
+          (if distinct then
+             Plan.project ~dedup:true (List.map fst items) mapped
+           else mapped)
+      end
+  | Scalar { sources; where; aggs } ->
+      let tree = Plans.join_tree db sources (Expr.conjuncts where) in
+      Ok (Plan.group ~scalar:true ~by:[] ~aggs tree)
+  | Grouped input -> (
+      (* Even queries outside the canonical class (e.g. aggregates on every
+         table) are executable: build the straightforward plan directly. *)
+      match Canonical.of_input db input with
+      | Ok q -> Ok (Plans.e1 db q)
+      | Error _ ->
+          let tree =
+            Plans.join_tree db input.Canonical.sources
+              (Expr.conjuncts input.Canonical.where)
+          in
+          let grouped =
+            Plan.group ~by:input.Canonical.group_by
+              ~aggs:input.Canonical.select_aggs tree
+          in
+          let filtered =
+            match input.Canonical.select_having with
+            | None -> grouped
+            | Some h -> Plan.select h grouped
+          in
+          let cols =
+            input.Canonical.select_cols
+            @ List.map (fun (a : Agg.t) -> a.Agg.name) input.Canonical.select_aggs
+          in
+          Ok (Plan.project ~dedup:input.Canonical.select_distinct cols filtered))
+
+(* ---------------- statements ---------------- *)
+
+let bind_create_table db name items : (Table_def.t, string) result =
+  let* columns =
+    result_map
+      (fun item ->
+        match item with
+        | Ast.It_column { name = cname; ty; constraints = _ } ->
+            let* ctype, domain = bind_type db ty in
+            Ok [ { Table_def.cname; ctype; domain } ]
+        | _ -> Ok [])
+      items
+    |> Result.map List.concat
+  in
+  let col_env : env =
+    [ ("", Schema.make (List.map (fun (c : Table_def.column_def) ->
+          (Colref.make "" c.Table_def.cname, c.Table_def.ctype)) columns)) ]
+  in
+  let bind_check e =
+    (* CHECK expressions reference the table's own columns, unqualified *)
+    bind_expr col_env e
+  in
+  let* constraints =
+    result_map
+      (fun item ->
+        match item with
+        | Ast.It_column { name = cname; constraints; _ } ->
+            result_map
+              (fun c ->
+                match c with
+                | Ast.Cc_not_null -> Ok (Constr.Not_null cname)
+                | Ast.Cc_unique -> Ok (Constr.Unique [ cname ])
+                | Ast.Cc_primary -> Ok (Constr.Primary_key [ cname ])
+                | Ast.Cc_check e ->
+                    let* e = bind_check e in
+                    Ok (Constr.Check e)
+                | Ast.Cc_references (t, cols) ->
+                    let ref_cols = if cols = [] then [ cname ] else cols in
+                    Ok
+                      (Constr.Foreign_key
+                         { cols = [ cname ]; ref_table = t; ref_cols }))
+              constraints
+        | Ast.It_primary cols -> Ok [ Constr.Primary_key cols ]
+        | Ast.It_unique cols -> Ok [ Constr.Unique cols ]
+        | Ast.It_check e ->
+            let* e = bind_check e in
+            Ok [ Constr.Check e ]
+        | Ast.It_foreign { cols; ref_table; ref_cols } ->
+            let ref_cols = if ref_cols = [] then cols else ref_cols in
+            Ok [ Constr.Foreign_key { cols; ref_table; ref_cols } ])
+      items
+    |> Result.map List.concat
+  in
+  match Table_def.make name columns constraints with
+  | td -> Ok td
+  | exception Failure msg -> Error msg
+
+let literal_value (e : Ast.texpr) : (Value.t, string) result =
+  let* bound = bind_expr [] e in
+  match Expr.eval (Schema.make []) bound [||] with
+  | v -> Ok v
+  | exception Failure msg -> Error msg
+
+let exec_statement db (stmt : Ast.statement) : (outcome, string) result =
+  match stmt with
+  | Ast.S_create_table (name, items) -> (
+      let* td = bind_create_table db name items in
+      match Database.create_table db td with
+      | () -> Ok (Created (Printf.sprintf "table %s created" name))
+      | exception Failure msg -> Error msg)
+  | Ast.S_create_domain (name, ty, check) -> (
+      let* dtype, domain = bind_type db ty in
+      let* () =
+        if domain <> None then Error "domains cannot be defined over domains"
+        else Ok ()
+      in
+      let* dcheck =
+        match check with
+        | None -> Ok None
+        | Some e ->
+            (* the pseudo-column VALUE, unqualified *)
+            let env : env =
+              [ ("", Schema.make [ (Colref.make "" "VALUE", dtype) ]) ]
+            in
+            let* e = bind_expr env e in
+            Ok (Some e)
+      in
+      match
+        Database.create_domain db { Catalog.dname = name; dtype; dcheck }
+      with
+      | () -> Ok (Created (Printf.sprintf "domain %s created" name))
+      | exception Failure msg -> Error msg)
+  | Ast.S_create_view { name; body_sql; body } -> (
+      (* validate that the body binds *)
+      let* _ = bind_select db body in
+      match
+        Database.create_view db { Catalog.vname = name; vsql = body_sql }
+      with
+      | () -> Ok (Created (Printf.sprintf "view %s created" name))
+      | exception Failure msg -> Error msg)
+  | Ast.S_insert (name, rows) ->
+      let* n =
+        List.fold_left
+          (fun acc row ->
+            let* n = acc in
+            let* values = result_map literal_value row in
+            let* () = Database.insert db name values in
+            Ok (n + 1))
+          (Ok 0) rows
+      in
+      Ok (Inserted n)
+  | Ast.S_create_index { name; table; cols } ->
+      let* () = Database.create_index db ~name ~table ~cols in
+      Ok (Created (Printf.sprintf "index %s created" name))
+  | Ast.S_update { table; set; where } ->
+      let* env =
+        match schema_of_table db table table with
+        | Ok schema -> Ok [ (table, schema) ]
+        | Error msg -> Error msg
+      in
+      let* set =
+        result_map
+          (fun (c, e) ->
+            let* e = bind_expr env e in
+            Ok (c, e))
+          set
+      in
+      let* where =
+        match where with
+        | None -> Ok Expr.etrue
+        | Some w -> bind_expr env w
+      in
+      let* n = Database.update db table ~set ~where () in
+      Ok (Updated n)
+  | Ast.S_delete { table; where } ->
+      let* env =
+        match schema_of_table db table table with
+        | Ok schema -> Ok [ (table, schema) ]
+        | Error msg -> Error msg
+      in
+      let* where =
+        match where with
+        | None -> Ok Expr.etrue
+        | Some w -> bind_expr env w
+      in
+      let* n = Database.delete db table ~where () in
+      Ok (Deleted n)
+  | Ast.S_select s ->
+      let* q = bind_select db s in
+      let* order = bind_order q s.Ast.order_by in
+      Ok (Query (q, order))
+  | Ast.S_explain { analyze; body } ->
+      let* q = bind_select db body in
+      let* order = bind_order q body.Ast.order_by in
+      Ok (Explained (q, order, analyze))
+
+let parse_script_safe src =
+  match Parser.parse_script src with
+  | s -> Ok s
+  | exception Parser.Parse_error msg -> Error msg
+  | exception Lexer.Lex_error msg -> Error msg
+
+let run_script db src : (outcome list, string) result =
+  let* stmts = parse_script_safe src in
+  result_map (exec_statement db) stmts
+
+let run_script_with db src ~f : (unit, string) result =
+  let* stmts = parse_script_safe src in
+  List.fold_left
+    (fun acc stmt ->
+      let* () = acc in
+      let* outcome = exec_statement db stmt in
+      f outcome;
+      Ok ())
+    (Ok ()) stmts

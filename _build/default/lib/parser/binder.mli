@@ -1,0 +1,82 @@
+(** Name resolution and semantic analysis: AST → catalog objects, bound
+    queries and executable actions.
+
+    Simple (non-aggregated) views are inlined into the FROM clause; their
+    inner range variables are re-qualified as [<alias>_<inner rel>].
+    Aggregated views in a FROM clause are rejected with a pointer to the
+    Section 8 flattening (module [Eager_core.Reverse]) — merging them
+    automatically is exactly the reverse transformation, which the caller
+    must opt into by writing the flattened query. *)
+
+open Eager_schema
+open Eager_expr
+open Eager_storage
+open Eager_core
+open Eager_algebra
+
+type bound_query =
+  | Grouped of Canonical.input
+      (** has GROUP BY — candidate for the transformation *)
+  | Scalar of {
+      sources : Canonical.source list;
+      where : Expr.t;
+      aggs : Agg.t list;
+    }  (** aggregates without GROUP BY: one output row *)
+  | Simple of {
+      sources : Canonical.source list;
+      where : Expr.t;
+      cols : Colref.t list;
+      distinct : bool;
+    }
+  | Computed of {
+      sources : Canonical.source list;
+      where : Expr.t;
+      items : (Colref.t * Expr.t) list;
+          (** at least one SELECT item is a scalar expression *)
+      distinct : bool;
+    }
+
+type outcome =
+  | Created of string  (** DDL succeeded; message *)
+  | Inserted of int  (** number of rows *)
+  | Updated of int
+  | Deleted of int
+  | Query of bound_query * (Colref.t * bool) list
+      (** query plus its resolved ORDER BY (empty when none) *)
+  | Explained of bound_query * (Colref.t * bool) list * bool
+      (** the flag is EXPLAIN ANALYZE: the consumer should also execute the
+          plan and report actual cardinalities *)
+
+val bind_select : Database.t -> Ast.select_ast -> (bound_query, string) result
+
+val to_plan : Database.t -> bound_query -> (Plan.t, string) result
+(** The straightforward (lazy) plan for any bound query. *)
+
+val output_columns : bound_query -> Colref.t list
+(** The query's output columns, in SELECT order (aggregate outputs carry an
+    empty range variable). *)
+
+val bind_order :
+  bound_query ->
+  ((string option * string) * bool) list ->
+  ((Colref.t * bool) list, string) result
+(** Resolve an ORDER BY list against the query's output columns. *)
+
+val apply_order : (Colref.t * bool) list -> Plan.t -> Plan.t
+
+val exec_statement : Database.t -> Ast.statement -> (outcome, string) result
+(** Applies DDL/DML side effects to [db]; queries are returned bound but
+    not executed. *)
+
+val run_script : Database.t -> string -> (outcome list, string) result
+(** Parse and execute every statement in the script, collecting the
+    outcomes.  Caveat: [Query]/[Explained] outcomes carry {i bound but
+    unexecuted} queries — if the caller executes them after this returns,
+    they observe the database state at the {i end} of the script.  Scripts
+    that interleave SELECTs with DML should use {!run_script_with}. *)
+
+val run_script_with :
+  Database.t -> string -> f:(outcome -> unit) -> (unit, string) result
+(** Like {!run_script} but invokes [f] on each outcome immediately after
+    its statement executes, so a consumer that runs queries inside [f]
+    observes the database state at that point of the script. *)

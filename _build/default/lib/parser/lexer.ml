@@ -1,0 +1,143 @@
+type token =
+  | Tident of string
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tparam of string
+  | Tsym of string
+  | Teof
+
+exception Lex_error of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let read_while p =
+    let start = !pos in
+    while !pos < n && p src.[!pos] do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let rec skip_ws_and_comments () =
+    (match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws_and_comments ()
+    | Some '-' when !pos + 1 < n && src.[!pos + 1] = '-' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_ws_and_comments ()
+    | _ -> ())
+  in
+  let read_string () =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Lex_error "unterminated string literal")
+      | Some '\'' ->
+          advance ();
+          (* '' escapes a quote *)
+          if peek () = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            advance ();
+            go ()
+          end
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_number () =
+    let whole = read_while is_digit in
+    if peek () = Some '.' && !pos + 1 < n && is_digit src.[!pos + 1] then begin
+      advance ();
+      let frac = read_while is_digit in
+      Tfloat (float_of_string (whole ^ "." ^ frac))
+    end
+    else Tint (int_of_string whole)
+  in
+  let rec loop () =
+    skip_ws_and_comments ();
+    match peek () with
+    | None -> ()
+    | Some c when is_ident_start c ->
+        emit (Tident (read_while is_ident_char));
+        loop ()
+    | Some c when is_digit c ->
+        emit (read_number ());
+        loop ()
+    | Some '\'' ->
+        emit (Tstring (read_string ()));
+        loop ()
+    | Some '"' ->
+        (* delimited identifier *)
+        advance ();
+        let ident = read_while (fun c -> c <> '"') in
+        if peek () <> Some '"' then raise (Lex_error "unterminated identifier");
+        advance ();
+        emit (Tident ident);
+        loop ()
+    | Some ':' ->
+        advance ();
+        let name = read_while is_ident_char in
+        if name = "" then raise (Lex_error "expected parameter name after ':'");
+        emit (Tparam name);
+        loop ()
+    | Some '<' ->
+        advance ();
+        (match peek () with
+        | Some '=' ->
+            advance ();
+            emit (Tsym "<=")
+        | Some '>' ->
+            advance ();
+            emit (Tsym "<>")
+        | _ -> emit (Tsym "<"));
+        loop ()
+    | Some '>' ->
+        advance ();
+        (match peek () with
+        | Some '=' ->
+            advance ();
+            emit (Tsym ">=")
+        | _ -> emit (Tsym ">"));
+        loop ()
+    | Some '!' ->
+        advance ();
+        if peek () = Some '=' then begin
+          advance ();
+          emit (Tsym "<>")
+        end
+        else raise (Lex_error "unexpected '!'");
+        loop ()
+    | Some (('(' | ')' | ',' | '.' | ';' | '=' | '+' | '-' | '*' | '/') as c) ->
+        advance ();
+        emit (Tsym (String.make 1 c));
+        loop ()
+    | Some c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  in
+  loop ();
+  List.rev (Teof :: !tokens)
+
+let token_to_string = function
+  | Tident s -> s
+  | Tint n -> string_of_int n
+  | Tfloat f -> string_of_float f
+  | Tstring s -> "'" ^ s ^ "'"
+  | Tparam p -> ":" ^ p
+  | Tsym s -> s
+  | Teof -> "<eof>"

@@ -1,0 +1,15 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | Tident of string  (** identifiers and keywords, case preserved *)
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string  (** contents of a ['...'] literal *)
+  | Tparam of string  (** [:name] *)
+  | Tsym of string  (** punctuation and operators *)
+  | Teof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+val token_to_string : token -> string

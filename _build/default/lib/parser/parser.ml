@@ -1,0 +1,581 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { toks : token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at %s)" msg (token_to_string (peek st))))
+
+let is_kw st kw =
+  match peek st with
+  | Tident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let accept_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then fail st (Printf.sprintf "expected %s" kw)
+
+let accept_sym st s =
+  match peek st with
+  | Tsym s' when s = s' ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_sym st s =
+  if not (accept_sym st s) then fail st (Printf.sprintf "expected '%s'" s)
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AS"; "AND"; "OR"; "NOT";
+    "NULL"; "IS"; "DISTINCT"; "ALL"; "CREATE"; "TABLE"; "DOMAIN"; "VIEW";
+    "INSERT"; "INTO"; "VALUES"; "PRIMARY"; "KEY"; "UNIQUE"; "CHECK";
+    "FOREIGN"; "REFERENCES"; "EXPLAIN"; "TRUE"; "FALSE"; "HAVING"; "ORDER";
+    "ASC"; "DESC"; "LIKE"; "BETWEEN"; "IN"; "UPDATE"; "SET"; "DELETE";
+    "INDEX"; "ON"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "ANALYZE";
+  ]
+
+let ident st =
+  match peek st with
+  | Tident s when not (List.mem (String.uppercase_ascii s) keywords) ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+let ident_list st =
+  let rec go acc =
+    let i = ident st in
+    if accept_sym st "," then go (i :: acc) else List.rev (i :: acc)
+  in
+  go []
+
+(* ---------------- expressions ---------------- *)
+
+let agg_names = [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG" ]
+
+let rec parse_or st =
+  let a = parse_and st in
+  if accept_kw st "OR" then Ast.E_bin ("OR", a, parse_or st) else a
+
+and parse_and st =
+  let a = parse_not st in
+  if accept_kw st "AND" then Ast.E_bin ("AND", a, parse_and st) else a
+
+and parse_not st =
+  if accept_kw st "NOT" then Ast.E_not (parse_not st) else parse_predicate st
+
+and parse_predicate st =
+  let a = parse_additive st in
+  (* the suffix predicates LIKE / BETWEEN / IN, possibly prefixed by NOT *)
+  let suffix negated =
+    if accept_kw st "LIKE" then begin
+      match peek st with
+      | Tstring pattern ->
+          advance st;
+          Some (Ast.E_like { negated; arg = a; pattern })
+      | _ -> fail st "LIKE expects a string literal pattern"
+    end
+    else if accept_kw st "BETWEEN" then begin
+      (* a BETWEEN lo AND hi  ≡  a >= lo AND a <= hi; the bounds are
+         additive expressions so the AND is unambiguous *)
+      let lo = parse_additive st in
+      expect_kw st "AND";
+      let hi = parse_additive st in
+      let between =
+        Ast.E_bin ("AND", Ast.E_bin (">=", a, lo), Ast.E_bin ("<=", a, hi))
+      in
+      Some (if negated then Ast.E_not between else between)
+    end
+    else if accept_kw st "IN" then begin
+      expect_sym st "(";
+      let rec go acc =
+        let e = parse_or st in
+        if accept_sym st "," then go (e :: acc) else List.rev (e :: acc)
+      in
+      let values = go [] in
+      expect_sym st ")";
+      (* a IN (v1, ..., vn)  ≡  a = v1 OR ... OR a = vn — exactly, in 3VL *)
+      let disj =
+        match List.map (fun v -> Ast.E_bin ("=", a, v)) values with
+        | [] -> fail st "IN requires at least one value"
+        | first :: rest ->
+            List.fold_left (fun acc e -> Ast.E_bin ("OR", acc, e)) first rest
+      in
+      Some (if negated then Ast.E_not disj else disj)
+    end
+    else None
+  in
+  match peek st with
+  | Tsym (("=" | "<>" | "<" | "<=" | ">" | ">=") as op) ->
+      advance st;
+      Ast.E_bin (op, a, parse_additive st)
+  | Tident s when String.uppercase_ascii s = "IS" ->
+      advance st;
+      let negated = accept_kw st "NOT" in
+      expect_kw st "NULL";
+      Ast.E_is_null { negated; arg = a }
+  | Tident s
+    when String.uppercase_ascii s = "NOT"
+         && (match st.toks.(st.pos + 1) with
+            | Tident k ->
+                List.mem (String.uppercase_ascii k) [ "LIKE"; "BETWEEN"; "IN" ]
+            | _ -> false) -> (
+      advance st;
+      match suffix true with Some e -> e | None -> fail st "expected predicate")
+  | _ -> ( match suffix false with Some e -> e | None -> a)
+
+and parse_additive st =
+  let rec go a =
+    if accept_sym st "+" then go (Ast.E_bin ("+", a, parse_multiplicative st))
+    else if accept_sym st "-" then
+      go (Ast.E_bin ("-", a, parse_multiplicative st))
+    else a
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go a =
+    if accept_sym st "*" then go (Ast.E_bin ("*", a, parse_unary st))
+    else if accept_sym st "/" then go (Ast.E_bin ("/", a, parse_unary st))
+    else a
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if accept_sym st "-" then Ast.E_neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Tint n ->
+      advance st;
+      Ast.E_int n
+  | Tfloat f ->
+      advance st;
+      Ast.E_float f
+  | Tstring s ->
+      advance st;
+      Ast.E_str s
+  | Tparam p ->
+      advance st;
+      Ast.E_param p
+  | Tsym "(" ->
+      advance st;
+      let e = parse_or st in
+      expect_sym st ")";
+      e
+  | Tident s when String.uppercase_ascii s = "CASE" ->
+      advance st;
+      let rec whens acc =
+        if accept_kw st "WHEN" then begin
+          let c = parse_or st in
+          expect_kw st "THEN";
+          let v = parse_or st in
+          whens ((c, v) :: acc)
+        end
+        else List.rev acc
+      in
+      let branches = whens [] in
+      if branches = [] then fail st "CASE needs at least one WHEN";
+      let else_ = if accept_kw st "ELSE" then Some (parse_or st) else None in
+      expect_kw st "END";
+      Ast.E_case { branches; else_ }
+  | Tident s when String.uppercase_ascii s = "NULL" ->
+      advance st;
+      Ast.E_null
+  | Tident s when String.uppercase_ascii s = "TRUE" ->
+      advance st;
+      Ast.E_bool true
+  | Tident s when String.uppercase_ascii s = "FALSE" ->
+      advance st;
+      Ast.E_bool false
+  | Tident s when List.mem (String.uppercase_ascii s) agg_names -> (
+      advance st;
+      match peek st with
+      | Tsym "(" ->
+          advance st;
+          let fname = String.uppercase_ascii s in
+          let fname =
+            (* COUNT(DISTINCT e) *)
+            if fname = "COUNT" && accept_kw st "DISTINCT" then
+              "COUNT_DISTINCT"
+            else fname
+          in
+          let args =
+            if accept_sym st "*" then [ Ast.E_star ]
+            else
+              let rec go acc =
+                let e = parse_or st in
+                if accept_sym st "," then go (e :: acc)
+                else List.rev (e :: acc)
+              in
+              go []
+          in
+          expect_sym st ")";
+          Ast.E_call (fname, args)
+      | _ -> parse_column_rest st s)
+  | Tident s when not (List.mem (String.uppercase_ascii s) keywords) ->
+      advance st;
+      parse_column_rest st s
+  | _ -> fail st "expected expression"
+
+and parse_column_rest st first =
+  if accept_sym st "." then
+    let col = ident st in
+    Ast.E_col (Some first, col)
+  else Ast.E_col (None, first)
+
+(* ---------------- SELECT ---------------- *)
+
+let parse_select_body st : Ast.select_ast =
+  expect_kw st "SELECT";
+  let distinct =
+    if accept_kw st "DISTINCT" then true
+    else begin
+      ignore (accept_kw st "ALL");
+      false
+    end
+  in
+  let parse_item () =
+    let e = parse_or st in
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | Tident s
+          when not (List.mem (String.uppercase_ascii s) keywords) ->
+            advance st;
+            Some s
+        | _ -> None
+    in
+    (e, alias)
+  in
+  let rec items acc =
+    let it = parse_item () in
+    if accept_sym st "," then items (it :: acc) else List.rev (it :: acc)
+  in
+  let items = items [] in
+  expect_kw st "FROM";
+  let parse_from () =
+    let t = ident st in
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | Tident s
+          when not (List.mem (String.uppercase_ascii s) keywords) ->
+            advance st;
+            Some s
+        | _ -> None
+    in
+    (t, alias)
+  in
+  let rec froms acc =
+    let f = parse_from () in
+    if accept_sym st "," then froms (f :: acc) else List.rev (f :: acc)
+  in
+  let from = froms [] in
+  let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let parse_gcol () =
+        let a = ident st in
+        if accept_sym st "." then (Some a, ident st) else (None, a)
+      in
+      let rec go acc =
+        let c = parse_gcol () in
+        if accept_sym st "," then go (c :: acc) else List.rev (c :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_or st) else None in
+  if having <> None && group_by = [] then
+    fail st "HAVING requires a GROUP BY clause";
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let parse_ocol () =
+        let a = ident st in
+        let col = if accept_sym st "." then (Some a, ident st) else (None, a) in
+        let desc =
+          if accept_kw st "DESC" then true
+          else begin
+            ignore (accept_kw st "ASC");
+            false
+          end
+        in
+        (col, desc)
+      in
+      let rec go acc =
+        let c = parse_ocol () in
+        if accept_sym st "," then go (c :: acc) else List.rev (c :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  { Ast.distinct; items; from; where; group_by; having; order_by }
+
+(* ---------------- DDL / DML ---------------- *)
+
+let parse_type st : Ast.type_ast =
+  let base = ident st in
+  (* CHARACTER VARYING / DOUBLE PRECISION style two-word types *)
+  let base =
+    match peek st with
+    | Tident s
+      when (not (List.mem (String.uppercase_ascii s) keywords))
+           && List.mem
+                (String.uppercase_ascii base ^ " " ^ String.uppercase_ascii s)
+                [ "CHARACTER VARYING"; "DOUBLE PRECISION" ] ->
+        advance st;
+        base ^ " " ^ s
+    | _ -> base
+  in
+  let arg =
+    if accept_sym st "(" then begin
+      let n = match peek st with
+        | Tint n ->
+            advance st;
+            n
+        | _ -> fail st "expected length"
+      in
+      expect_sym st ")";
+      Some n
+    end
+    else None
+  in
+  { Ast.tybase = base; tyarg = arg }
+
+let parse_col_constraints st =
+  let rec go acc =
+    if accept_kw st "NOT" then begin
+      expect_kw st "NULL";
+      go (Ast.Cc_not_null :: acc)
+    end
+    else if accept_kw st "UNIQUE" then go (Ast.Cc_unique :: acc)
+    else if accept_kw st "PRIMARY" then begin
+      expect_kw st "KEY";
+      go (Ast.Cc_primary :: acc)
+    end
+    else if accept_kw st "CHECK" then begin
+      expect_sym st "(";
+      let e = parse_or st in
+      expect_sym st ")";
+      go (Ast.Cc_check e :: acc)
+    end
+    else if accept_kw st "REFERENCES" then begin
+      let t = ident st in
+      let cols =
+        if accept_sym st "(" then begin
+          let l = ident_list st in
+          expect_sym st ")";
+          l
+        end
+        else []
+      in
+      go (Ast.Cc_references (t, cols) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let parse_table_item st : Ast.table_item =
+  if accept_kw st "PRIMARY" then begin
+    expect_kw st "KEY";
+    expect_sym st "(";
+    let cols = ident_list st in
+    expect_sym st ")";
+    Ast.It_primary cols
+  end
+  else if accept_kw st "UNIQUE" then begin
+    expect_sym st "(";
+    let cols = ident_list st in
+    expect_sym st ")";
+    Ast.It_unique cols
+  end
+  else if accept_kw st "CHECK" then begin
+    expect_sym st "(";
+    let e = parse_or st in
+    expect_sym st ")";
+    Ast.It_check e
+  end
+  else if accept_kw st "FOREIGN" then begin
+    expect_kw st "KEY";
+    expect_sym st "(";
+    let cols = ident_list st in
+    expect_sym st ")";
+    expect_kw st "REFERENCES";
+    let t = ident st in
+    let ref_cols =
+      if accept_sym st "(" then begin
+        let l = ident_list st in
+        expect_sym st ")";
+        l
+      end
+      else []
+    in
+    Ast.It_foreign { cols; ref_table = t; ref_cols }
+  end
+  else begin
+    let name = ident st in
+    let ty = parse_type st in
+    let constraints = parse_col_constraints st in
+    Ast.It_column { name; ty; constraints }
+  end
+
+let parse_statement_at st : Ast.statement =
+  if accept_kw st "CREATE" then begin
+    if accept_kw st "TABLE" then begin
+      let name = ident st in
+      expect_sym st "(";
+      let rec go acc =
+        let item = parse_table_item st in
+        if accept_sym st "," then go (item :: acc) else List.rev (item :: acc)
+      in
+      let items = go [] in
+      expect_sym st ")";
+      Ast.S_create_table (name, items)
+    end
+    else if accept_kw st "DOMAIN" then begin
+      let name = ident st in
+      let ty = parse_type st in
+      let check =
+        if accept_kw st "CHECK" then
+          (* the paper writes both CHECK (expr) and bare CHECK expr *)
+          if accept_sym st "(" then begin
+            let e = parse_or st in
+            expect_sym st ")";
+            Some e
+          end
+          else Some (parse_or st)
+        else None
+      in
+      Ast.S_create_domain (name, ty, check)
+    end
+    else if accept_kw st "VIEW" then begin
+      let name = ident st in
+      (* optional column list is not supported: views rename via AS *)
+      expect_kw st "AS";
+      let body = parse_select_body st in
+      Ast.S_create_view
+        { name; body_sql = Ast.select_to_string body; body }
+    end
+    else if accept_kw st "INDEX" then begin
+      let name = ident st in
+      expect_kw st "ON";
+      let table = ident st in
+      expect_sym st "(";
+      let cols = ident_list st in
+      expect_sym st ")";
+      Ast.S_create_index { name; table; cols }
+    end
+    else fail st "expected TABLE, DOMAIN, VIEW or INDEX after CREATE"
+  end
+  else if accept_kw st "INSERT" then begin
+    expect_kw st "INTO";
+    let name = ident st in
+    expect_kw st "VALUES";
+    let parse_row () =
+      expect_sym st "(";
+      let rec go acc =
+        let e = parse_or st in
+        if accept_sym st "," then go (e :: acc) else List.rev (e :: acc)
+      in
+      let row = go [] in
+      expect_sym st ")";
+      row
+    in
+    let rec rows acc =
+      let r = parse_row () in
+      if accept_sym st "," then rows (r :: acc) else List.rev (r :: acc)
+    in
+    Ast.S_insert (name, rows [])
+  end
+  else if accept_kw st "UPDATE" then begin
+    let table = ident st in
+    expect_kw st "SET";
+    let parse_assign () =
+      let c = ident st in
+      expect_sym st "=";
+      let e = parse_or st in
+      (c, e)
+    in
+    let rec assigns acc =
+      let a = parse_assign () in
+      if accept_sym st "," then assigns (a :: acc) else List.rev (a :: acc)
+    in
+    let set = assigns [] in
+    let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+    Ast.S_update { table; set; where }
+  end
+  else if accept_kw st "DELETE" then begin
+    expect_kw st "FROM";
+    let table = ident st in
+    let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+    Ast.S_delete { table; where }
+  end
+  else if accept_kw st "EXPLAIN" then begin
+    let analyze = accept_kw st "ANALYZE" in
+    Ast.S_explain { analyze; body = parse_select_body st }
+  end
+  else if is_kw st "SELECT" then Ast.S_select (parse_select_body st)
+  else fail st "expected a statement"
+
+let of_string src = { toks = Array.of_list (tokenize src); pos = 0 }
+
+let expect_eof st =
+  match peek st with
+  | Teof -> ()
+  | _ -> fail st "trailing tokens after statement"
+
+let parse_statement src =
+  let st = of_string src in
+  let s = parse_statement_at st in
+  ignore (accept_sym st ";");
+  expect_eof st;
+  s
+
+let parse_script src =
+  let st = of_string src in
+  let rec go acc =
+    match peek st with
+    | Teof -> List.rev acc
+    | Tsym ";" ->
+        advance st;
+        go acc
+    | _ ->
+        let s = parse_statement_at st in
+        (match peek st with
+        | Tsym ";" | Teof -> ()
+        | _ -> fail st "expected ';' between statements");
+        go (s :: acc)
+  in
+  go []
+
+let parse_select src =
+  let st = of_string src in
+  let s = parse_select_body st in
+  ignore (accept_sym st ";");
+  expect_eof st;
+  s
+
+let parse_expr src =
+  let st = of_string src in
+  let e = parse_or st in
+  expect_eof st;
+  e

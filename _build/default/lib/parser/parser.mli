@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Supported statements: CREATE TABLE (with column/table constraints),
+    CREATE DOMAIN (with CHECK), CREATE VIEW, INSERT ... VALUES,
+    SELECT [ALL|DISTINCT] ... FROM ... [WHERE ...] [GROUP BY ...],
+    and EXPLAIN SELECT.  Keywords are case-insensitive. *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Ast.statement
+val parse_script : string -> Ast.statement list
+(** Statements separated by [;]; [--] line comments allowed. *)
+
+val parse_select : string -> Ast.select_ast
+val parse_expr : string -> Ast.texpr

@@ -1,0 +1,268 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* DDL generation *)
+
+let type_sql (c : Table_def.column_def) =
+  match c.Table_def.domain with
+  | Some d -> d
+  | None -> (
+      match c.Table_def.ctype with
+      | Ctype.Int -> "INTEGER"
+      | Ctype.Float -> "FLOAT"
+      | Ctype.String -> "VARCHAR(255)"
+      | Ctype.Bool -> "BOOLEAN")
+
+let ddl_of_domain (d : Catalog.domain_def) =
+  let base =
+    match d.Catalog.dtype with
+    | Ctype.Int -> "INTEGER"
+    | Ctype.Float -> "FLOAT"
+    | Ctype.String -> "VARCHAR(255)"
+    | Ctype.Bool -> "BOOLEAN"
+  in
+  match d.Catalog.dcheck with
+  | None -> Printf.sprintf "CREATE DOMAIN %s %s;" d.Catalog.dname base
+  | Some e ->
+      Printf.sprintf "CREATE DOMAIN %s %s CHECK (%s);" d.Catalog.dname base
+        (Expr.to_string e)
+
+let ddl_of_table (td : Table_def.t) =
+  let cols =
+    List.map
+      (fun (c : Table_def.column_def) ->
+        Printf.sprintf "  %s %s" c.Table_def.cname (type_sql c))
+      td.Table_def.columns
+  in
+  let constraints =
+    List.map
+      (fun c ->
+        match c with
+        | Constr.Primary_key k ->
+            Printf.sprintf "  PRIMARY KEY (%s)" (String.concat ", " k)
+        | Constr.Unique k ->
+            Printf.sprintf "  UNIQUE (%s)" (String.concat ", " k)
+        | Constr.Not_null col -> Printf.sprintf "  %s NOT NULL" col
+        | Constr.Check e ->
+            Printf.sprintf "  CHECK (%s)" (Expr.to_string e)
+        | Constr.Foreign_key { cols; ref_table; ref_cols } ->
+            Printf.sprintf "  FOREIGN KEY (%s) REFERENCES %s (%s)"
+              (String.concat ", " cols) ref_table
+              (String.concat ", " ref_cols))
+      td.Table_def.constraints
+  in
+  (* NOT NULL is expressed as a column suffix in our grammar *)
+  let not_null_cols =
+    List.filter_map
+      (function Constr.Not_null c -> Some c | _ -> None)
+      td.Table_def.constraints
+  in
+  let cols =
+    List.map2
+      (fun line (c : Table_def.column_def) ->
+        if List.mem c.Table_def.cname not_null_cols then line ^ " NOT NULL"
+        else line)
+      cols td.Table_def.columns
+  in
+  let constraints =
+    List.filter
+      (fun line ->
+        (* drop the standalone NOT NULL lines now folded into columns *)
+        not
+          (List.exists
+             (fun c -> line = Printf.sprintf "  %s NOT NULL" c)
+             not_null_cols))
+      constraints
+  in
+  Printf.sprintf "CREATE TABLE %s (\n%s);" td.Table_def.tname
+    (String.concat ",\n" (cols @ constraints))
+
+let ddl_of_view (v : Catalog.view_def) =
+  Printf.sprintf "CREATE VIEW %s AS %s;" v.Catalog.vname v.Catalog.vsql
+
+let ddl_of_index (i : Catalog.index_def) =
+  Printf.sprintf "CREATE INDEX %s ON %s (%s);" i.Catalog.iname
+    i.Catalog.itable
+    (String.concat ", " i.Catalog.icols)
+
+let ddl_of_database db =
+  let cat = Database.catalog db in
+  String.concat "\n"
+    (List.map ddl_of_domain (Catalog.domains cat)
+    @ List.map ddl_of_table (Catalog.tables cat)
+    @ List.map ddl_of_view (Catalog.views cat)
+    @ List.map ddl_of_index (Catalog.indexes cat))
+
+(* ------------------------------------------------------------------ *)
+(* CSV encoding *)
+
+let encode_value = function
+  | Value.Null -> "NULL"
+  | Value.Int n -> string_of_int n
+  | Value.Float f -> Printf.sprintf "%h" f
+  | Value.Bool b -> if b then "TRUE" else "FALSE"
+  | Value.Str s ->
+      if String.contains s '\n' then
+        failwith "cannot persist a string containing a newline";
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          if c = '"' then Buffer.add_string buf "\"\""
+          else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"';
+      Buffer.contents buf
+
+let encode_row row =
+  String.concat "," (Array.to_list (Array.map encode_value row))
+
+(* split one CSV line into raw fields, honouring quotes *)
+let split_fields line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let rec go i in_quotes =
+    if i >= n then begin
+      fields := Buffer.contents buf :: !fields;
+      Ok ()
+    end
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else begin
+            Buffer.add_char buf '"';
+            go (i + 1) false
+          end
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = ',' then begin
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) (c = '"')
+      end
+  in
+  let* () = go 0 false in
+  Ok (List.rev !fields)
+
+let decode_value raw : (Value.t, string) result =
+  let n = String.length raw in
+  if raw = "NULL" then Ok Value.Null
+  else if raw = "TRUE" then Ok (Value.Bool true)
+  else if raw = "FALSE" then Ok (Value.Bool false)
+  else if n >= 2 && raw.[0] = '"' && raw.[n - 1] = '"' then
+    Ok (Value.Str (String.sub raw 1 (n - 2)))
+  else
+    match int_of_string_opt raw with
+    | Some i -> Ok (Value.Int i)
+    | None -> (
+        match float_of_string_opt raw with
+        | Some f -> Ok (Value.Float f)
+        | None -> Error (Printf.sprintf "cannot decode CSV field %S" raw))
+
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save db ~dir =
+  match
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    write_file (Filename.concat dir "schema.sql") (ddl_of_database db);
+    List.iter
+      (fun (td : Table_def.t) ->
+        let h = Database.heap db td.Table_def.tname in
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf (String.concat "," (Table_def.column_names td));
+        Buffer.add_char buf '\n';
+        Heap.iter
+          (fun row ->
+            Buffer.add_string buf (encode_row row);
+            Buffer.add_char buf '\n')
+          h;
+        write_file
+          (Filename.concat dir (td.Table_def.tname ^ ".csv"))
+          (Buffer.contents buf))
+      (Catalog.tables (Database.catalog db))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+  | exception Failure msg -> Error msg
+
+let load ~dir =
+  let db = Database.create () in
+  let schema_path = Filename.concat dir "schema.sql" in
+  if not (Sys.file_exists schema_path) then
+    Error (Printf.sprintf "%s not found" schema_path)
+  else begin
+    let* _ =
+      match Binder.run_script db (read_file schema_path) with
+      | Ok _ -> Ok ()
+      | Error msg -> Error ("schema.sql: " ^ msg)
+    in
+    let* () =
+      List.fold_left
+        (fun acc (td : Table_def.t) ->
+          let* () = acc in
+          let path = Filename.concat dir (td.Table_def.tname ^ ".csv") in
+          if not (Sys.file_exists path) then
+            Error (Printf.sprintf "%s not found" path)
+          else begin
+            let lines =
+              String.split_on_char '\n' (read_file path)
+              |> List.filter (fun l -> String.trim l <> "")
+            in
+            match lines with
+            | [] -> Error (Printf.sprintf "%s: missing header" path)
+            | _header :: rows ->
+                let h = Database.heap db td.Table_def.tname in
+                List.fold_left
+                  (fun acc line ->
+                    let* () = acc in
+                    let* fields = split_fields line in
+                    let* values =
+                      List.fold_left
+                        (fun acc f ->
+                          let* acc = acc in
+                          let* v = decode_value f in
+                          Ok (v :: acc))
+                        (Ok []) fields
+                      |> Result.map List.rev
+                    in
+                    (* trusted dump: straight into the heap *)
+                    match Heap.insert h (Array.of_list values) with
+                    | () -> Ok ()
+                    | exception Invalid_argument msg -> Error msg)
+                  (Ok ()) rows
+          end)
+        (Ok ())
+        (Catalog.tables (Database.catalog db))
+    in
+    Ok db
+  end

@@ -1,0 +1,22 @@
+(** Saving and restoring a database as a directory of files:
+
+    - [schema.sql] — CREATE DOMAIN / CREATE TABLE / CREATE VIEW statements,
+      regenerated from the catalog and re-parsed on load (so the persisted
+      schema is itself a test of the SQL round-trip);
+    - one [<table>.csv] per base table, with a header row.
+
+    CSV encoding: fields separated by commas; strings double-quoted with
+    [""] escaping; NULL is the bare token [NULL]; booleans are
+    [TRUE]/[FALSE].  Rows are loaded back through the raw heap (the dump is
+    trusted; constraints were enforced when the data was first inserted,
+    and re-checking FKs would impose a table ordering). *)
+
+open Eager_storage
+
+val save : Database.t -> dir:string -> (unit, string) result
+(** Creates [dir] if needed and overwrites its contents. *)
+
+val load : dir:string -> (Database.t, string) result
+
+val ddl_of_database : Database.t -> string
+(** The [schema.sql] text, exposed for tests. *)

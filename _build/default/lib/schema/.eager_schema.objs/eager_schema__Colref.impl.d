@@ -1,0 +1,1 @@
+lib/schema/colref.ml: Format Map Set String

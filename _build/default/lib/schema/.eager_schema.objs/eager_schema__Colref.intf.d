@@ -1,0 +1,1 @@
+lib/schema/colref.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/schema/ctype.ml: Eager_value Format Value

@@ -1,0 +1,1 @@
+lib/schema/ctype.mli: Eager_value Format

@@ -1,0 +1,1 @@
+lib/schema/row.ml: Array Eager_value Float Format String Value

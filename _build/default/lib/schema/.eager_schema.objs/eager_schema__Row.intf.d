@@ -1,0 +1,1 @@
+lib/schema/row.mli: Eager_value Format

@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Array Colref Ctype Format List Printf Seq String

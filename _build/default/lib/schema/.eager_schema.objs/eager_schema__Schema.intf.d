@@ -1,0 +1,1 @@
+lib/schema/schema.mli: Colref Ctype Format

@@ -1,0 +1,30 @@
+type t = { rel : string; name : string }
+
+let make rel name = { rel; name }
+let equal a b = String.equal a.rel b.rel && String.equal a.name b.name
+
+let compare a b =
+  match String.compare a.rel b.rel with
+  | 0 -> String.compare a.name b.name
+  | c -> c
+
+let to_string c = if c.rel = "" then c.name else c.rel ^ "." ^ c.name
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let set_of_list l = Set.of_list l
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp)
+    (Set.elements s)

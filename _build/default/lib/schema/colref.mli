@@ -1,0 +1,19 @@
+(** Qualified column references.
+
+    A column is identified by the (range-variable, column-name) pair, e.g.
+    [E.DeptID].  The range variable is the table alias introduced in the
+    FROM clause; after binding every column reference is fully qualified. *)
+
+type t = { rel : string; name : string }
+
+val make : string -> string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit

@@ -1,0 +1,22 @@
+open Eager_value
+
+type t = Int | Float | String | Bool
+
+let accepts ty (v : Value.t) =
+  match ty, v with
+  | _, Value.Null -> true
+  | Int, Value.Int _ -> true
+  | Float, (Value.Float _ | Value.Int _) -> true
+  | String, Value.Str _ -> true
+  | Bool, Value.Bool _ -> true
+  | _ -> false
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Int -> "INTEGER"
+  | Float -> "FLOAT"
+  | String -> "VARCHAR"
+  | Bool -> "BOOLEAN"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,12 @@
+(** Column types of the SQL subset. *)
+
+type t = Int | Float | String | Bool
+
+val accepts : t -> Eager_value.Value.t -> bool
+(** [accepts ty v] is true when [v] may be stored in a column of type [ty].
+    NULL is accepted by every type (nullability is a separate constraint);
+    [Int] values are accepted by [Float] columns. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

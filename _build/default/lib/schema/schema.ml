@@ -1,0 +1,58 @@
+type t = { arr : (Colref.t * Ctype.t) array; idx : int Colref.Map.t }
+
+let make l =
+  let arr = Array.of_list l in
+  let idx =
+    Array.to_seqi arr
+    |> Seq.fold_left
+         (fun m (i, (c, _)) ->
+           if Colref.Map.mem c m then
+             invalid_arg
+               (Printf.sprintf "Schema.make: duplicate column %s"
+                  (Colref.to_string c))
+           else Colref.Map.add c i m)
+         Colref.Map.empty
+  in
+  { arr; idx }
+
+let cols t = t.arr
+let arity t = Array.length t.arr
+let colrefs t = Array.to_list t.arr |> List.map fst
+let colset t = Colref.set_of_list (colrefs t)
+let index_of_opt t c = Colref.Map.find_opt c t.idx
+
+let index_of t c =
+  match index_of_opt t c with Some i -> i | None -> raise Not_found
+
+let find_name t name =
+  let hits =
+    Array.to_seqi t.arr
+    |> Seq.filter (fun (_, (c, _)) -> String.equal c.Colref.name name)
+    |> List.of_seq
+  in
+  match hits with
+  | [] -> None
+  | [ (i, (c, _)) ] -> Some (i, c)
+  | _ -> failwith (Printf.sprintf "ambiguous column name %s" name)
+
+let type_at t i = snd t.arr.(i)
+let type_of t c = type_at t (index_of t c)
+let indices t l = Array.of_list (List.map (index_of t) l)
+let concat a b = make (Array.to_list a.arr @ Array.to_list b.arr)
+
+let project t l =
+  make (List.map (fun c -> (c, type_of t c)) l)
+
+let mem t c = Colref.Map.mem c t.idx
+
+let rename_rel rel t =
+  make
+    (Array.to_list t.arr
+    |> List.map (fun (c, ty) -> (Colref.make rel c.Colref.name, ty)))
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (c, ty) -> Format.fprintf ppf "%a %a" Colref.pp c Ctype.pp ty))
+    (Array.to_list t.arr)

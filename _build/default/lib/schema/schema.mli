@@ -1,0 +1,35 @@
+(** A schema maps positions to typed, qualified columns. *)
+
+type t
+
+val make : (Colref.t * Ctype.t) list -> t
+(** Raises [Invalid_argument] on duplicate column references. *)
+
+val cols : t -> (Colref.t * Ctype.t) array
+val arity : t -> int
+val colrefs : t -> Colref.t list
+val colset : t -> Colref.Set.t
+
+val index_of : t -> Colref.t -> int
+(** Position of a fully-qualified column.  Raises [Not_found]. *)
+
+val index_of_opt : t -> Colref.t -> int option
+
+val find_name : t -> string -> (int * Colref.t) option
+(** Resolve an unqualified name.  Raises [Failure] when ambiguous. *)
+
+val type_at : t -> int -> Ctype.t
+val type_of : t -> Colref.t -> Ctype.t
+
+val indices : t -> Colref.t list -> int array
+(** Positions of the given columns, in the given order. *)
+
+val concat : t -> t -> t
+(** Schema of a product/join row: left columns then right columns. *)
+
+val project : t -> Colref.t list -> t
+val mem : t -> Colref.t -> bool
+val rename_rel : string -> t -> t
+(** Re-qualify every column with a new range variable. *)
+
+val pp : Format.formatter -> t -> unit

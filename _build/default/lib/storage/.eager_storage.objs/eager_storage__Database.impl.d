@@ -1,0 +1,1 @@
+lib/storage/database.ml: Array Catalog Colref Constr Ctype Eager_catalog Eager_expr Eager_schema Eager_value Expr Fun Hashtbl Heap List Printf Result Row Schema Stats String Table_def Tbool Value

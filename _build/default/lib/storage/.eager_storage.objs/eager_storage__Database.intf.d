@@ -1,0 +1,1 @@
+lib/storage/database.mli: Catalog Eager_catalog Eager_expr Eager_schema Eager_value Heap Stats Table_def Value

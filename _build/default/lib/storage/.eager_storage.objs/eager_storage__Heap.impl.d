@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Array Eager_schema List Printf Row Schema Seq

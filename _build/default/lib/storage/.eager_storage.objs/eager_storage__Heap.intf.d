@@ -1,0 +1,1 @@
+lib/storage/heap.mli: Eager_schema Row Schema Seq

@@ -1,0 +1,1 @@
+lib/storage/stats.ml: Array Eager_schema Eager_value Float Format Hashtbl Heap Row Schema Value

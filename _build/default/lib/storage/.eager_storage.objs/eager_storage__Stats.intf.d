@@ -1,0 +1,1 @@
+lib/storage/stats.mli: Colref Eager_schema Eager_value Format Heap Schema

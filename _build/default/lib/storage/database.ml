@@ -1,0 +1,482 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+
+(* Heaps are append-only between compactions, so key indexes are maintained
+   incrementally: [rows_seen] records how many rows have been folded in, and
+   a change in the heap's compaction counter forces a full rebuild. *)
+type key_index = {
+  mutable rows_seen : int;
+  mutable compactions_seen : int;
+  keys : (Value.t list, unit) Hashtbl.t;
+}
+
+(* secondary index: key values -> rows, maintained like [key_index] *)
+type sec_index = {
+  mutable s_rows_seen : int;
+  mutable s_compactions_seen : int;
+  entries : (Value.t list, Row.t) Hashtbl.t;
+}
+
+type t = {
+  mutable cat : Catalog.t;
+  heaps : (string, Heap.t) Hashtbl.t;
+  stats_cache : (string, int * Stats.t) Hashtbl.t;
+  (* (table, key columns) -> set of key values; used for FK lookups *)
+  key_indexes : (string * string list, key_index) Hashtbl.t;
+  sec_indexes : (string, sec_index) Hashtbl.t; (* by index name *)
+}
+
+let create () =
+  {
+    cat = Catalog.empty;
+    heaps = Hashtbl.create 16;
+    stats_cache = Hashtbl.create 16;
+    key_indexes = Hashtbl.create 16;
+    sec_indexes = Hashtbl.create 16;
+  }
+
+let catalog t = t.cat
+
+let create_table t td =
+  t.cat <- Catalog.add_table t.cat td;
+  Hashtbl.replace t.heaps td.Table_def.tname (Heap.create (Table_def.schema td))
+
+let create_domain t d = t.cat <- Catalog.add_domain t.cat d
+let create_view t v = t.cat <- Catalog.add_view t.cat v
+
+let heap_opt t name = Hashtbl.find_opt t.heaps name
+
+let heap t name =
+  match heap_opt t name with
+  | Some h -> h
+  | None -> failwith (Printf.sprintf "unknown table %s" name)
+
+let key_index t tname cols =
+  let h = heap t tname in
+  let key = (tname, List.map Colref.to_string cols) in
+  let idx =
+    match Hashtbl.find_opt t.key_indexes key with
+    | Some idx -> idx
+    | None ->
+        let idx =
+          { rows_seen = 0; compactions_seen = -1; keys = Hashtbl.create 256 }
+        in
+        Hashtbl.replace t.key_indexes key idx;
+        idx
+  in
+  if idx.compactions_seen <> Heap.compactions h then begin
+    Hashtbl.reset idx.keys;
+    idx.rows_seen <- 0;
+    idx.compactions_seen <- Heap.compactions h
+  end;
+  if idx.rows_seen < Heap.length h then begin
+    let idxs = Schema.indices (Heap.schema h) cols in
+    for i = idx.rows_seen to Heap.length h - 1 do
+      let row = Heap.get h i in
+      (* keys containing NULL never participate in matching *)
+      if Array.for_all (fun j -> not (Value.is_null row.(j))) idxs then
+        Hashtbl.replace idx.keys (Row.key_on idxs row) ()
+    done;
+    idx.rows_seen <- Heap.length h
+  end;
+  idx
+
+let check_types td values =
+  let rec go cols vs =
+    match cols, vs with
+    | [], [] -> Ok ()
+    | (c : Table_def.column_def) :: cols, v :: vs ->
+        if Ctype.accepts c.Table_def.ctype v then go cols vs
+        else
+          Error
+            (Printf.sprintf "column %s: value %s does not fit type %s"
+               c.Table_def.cname (Value.to_string v)
+               (Ctype.to_string c.Table_def.ctype))
+    | _ -> Error "arity mismatch"
+  in
+  go td.Table_def.columns values
+
+let insert t tname values =
+  let ( let* ) = Result.bind in
+  match Catalog.find_table t.cat tname with
+  | None -> Error (Printf.sprintf "unknown table %s" tname)
+  | Some td ->
+      let* () = check_types td values in
+      let h = heap t tname in
+      let schema = Heap.schema h in
+      let row = Array.of_list values in
+      (* NOT NULL: the row must provide a value *)
+      let* () =
+        List.fold_left
+          (fun acc cname ->
+            let* () = acc in
+            let i = Schema.index_of schema (Colref.make tname cname) in
+            if Value.is_null row.(i) then
+              Error (Printf.sprintf "column %s cannot be NULL" cname)
+            else Ok ())
+          (Ok ()) (Table_def.not_null td)
+      in
+      (* CHECK and domain constraints: SQL2 enforces "not false" — a check
+         that evaluates to unknown (via NULL) is satisfied *)
+      let checks = Catalog.check_predicates t.cat ~rel:tname td in
+      let* () =
+        List.fold_left
+          (fun acc e ->
+            let* () = acc in
+            if Tbool.possible (Expr.eval_pred schema e row) then Ok ()
+            else Error (Printf.sprintf "constraint violated: %s" (Expr.to_string e)))
+          (Ok ()) checks
+      in
+      (* key uniqueness *)
+      let* () =
+        List.fold_left
+          (fun acc key_cols ->
+            let* () = acc in
+            let cols = List.map (Colref.make tname) key_cols in
+            let idxs = Schema.indices schema cols in
+            let has_null = Array.exists (fun i -> Value.is_null row.(i)) idxs in
+            if has_null then Ok () (* UNIQUE: NULL ≠ NULL; PK nulls already rejected *)
+            else
+              let idx = key_index t tname cols in
+              let key = Row.key_on idxs row in
+              if Hashtbl.mem idx.keys key then
+                Error
+                  (Printf.sprintf "duplicate key (%s) for table %s"
+                     (String.concat ", " key_cols) tname)
+              else Ok ())
+          (Ok ()) (Table_def.keys td)
+      in
+      (* referential integrity *)
+      let* () =
+        List.fold_left
+          (fun acc c ->
+            let* () = acc in
+            match c with
+            | Constr.Foreign_key { cols; ref_table; ref_cols } ->
+                let idxs =
+                  Schema.indices schema (List.map (Colref.make tname) cols)
+                in
+                if Array.exists (fun i -> Value.is_null row.(i)) idxs then Ok ()
+                else begin
+                  match Catalog.find_table t.cat ref_table with
+                  | None -> Error (Printf.sprintf "unknown table %s" ref_table)
+                  | Some _ ->
+                      let ref_colrefs = List.map (Colref.make ref_table) ref_cols in
+                      let ridx = key_index t ref_table ref_colrefs in
+                      let key = Row.key_on idxs row in
+                      if Hashtbl.mem ridx.keys key then Ok ()
+                      else
+                        Error
+                          (Printf.sprintf
+                             "foreign key violation: %s not present in %s"
+                             (Row.to_string (Row.project idxs row))
+                             ref_table)
+                end
+            | _ -> Ok ())
+          (Ok ()) td.Table_def.constraints
+      in
+      Heap.insert h row;
+      Ok ()
+
+let insert_exn t tname values =
+  match insert t tname values with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "insert into %s: %s" tname msg)
+
+let load t tname rows = List.iter (insert_exn t tname) rows
+
+(* ------------------------------------------------------------------ *)
+(* secondary indexes *)
+
+let create_index t ~name ~table ~cols =
+  match Catalog.add_index t.cat { Catalog.iname = name; itable = table; icols = cols } with
+  | cat ->
+      t.cat <- cat;
+      Hashtbl.replace t.sec_indexes name
+        { s_rows_seen = 0; s_compactions_seen = -1; entries = Hashtbl.create 256 };
+      Ok ()
+  | exception Failure msg -> Error msg
+
+let find_equality_index t ~table ~col =
+  Catalog.indexes_on t.cat table
+  |> List.find_opt (fun (i : Catalog.index_def) -> i.Catalog.icols = [ col ])
+
+let refresh_sec_index t (def : Catalog.index_def) idx =
+  let h = heap t def.Catalog.itable in
+  if idx.s_compactions_seen <> Heap.compactions h then begin
+    Hashtbl.reset idx.entries;
+    idx.s_rows_seen <- 0;
+    idx.s_compactions_seen <- Heap.compactions h
+  end;
+  if idx.s_rows_seen < Heap.length h then begin
+    let idxs =
+      Schema.indices (Heap.schema h)
+        (List.map (Colref.make def.Catalog.itable) def.Catalog.icols)
+    in
+    for i = idx.s_rows_seen to Heap.length h - 1 do
+      let row = Heap.get h i in
+      (* NULL keys never participate in equality lookups *)
+      if Array.for_all (fun j -> not (Value.is_null row.(j))) idxs then
+        Hashtbl.add idx.entries (Row.key_on idxs row) row
+    done;
+    idx.s_rows_seen <- Heap.length h
+  end
+
+let index_lookup t (def : Catalog.index_def) values =
+  if List.exists Value.is_null values then []
+  else begin
+    let idx =
+      match Hashtbl.find_opt t.sec_indexes def.Catalog.iname with
+      | Some idx -> idx
+      | None ->
+          let idx =
+            { s_rows_seen = 0; s_compactions_seen = -1; entries = Hashtbl.create 256 }
+          in
+          Hashtbl.replace t.sec_indexes def.Catalog.iname idx;
+          idx
+    in
+    refresh_sec_index t def idx;
+    (* normalise via Row.key_on so Int/Float keys match the stored form *)
+    let key =
+      Row.key_on
+        (Array.init (List.length values) Fun.id)
+        (Array.of_list values)
+    in
+    Hashtbl.find_all idx.entries key
+  end
+
+(* ------------------------------------------------------------------ *)
+(* DELETE and UPDATE — enforced with NO ACTION referential semantics *)
+
+(* every FK constraint in the catalog that references [tname] *)
+let incoming_fks t tname =
+  List.concat_map
+    (fun (td : Table_def.t) ->
+      List.filter_map
+        (fun c ->
+          match c with
+          | Constr.Foreign_key { cols; ref_table; ref_cols }
+            when String.equal ref_table tname ->
+              Some (td, cols, ref_cols)
+          | _ -> None)
+        td.Table_def.constraints)
+    (Catalog.tables t.cat)
+
+(* do all non-NULL referencing keys among [rows] appear in [available]?
+   [rows] is passed explicitly so self-referencing tables can be checked
+   against their prospective state. *)
+let check_incoming t (referencer : Table_def.t) cols ~rows available =
+  let schema = Heap.schema (heap t referencer.Table_def.tname) in
+  let idxs =
+    Schema.indices schema
+      (List.map (Colref.make referencer.Table_def.tname) cols)
+  in
+  if
+    List.for_all
+      (fun row ->
+        Array.exists (fun i -> Value.is_null row.(i)) idxs
+        || Hashtbl.mem available (Row.key_on idxs row))
+      rows
+  then Ok ()
+  else
+    Error
+      (Printf.sprintf "rows in %s still reference deleted or changed keys"
+         referencer.Table_def.tname)
+
+let key_values_of schema cols rows =
+  let tbl = Hashtbl.create 64 in
+  let idxs = Schema.indices schema cols in
+  List.iter
+    (fun row ->
+      if Array.for_all (fun i -> not (Value.is_null row.(i))) idxs then
+        Hashtbl.replace tbl (Row.key_on idxs row) ())
+    rows;
+  tbl
+
+let delete t tname ?(params = Expr.no_params) ~where () =
+  let ( let* ) = Result.bind in
+  match Catalog.find_table t.cat tname with
+  | None -> Error (Printf.sprintf "unknown table %s" tname)
+  | Some _ ->
+      let h = heap t tname in
+      let schema = Heap.schema h in
+      let pred = Expr.compile_pred ~params schema where in
+      let doomed row = Tbool.holds (pred row) in
+      let remaining = List.filter (fun r -> not (doomed r)) (Heap.to_list h) in
+      (* referential integrity: NO ACTION — every incoming FK must still
+         resolve against the remaining rows *)
+      let* () =
+        List.fold_left
+          (fun acc ((referencer : Table_def.t), cols, ref_cols) ->
+            let* () = acc in
+            let available =
+              key_values_of schema
+                (List.map (Colref.make tname) ref_cols)
+                remaining
+            in
+            let rows =
+              if String.equal referencer.Table_def.tname tname then remaining
+              else Heap.to_list (heap t referencer.Table_def.tname)
+            in
+            check_incoming t referencer cols ~rows available)
+          (Ok ()) (incoming_fks t tname)
+      in
+      Ok (Heap.delete_where doomed h)
+
+let update t tname ?(params = Expr.no_params) ~set ~where () =
+  let ( let* ) = Result.bind in
+  match Catalog.find_table t.cat tname with
+  | None -> Error (Printf.sprintf "unknown table %s" tname)
+  | Some td ->
+      let h = heap t tname in
+      let schema = Heap.schema h in
+      let pred = Expr.compile_pred ~params schema where in
+      (* compile the assignments against the OLD row *)
+      let* assigns =
+        List.fold_left
+          (fun acc (cname, e) ->
+            let* acc = acc in
+            match Schema.index_of_opt schema (Colref.make tname cname) with
+            | None -> Error (Printf.sprintf "unknown column %s" cname)
+            | Some i -> Ok ((i, Expr.compile ~params schema e) :: acc))
+          (Ok []) set
+      in
+      let changed = ref 0 in
+      let new_rows =
+        List.map
+          (fun row ->
+            if Tbool.holds (pred row) then begin
+              incr changed;
+              let nr = Array.copy row in
+              List.iter (fun (i, f) -> nr.(i) <- f row) assigns;
+              nr
+            end
+            else row)
+          (Heap.to_list h)
+      in
+      (* validate the prospective state: per-row constraints *)
+      let checks = Catalog.check_predicates t.cat ~rel:tname td in
+      let not_null = Table_def.not_null td in
+      let* () =
+        List.fold_left
+          (fun acc row ->
+            let* () = acc in
+            let* () =
+              check_types td (Array.to_list row)
+            in
+            let* () =
+              List.fold_left
+                (fun acc cname ->
+                  let* () = acc in
+                  let i = Schema.index_of schema (Colref.make tname cname) in
+                  if Value.is_null row.(i) then
+                    Error (Printf.sprintf "column %s cannot be NULL" cname)
+                  else Ok ())
+                (Ok ()) not_null
+            in
+            List.fold_left
+              (fun acc e ->
+                let* () = acc in
+                if Tbool.possible (Expr.eval_pred schema e row) then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "constraint violated: %s" (Expr.to_string e)))
+              (Ok ()) checks)
+          (Ok ()) new_rows
+      in
+      (* key uniqueness over the whole prospective state *)
+      let* () =
+        List.fold_left
+          (fun acc key_cols ->
+            let* () = acc in
+            let idxs =
+              Schema.indices schema (List.map (Colref.make tname) key_cols)
+            in
+            let seen = Hashtbl.create 64 in
+            List.fold_left
+              (fun acc row ->
+                let* () = acc in
+                if Array.exists (fun i -> Value.is_null row.(i)) idxs then Ok ()
+                else
+                  let key = Row.key_on idxs row in
+                  if Hashtbl.mem seen key then
+                    Error
+                      (Printf.sprintf "duplicate key (%s) for table %s"
+                         (String.concat ", " key_cols) tname)
+                  else begin
+                    Hashtbl.add seen key ();
+                    Ok ()
+                  end)
+              (Ok ()) new_rows)
+          (Ok ()) (Table_def.keys td)
+      in
+      (* outgoing foreign keys of the updated rows *)
+      let* () =
+        List.fold_left
+          (fun acc c ->
+            let* () = acc in
+            match c with
+            | Constr.Foreign_key { cols; ref_table; ref_cols } ->
+                let idxs =
+                  Schema.indices schema (List.map (Colref.make tname) cols)
+                in
+                let available =
+                  if String.equal ref_table tname then
+                    (* self-reference: validate against the prospective state *)
+                    key_values_of schema
+                      (List.map (Colref.make tname) ref_cols)
+                      new_rows
+                  else
+                    (key_index t ref_table
+                       (List.map (Colref.make ref_table) ref_cols))
+                      .keys
+                in
+                List.fold_left
+                  (fun acc row ->
+                    let* () = acc in
+                    if Array.exists (fun i -> Value.is_null row.(i)) idxs then
+                      Ok ()
+                    else if Hashtbl.mem available (Row.key_on idxs row) then
+                      Ok ()
+                    else
+                      Error
+                        (Printf.sprintf
+                           "foreign key violation: %s not present in %s"
+                           (Row.to_string (Row.project idxs row))
+                           ref_table))
+                  (Ok ()) new_rows
+            | _ -> Ok ())
+          (Ok ()) td.Table_def.constraints
+      in
+      (* incoming foreign keys must still resolve against the new state *)
+      let* () =
+        List.fold_left
+          (fun acc ((referencer : Table_def.t), cols, ref_cols) ->
+            let* () = acc in
+            let available =
+              key_values_of schema
+                (List.map (Colref.make tname) ref_cols)
+                new_rows
+            in
+            let rows =
+              if String.equal referencer.Table_def.tname tname then new_rows
+              else Heap.to_list (heap t referencer.Table_def.tname)
+            in
+            check_incoming t referencer cols ~rows available)
+          (Ok ()) (incoming_fks t tname)
+      in
+      Heap.replace_all h new_rows;
+      Ok !changed
+
+let stats t tname =
+  let h = heap t tname in
+  match Hashtbl.find_opt t.stats_cache tname with
+  | Some (gen, s) when gen = Heap.generation h -> s
+  | _ ->
+      let s = Stats.collect h in
+      Hashtbl.replace t.stats_cache tname (Heap.generation h, s);
+      s
+
+let row_count t tname = Heap.length (heap t tname)

@@ -1,0 +1,73 @@
+(** A database instance: a catalog plus one heap per base table.
+
+    [insert] enforces the SQL2 constraints of the catalog — types, NOT NULL,
+    CHECK and domain checks, key uniqueness (primary keys reject NULL; UNIQUE
+    keys use SQL2's "NULL not equal to NULL" rule and thus never conflict on
+    NULL), and referential integrity. *)
+
+open Eager_value
+open Eager_catalog
+
+type t
+
+val create : unit -> t
+val catalog : t -> Catalog.t
+val create_table : t -> Table_def.t -> unit
+val create_domain : t -> Catalog.domain_def -> unit
+val create_view : t -> Catalog.view_def -> unit
+val heap : t -> string -> Heap.t
+(** Raises [Failure] for an unknown table. *)
+
+val heap_opt : t -> string -> Heap.t option
+
+val insert : t -> string -> Value.t list -> (unit, string) result
+val insert_exn : t -> string -> Value.t list -> unit
+val load : t -> string -> Value.t list list -> unit
+(** Bulk [insert_exn]. *)
+
+val delete :
+  t ->
+  string ->
+  ?params:Eager_expr.Expr.env ->
+  where:Eager_expr.Expr.t ->
+  unit ->
+  (int, string) result
+(** Delete the rows on which [where] {i holds} (3VL; rows where it is
+    unknown stay).  Referential integrity is NO ACTION: the delete is
+    refused if any foreign key elsewhere (or in the table itself) would be
+    left dangling.  Returns the number of rows removed. *)
+
+val update :
+  t ->
+  string ->
+  ?params:Eager_expr.Expr.env ->
+  set:(string * Eager_expr.Expr.t) list ->
+  where:Eager_expr.Expr.t ->
+  unit ->
+  (int, string) result
+(** Update the rows on which [where] holds; assignment expressions are
+    evaluated against the {i old} row.  The prospective table state is
+    validated wholesale — types, NOT NULL, CHECK/domain constraints, key
+    uniqueness, outgoing foreign keys, and incoming foreign keys (NO
+    ACTION) — before any row is changed.  Returns the number of rows
+    updated. *)
+
+val create_index :
+  t -> name:string -> table:string -> cols:string list -> (unit, string) result
+(** Declare a secondary equality-lookup index.  Maintained incrementally on
+    insert and rebuilt after DELETE/UPDATE compactions. *)
+
+val find_equality_index :
+  t -> table:string -> col:string -> Catalog.index_def option
+(** A declared single-column index usable for a [col = const] lookup. *)
+
+val index_lookup :
+  t -> Catalog.index_def -> Eager_value.Value.t list -> Eager_schema.Row.t list
+(** All rows of the index's table whose key columns equal the given values
+    (search-condition equality: NULL keys never match, and looking up a
+    NULL returns nothing). *)
+
+val stats : t -> string -> Stats.t
+(** Cached per table; recomputed when the heap has grown. *)
+
+val row_count : t -> string -> int

@@ -1,0 +1,98 @@
+open Eager_schema
+
+type t = {
+  schema : Schema.t;
+  mutable rows : Row.t array;
+  mutable len : int;
+  mutable gen : int;
+  mutable compactions : int;
+}
+
+let dummy_row : Row.t = [||]
+
+let create schema =
+  { schema; rows = Array.make 16 dummy_row; len = 0; gen = 0; compactions = 0 }
+
+let schema t = t.schema
+let length t = t.len
+let generation t = t.gen
+let compactions t = t.compactions
+
+let ensure_capacity t =
+  if t.len >= Array.length t.rows then begin
+    let bigger = Array.make (2 * Array.length t.rows) dummy_row in
+    Array.blit t.rows 0 bigger 0 t.len;
+    t.rows <- bigger
+  end
+
+let insert t row =
+  if Array.length row <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Heap.insert: arity %d, expected %d" (Array.length row)
+         (Schema.arity t.schema));
+  ensure_capacity t;
+  t.rows.(t.len) <- row;
+  t.len <- t.len + 1;
+  t.gen <- t.gen + 1
+
+let of_rows schema rows =
+  let t = create schema in
+  List.iter (insert t) rows;
+  t
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Heap.get: out of bounds";
+  t.rows.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.rows.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.rows.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.rows.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.rows.(i))
+
+let to_seq t =
+  let rec go i () =
+    if i >= t.len then Seq.Nil else Seq.Cons (t.rows.(i), go (i + 1))
+  in
+  go 0
+
+let exists p t =
+  let rec go i = i < t.len && (p t.rows.(i) || go (i + 1)) in
+  go 0
+
+let delete_where p t =
+  let keep = ref 0 in
+  for i = 0 to t.len - 1 do
+    if not (p t.rows.(i)) then begin
+      t.rows.(!keep) <- t.rows.(i);
+      incr keep
+    end
+  done;
+  let removed = t.len - !keep in
+  for i = !keep to t.len - 1 do
+    t.rows.(i) <- dummy_row
+  done;
+  t.len <- !keep;
+  if removed > 0 then begin
+    t.gen <- t.gen + 1;
+    t.compactions <- t.compactions + 1
+  end;
+  removed
+
+let replace_all t rows =
+  t.len <- 0;
+  List.iter (insert t) rows;
+  t.compactions <- t.compactions + 1

@@ -1,0 +1,40 @@
+(** A heap table: a growable multiset of rows with a fixed schema.
+
+    Rows are identified by their insertion position, which serves as the
+    paper's [RowID] — the column that "uniquely identifies a row" and lets
+    the formalism distinguish duplicates (Section 4.3).  The RowID is not
+    part of the schema; operators that need it use {!iteri}. *)
+
+open Eager_schema
+
+type t
+
+val create : Schema.t -> t
+val of_rows : Schema.t -> Row.t list -> t
+val schema : t -> Schema.t
+val length : t -> int
+val insert : t -> Row.t -> unit
+(** Raises [Invalid_argument] on arity mismatch. *)
+
+val get : t -> int -> Row.t
+val iter : (Row.t -> unit) -> t -> unit
+val iteri : (int -> Row.t -> unit) -> t -> unit
+val fold : ('a -> Row.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Row.t list
+val to_seq : t -> Row.t Seq.t
+val exists : (Row.t -> bool) -> t -> bool
+val generation : t -> int
+(** Monotone counter bumped on every insert; used to invalidate caches. *)
+
+val delete_where : (Row.t -> bool) -> t -> int
+(** Remove matching rows in place; returns the count.  Bumps
+    {!compactions} (incremental caches must rebuild). *)
+
+val replace_all : t -> Row.t list -> unit
+(** Replace the heap's contents wholesale (used by UPDATE).  Bumps
+    {!compactions}. *)
+
+val compactions : t -> int
+(** Counter bumped by every structural rewrite ([delete_where],
+    [replace_all]).  Append-only consumers (incremental key indexes) must
+    fully rebuild when it changes. *)

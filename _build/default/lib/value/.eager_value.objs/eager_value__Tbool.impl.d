@@ -1,0 +1,1 @@
+lib/value/tbool.ml: Format

@@ -1,0 +1,1 @@
+lib/value/tbool.mli: Format

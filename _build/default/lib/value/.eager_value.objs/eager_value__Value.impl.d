@@ -1,0 +1,1 @@
+lib/value/value.ml: Float Format Hashtbl Tbool

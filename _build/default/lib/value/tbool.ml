@@ -1,0 +1,29 @@
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+
+let and_ a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let or_ a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let holds = function True -> true | False | Unknown -> false
+let possible = function False -> false | True | Unknown -> true
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Unknown -> "unknown"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

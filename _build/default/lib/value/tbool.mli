@@ -1,0 +1,31 @@
+(** Three-valued logic of SQL2 (paper Figure 2).
+
+    A search condition evaluates to [True], [False] or [Unknown]; [Unknown]
+    arises whenever a comparison touches NULL.  The two interpretation
+    operators of Figure 3 map the three values back to booleans: [holds]
+    (written ⌊P⌋ in the paper) treats unknown as false — the WHERE-clause
+    rule — while [possible] (⌈P⌉) treats unknown as true. *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val and_ : t -> t -> t
+(** Conjunction per the SQL2 truth table: false dominates, otherwise unknown
+    is contagious. *)
+
+val or_ : t -> t -> t
+(** Disjunction per the SQL2 truth table: true dominates. *)
+
+val not_ : t -> t
+(** Negation; [not_ Unknown = Unknown]. *)
+
+val holds : t -> bool
+(** ⌊P⌋: [true] iff the condition is [True].  WHERE-clause semantics. *)
+
+val possible : t -> bool
+(** ⌈P⌉: [true] unless the condition is [False]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

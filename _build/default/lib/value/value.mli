@@ -1,0 +1,53 @@
+(** SQL values, including NULL.
+
+    The comparison operators implement the two equality notions the paper
+    distinguishes (Section 4.2):
+
+    - search-condition comparison ([cmp_eq], [cmp_lt], ...) returns a
+      three-valued result and yields [Unknown] as soon as either operand is
+      NULL;
+    - duplicate comparison [null_eq] (the paper's [=ⁿ]) is two-valued and
+      treats NULL as equal to NULL — the semantics of GROUP BY, DISTINCT,
+      UNION, EXCEPT and INTERSECT. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+val is_null : t -> bool
+
+val null_eq : t -> t -> bool
+(** [=ⁿ]: both NULL, or both non-NULL and equal (with numeric coercion). *)
+
+val cmp_eq : t -> t -> Tbool.t
+val cmp_ne : t -> t -> Tbool.t
+val cmp_lt : t -> t -> Tbool.t
+val cmp_le : t -> t -> Tbool.t
+val cmp_gt : t -> t -> Tbool.t
+val cmp_ge : t -> t -> Tbool.t
+
+val compare_total : t -> t -> int
+(** Total order used for sorting (sort-merge join, sort-based grouping).
+    NULLs sort first and compare equal to each other, matching [null_eq]
+    classes.  Cross-type comparisons order by type tag. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic: NULL-propagating; [Int]/[Float] coerce to [Float] when mixed.
+    [div] of two [Int]s is integer division; division by zero yields NULL
+    (we model it as missing information rather than a runtime error). *)
+
+val neg : t -> t
+
+val equal : t -> t -> bool
+(** Structural equality — same as [null_eq] except that [Int 1] and
+    [Float 1.] are distinct.  Used by tests. *)
+
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/contrived.mli: Canonical Database Eager_core Eager_storage

@@ -1,0 +1,1 @@
+lib/workload/employee_dept.mli: Canonical Database Eager_core Eager_storage

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Buffer Random String

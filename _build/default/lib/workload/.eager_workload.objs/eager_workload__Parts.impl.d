@@ -1,0 +1,1 @@
+lib/workload/parts.ml: Agg Canonical Colref Constr Ctype Database Eager_algebra Eager_catalog Eager_core Eager_expr Eager_schema Eager_storage Eager_value Expr Gen Printf Table_def Value

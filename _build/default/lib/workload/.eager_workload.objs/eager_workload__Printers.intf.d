@@ -1,0 +1,1 @@
+lib/workload/printers.mli: Canonical Database Eager_core Eager_storage

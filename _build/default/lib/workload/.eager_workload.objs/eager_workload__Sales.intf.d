@@ -1,0 +1,1 @@
+lib/workload/sales.mli: Canonical Database Eager_core Eager_storage

@@ -1,0 +1,1 @@
+lib/workload/sweep.ml: Canonical Database Eager_core Eager_storage Employee_dept List

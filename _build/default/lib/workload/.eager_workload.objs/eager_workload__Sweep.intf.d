@@ -1,0 +1,1 @@
+lib/workload/sweep.mli: Canonical Database Eager_core Eager_storage

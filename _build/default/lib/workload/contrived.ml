@@ -1,0 +1,72 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+let setup ?(seed = 11) ?(a_rows = 10_000) ?(b_rows = 100) ?(matched_rows = 50)
+    ?(matched_groups = 10) ?(a_groups = 9_000) () =
+  if matched_groups > b_rows then invalid_arg "matched_groups > b_rows";
+  if matched_rows > a_rows then invalid_arg "matched_rows > a_rows";
+  if a_groups < matched_groups || a_groups > a_rows then
+    invalid_arg "a_groups out of range";
+  let g = Gen.make seed in
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "B"
+       [
+         { Table_def.cname = "k"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "tag"; ctype = Ctype.String; domain = None };
+       ]
+       [ Constr.Primary_key [ "k" ] ]);
+  Database.create_table db
+    (Table_def.make "A"
+       [
+         { Table_def.cname = "aid"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "j"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "v"; ctype = Ctype.Int; domain = None };
+       ]
+       [ Constr.Primary_key [ "aid" ] ]);
+  (* B keys are 1..b_rows; matched A rows use j in 1..matched_groups, the
+     rest use values above b_rows so they never join. *)
+  for k = 1 to b_rows do
+    Database.insert_exn db "B" [ Value.Int k; Value.Str (Gen.name g) ]
+  done;
+  let unmatched_rows = a_rows - matched_rows in
+  let unmatched_groups = a_groups - matched_groups in
+  let aid = ref 0 in
+  let add j =
+    incr aid;
+    Database.insert_exn db "A"
+      [ Value.Int !aid; Value.Int j; Value.Int (Gen.int g 1000) ]
+  in
+  for i = 0 to matched_rows - 1 do
+    add (1 + (i mod matched_groups))
+  done;
+  (* spread unmatched rows over exactly [unmatched_groups] distinct values *)
+  for i = 0 to unmatched_rows - 1 do
+    let group = i mod unmatched_groups in
+    add (b_rows + 1 + group)
+  done;
+  let query =
+    Canonical.of_input_exn db
+      {
+        Canonical.sources =
+          [
+            { Canonical.table = "A"; rel = "A" };
+            { Canonical.table = "B"; rel = "B" };
+          ];
+        where = Expr.eq (Expr.col "A" "j") (Expr.col "B" "k");
+        group_by = [ Colref.make "A" "j" ];
+        select_cols = [ Colref.make "A" "j" ];
+        select_aggs = [ Agg.sum (Colref.make "" "total_v") (Expr.col "A" "v") ];
+        select_distinct = false;
+        select_having = None;
+        r1_hint = [];
+      }
+  in
+  { db; query }

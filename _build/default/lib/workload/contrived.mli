@@ -1,0 +1,25 @@
+(** Example 4 / Figure 8 workload: valid but disadvantageous.
+
+    Table [A] (10 000 rows) groups into ~9 000 groups on its join column
+    [j]; table [B] (100 rows, key [k]) matches only 50 [A]-rows, which fall
+    into 10 groups.  The transformation is valid ([GA1 = GA1+ = {A.j}];
+    [A.j = B.k] with [k] the key of [B] gives FD2), yet eager grouping
+    processes 10 000 rows into 9 000 groups before a 9 000×100 join, while
+    the lazy plan joins down to 50 rows and groups those into 10. *)
+
+open Eager_storage
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+val setup :
+  ?seed:int ->
+  ?a_rows:int ->
+  ?b_rows:int ->
+  ?matched_rows:int ->
+  ?matched_groups:int ->
+  ?a_groups:int ->
+  unit ->
+  t
+(** Defaults reproduce the figure: [a_rows = 10_000], [b_rows = 100],
+    [matched_rows = 50], [matched_groups = 10], [a_groups = 9_000]. *)

@@ -1,0 +1,65 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+let setup ?(seed = 42) ?(employees = 10_000) ?(departments = 100)
+    ?(null_dept_fraction = 0.0) () =
+  let g = Gen.make seed in
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "Department"
+       [
+         { Table_def.cname = "DeptID"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Name"; ctype = Ctype.String; domain = None };
+       ]
+       [ Constr.Primary_key [ "DeptID" ] ]);
+  Database.create_table db
+    (Table_def.make "Employee"
+       [
+         { Table_def.cname = "EmpID"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "LastName"; ctype = Ctype.String; domain = None };
+         { Table_def.cname = "FirstName"; ctype = Ctype.String; domain = None };
+         { Table_def.cname = "DeptID"; ctype = Ctype.Int; domain = None };
+       ]
+       [
+         Constr.Primary_key [ "EmpID" ];
+         Constr.Foreign_key
+           { cols = [ "DeptID" ]; ref_table = "Department"; ref_cols = [ "DeptID" ] };
+       ]);
+  for d = 1 to departments do
+    Database.insert_exn db "Department"
+      [ Value.Int d; Value.Str (Printf.sprintf "Dept-%s-%d" (Gen.name g) d) ]
+  done;
+  for e = 1 to employees do
+    let dept =
+      if Gen.bool g null_dept_fraction then Value.Null
+      else Value.Int (1 + Gen.int g departments)
+    in
+    Database.insert_exn db "Employee"
+      [ Value.Int e; Value.Str (Gen.name g); Value.Str (Gen.name g); dept ]
+  done;
+  let query =
+    Canonical.of_input_exn db
+      {
+        Canonical.sources =
+          [
+            { Canonical.table = "Employee"; rel = "E" };
+            { Canonical.table = "Department"; rel = "D" };
+          ];
+        where = Expr.eq (Expr.col "E" "DeptID") (Expr.col "D" "DeptID");
+        group_by = [ Colref.make "D" "DeptID"; Colref.make "D" "Name" ];
+        select_cols = [ Colref.make "D" "DeptID"; Colref.make "D" "Name" ];
+        select_aggs =
+          [ Agg.count (Colref.make "" "emp_count") (Expr.col "E" "EmpID") ];
+        select_distinct = false;
+        select_having = None;
+        r1_hint = [];
+      }
+  in
+  { db; query }

@@ -1,0 +1,27 @@
+(** Example 1 / Figure 1 workload: Employee ⋈ Department with COUNT.
+
+    {v
+    SELECT   D.DeptID, D.Name, COUNT(E.EmpID)
+    FROM     Employee E, Department D
+    WHERE    E.DeptID = D.DeptID
+    GROUP BY D.DeptID, D.Name
+    v}
+
+    With the paper's sizes (10 000 employees, 100 departments) the lazy plan
+    joins 10 000×100 and groups 10 000 rows, while the eager plan groups
+    10 000 rows into 100 and joins 100×100. *)
+
+open Eager_storage
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+val setup :
+  ?seed:int ->
+  ?employees:int ->
+  ?departments:int ->
+  ?null_dept_fraction:float ->
+  unit ->
+  t
+(** [null_dept_fraction] employees get a NULL DeptID (they match no
+    department — exercises the NULL semantics of the join). *)

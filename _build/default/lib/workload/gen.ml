@@ -1,0 +1,19 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x9e3779b9 |]
+let int g n = if n <= 0 then 0 else Random.State.int g n
+let pick g arr = arr.(int g (Array.length arr))
+
+let syllables =
+  [| "ka"; "ro"; "mi"; "ta"; "ve"; "lu"; "san"; "der"; "el"; "ni"; "go"; "ra" |]
+
+let name g =
+  let n = 2 + int g 2 in
+  let b = Buffer.create 8 in
+  for i = 0 to n - 1 do
+    let s = pick g syllables in
+    Buffer.add_string b (if i = 0 then String.capitalize_ascii s else s)
+  done;
+  Buffer.contents b
+
+let bool g p = Random.State.float g 1.0 < p

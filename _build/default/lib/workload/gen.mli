@@ -1,0 +1,16 @@
+(** Deterministic data-generation helpers (seeded, reproducible). *)
+
+type t
+
+val make : int -> t
+(** Seeded generator. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [0, n). *)
+
+val pick : t -> 'a array -> 'a
+val name : t -> string
+(** A pronounceable pseudo-name. *)
+
+val bool : t -> float -> bool
+(** [bool g p] is true with probability [p]. *)

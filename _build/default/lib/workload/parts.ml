@@ -1,0 +1,79 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+let setup ?(seed = 23) ?(parts = 5_000) ?(suppliers = 80) ?(classes = 40) () =
+  let g = Gen.make seed in
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "Supplier"
+       [
+         { Table_def.cname = "SupplierNo"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Name"; ctype = Ctype.String; domain = None };
+         { Table_def.cname = "Address"; ctype = Ctype.String; domain = None };
+       ]
+       [ Constr.Primary_key [ "SupplierNo" ] ]);
+  Database.create_table db
+    (Table_def.make "Part"
+       [
+         { Table_def.cname = "ClassCode"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "PartNo"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "PartName"; ctype = Ctype.String; domain = None };
+         { Table_def.cname = "SupplierNo"; ctype = Ctype.Int; domain = None };
+       ]
+       [
+         Constr.Primary_key [ "ClassCode"; "PartNo" ];
+         Constr.Foreign_key
+           {
+             cols = [ "SupplierNo" ];
+             ref_table = "Supplier";
+             ref_cols = [ "SupplierNo" ];
+           };
+       ]);
+  for s = 1 to suppliers do
+    Database.insert_exn db "Supplier"
+      [
+        Value.Int s;
+        Value.Str (Gen.name g);
+        Value.Str (Printf.sprintf "%d %s Street" (1 + Gen.int g 900) (Gen.name g));
+      ]
+  done;
+  for p = 1 to parts do
+    let class_code = 1 + Gen.int g classes in
+    let supplier =
+      if Gen.bool g 0.05 then Value.Null
+      else Value.Int (1 + Gen.int g suppliers)
+    in
+    Database.insert_exn db "Part"
+      [ Value.Int class_code; Value.Int p; Value.Str (Gen.name g); supplier ]
+  done;
+  let query =
+    Canonical.of_input_exn db
+      {
+        Canonical.sources =
+          [
+            { Canonical.table = "Part"; rel = "P" };
+            { Canonical.table = "Supplier"; rel = "S" };
+          ];
+        where =
+          Expr.conj
+            [
+              Expr.eq (Expr.col "P" "ClassCode") (Expr.int 25);
+              Expr.eq (Expr.col "P" "SupplierNo") (Expr.col "S" "SupplierNo");
+            ];
+        group_by = [ Colref.make "S" "SupplierNo"; Colref.make "S" "Name" ];
+        select_cols = [ Colref.make "S" "SupplierNo"; Colref.make "S" "Name" ];
+        select_aggs =
+          [ Agg.count (Colref.make "" "part_count") (Expr.col "P" "PartNo") ];
+        select_distinct = false;
+        select_having = None;
+        r1_hint = [];
+      }
+  in
+  { db; query }

@@ -1,0 +1,21 @@
+(** Example 2 workload: Part ⋈ Supplier — derived key dependencies.
+
+    {v
+    Part(ClassCode, PartNo, PartName, SupplierNo)   PK (ClassCode, PartNo)
+    Supplier(SupplierNo, Name, Address)             PK SupplierNo
+    v}
+
+    The paper uses this schema to illustrate {i derived} dependencies: in
+    the join [σ(ClassCode = 25 ∧ P.SupplierNo = S.SupplierNo)](Part ×
+    Supplier), [PartNo] is a key and [Name] is functionally dependent on
+    [SupplierNo].  The canonical query aggregates parts per supplier. *)
+
+open Eager_storage
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+val setup :
+  ?seed:int -> ?parts:int -> ?suppliers:int -> ?classes:int -> unit -> t
+(** Query: per supplier, count the class-25 parts it supplies.
+    Some parts have a NULL SupplierNo (they join nothing). *)

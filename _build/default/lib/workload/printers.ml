@@ -1,0 +1,104 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+let machine_name i =
+  if i = 0 then "dragon"
+  else Printf.sprintf "host%02d" i
+
+let setup ?(seed = 7) ?(users = 500) ?(machines = 8) ?(printers = 40)
+    ?(auths_per_user = 4) () =
+  let g = Gen.make seed in
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "UserAccount"
+       [
+         { Table_def.cname = "UserId"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Machine"; ctype = Ctype.String; domain = None };
+         { Table_def.cname = "UserName"; ctype = Ctype.String; domain = None };
+       ]
+       [ Constr.Primary_key [ "UserId"; "Machine" ] ]);
+  Database.create_table db
+    (Table_def.make "Printer"
+       [
+         { Table_def.cname = "PNo"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Speed"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Make"; ctype = Ctype.String; domain = None };
+       ]
+       [ Constr.Primary_key [ "PNo" ] ]);
+  Database.create_table db
+    (Table_def.make "PrinterAuth"
+       [
+         { Table_def.cname = "UserId"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Machine"; ctype = Ctype.String; domain = None };
+         { Table_def.cname = "PNo"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Usage"; ctype = Ctype.Int; domain = None };
+       ]
+       [
+         Constr.Primary_key [ "UserId"; "Machine"; "PNo" ];
+         Constr.Foreign_key
+           { cols = [ "PNo" ]; ref_table = "Printer"; ref_cols = [ "PNo" ] };
+       ]);
+  for p = 1 to printers do
+    Database.insert_exn db "Printer"
+      [
+        Value.Int p;
+        Value.Int (4 + Gen.int g 60);
+        Value.Str (Gen.pick g [| "HP"; "Canon"; "Epson"; "Brother" |]);
+      ]
+  done;
+  for u = 1 to users do
+    let machine = machine_name (Gen.int g machines) in
+    Database.insert_exn db "UserAccount"
+      [ Value.Int u; Value.Str machine; Value.Str (Gen.name g) ];
+    (* a user is authorised on a few distinct printers *)
+    let n_auth = 1 + Gen.int g auths_per_user in
+    let chosen = Hashtbl.create 4 in
+    let granted = ref 0 in
+    while !granted < n_auth do
+      let p = 1 + Gen.int g printers in
+      if not (Hashtbl.mem chosen p) then begin
+        Hashtbl.add chosen p ();
+        incr granted;
+        Database.insert_exn db "PrinterAuth"
+          [ Value.Int u; Value.Str machine; Value.Int p; Value.Int (Gen.int g 5000) ]
+      end
+    done
+  done;
+  let query =
+    Canonical.of_input_exn db
+      {
+        Canonical.sources =
+          [
+            { Canonical.table = "UserAccount"; rel = "U" };
+            { Canonical.table = "PrinterAuth"; rel = "A" };
+            { Canonical.table = "Printer"; rel = "P" };
+          ];
+        where =
+          Expr.conj
+            [
+              Expr.eq (Expr.col "U" "UserId") (Expr.col "A" "UserId");
+              Expr.eq (Expr.col "U" "Machine") (Expr.col "A" "Machine");
+              Expr.eq (Expr.col "A" "PNo") (Expr.col "P" "PNo");
+              Expr.eq (Expr.col "U" "Machine") (Expr.str "dragon");
+            ];
+        group_by = [ Colref.make "U" "UserId"; Colref.make "U" "UserName" ];
+        select_cols = [ Colref.make "U" "UserId"; Colref.make "U" "UserName" ];
+        select_aggs =
+          [
+            Agg.sum (Colref.make "" "TotUsage") (Expr.col "A" "Usage");
+            Agg.max_ (Colref.make "" "MaxSpeed") (Expr.col "P" "Speed");
+            Agg.min_ (Colref.make "" "MinSpeed") (Expr.col "P" "Speed");
+          ];
+        select_distinct = false;
+        select_having = None;
+        r1_hint = [];
+      }
+  in
+  { db; query }

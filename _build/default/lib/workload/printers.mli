@@ -1,0 +1,29 @@
+(** Example 3 / Example 5 workload: the printer-accounting database.
+
+    {v
+    UserAccount(UserId, Machine, UserName)        PK (UserId, Machine)
+    PrinterAuth(UserId, Machine, PNo, Usage)      PK (UserId, Machine, PNo)
+    Printer(PNo, Speed, Make)                     PK PNo
+    v}
+
+    The query (paper Section 6.3): for each user on machine 'dragon', the
+    UserId, UserName, total printer usage and the max/min speed of printers
+    accessible to the user.  The R1 side is [{A, P}] (it carries the
+    aggregation columns), R2 is [{U}]. *)
+
+open Eager_storage
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+val setup :
+  ?seed:int ->
+  ?users:int ->
+  ?machines:int ->
+  ?printers:int ->
+  ?auths_per_user:int ->
+  unit ->
+  t
+
+val machine_name : int -> string
+(** [machine_name 0 = "dragon"] — the machine the query filters on. *)

@@ -1,0 +1,80 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+let regions = [| "north"; "south"; "east"; "west" |]
+
+let setup ?(seed = 99) ?(customers = 200) ?(orders = 8_000)
+    ?revenue_at_least () =
+  let g = Gen.make seed in
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "Customer"
+       [
+         { Table_def.cname = "CustID"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Name"; ctype = Ctype.String; domain = None };
+         { Table_def.cname = "Region"; ctype = Ctype.String; domain = None };
+       ]
+       [ Constr.Primary_key [ "CustID" ]; Constr.Not_null "Name" ]);
+  Database.create_table db
+    (Table_def.make "Orders"
+       [
+         { Table_def.cname = "OrderID"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "CustID"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Amount"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Qty"; ctype = Ctype.Int; domain = None };
+       ]
+       [
+         Constr.Primary_key [ "OrderID" ];
+         Constr.Check
+           (Expr.Cmp (Expr.Ge, Expr.Col (Colref.make "" "Amount"), Expr.int 0));
+         Constr.Foreign_key
+           { cols = [ "CustID" ]; ref_table = "Customer"; ref_cols = [ "CustID" ] };
+       ]);
+  for c = 1 to customers do
+    Database.insert_exn db "Customer"
+      [ Value.Int c; Value.Str (Gen.name g); Value.Str (Gen.pick g regions) ]
+  done;
+  for o = 1 to orders do
+    let cust =
+      (* a few anonymous (NULL-customer) orders *)
+      if Gen.bool g 0.02 then Value.Null
+      else Value.Int (1 + Gen.int g customers)
+    in
+    Database.insert_exn db "Orders"
+      [ Value.Int o; cust; Value.Int (Gen.int g 500); Value.Int (1 + Gen.int g 9) ]
+  done;
+  let having =
+    Option.map
+      (fun n ->
+        Expr.Cmp (Expr.Ge, Expr.Col (Colref.make "" "revenue"), Expr.int n))
+      revenue_at_least
+  in
+  let query =
+    Canonical.of_input_exn db
+      {
+        Canonical.sources =
+          [
+            { Canonical.table = "Orders"; rel = "O" };
+            { Canonical.table = "Customer"; rel = "C" };
+          ];
+        where = Expr.eq (Expr.col "O" "CustID") (Expr.col "C" "CustID");
+        group_by = [ Colref.make "C" "CustID"; Colref.make "C" "Name" ];
+        select_cols = [ Colref.make "C" "CustID"; Colref.make "C" "Name" ];
+        select_aggs =
+          [
+            Agg.sum (Colref.make "" "revenue") (Expr.col "O" "Amount");
+            Agg.count (Colref.make "" "order_count") (Expr.col "O" "OrderID");
+          ];
+        select_distinct = false;
+        select_having = having;
+        r1_hint = [];
+      }
+  in
+  { db; query }

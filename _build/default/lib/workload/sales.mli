@@ -1,0 +1,25 @@
+(** A small order-processing workload: the kind of rollup the paper's
+    introduction motivates (aggregate a large fact table per entity of a
+    small dimension table).
+
+    {v
+    Customer(CustID, Name, Region)        PK CustID
+    Orders(OrderID, CustID, Amount, Qty)  PK OrderID, FK CustID → Customer
+    v}
+
+    The query sums revenue per customer; optionally with a HAVING threshold
+    on the revenue (exercising the HAVING extension end to end). *)
+
+open Eager_storage
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+val setup :
+  ?seed:int ->
+  ?customers:int ->
+  ?orders:int ->
+  ?revenue_at_least:int ->
+  unit ->
+  t
+(** [revenue_at_least] adds [HAVING revenue >= n]. *)

@@ -1,0 +1,26 @@
+open Eager_storage
+open Eager_core
+
+type point = { db : Database.t; query : Canonical.t; knob : float }
+
+let by_fanin ?(seed = 5) ?(employees = 10_000) ~departments () =
+  List.map
+    (fun d ->
+      let w = Employee_dept.setup ~seed ~employees ~departments:d () in
+      {
+        db = w.Employee_dept.db;
+        query = w.Employee_dept.query;
+        knob = float_of_int employees /. float_of_int d;
+      })
+    departments
+
+let by_selectivity ?(seed = 5) ?(employees = 10_000) ?(departments = 50)
+    ~fractions () =
+  List.map
+    (fun f ->
+      let w =
+        Employee_dept.setup ~seed ~employees ~departments
+          ~null_dept_fraction:(1.0 -. f) ()
+      in
+      { db = w.Employee_dept.db; query = w.Employee_dept.query; knob = f })
+    fractions

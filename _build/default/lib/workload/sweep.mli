@@ -1,0 +1,30 @@
+(** Parameterised workloads for the Section 7 trade-off sweeps.
+
+    Both are Employee/Department-shaped: the knob controls where the
+    transformation's benefit comes from.
+
+    - {!by_fanin}: fix the employee count, vary the number of departments.
+      Few departments = many rows per group = the eager group-by shrinks
+      the join input massively; many departments = little shrinkage.
+    - {!by_selectivity}: fix both table sizes, vary the fraction of
+      employees that join at all (the rest carry a NULL foreign key).  Low
+      selectivity favours the lazy plan — the join does the filtering for
+      free; the eager plan still groups everything. *)
+
+open Eager_storage
+open Eager_core
+
+type point = { db : Database.t; query : Canonical.t; knob : float }
+
+val by_fanin :
+  ?seed:int -> ?employees:int -> departments:int list -> unit -> point list
+(** [knob] is the rows-per-group ratio (employees / departments). *)
+
+val by_selectivity :
+  ?seed:int ->
+  ?employees:int ->
+  ?departments:int ->
+  fractions:float list ->
+  unit ->
+  point list
+(** [knob] is the matching fraction. *)

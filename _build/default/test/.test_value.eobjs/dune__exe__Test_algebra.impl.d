@@ -1,0 +1,1 @@
+test/test_algebra.ml: Agg Alcotest Colref Ctype Eager_algebra Eager_expr Eager_schema Eager_value Expr Format List Plan Schema String Value

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Catalog Colref Constr Ctype Eager_catalog Eager_expr Eager_schema Expr List Option Schema String Table_def

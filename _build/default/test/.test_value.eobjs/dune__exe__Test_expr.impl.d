@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Colref Ctype Eager_expr Eager_schema Eager_value Expr List QCheck QCheck_alcotest Result Row Schema Tbool Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Binder Canonical Database Eager_core Eager_exec Eager_opt Eager_parser Eager_schema Eager_storage Eager_value Exec Heap List Optree Planner Printf Row Testfd

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Array Colref Ctype Eager_schema Eager_value Format List QCheck QCheck_alcotest Row Schema Value

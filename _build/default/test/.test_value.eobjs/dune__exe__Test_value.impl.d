@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Eager_value List Printf QCheck QCheck_alcotest Tbool Value

@@ -1,0 +1,161 @@
+(* Algebra tests: plan construction, derived schemas, aggregate expressions
+   and the plan printer. *)
+
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_algebra
+
+let cr = Colref.make
+
+let emp_schema =
+  Schema.make
+    [
+      (cr "E" "id", Ctype.Int);
+      (cr "E" "dept", Ctype.Int);
+      (cr "E" "salary", Ctype.Float);
+      (cr "E" "name", Ctype.String);
+    ]
+
+let dept_schema =
+  Schema.make [ (cr "D" "dept", Ctype.Int); (cr "D" "dname", Ctype.String) ]
+
+let scan_e = Plan.scan ~table:"Employee" ~rel:"E" emp_schema
+let scan_d = Plan.scan ~table:"Department" ~rel:"D" dept_schema
+
+let test_scan_schema () =
+  Alcotest.(check int) "scan arity" 4 (Schema.arity (Plan.schema_of scan_e))
+
+let test_select_schema_and_identity () =
+  let p = Plan.select (Expr.eq (Expr.col "E" "id") (Expr.int 1)) scan_e in
+  Alcotest.(check int) "select keeps schema" 4 (Schema.arity (Plan.schema_of p));
+  (* selecting on TRUE is the identity *)
+  (match Plan.select Expr.etrue scan_e with
+  | Plan.Scan _ -> ()
+  | _ -> Alcotest.fail "select TRUE should be elided")
+
+let test_project_schema () =
+  let p = Plan.project [ cr "E" "id"; cr "E" "name" ] scan_e in
+  let s = Plan.schema_of p in
+  Alcotest.(check int) "projected arity" 2 (Schema.arity s);
+  Alcotest.(check bool) "kept id" true (Schema.mem s (cr "E" "id"));
+  Alcotest.(check bool) "dropped dept" false (Schema.mem s (cr "E" "dept"));
+  (* unknown projection column fails when the schema is computed *)
+  Alcotest.(check bool) "bad projection rejected" true
+    (try
+       ignore (Plan.schema_of (Plan.project [ cr "E" "zzz" ] scan_e));
+       false
+     with Not_found | Failure _ | Invalid_argument _ -> true)
+
+let test_join_product_schema () =
+  let j =
+    Plan.join (Expr.eq (Expr.col "E" "dept") (Expr.col "D" "dept")) scan_e scan_d
+  in
+  Alcotest.(check int) "join schema = concat" 6 (Schema.arity (Plan.schema_of j));
+  let p = Plan.Product (scan_e, scan_d) in
+  Alcotest.(check int) "product schema = concat" 6
+    (Schema.arity (Plan.schema_of p));
+  Alcotest.(check (list string)) "relations in order" [ "E"; "D" ]
+    (Plan.relations j)
+
+let test_group_schema () =
+  let aggs =
+    [
+      Agg.count_star (cr "" "n");
+      Agg.sum (cr "" "total") (Expr.col "E" "salary");
+      Agg.avg (cr "" "mean") (Expr.col "E" "salary");
+      Agg.min_ (cr "" "lo") (Expr.col "E" "id");
+    ]
+  in
+  let g = Plan.group ~by:[ cr "E" "dept" ] ~aggs scan_e in
+  let s = Plan.schema_of g in
+  Alcotest.(check int) "1 group col + 4 aggs" 5 (Schema.arity s);
+  Alcotest.(check string) "COUNT is INTEGER" "INTEGER"
+    (Ctype.to_string (Schema.type_of s (cr "" "n")));
+  Alcotest.(check string) "SUM keeps operand type" "FLOAT"
+    (Ctype.to_string (Schema.type_of s (cr "" "total")));
+  Alcotest.(check string) "AVG is FLOAT" "FLOAT"
+    (Ctype.to_string (Schema.type_of s (cr "" "mean")));
+  Alcotest.(check string) "MIN keeps operand type" "INTEGER"
+    (Ctype.to_string (Schema.type_of s (cr "" "lo")))
+
+let test_agg_columns () =
+  let a =
+    Agg.make (cr "" "x")
+      (Agg.Arith
+         ( Expr.Add,
+           Agg.Call (Agg.Count (Expr.col "E" "id")),
+           Agg.Call (Agg.Sum (Expr.Arith (Expr.Add, Expr.col "E" "salary",
+                                          Expr.col "E" "dept"))) ))
+  in
+  Alcotest.(check int) "AA columns" 3 (Colref.Set.cardinal (Agg.columns a));
+  Alcotest.(check int) "count_star has no AA columns" 0
+    (Colref.Set.cardinal (Agg.columns (Agg.count_star (cr "" "n"))))
+
+let test_agg_out_type_arith () =
+  (* COUNT(x) + SUM(float) mixes INTEGER and FLOAT → FLOAT *)
+  let calc =
+    Agg.Arith
+      ( Expr.Add,
+        Agg.Call (Agg.Count (Expr.col "E" "id")),
+        Agg.Call (Agg.Sum (Expr.col "E" "salary")) )
+  in
+  Alcotest.(check string) "mixed arith type" "FLOAT"
+    (Ctype.to_string (Agg.out_type emp_schema calc));
+  Alcotest.(check string) "const int" "INTEGER"
+    (Ctype.to_string (Agg.out_type emp_schema (Agg.Const (Value.Int 1))))
+
+let test_printing () =
+  let plan =
+    Plan.project [ cr "D" "dname"; cr "" "n" ]
+      (Plan.group ~by:[ cr "D" "dname" ]
+         ~aggs:[ Agg.count_star (cr "" "n") ]
+         (Plan.join
+            (Expr.eq (Expr.col "E" "dept") (Expr.col "D" "dept"))
+            scan_e scan_d))
+  in
+  let text = Plan.to_string plan in
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("plan text mentions " ^ sub) true (contains sub))
+    [ "Project"; "GroupBy"; "Join"; "Scan Employee AS E"; "COUNT(*)" ];
+  Alcotest.(check string) "label is the root only" "Project [D.dname, n]"
+    (Plan.label plan)
+
+let test_annotated_printing () =
+  let note = function Plan.Scan _ -> Some "10 rows" | _ -> None in
+  let text = Format.asprintf "%a" (Plan.pp_annotated ~note) scan_e in
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "annotation printed" true (contains "10 rows")
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "scan" `Quick test_scan_schema;
+          Alcotest.test_case "select" `Quick test_select_schema_and_identity;
+          Alcotest.test_case "project" `Quick test_project_schema;
+          Alcotest.test_case "join/product" `Quick test_join_product_schema;
+          Alcotest.test_case "group" `Quick test_group_schema;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "columns" `Quick test_agg_columns;
+          Alcotest.test_case "output types" `Quick test_agg_out_type_arith;
+        ] );
+      ( "printing",
+        [
+          Alcotest.test_case "plan text" `Quick test_printing;
+          Alcotest.test_case "annotations" `Quick test_annotated_printing;
+        ] );
+    ]

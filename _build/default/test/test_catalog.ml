@@ -1,0 +1,172 @@
+(* Catalog tests: constraints (paper Figure 5), domains, key extraction and
+   the T-predicate construction used by Theorem 3 / TestFD. *)
+
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+
+let col name ctype : Table_def.column_def =
+  { Table_def.cname = name; ctype; domain = None }
+
+let dom_col name ctype domain : Table_def.column_def =
+  { Table_def.cname = name; ctype; domain = Some domain }
+
+(* The Figure 5 table (the paper calls it "Department" but it is clearly an
+   employee table) *)
+let dep_id_domain =
+  {
+    Catalog.dname = "DepIdType";
+    dtype = Ctype.Int;
+    dcheck =
+      Some
+        (Expr.And
+           ( Expr.Cmp (Expr.Gt, Expr.col "" "VALUE", Expr.int 0),
+             Expr.Cmp (Expr.Lt, Expr.col "" "VALUE", Expr.int 100) ));
+  }
+
+let fig5_table () =
+  Table_def.make "Emp"
+    [
+      col "EmpID" Ctype.Int;
+      col "EmpSID" Ctype.Int;
+      col "LastName" Ctype.String;
+      col "FirstName" Ctype.String;
+      dom_col "DeptID" Ctype.Int "DepIdType";
+    ]
+    [
+      Constr.Check (Expr.Cmp (Expr.Gt, Expr.col "" "EmpID", Expr.int 0));
+      Constr.Unique [ "EmpSID" ];
+      Constr.Not_null "LastName";
+      Constr.Check (Expr.Cmp (Expr.Gt, Expr.col "" "DeptID", Expr.int 5));
+      Constr.Primary_key [ "EmpID" ];
+      Constr.Foreign_key
+        { cols = [ "DeptID" ]; ref_table = "Dept"; ref_cols = [ "DeptID" ] };
+    ]
+
+let test_keys () =
+  let td = fig5_table () in
+  Alcotest.(check (list (list string)))
+    "primary first, then candidate keys"
+    [ [ "EmpID" ]; [ "EmpSID" ] ]
+    (Table_def.keys td)
+
+let test_not_null () =
+  let td = fig5_table () in
+  (* NOT NULL LastName plus the primary-key column *)
+  Alcotest.(check (list string)) "not-null columns" [ "EmpID"; "LastName" ]
+    (Table_def.not_null td)
+
+let test_schema () =
+  let td = fig5_table () in
+  let s = Table_def.schema ~rel:"E" td in
+  Alcotest.(check int) "arity" 5 (Schema.arity s);
+  Alcotest.(check bool) "qualified by rel" true
+    (Schema.mem s (Colref.make "E" "DeptID"))
+
+let test_constraint_validation () =
+  Alcotest.check_raises "unknown constraint column"
+    (Failure "table T: constraint references unknown column nope") (fun () ->
+      ignore
+        (Table_def.make "T" [ col "a" Ctype.Int ] [ Constr.Not_null "nope" ]));
+  Alcotest.check_raises "duplicate column"
+    (Failure "table T: duplicate column a") (fun () ->
+      ignore (Table_def.make "T" [ col "a" Ctype.Int; col "a" Ctype.Int ] []))
+
+let test_requalify () =
+  let e = Expr.Cmp (Expr.Gt, Expr.col "" "x", Expr.col "" "y") in
+  let e' = Constr.requalify "R" e in
+  Alcotest.(check string) "requalified" "R.x > R.y" (Expr.to_string e')
+
+let test_catalog_domains () =
+  let cat = Catalog.add_domain Catalog.empty dep_id_domain in
+  let cat = Catalog.add_table cat (fig5_table ()) in
+  Alcotest.(check bool) "table found" true
+    (Option.is_some (Catalog.find_table cat "Emp"));
+  Alcotest.(check bool) "domain found" true
+    (Option.is_some (Catalog.find_domain cat "DepIdType"));
+  (* unknown domain rejected *)
+  Alcotest.check_raises "unknown domain" (Failure "unknown domain NoSuch")
+    (fun () ->
+      ignore
+        (Catalog.add_table cat
+           (Table_def.make "T2" [ dom_col "d" Ctype.Int "NoSuch" ] [])));
+  (* mismatched domain type rejected *)
+  Alcotest.check_raises "domain type mismatch"
+    (Failure "column d: type differs from domain DepIdType") (fun () ->
+      ignore
+        (Catalog.add_table cat
+           (Table_def.make "T3" [ dom_col "d" Ctype.String "DepIdType" ] [])))
+
+let test_duplicate_names () =
+  let cat = Catalog.add_domain Catalog.empty dep_id_domain in
+  let cat = Catalog.add_table cat (fig5_table ()) in
+  Alcotest.check_raises "duplicate table" (Failure "name Emp already defined")
+    (fun () -> ignore (Catalog.add_table cat (fig5_table ())));
+  let cat = Catalog.add_view cat { Catalog.vname = "V"; vsql = "SELECT 1" } in
+  Alcotest.check_raises "view/table collision"
+    (Failure "name V already defined") (fun () ->
+      ignore (Catalog.add_view cat { Catalog.vname = "V"; vsql = "x" }))
+
+(* The T predicates: checks on NOT NULL columns are kept verbatim; checks on
+   nullable columns are weakened with IS NULL escapes; NOT NULL columns
+   contribute IS NOT NULL. *)
+let test_table_checks_weakening () =
+  let cat = Catalog.add_domain Catalog.empty dep_id_domain in
+  let td = fig5_table () in
+  let cat = Catalog.add_table cat td in
+  let checks = Catalog.table_checks cat ~rel:"E" td in
+  let strs = List.map Expr.to_string checks in
+  (* EmpID is the primary key, hence NOT NULL: its check is unweakened *)
+  Alcotest.(check bool) "EmpID check unweakened" true
+    (List.mem "E.EmpID > 0" strs);
+  (* DeptID is nullable: both its CHECK and its domain check get an IS NULL
+     escape hatch *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "DeptID check weakened" true
+    (List.exists
+       (fun s -> contains s "E.DeptID > 5" && contains s "E.DeptID IS NULL")
+       strs);
+  (* NOT NULL facts are present *)
+  Alcotest.(check bool) "LastName IS NOT NULL" true
+    (List.mem "E.LastName IS NOT NULL" strs);
+  Alcotest.(check bool) "EmpID IS NOT NULL" true
+    (List.mem "E.EmpID IS NOT NULL" strs)
+
+let test_check_predicates_raw () =
+  let cat = Catalog.add_domain Catalog.empty dep_id_domain in
+  let td = fig5_table () in
+  let cat = Catalog.add_table cat td in
+  let checks = Catalog.check_predicates cat ~rel:"E" td in
+  (* two CHECKs + one domain check *)
+  Alcotest.(check int) "three raw check predicates" 3 (List.length checks);
+  let strs = List.map Expr.to_string checks in
+  Alcotest.(check bool) "domain check instantiated at column" true
+    (List.exists
+       (fun s -> s = "(E.DeptID > 0 AND E.DeptID < 100)")
+       strs)
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "table_def",
+        [
+          Alcotest.test_case "keys" `Quick test_keys;
+          Alcotest.test_case "not-null columns" `Quick test_not_null;
+          Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "validation" `Quick test_constraint_validation;
+          Alcotest.test_case "requalify" `Quick test_requalify;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "domains" `Quick test_catalog_domains;
+          Alcotest.test_case "duplicate names" `Quick test_duplicate_names;
+          Alcotest.test_case "T predicates (weakening)" `Quick
+            test_table_checks_weakening;
+          Alcotest.test_case "raw check predicates" `Quick
+            test_check_predicates_raw;
+        ] );
+    ]

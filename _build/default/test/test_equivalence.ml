@@ -1,0 +1,369 @@
+(* The flagship property suite: randomized verification of the paper's Main
+   Theorem and of TestFD's soundness (Theorem 4).
+
+   For random schemas (with and without keys), random instances (with NULLs
+   and duplicates) and random queries from the canonical class we check:
+
+   - SUFFICIENCY (Lemma 6, instance-wise): if FD1 and FD2 hold in the
+     materialised join σ(C1∧C0∧C2)(r1×r2), then E1(r1,r2) = E2(r1,r2) as
+     multisets.
+   - TESTFD SOUNDNESS (Theorem 4): whenever TestFD answers YES, FD1 and FD2
+     hold on every generated instance — hence the plans agree.
+   - THEOREM 2: with DISTINCT and a strict subset of the grouping columns
+     projected, FD1 ∧ FD2 still implies equivalence.
+   - GENERATOR DIVERSITY: the random family actually produces YES cases,
+     FD-violating cases, and non-equivalent plans (otherwise the above
+     would pass vacuously).  *)
+
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+open Eager_core
+
+let cr = Colref.make
+
+let coldef name ctype : Table_def.column_def =
+  { Table_def.cname = name; ctype; domain = None }
+
+(* ------------------------------------------------------------------ *)
+(* random case generation *)
+
+type s_key_kind = No_key | Primary_x | Nullable_unique_x
+
+type case = {
+  s_keyed : s_key_kind;
+  r_rows : (Value.t * Value.t * Value.t) list; (* a, b, v *)
+  s_rows : (Value.t * Value.t) list; (* x, y *)
+  with_c0 : bool;
+  with_c1 : bool;
+  with_c2 : bool;
+  ga1_b : bool; (* group on R.b *)
+  ga2_x : bool; (* group on S.x *)
+  ga2_y : bool; (* group on S.y *)
+  agg_kind : int;
+      (* 0 COUNT(v), 1 SUM(v), 2 MIN(v), 3 COUNT-star, 4 AVG(v),
+         5 COUNT(DISTINCT v) — duplicate-sensitive, still pushable *)
+  distinct_subset : bool; (* Theorem 2 variant *)
+}
+
+let small_val ?(allow_null = true) st =
+  if allow_null && Random.State.int st 4 = 0 then Value.Null
+  else Value.Int (1 + Random.State.int st 3)
+
+let gen_case st =
+  let s_keyed =
+    match Random.State.int st 3 with
+    | 0 -> No_key
+    | 1 -> Primary_x
+    | _ -> Nullable_unique_x
+  in
+  let r_rows =
+    List.init
+      (Random.State.int st 10)
+      (fun _ -> (small_val st, small_val st, small_val st))
+  in
+  let s_rows =
+    List.init
+      (Random.State.int st 6)
+      (fun i ->
+        let x =
+          match s_keyed with
+          | Primary_x -> Value.Int (i + 1) (* distinct, non-null *)
+          | Nullable_unique_x ->
+              (* distinct when non-NULL, but NULLs may repeat — the SQL2
+                 UNIQUE semantics that nullable keys cannot be trusted *)
+              if Random.State.int st 3 = 0 then Value.Null else Value.Int (i + 1)
+          | No_key -> small_val st
+        in
+        (x, small_val st))
+  in
+  let ga1_b = Random.State.bool st in
+  let ga2_x = Random.State.bool st in
+  let ga2_y = Random.State.bool st in
+  (* keep at least one grouping column *)
+  let ga2_x = if (not ga1_b) && (not ga2_x) && not ga2_y then true else ga2_x in
+  {
+    s_keyed;
+    r_rows;
+    s_rows;
+    with_c0 = Random.State.int st 4 <> 0;
+    with_c1 = Random.State.bool st;
+    with_c2 = Random.State.bool st;
+    ga1_b;
+    ga2_x;
+    ga2_y;
+    agg_kind = Random.State.int st 6;
+    distinct_subset = Random.State.int st 4 = 0;
+  }
+
+let build_db (c : case) =
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "S"
+       [ coldef "x" Ctype.Int; coldef "y" Ctype.Int ]
+       (match c.s_keyed with
+       | Primary_x -> [ Constr.Primary_key [ "x" ] ]
+       | Nullable_unique_x -> [ Constr.Unique [ "x" ] ]
+       | No_key -> []));
+  Database.create_table db
+    (Table_def.make "R"
+       [ coldef "a" Ctype.Int; coldef "b" Ctype.Int; coldef "v" Ctype.Int ]
+       []);
+  List.iter
+    (fun (a, b, v) -> Database.insert_exn db "R" [ a; b; v ])
+    c.r_rows;
+  List.iter
+    (fun (x, y) ->
+      (* under a key, duplicates would be rejected — generator avoids them,
+         but stay safe *)
+      ignore (Database.insert db "S" [ x; y ]))
+    c.s_rows;
+  db
+
+let build_query db (c : case) : Canonical.t =
+  let ga1 = if c.ga1_b then [ cr "R" "b" ] else [] in
+  let ga2 =
+    (if c.ga2_x then [ cr "S" "x" ] else [])
+    @ if c.ga2_y then [ cr "S" "y" ] else []
+  in
+  let conj =
+    (if c.with_c0 then [ Expr.eq (Expr.col "R" "a") (Expr.col "S" "x") ] else [])
+    @ (if c.with_c1 then
+         [ Expr.Cmp (Expr.Ge, Expr.col "R" "b", Expr.int 1) ]
+       else [])
+    @
+    if c.with_c2 then [ Expr.Cmp (Expr.Le, Expr.col "S" "y", Expr.int 2) ]
+    else []
+  in
+  let v = Expr.col "R" "v" in
+  let agg =
+    match c.agg_kind with
+    | 0 -> Agg.count (cr "" "agg") v
+    | 1 -> Agg.sum (cr "" "agg") v
+    | 2 -> Agg.min_ (cr "" "agg") v
+    | 3 -> Agg.count_star (cr "" "agg")
+    | 4 -> Agg.avg (cr "" "agg") v
+    | _ -> Agg.count_distinct (cr "" "agg") v
+  in
+  let select_cols =
+    if c.distinct_subset then
+      (* strict subset: drop one grouping column if possible *)
+      match ga1 @ ga2 with _ :: rest when rest <> [] -> rest | all -> all
+    else ga1 @ ga2
+  in
+  Canonical.of_input_exn db
+    {
+      Canonical.sources =
+        [
+          { Canonical.table = "R"; rel = "R" };
+          { Canonical.table = "S"; rel = "S" };
+        ];
+      where = Expr.conj conj;
+      group_by = ga1 @ ga2;
+      select_cols;
+      select_aggs = [ agg ];
+      select_distinct = c.distinct_subset;
+      select_having = None;
+      r1_hint = [ "R" ];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* the drive loop: statistics plus per-case assertions *)
+
+let run_driver n seed =
+  let st = Random.State.make [| seed |] in
+  let yes_cases = ref 0 in
+  let fd_ok_cases = ref 0 in
+  let fd_fail_cases = ref 0 in
+  let nonequiv_cases = ref 0 in
+  for k = 1 to n do
+    let c = gen_case st in
+    let db = build_db c in
+    let q = build_query db c in
+    let chk = Theorem.check db q in
+    let fd_both = chk.Theorem.fd1 && chk.Theorem.fd2 in
+    let equiv = Theorem.equivalent db q in
+    if fd_both then incr fd_ok_cases else incr fd_fail_cases;
+    if not equiv then incr nonequiv_cases;
+    (* SUFFICIENCY: FD1 ∧ FD2 on the instance ⇒ plans agree.
+       (Holds for the ALL/full-projection case by the Main Theorem and for
+       the DISTINCT/subset case by Theorem 2.) *)
+    if fd_both && not equiv then
+      Alcotest.fail
+        (Printf.sprintf
+           "case %d: FD1 ∧ FD2 hold but E1 ≠ E2\n%s\nR=%s\nS=%s" k
+           (Format.asprintf "%a" Canonical.pp q)
+           (String.concat ";"
+              (List.map
+                 (fun (a, b, v) ->
+                   Printf.sprintf "(%s,%s,%s)" (Value.to_string a)
+                     (Value.to_string b) (Value.to_string v))
+                 c.r_rows))
+           (String.concat ";"
+              (List.map
+                 (fun (x, y) ->
+                   Printf.sprintf "(%s,%s)" (Value.to_string x)
+                     (Value.to_string y))
+                 c.s_rows)));
+    (* TESTFD SOUNDNESS *)
+    (match Testfd.test db q with
+    | Testfd.Yes ->
+        incr yes_cases;
+        if not fd_both then
+          Alcotest.fail
+            (Printf.sprintf "case %d: TestFD said YES but FD1=%b FD2=%b" k
+               chk.Theorem.fd1 chk.Theorem.fd2);
+        if not equiv then
+          Alcotest.fail (Printf.sprintf "case %d: TestFD YES but E1 ≠ E2" k)
+    | Testfd.No _ -> ());
+    (* strict mode must be at most as permissive as the relaxed mode *)
+    match Testfd.test ~strict:true db q with
+    | Testfd.Yes -> (
+        match Testfd.test ~strict:false db q with
+        | Testfd.Yes -> ()
+        | Testfd.No _ ->
+            Alcotest.fail
+              (Printf.sprintf "case %d: strict YES but relaxed NO" k))
+    | Testfd.No _ -> ()
+  done;
+  (!yes_cases, !fd_ok_cases, !fd_fail_cases, !nonequiv_cases)
+
+let test_main_theorem_randomized () =
+  let yes, fd_ok, fd_fail, nonequiv = run_driver 600 20260705 in
+  (* generator diversity: all regions of the space were exercised *)
+  Alcotest.(check bool)
+    (Printf.sprintf "some TestFD YES cases (%d)" yes)
+    true (yes > 30);
+  Alcotest.(check bool)
+    (Printf.sprintf "some FD-holding cases (%d)" fd_ok)
+    true (fd_ok > 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "some FD-violating cases (%d)" fd_fail)
+    true (fd_fail > 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "some genuinely non-equivalent cases (%d)" nonequiv)
+    true
+    (nonequiv > 20)
+
+let test_second_seed () =
+  ignore (run_driver 400 987654321)
+
+let test_third_seed_larger_tables () =
+  (* a denser variant: more rows, more collisions *)
+  let st = Random.State.make [| 1337 |] in
+  for _ = 1 to 150 do
+    let c = gen_case st in
+    let c =
+      {
+        c with
+        r_rows =
+          List.init 25 (fun _ -> (small_val st, small_val st, small_val st));
+      }
+    in
+    let db = build_db c in
+    let q = build_query db c in
+    let chk = Theorem.check db q in
+    if chk.Theorem.fd1 && chk.Theorem.fd2 then
+      Alcotest.(check bool) "sufficiency on dense case" true
+        (Theorem.equivalent db q)
+  done
+
+(* Necessity (Lemmas 2 and 3) exercised concretely: a known FD1-violating
+   instance and a known FD2-violating instance must yield E1 ≠ E2. *)
+let test_necessity_witnesses () =
+  (* FD2 violation: S unkeyed with duplicate x values; group on S.y.
+     Two S rows (x=1, y=1): the eager plan emits the aggregated R' row once
+     per S row. *)
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "S" [ coldef "x" Ctype.Int; coldef "y" Ctype.Int ] []);
+  Database.create_table db
+    (Table_def.make "R"
+       [ coldef "a" Ctype.Int; coldef "b" Ctype.Int; coldef "v" Ctype.Int ]
+       []);
+  Database.load db "S" [ [ Value.Int 1; Value.Int 1 ]; [ Value.Int 1; Value.Int 1 ] ];
+  Database.load db "R" [ [ Value.Int 1; Value.Int 1; Value.Int 5 ] ];
+  let q =
+    Canonical.of_input_exn db
+      {
+        Canonical.sources =
+          [
+            { Canonical.table = "R"; rel = "R" };
+            { Canonical.table = "S"; rel = "S" };
+          ];
+        where = Expr.eq (Expr.col "R" "a") (Expr.col "S" "x");
+        group_by = [ cr "S" "y" ];
+        select_cols = [ cr "S" "y" ];
+        select_aggs = [ Agg.count (cr "" "n") (Expr.col "R" "v") ];
+        select_distinct = false;
+        select_having = None;
+        r1_hint = [ "R" ];
+      }
+  in
+  let chk = Theorem.check db q in
+  Alcotest.(check bool) "FD2 violated" false chk.Theorem.fd2;
+  Alcotest.(check bool) "E1 ≠ E2" false (Theorem.equivalent db q);
+  (* E1: one group (y=1, count 2); E2: R' has one row joining both S rows *)
+  let e1_rows = Eager_exec.Exec.run_rows db (Plans.e1 db q) in
+  let e2_rows = Eager_exec.Exec.run_rows db (Plans.e2 db q) in
+  Alcotest.(check int) "E1 has 1 row" 1 (List.length e1_rows);
+  Alcotest.(check int) "E2 has 2 rows" 2 (List.length e2_rows)
+
+let test_fd1_violation_witness () =
+  (* FD1 violation: group on S.y only while GA1+ = {R.a}; two R rows with
+     different a both join rows with the same y. *)
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "S" [ coldef "x" Ctype.Int; coldef "y" Ctype.Int ]
+       [ Constr.Primary_key [ "x" ] ]);
+  Database.create_table db
+    (Table_def.make "R"
+       [ coldef "a" Ctype.Int; coldef "b" Ctype.Int; coldef "v" Ctype.Int ]
+       []);
+  Database.load db "S" [ [ Value.Int 1; Value.Int 7 ]; [ Value.Int 2; Value.Int 7 ] ];
+  Database.load db "R"
+    [ [ Value.Int 1; Value.Int 1; Value.Int 5 ];
+      [ Value.Int 2; Value.Int 1; Value.Int 6 ] ];
+  let q =
+    Canonical.of_input_exn db
+      {
+        Canonical.sources =
+          [
+            { Canonical.table = "R"; rel = "R" };
+            { Canonical.table = "S"; rel = "S" };
+          ];
+        where = Expr.eq (Expr.col "R" "a") (Expr.col "S" "x");
+        group_by = [ cr "S" "y" ];
+        select_cols = [ cr "S" "y" ];
+        select_aggs = [ Agg.sum (cr "" "s") (Expr.col "R" "v") ];
+        select_distinct = false;
+        select_having = None;
+        r1_hint = [ "R" ];
+      }
+  in
+  let chk = Theorem.check db q in
+  Alcotest.(check bool) "FD1 violated" false chk.Theorem.fd1;
+  Alcotest.(check bool) "E1 ≠ E2" false (Theorem.equivalent db q)
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "randomized",
+        [
+          Alcotest.test_case "main theorem, 600 cases" `Slow
+            test_main_theorem_randomized;
+          Alcotest.test_case "second seed, 400 cases" `Slow test_second_seed;
+          Alcotest.test_case "dense instances" `Slow
+            test_third_seed_larger_tables;
+        ] );
+      ( "necessity witnesses",
+        [
+          Alcotest.test_case "FD2 violation ⇒ E1 ≠ E2" `Quick
+            test_necessity_witnesses;
+          Alcotest.test_case "FD1 violation ⇒ E1 ≠ E2" `Quick
+            test_fd1_violation_witness;
+        ] );
+    ]

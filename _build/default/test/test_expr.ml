@@ -1,0 +1,348 @@
+(* Tests for the expression language: 3VL evaluation, normal forms, atom
+   classification and predicate splitting. *)
+
+open Eager_value
+open Eager_schema
+open Eager_expr
+
+let tb = Alcotest.testable Tbool.pp Tbool.equal
+let vv = Alcotest.testable Value.pp Value.equal
+
+(* A three-column schema used throughout: R.a, R.b (ints), R.s (string). *)
+let schema =
+  Schema.make
+    [
+      (Colref.make "R" "a", Ctype.Int);
+      (Colref.make "R" "b", Ctype.Int);
+      (Colref.make "R" "s", Ctype.String);
+    ]
+
+let row a b s : Row.t = [| a; b; s |]
+let r1 = row (Value.Int 1) (Value.Int 2) (Value.Str "x")
+let r_null = row Value.Null (Value.Int 2) (Value.Str "x")
+
+let a = Expr.col "R" "a"
+let b = Expr.col "R" "b"
+let s = Expr.col "R" "s"
+
+let test_eval_scalar () =
+  Alcotest.check vv "col" (Value.Int 1) (Expr.eval schema a r1);
+  Alcotest.check vv "arith" (Value.Int 3)
+    (Expr.eval schema (Expr.Arith (Expr.Add, a, b)) r1);
+  Alcotest.check vv "arith with NULL" Value.Null
+    (Expr.eval schema (Expr.Arith (Expr.Add, a, b)) r_null);
+  Alcotest.check vv "neg" (Value.Int (-1)) (Expr.eval schema (Expr.Neg a) r1);
+  Alcotest.check vv "string" (Value.Str "x") (Expr.eval schema s r1)
+
+let test_eval_pred () =
+  Alcotest.check tb "a = 1" Tbool.True
+    (Expr.eval_pred schema (Expr.eq a (Expr.int 1)) r1);
+  Alcotest.check tb "a = 2" Tbool.False
+    (Expr.eval_pred schema (Expr.eq a (Expr.int 2)) r1);
+  Alcotest.check tb "NULL = 1 is unknown" Tbool.Unknown
+    (Expr.eval_pred schema (Expr.eq a (Expr.int 1)) r_null);
+  Alcotest.check tb "unknown AND false = false" Tbool.False
+    (Expr.eval_pred schema
+       (Expr.And (Expr.eq a (Expr.int 1), Expr.eq b (Expr.int 99)))
+       r_null);
+  Alcotest.check tb "unknown OR true = true" Tbool.True
+    (Expr.eval_pred schema
+       (Expr.Or (Expr.eq a (Expr.int 1), Expr.eq b (Expr.int 2)))
+       r_null);
+  Alcotest.check tb "NOT unknown = unknown" Tbool.Unknown
+    (Expr.eval_pred schema (Expr.Not (Expr.eq a (Expr.int 1))) r_null);
+  Alcotest.check tb "IS NULL on NULL" Tbool.True
+    (Expr.eval_pred schema (Expr.Is_null a) r_null);
+  Alcotest.check tb "IS NULL on value" Tbool.False
+    (Expr.eval_pred schema (Expr.Is_null a) r1);
+  Alcotest.check tb "IS NOT NULL on NULL" Tbool.False
+    (Expr.eval_pred schema (Expr.Is_not_null a) r_null)
+
+let test_params () =
+  let params name = if name = "p" then Value.Int 1 else Value.Null in
+  Alcotest.check tb "a = :p" Tbool.True
+    (Expr.eval_pred ~params schema (Expr.eq a (Expr.Param "p")) r1);
+  Alcotest.(check (list string)) "params collected" [ "p"; "q" ]
+    (Expr.params
+       (Expr.And (Expr.eq a (Expr.Param "p"), Expr.eq b (Expr.Param "q"))))
+
+let test_conjuncts () =
+  let e = Expr.conj [ Expr.eq a b; Expr.eq b s; Expr.eq s a ] in
+  Alcotest.(check int) "three conjuncts" 3 (List.length (Expr.conjuncts e));
+  Alcotest.(check int) "etrue has none" 0 (List.length (Expr.conjuncts Expr.etrue));
+  Alcotest.(check int) "disjuncts" 2
+    (List.length (Expr.disjuncts (Expr.Or (Expr.eq a b, Expr.eq b s))))
+
+let test_columns () =
+  let e = Expr.And (Expr.eq a b, Expr.eq s (Expr.str "x")) in
+  Alcotest.(check int) "3 columns" 3 (Colref.Set.cardinal (Expr.columns e))
+
+let test_classify_atom () =
+  (match Expr.classify_atom (Expr.eq a (Expr.int 5)) with
+  | Expr.Col_eq_const (c, Value.Int 5) ->
+      Alcotest.(check string) "col" "R.a" (Colref.to_string c)
+  | _ -> Alcotest.fail "expected Col_eq_const");
+  (match Expr.classify_atom (Expr.eq (Expr.int 5) a) with
+  | Expr.Col_eq_const _ -> ()
+  | _ -> Alcotest.fail "flipped constant");
+  (match Expr.classify_atom (Expr.eq a b) with
+  | Expr.Col_eq_col _ -> ()
+  | _ -> Alcotest.fail "expected Col_eq_col");
+  (match Expr.classify_atom (Expr.eq a (Expr.Param "h")) with
+  | Expr.Col_eq_param _ -> ()
+  | _ -> Alcotest.fail "expected Col_eq_param");
+  (match Expr.classify_atom (Expr.Cmp (Expr.Lt, a, b)) with
+  | Expr.Other_atom -> ()
+  | _ -> Alcotest.fail "expected Other_atom");
+  match Expr.classify_atom (Expr.Is_null a) with
+  | Expr.Other_atom -> ()
+  | _ -> Alcotest.fail "IS NULL is not an equality atom"
+
+let test_split_conjuncts () =
+  let left = Colref.set_of_list [ Colref.make "R" "a"; Colref.make "R" "b" ] in
+  let right = Colref.set_of_list [ Colref.make "S" "x" ] in
+  let x = Expr.col "S" "x" in
+  let c1, c0, c2 =
+    Expr.split_conjuncts ~left ~right
+      (Expr.conj
+         [
+           Expr.eq a (Expr.int 1);
+           Expr.eq a x;
+           Expr.eq x (Expr.int 2);
+           Expr.eq (Expr.int 1) (Expr.int 1);
+         ])
+  in
+  Alcotest.(check int) "c1: a=1 plus the column-free conjunct" 2 (List.length c1);
+  Alcotest.(check int) "c0: a=x" 1 (List.length c0);
+  Alcotest.(check int) "c2: x=2" 1 (List.length c2);
+  Alcotest.check_raises "unknown column rejected"
+    (Failure "predicate mentions unknown column T.z") (fun () ->
+      ignore (Expr.split_conjuncts ~left ~right (Expr.eq (Expr.col "T" "z") a)))
+
+let test_infer () =
+  let ok = function Ok t -> Ctype.to_string t | Error e -> "error: " ^ e in
+  Alcotest.(check string) "int col" "INTEGER" (ok (Expr.infer schema a));
+  Alcotest.(check string) "comparison is bool" "BOOLEAN"
+    (ok (Expr.infer schema (Expr.eq a b)));
+  Alcotest.(check string) "arith stays int" "INTEGER"
+    (ok (Expr.infer schema (Expr.Arith (Expr.Add, a, b))));
+  Alcotest.(check bool) "cannot compare int and string" true
+    (Result.is_error (Expr.infer schema (Expr.eq a s)));
+  Alcotest.(check bool) "AND over non-bool rejected" true
+    (Result.is_error (Expr.infer schema (Expr.And (a, b))));
+  Alcotest.(check bool) "unknown column rejected" true
+    (Result.is_error (Expr.infer schema (Expr.col "R" "zz")))
+
+let test_like () =
+  let m pattern s = Expr.like_matches ~pattern s in
+  Alcotest.(check bool) "literal" true (m "abc" "abc");
+  Alcotest.(check bool) "literal mismatch" false (m "abc" "abd");
+  Alcotest.(check bool) "underscore" true (m "a_c" "abc");
+  Alcotest.(check bool) "underscore needs a char" false (m "a_c" "ac");
+  Alcotest.(check bool) "percent any" true (m "%" "");
+  Alcotest.(check bool) "prefix" true (m "ab%" "abcdef");
+  Alcotest.(check bool) "suffix" true (m "%ef" "abcdef");
+  Alcotest.(check bool) "infix" true (m "%cd%" "abcdef");
+  Alcotest.(check bool) "multi-wildcard" true (m "a%c%e_" "abcdef");
+  Alcotest.(check bool) "backtracking" true (m "%ab%ab" "abab");
+  Alcotest.(check bool) "no match" false (m "%xyz%" "abcdef");
+  Alcotest.(check bool) "empty pattern vs nonempty" false (m "" "a");
+  (* evaluation semantics *)
+  let e = Expr.Like { negated = false; arg = s; pattern = "x%" } in
+  Alcotest.check tb "LIKE true" Tbool.True (Expr.eval_pred schema e r1);
+  let en = Expr.Like { negated = true; arg = s; pattern = "x%" } in
+  Alcotest.check tb "NOT LIKE false" Tbool.False (Expr.eval_pred schema en r1);
+  (* NULL argument → unknown *)
+  let row_null_s = [| Value.Int 1; Value.Int 2; Value.Null |] in
+  Alcotest.check tb "NULL LIKE is unknown" Tbool.Unknown
+    (Expr.eval_pred schema e row_null_s);
+  (* typing: LIKE needs a string *)
+  Alcotest.(check bool) "LIKE over int rejected" true
+    (Result.is_error
+       (Expr.infer schema (Expr.Like { negated = false; arg = a; pattern = "1" })));
+  (* nnf flips negation *)
+  match Expr.nnf (Expr.Not e) with
+  | Expr.Like { negated = true; _ } -> ()
+  | _ -> Alcotest.fail "nnf should flip LIKE negation"
+
+let test_case_expr () =
+  let grade =
+    Expr.Case
+      {
+        branches =
+          [
+            (Expr.Cmp (Expr.Ge, a, Expr.int 2), Expr.str "hi");
+            (Expr.Cmp (Expr.Ge, a, Expr.int 1), Expr.str "mid");
+          ];
+        else_ = Some (Expr.str "lo");
+      }
+  in
+  Alcotest.check vv "first matching branch" (Value.Str "mid")
+    (Expr.eval schema grade r1);
+  Alcotest.check vv "higher branch wins" (Value.Str "hi")
+    (Expr.eval schema grade (row (Value.Int 5) (Value.Int 0) (Value.Str "")));
+  (* unknown conditions are skipped (a = NULL) *)
+  Alcotest.check vv "NULL falls through to ELSE" (Value.Str "lo")
+    (Expr.eval schema grade r_null);
+  (* no ELSE: NULL *)
+  let no_else =
+    Expr.Case
+      { branches = [ (Expr.eq a (Expr.int 99), Expr.str "x") ]; else_ = None }
+  in
+  Alcotest.check vv "missing ELSE is NULL" Value.Null
+    (Expr.eval schema no_else r1);
+  (* typing *)
+  Alcotest.(check bool) "compatible branches infer" true
+    (Result.is_ok (Expr.infer schema grade));
+  let bad =
+    Expr.Case
+      {
+        branches = [ (Expr.eq a (Expr.int 1), Expr.int 1) ];
+        else_ = Some (Expr.str "s");
+      }
+  in
+  Alcotest.(check bool) "incompatible branches rejected" true
+    (Result.is_error (Expr.infer schema bad));
+  (* columns traversal sees all arms *)
+  Alcotest.(check int) "columns" 1 (Colref.Set.cardinal (Expr.columns grade))
+
+(* ---------------- normal forms: semantics preservation ---------------- *)
+
+let pred_gen =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun n -> Expr.eq a (Expr.int n)) (int_range 0 2);
+        map (fun n -> Expr.eq b (Expr.int n)) (int_range 0 2);
+        return (Expr.eq a b);
+        map (fun n -> Expr.Cmp (Expr.Lt, a, Expr.int n)) (int_range 0 2);
+        return (Expr.Is_null a);
+        (* LIKE and CASE participate in the normal-form properties too *)
+        map
+          (fun p -> Expr.Like { negated = false; arg = s; pattern = p })
+          (oneofl [ "x%"; "_"; "%y" ]);
+        map2
+          (fun n m ->
+            Expr.eq
+              (Expr.Case
+                 {
+                   branches = [ (Expr.eq a (Expr.int n), Expr.int 1) ];
+                   else_ = Some (Expr.int 0);
+                 })
+              (Expr.int m))
+          (int_range 0 2) (int_range 0 1);
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (2, map2 (fun x y -> Expr.And (x, y)) (go (depth - 1)) (go (depth - 1)));
+          (2, map2 (fun x y -> Expr.Or (x, y)) (go (depth - 1)) (go (depth - 1)));
+          (1, map (fun x -> Expr.Not x) (go (depth - 1)));
+        ]
+  in
+  go 3
+
+let pred_arb = QCheck.make ~print:Expr.to_string pred_gen
+
+let small_value =
+  QCheck.Gen.(
+    oneof [ return Value.Null; map (fun n -> Value.Int n) (int_range 0 2) ])
+
+let row_gen =
+  QCheck.Gen.(
+    map3
+      (fun a b s -> [| a; b; s |])
+      small_value small_value
+      (oneof
+         [ return Value.Null; map (fun s -> Value.Str s) (oneofl [ "x"; "xy"; "zy" ]) ]))
+
+let row_arb = QCheck.make ~print:Row.to_string row_gen
+
+let prop_nnf_preserves_3vl =
+  QCheck.Test.make ~count:1000 ~name:"nnf preserves 3VL semantics"
+    (QCheck.pair pred_arb row_arb)
+    (fun (e, r) ->
+      Tbool.equal (Expr.eval_pred schema e r)
+        (Expr.eval_pred schema (Expr.nnf e) r))
+
+let prop_cnf_preserves_3vl =
+  QCheck.Test.make ~count:1000 ~name:"cnf preserves 3VL semantics"
+    (QCheck.pair pred_arb row_arb)
+    (fun (e, r) ->
+      Tbool.equal
+        (Expr.eval_pred schema e r)
+        (Expr.eval_pred schema (Expr.of_cnf (Expr.cnf e)) r))
+
+let prop_dnf_preserves_3vl =
+  QCheck.Test.make ~count:500 ~name:"dnf preserves 3VL semantics"
+    (QCheck.pair pred_arb row_arb)
+    (fun (e, r) ->
+      match Expr.dnf_of_cnf ~cap:4096 (Expr.cnf e) with
+      | None -> true (* blow-up: allowed to bail *)
+      | Some d ->
+          Tbool.equal
+            (Expr.eval_pred schema e r)
+            (Expr.eval_pred schema (Expr.of_dnf d) r))
+
+let prop_compiled_matches_eval =
+  QCheck.Test.make ~count:500 ~name:"compile_pred agrees with eval_pred"
+    (QCheck.pair pred_arb row_arb)
+    (fun (e, r) ->
+      let compiled = Expr.compile_pred schema e in
+      Tbool.equal (compiled r) (Expr.eval_pred schema e r))
+
+let test_cnf_shapes () =
+  let e =
+    Expr.And
+      (Expr.Or (Expr.eq a (Expr.int 1), Expr.eq b (Expr.int 1)), Expr.eq a b)
+  in
+  Alcotest.(check int) "two clauses" 2 (List.length (Expr.cnf e));
+  Alcotest.(check int) "cnf of true is empty" 0 (List.length (Expr.cnf Expr.etrue));
+  match Expr.dnf_of_cnf (Expr.cnf e) with
+  | Some d -> Alcotest.(check int) "two disjuncts" 2 (List.length d)
+  | None -> Alcotest.fail "no blow-up expected"
+
+let test_dnf_cap () =
+  let clause i = Expr.Or (Expr.eq a (Expr.int i), Expr.eq b (Expr.int i)) in
+  let e = Expr.conj (List.init 8 clause) in
+  match Expr.dnf_of_cnf (Expr.cnf e) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected cap to trigger"
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "scalar" `Quick test_eval_scalar;
+          Alcotest.test_case "predicates (3VL)" `Quick test_eval_pred;
+          Alcotest.test_case "host variables" `Quick test_params;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "conjuncts/disjuncts" `Quick test_conjuncts;
+          Alcotest.test_case "columns" `Quick test_columns;
+          Alcotest.test_case "atom classification" `Quick test_classify_atom;
+          Alcotest.test_case "C1/C0/C2 split" `Quick test_split_conjuncts;
+          Alcotest.test_case "type inference" `Quick test_infer;
+          Alcotest.test_case "cnf shapes" `Quick test_cnf_shapes;
+          Alcotest.test_case "dnf cap" `Quick test_dnf_cap;
+          Alcotest.test_case "LIKE" `Quick test_like;
+          Alcotest.test_case "CASE" `Quick test_case_expr;
+        ] );
+      ( "properties",
+        qsuite
+          [
+            prop_nnf_preserves_3vl;
+            prop_cnf_preserves_3vl;
+            prop_dnf_preserves_3vl;
+            prop_compiled_matches_eval;
+          ] );
+    ]

@@ -1,0 +1,408 @@
+(* Tests for the two extensions beyond the paper's core:
+
+   - column substitution (Section 9 "concluding remarks"): equivalent
+     queries obtained by replacing equated columns can become
+     canonicalisable/transformable;
+   - HAVING (the paper's stated future work): the filter commutes with the
+     group↔row bijection established by FD1/FD2, so E1 ≡ E2 carries over. *)
+
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+open Eager_exec
+open Eager_core
+open Eager_parser
+
+let cr = Colref.make
+let i n = Value.Int n
+
+let coldef name ctype : Table_def.column_def =
+  { Table_def.cname = name; ctype; domain = None }
+
+let emp_db () =
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "Department"
+       [ coldef "DeptID" Ctype.Int; coldef "Name" Ctype.String ]
+       [ Constr.Primary_key [ "DeptID" ] ]);
+  Database.create_table db
+    (Table_def.make "Employee"
+       [ coldef "EmpID" Ctype.Int; coldef "DeptID" Ctype.Int;
+         coldef "Sal" Ctype.Int ]
+       [ Constr.Primary_key [ "EmpID" ] ]);
+  Database.load db "Department"
+    [ [ i 1; Value.Str "R" ]; [ i 2; Value.Str "S" ]; [ i 3; Value.Str "T" ] ];
+  Database.load db "Employee"
+    [ [ i 1; i 1; i 100 ]; [ i 2; i 1; i 250 ]; [ i 3; i 2; i 50 ];
+      [ i 4; i 2; i 75 ]; [ i 5; Value.Null; i 10 ] ];
+  db
+
+let base_input ?(aggs = [ Agg.count (cr "" "n") (Expr.col "E" "EmpID") ])
+    ?(group_by = [ cr "D" "DeptID" ]) ?(select_cols = [ cr "D" "DeptID" ])
+    ?having () : Canonical.input =
+  {
+    Canonical.sources =
+      [
+        { Canonical.table = "Employee"; rel = "E" };
+        { Canonical.table = "Department"; rel = "D" };
+      ];
+    where = Expr.eq (Expr.col "E" "DeptID") (Expr.col "D" "DeptID");
+    group_by;
+    select_cols;
+    select_aggs = aggs;
+    select_distinct = false;
+    select_having = having;
+    r1_hint = [];
+  }
+
+(* straightforward plan for an input that may not canonicalise: join
+   everything, group, filter, project — used as the reference result *)
+let reference_plan db (input : Canonical.input) =
+  let tree =
+    Plans.join_tree db input.Canonical.sources
+      (Expr.conjuncts input.Canonical.where)
+  in
+  let grouped =
+    Plan.group ~by:input.Canonical.group_by ~aggs:input.Canonical.select_aggs
+      tree
+  in
+  let filtered =
+    match input.Canonical.select_having with
+    | None -> grouped
+    | Some h -> Plan.select h grouped
+  in
+  Plan.project ~dedup:input.Canonical.select_distinct
+    (input.Canonical.select_cols
+    @ List.map (fun (a : Agg.t) -> a.Agg.name) input.Canonical.select_aggs)
+    filtered
+
+(* ------------------------------------------------------------------ *)
+(* column substitution *)
+
+let test_variants_shape () =
+  let input = base_input () in
+  let vs = Substitute.variants input in
+  (* original + substitutions; deduplicated *)
+  Alcotest.(check bool) "original first" true
+    (List.hd vs == input || List.hd vs = input);
+  Alcotest.(check bool) "more than one variant" true (List.length vs > 1);
+  (* no duplicates *)
+  let rendered =
+    List.map
+      (fun (v : Canonical.input) ->
+        ( List.map Colref.to_string v.Canonical.group_by,
+          List.map Agg.to_string v.Canonical.select_aggs ))
+      vs
+  in
+  Alcotest.(check int) "deduplicated" (List.length rendered)
+    (List.length (List.sort_uniq compare rendered))
+
+let test_substitution_spanning_aggregate () =
+  (* SUM(E.Sal + D.DeptID): AA spans both tables → not canonicalisable as
+     written; substituting D.DeptID ↦ E.DeptID confines AA to E. *)
+  let db = emp_db () in
+  let input =
+    base_input
+      ~aggs:
+        [
+          Agg.sum (cr "" "s")
+            (Expr.Arith (Expr.Add, Expr.col "E" "Sal", Expr.col "D" "DeptID"));
+        ]
+      ()
+  in
+  (match Canonical.of_input db input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should not canonicalise as written");
+  match Substitute.find_transformable db input with
+  | Error msg -> Alcotest.fail ("substitution should rescue this query: " ^ msg)
+  | Ok (q, rewritten) ->
+      (* the rewritten aggregate references only E columns *)
+      Alcotest.(check (list string)) "R1 = Employee" [ "E" ]
+        (List.map (fun s -> s.Canonical.rel) q.Canonical.r1);
+      (* and the transformed plan agrees with the reference execution of
+         the rewritten query AND of a manually-verified expected result *)
+      let eager_rows = Exec.run_rows db (Plans.e2 db q) in
+      let ref_rows = Exec.run_rows db (reference_plan db rewritten) in
+      Alcotest.(check bool) "eager = reference" true
+        (Exec.multiset_equal eager_rows ref_rows);
+      (* dept 1: (100+1)+(250+1)=352; dept 2: (50+2)+(75+2)=129 *)
+      let sorted = List.sort compare (List.map Row.to_string eager_rows) in
+      Alcotest.(check (list string)) "values" [ "(1, 352)"; "(2, 129)" ] sorted
+
+let test_substitution_partition_flip () =
+  (* COUNT(D.DeptID) puts D on the R1 side where FD2 needs a key of E —
+     underivable; substituting D.DeptID ↦ E.DeptID flips the partition. *)
+  let db = emp_db () in
+  let input =
+    base_input
+      ~aggs:[ Agg.count (cr "" "n") (Expr.col "D" "DeptID") ]
+      ~group_by:[ cr "E" "DeptID" ]
+      ~select_cols:[ cr "E" "DeptID" ]
+      ()
+  in
+  (* as written: canonicalises with R1 = {D} but TestFD refuses *)
+  (match Canonical.of_input db input with
+  | Ok q -> (
+      Alcotest.(check (list string)) "R1 = D as written" [ "D" ]
+        (List.map (fun s -> s.Canonical.rel) q.Canonical.r1);
+      match Testfd.test db q with
+      | Testfd.No _ -> ()
+      | Testfd.Yes -> Alcotest.fail "should fail as written")
+  | Error msg -> Alcotest.fail msg);
+  match Substitute.find_transformable db input with
+  | Error msg -> Alcotest.fail ("substitution should rescue this query: " ^ msg)
+  | Ok (q, rewritten) ->
+      Alcotest.(check (list string)) "R1 flipped to E" [ "E" ]
+        (List.map (fun s -> s.Canonical.rel) q.Canonical.r1);
+      let eager_rows = Exec.run_rows db (Plans.e2 db q) in
+      let ref_rows = Exec.run_rows db (reference_plan db rewritten) in
+      Alcotest.(check bool) "eager = reference" true
+        (Exec.multiset_equal eager_rows ref_rows);
+      (* ... and equals the original query's own reference execution,
+         since the substitution preserves the query's meaning *)
+      let orig_rows = Exec.run_rows db (reference_plan db input) in
+      Alcotest.(check bool) "rewritten ≡ original" true
+        (Exec.multiset_equal eager_rows orig_rows)
+
+let test_substitution_preserves_having () =
+  let input =
+    base_input ~having:(Expr.Cmp (Expr.Ge, Expr.Col (cr "" "n"), Expr.int 1)) ()
+  in
+  List.iter
+    (fun (v : Canonical.input) ->
+      Alcotest.(check bool) "variant keeps HAVING" true
+        (v.Canonical.select_having <> None))
+    (Substitute.variants input)
+
+let test_substitution_gives_up () =
+  (* no equalities to substitute with: inequality join *)
+  let db = emp_db () in
+  let input =
+    {
+      (base_input ()) with
+      Canonical.where =
+        Expr.Cmp (Expr.Lt, Expr.col "E" "DeptID", Expr.col "D" "DeptID");
+    }
+  in
+  match Substitute.find_transformable db input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nothing to substitute; must fail"
+
+(* randomized: whenever a substitution variant is accepted, its eager plan
+   must agree with the straightforward execution of the ORIGINAL query *)
+let test_substitution_randomized () =
+  let st = Random.State.make [| 4242 |] in
+  let found = ref 0 in
+  for _ = 1 to 120 do
+    let db = Database.create () in
+    Database.create_table db
+      (Table_def.make "Department"
+         [ coldef "DeptID" Ctype.Int; coldef "Name" Ctype.String ]
+         [ Constr.Primary_key [ "DeptID" ] ]);
+    Database.create_table db
+      (Table_def.make "Employee"
+         [ coldef "EmpID" Ctype.Int; coldef "DeptID" Ctype.Int;
+           coldef "Sal" Ctype.Int ]
+         [ Constr.Primary_key [ "EmpID" ] ]);
+    for d = 1 to 3 do
+      Database.insert_exn db "Department"
+        [ i d; Value.Str (String.make 1 (Char.chr (64 + d))) ]
+    done;
+    for e = 1 to 5 + Random.State.int st 15 do
+      let dept =
+        if Random.State.int st 6 = 0 then Value.Null
+        else i (1 + Random.State.int st 3)
+      in
+      Database.insert_exn db "Employee" [ i e; dept; i (Random.State.int st 200) ]
+    done;
+    (* two problematic families: a spanning aggregate, or an aggregate on
+       the "wrong" side *)
+    let input =
+      if Random.State.bool st then
+        base_input
+          ~aggs:
+            [
+              Agg.sum (cr "" "s")
+                (Expr.Arith
+                   (Expr.Add, Expr.col "E" "Sal", Expr.col "D" "DeptID"));
+            ]
+          ()
+      else
+        base_input
+          ~aggs:[ Agg.count (cr "" "n") (Expr.col "D" "DeptID") ]
+          ~group_by:[ cr "E" "DeptID" ]
+          ~select_cols:[ cr "E" "DeptID" ]
+          ()
+    in
+    match Substitute.find_transformable db input with
+    | Error _ -> ()
+    | Ok (q, _) ->
+        incr found;
+        let eager = Exec.run_rows db (Plans.e2 db q) in
+        let reference = Exec.run_rows db (reference_plan db input) in
+        if not (Exec.multiset_equal eager reference) then
+          Alcotest.fail
+            (Printf.sprintf "substitution changed the answer:\n%s"
+               (Format.asprintf "%a" Canonical.pp q))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "substitutions actually fired (%d)" !found)
+    true (!found > 60)
+
+(* ------------------------------------------------------------------ *)
+(* HAVING *)
+
+let test_having_canonicalisation () =
+  let db = emp_db () in
+  (* valid: references a grouping column and an aggregate output *)
+  let ok_input =
+    base_input
+      ~having:
+        (Expr.And
+           ( Expr.Cmp (Expr.Ge, Expr.Col (cr "" "n"), Expr.int 2),
+             Expr.Cmp (Expr.Ge, Expr.Col (cr "D" "DeptID"), Expr.int 1) ))
+      ()
+  in
+  (match Canonical.of_input db ok_input with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  (* invalid: references a non-grouping column *)
+  let bad_input =
+    base_input ~having:(Expr.Cmp (Expr.Gt, Expr.col "E" "Sal", Expr.int 0)) ()
+  in
+  match Canonical.of_input db bad_input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "HAVING over a non-grouping column must be rejected"
+
+let test_having_equivalence () =
+  let db = emp_db () in
+  let q =
+    Canonical.of_input_exn db
+      (base_input
+         ~having:(Expr.Cmp (Expr.Ge, Expr.Col (cr "" "n"), Expr.int 2))
+         ())
+  in
+  (match Testfd.test db q with
+  | Testfd.Yes -> ()
+  | Testfd.No r -> Alcotest.fail r);
+  Alcotest.(check bool) "E1 ≡ E2 with HAVING" true (Theorem.equivalent db q);
+  (* both departments have 2 employees; HAVING n >= 2 keeps both, n >= 3
+     keeps none — check actual filtering happens *)
+  let rows = Exec.run_rows db (Plans.e2 db q) in
+  Alcotest.(check int) "2 groups pass" 2 (List.length rows);
+  let q3 =
+    Canonical.of_input_exn db
+      (base_input
+         ~having:(Expr.Cmp (Expr.Ge, Expr.Col (cr "" "n"), Expr.int 3))
+         ())
+  in
+  Alcotest.(check int) "0 groups pass" 0
+    (List.length (Exec.run_rows db (Plans.e2 db q3)));
+  Alcotest.(check bool) "still equivalent" true (Theorem.equivalent db q3)
+
+let test_having_through_sql () =
+  let db = Database.create () in
+  (match
+     Binder.run_script db
+       {|CREATE TABLE Department (DeptID INTEGER, Name VARCHAR(30), PRIMARY KEY (DeptID));
+         CREATE TABLE Employee (EmpID INTEGER, DeptID INTEGER, PRIMARY KEY (EmpID),
+            FOREIGN KEY (DeptID) REFERENCES Department (DeptID));
+         INSERT INTO Department VALUES (1, 'R'), (2, 'S'), (3, 'T');
+         INSERT INTO Employee VALUES (1, 1), (2, 1), (3, 1), (4, 2), (5, NULL);|}
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let bind sql =
+    match Binder.bind_select db (Parser.parse_select sql) with
+    | Ok (Binder.Grouped input) -> input
+    | Ok _ -> Alcotest.fail "expected grouped"
+    | Error msg -> Alcotest.fail msg
+  in
+  (* via the alias *)
+  let input1 =
+    bind
+      "SELECT D.DeptID, COUNT(E.EmpID) AS n FROM Employee E, Department D \
+       WHERE E.DeptID = D.DeptID GROUP BY D.DeptID HAVING n >= 2"
+  in
+  (* via repeating the aggregate expression *)
+  let input2 =
+    bind
+      "SELECT D.DeptID, COUNT(E.EmpID) AS n FROM Employee E, Department D \
+       WHERE E.DeptID = D.DeptID GROUP BY D.DeptID HAVING COUNT(E.EmpID) >= 2"
+  in
+  List.iter
+    (fun input ->
+      let q = Canonical.of_input_exn db input in
+      (match Testfd.test db q with
+      | Testfd.Yes -> ()
+      | Testfd.No r -> Alcotest.fail r);
+      let rows = Exec.run_rows db (Plans.e2 db q) in
+      Alcotest.(check int) "only dept 1 passes" 1 (List.length rows);
+      Alcotest.(check bool) "equivalent" true (Theorem.equivalent db q))
+    [ input1; input2 ];
+  (* an aggregate in HAVING that is not in the SELECT list is rejected *)
+  match
+    Binder.bind_select db
+      (Parser.parse_select
+         "SELECT D.DeptID, COUNT(E.EmpID) AS n FROM Employee E, Department D \
+          WHERE E.DeptID = D.DeptID GROUP BY D.DeptID HAVING SUM(E.EmpID) > 3")
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "HAVING aggregate missing from SELECT must be rejected"
+
+(* randomized: FD1 ∧ FD2 ⇒ equivalence survives a HAVING filter *)
+let test_having_randomized () =
+  let st = Random.State.make [| 77 |] in
+  for _ = 1 to 200 do
+    let db = emp_db () in
+    (* random extra rows to vary group sizes *)
+    for k = 6 to 6 + Random.State.int st 20 do
+      ignore
+        (Database.insert db "Employee"
+           [
+             i k;
+             (if Random.State.int st 5 = 0 then Value.Null
+              else i (1 + Random.State.int st 3));
+             i (Random.State.int st 300);
+           ])
+    done;
+    let threshold = Random.State.int st 5 in
+    let q =
+      Canonical.of_input_exn db
+        (base_input
+           ~having:(Expr.Cmp (Expr.Ge, Expr.Col (cr "" "n"), Expr.int threshold))
+           ())
+    in
+    let chk = Theorem.check db q in
+    if chk.Theorem.fd1 && chk.Theorem.fd2 then
+      Alcotest.(check bool) "having-equivalence" true (Theorem.equivalent db q)
+  done
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "substitution",
+        [
+          Alcotest.test_case "variants" `Quick test_variants_shape;
+          Alcotest.test_case "spanning aggregate rescued" `Quick
+            test_substitution_spanning_aggregate;
+          Alcotest.test_case "partition flip rescued" `Quick
+            test_substitution_partition_flip;
+          Alcotest.test_case "gives up cleanly" `Quick test_substitution_gives_up;
+          Alcotest.test_case "randomized equivalence" `Slow
+            test_substitution_randomized;
+          Alcotest.test_case "HAVING preserved in variants" `Quick
+            test_substitution_preserves_having;
+        ] );
+      ( "having",
+        [
+          Alcotest.test_case "canonicalisation" `Quick
+            test_having_canonicalisation;
+          Alcotest.test_case "equivalence" `Quick test_having_equivalence;
+          Alcotest.test_case "through SQL" `Quick test_having_through_sql;
+          Alcotest.test_case "randomized" `Slow test_having_randomized;
+        ] );
+    ]

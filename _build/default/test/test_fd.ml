@@ -1,0 +1,284 @@
+(* Functional-dependency framework tests: attribute closure (Figure 7),
+   equality mining, instance-level verification, and the Example 2 derived
+   dependencies. *)
+
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_fd
+
+let cr rel name = Colref.make rel name
+
+(* ---------------- Figure 7: the closure illustration ----------------
+   Known: a: A1 = 25, b: A1 → A3, c: A3 = A4.   Conclusion: A2 → A4. *)
+let test_figure7 () =
+  let a1 = cr "R" "A1" and a2 = cr "R" "A2" and a3 = cr "R" "A3"
+  and a4 = cr "R" "A4" in
+  let closure =
+    Closure.compute
+      ~start:(Colref.set_of_list [ a2 ])
+      ~constants:(Colref.set_of_list [ a1 ])
+      ~equalities:[ (a3, a4) ]
+      ~fds:[ Fd.make [ a1 ] [ a3 ] ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Colref.to_string c ^ " in closure")
+        true (Colref.Set.mem c closure))
+    [ a1; a2; a3; a4 ];
+  Alcotest.(check bool) "A2 -> A4 implied" true
+    (Closure.implies
+       ~constants:(Colref.set_of_list [ a1 ])
+       ~equalities:[ (a3, a4) ]
+       ~fds:[ Fd.make [ a1 ] [ a3 ] ]
+       (Fd.make [ a2 ] [ a4 ]))
+
+let test_closure_no_rules () =
+  let a = cr "R" "a" and b = cr "R" "b" in
+  let closure =
+    Closure.compute
+      ~start:(Colref.set_of_list [ a ])
+      ~constants:Colref.Set.empty ~equalities:[] ~fds:[]
+  in
+  Alcotest.(check bool) "only the seed" true
+    (Colref.Set.equal closure (Colref.set_of_list [ a ]));
+  Alcotest.(check bool) "b not implied" false
+    (Closure.implies ~constants:Colref.Set.empty ~equalities:[] ~fds:[]
+       (Fd.make [ a ] [ b ]))
+
+let test_closure_transitive_equalities () =
+  (* a = b, b = c, c = d: closure of {a} contains d *)
+  let a = cr "R" "a" and b = cr "R" "b" and c = cr "R" "c" and d = cr "R" "d" in
+  let closure =
+    Closure.compute
+      ~start:(Colref.set_of_list [ a ])
+      ~constants:Colref.Set.empty
+      ~equalities:[ (c, d); (a, b); (b, c) ]
+      ~fds:[]
+  in
+  Alcotest.(check bool) "d reached through chain" true (Colref.Set.mem d closure)
+
+let test_closure_fd_needs_full_lhs () =
+  (* (a,b) → c must not fire from {a} alone *)
+  let a = cr "R" "a" and b = cr "R" "b" and c = cr "R" "c" in
+  let fds = [ Fd.make [ a; b ] [ c ] ] in
+  let from_a =
+    Closure.compute ~start:(Colref.set_of_list [ a ])
+      ~constants:Colref.Set.empty ~equalities:[] ~fds
+  in
+  Alcotest.(check bool) "c not reached from a" false (Colref.Set.mem c from_a);
+  let from_ab =
+    Closure.compute ~start:(Colref.set_of_list [ a; b ])
+      ~constants:Colref.Set.empty ~equalities:[] ~fds
+  in
+  Alcotest.(check bool) "c reached from (a,b)" true (Colref.Set.mem c from_ab)
+
+(* ---------------- mining ---------------- *)
+
+let test_mine () =
+  let a = Expr.col "R" "a" and b = Expr.col "R" "b" in
+  let mined =
+    Mine.of_atoms
+      [
+        Expr.eq a (Expr.int 5);
+        Expr.eq a b;
+        Expr.eq b (Expr.Param "h");
+        Expr.Cmp (Expr.Lt, a, b);
+      ]
+  in
+  Alcotest.(check int) "two constants (one by host variable)" 2
+    (Colref.Set.cardinal mined.Mine.constants);
+  Alcotest.(check int) "one equality" 1 (List.length mined.Mine.equalities);
+  Alcotest.(check int) "one residual" 1 (List.length mined.Mine.residual);
+  Alcotest.(check bool) "not all-equality" false
+    (Mine.all_equality_atoms [ Expr.eq a b; Expr.Cmp (Expr.Lt, a, b) ]);
+  Alcotest.(check bool) "all-equality" true
+    (Mine.all_equality_atoms [ Expr.eq a b; Expr.eq b (Expr.int 1) ])
+
+(* ---------------- instance-level verification ---------------- *)
+
+let schema2 =
+  Schema.make
+    [ (cr "R" "a", Ctype.Int); (cr "R" "b", Ctype.Int); (cr "R" "c", Ctype.Int) ]
+
+let rows_of l = List.map (fun (a, b, c) -> [| a; b; c |]) l
+
+let test_fd_holds_basic () =
+  let i n = Value.Int n in
+  let rows = rows_of [ (i 1, i 10, i 5); (i 1, i 10, i 6); (i 2, i 20, i 5) ] in
+  Alcotest.(check bool) "a -> b holds" true
+    (Instance_check.fd_holds ~schema:schema2 ~lhs:[ cr "R" "a" ]
+       ~rhs:[ cr "R" "b" ] rows);
+  Alcotest.(check bool) "a -> c fails" false
+    (Instance_check.fd_holds ~schema:schema2 ~lhs:[ cr "R" "a" ]
+       ~rhs:[ cr "R" "c" ] rows)
+
+let test_fd_holds_null_semantics () =
+  let i n = Value.Int n in
+  (* Definition 2 uses =ⁿ on both sides: two NULL keys are the same key *)
+  let rows = rows_of [ (Value.Null, i 10, i 1); (Value.Null, i 10, i 2) ] in
+  Alcotest.(check bool) "NULL keys grouped together, b agrees" true
+    (Instance_check.fd_holds ~schema:schema2 ~lhs:[ cr "R" "a" ]
+       ~rhs:[ cr "R" "b" ] rows);
+  let rows2 = rows_of [ (Value.Null, i 10, i 1); (Value.Null, i 11, i 2) ] in
+  Alcotest.(check bool) "NULL keys grouped together, b differs -> FD fails"
+    false
+    (Instance_check.fd_holds ~schema:schema2 ~lhs:[ cr "R" "a" ]
+       ~rhs:[ cr "R" "b" ] rows2);
+  (* NULL on the right-hand side: NULL =ⁿ NULL, so the FD can hold *)
+  let rows3 = rows_of [ (i 1, Value.Null, i 1); (i 1, Value.Null, i 2) ] in
+  Alcotest.(check bool) "NULL rhs values agree under =ⁿ" true
+    (Instance_check.fd_holds ~schema:schema2 ~lhs:[ cr "R" "a" ]
+       ~rhs:[ cr "R" "b" ] rows3)
+
+let test_determines_generic () =
+  Alcotest.(check bool) "generic determines" true
+    (Instance_check.determines
+       ~key_of:(fun (k, _) -> [ Value.Int k ])
+       ~value_of:(fun (_, v) -> [ Value.Int v ])
+       [ (1, 10); (2, 20); (1, 10) ]);
+  Alcotest.(check bool) "generic violation" false
+    (Instance_check.determines
+       ~key_of:(fun (k, _) -> [ Value.Int k ])
+       ~value_of:(fun (_, v) -> [ Value.Int v ])
+       [ (1, 10); (1, 11) ])
+
+(* ---------------- from_catalog + Example 2 ---------------- *)
+
+let part_table () =
+  let col name ctype : Table_def.column_def =
+    { Table_def.cname = name; ctype; domain = None }
+  in
+  Table_def.make "Part"
+    [
+      col "ClassCode" Ctype.Int;
+      col "PartNo" Ctype.Int;
+      col "PartName" Ctype.String;
+      col "SupplierNo" Ctype.Int;
+    ]
+    [ Constr.Primary_key [ "ClassCode"; "PartNo" ] ]
+
+let supplier_table () =
+  let col name ctype : Table_def.column_def =
+    { Table_def.cname = name; ctype; domain = None }
+  in
+  Table_def.make "Supplier"
+    [ col "SupplierNo" Ctype.Int; col "Name" Ctype.String; col "Address" Ctype.String ]
+    [ Constr.Primary_key [ "SupplierNo" ] ]
+
+let test_key_fds () =
+  let fds = From_catalog.key_fds ~rel:"P" (part_table ()) in
+  Alcotest.(check int) "one key dependency" 1 (List.length fds);
+  let fd = List.hd fds in
+  Alcotest.(check int) "lhs is the 2-column key" 2 (Colref.Set.cardinal fd.Fd.lhs);
+  Alcotest.(check int) "rhs is all 4 columns" 4 (Colref.Set.cardinal fd.Fd.rhs)
+
+(* Example 2: in σ(ClassCode=25 ∧ P.SupplierNo=S.SupplierNo)(Part×Supplier),
+   PartNo is a key of the derived table and SupplierNo → Name.  Derivable by
+   the closure: seed {P.PartNo}, constant {P.ClassCode}, equality
+   (P.SupplierNo, S.SupplierNo), key FDs of both tables. *)
+let test_example2_derived_key () =
+  let fds =
+    From_catalog.key_fds ~rel:"P" (part_table ())
+    @ From_catalog.key_fds ~rel:"S" (supplier_table ())
+  in
+  let constants = Colref.set_of_list [ cr "P" "ClassCode" ] in
+  let equalities = [ (cr "P" "SupplierNo", cr "S" "SupplierNo") ] in
+  let closure =
+    Closure.compute
+      ~start:(Colref.set_of_list [ cr "P" "PartNo" ])
+      ~constants ~equalities ~fds
+  in
+  (* PartNo determines everything in the join *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Colref.to_string c ^ " determined by PartNo")
+        true (Colref.Set.mem c closure))
+    [ cr "P" "PartName"; cr "P" "SupplierNo"; cr "S" "SupplierNo"; cr "S" "Name" ];
+  (* and the non-key derived dependency SupplierNo → Name *)
+  Alcotest.(check bool) "SupplierNo -> Name" true
+    (Closure.implies ~constants ~equalities ~fds
+       (Fd.make [ cr "S" "SupplierNo" ] [ cr "S" "Name" ]))
+
+(* qcheck: the closure is monotone, idempotent, and extensive *)
+let colrefs_pool = Array.init 6 (fun i -> cr "R" (Printf.sprintf "c%d" i))
+
+let colset_gen =
+  QCheck.Gen.(
+    map
+      (fun picks ->
+        List.fold_left
+          (fun acc i -> Colref.Set.add colrefs_pool.(i) acc)
+          Colref.Set.empty picks)
+      (list_size (int_range 0 4) (int_range 0 5)))
+
+let fd_gen =
+  QCheck.Gen.(
+    map2 (fun l r -> Fd.of_sets l r) colset_gen colset_gen)
+
+let setup_gen =
+  QCheck.Gen.(
+    triple colset_gen colset_gen (list_size (int_range 0 4) fd_gen))
+
+let setup_arb = QCheck.make setup_gen
+
+let prop_closure_extensive =
+  QCheck.Test.make ~count:300 ~name:"closure contains its seed"
+    setup_arb
+    (fun (start, constants, fds) ->
+      let c = Closure.compute ~start ~constants ~equalities:[] ~fds in
+      Colref.Set.subset start c && Colref.Set.subset constants c)
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~count:300 ~name:"closure is idempotent" setup_arb
+    (fun (start, constants, fds) ->
+      let c1 = Closure.compute ~start ~constants ~equalities:[] ~fds in
+      let c2 = Closure.compute ~start:c1 ~constants ~equalities:[] ~fds in
+      Colref.Set.equal c1 c2)
+
+let prop_closure_monotone =
+  QCheck.Test.make ~count:300 ~name:"closure is monotone in the seed"
+    (QCheck.pair setup_arb setup_arb)
+    (fun ((s1, consts, fds), (s2, _, _)) ->
+      let small = Closure.compute ~start:s1 ~constants:consts ~equalities:[] ~fds in
+      let big =
+        Closure.compute ~start:(Colref.Set.union s1 s2) ~constants:consts
+          ~equalities:[] ~fds
+      in
+      Colref.Set.subset small big)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "fd"
+    [
+      ( "closure",
+        [
+          Alcotest.test_case "Figure 7" `Quick test_figure7;
+          Alcotest.test_case "no rules" `Quick test_closure_no_rules;
+          Alcotest.test_case "equality chains" `Quick
+            test_closure_transitive_equalities;
+          Alcotest.test_case "FD needs full lhs" `Quick
+            test_closure_fd_needs_full_lhs;
+        ] );
+      ("mine", [ Alcotest.test_case "atom mining" `Quick test_mine ]);
+      ( "instance",
+        [
+          Alcotest.test_case "fd_holds" `Quick test_fd_holds_basic;
+          Alcotest.test_case "NULL semantics (=ⁿ)" `Quick
+            test_fd_holds_null_semantics;
+          Alcotest.test_case "generic determines" `Quick test_determines_generic;
+        ] );
+      ( "derived",
+        [
+          Alcotest.test_case "key FDs from catalog" `Quick test_key_fds;
+          Alcotest.test_case "Example 2 derived key" `Quick
+            test_example2_derived_key;
+        ] );
+      ( "properties",
+        qsuite
+          [ prop_closure_extensive; prop_closure_idempotent; prop_closure_monotone ] );
+    ]

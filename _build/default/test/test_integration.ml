@@ -1,0 +1,284 @@
+(* End-to-end integration tests: multi-statement SQL scripts through the
+   parser, binder, canonicaliser, TestFD, planner and executor — the same
+   path the eagerdb CLI takes — with golden expected results. *)
+
+open Eager_schema
+open Eager_storage
+open Eager_exec
+open Eager_core
+open Eager_opt
+open Eager_parser
+
+let run_script db src =
+  match Binder.run_script db src with
+  | Ok outcomes -> outcomes
+  | Error msg -> Alcotest.fail ("script: " ^ msg)
+
+(* execute a bound query the way the CLI does: canonical grouped queries go
+   through the cost-based planner, everything else through the lazy plan *)
+let exec_query db (q : Binder.bound_query) order =
+  let plan =
+    match q with
+    | Binder.Grouped input -> (
+        match Canonical.of_input db input with
+        | Ok cq -> (Planner.decide db cq).Planner.chosen
+        | Error _ -> (
+            match Binder.to_plan db q with
+            | Ok p -> p
+            | Error msg -> Alcotest.fail msg))
+    | _ -> (
+        match Binder.to_plan db q with
+        | Ok p -> p
+        | Error msg -> Alcotest.fail msg)
+  in
+  Exec.run_rows db (Binder.apply_order order plan)
+
+let results db outcomes =
+  List.filter_map
+    (function
+      | Binder.Query (q, order) -> Some (exec_query db q order)
+      | _ -> None)
+    outcomes
+
+(* eager runner: queries execute at their position in the script, the way
+   the CLI behaves — required when SELECTs interleave with DML *)
+let run_script_collecting db src =
+  let acc = ref [] in
+  match
+    Binder.run_script_with db src ~f:(fun o ->
+        match o with
+        | Binder.Query (q, order) -> acc := exec_query db q order :: !acc
+        | _ -> ())
+  with
+  | Ok () -> List.rev !acc
+  | Error msg -> Alcotest.fail ("script: " ^ msg)
+
+let rows_to_strings rows = List.map Row.to_string rows
+
+let test_example1_script () =
+  let db = Database.create () in
+  let outcomes =
+    run_script db
+      {|CREATE TABLE Department (DeptID INTEGER, Name VARCHAR(30) NOT NULL,
+                                 PRIMARY KEY (DeptID));
+        CREATE TABLE Employee (EmpID INTEGER, LastName VARCHAR(30),
+                               DeptID INTEGER, PRIMARY KEY (EmpID),
+                               FOREIGN KEY (DeptID) REFERENCES Department (DeptID));
+        INSERT INTO Department VALUES (1, 'Research'), (2, 'Sales'), (3, 'Empty');
+        INSERT INTO Employee VALUES
+          (1, 'a', 1), (2, 'b', 1), (3, 'c', 1), (4, 'd', 2), (5, 'e', NULL);
+        SELECT D.DeptID, D.Name, COUNT(E.EmpID) AS n
+        FROM Employee E, Department D
+        WHERE E.DeptID = D.DeptID
+        GROUP BY D.DeptID, D.Name
+        ORDER BY n DESC;|}
+  in
+  match results db outcomes with
+  | [ rows ] ->
+      (* ORDER BY n DESC: Research(3) then Sales(1); Empty absent *)
+      Alcotest.(check (list string)) "Example 1 with ORDER BY"
+        [ "(1, 'Research', 3)"; "(2, 'Sales', 1)" ]
+        (rows_to_strings rows)
+  | _ -> Alcotest.fail "expected exactly one SELECT"
+
+let test_full_lifecycle_script () =
+  let db = Database.create () in
+  let query_results =
+    run_script_collecting db
+      {|CREATE TABLE Customer (CustID INTEGER, Name VARCHAR(30), Tier VARCHAR(10),
+                               PRIMARY KEY (CustID));
+        CREATE TABLE Orders (OrderID INTEGER, CustID INTEGER, Amount INTEGER,
+                             PRIMARY KEY (OrderID),
+                             CHECK (Amount >= 0),
+                             FOREIGN KEY (CustID) REFERENCES Customer (CustID));
+        INSERT INTO Customer VALUES
+          (1, 'acme', 'gold'), (2, 'bolt', 'silver'), (3, 'coil', 'gold');
+        INSERT INTO Orders VALUES
+          (1, 1, 100), (2, 1, 250), (3, 2, 40), (4, 3, 10), (5, NULL, 5);
+        -- revenue per gold customer, big ones only
+        SELECT C.CustID, C.Name, SUM(O.Amount) AS rev
+        FROM Orders O, Customer C
+        WHERE O.CustID = C.CustID AND C.Tier LIKE 'g%'
+        GROUP BY C.CustID, C.Name
+        HAVING rev >= 100
+        ORDER BY rev DESC;
+        -- an order gets amended
+        UPDATE Orders SET Amount = Amount + 95 WHERE OrderID = 4;
+        SELECT C.CustID, C.Name, SUM(O.Amount) AS rev
+        FROM Orders O, Customer C
+        WHERE O.CustID = C.CustID AND C.Tier LIKE 'g%'
+        GROUP BY C.CustID, C.Name
+        HAVING rev >= 100
+        ORDER BY rev DESC;
+        -- customer 3 cancels everything
+        DELETE FROM Orders WHERE CustID = 3;
+        SELECT C.CustID, SUM(O.Amount) AS rev
+        FROM Orders O, Customer C
+        WHERE O.CustID = C.CustID
+        GROUP BY C.CustID
+        ORDER BY C.CustID;|}
+  in
+  match query_results with
+  | [ first; second; third ] ->
+      Alcotest.(check (list string)) "gold customers over 100"
+        [ "(1, 'acme', 350)" ]
+        (rows_to_strings first);
+      Alcotest.(check (list string)) "after the amendment"
+        [ "(1, 'acme', 350)"; "(3, 'coil', 105)" ]
+        (rows_to_strings second);
+      Alcotest.(check (list string)) "after the cancellation"
+        [ "(1, 350)"; "(2, 40)" ]
+        (rows_to_strings third)
+  | other ->
+      Alcotest.fail (Printf.sprintf "expected 3 SELECTs, got %d" (List.length other))
+
+let test_views_and_explain () =
+  let db = Database.create () in
+  let outcomes =
+    run_script db
+      {|CREATE TABLE Part (ClassCode INTEGER, PartNo INTEGER, SupplierNo INTEGER,
+                           PRIMARY KEY (ClassCode, PartNo));
+        CREATE TABLE Supplier (SupplierNo INTEGER, Name VARCHAR(30),
+                               PRIMARY KEY (SupplierNo));
+        INSERT INTO Supplier VALUES (1, 's1'), (2, 's2');
+        INSERT INTO Part VALUES (25, 1, 1), (25, 2, 1), (25, 3, 2), (9, 4, 2);
+        CREATE VIEW Class25 AS
+          SELECT P.PartNo no, P.SupplierNo sup FROM Part P WHERE P.ClassCode = 25;
+        SELECT S.SupplierNo, COUNT(C.no) AS parts
+        FROM Class25 C, Supplier S
+        WHERE C.sup = S.SupplierNo
+        GROUP BY S.SupplierNo
+        ORDER BY S.SupplierNo;
+        EXPLAIN SELECT S.SupplierNo, COUNT(C.no) AS parts
+        FROM Class25 C, Supplier S
+        WHERE C.sup = S.SupplierNo
+        GROUP BY S.SupplierNo;|}
+  in
+  (match results db outcomes with
+  | [ rows ] ->
+      Alcotest.(check (list string)) "view-based rollup"
+        [ "(1, 2)"; "(2, 1)" ]
+        (rows_to_strings rows)
+  | _ -> Alcotest.fail "expected one SELECT result");
+  (* the EXPLAIN outcome carries a bound query too — and TestFD accepts it
+     (the view inlines to base tables whose keys are visible) *)
+  match
+    List.find_map
+      (function Binder.Explained (q, _, _) -> Some q | _ -> None)
+      outcomes
+  with
+  | Some (Binder.Grouped input) -> (
+      match Canonical.of_input db input with
+      | Ok cq -> (
+          match Testfd.test db cq with
+          | Testfd.Yes -> ()
+          | Testfd.No r -> Alcotest.fail ("view query should transform: " ^ r))
+      | Error msg -> Alcotest.fail msg)
+  | _ -> Alcotest.fail "expected an explained grouped query"
+
+let test_error_stops_script () =
+  let db = Database.create () in
+  (match
+     Binder.run_script db
+       {|CREATE TABLE t (a INTEGER, PRIMARY KEY (a));
+         INSERT INTO t VALUES (1);
+         INSERT INTO t VALUES (1);
+         INSERT INTO t VALUES (2);|}
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate key must fail the script");
+  (* statements before the failure took effect; the failing one did not *)
+  Alcotest.(check int) "prefix applied" 1 (Database.row_count db "t")
+
+let test_planner_agrees_with_lazy_plan () =
+  (* whatever the planner picks must equal the lazy plan's result *)
+  let db = Database.create () in
+  let outcomes =
+    run_script db
+      {|CREATE TABLE D (id INTEGER, PRIMARY KEY (id));
+        CREATE TABLE E (eid INTEGER, did INTEGER, sal INTEGER, PRIMARY KEY (eid));
+        INSERT INTO D VALUES (1), (2), (3);
+        INSERT INTO E VALUES (1, 1, 10), (2, 1, 20), (3, 2, 30), (4, NULL, 40);
+        SELECT D.id, COUNT(E.eid) AS n, SUM(E.sal) AS s, AVG(E.sal) AS a,
+               MIN(E.sal) AS lo, MAX(E.sal) AS hi
+        FROM E, D WHERE E.did = D.id GROUP BY D.id;|}
+  in
+  let q, order =
+    match
+      List.find_map
+        (function Binder.Query (q, o) -> Some (q, o) | _ -> None)
+        outcomes
+    with
+    | Some x -> x
+    | None -> Alcotest.fail "no query"
+  in
+  let chosen = exec_query db q order in
+  let lazy_rows =
+    match Binder.to_plan db q with
+    | Ok p -> Exec.run_rows db p
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "planner choice ≡ lazy plan" true
+    (Exec.multiset_equal chosen lazy_rows);
+  Alcotest.(check int) "two groups" 2 (List.length chosen)
+
+let test_index_through_sql () =
+  let db = Database.create () in
+  ignore
+    (run_script db
+       {|CREATE TABLE big (id INTEGER, grp INTEGER, v INTEGER, PRIMARY KEY (id));
+         CREATE INDEX big_by_grp ON big (grp);|});
+  for i = 1 to 500 do
+    Database.insert_exn db "big"
+      [ Eager_value.Value.Int i; Eager_value.Value.Int (i mod 50);
+        Eager_value.Value.Int (i * 2) ]
+  done;
+  let outcomes = run_script db "SELECT id, v FROM big B WHERE grp = 7;" in
+  let q, order =
+    match
+      List.find_map
+        (function Binder.Query (q, o) -> Some (q, o) | _ -> None)
+        outcomes
+    with
+    | Some x -> x
+    | None -> Alcotest.fail "no query"
+  in
+  let plan =
+    match Binder.to_plan db q with Ok p -> p | Error m -> Alcotest.fail m
+  in
+  ignore order;
+  (* with indexes: the stats tree shows an IndexScan and results match *)
+  let h_idx, st_idx, _ = Exec.run_ordered db plan in
+  (match Optree.find ~prefix:"IndexScan" st_idx with
+  | Some leaf ->
+      Alcotest.(check int) "index fetched only the bucket" 10 leaf.Optree.out_rows
+  | None -> Alcotest.fail "expected an IndexScan leaf");
+  let h_scan, st_scan, _ =
+    Exec.run_ordered
+      ~options:{ Exec.default_options with use_indexes = false }
+      db plan
+  in
+  (match Optree.find ~prefix:"IndexScan" st_scan with
+  | None -> ()
+  | Some _ -> Alcotest.fail "index path must be off");
+  Alcotest.(check bool) "index and scan agree" true
+    (Exec.multiset_equal (Heap.to_list h_idx) (Heap.to_list h_scan));
+  Alcotest.(check int) "ten rows in group 7" 10 (Heap.length h_idx)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "scripts",
+        [
+          Alcotest.test_case "Example 1 end to end" `Quick test_example1_script;
+          Alcotest.test_case "insert/update/delete lifecycle" `Quick
+            test_full_lifecycle_script;
+          Alcotest.test_case "views + EXPLAIN" `Quick test_views_and_explain;
+          Alcotest.test_case "errors stop the script" `Quick
+            test_error_stops_script;
+          Alcotest.test_case "planner agrees with lazy plan" `Quick
+            test_planner_agrees_with_lazy_plan;
+          Alcotest.test_case "CREATE INDEX + point lookup" `Quick
+            test_index_through_sql;
+        ] );
+    ]

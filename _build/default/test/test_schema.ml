@@ -1,0 +1,156 @@
+(* Tests for the schema layer: column references, schemas, rows, types. *)
+
+open Eager_value
+open Eager_schema
+
+let cr = Colref.make
+let i n = Value.Int n
+
+(* ---------------- Colref ---------------- *)
+
+let test_colref () =
+  Alcotest.(check string) "qualified" "E.DeptID"
+    (Colref.to_string (cr "E" "DeptID"));
+  Alcotest.(check string) "unqualified (aggregate outputs)" "n"
+    (Colref.to_string (cr "" "n"));
+  Alcotest.(check bool) "equal" true (Colref.equal (cr "a" "b") (cr "a" "b"));
+  Alcotest.(check bool) "rel distinguishes" false
+    (Colref.equal (cr "a" "b") (cr "c" "b"));
+  Alcotest.(check bool) "ordering is total" true
+    (Colref.compare (cr "a" "b") (cr "a" "c") < 0
+    && Colref.compare (cr "a" "z") (cr "b" "a") < 0);
+  let s = Colref.set_of_list [ cr "a" "x"; cr "a" "x"; cr "b" "y" ] in
+  Alcotest.(check int) "set dedups" 2 (Colref.Set.cardinal s);
+  Alcotest.(check string) "pp_set" "{a.x, b.y}"
+    (Format.asprintf "%a" Colref.pp_set s)
+
+(* ---------------- Ctype ---------------- *)
+
+let test_ctype () =
+  Alcotest.(check bool) "int accepts int" true (Ctype.accepts Ctype.Int (i 1));
+  Alcotest.(check bool) "int rejects string" false
+    (Ctype.accepts Ctype.Int (Value.Str "x"));
+  Alcotest.(check bool) "every type accepts NULL" true
+    (List.for_all
+       (fun t -> Ctype.accepts t Value.Null)
+       [ Ctype.Int; Ctype.Float; Ctype.String; Ctype.Bool ]);
+  Alcotest.(check bool) "float accepts int (widening)" true
+    (Ctype.accepts Ctype.Float (i 1));
+  Alcotest.(check bool) "int rejects float" false
+    (Ctype.accepts Ctype.Int (Value.Float 1.5))
+
+(* ---------------- Schema ---------------- *)
+
+let abc =
+  Schema.make
+    [ (cr "R" "a", Ctype.Int); (cr "R" "b", Ctype.String);
+      (cr "S" "a", Ctype.Int) ]
+
+let test_schema_lookup () =
+  Alcotest.(check int) "arity" 3 (Schema.arity abc);
+  Alcotest.(check int) "index_of" 1 (Schema.index_of abc (cr "R" "b"));
+  Alcotest.(check bool) "index_of_opt missing" true
+    (Schema.index_of_opt abc (cr "R" "z") = None);
+  (* unqualified resolution *)
+  (match Schema.find_name abc "b" with
+  | Some (1, c) -> Alcotest.(check string) "resolved" "R.b" (Colref.to_string c)
+  | _ -> Alcotest.fail "find_name b");
+  Alcotest.(check bool) "missing name" true (Schema.find_name abc "zz" = None);
+  (* 'a' is ambiguous between R and S *)
+  Alcotest.(check bool) "ambiguous raises" true
+    (try
+       ignore (Schema.find_name abc "a");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "duplicate columns rejected" true
+    (try
+       ignore (Schema.make [ (cr "R" "a", Ctype.Int); (cr "R" "a", Ctype.Int) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_schema_ops () =
+  let left = Schema.make [ (cr "L" "x", Ctype.Int) ] in
+  let joined = Schema.concat left abc in
+  Alcotest.(check int) "concat arity" 4 (Schema.arity joined);
+  Alcotest.(check int) "left column first" 0 (Schema.index_of joined (cr "L" "x"));
+  let proj = Schema.project abc [ cr "S" "a"; cr "R" "a" ] in
+  Alcotest.(check int) "projection reorders" 0 (Schema.index_of proj (cr "S" "a"));
+  let renamed = Schema.rename_rel "T" left in
+  Alcotest.(check bool) "renamed" true (Schema.mem renamed (cr "T" "x"));
+  Alcotest.(check bool) "old rel gone" false (Schema.mem renamed (cr "L" "x"));
+  (* renaming a multi-relation schema with colliding names is rejected *)
+  Alcotest.(check bool) "collision on rename rejected" true
+    (try
+       ignore (Schema.rename_rel "T" abc);
+       false
+     with Invalid_argument _ -> true);
+  let idxs = Schema.indices abc [ cr "S" "a"; cr "R" "a" ] in
+  Alcotest.(check (list int)) "indices in request order" [ 2; 0 ]
+    (Array.to_list idxs)
+
+(* ---------------- Row ---------------- *)
+
+let test_row_ops () =
+  let r1 = [| i 1; Value.Str "x"; Value.Null |] in
+  let r2 = [| i 1; Value.Str "x"; Value.Null |] in
+  let r3 = [| i 1; Value.Str "y"; Value.Null |] in
+  Alcotest.(check bool) "equal under =ⁿ (incl. NULL)" true (Row.equal r1 r2);
+  Alcotest.(check bool) "not equal" false (Row.equal r1 r3);
+  Alcotest.(check bool) "null_eq_on subset" true
+    (Row.null_eq_on [| 0; 2 |] r1 r3);
+  let cat = Row.concat r1 [| i 9 |] in
+  Alcotest.(check int) "concat length" 4 (Array.length cat);
+  let p = Row.project [| 2; 0 |] r1 in
+  Alcotest.(check string) "project reorders" "(NULL, 1)" (Row.to_string p);
+  (* compare_on is consistent with null_eq_on *)
+  Alcotest.(check int) "compare equal" 0 (Row.compare_on [| 0; 1 |] r1 r2);
+  Alcotest.(check bool) "compare orders" true
+    (Row.compare_on [| 1 |] r1 r3 < 0)
+
+let test_row_key_normalisation () =
+  (* Int 2 and Float 2.0 are =ⁿ-equal, so their keys must coincide *)
+  let k1 = Row.key_on [| 0 |] [| i 2 |] in
+  let k2 = Row.key_on [| 0 |] [| Value.Float 2.0 |] in
+  Alcotest.(check bool) "2 and 2.0 share a key" true (k1 = k2);
+  let k3 = Row.key_on [| 0 |] [| Value.Float 2.5 |] in
+  Alcotest.(check bool) "2.5 differs" false (k1 = k3);
+  (* NULL has its own key *)
+  let kn = Row.key_on [| 0 |] [| Value.Null |] in
+  Alcotest.(check bool) "NULL is its own class" false (kn = k1)
+
+(* property: key equality ⇔ =ⁿ row equivalence *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun n -> i n) (int_range 0 3);
+        map (fun n -> Value.Float (float_of_int n)) (int_range 0 3);
+        map (fun b -> Value.Bool b) bool;
+      ])
+
+let prop_key_iff_null_eq =
+  QCheck.Test.make ~count:500 ~name:"key equality iff =ⁿ equivalence"
+    (QCheck.make QCheck.Gen.(pair value_gen value_gen))
+    (fun (a, b) ->
+      let idx = [| 0 |] in
+      Row.key_on idx [| a |] = Row.key_on idx [| b |] = Value.null_eq a b)
+
+let () =
+  Alcotest.run "schema"
+    [
+      ("colref", [ Alcotest.test_case "basics" `Quick test_colref ]);
+      ("ctype", [ Alcotest.test_case "acceptance" `Quick test_ctype ]);
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "concat/project/rename" `Quick test_schema_ops;
+        ] );
+      ( "row",
+        [
+          Alcotest.test_case "operations" `Quick test_row_ops;
+          Alcotest.test_case "key normalisation" `Quick
+            test_row_key_normalisation;
+          QCheck_alcotest.to_alcotest prop_key_iff_null_eq;
+        ] );
+    ]

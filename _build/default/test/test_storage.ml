@@ -1,0 +1,444 @@
+(* Storage tests: heap behaviour, statistics, and insert-time enforcement of
+   every SQL2 constraint class. *)
+
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+
+let col name ctype : Table_def.column_def =
+  { Table_def.cname = name; ctype; domain = None }
+
+let simple_schema =
+  Schema.make
+    [ (Colref.make "T" "a", Ctype.Int); (Colref.make "T" "b", Ctype.String) ]
+
+(* ---------------- heap ---------------- *)
+
+let test_heap_basics () =
+  let h = Heap.create simple_schema in
+  Alcotest.(check int) "empty" 0 (Heap.length h);
+  Heap.insert h [| Value.Int 1; Value.Str "x" |];
+  Heap.insert h [| Value.Int 2; Value.Str "y" |];
+  Alcotest.(check int) "two rows" 2 (Heap.length h);
+  Alcotest.(check int) "get" 2
+    (match (Heap.get h 1).(0) with Value.Int n -> n | _ -> -1);
+  Alcotest.(check int) "fold" 3
+    (Heap.fold
+       (fun acc row -> acc + match row.(0) with Value.Int n -> n | _ -> 0)
+       0 h);
+  Alcotest.(check int) "to_list" 2 (List.length (Heap.to_list h));
+  Alcotest.(check int) "to_seq" 2 (Seq.length (Heap.to_seq h));
+  Alcotest.(check bool) "exists" true
+    (Heap.exists (fun r -> Value.null_eq r.(0) (Value.Int 2)) h);
+  Alcotest.(check bool) "generation grows" true (Heap.generation h > 0)
+
+let test_heap_growth () =
+  let h = Heap.create simple_schema in
+  for i = 1 to 1000 do
+    Heap.insert h [| Value.Int i; Value.Str "s" |]
+  done;
+  Alcotest.(check int) "1000 rows survive doubling" 1000 (Heap.length h);
+  Alcotest.(check int) "last row intact" 1000
+    (match (Heap.get h 999).(0) with Value.Int n -> n | _ -> -1)
+
+let test_heap_arity_check () =
+  let h = Heap.create simple_schema in
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (try
+       Heap.insert h [| Value.Int 1 |];
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- stats ---------------- *)
+
+let test_stats () =
+  let h = Heap.create simple_schema in
+  List.iter (Heap.insert h)
+    [
+      [| Value.Int 1; Value.Str "x" |];
+      [| Value.Int 1; Value.Str "y" |];
+      [| Value.Int 2; Value.Str "x" |];
+      [| Value.Null; Value.Str "x" |];
+    ];
+  let s = Stats.collect h in
+  Alcotest.(check int) "row count" 4 (Stats.row_count s);
+  Alcotest.(check int) "ndv a" 2 (Stats.col s 0).Stats.ndv;
+  Alcotest.(check int) "nulls a" 1 (Stats.col s 0).Stats.nulls;
+  Alcotest.(check int) "ndv b" 2 (Stats.col s 1).Stats.ndv;
+  Alcotest.(check bool) "min a" true
+    (Value.null_eq (Stats.col s 0).Stats.min_v (Value.Int 1));
+  Alcotest.(check bool) "max a" true
+    (Value.null_eq (Stats.col s 0).Stats.max_v (Value.Int 2));
+  (* distinct combinations: capped at row count *)
+  Alcotest.(check int) "ndv over (a,b)" 4 (Stats.ndv_of_cols s [| 0; 1 |]);
+  Alcotest.(check int) "ndv of no columns" 1 (Stats.ndv_of_cols s [||])
+
+(* ---------------- database constraint enforcement ---------------- *)
+
+let make_db () =
+  let db = Database.create () in
+  Database.create_domain db
+    {
+      Catalog.dname = "Pos";
+      dtype = Ctype.Int;
+      dcheck = Some (Expr.Cmp (Expr.Gt, Expr.col "" "VALUE", Expr.int 0));
+    };
+  Database.create_table db
+    (Table_def.make "Parent"
+       [ col "pk" Ctype.Int; col "label" Ctype.String ]
+       [ Constr.Primary_key [ "pk" ] ]);
+  Database.create_table db
+    (Table_def.make "Child"
+       [
+         col "id" Ctype.Int;
+         col "uniq" Ctype.Int;
+         col "parent" Ctype.Int;
+         { Table_def.cname = "amount"; ctype = Ctype.Int; domain = Some "Pos" };
+         col "must" Ctype.String;
+       ]
+       [
+         Constr.Primary_key [ "id" ];
+         Constr.Unique [ "uniq" ];
+         Constr.Not_null "must";
+         Constr.Check (Expr.Cmp (Expr.Lt, Expr.col "" "amount", Expr.int 100));
+         Constr.Foreign_key
+           { cols = [ "parent" ]; ref_table = "Parent"; ref_cols = [ "pk" ] };
+       ]);
+  Database.insert_exn db "Parent" [ Value.Int 1; Value.Str "one" ];
+  Database.insert_exn db "Parent" [ Value.Int 2; Value.Str "two" ];
+  db
+
+let ok_row ?(id = 10) ?(uniq = Value.Int 10) ?(parent = Value.Int 1)
+    ?(amount = Value.Int 5) ?(must = Value.Str "m") () =
+  [ Value.Int id; uniq; parent; amount; must ]
+
+let expect_error db table row msg_part =
+  match Database.insert db table row with
+  | Ok () -> Alcotest.fail ("expected rejection: " ^ msg_part)
+  | Error msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" msg msg_part)
+        true (contains msg msg_part)
+
+let test_insert_ok () =
+  let db = make_db () in
+  Alcotest.(check bool) "clean insert" true
+    (Result.is_ok (Database.insert db "Child" (ok_row ())));
+  Alcotest.(check int) "row landed" 1 (Database.row_count db "Child")
+
+let test_primary_key () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ());
+  expect_error db "Child" (ok_row ~uniq:(Value.Int 11) ()) "duplicate key";
+  (* PK columns are NOT NULL *)
+  expect_error db "Child"
+    [ Value.Null; Value.Int 12; Value.Int 1; Value.Int 5; Value.Str "m" ]
+    "cannot be NULL"
+
+let test_unique_null_semantics () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ~id:1 ~uniq:Value.Null ());
+  (* SQL2 UNIQUE treats NULL as distinct from NULL: a second NULL is fine *)
+  Alcotest.(check bool) "second NULL in UNIQUE column accepted" true
+    (Result.is_ok (Database.insert db "Child" (ok_row ~id:2 ~uniq:Value.Null ())));
+  Database.insert_exn db "Child" (ok_row ~id:3 ~uniq:(Value.Int 7) ());
+  expect_error db "Child" (ok_row ~id:4 ~uniq:(Value.Int 7) ()) "duplicate key"
+
+let test_not_null () =
+  let db = make_db () in
+  expect_error db "Child" (ok_row ~must:Value.Null ()) "cannot be NULL"
+
+let test_check_constraints () =
+  let db = make_db () in
+  (* CHECK (amount < 100) *)
+  expect_error db "Child" (ok_row ~amount:(Value.Int 150) ()) "constraint violated";
+  (* domain check (amount > 0) *)
+  expect_error db "Child" (ok_row ~amount:(Value.Int 0) ()) "constraint violated";
+  (* SQL2: CHECK evaluating to unknown (NULL amount) is satisfied *)
+  Alcotest.(check bool) "NULL passes CHECK" true
+    (Result.is_ok (Database.insert db "Child" (ok_row ~amount:Value.Null ())))
+
+let test_foreign_key () =
+  let db = make_db () in
+  expect_error db "Child" (ok_row ~parent:(Value.Int 99) ()) "foreign key";
+  (* NULL foreign keys are always allowed *)
+  Alcotest.(check bool) "NULL FK accepted" true
+    (Result.is_ok (Database.insert db "Child" (ok_row ~parent:Value.Null ())));
+  (* late parents work: the key index must refresh *)
+  Database.insert_exn db "Parent" [ Value.Int 3; Value.Str "three" ];
+  Alcotest.(check bool) "new parent visible" true
+    (Result.is_ok
+       (Database.insert db "Child" (ok_row ~id:11 ~uniq:(Value.Int 11)
+          ~parent:(Value.Int 3) ())))
+
+let test_type_checking () =
+  let db = make_db () in
+  expect_error db "Child"
+    [ Value.Str "nope"; Value.Int 1; Value.Int 1; Value.Int 5; Value.Str "m" ]
+    "does not fit type";
+  expect_error db "Child" [ Value.Int 1 ] "arity mismatch";
+  expect_error db "Nope" (ok_row ()) "unknown table"
+
+let test_stats_cache () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ());
+  let s1 = Database.stats db "Child" in
+  Alcotest.(check int) "one row" 1 (Stats.row_count s1);
+  Database.insert_exn db "Child" (ok_row ~id:20 ~uniq:(Value.Int 20) ());
+  let s2 = Database.stats db "Child" in
+  Alcotest.(check int) "cache invalidated on growth" 2 (Stats.row_count s2)
+
+let test_histogram () =
+  let schema = Schema.make [ (Colref.make "T" "v", Ctype.Int) ] in
+  let h = Heap.create schema in
+  (* skew: 90 values in [0,10), 10 values in [90,100) *)
+  for i = 0 to 89 do
+    Heap.insert h [| Value.Int (i mod 10) |]
+  done;
+  for i = 0 to 9 do
+    Heap.insert h [| Value.Int (90 + i) |]
+  done;
+  let s = Stats.collect h in
+  match (Stats.col s 0).Stats.hist with
+  | None -> Alcotest.fail "numeric column should have a histogram"
+  | Some hist ->
+      Alcotest.(check int) "summarises all values" 100 hist.Stats.total;
+      let below v = Stats.fraction_below hist v in
+      Alcotest.(check bool)
+        (Printf.sprintf "~90%% below 50 (got %.2f)" (below 50.))
+        true
+        (below 50. > 0.85 && below 50. < 0.95);
+      Alcotest.(check (float 1e-9)) "nothing below min" 0. (below 0.);
+      Alcotest.(check (float 1e-9)) "everything below max+1" 1. (below 100.);
+      Alcotest.(check bool) "monotone" true (below 20. <= below 80.)
+
+let test_histogram_absent_for_strings () =
+  let schema = Schema.make [ (Colref.make "T" "s", Ctype.String) ] in
+  let h = Heap.create schema in
+  Heap.insert h [| Value.Str "x" |];
+  let s = Stats.collect h in
+  Alcotest.(check bool) "no histogram for strings" true
+    ((Stats.col s 0).Stats.hist = None)
+
+(* ---------------- DELETE / UPDATE ---------------- *)
+
+let col_of tname name = Colref.make tname name
+
+let test_delete () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ~id:1 ~uniq:(Value.Int 1) ());
+  Database.insert_exn db "Child" (ok_row ~id:2 ~uniq:(Value.Int 2) ());
+  Database.insert_exn db "Child" (ok_row ~id:3 ~uniq:(Value.Int 3) ~amount:Value.Null ());
+  (* delete where id >= 2: the NULL-amount row with id 3 goes too *)
+  let where = Expr.Cmp (Expr.Ge, Expr.Col (col_of "Child" "id"), Expr.int 2) in
+  (match Database.delete db "Child" ~where () with
+  | Ok n -> Alcotest.(check int) "two deleted" 2 n
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "one left" 1 (Database.row_count db "Child");
+  (* unknown predicate keeps rows: amount = 5 is unknown for NULL amount *)
+  Database.insert_exn db "Child" (ok_row ~id:9 ~uniq:(Value.Int 9) ~amount:Value.Null ());
+  let where2 =
+    Expr.Cmp (Expr.Ne, Expr.Col (col_of "Child" "amount"), Expr.int (-1))
+  in
+  (match Database.delete db "Child" ~where:where2 () with
+  | Ok n -> Alcotest.(check int) "NULL amount row kept (unknown)" 1 n
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "NULL row survives" 1 (Database.row_count db "Child")
+
+let test_delete_fk_restrict () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ~parent:(Value.Int 1) ());
+  (* parent 1 is referenced: deleting it must fail *)
+  let where = Expr.eq (Expr.Col (col_of "Parent" "pk")) (Expr.int 1) in
+  (match Database.delete db "Parent" ~where () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "referenced parent must not be deletable");
+  (* parent 2 is free *)
+  let where2 = Expr.eq (Expr.Col (col_of "Parent" "pk")) (Expr.int 2) in
+  (match Database.delete db "Parent" ~where:where2 () with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.fail (Printf.sprintf "expected 1, got %d" n)
+  | Error msg -> Alcotest.fail msg);
+  (* after deleting the child, parent 1 becomes deletable *)
+  (match Database.delete db "Child" ~where:Expr.etrue () with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  match Database.delete db "Parent" ~where () with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "parent should now be deletable"
+
+let test_update_basic () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ~id:1 ~uniq:(Value.Int 1) ~amount:(Value.Int 5) ());
+  Database.insert_exn db "Child" (ok_row ~id:2 ~uniq:(Value.Int 2) ~amount:(Value.Int 7) ());
+  (* amount := amount + 10 where id = 1 *)
+  let set =
+    [ ("amount",
+       Expr.Arith (Expr.Add, Expr.Col (col_of "Child" "amount"), Expr.int 10)) ]
+  in
+  let where = Expr.eq (Expr.Col (col_of "Child" "id")) (Expr.int 1) in
+  (match Database.update db "Child" ~set ~where () with
+  | Ok n -> Alcotest.(check int) "one updated" 1 n
+  | Error msg -> Alcotest.fail msg);
+  let h = Database.heap db "Child" in
+  let amount_of id =
+    let schema = Heap.schema h in
+    let idi = Schema.index_of schema (col_of "Child" "id") in
+    let ida = Schema.index_of schema (col_of "Child" "amount") in
+    let r =
+      List.find (fun r -> Value.null_eq r.(idi) (Value.Int id)) (Heap.to_list h)
+    in
+    r.(ida)
+  in
+  Alcotest.(check bool) "updated to 15" true (Value.null_eq (amount_of 1) (Value.Int 15));
+  Alcotest.(check bool) "other row untouched" true
+    (Value.null_eq (amount_of 2) (Value.Int 7))
+
+let test_update_constraint_enforcement () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ~id:1 ~uniq:(Value.Int 1) ());
+  Database.insert_exn db "Child" (ok_row ~id:2 ~uniq:(Value.Int 2) ());
+  let upd set where = Database.update db "Child" ~set ~where () in
+  let id_eq n = Expr.eq (Expr.Col (col_of "Child" "id")) (Expr.int n) in
+  (* CHECK violated *)
+  (match upd [ ("amount", Expr.int 500) ] (id_eq 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "CHECK must reject 500");
+  (* NOT NULL violated *)
+  (match upd [ ("must", Expr.Const Value.Null) ] (id_eq 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "NOT NULL must reject");
+  (* key collision *)
+  (match upd [ ("id", Expr.int 2) ] (id_eq 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate PK must reject");
+  (* FK violated *)
+  (match upd [ ("parent", Expr.int 999) ] (id_eq 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown parent must reject");
+  (* type violated *)
+  (match upd [ ("amount", Expr.str "oops") ] (id_eq 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "type error must reject");
+  (* a failing update leaves the table unchanged *)
+  Alcotest.(check int) "no partial effects" 2 (Database.row_count db "Child")
+
+let test_update_incoming_fk () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ~parent:(Value.Int 1) ());
+  (* changing the referenced key away must fail... *)
+  let set = [ ("pk", Expr.int 77) ] in
+  let where = Expr.eq (Expr.Col (col_of "Parent" "pk")) (Expr.int 1) in
+  (match Database.update db "Parent" ~set ~where () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "referenced key change must be rejected");
+  (* ...but changing an unreferenced one is fine *)
+  let where2 = Expr.eq (Expr.Col (col_of "Parent" "pk")) (Expr.int 2) in
+  match Database.update db "Parent" ~set:[ ("pk", Expr.int 88) ] ~where:where2 () with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "unreferenced key change should work"
+
+let test_key_index_rebuild_after_delete () =
+  let db = make_db () in
+  Database.insert_exn db "Child" (ok_row ~id:1 ~uniq:(Value.Int 1) ());
+  let where = Expr.eq (Expr.Col (col_of "Child" "id")) (Expr.int 1) in
+  (match Database.delete db "Child" ~where () with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "delete failed");
+  (* the key index must have been invalidated: re-inserting id 1 works *)
+  Alcotest.(check bool) "re-insert after delete" true
+    (Result.is_ok (Database.insert db "Child" (ok_row ~id:1 ~uniq:(Value.Int 1) ())))
+
+(* ---------------- secondary indexes ---------------- *)
+
+let test_secondary_index () =
+  let db = make_db () in
+  (match Database.create_index db ~name:"child_by_parent" ~table:"Child"
+           ~cols:[ "parent" ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Database.insert_exn db "Child" (ok_row ~id:1 ~uniq:(Value.Int 1) ~parent:(Value.Int 1) ());
+  Database.insert_exn db "Child" (ok_row ~id:2 ~uniq:(Value.Int 2) ~parent:(Value.Int 1) ());
+  Database.insert_exn db "Child" (ok_row ~id:3 ~uniq:(Value.Int 3) ~parent:(Value.Int 2) ());
+  Database.insert_exn db "Child" (ok_row ~id:4 ~uniq:(Value.Int 4) ~parent:Value.Null ());
+  let def =
+    Option.get (Database.find_equality_index db ~table:"Child" ~col:"parent")
+  in
+  Alcotest.(check int) "two rows for parent 1" 2
+    (List.length (Database.index_lookup db def [ Value.Int 1 ]));
+  Alcotest.(check int) "one row for parent 2" 1
+    (List.length (Database.index_lookup db def [ Value.Int 2 ]));
+  Alcotest.(check int) "nothing for parent 9" 0
+    (List.length (Database.index_lookup db def [ Value.Int 9 ]));
+  (* NULL lookups find nothing, and NULL keys are not indexed *)
+  Alcotest.(check int) "NULL finds nothing" 0
+    (List.length (Database.index_lookup db def [ Value.Null ]));
+  (* index tracks later inserts *)
+  Database.insert_exn db "Child" (ok_row ~id:5 ~uniq:(Value.Int 5) ~parent:(Value.Int 2) ());
+  Alcotest.(check int) "insert visible" 2
+    (List.length (Database.index_lookup db def [ Value.Int 2 ]));
+  (* ... and rebuilds after a delete *)
+  let where = Expr.eq (Expr.Col (Colref.make "Child" "id")) (Expr.int 2) in
+  (match Database.delete db "Child" ~where () with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "delete failed");
+  Alcotest.(check int) "delete visible" 1
+    (List.length (Database.index_lookup db def [ Value.Int 1 ]));
+  (* errors *)
+  Alcotest.(check bool) "duplicate index name" true
+    (Result.is_error
+       (Database.create_index db ~name:"child_by_parent" ~table:"Child"
+          ~cols:[ "id" ]));
+  Alcotest.(check bool) "unknown column" true
+    (Result.is_error
+       (Database.create_index db ~name:"i2" ~table:"Child" ~cols:[ "zzz" ]))
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basics" `Quick test_heap_basics;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+          Alcotest.test_case "arity check" `Quick test_heap_arity_check;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "collect" `Quick test_stats;
+          Alcotest.test_case "histograms" `Quick test_histogram;
+          Alcotest.test_case "no histogram for strings" `Quick
+            test_histogram_absent_for_strings;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "clean insert" `Quick test_insert_ok;
+          Alcotest.test_case "primary key" `Quick test_primary_key;
+          Alcotest.test_case "UNIQUE with NULLs" `Quick test_unique_null_semantics;
+          Alcotest.test_case "NOT NULL" `Quick test_not_null;
+          Alcotest.test_case "CHECK and domains" `Quick test_check_constraints;
+          Alcotest.test_case "foreign keys" `Quick test_foreign_key;
+          Alcotest.test_case "types and arity" `Quick test_type_checking;
+          Alcotest.test_case "stats cache" `Quick test_stats_cache;
+        ] );
+      ( "dml",
+        [
+          Alcotest.test_case "DELETE semantics" `Quick test_delete;
+          Alcotest.test_case "DELETE is FK-restricted" `Quick
+            test_delete_fk_restrict;
+          Alcotest.test_case "UPDATE basics" `Quick test_update_basic;
+          Alcotest.test_case "UPDATE enforcement" `Quick
+            test_update_constraint_enforcement;
+          Alcotest.test_case "UPDATE incoming FKs" `Quick test_update_incoming_fk;
+          Alcotest.test_case "key index rebuild" `Quick
+            test_key_index_rebuild_after_delete;
+        ] );
+      ( "indexes",
+        [ Alcotest.test_case "secondary index" `Quick test_secondary_index ] );
+    ]

@@ -1,0 +1,184 @@
+(* Workload-generator tests: the generators must realise exactly the
+   cardinalities the paper's figures quote, and all generated data must
+   satisfy the declared constraints (inserts go through enforcement). *)
+
+open Eager_value
+open Eager_storage
+open Eager_core
+open Eager_exec
+open Eager_workload
+
+let count db table = Database.row_count db table
+
+let test_employee_dept_sizes () =
+  let w = Employee_dept.setup ~employees:1234 ~departments:37 () in
+  let db = w.Employee_dept.db in
+  Alcotest.(check int) "employees" 1234 (count db "Employee");
+  Alcotest.(check int) "departments" 37 (count db "Department")
+
+let test_employee_dept_nulls () =
+  let w =
+    Employee_dept.setup ~employees:1000 ~departments:10 ~null_dept_fraction:0.5 ()
+  in
+  let db = w.Employee_dept.db in
+  let stats = Database.stats db "Employee" in
+  let dept_col = Stats.col stats 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "about half NULL (got %d)" dept_col.Stats.nulls)
+    true
+    (dept_col.Stats.nulls > 350 && dept_col.Stats.nulls < 650)
+
+let test_employee_dept_deterministic () =
+  let w1 = Employee_dept.setup ~seed:9 ~employees:50 ~departments:5 () in
+  let w2 = Employee_dept.setup ~seed:9 ~employees:50 ~departments:5 () in
+  let rows db = Heap.to_list (Database.heap db "Employee") in
+  Alcotest.(check bool) "same seed, same data" true
+    (Exec.multiset_equal (rows w1.Employee_dept.db) (rows w2.Employee_dept.db))
+
+(* Figure 8 exact cardinalities *)
+let test_contrived_cardinalities () =
+  let w = Contrived.setup () in
+  let db = w.Contrived.db and q = w.Contrived.query in
+  Alcotest.(check int) "A has 10000 rows" 10000 (count db "A");
+  Alcotest.(check int) "B has 100 rows" 100 (count db "B");
+  (* join yields 50 rows *)
+  let joined = Theorem.join_with_provenance db q in
+  Alcotest.(check int) "join yields 50 rows" 50 (List.length joined);
+  (* grouped lazily: 10 groups *)
+  let lazy_out = Exec.run_rows db (Plans.e1 db q) in
+  Alcotest.(check int) "10 groups after join" 10 (List.length lazy_out);
+  (* grouped eagerly: 9000 groups *)
+  let r1' = Exec.run_rows db (Plans.e2_r1_prime db q) in
+  Alcotest.(check int) "9000 groups before join" 9000 (List.length r1');
+  (* still a valid transformation *)
+  (match Testfd.test db q with
+  | Testfd.Yes -> ()
+  | Testfd.No r -> Alcotest.fail r);
+  Alcotest.(check bool) "E1 ≡ E2" true (Theorem.equivalent db q)
+
+let test_contrived_parameter_validation () =
+  Alcotest.(check bool) "matched_groups > b_rows rejected" true
+    (try ignore (Contrived.setup ~matched_groups:200 ~b_rows:100 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "a_groups > a_rows rejected" true
+    (try ignore (Contrived.setup ~a_groups:20000 ()); false
+     with Invalid_argument _ -> true)
+
+let test_printers_workload () =
+  let w = Printers.setup ~users:60 ~machines:4 ~printers:10 () in
+  let db = w.Printers.db and q = w.Printers.query in
+  Alcotest.(check int) "users" 60 (count db "UserAccount");
+  Alcotest.(check int) "printers" 10 (count db "Printer");
+  Alcotest.(check bool) "auth rows exist" true (count db "PrinterAuth" > 0);
+  (match Testfd.test db q with
+  | Testfd.Yes -> ()
+  | Testfd.No r -> Alcotest.fail r);
+  Alcotest.(check bool) "E1 ≡ E2" true (Theorem.equivalent db q);
+  Alcotest.(check string) "dragon is machine 0" "dragon" (Printers.machine_name 0)
+
+let test_parts_workload () =
+  let w = Parts.setup ~parts:400 ~suppliers:20 ~classes:30 () in
+  let db = w.Parts.db and q = w.Parts.query in
+  Alcotest.(check int) "parts" 400 (count db "Part");
+  (match Testfd.test db q with
+  | Testfd.Yes -> ()
+  | Testfd.No r -> Alcotest.fail r);
+  Alcotest.(check bool) "E1 ≡ E2" true (Theorem.equivalent db q)
+
+let test_sales_workload () =
+  let w = Sales.setup ~customers:40 ~orders:600 () in
+  let db = w.Sales.db and q = w.Sales.query in
+  Alcotest.(check int) "customers" 40 (count db "Customer");
+  Alcotest.(check int) "orders" 600 (count db "Orders");
+  (match Testfd.test db q with
+  | Testfd.Yes -> ()
+  | Testfd.No r -> Alcotest.fail r);
+  Alcotest.(check bool) "E1 ≡ E2" true (Theorem.equivalent db q);
+  (* the HAVING variant filters and stays equivalent *)
+  let wh = Sales.setup ~customers:40 ~orders:600 ~revenue_at_least:5_000 () in
+  let qh = wh.Sales.query and dbh = wh.Sales.db in
+  Alcotest.(check bool) "having variant carries the filter" true
+    (qh.Canonical.having <> None);
+  let all = Exec.run_rows db (Plans.e2 db q) in
+  let big = Exec.run_rows dbh (Plans.e2 dbh qh) in
+  Alcotest.(check bool) "threshold filters" true
+    (List.length big < List.length all);
+  Alcotest.(check bool) "having variant equivalent" true
+    (Theorem.equivalent dbh qh)
+
+let test_sweep_fanin () =
+  let points = Sweep.by_fanin ~employees:600 ~departments:[ 3; 30 ] () in
+  Alcotest.(check int) "two points" 2 (List.length points);
+  let knobs = List.map (fun p -> p.Sweep.knob) points in
+  Alcotest.(check (list (float 0.01))) "knobs are rows-per-group" [ 200.; 20. ] knobs;
+  List.iter
+    (fun p ->
+      match Testfd.test p.Sweep.db p.Sweep.query with
+      | Testfd.Yes -> ()
+      | Testfd.No r -> Alcotest.fail r)
+    points
+
+let test_sweep_selectivity () =
+  let points =
+    Sweep.by_selectivity ~employees:500 ~departments:10
+      ~fractions:[ 0.1; 0.9 ] ()
+  in
+  Alcotest.(check int) "two points" 2 (List.length points);
+  (* the low-selectivity point really has fewer joining employees *)
+  let joined p = List.length (Theorem.join_with_provenance p.Sweep.db p.Sweep.query) in
+  match points with
+  | [ lo; hi ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "selectivity knob works (%d < %d)" (joined lo) (joined hi))
+        true
+        (joined lo < joined hi)
+  | _ -> Alcotest.fail "expected two points"
+
+(* every generated workload respects its own FK constraints: re-inserting
+   all Employee rows into a fresh DB with the same schema must succeed *)
+let test_fk_integrity_of_generated_data () =
+  let w = Employee_dept.setup ~employees:200 ~departments:7 () in
+  let db = w.Employee_dept.db in
+  Heap.iter
+    (fun row ->
+      let dept = row.(3) in
+      if not (Value.is_null dept) then begin
+        let found =
+          Heap.exists
+            (fun drow -> Value.null_eq drow.(0) dept)
+            (Database.heap db "Department")
+        in
+        Alcotest.(check bool) "FK target exists" true found
+      end)
+    (Database.heap db "Employee")
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "employee_dept",
+        [
+          Alcotest.test_case "sizes" `Quick test_employee_dept_sizes;
+          Alcotest.test_case "null fraction" `Quick test_employee_dept_nulls;
+          Alcotest.test_case "deterministic" `Quick
+            test_employee_dept_deterministic;
+          Alcotest.test_case "FK integrity" `Quick
+            test_fk_integrity_of_generated_data;
+        ] );
+      ( "contrived (Figure 8)",
+        [
+          Alcotest.test_case "exact cardinalities" `Quick
+            test_contrived_cardinalities;
+          Alcotest.test_case "parameter validation" `Quick
+            test_contrived_parameter_validation;
+        ] );
+      ( "printers (Example 3)",
+        [ Alcotest.test_case "workload" `Quick test_printers_workload ] );
+      ( "parts (Example 2)",
+        [ Alcotest.test_case "workload" `Quick test_parts_workload ] );
+      ("sales", [ Alcotest.test_case "workload + HAVING" `Quick test_sales_workload ]);
+      ( "sweeps",
+        [
+          Alcotest.test_case "fan-in" `Quick test_sweep_fanin;
+          Alcotest.test_case "selectivity" `Quick test_sweep_selectivity;
+        ] );
+    ]
