@@ -14,6 +14,7 @@ open Eager_core
 open Eager_opt
 open Eager_parser
 open Eager_workload
+open Eager_robust
 
 let print_table heap =
   let schema = Heap.schema heap in
@@ -43,13 +44,26 @@ let print_table heap =
 
 type show = Results | Explain | Explain_analyze
 
-let run_query db (q : Binder.bound_query) ~order ~(show : show) =
+(* A query failure is a diagnostic, not a process death: the governor or
+   an execution error aborts only the statement, and the session (and
+   database) stays usable. *)
+let print_err e = Printf.printf "error: %s\n" (Err.to_string e)
+
+let run_query db (q : Binder.bound_query) ~limits ~order ~(show : show) =
+  (* fresh governor per statement: the deadline clock starts here *)
+  let governor = Governor.create limits in
+  let options = { Exec.default_options with governor } in
+  let checked plan k =
+    match Exec.run_checked ~options db plan with
+    | Ok (heap, stats) -> k (heap, stats)
+    | Error e -> print_err e
+  in
   let analyze plan =
     let t0 = Unix.gettimeofday () in
-    let heap, stats = Exec.run db (Binder.apply_order order plan) in
-    Printf.printf "%s(%d rows in %.2f ms)\n" (Optree.to_string stats)
-      (Heap.length heap)
-      ((Unix.gettimeofday () -. t0) *. 1000.)
+    checked (Binder.apply_order order plan) (fun (heap, stats) ->
+        Printf.printf "%s(%d rows in %.2f ms)\n" (Optree.to_string stats)
+          (Heap.length heap)
+          ((Unix.gettimeofday () -. t0) *. 1000.))
   in
   let finish plan =
     match show with
@@ -57,29 +71,31 @@ let run_query db (q : Binder.bound_query) ~order ~(show : show) =
         print_endline (Eager_algebra.Plan.to_string (Binder.apply_order order plan))
     | Explain_analyze -> analyze plan
     | Results ->
-        let heap, _ = Exec.run db (Binder.apply_order order plan) in
-        print_table heap
+        checked (Binder.apply_order order plan) (fun (heap, _) ->
+            print_table heap)
   in
   match q with
   | Binder.Grouped input -> (
       match Canonical.of_input db input with
       | Ok cq -> (
-          let decision = Planner.decide db cq in
-          match show with
-          | Explain ->
-              print_string (Planner.explain db decision);
-              if order <> [] then
-                print_endline "-- final output sorted per ORDER BY"
-          | Explain_analyze ->
-              Printf.printf "-- plan: %s\n"
-                (Planner.kind_to_string decision.Planner.chosen_kind);
-              analyze decision.Planner.chosen
-          | Results ->
-              let plan = Binder.apply_order order decision.Planner.chosen in
-              let heap, _ = Exec.run db plan in
-              print_table heap;
-              Printf.printf "-- plan: %s\n"
-                (Planner.kind_to_string decision.Planner.chosen_kind))
+          match Planner.decide_checked ~governor db cq with
+          | Error e -> print_err e
+          | Ok decision -> (
+              match show with
+              | Explain ->
+                  print_string (Planner.explain db decision);
+                  if order <> [] then
+                    print_endline "-- final output sorted per ORDER BY"
+              | Explain_analyze ->
+                  Printf.printf "-- plan: %s\n"
+                    (Planner.kind_to_string decision.Planner.chosen_kind);
+                  analyze decision.Planner.chosen
+              | Results ->
+                  let plan = Binder.apply_order order decision.Planner.chosen in
+                  checked plan (fun (heap, _) ->
+                      print_table heap;
+                      Printf.printf "-- plan: %s\n"
+                        (Planner.kind_to_string decision.Planner.chosen_kind))))
       | Error reason -> (
           (* outside the canonical class: run the straightforward plan *)
           match Binder.to_plan db q with
@@ -93,7 +109,48 @@ let run_query db (q : Binder.bound_query) ~order ~(show : show) =
       | Ok plan -> finish plan
       | Error msg -> Printf.printf "error: %s\n" msg)
 
-let run_file db_dir save_dir path =
+(* --faults "point@n,point2@m" arms deterministic one-shots; --fault-seed
+   with --fault-rate arms a seeded random schedule over every registered
+   injection point.  Both exist to rehearse failure handling from the
+   CLI the same way the test harness does. *)
+let arm_faults spec seed rate =
+  let invalid fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("error: invalid --faults spec: " ^ m);
+        exit 2)
+      fmt
+  in
+  (match spec with
+  | None -> ()
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.iter (fun item ->
+             let item = String.trim item in
+             if item <> "" then begin
+               let point, nth =
+                 match String.index_opt item '@' with
+                 | Some i ->
+                     ( String.sub item 0 i,
+                       int_of_string_opt
+                         (String.sub item (i + 1) (String.length item - i - 1))
+                     )
+                 | None -> (item, Some 1)
+               in
+               if not (List.mem point Fault.all_points) then
+                 invalid "unknown point %s (known: %s)" point
+                   (String.concat ", " Fault.all_points);
+               match nth with
+               | Some n when n >= 1 -> Fault.arm_nth point n
+               | _ ->
+                   invalid "%s: the part after '@' must be a positive integer"
+                     item
+             end));
+  match seed with
+  | None -> ()
+  | Some seed -> Fault.arm_seeded ~seed ~rate ()
+
+let run_file db_dir save_dir limits faults fault_seed fault_rate path =
   let src =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -109,10 +166,11 @@ let run_file db_dir save_dir path =
         | Ok db ->
             Printf.printf "loaded database from %s\n" dir;
             db
-        | Error msg ->
-            Printf.eprintf "error loading %s: %s\n" dir msg;
+        | Error e ->
+            Printf.eprintf "error loading %s: %s\n" dir (Err.to_string e);
             exit 1)
   in
+  arm_faults faults fault_seed fault_rate;
   (* execute eagerly so SELECTs interleaved with DML see the right state *)
   match
     Binder.run_script_with db src ~f:(fun o ->
@@ -121,9 +179,9 @@ let run_file db_dir save_dir path =
         | Binder.Inserted n -> Printf.printf "%d row(s) inserted\n" n
         | Binder.Updated n -> Printf.printf "%d row(s) updated\n" n
         | Binder.Deleted n -> Printf.printf "%d row(s) deleted\n" n
-        | Binder.Query (q, order) -> run_query db q ~order ~show:Results
+        | Binder.Query (q, order) -> run_query db q ~limits ~order ~show:Results
         | Binder.Explained (q, order, an) ->
-            run_query db q ~order
+            run_query db q ~limits ~order
               ~show:(if an then Explain_analyze else Explain))
   with
   | Error msg ->
@@ -137,11 +195,11 @@ let run_file db_dir save_dir path =
           | Ok () ->
               Printf.printf "database saved to %s\n" dir;
               0
-          | Error msg ->
-              Printf.eprintf "error saving %s: %s\n" dir msg;
+          | Error e ->
+              Printf.eprintf "error saving %s: %s\n" dir (Err.to_string e);
               1))
 
-let repl () =
+let repl limits =
   let db = ref (Database.create ()) in
   let timing = ref false in
   print_endline
@@ -182,13 +240,13 @@ let repl () =
     | [ "\\save"; dir ] -> (
         match Persist.save !db ~dir with
         | Ok () -> Printf.printf "saved to %s\n" dir
-        | Error msg -> Printf.printf "error: %s\n" msg)
+        | Error e -> print_err e)
     | [ "\\load"; dir ] -> (
         match Persist.load ~dir with
         | Ok d ->
             db := d;
             Printf.printf "loaded %s\n" dir
-        | Error msg -> Printf.printf "error: %s\n" msg)
+        | Error e -> print_err e)
     | [ "\\timing" ] ->
         timing := not !timing;
         Printf.printf "timing %s\n" (if !timing then "on" else "off")
@@ -225,9 +283,9 @@ let repl () =
                  | Binder.Updated n -> Printf.printf "%d row(s) updated\n" n
                  | Binder.Deleted n -> Printf.printf "%d row(s) deleted\n" n
                  | Binder.Query (q, order) ->
-                     run_query !db q ~order ~show:Results
+                     run_query !db q ~limits ~order ~show:Results
                  | Binder.Explained (q, order, an) ->
-                     run_query !db q ~order
+                     run_query !db q ~limits ~order
                        ~show:(if an then Explain_analyze else Explain))
            with
           | Error msg -> Printf.printf "error: %s\n" msg
@@ -281,6 +339,40 @@ let demo name =
 
 open Cmdliner
 
+(* resource-limit flags shared by [run] and [repl]; each query gets a
+   fresh governor built from these limits *)
+let limits_term =
+  let max_rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rows" ] ~docv:"N"
+          ~doc:
+            "Abort a query once it has materialized more than $(docv) rows \
+             across all operators (a typed Resource error; the session \
+             survives)")
+  in
+  let max_groups =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-groups" ] ~docv:"N"
+          ~doc:
+            "Abort a query whose aggregation hash table exceeds $(docv) \
+             entries")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-query wall-clock budget in milliseconds")
+  in
+  Term.(
+    const (fun max_rows max_groups deadline_ms ->
+        { Governor.max_rows; max_groups; deadline_ms })
+    $ max_rows $ max_groups $ deadline_ms)
+
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let db_dir =
@@ -296,8 +388,32 @@ let run_cmd =
       & info [ "save" ] ~docv:"DIR"
           ~doc:"Save the database to $(docv) after the script")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Arm fault-injection one-shots, e.g. \
+             'persist.rename\\@1,exec.next\\@3' (fire on the n-th hit)")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Arm a seeded random fault schedule over all injection points")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.01
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Firing probability per hit for --fault-seed (default 0.01)")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
-    Term.(const run_file $ db_dir $ save_dir $ file)
+    Term.(
+      const run_file $ db_dir $ save_dir $ limits_term $ faults $ fault_seed
+      $ fault_rate $ file)
 
 let demo_cmd =
   let name_arg =
@@ -310,7 +426,7 @@ let demo_cmd =
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL shell on an in-memory database")
-    Term.(const repl $ const ())
+    Term.(const repl $ limits_term)
 
 let () =
   let main =

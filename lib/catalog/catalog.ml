@@ -63,6 +63,16 @@ let add_index t (i : index_def) =
   if i.icols = [] then failwith "an index needs at least one column";
   { t with idxs = Smap.add i.iname i t.idxs }
 
+(* Remove a table and every index declared on it.  Views referencing the
+   table are left in place: they re-bind lazily and fail with a clean
+   bind error if used afterwards. *)
+let remove_table t name =
+  {
+    t with
+    tabs = Smap.remove name t.tabs;
+    idxs = Smap.filter (fun _ i -> not (String.equal i.itable name)) t.idxs;
+  }
+
 let find_table t name = Smap.find_opt name t.tabs
 let find_domain t name = Smap.find_opt name t.doms
 let find_view t name = Smap.find_opt name t.views

@@ -34,6 +34,10 @@ val add_index : t -> index_def -> t
 (** Raises [Failure] when the name is taken or the table/columns are
     unknown. *)
 
+val remove_table : t -> string -> t
+(** Remove a table and every index declared on it; a no-op for unknown
+    names.  Views over the table are kept and fail at re-bind time. *)
+
 val find_table : t -> string -> Table_def.t option
 val find_domain : t -> string -> domain_def option
 val find_view : t -> string -> view_def option

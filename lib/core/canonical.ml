@@ -181,13 +181,15 @@ let of_input db (q : input) : (t, string) result =
     }
 
 let of_input_exn db q =
-  match of_input db q with Ok t -> t | Error msg -> failwith msg
+  match of_input db q with
+  | Ok t -> t
+  | Error msg -> Eager_robust.Err.failf Eager_robust.Err.Bind "%s" msg
 
 let add_predicates t ~side1 ~side2 =
   let check cols_ok e =
     if not (Colref.Set.subset (Expr.columns e) cols_ok) then
-      failwith
-        (Printf.sprintf "add_predicates: %s crosses sides" (Expr.to_string e))
+      Eager_robust.Err.failf Eager_robust.Err.Planner
+        "add_predicates: %s crosses sides" (Expr.to_string e)
   in
   List.iter (check (Schema.colset t.schema1)) side1;
   List.iter (check (Schema.colset t.schema2)) side2;

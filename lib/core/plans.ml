@@ -3,10 +3,11 @@ open Eager_expr
 open Eager_catalog
 open Eager_storage
 open Eager_algebra
+open Eager_robust
 
 let scan_of db (s : Canonical.source) =
   match Catalog.find_table (Database.catalog db) s.Canonical.table with
-  | None -> failwith (Printf.sprintf "unknown table %s" s.Canonical.table)
+  | None -> Err.failf Err.Planner "unknown table %s" s.Canonical.table
   | Some td ->
       Plan.scan ~table:s.Canonical.table ~rel:s.Canonical.rel
         (Table_def.schema ~rel:s.Canonical.rel td)
@@ -16,7 +17,7 @@ let scan_of db (s : Canonical.source) =
    ends are in scope, leftovers end up in a final selection. *)
 let join_side db sources conjuncts =
   match sources with
-  | [] -> failwith "join_side: empty side"
+  | [] -> Err.failf Err.Planner "join_side: empty side"
   | first :: rest ->
       let remaining = ref conjuncts in
       let take_covered schema =

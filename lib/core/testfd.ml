@@ -19,8 +19,18 @@ let verdict_to_string = function
 
 let source_constraints db (s : Canonical.source) =
   match Catalog.find_table (Database.catalog db) s.Canonical.table with
-  | None -> failwith (Printf.sprintf "unknown table %s" s.Canonical.table)
+  | None -> []
   | Some td -> Catalog.table_checks (Database.catalog db) ~rel:s.Canonical.rel td
+
+(* tables the test cannot resolve — verification is impossible, which per
+   the soundness contract means "do not rewrite", never a crash *)
+let unknown_tables db (q : Canonical.t) =
+  List.filter_map
+    (fun (s : Canonical.source) ->
+      match Catalog.find_table (Database.catalog db) s.Canonical.table with
+      | None -> Some s.Canonical.table
+      | Some _ -> None)
+    (q.Canonical.r1 @ q.Canonical.r2)
 
 let source_key_fds db (s : Canonical.source) =
   match Catalog.find_table (Database.catalog db) s.Canonical.table with
@@ -36,6 +46,12 @@ let test_traced ?(strict = false) ?(dnf_cap = 64) db (q : Canonical.t) =
   let empty_trace =
     { clauses_kept = 0; clauses_dropped = 0; disjuncts = 0; closures = [] }
   in
+  match unknown_tables db q with
+  | t :: _ ->
+      (* cannot verify the FD conditions → refuse the rewrite *)
+      ( No (Printf.sprintf "unknown table %s: cannot verify, not rewriting" t),
+        empty_trace )
+  | [] ->
   (* T1 and T2: single-table semantic constraints of both sides *)
   let t1 = List.concat_map (source_constraints db) q.Canonical.r1 in
   let t2 = List.concat_map (source_constraints db) q.Canonical.r2 in

@@ -3,6 +3,7 @@ open Eager_schema
 open Eager_expr
 open Eager_storage
 open Eager_algebra
+open Eager_robust
 
 type join_algo = Nested_loop | Hash_join | Merge_join | Auto
 type group_algo = Hash_group | Sort_group
@@ -12,6 +13,7 @@ type options = {
   group_algo : group_algo;
   params : Expr.env;
   use_indexes : bool;
+  governor : Governor.t;
 }
 
 let default_options =
@@ -20,6 +22,7 @@ let default_options =
     group_algo = Hash_group;
     params = Expr.no_params;
     use_indexes = true;
+    governor = Governor.unlimited;
   }
 
 let split_equijoin lsch rsch pred =
@@ -136,16 +139,23 @@ let order_through_projection order cols =
 
 let run_ordered ?(options = default_options) db plan =
   let params = options.params in
+  let gov = options.governor in
+  (* operator boundary: budget enforcement + the [exec.next] fault hook *)
+  let bnode label rows children = Optree.boundary gov label rows children in
   let rec eval (p : Plan.t) : Heap.t * Optree.t * Colref.t list =
     let label = Plan.label p in
     match p with
     | Plan.Scan { table; schema; _ } ->
         let src = Database.heap db table in
         if Schema.arity schema <> Schema.arity (Heap.schema src) then
-          failwith (Printf.sprintf "scan of %s: schema arity mismatch" table);
+          Err.failf Err.Exec
+            "scan of %s: schema arity mismatch (plan expects %d columns, \
+             stored table has %d)"
+            table (Schema.arity schema)
+            (Schema.arity (Heap.schema src));
         let out = Heap.create schema in
         Heap.iter (Heap.insert out) src;
-        (out, Optree.leaf label (Heap.length out), [])
+        (out, bnode label (Heap.length out) [], [])
     | Plan.Select { pred; input } -> (
         (* point-lookup path: a [col = const] conjunct over a base-table
            scan with a declared single-column index *)
@@ -187,7 +197,7 @@ let run_ordered ?(options = default_options) db plan =
                 (Printf.sprintf "IndexScan %s via %s" table def.Eager_catalog.Catalog.iname)
                 (List.length candidates)
             in
-            (out, Optree.node label (Heap.length out) [ leaf ], [])
+            (out, bnode label (Heap.length out) [ leaf ], [])
         | None ->
             let h, st, order = eval input in
             let test = Expr.compile_pred ~params (Heap.schema h) pred in
@@ -195,7 +205,7 @@ let run_ordered ?(options = default_options) db plan =
             Heap.iter
               (fun row -> if Tbool.holds (test row) then Heap.insert out row)
               h;
-            (out, Optree.node label (Heap.length out) [ st ], order))
+            (out, bnode label (Heap.length out) [ st ], order))
     | Plan.Project { dedup; cols; input } ->
         let h, st, order = eval input in
         let schema = Heap.schema h in
@@ -214,7 +224,7 @@ let run_ordered ?(options = default_options) db plan =
         end
         else Heap.iter (fun row -> Heap.insert out (Row.project idxs row)) h;
         ( out,
-          Optree.node label (Heap.length out) [ st ],
+          bnode label (Heap.length out) [ st ],
           order_through_projection order cols )
     | Plan.Map { items; input } ->
         let h, st, order = eval input in
@@ -244,7 +254,7 @@ let run_ordered ?(options = default_options) db plan =
           in
           prefix order
         in
-        (out, Optree.node label (Heap.length out) [ st ], out_order)
+        (out, bnode label (Heap.length out) [ st ], out_order)
     | Plan.Sort { by; input } ->
         let h, st, _ = eval input in
         let schema = Heap.schema h in
@@ -268,14 +278,14 @@ let run_ordered ?(options = default_options) db plan =
           | (c, false) :: rest -> c :: asc_prefix rest
           | _ -> []
         in
-        (out, Optree.node label (Heap.length out) [ st ], asc_prefix by)
+        (out, bnode label (Heap.length out) [ st ], asc_prefix by)
     | Plan.Product (a, b) ->
         let ha, sa, order_a = eval a in
         let hb, sb, _ = eval b in
         let out = Heap.create (Schema.concat (Heap.schema ha) (Heap.schema hb)) in
         nested_loop out None (Heap.to_list ha) (Heap.to_list hb);
         (* outer-loop order: the left order survives *)
-        (out, Optree.node label (Heap.length out) [ sa; sb ], order_a)
+        (out, bnode label (Heap.length out) [ sa; sb ], order_a)
     | Plan.Join { pred; left; right } ->
         let hl, sl, order_l = eval left in
         let hr, sr, order_r = eval right in
@@ -325,7 +335,7 @@ let run_ordered ?(options = default_options) db plan =
               (if presorted > 1 then "s" else "")
           else label
         in
-        (out, Optree.node label (Heap.length out) [ sl; sr ], out_order)
+        (out, bnode label (Heap.length out) [ sl; sr ], out_order)
     | Plan.Group { by; aggs; scalar; unique_groups; input } ->
         let h, st, in_order = eval input in
         let in_schema = Heap.schema h in
@@ -370,6 +380,9 @@ let run_ordered ?(options = default_options) db plan =
                        let state = Agg_exec.fresh compiled in
                        Agg_exec.update compiled state row;
                        Hashtbl.add groups key (row, state);
+                       (* bound the aggregation hash table while it grows,
+                          not only at the operator boundary *)
+                       Governor.charge_groups gov (Hashtbl.length groups);
                        order := key :: !order)
                  h;
                List.iter
@@ -400,7 +413,7 @@ let run_ordered ?(options = default_options) db plan =
           let state = Agg_exec.fresh compiled in
           Heap.insert out (Agg_exec.finalize compiled state)
         end;
-        (out, Optree.node label (Heap.length out) [ st ], out_order)
+        (out, bnode label (Heap.length out) [ st ], out_order)
   in
   eval plan
 
@@ -411,6 +424,16 @@ let run ?options db plan =
 let run_rows ?options db plan =
   let h, _ = run ?options db plan in
   Heap.to_list h
+
+(* The typed-error boundary: a query either completes or yields an
+   [Error] — budget breaches, injected faults, missing tables and legacy
+   raises all surface here as values.  Base tables are never mutated by
+   evaluation, so an abort leaves the database consistent. *)
+let run_checked ?options db plan =
+  Err.protect ~kind:Err.Exec (fun () -> run ?options db plan)
+
+let run_rows_checked ?options db plan =
+  Result.map (fun (h, _) -> Heap.to_list h) (run_checked ?options db plan)
 
 let multiset_equal a b =
   let tally rows =

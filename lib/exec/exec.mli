@@ -20,6 +20,7 @@ open Eager_schema
 open Eager_expr
 open Eager_storage
 open Eager_algebra
+open Eager_robust
 
 type join_algo = Nested_loop | Hash_join | Merge_join | Auto
 type group_algo = Hash_group | Sort_group
@@ -33,13 +34,31 @@ type options = {
           conjunct and a single-column index is declared on [col], fetch
           the candidates through the index instead of scanning (the
           statistics tree shows an [IndexScan] leaf) *)
+  governor : Governor.t;
+      (** per-query resource budgets, enforced at every operator boundary
+          and inside hash aggregation; defaults to
+          {!Eager_robust.Governor.unlimited} *)
 }
 
 val default_options : options
 
 val run : ?options:options -> Database.t -> Plan.t -> Heap.t * Optree.t
+(** May raise [Err.Error_exn] (budget breach, missing table, arity
+    mismatch); use {!run_checked} for the value-level error channel. *)
+
 val run_rows : ?options:options -> Database.t -> Plan.t -> Row.t list
 (** [run] then [Heap.to_list], discarding statistics. *)
+
+val run_checked :
+  ?options:options -> Database.t -> Plan.t -> (Heap.t * Optree.t, Err.t) result
+(** The fault-tolerant entry point: every failure mode of evaluation —
+    resource-budget breaches, injected faults, unknown tables, arity
+    mismatches, legacy [Failure]/[Invalid_argument] raises — comes back
+    as a typed [Error].  Evaluation writes only to fresh output heaps, so
+    an aborted query leaves no observable mutation. *)
+
+val run_rows_checked :
+  ?options:options -> Database.t -> Plan.t -> (Row.t list, Err.t) result
 
 val run_ordered :
   ?options:options -> Database.t -> Plan.t -> Heap.t * Optree.t * Colref.t list

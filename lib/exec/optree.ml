@@ -1,7 +1,19 @@
+open Eager_robust
+
 type t = { label : string; out_rows : int; children : t list }
 
 let leaf label out_rows = { label; out_rows; children = [] }
 let node label out_rows children = { label; out_rows; children }
+
+(* Operator-boundary bookkeeping: every operator finishes by building its
+   statistics node, so this is where per-query budgets are enforced and
+   where the [exec.next] fault hook lives.  Raises [Err.Error_exn] (kind
+   [Resource]) on a budget breach — the query unwinds having touched only
+   its own output heaps. *)
+let boundary gov label out_rows children =
+  Fault.trip "exec.next";
+  Governor.charge_rows gov out_rows;
+  node label out_rows children
 let in_rows t = List.map (fun c -> c.out_rows) t.children
 
 let rec total_produced t =

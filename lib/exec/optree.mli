@@ -8,6 +8,11 @@ type t = { label : string; out_rows : int; children : t list }
 val leaf : string -> int -> t
 val node : string -> int -> t list -> t
 
+val boundary : Eager_robust.Governor.t -> string -> int -> t list -> t
+(** [node], plus operator-boundary enforcement: fires the [exec.next]
+    fault point and charges [out_rows] against the governor.  Raises
+    [Err.Error_exn] with kind [Resource] on a budget or deadline breach. *)
+
 val in_rows : t -> int list
 (** Output cardinalities of the children, i.e. this operator's input sizes. *)
 

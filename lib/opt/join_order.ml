@@ -7,7 +7,9 @@ open Eager_algebra
 
 let scan_of db (s : Canonical.source) =
   match Catalog.find_table (Database.catalog db) s.Canonical.table with
-  | None -> failwith (Printf.sprintf "unknown table %s" s.Canonical.table)
+  | None ->
+      Eager_robust.Err.failf Eager_robust.Err.Planner "unknown table %s"
+        s.Canonical.table
   | Some td ->
       Plan.scan ~table:s.Canonical.table ~rel:s.Canonical.rel
         (Table_def.schema ~rel:s.Canonical.rel td)
@@ -15,7 +17,9 @@ let scan_of db (s : Canonical.source) =
 let best_tree ?(max_relations = 12) db (sources : Canonical.source list)
     conjuncts =
   let n = List.length sources in
-  if n = 0 then failwith "Join_order.best_tree: empty source list";
+  if n = 0 then
+    Eager_robust.Err.failf Eager_robust.Err.Planner
+      "Join_order.best_tree: empty source list";
   if n > max_relations then Plans.join_tree db sources conjuncts
   else begin
     let sources = Array.of_list sources in

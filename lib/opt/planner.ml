@@ -1,5 +1,6 @@
 open Eager_core
 open Eager_algebra
+open Eager_robust
 
 type kind = Lazy_group | Eager_group
 
@@ -12,54 +13,117 @@ type decision = {
   chosen : Plan.t;
   chosen_kind : kind;
   expanded_atoms : int;
+  fallback : string option;
 }
 
 let kind_to_string = function
   | Lazy_group -> "group after join (E1)"
   | Eager_group -> "group before join (E2)"
 
-let decide ?strict ?(expand = true) db q =
-  let expanded_atoms = if expand then Expand.derived_count q else 0 in
-  let q = if expand then Expand.query q else q in
-  let verdict = Testfd.test ?strict db q in
+(* Graceful degradation: the E2 rewrite is only sound when TestFD
+   actually verifies the FD conditions (cf. Chirkova & Genesereth on
+   dependency-based rewrites).  Whenever verification or costing cannot
+   complete — an internal error, an injected fault, or a governor
+   deadline already blown — we demote to the canonical E1 plan and
+   record why, rather than failing the query. *)
+let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) db q =
+  let fallback = ref None in
+  let demote reason = fallback := Some reason in
+  let expanded_atoms, q =
+    match
+      Err.protect ~kind:Err.Planner (fun () ->
+          if expand then (Expand.derived_count q, Expand.query q) else (0, q))
+    with
+    | Ok r -> r
+    | Error e ->
+        demote (Printf.sprintf "predicate expansion failed: %s" (Err.to_string e));
+        (0, q)
+  in
+  let verdict =
+    if !fallback <> None then
+      Testfd.No (Printf.sprintf "planner fallback: %s" (Option.get !fallback))
+    else
+      match
+        let ( let* ) = Result.bind in
+        let* () = Fault.check "opt.testfd" in
+        let* () = Governor.check governor in
+        Err.protect ~kind:Err.Planner (fun () -> Testfd.test ?strict db q)
+      with
+      | Ok v -> v
+      | Error e ->
+          let reason =
+            Printf.sprintf "TestFD could not complete: %s" (Err.to_string e)
+          in
+          demote reason;
+          Testfd.No reason
+  in
   (* multi-table sides go through the DP join-order enumerator *)
-  let side sources conjuncts fallback =
+  let side sources conjuncts fallback_plan =
     if List.length sources >= 3 then Join_order.best_tree db sources conjuncts
-    else fallback
+    else fallback_plan
   in
   let side1 = side q.Canonical.r1 q.Canonical.c1 (Plans.side1 db q) in
   let side2 = side q.Canonical.r2 q.Canonical.c2 (Plans.side2 db q) in
   let plan_lazy = Plans.e1_with q ~side1 ~side2 in
-  let cost_lazy = Cost.cost db plan_lazy in
+  let cost_lazy =
+    match Err.protect ~kind:Err.Planner (fun () -> Cost.cost db plan_lazy) with
+    | Ok c -> c
+    | Error e ->
+        (* E1 is the plan of last resort: run it even uncosted *)
+        demote (Printf.sprintf "cost model failed on E1: %s" (Err.to_string e));
+        Float.infinity
+  in
+  let lazy_decision verdict =
+    {
+      verdict;
+      plan_lazy;
+      cost_lazy;
+      plan_eager = None;
+      cost_eager = None;
+      chosen = plan_lazy;
+      chosen_kind = Lazy_group;
+      expanded_atoms;
+      fallback = !fallback;
+    }
+  in
   match verdict with
-  | Testfd.No _ ->
-      {
-        verdict;
-        plan_lazy;
-        cost_lazy;
-        plan_eager = None;
-        cost_eager = None;
-        chosen = plan_lazy;
-        chosen_kind = Lazy_group;
-        expanded_atoms;
-      }
-  | Testfd.Yes ->
-      let plan_eager = Plans.e2_with q ~side1 ~side2 in
-      let cost_eager = Cost.cost db plan_eager in
-      let chosen, chosen_kind =
-        if cost_eager < cost_lazy then (plan_eager, Eager_group)
-        else (plan_lazy, Lazy_group)
-      in
-      {
-        verdict;
-        plan_lazy;
-        cost_lazy;
-        plan_eager = Some plan_eager;
-        cost_eager = Some cost_eager;
-        chosen;
-        chosen_kind;
-        expanded_atoms;
-      }
+  | Testfd.No _ -> lazy_decision verdict
+  | Testfd.Yes -> (
+      match
+        let ( let* ) = Result.bind in
+        let* () = Fault.check "opt.cost" in
+        let* () = Governor.check governor in
+        Err.protect ~kind:Err.Planner (fun () ->
+            let plan_eager = Plans.e2_with q ~side1 ~side2 in
+            (plan_eager, Cost.cost db plan_eager))
+      with
+      | Error e ->
+          (* E2 construction or costing failed: budget breach or error
+             inside cost estimation — demote to E1 *)
+          demote
+            (Printf.sprintf "eager plan abandoned: %s" (Err.to_string e));
+          lazy_decision verdict
+      | Ok (plan_eager, cost_eager) ->
+          let chosen, chosen_kind =
+            if cost_eager < cost_lazy then (plan_eager, Eager_group)
+            else (plan_lazy, Lazy_group)
+          in
+          {
+            verdict;
+            plan_lazy;
+            cost_lazy;
+            plan_eager = Some plan_eager;
+            cost_eager = Some cost_eager;
+            chosen;
+            chosen_kind;
+            expanded_atoms;
+            fallback = !fallback;
+          })
+
+(* the planner itself can die on a malformed query (unknown tables on
+   both plan shapes); this boundary turns even that into a value *)
+let decide_checked ?strict ?expand ?governor db q =
+  Err.protect ~kind:Err.Planner (fun () -> decide ?strict ?expand ?governor db q)
 
 let explain db d =
   let buf = Buffer.create 512 in
@@ -77,6 +141,11 @@ let explain db d =
       Buffer.add_string buf
         (Format.asprintf "E2 (eager):@.%a@." Cost.pp_breakdown
            (Cost.breakdown db p))
+  | None -> ());
+  (match d.fallback with
+  | Some reason ->
+      Buffer.add_string buf
+        (Printf.sprintf "fallback: demoted to canonical E1 — %s\n" reason)
   | None -> ());
   Buffer.add_string buf
     (Printf.sprintf "chosen: %s\n" (kind_to_string d.chosen_kind));

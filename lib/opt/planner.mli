@@ -9,6 +9,7 @@
 open Eager_core
 open Eager_storage
 open Eager_algebra
+open Eager_robust
 
 type kind = Lazy_group | Eager_group
 
@@ -23,11 +24,36 @@ type decision = {
   expanded_atoms : int;
       (** predicate-expansion bindings derived before planning (paper
           Example 3's closing optimization); 0 when [expand:false] *)
+  fallback : string option;
+      (** when set, the planner degraded gracefully: an error, injected
+          fault, or budget breach inside TestFD / cost estimation demoted
+          the decision to the canonical E1 plan for this reason *)
 }
 
-val decide : ?strict:bool -> ?expand:bool -> Database.t -> Canonical.t -> decision
+val decide :
+  ?strict:bool ->
+  ?expand:bool ->
+  ?governor:Governor.t ->
+  Database.t ->
+  Canonical.t ->
+  decision
 (** [expand] (default true) applies {!Eager_core.Expand.query} first, so
-    derived constant bindings shrink the eager plan's grouping input. *)
+    derived constant bindings shrink the eager plan's grouping input.
+    The E2 rewrite is proposed only when TestFD completes with YES; any
+    failure inside verification or costing — including a [governor]
+    deadline already exceeded — falls back to E1 with the reason recorded
+    in [fallback] (and shown by {!explain}). *)
+
+val decide_checked :
+  ?strict:bool ->
+  ?expand:bool ->
+  ?governor:Governor.t ->
+  Database.t ->
+  Canonical.t ->
+  (decision, Err.t) result
+(** [decide] behind the typed-error boundary: even a planner that cannot
+    produce the E1 plan (e.g. every referenced table is gone) returns
+    [Error] instead of raising. *)
 
 val explain : Database.t -> decision -> string
 val kind_to_string : kind -> string

@@ -3,6 +3,7 @@ open Eager_schema
 open Eager_expr
 open Eager_catalog
 open Eager_storage
+open Eager_robust
 
 let ( let* ) = Result.bind
 
@@ -109,7 +110,7 @@ let encode_value = function
   | Value.Bool b -> if b then "TRUE" else "FALSE"
   | Value.Str s ->
       if String.contains s '\n' then
-        failwith "cannot persist a string containing a newline";
+        Err.failf Err.Io "cannot persist a string containing a newline";
       let buf = Buffer.create (String.length s + 2) in
       Buffer.add_char buf '"';
       String.iter
@@ -178,91 +179,235 @@ let decode_value raw : (Value.t, string) result =
         | None -> Error (Printf.sprintf "cannot decode CSV field %S" raw))
 
 (* ------------------------------------------------------------------ *)
+(* Crash-safe snapshot persistence.
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+   The whole database is serialised into a single [snapshot.eagerdb]
+   file: a version header, the DDL, one section per table, an [\[end\]]
+   sentinel, and a trailing MD5 checksum line covering everything above
+   it.  The save path is write-to-temp → fsync → atomic rename, so a
+   crash (or injected fault) at any moment leaves either the previous
+   snapshot or the new one — never a torn file that parses.  The load
+   path refuses anything whose checksum does not verify, so a torn or
+   corrupted file yields a typed [Error] and no half-loaded database. *)
+
+let snapshot_file = "snapshot.eagerdb"
+let snapshot_magic = "eagerdb snapshot v1"
+let checksum_prefix = "#checksum:"
 
 let read_file path =
-  let ic = open_in path in
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let save db ~dir =
-  match
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    write_file (Filename.concat dir "schema.sql") (ddl_of_database db);
-    List.iter
-      (fun (td : Table_def.t) ->
-        let h = Database.heap db td.Table_def.tname in
-        let buf = Buffer.create 4096 in
-        Buffer.add_string buf (String.concat "," (Table_def.column_names td));
-        Buffer.add_char buf '\n';
-        Heap.iter
-          (fun row ->
-            Buffer.add_string buf (encode_row row);
-            Buffer.add_char buf '\n')
-          h;
-        write_file
-          (Filename.concat dir (td.Table_def.tname ^ ".csv"))
-          (Buffer.contents buf))
-      (Catalog.tables (Database.catalog db))
-  with
-  | () -> Ok ()
-  | exception Sys_error msg -> Error msg
-  | exception Failure msg -> Error msg
+let snapshot_body db =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf snapshot_magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "[schema]\n";
+  Buffer.add_string buf (ddl_of_database db);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (td : Table_def.t) ->
+      let h = Database.heap db td.Table_def.tname in
+      Buffer.add_string buf
+        (Printf.sprintf "[table %s]\n" td.Table_def.tname);
+      Buffer.add_string buf (String.concat "," (Table_def.column_names td));
+      Buffer.add_char buf '\n';
+      Heap.iter
+        (fun row ->
+          Buffer.add_string buf (encode_row row);
+          Buffer.add_char buf '\n')
+        h)
+    (Catalog.tables (Database.catalog db));
+  Buffer.add_string buf "[end]\n";
+  Buffer.contents buf
 
-let load ~dir =
+let save db ~dir =
+  Err.protect ~kind:Err.Io (fun () ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let body = snapshot_body db in
+      let content =
+        body ^ checksum_prefix ^ Digest.to_hex (Digest.string body) ^ "\n"
+      in
+      let final = Filename.concat dir snapshot_file in
+      let tmp = final ^ ".tmp" in
+      let committed = ref false in
+      Fun.protect
+        ~finally:(fun () ->
+          (* a failed attempt must not leave its temp file behind *)
+          if (not !committed) && Sys.file_exists tmp then
+            try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              (* the fault point sits mid-write: if it fires, the temp
+                 file is torn — exactly what a real crash leaves *)
+              let half = String.length content / 2 in
+              output_substring oc content 0 half;
+              Fault.trip "persist.write";
+              output_substring oc content half (String.length content - half);
+              flush oc;
+              Unix.fsync (Unix.descr_of_out_channel oc));
+          Fault.trip "persist.rename";
+          Sys.rename tmp final;
+          committed := true))
+
+(* ------------------------------------------------------------------ *)
+(* legacy directory layout (schema.sql + one CSV per table), still
+   readable so databases saved by older builds keep loading *)
+
+let load_legacy ~dir =
   let db = Database.create () in
   let schema_path = Filename.concat dir "schema.sql" in
   if not (Sys.file_exists schema_path) then
-    Error (Printf.sprintf "%s not found" schema_path)
+    Error (Err.io "%s: no snapshot or schema.sql found" dir)
   else begin
     let* _ =
       match Binder.run_script db (read_file schema_path) with
       | Ok _ -> Ok ()
-      | Error msg -> Error ("schema.sql: " ^ msg)
+      | Error msg -> Error (Err.io "schema.sql: %s" msg)
     in
     let* () =
-      List.fold_left
-        (fun acc (td : Table_def.t) ->
-          let* () = acc in
+      Err.iter_result
+        (fun (td : Table_def.t) ->
           let path = Filename.concat dir (td.Table_def.tname ^ ".csv") in
           if not (Sys.file_exists path) then
-            Error (Printf.sprintf "%s not found" path)
+            Error (Err.io "%s not found" path)
           else begin
             let lines =
               String.split_on_char '\n' (read_file path)
               |> List.filter (fun l -> String.trim l <> "")
             in
             match lines with
-            | [] -> Error (Printf.sprintf "%s: missing header" path)
+            | [] -> Error (Err.io "%s: missing header" path)
             | _header :: rows ->
                 let h = Database.heap db td.Table_def.tname in
-                List.fold_left
-                  (fun acc line ->
-                    let* () = acc in
-                    let* fields = split_fields line in
+                Err.iter_result
+                  (fun line ->
+                    let* fields = Err.of_msg Err.Io (split_fields line) in
                     let* values =
-                      List.fold_left
-                        (fun acc f ->
-                          let* acc = acc in
-                          let* v = decode_value f in
-                          Ok (v :: acc))
-                        (Ok []) fields
-                      |> Result.map List.rev
+                      Err.map_result
+                        (fun f -> Err.of_msg Err.Io (decode_value f))
+                        fields
                     in
                     (* trusted dump: straight into the heap *)
                     match Heap.insert h (Array.of_list values) with
                     | () -> Ok ()
-                    | exception Invalid_argument msg -> Error msg)
-                  (Ok ()) rows
+                    | exception Invalid_argument msg -> Error (Err.io "%s" msg))
+                  rows
           end)
-        (Ok ())
         (Catalog.tables (Database.catalog db))
     in
     Ok db
   end
+
+(* ------------------------------------------------------------------ *)
+(* snapshot parsing *)
+
+let verify_checksum content =
+  (* the checksum line has a fixed shape: prefix + 32 hex chars + \n *)
+  let tail_len = String.length checksum_prefix + 32 + 1 in
+  let n = String.length content in
+  if n < tail_len then Error (Err.io "snapshot torn: too short to carry a checksum")
+  else
+    let body = String.sub content 0 (n - tail_len) in
+    let tail = String.sub content (n - tail_len) tail_len in
+    if
+      (not (String.length tail = tail_len))
+      || (not (String.sub tail 0 (String.length checksum_prefix) = checksum_prefix))
+      || tail.[tail_len - 1] <> '\n'
+    then Error (Err.io "snapshot torn: missing checksum trailer")
+    else
+      let recorded = String.sub tail (String.length checksum_prefix) 32 in
+      let actual = Digest.to_hex (Digest.string body) in
+      if String.equal recorded actual then Ok body
+      else
+        Error
+          (Err.io "snapshot rejected: checksum mismatch (stored %s, computed %s)"
+             recorded actual)
+
+(* split the verified body into the schema text and per-table row lines *)
+let parse_sections body =
+  let lines = String.split_on_char '\n' body in
+  match lines with
+  | magic :: "[schema]" :: rest when String.equal magic snapshot_magic ->
+      let is_section l =
+        String.length l >= 1 && l.[0] = '['
+        && (String.equal l "[end]"
+           || (String.length l > 7 && String.sub l 0 7 = "[table "))
+      in
+      let rec take_until acc = function
+        | [] -> (List.rev acc, [])
+        | l :: _ as rest when is_section l -> (List.rev acc, rest)
+        | l :: rest -> take_until (l :: acc) rest
+      in
+      let schema_lines, rest = take_until [] rest in
+      let rec tables acc = function
+        | [ "[end]" ] | [ "[end]"; "" ] -> Ok (List.rev acc)
+        | l :: rest when String.length l > 7 && String.sub l 0 7 = "[table " ->
+            let name = String.sub l 7 (String.length l - 8) in
+            if String.length l < 9 || l.[String.length l - 1] <> ']' then
+              Error (Err.io "snapshot torn: malformed section %S" l)
+            else
+              let body_lines, rest = take_until [] rest in
+              (match body_lines with
+              | [] -> Error (Err.io "snapshot torn: table %s missing header" name)
+              | _header :: rows -> tables ((name, rows) :: acc) rest)
+        | l :: _ -> Error (Err.io "snapshot torn: unexpected line %S" l)
+        | [] -> Error (Err.io "snapshot torn: missing [end] sentinel")
+      in
+      let* tabs = tables [] rest in
+      Ok (String.concat "\n" schema_lines, tabs)
+  | _ -> Error (Err.io "unrecognized snapshot header")
+
+let load_snapshot path =
+  let* content =
+    match read_file path with
+    | content -> Ok content
+    | exception Sys_error msg -> Error (Err.io "%s" msg)
+  in
+  let* body = verify_checksum content in
+  let* schema_text, tabs = parse_sections body in
+  let db = Database.create () in
+  let* _ =
+    match Binder.run_script db schema_text with
+    | Ok _ -> Ok ()
+    | Error msg -> Error (Err.io "snapshot schema: %s" msg)
+  in
+  let* () =
+    Err.iter_result
+      (fun (name, rows) ->
+        match Database.heap_opt db name with
+        | None -> Error (Err.io "snapshot names unknown table %s" name)
+        | Some h ->
+            Err.iter_result
+              (fun line ->
+                if String.trim line = "" then Ok ()
+                else
+                  let* fields = Err.of_msg Err.Io (split_fields line) in
+                  let* values =
+                    Err.map_result
+                      (fun f -> Err.of_msg Err.Io (decode_value f))
+                      fields
+                  in
+                  (* trusted dump: straight into the heap *)
+                  match Heap.insert h (Array.of_list values) with
+                  | () -> Ok ()
+                  | exception Invalid_argument msg -> Error (Err.io "%s" msg))
+              rows)
+      tabs
+  in
+  Ok db
+
+let load ~dir =
+  let path = Filename.concat dir snapshot_file in
+  let result =
+    if Sys.file_exists path then
+      (* contain even unexpected raises from a hostile file *)
+      Result.join (Err.protect ~kind:Err.Io (fun () -> load_snapshot path))
+    else load_legacy ~dir
+  in
+  Err.with_context (Printf.sprintf "loading %s" dir) result

@@ -1,22 +1,37 @@
-(** Saving and restoring a database as a directory of files:
+(** Crash-safe database persistence.
 
-    - [schema.sql] — CREATE DOMAIN / CREATE TABLE / CREATE VIEW statements,
-      regenerated from the catalog and re-parsed on load (so the persisted
-      schema is itself a test of the SQL round-trip);
-    - one [<table>.csv] per base table, with a header row.
+    A database is saved as a single [snapshot.eagerdb] file inside [dir]:
+    a version header, the regenerated DDL (re-parsed on load, so the
+    persisted schema is itself a test of the SQL round-trip), one section
+    of CSV rows per base table, an [\[end\]] sentinel, and a trailing MD5
+    checksum line covering everything above it.
+
+    Durability protocol: the snapshot is written to a temp file, fsynced,
+    and atomically renamed over the previous one.  A crash — or an
+    injected fault at the [persist.write] / [persist.rename] points — at
+    any instant leaves either the complete previous snapshot or the
+    complete new one; [load] verifies the checksum and rejects torn or
+    corrupted files with a typed error instead of half-loading.
 
     CSV encoding: fields separated by commas; strings double-quoted with
     [""] escaping; NULL is the bare token [NULL]; booleans are
-    [TRUE]/[FALSE].  Rows are loaded back through the raw heap (the dump is
-    trusted; constraints were enforced when the data was first inserted,
-    and re-checking FKs would impose a table ordering). *)
+    [TRUE]/[FALSE].  Rows are loaded back through the raw heap (the dump
+    is trusted; constraints were enforced when the data was first
+    inserted, and re-checking FKs would impose a table ordering).
+
+    Directories written by older builds (schema.sql + one CSV per table)
+    are still readable. *)
 
 open Eager_storage
+open Eager_robust
 
-val save : Database.t -> dir:string -> (unit, string) result
-(** Creates [dir] if needed and overwrites its contents. *)
+val save : Database.t -> dir:string -> (unit, Err.t) result
+(** Creates [dir] if needed and atomically replaces its snapshot.  On
+    [Error] the previous snapshot, if any, is intact and loadable. *)
 
-val load : dir:string -> (Database.t, string) result
+val load : dir:string -> (Database.t, Err.t) result
+(** Returns a fully loaded database or a typed [Error] — never a
+    partially populated instance. *)
 
 val ddl_of_database : Database.t -> string
-(** The [schema.sql] text, exposed for tests. *)
+(** The DDL text embedded in the snapshot, exposed for tests. *)

@@ -1,0 +1,137 @@
+(* Typed error channel for the whole engine.
+
+   Every recoverable failure is a value of type [t]: a [kind] placing it
+   in the taxonomy, a human-readable message, and a context trail pushed
+   by intermediate layers.  Two transports coexist:
+
+   - [('a, t) result] on cold paths (persistence, DDL, planning API), and
+   - the [Error_exn] exception on hot paths that thread through iterator
+     callbacks (operator evaluation, heap folds), converted back to a
+     [result] at a boundary by [protect].
+
+   [Fault_injected] lives here rather than in [Fault] so that [protect]
+   can translate simulated crashes without a dependency cycle. *)
+
+type kind =
+  | Parse
+  | Bind
+  | Catalog
+  | Storage
+  | Exec
+  | Planner
+  | Resource
+  | Io
+
+type t = { kind : kind; msg : string; context : string list }
+
+exception Error_exn of t
+
+(* a simulated crash from a named fault-injection point *)
+exception Fault_injected of string
+
+let kind_to_string = function
+  | Parse -> "Parse"
+  | Bind -> "Bind"
+  | Catalog -> "Catalog"
+  | Storage -> "Storage"
+  | Exec -> "Exec"
+  | Planner -> "Planner"
+  | Resource -> "Resource"
+  | Io -> "Io"
+
+let make kind msg = { kind; msg; context = [] }
+let kind t = t.kind
+let msg t = t.msg
+
+let errf kind fmt = Printf.ksprintf (fun msg -> make kind msg) fmt
+let parse fmt = errf Parse fmt
+let bind fmt = errf Bind fmt
+let catalog fmt = errf Catalog fmt
+let storage fmt = errf Storage fmt
+let exec fmt = errf Exec fmt
+let planner fmt = errf Planner fmt
+let resource fmt = errf Resource fmt
+let io fmt = errf Io fmt
+
+let raise_ t = raise (Error_exn t)
+
+(* printf-style raise: [failf Exec "scan of %s: ..." table] *)
+let failf kind fmt = Printf.ksprintf (fun msg -> raise_ (make kind msg)) fmt
+
+let add_context note t = { t with context = note :: t.context }
+
+let to_string t =
+  let ctx =
+    match t.context with
+    | [] -> ""
+    | notes -> Printf.sprintf " (while %s)" (String.concat "; " notes)
+  in
+  Printf.sprintf "[%s] %s%s" (kind_to_string t.kind) t.msg ctx
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_fault point =
+  (* route a simulated crash into the taxonomy by its point prefix *)
+  let kind =
+    match String.index_opt point '.' with
+    | Some i -> (
+        match String.sub point 0 i with
+        | "storage" | "heap" -> Storage
+        | "persist" -> Io
+        | "exec" -> Exec
+        | "opt" -> Planner
+        | _ -> Exec)
+    | None -> Exec
+  in
+  errf kind "injected fault at %s" point
+
+(* ------------------------------------------------------------------ *)
+(* result combinators *)
+
+let ( let* ) = Result.bind
+let ( let+ ) r f = Result.map f r
+
+let of_msg kind = function
+  | Ok _ as ok -> ok
+  | Error msg -> Error (make kind msg)
+
+let to_msg = function Ok _ as ok -> ok | Error e -> Error (to_string e)
+
+let with_context note = function
+  | Ok _ as ok -> ok
+  | Error e -> Error (add_context note e)
+
+(* fold an [('a -> (unit, t) result)] over a list, stopping at the first
+   error — the typed-error sibling of [List.iter] *)
+let iter_result f l =
+  List.fold_left
+    (fun acc x ->
+      let* () = acc in
+      f x)
+    (Ok ()) l
+
+let map_result f l =
+  let* rev =
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        let* y = f x in
+        Ok (y :: acc))
+      (Ok []) l
+  in
+  Ok (List.rev rev)
+
+(* Run [f], converting every escape hatch back into a typed error:
+   [Error_exn] carries one already; [Fault_injected] is a simulated
+   crash; [Failure]/[Invalid_argument]/[Not_found] from legacy code and
+   [Sys_error] from the OS are wrapped under [kind]. Asynchronous and
+   truly unexpected exceptions still propagate. *)
+let protect ~kind f =
+  match f () with
+  | v -> Ok v
+  | exception Error_exn e -> Error e
+  | exception Fault_injected point -> Error (of_fault point)
+  | exception Failure msg -> Error (make kind msg)
+  | exception Invalid_argument msg -> Error (errf kind "invalid argument: %s" msg)
+  | exception Not_found -> Error (make kind "internal lookup failed (Not_found)")
+  | exception Sys_error msg -> Error (make Io msg)

@@ -1,0 +1,83 @@
+(** Typed error channel for the whole engine.
+
+    Every recoverable failure is a value of type {!t}: a {!kind} placing
+    it in the taxonomy, a human-readable message, and a context trail
+    pushed by intermediate layers.  Two transports coexist: [('a, t)
+    result] on cold paths (persistence, DDL, planning API), and the
+    {!Error_exn} exception on hot paths that thread through iterator
+    callbacks, converted back to a [result] at a boundary by
+    {!protect}. *)
+
+type kind =
+  | Parse  (** SQL text did not lex/parse *)
+  | Bind  (** name resolution / typing of a parsed statement failed *)
+  | Catalog  (** DDL violated a catalog invariant *)
+  | Storage  (** base-table read/write failed *)
+  | Exec  (** runtime failure inside an operator *)
+  | Planner  (** optimizer internals failed (normally demoted, not raised) *)
+  | Resource  (** a {!Governor} budget was breached *)
+  | Io  (** filesystem / snapshot trouble *)
+
+type t = { kind : kind; msg : string; context : string list }
+
+exception Error_exn of t
+
+exception Fault_injected of string
+(** A simulated crash from a named {!Fault} injection point.  Lives here
+    rather than in [Fault] so {!protect} can translate it without a
+    dependency cycle. *)
+
+val kind_to_string : kind -> string
+val make : kind -> string -> t
+val kind : t -> kind
+val msg : t -> string
+
+val errf : kind -> ('a, unit, string, t) format4 -> 'a
+(** Printf-style constructor: [errf Exec "scan of %s" t]. *)
+
+val parse : ('a, unit, string, t) format4 -> 'a
+val bind : ('a, unit, string, t) format4 -> 'a
+val catalog : ('a, unit, string, t) format4 -> 'a
+val storage : ('a, unit, string, t) format4 -> 'a
+val exec : ('a, unit, string, t) format4 -> 'a
+val planner : ('a, unit, string, t) format4 -> 'a
+val resource : ('a, unit, string, t) format4 -> 'a
+val io : ('a, unit, string, t) format4 -> 'a
+
+val raise_ : t -> 'a
+(** Raise as {!Error_exn} (hot-path transport). *)
+
+val failf : kind -> ('a, unit, string, 'b) format4 -> 'a
+(** Printf-style raise: [failf Exec "scan of %s: ..." table]. *)
+
+val add_context : string -> t -> t
+val to_string : t -> string
+(** ["[Kind] msg (while note; note)"] — what the CLI prints. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_fault : string -> t
+(** Route a simulated crash into the taxonomy by its point prefix
+    ([storage.]/[heap.] → [Storage], [persist.] → [Io], …). *)
+
+(** {1 Result combinators} *)
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+val ( let+ ) : ('a, 'e) result -> ('a -> 'b) -> ('b, 'e) result
+
+val of_msg : kind -> ('a, string) result -> ('a, t) result
+val to_msg : ('a, t) result -> ('a, string) result
+val with_context : string -> ('a, t) result -> ('a, t) result
+
+val iter_result : ('a -> (unit, 'e) result) -> 'a list -> (unit, 'e) result
+(** Fold, stopping at the first error — the typed sibling of
+    [List.iter]. *)
+
+val map_result : ('a -> ('b, 'e) result) -> 'a list -> ('b list, 'e) result
+
+val protect : kind:kind -> (unit -> 'a) -> ('a, t) result
+(** Run [f], converting every escape hatch back into a typed error:
+    {!Error_exn} carries one already; {!Fault_injected} is a simulated
+    crash; [Failure]/[Invalid_argument]/[Not_found] from legacy code and
+    [Sys_error] from the OS are wrapped under [kind].  Asynchronous and
+    truly unexpected exceptions still propagate. *)

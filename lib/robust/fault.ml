@@ -1,0 +1,105 @@
+(* Named fault-injection points.
+
+   Production code calls [trip point] (raising transport, simulates a
+   crash) or [check point] (result transport) at the registered points.
+   With nothing armed both are near-free: one branch on a global.
+
+   Two arming modes, usable together:
+   - [arm_nth point n] — deterministic one-shot: the n-th subsequent hit
+     of [point] fires, then the trigger disarms itself.
+   - [arm_seeded ~seed ~rate ()] — a seeded pseudo-random schedule: every
+     hit of an enabled point fires with probability [rate], driven by a
+     [Random.State] so a seed fully determines the schedule.
+
+   The registry of known points keeps tests honest: a suite can iterate
+   [all_points] and prove every hook actually fires. *)
+
+let all_points =
+  [
+    "storage.write"; (* Database.insert, before the physical append *)
+    "heap.append"; (* Heap.insert, before the row lands *)
+    "persist.rename"; (* Persist.save, before the atomic rename *)
+    "persist.write"; (* Persist.save, mid-way through the temp write *)
+    "exec.next"; (* every operator boundary in Exec *)
+    "opt.testfd"; (* Planner.decide, before the TestFD check *)
+    "opt.cost"; (* Planner.decide, before costing the eager plan *)
+  ]
+
+type seeded = {
+  rand : Random.State.t;
+  rate : float;
+  points : string list option; (* None = every registered point *)
+}
+
+type state = {
+  mutable schedule : seeded option;
+  (* point -> remaining hits before firing (1 = fire on next hit) *)
+  one_shots : (string, int ref) Hashtbl.t;
+  hits : (string, int ref) Hashtbl.t;
+  mutable fired : int;
+}
+
+let state =
+  { schedule = None; one_shots = Hashtbl.create 8; hits = Hashtbl.create 8;
+    fired = 0 }
+
+let reset () =
+  state.schedule <- None;
+  Hashtbl.reset state.one_shots;
+  Hashtbl.reset state.hits;
+  state.fired <- 0
+
+let arm_seeded ~seed ~rate ?points () =
+  state.schedule <-
+    Some { rand = Random.State.make [| seed |]; rate; points }
+
+let arm_nth point n =
+  if n <= 0 then invalid_arg "Fault.arm_nth: n must be positive";
+  Hashtbl.replace state.one_shots point (ref n)
+
+let hit_count point =
+  match Hashtbl.find_opt state.hits point with Some r -> !r | None -> 0
+
+let fired_count () = state.fired
+
+let armed () =
+  state.schedule <> None || Hashtbl.length state.one_shots > 0
+
+(* record the hit and decide whether this invocation fires *)
+let fires point =
+  (match Hashtbl.find_opt state.hits point with
+  | Some r -> incr r
+  | None -> Hashtbl.replace state.hits point (ref 1));
+  let one_shot =
+    match Hashtbl.find_opt state.one_shots point with
+    | Some r ->
+        decr r;
+        if !r <= 0 then begin
+          Hashtbl.remove state.one_shots point;
+          true
+        end
+        else false
+    | None -> false
+  in
+  let scheduled =
+    match state.schedule with
+    | None -> false
+    | Some { rand; rate; points } ->
+        let enabled =
+          match points with None -> true | Some ps -> List.mem point ps
+        in
+        enabled && Random.State.float rand 1.0 < rate
+  in
+  let f = one_shot || scheduled in
+  if f then state.fired <- state.fired + 1;
+  f
+
+let trip point = if armed () && fires point then raise (Err.Fault_injected point)
+
+let check point =
+  if armed () && fires point then Error (Err.of_fault point) else Ok ()
+
+(* run [f] with a schedule armed, always disarming afterwards *)
+let with_seeded ~seed ~rate ?points f =
+  arm_seeded ~seed ~rate ?points ();
+  Fun.protect ~finally:reset f

@@ -1,0 +1,43 @@
+(** Named fault-injection points.
+
+    Production code calls {!trip} (raising transport, simulates a crash)
+    or {!check} (result transport) at the registered points.  With
+    nothing armed both are near-free: one branch on a global.
+
+    Two arming modes, usable together: {!arm_nth} (deterministic
+    one-shot) and {!arm_seeded} (pseudo-random schedule fully determined
+    by a seed).  The registry {!all_points} keeps tests honest: a suite
+    can iterate it and prove every hook actually fires. *)
+
+val all_points : string list
+(** Every point compiled into the engine: [storage.write],
+    [heap.append], [persist.rename], [persist.write], [exec.next],
+    [opt.testfd], [opt.cost]. *)
+
+val reset : unit -> unit
+(** Disarm everything and zero the counters. *)
+
+val arm_seeded : seed:int -> rate:float -> ?points:string list -> unit -> unit
+(** Every hit of an enabled point (default: all) fires with probability
+    [rate], driven by a [Random.State] so [seed] fully determines the
+    schedule. *)
+
+val arm_nth : string -> int -> unit
+(** [arm_nth point n] fires on the n-th subsequent hit of [point], then
+    disarms itself.  @raise Invalid_argument if [n <= 0]. *)
+
+val hit_count : string -> int
+(** Hits (fired or not) of a point since the last {!reset}. *)
+
+val fired_count : unit -> int
+val armed : unit -> bool
+
+val trip : string -> unit
+(** Raise {!Err.Fault_injected} if this hit fires. *)
+
+val check : string -> (unit, Err.t) result
+(** Result-transport variant of {!trip}. *)
+
+val with_seeded :
+  seed:int -> rate:float -> ?points:string list -> (unit -> 'a) -> 'a
+(** Run [f] with a schedule armed, always disarming afterwards. *)

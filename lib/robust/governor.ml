@@ -1,0 +1,74 @@
+(* Per-query resource governor.
+
+   A governor is created per query (or shared per session statement) and
+   charged at operator boundaries.  Budgets:
+   - [max_rows]: cumulative rows materialized across all operators —
+     bounds intermediate blow-up (cartesian products, exploding joins);
+   - [max_groups]: live aggregation-hash-table entries — bounds the
+     memory of hash grouping on the group-by-before-join paths;
+   - [deadline_ms]: wall-clock budget from governor creation.
+
+   Breaches raise [Err.Error_exn] with kind [Resource] so they unwind
+   from deep inside iterator callbacks; [Exec.run_checked] converts them
+   to [Error].  Aborting a query never mutates base tables: operators
+   only write to fresh output heaps, which are dropped on unwind. *)
+
+type limits = {
+  max_rows : int option;
+  max_groups : int option;
+  deadline_ms : float option;
+}
+
+let no_limits = { max_rows = None; max_groups = None; deadline_ms = None }
+
+type t = {
+  limits : limits;
+  started : float; (* Unix.gettimeofday at creation *)
+  mutable rows : int; (* cumulative rows materialized *)
+}
+
+let create limits = { limits; started = Unix.gettimeofday (); rows = 0 }
+
+(* the shared no-op governor: no limit ever fires, so the (unused) row
+   counter being global is harmless *)
+let unlimited = { limits = no_limits; started = 0.; rows = 0 }
+
+let is_unlimited t = t.limits = no_limits
+
+let rows_charged t = t.rows
+let elapsed_ms t = (Unix.gettimeofday () -. t.started) *. 1000.
+
+let check_deadline t =
+  match t.limits.deadline_ms with
+  | Some budget when elapsed_ms t >= budget ->
+      Err.failf Err.Resource
+        "deadline exceeded: %.1f ms elapsed, budget %.1f ms" (elapsed_ms t)
+        budget
+  | _ -> ()
+
+(* charge [n] freshly materialized rows and re-check every budget; called
+   at each operator boundary *)
+let charge_rows t n =
+  if not (is_unlimited t) then begin
+    t.rows <- t.rows + n;
+    (match t.limits.max_rows with
+    | Some cap when t.rows > cap ->
+        Err.failf Err.Resource
+          "row budget exceeded: %d rows materialized, limit %d" t.rows cap
+    | _ -> ());
+    check_deadline t
+  end
+
+(* [n] live entries in an aggregation hash table *)
+let charge_groups t n =
+  match t.limits.max_groups with
+  | Some cap when n > cap ->
+      Err.failf Err.Resource
+        "aggregation hash table exceeds %d entries (%d live groups)" cap n
+  | _ -> ()
+
+(* result-transport variant for cold paths (planner, CLI) *)
+let check t =
+  match check_deadline t with
+  | () -> Ok ()
+  | exception Err.Error_exn e -> Error e

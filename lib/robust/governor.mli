@@ -1,0 +1,42 @@
+(** Per-query resource governor.
+
+    A governor is created per statement and charged at operator
+    boundaries.  Breaches raise {!Err.Error_exn} with kind [Resource] so
+    they unwind from deep inside iterator callbacks;
+    [Exec.run_checked] converts them to [Error].  Aborting a query never
+    mutates base tables: operators only write to fresh output heaps,
+    which are dropped on unwind. *)
+
+type limits = {
+  max_rows : int option;
+      (** cumulative rows materialized across all operators — bounds
+          intermediate blow-up (cartesian products, exploding joins) *)
+  max_groups : int option;
+      (** live aggregation-hash-table entries — bounds the memory of
+          hash grouping on the group-by-before-join paths *)
+  deadline_ms : float option;  (** wall-clock budget from creation *)
+}
+
+val no_limits : limits
+
+type t
+
+val create : limits -> t
+
+val unlimited : t
+(** The shared no-op governor: no limit ever fires. *)
+
+val is_unlimited : t -> bool
+val rows_charged : t -> int
+val elapsed_ms : t -> float
+
+val check_deadline : t -> unit
+val charge_rows : t -> int -> unit
+(** Charge [n] freshly materialized rows and re-check every budget;
+    called at each operator boundary. *)
+
+val charge_groups : t -> int -> unit
+(** [n] live entries in an aggregation hash table. *)
+
+val check : t -> (unit, Err.t) result
+(** Result-transport deadline check for cold paths (planner, CLI). *)

@@ -2,6 +2,7 @@ open Eager_value
 open Eager_schema
 open Eager_expr
 open Eager_catalog
+open Eager_robust
 
 (* Heaps are append-only between compactions, so key indexes are maintained
    incrementally: [rows_seen] records how many rows have been folded in, and
@@ -39,9 +40,34 @@ let create () =
 
 let catalog t = t.cat
 
+(* Drop every cached derived structure for [tname]: statistics, key
+   indexes (keyed by table name) and secondary indexes (keyed by index
+   name, resolved through the catalog).  Compaction counters alone cannot
+   catch a drop/recreate — a fresh heap restarts at compaction 0, which
+   matches what a stale index last saw. *)
+let evict_derived t tname =
+  Hashtbl.remove t.stats_cache tname;
+  Hashtbl.filter_map_inplace
+    (fun (tab, _) idx -> if String.equal tab tname then None else Some idx)
+    t.key_indexes;
+  List.iter
+    (fun (i : Catalog.index_def) -> Hashtbl.remove t.sec_indexes i.Catalog.iname)
+    (Catalog.indexes_on t.cat tname)
+
 let create_table t td =
+  (* recreate path: a table of the same name may have lived here before *)
+  evict_derived t td.Table_def.tname;
   t.cat <- Catalog.add_table t.cat td;
   Hashtbl.replace t.heaps td.Table_def.tname (Heap.create (Table_def.schema td))
+
+let drop_table t tname =
+  match Catalog.find_table t.cat tname with
+  | None -> Error (Err.catalog "unknown table %s" tname)
+  | Some _ ->
+      evict_derived t tname;
+      t.cat <- Catalog.remove_table t.cat tname;
+      Hashtbl.remove t.heaps tname;
+      Ok ()
 
 let create_domain t d = t.cat <- Catalog.add_domain t.cat d
 let create_view t v = t.cat <- Catalog.add_view t.cat v
@@ -51,7 +77,7 @@ let heap_opt t name = Hashtbl.find_opt t.heaps name
 let heap t name =
   match heap_opt t name with
   | Some h -> h
-  | None -> failwith (Printf.sprintf "unknown table %s" name)
+  | None -> Err.failf Err.Storage "unknown table %s" name
 
 let key_index t tname cols =
   let h = heap t tname in
@@ -98,7 +124,7 @@ let check_types td values =
   in
   go td.Table_def.columns values
 
-let insert t tname values =
+let insert_impl t tname values =
   let ( let* ) = Result.bind in
   match Catalog.find_table t.cat tname with
   | None -> Error (Printf.sprintf "unknown table %s" tname)
@@ -177,13 +203,27 @@ let insert t tname values =
             | _ -> Ok ())
           (Ok ()) td.Table_def.constraints
       in
+      (* every check passed; the fault point fires before the physical
+         append so an aborted insert leaves the heap untouched *)
+      Fault.trip "storage.write";
       Heap.insert h row;
       Ok ()
 
+(* typed-error primary: validation failures are [Storage] errors, and
+   injected faults or internal raises never escape as exceptions *)
+let insert_result t tname values =
+  match Err.protect ~kind:Err.Storage (fun () -> insert_impl t tname values) with
+  | Ok (Ok ()) -> Ok ()
+  | Ok (Error msg) -> Error (Err.make Err.Storage msg)
+  | Error e -> Error e
+
+let insert t tname values = Err.to_msg (insert_result t tname values)
+
 let insert_exn t tname values =
-  match insert t tname values with
+  match insert_result t tname values with
   | Ok () -> ()
-  | Error msg -> failwith (Printf.sprintf "insert into %s: %s" tname msg)
+  | Error e ->
+      Err.raise_ (Err.add_context (Printf.sprintf "insert into %s" tname) e)
 
 let load t tname rows = List.iter (insert_exn t tname) rows
 
@@ -295,7 +335,7 @@ let key_values_of schema cols rows =
     rows;
   tbl
 
-let delete t tname ?(params = Expr.no_params) ~where () =
+let delete_impl t tname ?(params = Expr.no_params) ~where () =
   let ( let* ) = Result.bind in
   match Catalog.find_table t.cat tname with
   | None -> Error (Printf.sprintf "unknown table %s" tname)
@@ -323,9 +363,18 @@ let delete t tname ?(params = Expr.no_params) ~where () =
             check_incoming t referencer cols ~rows available)
           (Ok ()) (incoming_fks t tname)
       in
+      Fault.trip "storage.write";
       Ok (Heap.delete_where doomed h)
 
-let update t tname ?(params = Expr.no_params) ~set ~where () =
+let delete t tname ?params ~where () =
+  match
+    Err.protect ~kind:Err.Storage (fun () -> delete_impl t tname ?params ~where ())
+  with
+  | Ok (Ok n) -> Ok n
+  | Ok (Error msg) -> Error msg
+  | Error e -> Error (Err.to_string e)
+
+let update_impl t tname ?(params = Expr.no_params) ~set ~where () =
   let ( let* ) = Result.bind in
   match Catalog.find_table t.cat tname with
   | None -> Error (Printf.sprintf "unknown table %s" tname)
@@ -467,8 +516,20 @@ let update t tname ?(params = Expr.no_params) ~set ~where () =
             check_incoming t referencer cols ~rows available)
           (Ok ()) (incoming_fks t tname)
       in
+      (* all prospective-state checks passed: mutate in one step, with the
+         fault point ahead of it so an abort is all-or-nothing *)
+      Fault.trip "storage.write";
       Heap.replace_all h new_rows;
       Ok !changed
+
+let update t tname ?params ~set ~where () =
+  match
+    Err.protect ~kind:Err.Storage (fun () ->
+        update_impl t tname ?params ~set ~where ())
+  with
+  | Ok (Ok n) -> Ok n
+  | Ok (Error msg) -> Error msg
+  | Error e -> Error (Err.to_string e)
 
 let stats t tname =
   let h = heap t tname in

@@ -13,15 +13,34 @@ type t
 val create : unit -> t
 val catalog : t -> Catalog.t
 val create_table : t -> Table_def.t -> unit
+(** Registers the table and its empty heap.  Any cached index or
+    statistics state left over from a previously dropped table of the
+    same name is evicted first. *)
+
+val drop_table : t -> string -> (unit, Eager_robust.Err.t) result
+(** Remove the table, its heap, its catalog indexes, and every cached
+    derived structure (key indexes, secondary indexes, statistics).
+    [Error] with kind [Catalog] for an unknown table. *)
+
 val create_domain : t -> Catalog.domain_def -> unit
 val create_view : t -> Catalog.view_def -> unit
 val heap : t -> string -> Heap.t
-(** Raises [Failure] for an unknown table. *)
+(** Raises [Err.Error_exn] (kind [Storage]) for an unknown table. *)
 
 val heap_opt : t -> string -> Heap.t option
 
 val insert : t -> string -> Value.t list -> (unit, string) result
+(** [insert_result] with the error rendered to a string. *)
+
+val insert_result :
+  t -> string -> Value.t list -> (unit, Eager_robust.Err.t) result
+(** Typed-error insert: constraint violations are [Storage] errors;
+    injected faults and internal raises are captured, never leaked as
+    exceptions.  The heap is mutated only after every check has passed. *)
+
 val insert_exn : t -> string -> Value.t list -> unit
+(** Raises [Err.Error_exn] on refusal. *)
+
 val load : t -> string -> Value.t list list -> unit
 (** Bulk [insert_exn]. *)
 

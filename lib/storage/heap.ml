@@ -1,4 +1,5 @@
 open Eager_schema
+open Eager_robust
 
 type t = {
   schema : Schema.t;
@@ -30,6 +31,9 @@ let insert t row =
     invalid_arg
       (Printf.sprintf "Heap.insert: arity %d, expected %d" (Array.length row)
          (Schema.arity t.schema));
+  (* fault point fires before any mutation, so an aborted append leaves
+     the heap exactly as it was *)
+  Fault.trip "heap.append";
   ensure_capacity t;
   t.rows.(t.len) <- row;
   t.len <- t.len + 1;
@@ -92,7 +96,23 @@ let delete_where p t =
   end;
   removed
 
+(* Replace the contents atomically: the new row array is fully built and
+   validated before the swap, so neither an arity error nor an injected
+   fault can leave the heap part-old, part-new. *)
 let replace_all t rows =
-  t.len <- 0;
-  List.iter (insert t) rows;
+  let arr = Array.of_list rows in
+  Array.iter
+    (fun row ->
+      if Array.length row <> Schema.arity t.schema then
+        invalid_arg
+          (Printf.sprintf "Heap.replace_all: arity %d, expected %d"
+             (Array.length row) (Schema.arity t.schema)))
+    arr;
+  Fault.trip "heap.append";
+  let cap = max 16 (Array.length arr) in
+  let bigger = Array.make cap dummy_row in
+  Array.blit arr 0 bigger 0 (Array.length arr);
+  t.rows <- bigger;
+  t.len <- Array.length arr;
+  t.gen <- t.gen + 1;
   t.compactions <- t.compactions + 1

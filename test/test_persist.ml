@@ -6,6 +6,7 @@ open Eager_storage
 open Eager_exec
 open Eager_core
 open Eager_parser
+open Eager_robust
 open Eager_workload
 
 let tmpdir name =
@@ -27,11 +28,11 @@ let test_round_trip_workload () =
   let dir = tmpdir "eagerdb_persist_rt" in
   (match Persist.save db ~dir with
   | Ok () -> ()
-  | Error msg -> Alcotest.fail ("save: " ^ msg));
+  | Error e -> Alcotest.fail ("save: " ^ Err.to_string e));
   let db2 =
     match Persist.load ~dir with
     | Ok db2 -> db2
-    | Error msg -> Alcotest.fail ("load: " ^ msg)
+    | Error e -> Alcotest.fail ("load: " ^ Err.to_string e)
   in
   List.iter
     (fun t ->
@@ -63,11 +64,11 @@ let test_value_fidelity () =
   let dir = tmpdir "eagerdb_persist_vals" in
   (match Persist.save db ~dir with
   | Ok () -> ()
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Err.to_string e));
   let db2 =
     match Persist.load ~dir with
     | Ok d -> d
-    | Error msg -> Alcotest.fail msg
+    | Error e -> Alcotest.fail (Err.to_string e)
   in
   Alcotest.(check bool) "values identical" true (heaps_equal db db2 "v");
   (* the float really came back as a float *)
@@ -90,11 +91,11 @@ let test_constraints_survive () =
   let dir = tmpdir "eagerdb_persist_cons" in
   (match Persist.save db ~dir with
   | Ok () -> ()
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Err.to_string e));
   let db2 =
     match Persist.load ~dir with
     | Ok d -> d
-    | Error msg -> Alcotest.fail msg
+    | Error e -> Alcotest.fail (Err.to_string e)
   in
   (* duplicate key still rejected *)
   Alcotest.(check bool) "PK enforced after reload" true
@@ -139,11 +140,11 @@ let test_indexes_survive () =
   let dir = tmpdir "eagerdb_persist_idx" in
   (match Persist.save db ~dir with
   | Ok () -> ()
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Err.to_string e));
   let db2 =
     match Persist.load ~dir with
     | Ok d -> d
-    | Error msg -> Alcotest.fail msg
+    | Error e -> Alcotest.fail (Err.to_string e)
   in
   match Database.find_equality_index db2 ~table:"t" ~col:"grp" with
   | Some def ->

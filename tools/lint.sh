@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Forbids `failwith` and `Obj.magic` in lib/ and bin/ outside the
+# allowlist.  New code should report failures through the typed error
+# channel (Eager_robust.Err) so callers can distinguish error kinds and
+# the REPL can survive them; `Obj.magic` is never acceptable.
+set -u
+
+allow=tools/lint_allowlist.txt
+bad=0
+
+while IFS= read -r hit; do
+  file=${hit%%:*}
+  if ! grep -qxF "$file" "$allow"; then
+    echo "lint: forbidden construct outside allowlist: $hit" >&2
+    bad=1
+  fi
+done < <(grep -rn --include='*.ml' -E 'failwith|Obj\.magic' lib bin || true)
+
+if [ "$bad" -ne 0 ]; then
+  echo "lint: use Eager_robust.Err (errf/failf/protect) instead," >&2
+  echo "lint: or append the file to $allow with a justification." >&2
+  exit 1
+fi
+echo "lint: OK"
