@@ -13,6 +13,7 @@ open Eager_exec
 open Eager_core
 open Eager_opt
 open Eager_parser
+open Eager_durable
 open Eager_workload
 open Eager_robust
 
@@ -150,7 +151,42 @@ let arm_faults spec seed rate =
   | None -> ()
   | Some seed -> Fault.arm_seeded ~seed ~rate ()
 
-let run_file db_dir save_dir limits faults fault_seed fault_rate path =
+let print_outcome db ~limits = function
+  | Binder.Created msg -> Printf.printf "%s\n" msg
+  | Binder.Inserted n -> Printf.printf "%d row(s) inserted\n" n
+  | Binder.Updated n -> Printf.printf "%d row(s) updated\n" n
+  | Binder.Deleted n -> Printf.printf "%d row(s) deleted\n" n
+  | Binder.Checkpointed lsn -> Printf.printf "checkpointed at wal lsn %d\n" lsn
+  | Binder.Query (q, order) -> run_query db q ~limits ~order ~show:Results
+  | Binder.Explained (q, order, an) ->
+      run_query db q ~limits ~order
+        ~show:(if an then Explain_analyze else Explain)
+
+let print_recovery dir (r : Durable.recovery) =
+  let opt n fmt = if n = 0 then [] else [ Printf.sprintf fmt n ] in
+  Printf.printf "recovered %s: %s\n" dir
+    (String.concat ", "
+       ([ Printf.sprintf "snapshot lsn %d" r.Durable.snapshot_lsn;
+          Printf.sprintf "%d record(s) replayed" r.Durable.replayed ]
+       @ opt r.Durable.skipped_aborted "%d aborted record(s) skipped"
+       @ opt r.Durable.skipped_failed "%d unappliable record(s) skipped"
+       @ opt r.Durable.torn_bytes "%d torn byte(s) dropped"
+       @ if r.Durable.finished_checkpoint then [ "finished an interrupted checkpoint" ] else []))
+
+let final_save db save_dir =
+  match save_dir with
+  | None -> 0
+  | Some dir -> (
+      match Persist.save db ~dir with
+      | Ok () ->
+          Printf.printf "database saved to %s\n" dir;
+          0
+      | Error e ->
+          Printf.eprintf "error saving %s: %s\n" dir (Err.to_string e);
+          1)
+
+let run_file db_dir save_dir limits wal checkpoint_every faults fault_seed
+    fault_rate path =
   let src =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -158,46 +194,55 @@ let run_file db_dir save_dir limits faults fault_seed fault_rate path =
     close_in ic;
     s
   in
-  let db =
+  if wal then (
     match db_dir with
-    | None -> Database.create ()
+    | None ->
+        prerr_endline
+          "error: --wal needs --db DIR (the log lives beside the snapshot)";
+        2
     | Some dir -> (
-        match Persist.load ~dir with
-        | Ok db ->
-            Printf.printf "loaded database from %s\n" dir;
-            db
+        (* arm before recovery so injected crashes exercise replay and
+           checkpoint completion, not just fresh appends *)
+        arm_faults faults fault_seed fault_rate;
+        match Durable.open_ ?checkpoint_every ~dir () with
         | Error e ->
-            Printf.eprintf "error loading %s: %s\n" dir (Err.to_string e);
-            exit 1)
-  in
-  arm_faults faults fault_seed fault_rate;
-  (* execute eagerly so SELECTs interleaved with DML see the right state *)
-  match
-    Binder.run_script_with db src ~f:(fun o ->
-        match o with
-        | Binder.Created msg -> Printf.printf "%s\n" msg
-        | Binder.Inserted n -> Printf.printf "%d row(s) inserted\n" n
-        | Binder.Updated n -> Printf.printf "%d row(s) updated\n" n
-        | Binder.Deleted n -> Printf.printf "%d row(s) deleted\n" n
-        | Binder.Query (q, order) -> run_query db q ~limits ~order ~show:Results
-        | Binder.Explained (q, order, an) ->
-            run_query db q ~limits ~order
-              ~show:(if an then Explain_analyze else Explain))
-  with
-  | Error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-  | Ok () -> (
-      match save_dir with
-      | None -> 0
+            Printf.eprintf "error recovering %s: %s\n" dir (Err.to_string e);
+            1
+        | Ok (session, recovery) ->
+            print_recovery dir recovery;
+            let db = Durable.db session in
+            let rc =
+              match
+                Durable.run_script_with session src
+                  ~f:(print_outcome db ~limits)
+              with
+              | Error e ->
+                  Printf.eprintf "error: %s\n" (Err.to_string e);
+                  1
+              | Ok () -> 0
+            in
+            Durable.close session;
+            if rc <> 0 then rc else final_save db save_dir))
+  else
+    let db =
+      match db_dir with
+      | None -> Database.create ()
       | Some dir -> (
-          match Persist.save db ~dir with
-          | Ok () ->
-              Printf.printf "database saved to %s\n" dir;
-              0
+          match Persist.load ~dir with
+          | Ok db ->
+              Printf.printf "loaded database from %s\n" dir;
+              db
           | Error e ->
-              Printf.eprintf "error saving %s: %s\n" dir (Err.to_string e);
-              1))
+              Printf.eprintf "error loading %s: %s\n" dir (Err.to_string e);
+              exit 1)
+    in
+    arm_faults faults fault_seed fault_rate;
+    (* execute eagerly so SELECTs interleaved with DML see the right state *)
+    match Binder.run_script_with db src ~f:(print_outcome db ~limits) with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok () -> final_save db save_dir
 
 let repl limits =
   let db = ref (Database.create ()) in
@@ -277,16 +322,7 @@ let repl limits =
           let t0 = Unix.gettimeofday () in
           (match
              Binder.run_script_with !db text ~f:(fun o ->
-                 match o with
-                 | Binder.Created msg -> print_endline msg
-                 | Binder.Inserted n -> Printf.printf "%d row(s) inserted\n" n
-                 | Binder.Updated n -> Printf.printf "%d row(s) updated\n" n
-                 | Binder.Deleted n -> Printf.printf "%d row(s) deleted\n" n
-                 | Binder.Query (q, order) ->
-                     run_query !db q ~limits ~order ~show:Results
-                 | Binder.Explained (q, order, an) ->
-                     run_query !db q ~limits ~order
-                       ~show:(if an then Explain_analyze else Explain))
+                 print_outcome !db ~limits o)
            with
           | Error msg -> Printf.printf "error: %s\n" msg
           | Ok () -> ());
@@ -378,8 +414,28 @@ let run_cmd =
   let db_dir =
     Arg.(
       value
-      & opt (some dir) None
-      & info [ "db" ] ~docv:"DIR" ~doc:"Load the database from $(docv) first")
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR"
+          ~doc:
+            "Load the database from $(docv) first (with --wal the directory \
+             is created if missing)")
+  in
+  let wal =
+    Arg.(
+      value & flag
+      & info [ "wal" ]
+          ~doc:
+            "Write-ahead-log every DML/DDL statement to DIR/wal.eagerdb \
+             before applying it, and replay the log on startup; requires \
+             --db.  The CHECKPOINT statement snapshots and truncates the log")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"With --wal, checkpoint automatically every $(docv) logged \
+                statements")
   in
   let save_dir =
     Arg.(
@@ -412,8 +468,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
     Term.(
-      const run_file $ db_dir $ save_dir $ limits_term $ faults $ fault_seed
-      $ fault_rate $ file)
+      const run_file $ db_dir $ save_dir $ limits_term $ wal $ checkpoint_every
+      $ faults $ fault_seed $ fault_rate $ file)
 
 let demo_cmd =
   let name_arg =

@@ -74,7 +74,8 @@ let () =
   let try_insert label values =
     match Database.insert db "Part" values with
     | Ok () -> Printf.printf "%-46s accepted\n" label
-    | Error msg -> Printf.printf "%-46s rejected: %s\n" label msg
+    | Error e ->
+        Printf.printf "%-46s rejected: %s\n" label (Eager_robust.Err.to_string e)
   in
   try_insert "new part, valid supplier"
     [ Value.Int 25; Value.Int 99_001; Value.Str "widget"; Value.Int 1 ];

@@ -1,0 +1,213 @@
+(* A write-ahead-logged database session.  See durable.mli for the
+   protocol; the invariants that matter here:
+
+   - the WAL fsync is the commit point: a statement is committed iff its
+     record (header + payload + terminator) is fully on disk,
+   - apply failures after logging leave an abort marker so replay skips
+     the record instead of re-raising on a statement that never took,
+   - a snapshot's [wal-lsn] stamp makes checkpointing a two-step
+     protocol that is safe to interrupt anywhere: records at or below
+     the stamp are redundant, never required. *)
+
+open Eager_storage
+open Eager_robust
+open Eager_parser
+
+let ( let* ) = Err.( let* )
+
+type t = {
+  db : Database.t;
+  wal : Wal.t;
+  dir : string;
+  checkpoint_every : int option;
+  mutable since_checkpoint : int;
+}
+
+type recovery = {
+  snapshot_lsn : int;
+  replayed : int;
+  skipped_aborted : int;
+  skipped_failed : int;
+  torn_bytes : int;
+  finished_checkpoint : bool;
+}
+
+let db t = t.db
+let dir t = t.dir
+
+let snapshot_exists ~dir =
+  Sys.file_exists (Filename.concat dir "snapshot.eagerdb")
+  || Sys.file_exists (Filename.concat dir "schema.sql")
+
+(* abort payloads are the decimal seq of the victim record *)
+let aborted_seqs records =
+  List.fold_left
+    (fun acc (r : Wal.record) ->
+      let* acc = acc in
+      match r.kind with
+      | Wal.Stmt -> Ok acc
+      | Wal.Abort -> (
+          match int_of_string_opt r.payload with
+          | Some victim when victim > 0 && victim < r.seq -> Ok (victim :: acc)
+          | _ ->
+              Error
+                (Err.io "wal record #%d: malformed abort marker %S" r.seq
+                   r.payload)))
+    (Ok []) records
+
+let replay db records ~lsn =
+  let replayed = ref 0 and skipped_failed = ref 0 in
+  let* aborted = aborted_seqs records in
+  let* () =
+    Err.iter_result
+      (fun (r : Wal.record) ->
+        if r.kind <> Wal.Stmt || r.seq <= lsn || List.mem r.seq aborted then
+          Ok ()
+        else
+          let* () = Fault.check "wal.replay" in
+          let* stmt =
+            match Parser.parse_statement r.payload with
+            | stmt -> Ok stmt
+            | exception Parser.Parse_error msg ->
+                (* checksummed payloads always re-parse unless the log
+                   was written by an incompatible build *)
+                Error (Err.io "wal record #%d does not re-parse: %s" r.seq msg)
+            | exception Lexer.Lex_error msg ->
+                Error (Err.io "wal record #%d does not re-lex: %s" r.seq msg)
+          in
+          match Binder.exec_statement db stmt with
+          | Ok _ ->
+              incr replayed;
+              Ok ()
+          | Error _ ->
+              (* the original apply refused this statement and the crash
+                 ate its abort marker; refusing again is the
+                 deterministic replay of that history *)
+              incr skipped_failed;
+              Ok ())
+      records
+  in
+  Ok (!replayed, !skipped_failed, List.length aborted)
+
+let open_ ?checkpoint_every ~dir () =
+  let result =
+    let* () =
+      Err.protect ~kind:Err.Io (fun () ->
+          if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
+    in
+    let* db, lsn =
+      if snapshot_exists ~dir then Persist.load_with_lsn ~dir
+      else Ok (Database.create (), 0)
+    in
+    let wal_path = Wal.path ~dir in
+    let* records, tail = Wal.scan wal_path in
+    let* torn_bytes =
+      match tail with
+      | Wal.Complete -> Ok 0
+      | Wal.Torn { valid_len; dropped } ->
+          let* () = Wal.truncate_to wal_path valid_len in
+          Ok dropped
+    in
+    let* () =
+      match records with
+      | { seq; _ } :: _ when seq > lsn + 1 ->
+          Error
+            (Err.io
+               "wal starts at record #%d but the snapshot only covers up to \
+                #%d — committed records are missing"
+               seq lsn)
+      | _ -> Ok ()
+    in
+    let* replayed, skipped_failed, skipped_aborted = replay db records ~lsn in
+    let last_seq =
+      List.fold_left (fun _ (r : Wal.record) -> r.seq) 0 records
+    in
+    let next_seq = max last_seq lsn + 1 in
+    let* wal = Wal.open_append ~path:wal_path ~next_seq in
+    (* a log whose every record is covered by the snapshot is the
+       residue of a checkpoint that crashed between snapshot and
+       truncate; finish the job *)
+    let* finished_checkpoint =
+      if records <> [] && last_seq <= lsn then
+        let* () = Wal.truncate wal in
+        Ok true
+      else Ok false
+    in
+    let t = { db; wal; dir; checkpoint_every; since_checkpoint = 0 } in
+    let recovery =
+      {
+        snapshot_lsn = lsn;
+        replayed;
+        skipped_aborted;
+        skipped_failed;
+        torn_bytes;
+        finished_checkpoint;
+      }
+    in
+    Ok (t, recovery)
+  in
+  Err.with_context (Printf.sprintf "recovering %s" dir) result
+
+let checkpoint t =
+  let lsn = Wal.next_seq t.wal - 1 in
+  let result =
+    let* () = Persist.save ~wal_lsn:lsn t.db ~dir:t.dir in
+    let* () = Wal.truncate t.wal in
+    t.since_checkpoint <- 0;
+    Ok lsn
+  in
+  Err.with_context "checkpoint" result
+
+let exec t stmt =
+  match stmt with
+  | Ast.S_select _ | Ast.S_explain _ ->
+      Err.of_msg Err.Exec (Binder.exec_statement t.db stmt)
+  | Ast.S_checkpoint ->
+      let* lsn = checkpoint t in
+      Ok (Binder.Checkpointed lsn)
+  | _ ->
+      let sql = Ast.statement_to_string stmt in
+      let* seq = Wal.append t.wal ~kind:Wal.Stmt sql in
+      let applied = Binder.exec_statement t.db stmt in
+      (match applied with
+      | Ok outcome ->
+          t.since_checkpoint <- t.since_checkpoint + 1;
+          let* () =
+            match t.checkpoint_every with
+            | Some every when t.since_checkpoint >= every ->
+                let* (_ : int) = checkpoint t in
+                Ok ()
+            | _ -> Ok ()
+          in
+          Ok outcome
+      | Error msg ->
+          (* logged but not applied: leave an abort marker so replay
+             skips the record.  If even that write fails the handle is
+             poisoned and the session refuses further statements. *)
+          let aborted = Wal.append t.wal ~kind:Wal.Abort (string_of_int seq) in
+          let e = Err.exec "%s" msg in
+          Error
+            (match aborted with
+            | Ok _ -> e
+            | Error we ->
+                Err.add_context
+                  (Printf.sprintf "and the abort marker failed: %s"
+                     (Err.to_string we))
+                  e))
+
+let run_script_with t src ~f =
+  let* stmts =
+    match Parser.parse_script src with
+    | stmts -> Ok stmts
+    | exception Parser.Parse_error msg -> Error (Err.parse "%s" msg)
+    | exception Lexer.Lex_error msg -> Error (Err.parse "%s" msg)
+  in
+  Err.iter_result
+    (fun stmt ->
+      let* outcome = exec t stmt in
+      f outcome;
+      Ok ())
+    stmts
+
+let close t =
+  Wal.close t.wal

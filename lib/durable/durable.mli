@@ -1,0 +1,70 @@
+(** A write-ahead-logged database session: log-then-apply with
+    statement-level atomicity and checkpointed crash recovery.
+
+    Every DML/DDL statement is serialised back to SQL
+    ([Ast.statement_to_string]), appended to the {!Wal} and fsynced
+    {e before} it touches the database — the fsync is the commit point.
+    If the apply step then fails (constraint violation, injected storage
+    fault), an abort marker naming the record is logged so recovery
+    skips it; the statement itself is atomic either way
+    ([Database.load_result] rolls back partial multi-row inserts).
+
+    Recovery = load the last snapshot ([Persist.load_with_lsn]), then
+    replay every log record beyond the snapshot's LSN.  A torn final
+    record is the normal residue of a crash and is truncated away with a
+    note in {!recovery}; anything worse — mid-log corruption, a sequence
+    gap, a log that starts after the snapshot's LSN — is a typed [Io]
+    error, because silently dropping committed work is the one thing a
+    WAL must never do.
+
+    Checkpointing writes a snapshot stamped with the current LSN
+    ([Persist.save ~wal_lsn]) and only then truncates the log, so a
+    crash between the two steps merely leaves redundant records that the
+    LSN tells recovery to skip; the next open finishes the truncation. *)
+
+open Eager_storage
+open Eager_robust
+
+type t
+
+type recovery = {
+  snapshot_lsn : int;  (** LSN carried by the snapshot (0 = none/legacy) *)
+  replayed : int;  (** log records re-applied *)
+  skipped_aborted : int;  (** records an abort marker told us to skip *)
+  skipped_failed : int;
+      (** records that refused to re-apply — a logged statement whose
+          original apply failed after its abort marker was lost to the
+          crash; re-refusal is the deterministic outcome *)
+  torn_bytes : int;  (** bytes truncated from a torn tail *)
+  finished_checkpoint : bool;
+      (** the log was fully covered by the snapshot's LSN — an
+          interrupted checkpoint — and has been truncated *)
+}
+
+val open_ :
+  ?checkpoint_every:int -> dir:string -> unit -> (t * recovery, Err.t) result
+(** Open (creating [dir] and an empty database if nothing is there) and
+    run recovery.  [checkpoint_every] enables automatic checkpoints
+    after that many logged statements. *)
+
+val db : t -> Database.t
+val dir : t -> string
+
+val exec : t -> Eager_parser.Ast.statement -> (Eager_parser.Binder.outcome, Err.t) result
+(** Execute one statement with WAL semantics.  Queries bypass the log;
+    [CHECKPOINT] triggers {!checkpoint} and reports [Checkpointed lsn];
+    everything else is logged, fsynced, then applied. *)
+
+val checkpoint : t -> (int, Err.t) result
+(** Snapshot the database (stamped with the current LSN) and truncate
+    the log.  Returns the LSN. *)
+
+val run_script_with :
+  t ->
+  string ->
+  f:(Eager_parser.Binder.outcome -> unit) ->
+  (unit, Err.t) result
+(** Parse a [;]-separated script and {!exec} each statement, passing
+    outcomes to [f] as they happen.  Stops at the first error. *)
+
+val close : t -> unit

@@ -1,0 +1,195 @@
+(* Checksummed, length-prefixed write-ahead log.  See wal.mli for the
+   file format and the torn-vs-corrupt rules; the short version is that
+   only damage touching the very end of the file can be blamed on a
+   crash — everything else is rejected. *)
+
+open Eager_robust
+
+let ( let* ) = Err.( let* )
+let file_name = "wal.eagerdb"
+let path ~dir = Filename.concat dir file_name
+let header_line = "eagerdb wal v1\n"
+
+type kind = Stmt | Abort
+
+let kind_name = function Stmt -> "stmt" | Abort -> "abort"
+
+let kind_of_name = function
+  | "stmt" -> Some Stmt
+  | "abort" -> Some Abort
+  | _ -> None
+
+type record = { seq : int; kind : kind; payload : string }
+type tail = Complete | Torn of { valid_len : int; dropped : int }
+
+(* ------------------------------------------------------------------ *)
+(* scanning *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* "#rec <seq> <kind> <len> <md5hex>" — None on any malformation; the
+   caller decides whether that means torn or corrupt *)
+let parse_header line =
+  match String.split_on_char ' ' line with
+  | [ "#rec"; seq; kind; len; md5 ] -> (
+      match (int_of_string_opt seq, kind_of_name kind, int_of_string_opt len) with
+      | Some seq, Some kind, Some len
+        when seq > 0 && len >= 0 && String.length md5 = 32 ->
+          Some (seq, kind, len, md5)
+      | _ -> None)
+  | _ -> None
+
+let scan path =
+  if not (Sys.file_exists path) then Ok ([], Complete)
+  else
+    let* content = Err.protect ~kind:Err.Io (fun () -> read_file path) in
+    let n = String.length content in
+    let hlen = String.length header_line in
+    if n = 0 then (* an empty file is a fresh, complete log *)
+      Ok ([], Complete)
+    else if n < hlen then
+      (* even the header never finished: everything is droppable tail *)
+      if String.sub header_line 0 n = content then
+        Ok ([], Torn { valid_len = 0; dropped = n })
+      else Error (Err.io "%s: not a write-ahead log" path)
+    else if String.sub content 0 hlen <> header_line then
+      Error (Err.io "%s: not a write-ahead log" path)
+    else
+      let torn pos = Ok (Torn { valid_len = pos; dropped = n - pos }) in
+      let corrupt pos fmt =
+        Printf.ksprintf
+          (fun msg -> Error (Err.io "%s: corrupt record at byte %d: %s" path pos msg))
+          fmt
+      in
+      let records = ref [] in
+      let rec loop pos prev_seq =
+        if pos = n then Ok Complete
+        else
+          match String.index_from_opt content pos '\n' with
+          | None ->
+              (* header line cut short by the crash *)
+              torn pos
+          | Some nl -> (
+              let line = String.sub content pos (nl - pos) in
+              match parse_header line with
+              | None -> corrupt pos "bad record header %S" line
+              | Some (seq, kind, len, md5) ->
+                  let payload_start = nl + 1 in
+                  let record_end = payload_start + len + 1 in
+                  if record_end > n then torn pos
+                  else
+                    let payload = String.sub content payload_start len in
+                    if content.[record_end - 1] <> '\n' then
+                      if record_end = n then torn pos
+                      else corrupt pos "record #%d missing terminator" seq
+                    else if Digest.to_hex (Digest.string payload) <> md5 then
+                      if record_end = n then torn pos
+                      else corrupt pos "record #%d fails its checksum" seq
+                    else if prev_seq > 0 && seq <> prev_seq + 1 then
+                      corrupt pos "sequence jumps from #%d to #%d" prev_seq seq
+                    else begin
+                      records := { seq; kind; payload } :: !records;
+                      loop record_end seq
+                    end)
+      in
+      let* tail = loop hlen 0 in
+      Ok (List.rev !records, tail)
+
+let truncate_to path valid_len =
+  Err.protect ~kind:Err.Io (fun () -> Unix.truncate path valid_len)
+
+(* ------------------------------------------------------------------ *)
+(* appending *)
+
+type t = {
+  path : string;
+  mutable oc : out_channel;
+  mutable next : int;
+  mutable broken : bool;
+}
+
+let poisoned t =
+  Error (Err.io "write-ahead log %s is poisoned after a failed write; restart the session to recover" t.path)
+
+let open_append ~path ~next_seq =
+  Err.protect ~kind:Err.Io (fun () ->
+      let fresh = (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0 in
+      let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+      if fresh then begin
+        output_string oc header_line;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc)
+      end;
+      { path; oc; next = next_seq; broken = false })
+
+let next_seq t = t.next
+let broken t = t.broken
+
+let append t ~kind payload =
+  if t.broken then poisoned t
+  else
+    let seq = t.next in
+    let r =
+      Err.protect ~kind:Err.Io (fun () ->
+          let header =
+            Printf.sprintf "#rec %d %s %d %s\n" seq (kind_name kind)
+              (String.length payload)
+              (Digest.to_hex (Digest.string payload))
+          in
+          let record = header ^ payload ^ "\n" in
+          let total = String.length record in
+          (* flush the first half before the [wal.append] hook so a
+             simulated crash there deterministically leaves a torn tail *)
+          let half = total / 2 in
+          output_substring t.oc record 0 half;
+          flush t.oc;
+          Fault.trip "wal.append";
+          output_substring t.oc record half (total - half);
+          flush t.oc;
+          Fault.trip "wal.fsync";
+          Unix.fsync (Unix.descr_of_out_channel t.oc))
+    in
+    match r with
+    | Ok () ->
+        t.next <- seq + 1;
+        Ok seq
+    | Error e ->
+        t.broken <- true;
+        Error (Err.add_context (Printf.sprintf "wal append #%d" seq) e)
+
+let truncate t =
+  if t.broken then poisoned t
+  else
+    let tmp = t.path ^ ".tmp" in
+    let r =
+      Err.protect ~kind:Err.Io (fun () ->
+          close_out_noerr t.oc;
+          let committed = ref false in
+          Fun.protect
+            ~finally:(fun () -> if not !committed then try Sys.remove tmp with Sys_error _ -> ())
+            (fun () ->
+              let oc = open_out_bin tmp in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () ->
+                  output_string oc header_line;
+                  flush oc;
+                  Unix.fsync (Unix.descr_of_out_channel oc));
+              Fault.trip "wal.truncate";
+              Sys.rename tmp t.path;
+              committed := true);
+          t.oc <- open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.path)
+    in
+    match r with
+    | Ok () -> Ok ()
+    | Error e ->
+        t.broken <- true;
+        Error (Err.add_context "wal truncate" e)
+
+let close t =
+  t.broken <- true;
+  close_out_noerr t.oc

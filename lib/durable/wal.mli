@@ -1,0 +1,86 @@
+(** Checksummed, length-prefixed write-ahead log.
+
+    One [wal.eagerdb] file per database directory.  Layout:
+
+    {v
+    file   := "eagerdb wal v1\n" record*
+    record := "#rec <seq> <kind> <len> <md5hex>\n" <payload> "\n"
+    kind   := "stmt" | "abort"
+    v}
+
+    [seq] numbers are strictly contiguous: every record — statement or
+    abort marker — consumes the next integer.  [len] is the payload's
+    byte length and [md5hex] its MD5 digest, so a record is
+    self-validating without trusting anything after it.  A [stmt]
+    payload is the SQL text of one committed statement; an [abort]
+    payload is the decimal [seq] of an earlier [stmt] record whose
+    apply step failed after logging — replay must skip the victim.
+
+    Torn-tail rule: damage confined to the final bytes of the file
+    (half-written header line, short payload, missing terminator, bad
+    checksum on the last record) is the expected residue of a crash
+    mid-append and is reported as {!Torn} so recovery can truncate it
+    away.  The same damage {i followed by more records} can only be bit
+    rot or tampering and is rejected with a typed [Io] error, as is any
+    sequence gap. *)
+
+open Eager_robust
+
+val file_name : string
+(** ["wal.eagerdb"]. *)
+
+val path : dir:string -> string
+
+type kind = Stmt | Abort
+
+type record = { seq : int; kind : kind; payload : string }
+
+type tail =
+  | Complete
+  | Torn of { valid_len : int; dropped : int }
+      (** the file is good up to byte [valid_len]; [dropped] trailing
+          bytes belong to a record that never finished *)
+
+val scan : string -> (record list * tail, Err.t) result
+(** Read and validate the whole log.  A missing file is an empty
+    complete log.  Mid-log corruption is an [Error]; a torn tail is
+    data. *)
+
+val truncate_to : string -> int -> (unit, Err.t) result
+(** Chop a torn tail: shorten the file to the [valid_len] reported by
+    {!scan}. *)
+
+type t
+(** An open append handle.  After any failed write the handle is
+    {e poisoned} — every later operation refuses with a typed error —
+    because the on-disk suffix is no longer known to match what the
+    caller believes was logged.  Recovery (re-scan) is the only way
+    back. *)
+
+val open_append : path:string -> next_seq:int -> (t, Err.t) result
+(** Open for appending, creating the file (with its header) if absent.
+    The caller must have {!scan}ned first and pass the sequence number
+    the next record should carry. *)
+
+val next_seq : t -> int
+val broken : t -> bool
+
+val append : t -> kind:kind -> string -> (int, Err.t) result
+(** Log one record and return its sequence number.  The record is fully
+    written, flushed and fsynced before [Ok] — the fsync is the commit
+    point.  Fault hooks: [wal.append] fires after only half the record
+    bytes reached the OS (a crash here leaves a torn tail and the record
+    is {e not} committed); [wal.fsync] fires after the full record is
+    flushed but before fsync (the record survives an orderly OS, so
+    recovery replays it). *)
+
+val truncate : t -> (unit, Err.t) result
+(** Reset the log to header-only — called after a checkpoint has made
+    every record redundant.  A fresh file is written and fsynced beside
+    the log, then atomically renamed over it; the [wal.truncate] fault
+    point fires between fsync and rename, so a crash there leaves the
+    old log intact (recovery detects it is fully covered by the
+    snapshot's LSN and finishes the job).  Sequence numbering continues;
+    it never restarts. *)
+
+val close : t -> unit

@@ -51,11 +51,35 @@ type statement =
   | S_delete of { table : string; where : texpr option }
   | S_select of select_ast
   | S_explain of { analyze : bool; body : select_ast }
+  | S_checkpoint
+
+(* a string literal the lexer reads back verbatim: quotes double *)
+let string_literal s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+(* a float literal the lexer reads back as the same float: shortest
+   exact decimal, forced to carry a '.' or exponent so it cannot lex as
+   an integer *)
+let float_literal f =
+  let exact s = float_of_string_opt s = Some f in
+  let s =
+    let short = Printf.sprintf "%.12g" f in
+    if exact short then short else Printf.sprintf "%.17g" f
+  in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
 
 let rec pp_texpr ppf = function
   | E_int n -> Format.pp_print_int ppf n
-  | E_float f -> Format.pp_print_float ppf f
-  | E_str s -> Format.fprintf ppf "'%s'" s
+  | E_float f -> Format.pp_print_string ppf (float_literal f)
+  | E_str s -> Format.pp_print_string ppf (string_literal s)
   | E_bool b -> Format.pp_print_bool ppf b
   | E_null -> Format.pp_print_string ppf "NULL"
   | E_param p -> Format.fprintf ppf ":%s" p
@@ -75,9 +99,9 @@ let rec pp_texpr ppf = function
       Format.fprintf ppf "%a IS %sNULL" pp_texpr arg
         (if negated then "NOT " else "")
   | E_like { negated; arg; pattern } ->
-      Format.fprintf ppf "%a %sLIKE '%s'" pp_texpr arg
+      Format.fprintf ppf "%a %sLIKE %s" pp_texpr arg
         (if negated then "NOT " else "")
-        pattern
+        (string_literal pattern)
   | E_case { branches; else_ } ->
       Format.fprintf ppf "CASE";
       List.iter
@@ -143,3 +167,84 @@ let select_to_string (s : select_ast) =
   Printf.sprintf "SELECT %s%s FROM %s%s%s%s%s"
     (if s.distinct then "DISTINCT " else "")
     items from where group having order
+
+(* ------------------------------------------------------------------ *)
+(* Statement → SQL.  The output re-parses to the same tree (modulo the
+   desugarings the parser applies anyway), which is what lets the WAL
+   store statements as SQL text and replay them through the front door. *)
+
+let type_ast_to_string (t : type_ast) =
+  match t.tyarg with
+  | None -> t.tybase
+  | Some n -> Printf.sprintf "%s(%d)" t.tybase n
+
+let col_constraint_to_string = function
+  | Cc_not_null -> "NOT NULL"
+  | Cc_unique -> "UNIQUE"
+  | Cc_primary -> "PRIMARY KEY"
+  | Cc_check e -> Printf.sprintf "CHECK (%s)" (texpr_to_string e)
+  | Cc_references (t, cols) ->
+      Printf.sprintf "REFERENCES %s%s" t
+        (match cols with
+        | [] -> ""
+        | cols -> Printf.sprintf " (%s)" (String.concat ", " cols))
+
+let table_item_to_string = function
+  | It_column { name; ty; constraints } ->
+      String.concat " "
+        (name :: type_ast_to_string ty
+        :: List.map col_constraint_to_string constraints)
+  | It_primary cols ->
+      Printf.sprintf "PRIMARY KEY (%s)" (String.concat ", " cols)
+  | It_unique cols -> Printf.sprintf "UNIQUE (%s)" (String.concat ", " cols)
+  | It_check e -> Printf.sprintf "CHECK (%s)" (texpr_to_string e)
+  | It_foreign { cols; ref_table; ref_cols } ->
+      Printf.sprintf "FOREIGN KEY (%s) REFERENCES %s%s"
+        (String.concat ", " cols)
+        ref_table
+        (match ref_cols with
+        | [] -> ""
+        | cols -> Printf.sprintf " (%s)" (String.concat ", " cols))
+
+let statement_to_string = function
+  | S_create_table (name, items) ->
+      Printf.sprintf "CREATE TABLE %s (%s)" name
+        (String.concat ", " (List.map table_item_to_string items))
+  | S_create_domain (name, ty, check) ->
+      Printf.sprintf "CREATE DOMAIN %s %s%s" name (type_ast_to_string ty)
+        (match check with
+        | None -> ""
+        | Some e -> Printf.sprintf " CHECK (%s)" (texpr_to_string e))
+  | S_create_view { name; body_sql; body = _ } ->
+      Printf.sprintf "CREATE VIEW %s AS %s" name body_sql
+  | S_create_index { name; table; cols } ->
+      Printf.sprintf "CREATE INDEX %s ON %s (%s)" name table
+        (String.concat ", " cols)
+  | S_insert (name, rows) ->
+      Printf.sprintf "INSERT INTO %s VALUES %s" name
+        (String.concat ", "
+           (List.map
+              (fun row ->
+                Printf.sprintf "(%s)"
+                  (String.concat ", " (List.map texpr_to_string row)))
+              rows))
+  | S_update { table; set; where } ->
+      Printf.sprintf "UPDATE %s SET %s%s" table
+        (String.concat ", "
+           (List.map
+              (fun (c, e) -> Printf.sprintf "%s = %s" c (texpr_to_string e))
+              set))
+        (match where with
+        | None -> ""
+        | Some e -> " WHERE " ^ texpr_to_string e)
+  | S_delete { table; where } ->
+      Printf.sprintf "DELETE FROM %s%s" table
+        (match where with
+        | None -> ""
+        | Some e -> " WHERE " ^ texpr_to_string e)
+  | S_select s -> select_to_string s
+  | S_explain { analyze; body } ->
+      Printf.sprintf "EXPLAIN %s%s"
+        (if analyze then "ANALYZE " else "")
+        (select_to_string body)
+  | S_checkpoint -> "CHECKPOINT"

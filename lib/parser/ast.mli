@@ -59,7 +59,15 @@ type statement =
   | S_delete of { table : string; where : texpr option }
   | S_select of select_ast
   | S_explain of { analyze : bool; body : select_ast }
+  | S_checkpoint
+      (** flush a durable session: snapshot the database and truncate its
+          write-ahead log (rejected outside a WAL session) *)
 
 val pp_texpr : Format.formatter -> texpr -> unit
 val texpr_to_string : texpr -> string
 val select_to_string : select_ast -> string
+
+val statement_to_string : statement -> string
+(** SQL text that re-parses to the same tree — string literals quote by
+    doubling, float literals always carry a ['.'] or exponent.  This is
+    the encoding the write-ahead log stores and replays. *)

@@ -32,6 +32,7 @@ type outcome =
   | Inserted of int
   | Updated of int
   | Deleted of int
+  | Checkpointed of int
   | Query of bound_query * (Colref.t * bool) list
   | Explained of bound_query * (Colref.t * bool) list * bool
 
@@ -859,16 +860,12 @@ let exec_statement db (stmt : Ast.statement) : (outcome, string) result =
       | () -> Ok (Created (Printf.sprintf "view %s created" name))
       | exception Failure msg -> Error msg)
   | Ast.S_insert (name, rows) ->
-      let* n =
-        List.fold_left
-          (fun acc row ->
-            let* n = acc in
-            let* values = result_map literal_value row in
-            let* () = Database.insert db name values in
-            Ok (n + 1))
-          (Ok 0) rows
-      in
-      Ok (Inserted n)
+      (* evaluate every row first, then load atomically: a multi-row
+         INSERT either fully lands or leaves the table untouched, which
+         is the statement-level atomicity the write-ahead log relies on *)
+      let* values = result_map (result_map literal_value) rows in
+      let* () = Eager_robust.Err.to_msg (Database.load_result db name values) in
+      Ok (Inserted (List.length values))
   | Ast.S_create_index { name; table; cols } ->
       let* () = Database.create_index db ~name ~table ~cols in
       Ok (Created (Printf.sprintf "index %s created" name))
@@ -890,7 +887,7 @@ let exec_statement db (stmt : Ast.statement) : (outcome, string) result =
         | None -> Ok Expr.etrue
         | Some w -> bind_expr env w
       in
-      let* n = Database.update db table ~set ~where () in
+      let* n = Eager_robust.Err.to_msg (Database.update db table ~set ~where ()) in
       Ok (Updated n)
   | Ast.S_delete { table; where } ->
       let* env =
@@ -903,7 +900,7 @@ let exec_statement db (stmt : Ast.statement) : (outcome, string) result =
         | None -> Ok Expr.etrue
         | Some w -> bind_expr env w
       in
-      let* n = Database.delete db table ~where () in
+      let* n = Eager_robust.Err.to_msg (Database.delete db table ~where ()) in
       Ok (Deleted n)
   | Ast.S_select s ->
       let* q = bind_select db s in
@@ -913,6 +910,10 @@ let exec_statement db (stmt : Ast.statement) : (outcome, string) result =
       let* q = bind_select db body in
       let* order = bind_order q body.Ast.order_by in
       Ok (Explained (q, order, analyze))
+  | Ast.S_checkpoint ->
+      (* performed by the durable session wrapper (Eager_durable.Durable),
+         which intercepts the statement before it reaches here *)
+      Error "CHECKPOINT requires a write-ahead-logged session (run with --wal)"
 
 let parse_script_safe src =
   match Parser.parse_script src with

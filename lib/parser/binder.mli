@@ -41,6 +41,10 @@ type outcome =
   | Inserted of int  (** number of rows *)
   | Updated of int
   | Deleted of int
+  | Checkpointed of int
+      (** a durable session flushed its WAL; the snapshot's LSN.  Only
+          produced by [Eager_durable.Durable] — [exec_statement] itself
+          rejects CHECKPOINT because it has no log to truncate *)
   | Query of bound_query * (Colref.t * bool) list
       (** query plus its resolved ORDER BY (empty when none) *)
   | Explained of bound_query * (Colref.t * bool) list * bool

@@ -63,12 +63,39 @@ let tokenize src =
   in
   let read_number () =
     let whole = read_while is_digit in
-    if peek () = Some '.' && !pos + 1 < n && is_digit src.[!pos + 1] then begin
-      advance ();
-      let frac = read_while is_digit in
-      Tfloat (float_of_string (whole ^ "." ^ frac))
-    end
-    else Tint (int_of_string whole)
+    let frac =
+      if peek () = Some '.' && !pos + 1 < n && is_digit src.[!pos + 1] then begin
+        advance ();
+        Some (read_while is_digit)
+      end
+      else None
+    in
+    (* exponent: [eE][+-]?digits, only when digits actually follow — so
+       [1 elephant] still lexes as a number and an identifier *)
+    let expo =
+      match peek () with
+      | Some ('e' | 'E')
+        when (!pos + 1 < n && is_digit src.[!pos + 1])
+             || !pos + 2 < n
+                && (src.[!pos + 1] = '+' || src.[!pos + 1] = '-')
+                && is_digit src.[!pos + 2] ->
+          advance ();
+          let sign =
+            match peek () with
+            | Some (('+' | '-') as c) ->
+                advance ();
+                String.make 1 c
+            | _ -> ""
+          in
+          Some (sign ^ read_while is_digit)
+      | _ -> None
+    in
+    match (frac, expo) with
+    | None, None -> Tint (int_of_string whole)
+    | _ ->
+        let frac = match frac with Some f -> "." ^ f | None -> "" in
+        let expo = match expo with Some e -> "e" ^ e | None -> "" in
+        Tfloat (float_of_string (whole ^ frac ^ expo))
   in
   let rec loop () =
     skip_ws_and_comments ();

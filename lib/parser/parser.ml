@@ -45,6 +45,7 @@ let keywords =
     "FOREIGN"; "REFERENCES"; "EXPLAIN"; "TRUE"; "FALSE"; "HAVING"; "ORDER";
     "ASC"; "DESC"; "LIKE"; "BETWEEN"; "IN"; "UPDATE"; "SET"; "DELETE";
     "INDEX"; "ON"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "ANALYZE";
+    "CHECKPOINT";
   ]
 
 let ident st =
@@ -533,6 +534,7 @@ let parse_statement_at st : Ast.statement =
     let analyze = accept_kw st "ANALYZE" in
     Ast.S_explain { analyze; body = parse_select_body st }
   end
+  else if accept_kw st "CHECKPOINT" then Ast.S_checkpoint
   else if is_kw st "SELECT" then Ast.S_select (parse_select_body st)
   else fail st "expected a statement"
 

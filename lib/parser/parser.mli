@@ -2,6 +2,7 @@
 
     Supported statements: CREATE TABLE (with column/table constraints),
     CREATE DOMAIN (with CHECK), CREATE VIEW, INSERT ... VALUES,
+    UPDATE, DELETE, CHECKPOINT,
     SELECT [ALL|DISTINCT] ... FROM ... [WHERE ...] [GROUP BY ...],
     and EXPLAIN SELECT.  Keywords are case-insensitive. *)
 

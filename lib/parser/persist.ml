@@ -200,10 +200,15 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let snapshot_body db =
+let snapshot_body ?(wal_lsn = 0) db =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf snapshot_magic;
   Buffer.add_char buf '\n';
+  (* the WAL position this snapshot reflects: on recovery, log records
+     with LSN <= this are already folded in and must not replay.  Written
+     only for durable sessions so plain snapshots keep their old shape. *)
+  if wal_lsn > 0 then
+    Buffer.add_string buf (Printf.sprintf "[wal-lsn %d]\n" wal_lsn);
   Buffer.add_string buf "[schema]\n";
   Buffer.add_string buf (ddl_of_database db);
   Buffer.add_char buf '\n';
@@ -223,10 +228,10 @@ let snapshot_body db =
   Buffer.add_string buf "[end]\n";
   Buffer.contents buf
 
-let save db ~dir =
+let save ?wal_lsn db ~dir =
   Err.protect ~kind:Err.Io (fun () ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let body = snapshot_body db in
+      let body = snapshot_body ?wal_lsn db in
       let content =
         body ^ checksum_prefix ^ Digest.to_hex (Digest.string body) ^ "\n"
       in
@@ -329,9 +334,26 @@ let verify_checksum content =
           (Err.io "snapshot rejected: checksum mismatch (stored %s, computed %s)"
              recorded actual)
 
-(* split the verified body into the schema text and per-table row lines *)
+(* split the verified body into the WAL position, the schema text and
+   per-table row lines *)
 let parse_sections body =
   let lines = String.split_on_char '\n' body in
+  let* wal_lsn, lines =
+    match lines with
+    | magic :: l :: rest
+      when String.equal magic snapshot_magic
+           && String.length l > 9
+           && String.sub l 0 9 = "[wal-lsn " -> (
+        if l.[String.length l - 1] <> ']' then
+          Error (Err.io "snapshot torn: malformed section %S" l)
+        else
+          match
+            int_of_string_opt (String.sub l 9 (String.length l - 10))
+          with
+          | Some n when n >= 0 -> Ok (n, magic :: rest)
+          | _ -> Error (Err.io "snapshot rejected: bad wal-lsn %S" l))
+    | _ -> Ok (0, lines)
+  in
   match lines with
   | magic :: "[schema]" :: rest when String.equal magic snapshot_magic ->
       let is_section l =
@@ -360,7 +382,7 @@ let parse_sections body =
         | [] -> Error (Err.io "snapshot torn: missing [end] sentinel")
       in
       let* tabs = tables [] rest in
-      Ok (String.concat "\n" schema_lines, tabs)
+      Ok (wal_lsn, String.concat "\n" schema_lines, tabs)
   | _ -> Error (Err.io "unrecognized snapshot header")
 
 let load_snapshot path =
@@ -370,7 +392,7 @@ let load_snapshot path =
     | exception Sys_error msg -> Error (Err.io "%s" msg)
   in
   let* body = verify_checksum content in
-  let* schema_text, tabs = parse_sections body in
+  let* wal_lsn, schema_text, tabs = parse_sections body in
   let db = Database.create () in
   let* _ =
     match Binder.run_script db schema_text with
@@ -400,14 +422,18 @@ let load_snapshot path =
               rows)
       tabs
   in
-  Ok db
+  Ok (db, wal_lsn)
 
-let load ~dir =
+let load_with_lsn ~dir =
   let path = Filename.concat dir snapshot_file in
   let result =
     if Sys.file_exists path then
       (* contain even unexpected raises from a hostile file *)
       Result.join (Err.protect ~kind:Err.Io (fun () -> load_snapshot path))
-    else load_legacy ~dir
+    else
+      let* db = load_legacy ~dir in
+      Ok (db, 0)
   in
   Err.with_context (Printf.sprintf "loading %s" dir) result
+
+let load ~dir = Result.map fst (load_with_lsn ~dir)

@@ -25,13 +25,22 @@
 open Eager_storage
 open Eager_robust
 
-val save : Database.t -> dir:string -> (unit, Err.t) result
+val save : ?wal_lsn:int -> Database.t -> dir:string -> (unit, Err.t) result
 (** Creates [dir] if needed and atomically replaces its snapshot.  On
-    [Error] the previous snapshot, if any, is intact and loadable. *)
+    [Error] the previous snapshot, if any, is intact and loadable.
+    [wal_lsn] stamps the snapshot with the write-ahead-log position it
+    reflects (a [\[wal-lsn N\]] line under the magic header, covered by
+    the checksum); recovery replays only log records beyond it.  When
+    omitted or [0] the line is not written and the snapshot has the
+    same shape as before WAL support existed. *)
 
 val load : dir:string -> (Database.t, Err.t) result
 (** Returns a fully loaded database or a typed [Error] — never a
     partially populated instance. *)
+
+val load_with_lsn : dir:string -> (Database.t * int, Err.t) result
+(** {!load}, also returning the snapshot's WAL position ([0] for
+    snapshots written without one, including legacy directories). *)
 
 val ddl_of_database : Database.t -> string
 (** The DDL text embedded in the snapshot, exposed for tests. *)

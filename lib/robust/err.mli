@@ -58,7 +58,7 @@ val pp : Format.formatter -> t -> unit
 
 val of_fault : string -> t
 (** Route a simulated crash into the taxonomy by its point prefix
-    ([storage.]/[heap.] → [Storage], [persist.] → [Io], …). *)
+    ([storage.]/[heap.] → [Storage], [persist.]/[wal.] → [Io], …). *)
 
 (** {1 Result combinators} *)
 

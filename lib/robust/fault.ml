@@ -23,6 +23,10 @@ let all_points =
     "exec.next"; (* every operator boundary in Exec *)
     "opt.testfd"; (* Planner.decide, before the TestFD check *)
     "opt.cost"; (* Planner.decide, before costing the eager plan *)
+    "wal.append"; (* Wal.append, mid-record — leaves a torn tail *)
+    "wal.fsync"; (* Wal.append, after the full record, before fsync *)
+    "wal.truncate"; (* Wal.truncate, before the atomic rename *)
+    "wal.replay"; (* Durable recovery, before applying each record *)
   ]
 
 type seeded = {

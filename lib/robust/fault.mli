@@ -12,7 +12,8 @@
 val all_points : string list
 (** Every point compiled into the engine: [storage.write],
     [heap.append], [persist.rename], [persist.write], [exec.next],
-    [opt.testfd], [opt.cost]. *)
+    [opt.testfd], [opt.cost], [wal.append], [wal.fsync],
+    [wal.truncate], [wal.replay]. *)
 
 val reset : unit -> unit
 (** Disarm everything and zero the counters. *)

@@ -211,21 +211,51 @@ let insert_impl t tname values =
 
 (* typed-error primary: validation failures are [Storage] errors, and
    injected faults or internal raises never escape as exceptions *)
-let insert_result t tname values =
+let insert t tname values =
   match Err.protect ~kind:Err.Storage (fun () -> insert_impl t tname values) with
   | Ok (Ok ()) -> Ok ()
   | Ok (Error msg) -> Error (Err.make Err.Storage msg)
   | Error e -> Error e
 
-let insert t tname values = Err.to_msg (insert_result t tname values)
+let insert_result = insert
 
 let insert_exn t tname values =
-  match insert_result t tname values with
+  match insert t tname values with
   | Ok () -> ()
   | Error e ->
       Err.raise_ (Err.add_context (Printf.sprintf "insert into %s" tname) e)
 
-let load t tname rows = List.iter (insert_exn t tname) rows
+(* Statement-atomic bulk insert: rows are validated and appended one at a
+   time (so rows within the batch can satisfy each other's constraints),
+   but a refusal anywhere rolls the heap back to its prior contents.
+   [replace_all] bumps the compaction counter, which forces every
+   incremental index over the table to rebuild — a rolled-back prefix can
+   never linger in a cache. *)
+let load_result t tname rows =
+  match Catalog.find_table t.cat tname with
+  | None -> Error (Err.storage "unknown table %s" tname)
+  | Some _ ->
+      let h = heap t tname in
+      let before = Heap.to_list h in
+      let rec go landed = function
+        | [] -> Ok ()
+        | r :: rest -> (
+            match insert t tname r with
+            | Ok () -> go (landed + 1) rest
+            | Error e ->
+                if landed > 0 then Heap.replace_all h before;
+                Error
+                  (Err.add_context
+                     (Printf.sprintf "load into %s (row %d of %d)" tname
+                        (landed + 1) (List.length rows))
+                     e))
+      in
+      go 0 rows
+
+let load t tname rows =
+  match load_result t tname rows with
+  | Ok () -> ()
+  | Error e -> Err.raise_ e
 
 (* ------------------------------------------------------------------ *)
 (* secondary indexes *)
@@ -371,8 +401,8 @@ let delete t tname ?params ~where () =
     Err.protect ~kind:Err.Storage (fun () -> delete_impl t tname ?params ~where ())
   with
   | Ok (Ok n) -> Ok n
-  | Ok (Error msg) -> Error msg
-  | Error e -> Error (Err.to_string e)
+  | Ok (Error msg) -> Error (Err.make Err.Storage msg)
+  | Error e -> Error e
 
 let update_impl t tname ?(params = Expr.no_params) ~set ~where () =
   let ( let* ) = Result.bind in
@@ -528,8 +558,8 @@ let update t tname ?params ~set ~where () =
         update_impl t tname ?params ~set ~where ())
   with
   | Ok (Ok n) -> Ok n
-  | Ok (Error msg) -> Error msg
-  | Error e -> Error (Err.to_string e)
+  | Ok (Error msg) -> Error (Err.make Err.Storage msg)
+  | Error e -> Error e
 
 let stats t tname =
   let h = heap t tname in

@@ -29,20 +29,28 @@ val heap : t -> string -> Heap.t
 
 val heap_opt : t -> string -> Heap.t option
 
-val insert : t -> string -> Value.t list -> (unit, string) result
-(** [insert_result] with the error rendered to a string. *)
-
-val insert_result :
-  t -> string -> Value.t list -> (unit, Eager_robust.Err.t) result
+val insert : t -> string -> Value.t list -> (unit, Eager_robust.Err.t) result
 (** Typed-error insert: constraint violations are [Storage] errors;
     injected faults and internal raises are captured, never leaked as
     exceptions.  The heap is mutated only after every check has passed. *)
 
+val insert_result :
+  t -> string -> Value.t list -> (unit, Eager_robust.Err.t) result
+(** Alias of {!insert}, kept for callers written against the older split
+    string/typed pair. *)
+
 val insert_exn : t -> string -> Value.t list -> unit
 (** Raises [Err.Error_exn] on refusal. *)
 
+val load_result :
+  t -> string -> Value.t list list -> (unit, Eager_robust.Err.t) result
+(** Statement-atomic bulk insert: either every row lands or the table is
+    rolled back to its prior contents (and every incremental index over
+    it is invalidated).  Rows within the batch are inserted in order, so
+    later rows may reference earlier ones. *)
+
 val load : t -> string -> Value.t list list -> unit
-(** Bulk [insert_exn]. *)
+(** {!load_result}, raising [Err.Error_exn] on refusal. *)
 
 val delete :
   t ->
@@ -50,7 +58,7 @@ val delete :
   ?params:Eager_expr.Expr.env ->
   where:Eager_expr.Expr.t ->
   unit ->
-  (int, string) result
+  (int, Eager_robust.Err.t) result
 (** Delete the rows on which [where] {i holds} (3VL; rows where it is
     unknown stay).  Referential integrity is NO ACTION: the delete is
     refused if any foreign key elsewhere (or in the table itself) would be
@@ -63,7 +71,7 @@ val update :
   set:(string * Eager_expr.Expr.t) list ->
   where:Eager_expr.Expr.t ->
   unit ->
-  (int, string) result
+  (int, Eager_robust.Err.t) result
 (** Update the rows on which [where] holds; assignment expressions are
     evaluated against the {i old} row.  The prospective table state is
     validated wholesale — types, NOT NULL, CHECK/domain constraints, key

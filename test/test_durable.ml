@@ -1,0 +1,584 @@
+(* Durability tests: the WAL record format (round-trip, torn-tail
+   tolerance, corruption rejection), log-then-apply recovery semantics,
+   checkpointing (including interrupted checkpoints), and a kill/restart
+   matrix of 120 seeded schedules that crashes at every wal.* and
+   persist.* fault point and proves the recovered database equals the
+   committed prefix exactly. *)
+
+open Eager_value
+open Eager_catalog
+open Eager_storage
+open Eager_parser
+open Eager_durable
+open Eager_robust
+open Eager_workload
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go k = k + m <= n && (String.sub s k m = sub || go (k + 1)) in
+  go 0
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "eagerdb_durable_%s_%d_%d" name (Unix.getpid ()) !n)
+    in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+    dir
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (name ^ ": " ^ Err.to_string e)
+
+let open_ok ?checkpoint_every dir =
+  ok ("open " ^ dir) (Durable.open_ ?checkpoint_every ~dir ())
+
+let exec_sql session sql = Durable.exec session (Parser.parse_statement sql)
+let exec_ok session sql = ignore (ok sql (exec_sql session sql))
+
+let wal_is_empty dir =
+  let ic = open_in_bin (Wal.path ~dir) in
+  let n = in_channel_length ic in
+  close_in ic;
+  n = String.length "eagerdb wal v1\n"
+
+(* Canonical digest of a database: the regenerated DDL plus every
+   table's rows in sorted order — two databases with equal fingerprints
+   hold the same logical state. *)
+let fingerprint db =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Persist.ddl_of_database db);
+  let names =
+    Catalog.tables (Database.catalog db)
+    |> List.map (fun (td : Table_def.t) -> td.Table_def.tname)
+    |> List.sort compare
+  in
+  List.iter
+    (fun name ->
+      Buffer.add_string buf ("== " ^ name ^ "\n");
+      Heap.to_list (Database.heap db name)
+      |> List.map (fun row ->
+             String.concat ","
+               (Array.to_list (Array.map Value.to_string row)))
+      |> List.sort compare
+      |> List.iter (fun r -> Buffer.add_string buf (r ^ "\n")))
+    names;
+  Buffer.contents buf
+
+(* ======================= WAL record format ======================== *)
+
+let wal_file name =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eagerdb_%s_%d.wal" name (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let test_wal_roundtrip () =
+  let path = wal_file "roundtrip" in
+  (match Wal.scan path with
+  | Ok ([], Wal.Complete) -> ()
+  | _ -> Alcotest.fail "missing file should scan as empty+complete");
+  let w = ok "open" (Wal.open_append ~path ~next_seq:1) in
+  let payloads =
+    [ "INSERT INTO t VALUES (1, 'a')"; "line one\nline two"; ""; "2" ]
+  in
+  List.iteri
+    (fun i p ->
+      let kind = if i = 3 then Wal.Abort else Wal.Stmt in
+      Alcotest.(check int)
+        "assigned seq" (i + 1)
+        (ok "append" (Wal.append w ~kind p)))
+    payloads;
+  Alcotest.(check int) "next_seq" 5 (Wal.next_seq w);
+  Wal.close w;
+  let records, tail = ok "scan" (Wal.scan path) in
+  Alcotest.(check bool) "complete" true (tail = Wal.Complete);
+  Alcotest.(check (list string))
+    "payloads survive (including newlines and empties)" payloads
+    (List.map (fun (r : Wal.record) -> r.payload) records);
+  Alcotest.(check (list int))
+    "seqs contiguous" [ 1; 2; 3; 4 ]
+    (List.map (fun (r : Wal.record) -> r.seq) records);
+  Alcotest.(check bool)
+    "kinds survive" true
+    (List.map (fun (r : Wal.record) -> r.kind) records
+    = [ Wal.Stmt; Wal.Stmt; Wal.Stmt; Wal.Abort ])
+
+(* every byte-prefix of a valid log scans as Ok: damage at the end of
+   the file is always classified torn, never corrupt *)
+let test_wal_torn_prefixes () =
+  let path = wal_file "torn" in
+  let w = ok "open" (Wal.open_append ~path ~next_seq:1) in
+  ignore (ok "a1" (Wal.append w ~kind:Wal.Stmt "CREATE TABLE x (a INT)"));
+  ignore (ok "a2" (Wal.append w ~kind:Wal.Stmt "INSERT INTO x VALUES (1)"));
+  Wal.close w;
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let n = String.length full in
+  let hlen = String.length "eagerdb wal v1\n" in
+  for cut = 0 to n - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub full 0 cut);
+    close_out oc;
+    match Wal.scan path with
+    | Error e ->
+        Alcotest.fail
+          (Printf.sprintf "prefix of %d bytes rejected: %s" cut
+             (Err.to_string e))
+    | Ok (records, tail) -> (
+        if cut < hlen then
+          Alcotest.(check int)
+            (Printf.sprintf "no records in %d-byte prefix" cut)
+            0 (List.length records);
+        match tail with
+        | Wal.Complete -> ()
+        | Wal.Torn { valid_len; dropped } ->
+            Alcotest.(check int)
+              (Printf.sprintf "torn accounting at %d" cut)
+              cut (valid_len + dropped);
+            (* truncating the torn tail must yield a complete log *)
+            ok "truncate_to" (Wal.truncate_to path valid_len);
+            let records', tail' = ok "rescan" (Wal.scan path) in
+            Alcotest.(check bool)
+              (Printf.sprintf "complete after truncate at %d" cut)
+              true (tail' = Wal.Complete);
+            Alcotest.(check int)
+              (Printf.sprintf "records preserved at %d" cut)
+              (List.length records) (List.length records'))
+  done
+
+let test_wal_corruption () =
+  let path = wal_file "corrupt" in
+  let build () =
+    if Sys.file_exists path then Sys.remove path;
+    let w = ok "open" (Wal.open_append ~path ~next_seq:1) in
+    ignore (ok "a1" (Wal.append w ~kind:Wal.Stmt "CREATE TABLE x (a INT)"));
+    ignore (ok "a2" (Wal.append w ~kind:Wal.Stmt "INSERT INTO x VALUES (1)"));
+    Wal.close w;
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let write s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  let expect_error name s =
+    write s;
+    match Wal.scan path with
+    | Error e ->
+        Alcotest.(check bool)
+          (name ^ " is typed Io") true
+          (Err.kind e = Err.Io)
+    | Ok _ -> Alcotest.fail (name ^ ": corruption accepted")
+  in
+  let full = build () in
+  (* flip a payload byte of the FIRST record: mid-log damage *)
+  let flipped = Bytes.of_string full in
+  let i = String.length "eagerdb wal v1\n#rec 1 stmt " in
+  let i = String.index_from full i '\n' + 3 in
+  Bytes.set flipped i (if full.[i] = 'X' then 'Y' else 'X');
+  expect_error "mid-log bit rot" (Bytes.to_string flipped);
+  (* same damage on the LAST record is a torn tail, not corruption *)
+  let flipped = Bytes.of_string full in
+  Bytes.set flipped (String.length full - 2) '\x01';
+  write (Bytes.to_string flipped);
+  (match Wal.scan path with
+  | Ok ([ _ ], Wal.Torn _) -> ()
+  | Ok _ -> Alcotest.fail "damaged final record should be torn"
+  | Error e -> Alcotest.fail ("final-record damage rejected: " ^ Err.to_string e));
+  (* a sequence gap is corruption even with valid checksums *)
+  let gap =
+    let p1 = "CREATE TABLE x (a INT)" and p3 = "INSERT INTO x VALUES (1)" in
+    let rec_ seq p =
+      Printf.sprintf "#rec %d stmt %d %s\n%s\n" seq (String.length p)
+        (Digest.to_hex (Digest.string p))
+        p
+    in
+    "eagerdb wal v1\n" ^ rec_ 1 p1 ^ rec_ 3 p3
+  in
+  expect_error "sequence gap" gap;
+  expect_error "bad magic" "totally not a wal\nor anything like one\n"
+
+let test_wal_poisoned () =
+  let path = wal_file "poisoned" in
+  let w = ok "open" (Wal.open_append ~path ~next_seq:1) in
+  Fault.reset ();
+  Fault.arm_nth "wal.append" 1;
+  (match Wal.append w ~kind:Wal.Stmt "INSERT INTO x VALUES (1)" with
+  | Ok _ -> Alcotest.fail "append should have crashed"
+  | Error e ->
+      Alcotest.(check bool) "typed Io" true (Err.kind e = Err.Io));
+  Fault.reset ();
+  Alcotest.(check bool) "handle poisoned" true (Wal.broken w);
+  (match Wal.append w ~kind:Wal.Stmt "INSERT INTO x VALUES (2)" with
+  | Ok _ -> Alcotest.fail "poisoned handle accepted a write"
+  | Error e -> Alcotest.(check bool) "says poisoned" true
+        (contains (Err.to_string e) "poisoned"));
+  (match Wal.truncate w with
+  | Ok _ -> Alcotest.fail "poisoned handle accepted a truncate"
+  | Error _ -> ());
+  Wal.close w
+
+(* ===================== recovery semantics ========================= *)
+
+let setup_sql =
+  [
+    "CREATE TABLE t (id INT NOT NULL, grp INT, val INT, PRIMARY KEY (id))";
+    "INSERT INTO t VALUES (1, 1, 10), (2, 1, 20)";
+    "INSERT INTO t VALUES (3, 2, 30)";
+  ]
+
+let test_basic_recovery () =
+  let dir = fresh_dir "basic" in
+  let s, r0 = open_ok dir in
+  Alcotest.(check int) "fresh dir has nothing to replay" 0 r0.Durable.replayed;
+  List.iter (exec_ok s) setup_sql;
+  let before = fingerprint (Durable.db s) in
+  Durable.close s;
+  let s2, r = open_ok dir in
+  Alcotest.(check int) "replayed all three" 3 r.Durable.replayed;
+  Alcotest.(check int) "no snapshot yet" 0 r.Durable.snapshot_lsn;
+  Alcotest.(check string) "state restored" before (fingerprint (Durable.db s2));
+  Durable.close s2;
+  (* recovery is idempotent: replaying the same log again lands in the
+     same state *)
+  let s3, r3 = open_ok dir in
+  Alcotest.(check int) "same replay count" 3 r3.Durable.replayed;
+  Alcotest.(check string) "same state" before (fingerprint (Durable.db s3));
+  Durable.close s3
+
+let test_append_crash_statement_absent () =
+  let dir = fresh_dir "append_crash" in
+  let s, _ = open_ok dir in
+  List.iter (exec_ok s) setup_sql;
+  Fault.reset ();
+  Fault.arm_nth "wal.append" 1;
+  (match exec_sql s "INSERT INTO t VALUES (4, 2, 40)" with
+  | Ok _ -> Alcotest.fail "append crash should surface"
+  | Error e ->
+      Alcotest.(check bool) "injected" true
+        (contains (Err.to_string e) "injected fault"));
+  Fault.reset ();
+  (* the session is poisoned: no silent writes after a log failure *)
+  (match exec_sql s "INSERT INTO t VALUES (5, 2, 50)" with
+  | Ok _ -> Alcotest.fail "poisoned session accepted a statement"
+  | Error _ -> ());
+  Durable.close s;
+  let s2, r = open_ok dir in
+  Alcotest.(check bool) "torn tail dropped" true (r.Durable.torn_bytes > 0);
+  Alcotest.(check int) "uncommitted statement absent" 3
+    (Database.row_count (Durable.db s2) "t");
+  Durable.close s2
+
+let test_fsync_crash_statement_present () =
+  let dir = fresh_dir "fsync_crash" in
+  let s, _ = open_ok dir in
+  List.iter (exec_ok s) setup_sql;
+  Fault.reset ();
+  Fault.arm_nth "wal.fsync" 1;
+  (match exec_sql s "INSERT INTO t VALUES (4, 2, 40)" with
+  | Ok _ -> Alcotest.fail "fsync crash should surface"
+  | Error _ -> ());
+  Fault.reset ();
+  Durable.close s;
+  (* the record was fully written before the simulated crash, so the
+     statement is committed and recovery replays it *)
+  let s2, r = open_ok dir in
+  Alcotest.(check int) "no torn bytes" 0 r.Durable.torn_bytes;
+  Alcotest.(check int) "committed statement present" 4
+    (Database.row_count (Durable.db s2) "t");
+  Durable.close s2
+
+let test_abort_marker () =
+  let dir = fresh_dir "abort" in
+  let s, _ = open_ok dir in
+  List.iter (exec_ok s) setup_sql;
+  (* logged, then refused at bind time: leaves an abort marker *)
+  (match exec_sql s "INSERT INTO nosuch VALUES (1)" with
+  | Ok _ -> Alcotest.fail "insert into missing table succeeded"
+  | Error _ -> ());
+  exec_ok s "INSERT INTO t VALUES (4, 2, 40)";
+  let before = fingerprint (Durable.db s) in
+  Durable.close s;
+  let s2, r = open_ok dir in
+  Alcotest.(check int) "abort marker honoured" 1 r.Durable.skipped_aborted;
+  Alcotest.(check int) "good statements replayed" 4 r.Durable.replayed;
+  Alcotest.(check string) "state matches" before (fingerprint (Durable.db s2));
+  Durable.close s2
+
+let test_checkpoint () =
+  let dir = fresh_dir "checkpoint" in
+  let s, _ = open_ok dir in
+  List.iter (exec_ok s) setup_sql;
+  (match ok "CHECKPOINT" (exec_sql s "CHECKPOINT") with
+  | Eager_parser.Binder.Checkpointed lsn ->
+      Alcotest.(check int) "lsn covers the log" 3 lsn
+  | _ -> Alcotest.fail "expected Checkpointed outcome");
+  Alcotest.(check bool) "wal truncated" true (wal_is_empty dir);
+  exec_ok s "INSERT INTO t VALUES (4, 2, 40)";
+  let before = fingerprint (Durable.db s) in
+  Durable.close s;
+  let s2, r = open_ok dir in
+  Alcotest.(check int) "snapshot carries the lsn" 3 r.Durable.snapshot_lsn;
+  Alcotest.(check int) "only the post-checkpoint tail replays" 1
+    r.Durable.replayed;
+  Alcotest.(check string) "state matches" before (fingerprint (Durable.db s2));
+  Durable.close s2
+
+let test_auto_checkpoint () =
+  let dir = fresh_dir "auto_checkpoint" in
+  let s, _ = open_ok ~checkpoint_every:2 dir in
+  exec_ok s "CREATE TABLE t (id INT NOT NULL, grp INT, val INT, PRIMARY KEY (id))";
+  exec_ok s "INSERT INTO t VALUES (1, 1, 10)";
+  Alcotest.(check bool) "checkpointed after 2 statements" true
+    (wal_is_empty dir);
+  exec_ok s "INSERT INTO t VALUES (2, 1, 20)";
+  Alcotest.(check bool) "third statement reopens the log" false
+    (wal_is_empty dir);
+  Durable.close s;
+  let s2, r = open_ok dir in
+  Alcotest.(check int) "snapshot + 1 replayed" 1 r.Durable.replayed;
+  Alcotest.(check int) "rows" 2 (Database.row_count (Durable.db s2) "t");
+  Durable.close s2
+
+let test_interrupted_checkpoint () =
+  let dir = fresh_dir "interrupted" in
+  let s, _ = open_ok dir in
+  List.iter (exec_ok s) setup_sql;
+  Fault.reset ();
+  Fault.arm_nth "wal.truncate" 1;
+  (* the snapshot lands, the truncate crashes: the log is now fully
+     redundant but still on disk *)
+  (match exec_sql s "CHECKPOINT" with
+  | Ok _ -> Alcotest.fail "truncate crash should surface"
+  | Error e ->
+      Alcotest.(check bool) "injected" true
+        (contains (Err.to_string e) "injected fault"));
+  Fault.reset ();
+  Alcotest.(check bool) "log still has the records" false (wal_is_empty dir);
+  Durable.close s;
+  let s2, r = open_ok dir in
+  Alcotest.(check bool) "recovery finishes the checkpoint" true
+    r.Durable.finished_checkpoint;
+  Alcotest.(check int) "nothing replays (snapshot covers the log)" 0
+    r.Durable.replayed;
+  Alcotest.(check bool) "log truncated now" true (wal_is_empty dir);
+  Alcotest.(check int) "rows" 3 (Database.row_count (Durable.db s2) "t");
+  Durable.close s2
+
+let test_replay_crash_then_retry () =
+  let dir = fresh_dir "replay_crash" in
+  let s, _ = open_ok dir in
+  List.iter (exec_ok s) setup_sql;
+  let before = fingerprint (Durable.db s) in
+  Durable.close s;
+  Fault.reset ();
+  Fault.arm_nth "wal.replay" 2;
+  (match Durable.open_ ~dir () with
+  | Ok _ -> Alcotest.fail "replay crash should abort recovery"
+  | Error e ->
+      Alcotest.(check bool) "typed Io" true (Err.kind e = Err.Io));
+  Fault.reset ();
+  (* a crashed recovery mutated nothing on disk: the retry succeeds and
+     lands in exactly the pre-crash state *)
+  let s2, r = open_ok dir in
+  Alcotest.(check int) "full replay on retry" 3 r.Durable.replayed;
+  Alcotest.(check string) "state intact" before (fingerprint (Durable.db s2));
+  Durable.close s2
+
+(* =============== kill/restart matrix: 120 schedules =============== *)
+
+(* A deterministic random workload: inserts with unique keys, updates,
+   deletes, occasional statements that refuse to bind (abort-marker
+   coverage) and occasional CHECKPOINTs (truncate/persist coverage). *)
+let gen_workload seed =
+  let g = Gen.make (0x5EED + seed) in
+  let next_id = ref 0 in
+  let stmt () =
+    let d = Gen.int g 100 in
+    if d < 50 then begin
+      let rows =
+        List.init
+          (1 + Gen.int g 3)
+          (fun _ ->
+            incr next_id;
+            Printf.sprintf "(%d, %d, %d)" !next_id (Gen.int g 5)
+              (Gen.int g 100))
+      in
+      "INSERT INTO t VALUES " ^ String.concat ", " rows
+    end
+    else if d < 65 then
+      Printf.sprintf "UPDATE t SET val = %d WHERE grp = %d" (Gen.int g 100)
+        (Gen.int g 5)
+    else if d < 75 then
+      Printf.sprintf "DELETE FROM t WHERE val < %d" (Gen.int g 30)
+    else if d < 85 then "INSERT INTO nosuch VALUES (1)"
+    else "CHECKPOINT"
+  in
+  "CREATE TABLE t (id INT NOT NULL, grp INT, val INT, PRIMARY KEY (id))"
+  :: List.init (8 + Gen.int g 6) (fun _ -> stmt ())
+
+let crash_points =
+  [|
+    "wal.append"; "wal.fsync"; "wal.truncate"; "wal.replay"; "persist.write";
+    "persist.rename";
+  |]
+
+(* replay [stmts] into a fresh in-memory database — the oracle for what
+   a recovered database must hold.  CHECKPOINT has no logical effect and
+   refused statements change nothing (statement atomicity), so simply
+   attempting everything in order reproduces the committed state. *)
+let oracle_of stmts =
+  let db = Database.create () in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.S_checkpoint -> ()
+      | _ -> ignore (Binder.exec_statement db stmt))
+    stmts;
+  db
+
+let run_schedule seed =
+  let point = crash_points.(seed mod Array.length crash_points) in
+  let nth = 1 + (seed mod 8) in
+  let dir = fresh_dir (Printf.sprintf "matrix_%d" seed) in
+  let stmts = List.map Parser.parse_statement (gen_workload seed) in
+  let label fmt =
+    Printf.ksprintf
+      (fun m -> Printf.sprintf "seed %d (%s@%d): %s" seed point nth m)
+      fmt
+  in
+  (* phase A: run the workload; crash points other than wal.replay are
+     armed here *)
+  Fault.reset ();
+  let s, _ = open_ok dir in
+  if point <> "wal.replay" then Fault.arm_nth point nth;
+  let acked = ref [] in
+  let crashed = ref None in
+  (try
+     List.iter
+       (fun stmt ->
+         match Durable.exec s stmt with
+         | Ok _ -> acked := stmt :: !acked
+         | Error e when contains (Err.to_string e) "injected fault" ->
+             crashed := Some stmt;
+             raise Exit
+         | Error _ -> (* refused statement; the session continues *) ())
+       stmts
+   with Exit -> ());
+  Fault.reset ();
+  Durable.close s;
+  let acked = List.rev !acked in
+  (* phase B: recovery, optionally crashing (and retrying) mid-replay *)
+  if point = "wal.replay" then Fault.arm_nth point nth;
+  let s2, _ =
+    match Durable.open_ ~dir () with
+    | Ok sr -> sr
+    | Error e ->
+        Alcotest.(check bool)
+          (label "recovery failure must be the injected crash")
+          true
+          (contains (Err.to_string e) "injected fault");
+        Fault.reset ();
+        open_ok dir
+  in
+  Fault.reset ();
+  (* the oracle: every acknowledged statement, plus — exactly when the
+     crash hit after the record was durable (wal.fsync) — the in-flight
+     statement, if it applies *)
+  let expected_stmts =
+    match !crashed with
+    | Some stmt when point = "wal.fsync" -> acked @ [ stmt ]
+    | _ -> acked
+  in
+  let expected = fingerprint (oracle_of expected_stmts) in
+  Alcotest.(check string)
+    (label "recovered state = committed prefix")
+    expected
+    (fingerprint (Durable.db s2));
+  Durable.close s2;
+  (* recovery is idempotent: a second restart lands in the same state *)
+  let s3, _ = open_ok dir in
+  Alcotest.(check string)
+    (label "second restart agrees")
+    expected
+    (fingerprint (Durable.db s3));
+  Durable.close s3
+
+let test_matrix () =
+  for seed = 0 to 119 do
+    run_schedule seed
+  done
+
+(* no faults: snapshot + WAL round-trip under the random workload,
+   diffed against the in-memory oracle *)
+let test_workload_roundtrip () =
+  for seed = 200 to 219 do
+    let dir = fresh_dir (Printf.sprintf "roundtrip_%d" seed) in
+    let stmts = List.map Parser.parse_statement (gen_workload seed) in
+    Fault.reset ();
+    let s, _ = open_ok dir in
+    List.iter (fun stmt -> ignore (Durable.exec s stmt)) stmts;
+    Durable.close s;
+    let s2, _ = open_ok dir in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: round-trip equals oracle" seed)
+      (fingerprint (oracle_of stmts))
+      (fingerprint (Durable.db s2));
+    Durable.close s2
+  done
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "record round-trip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "every prefix is torn, never corrupt" `Quick
+            test_wal_torn_prefixes;
+          Alcotest.test_case "mid-log corruption rejected" `Quick
+            test_wal_corruption;
+          Alcotest.test_case "failed write poisons the handle" `Quick
+            test_wal_poisoned;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "replay restores state" `Quick
+            test_basic_recovery;
+          Alcotest.test_case "crash mid-append loses the statement" `Quick
+            test_append_crash_statement_absent;
+          Alcotest.test_case "crash before fsync keeps the record" `Quick
+            test_fsync_crash_statement_present;
+          Alcotest.test_case "abort markers skip refused statements" `Quick
+            test_abort_marker;
+          Alcotest.test_case "checkpoint truncates and stamps" `Quick
+            test_checkpoint;
+          Alcotest.test_case "auto-checkpoint every N" `Quick
+            test_auto_checkpoint;
+          Alcotest.test_case "interrupted checkpoint completes" `Quick
+            test_interrupted_checkpoint;
+          Alcotest.test_case "crash mid-replay, retry succeeds" `Quick
+            test_replay_crash_then_retry;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "120 fault-injected kill/restart schedules"
+            `Quick test_matrix;
+          Alcotest.test_case "random workload round-trip vs oracle" `Quick
+            test_workload_roundtrip;
+        ] );
+    ]

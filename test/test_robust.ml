@@ -110,7 +110,8 @@ let test_registry () =
     "every compiled-in point is registered"
     [
       "storage.write"; "heap.append"; "persist.rename"; "persist.write";
-      "exec.next"; "opt.testfd"; "opt.cost";
+      "exec.next"; "opt.testfd"; "opt.cost"; "wal.append"; "wal.fsync";
+      "wal.truncate"; "wal.replay";
     ]
     Fault.all_points
 
@@ -159,7 +160,7 @@ let test_write_atomicity () =
   Fault.arm_nth "storage.write" 1;
   (match Database.delete db "K" ~where:id1 () with
   | Ok _ -> Alcotest.fail "delete should have been aborted"
-  | Error msg -> check_contains "delete abort" "injected fault" msg);
+  | Error e -> check_contains "delete abort" "injected fault" (Err.to_string e));
   Alcotest.(check bool) "delete aborted, rows intact" true
     (Exec.multiset_equal before (Heap.to_list (Database.heap db "K")));
   (* update goes through Heap.replace_all: all-or-nothing swap *)
@@ -169,17 +170,17 @@ let test_write_atomicity () =
      Database.update db "K" ~set:[ ("v", Expr.int 99) ] ~where:id1 ()
    with
   | Ok _ -> Alcotest.fail "update should have been aborted"
-  | Error msg -> check_contains "update abort" "injected fault" msg);
+  | Error e -> check_contains "update abort" "injected fault" (Err.to_string e));
   Alcotest.(check bool) "update aborted, rows intact" true
     (Exec.multiset_equal before (Heap.to_list (Database.heap db "K")));
   Fault.reset ();
   (* with nothing armed, the same statements go through *)
   (match Database.update db "K" ~set:[ ("v", Expr.int 99) ] ~where:id1 () with
   | Ok n -> Alcotest.(check int) "update applies after disarm" 1 n
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Err.to_string e));
   match Database.delete db "K" ~where:id1 () with
   | Ok n -> Alcotest.(check int) "delete applies after disarm" 1 n
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Err.to_string e)
 
 (* ---------------- 120 seeded random schedules ---------------- *)
 

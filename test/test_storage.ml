@@ -117,7 +117,8 @@ let ok_row ?(id = 10) ?(uniq = Value.Int 10) ?(parent = Value.Int 1)
 let expect_error db table row msg_part =
   match Database.insert db table row with
   | Ok () -> Alcotest.fail ("expected rejection: " ^ msg_part)
-  | Error msg ->
+  | Error e ->
+      let msg = Eager_robust.Err.to_string e in
       let contains s sub =
         let n = String.length s and m = String.length sub in
         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -240,7 +241,7 @@ let test_delete () =
   let where = Expr.Cmp (Expr.Ge, Expr.Col (col_of "Child" "id"), Expr.int 2) in
   (match Database.delete db "Child" ~where () with
   | Ok n -> Alcotest.(check int) "two deleted" 2 n
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Eager_robust.Err.to_string e));
   Alcotest.(check int) "one left" 1 (Database.row_count db "Child");
   (* unknown predicate keeps rows: amount = 5 is unknown for NULL amount *)
   Database.insert_exn db "Child" (ok_row ~id:9 ~uniq:(Value.Int 9) ~amount:Value.Null ());
@@ -249,7 +250,7 @@ let test_delete () =
   in
   (match Database.delete db "Child" ~where:where2 () with
   | Ok n -> Alcotest.(check int) "NULL amount row kept (unknown)" 1 n
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Eager_robust.Err.to_string e));
   Alcotest.(check int) "NULL row survives" 1 (Database.row_count db "Child")
 
 let test_delete_fk_restrict () =
@@ -265,11 +266,11 @@ let test_delete_fk_restrict () =
   (match Database.delete db "Parent" ~where:where2 () with
   | Ok 1 -> ()
   | Ok n -> Alcotest.fail (Printf.sprintf "expected 1, got %d" n)
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Eager_robust.Err.to_string e));
   (* after deleting the child, parent 1 becomes deletable *)
   (match Database.delete db "Child" ~where:Expr.etrue () with
   | Ok _ -> ()
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Eager_robust.Err.to_string e));
   match Database.delete db "Parent" ~where () with
   | Ok 1 -> ()
   | _ -> Alcotest.fail "parent should now be deletable"
@@ -286,7 +287,7 @@ let test_update_basic () =
   let where = Expr.eq (Expr.Col (col_of "Child" "id")) (Expr.int 1) in
   (match Database.update db "Child" ~set ~where () with
   | Ok n -> Alcotest.(check int) "one updated" 1 n
-  | Error msg -> Alcotest.fail msg);
+  | Error e -> Alcotest.fail (Eager_robust.Err.to_string e));
   let h = Database.heap db "Child" in
   let amount_of id =
     let schema = Heap.schema h in

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Out-of-process kill/restart matrix for the write-ahead log.
+#
+# Each scenario runs the real eagerdb binary with a one-shot fault armed
+# at a wal.* / persist.* injection point — the process dies exactly as a
+# kill -9 would at that instant — then restarts it against the same
+# directory and asserts the recovered database holds exactly the
+# committed prefix: the in-flight statement is present iff its log
+# record was fully durable (the fsync is the commit point).
+#
+# Usage: crashtest.sh path/to/eagerdb.exe
+set -u
+
+exe=${1:?usage: crashtest.sh path/to/eagerdb.exe}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fail=0
+
+say() { echo "crashtest: $*"; }
+
+# run <name> <db> <script-text> [--faults SPEC] — expects success
+run() {
+  local name=$1 db=$2 script=$3
+  shift 3
+  printf '%s\n' "$script" >"$tmp/$name.sql"
+  if ! "$exe" run --wal --db "$tmp/$db" "$@" "$tmp/$name.sql" \
+    >"$tmp/$name.out" 2>&1; then
+    say "FAIL $name: expected success"
+    sed "s/^/  | /" "$tmp/$name.out"
+    fail=1
+  fi
+}
+
+# crash <name> <db> <script-text> <fault-spec> — expects a nonzero exit
+crash() {
+  local name=$1 db=$2 script=$3 spec=$4
+  printf '%s\n' "$script" >"$tmp/$name.sql"
+  if "$exe" run --wal --db "$tmp/$db" --faults "$spec" "$tmp/$name.sql" \
+    >"$tmp/$name.out" 2>&1; then
+    say "FAIL $name: expected the injected crash to kill the run"
+    sed "s/^/  | /" "$tmp/$name.out"
+    fail=1
+  fi
+}
+
+# expect <name> <pattern> — the named run's output must contain it
+expect() {
+  local name=$1 pattern=$2
+  if ! grep -q "$pattern" "$tmp/$name.out"; then
+    say "FAIL $name: output lacks '$pattern'"
+    sed "s/^/  | /" "$tmp/$name.out"
+    fail=1
+  fi
+}
+
+seed='CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id));
+INSERT INTO t VALUES (1, 10), (2, 20), (3, 30);'
+count='SELECT id, v FROM t;'
+insert4='INSERT INTO t VALUES (4, 40);'
+
+# --- crash mid-append: the statement was never committed ------------
+run seed_a append_db "$seed"
+crash crash_a append_db "$insert4" wal.append@1
+run check_a append_db "$count"
+expect check_a 'torn byte(s) dropped'
+expect check_a '(3 rows)'
+
+# --- crash after the record is durable but before the fsync returns -
+run seed_f fsync_db "$seed"
+crash crash_f fsync_db "$insert4" wal.fsync@1
+run check_f fsync_db "$count"
+expect check_f '(4 rows)'
+
+# --- crash between snapshot and log truncation ----------------------
+run seed_t trunc_db "$seed"
+crash crash_t trunc_db "CHECKPOINT;" wal.truncate@1
+run check_t trunc_db "$count"
+expect check_t 'finished an interrupted checkpoint'
+expect check_t '(3 rows)'
+
+# --- crash mid-replay: recovery aborts cleanly and the retry wins ---
+run seed_r replay_db "$seed"
+crash crash_r replay_db "$count" wal.replay@2
+expect crash_r 'injected fault at wal.replay'
+run check_r replay_db "$count"
+expect check_r '(3 rows)'
+
+# --- crash inside the checkpoint's snapshot write / rename ----------
+for point in persist.write persist.rename; do
+  db="${point#persist.}_db"
+  run "seed_$db" "$db" "$seed"
+  crash "crash_$db" "$db" "CHECKPOINT;" "$point@1"
+  run "check_$db" "$db" "$count"
+  expect "check_$db" '(3 rows)'
+done
+
+if [ "$fail" -ne 0 ]; then
+  say "FAILED"
+  exit 1
+fi
+say "OK (6 crash points survived kill/restart)"
