@@ -2,10 +2,16 @@
    Bechamel micro-benchmarks.
 
    Usage:
-     main.exe                 run every report, then the micro-benchmarks
+     main.exe                 run every report, then the micro-benchmarks,
+                              then write BENCH_results.json
      main.exe --report NAME   one report: fig1 fig2 fig3 fig5 fig7 fig8
                               ex3 ex5 sweep-groups sweep-selectivity
      main.exe --micro         only the micro-benchmarks
+     main.exe --json [PATH]   only the machine-readable results
+                              (default PATH: BENCH_results.json)
+     main.exe --seed N        seed for every generated workload (default
+                              1994); all data generation threads an
+                              explicit Random.State from it
 
    See EXPERIMENTS.md for the paper-vs-measured record. *)
 
@@ -20,6 +26,10 @@ open Eager_exec
 open Eager_core
 open Eager_opt
 open Eager_workload
+
+(* every workload generator below receives this seed: same invocation,
+   same data, same numbers (modulo the clock) *)
+let seed = ref 1994
 
 let section title =
   Printf.printf "\n==========================================================\n";
@@ -71,7 +81,7 @@ let plan_report name db q =
 let report_fig1 () =
   section
     "FIG1 — Figure 1 / Example 1: Employee(10000) x Department(100), COUNT";
-  let w = Employee_dept.setup ~employees:10_000 ~departments:100 () in
+  let w = Employee_dept.setup ~seed:!seed ~employees:10_000 ~departments:100 () in
   plan_report "fig1" w.Employee_dept.db w.Employee_dept.query;
   print_endline
     "\npaper: join input 10000x100 vs 100x100; group input 10000 both ways;\n\
@@ -184,7 +194,7 @@ let report_fig7 () =
 let report_fig8 () =
   section
     "FIG8 — Figure 8 / Example 4: valid but disadvantageous (A 10000, B 100)";
-  let w = Contrived.setup () in
+  let w = Contrived.setup ~seed:!seed () in
   plan_report "fig8" w.Contrived.db w.Contrived.query;
   print_endline
     "\npaper: lazy join 10000x100 -> 50 rows -> 10 groups;\n\
@@ -193,7 +203,7 @@ let report_fig8 () =
 
 let report_ex3 () =
   section "EX3 — Example 3: printer accounting, full TestFD walk-through";
-  let w = Printers.setup () in
+  let w = Printers.setup ~seed:!seed () in
   let db = w.Printers.db and q = w.Printers.query in
   let verdict, trace = Testfd.test_traced db q in
   Printf.printf "%s\n" (Format.asprintf "%a@." Canonical.pp q);
@@ -230,7 +240,7 @@ let report_ex3 () =
 
 let report_ex5 () =
   section "EX5 — Section 8: performing join before group-by (UserInfo view)";
-  let w = Printers.setup () in
+  let w = Printers.setup ~seed:!seed () in
   let db = w.Printers.db and q = w.Printers.query in
   print_endline "aggregated view body (materialised by the standard strategy):";
   print_endline (Plan.to_string (Reverse.view_plan db q));
@@ -274,7 +284,7 @@ let sweep_report title points =
 let report_sweep_groups () =
   section "SWEEP-G — Section 7 trade-off: vary rows-per-group (10000 employees)";
   let points =
-    Sweep.by_fanin ~employees:10_000
+    Sweep.by_fanin ~seed:!seed ~employees:10_000
       ~departments:[ 5; 10; 50; 100; 500; 1000; 5000; 10000 ]
       ()
   in
@@ -286,7 +296,7 @@ let report_sweep_selectivity () =
     "SWEEP-S — Section 7 trade-off: vary join selectivity (10000 employees, \
      50 departments)";
   let points =
-    Sweep.by_selectivity ~employees:10_000 ~departments:50
+    Sweep.by_selectivity ~seed:!seed ~employees:10_000 ~departments:50
       ~fractions:[ 0.01; 0.05; 0.1; 0.25; 0.5; 0.75; 1.0 ]
       ()
   in
@@ -300,7 +310,7 @@ let report_pipeline () =
   (* high-cardinality grouping (15000 groups out of 20000 rows): the
      downstream sort the merge join would need is substantial, so skipping
      it is visible *)
-  let w = Employee_dept.setup ~employees:20_000 ~departments:15_000 () in
+  let w = Employee_dept.setup ~seed:!seed ~employees:20_000 ~departments:15_000 () in
   let db = w.Employee_dept.db and q = w.Employee_dept.query in
   let e2 = Plans.e2 db q in
   let run ja ga =
@@ -332,7 +342,7 @@ let report_unique () =
   section
     "UNIQ — Klug/Dayal singleton-group optimisation (grouping on a derived \
      key)";
-  let w = Sales.setup ~customers:500 ~orders:30_000 () in
+  let w = Sales.setup ~seed:!seed ~customers:500 ~orders:30_000 () in
   let db = w.Sales.db in
   let td =
     Option.get (Catalog.find_table (Database.catalog db) "Orders")
@@ -366,7 +376,7 @@ let report_sweep_scale () =
   List.iter
     (fun employees ->
       let departments = max 2 (employees / 100) in
-      let w = Employee_dept.setup ~employees ~departments () in
+      let w = Employee_dept.setup ~seed:!seed ~employees ~departments () in
       let db = w.Employee_dept.db and q = w.Employee_dept.query in
       let (_, t1), (_, t2) =
         ( time_ms (fun () -> Exec.run_rows db (Plans.e1 db q)),
@@ -429,22 +439,22 @@ open Bechamel
 open Toolkit
 
 let micro_tests () =
-  let fig1 = Employee_dept.setup ~employees:2_000 ~departments:50 () in
+  let fig1 = Employee_dept.setup ~seed:!seed ~employees:2_000 ~departments:50 () in
   let fig1_db = fig1.Employee_dept.db and fig1_q = fig1.Employee_dept.query in
   let fig1_e1 = Plans.e1 fig1_db fig1_q and fig1_e2 = Plans.e2 fig1_db fig1_q in
   let fig8 =
-    Contrived.setup ~a_rows:2_000 ~b_rows:100 ~matched_rows:50
+    Contrived.setup ~seed:!seed ~a_rows:2_000 ~b_rows:100 ~matched_rows:50
       ~matched_groups:10 ~a_groups:1_800 ()
   in
   let fig8_db = fig8.Contrived.db and fig8_q = fig8.Contrived.query in
   let fig8_e1 = Plans.e1 fig8_db fig8_q and fig8_e2 = Plans.e2 fig8_db fig8_q in
-  let ex3 = Printers.setup ~users:200 () in
+  let ex3 = Printers.setup ~seed:!seed ~users:200 () in
   let ex3_db = ex3.Printers.db and ex3_q = ex3.Printers.query in
-  let group_w = Employee_dept.setup ~employees:5_000 ~departments:100 () in
+  let group_w = Employee_dept.setup ~seed:!seed ~employees:5_000 ~departments:100 () in
   let gdb = group_w.Employee_dept.db in
   let gq = group_w.Employee_dept.query in
   let group_plan = Plans.e2_r1_prime gdb gq in
-  let join_w = Employee_dept.setup ~employees:400 ~departments:400 () in
+  let join_w = Employee_dept.setup ~seed:!seed ~employees:400 ~departments:400 () in
   let jdb = join_w.Employee_dept.db and jq = join_w.Employee_dept.query in
   let join_plan = Plans.e1 jdb jq in
   let with_join algo () =
@@ -502,7 +512,7 @@ let micro_tests () =
       Test.make ~name:"pipeline/e2-hashgroup-hashjoin"
         (Staged.stage (fun () -> Exec.run fig1_db fig1_e2));
       (* unique-group fast path vs hash grouping on a key *)
-      (let sales = Sales.setup ~customers:100 ~orders:4_000 () in
+      (let sales = Sales.setup ~seed:!seed ~customers:100 ~orders:4_000 () in
        let sdb = sales.Sales.db in
        let std_ =
          Option.get (Catalog.find_table (Database.catalog sdb) "Orders")
@@ -518,7 +528,7 @@ let micro_tests () =
        in
        Test.make ~name:"unique-group/hash"
          (Staged.stage (fun () -> Exec.run sdb sgroup)));
-      (let sales = Sales.setup ~customers:100 ~orders:4_000 () in
+      (let sales = Sales.setup ~seed:!seed ~customers:100 ~orders:4_000 () in
        let sdb = sales.Sales.db in
        let std_ =
          Option.get (Catalog.find_table (Database.catalog sdb) "Orders")
@@ -566,6 +576,86 @@ let run_micro () =
   0
 
 (* ------------------------------------------------------------------ *)
+(* machine-readable results: one JSON object per workload, E1/E2 wall
+   time, output rows and throughput, written where CI can diff it *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_workloads () =
+  [
+    ( "fig1",
+      let w =
+        Employee_dept.setup ~seed:!seed ~employees:10_000 ~departments:100 ()
+      in
+      (w.Employee_dept.db, w.Employee_dept.query) );
+    ( "fig8",
+      let w = Contrived.setup ~seed:!seed () in
+      (w.Contrived.db, w.Contrived.query) );
+    ( "ex3",
+      let w = Printers.setup ~seed:!seed () in
+      (w.Printers.db, w.Printers.query) );
+    ( "parts",
+      let w = Parts.setup ~seed:!seed () in
+      (w.Parts.db, w.Parts.query) );
+    ( "sales",
+      let w = Sales.setup ~seed:!seed ~customers:500 ~orders:30_000 () in
+      (w.Sales.db, w.Sales.query) );
+  ]
+
+let report_json path =
+  let plan_obj heap ms =
+    let rows = Heap.length heap in
+    Printf.sprintf
+      "{\"ms\": %.3f, \"rows\": %d, \"rows_per_sec\": %.0f}" ms rows
+      (float_of_int rows /. (Float.max 0.001 ms /. 1000.))
+  in
+  let entries =
+    List.map
+      (fun (name, (db, q)) ->
+        let d = Planner.decide db q in
+        let h1, t1 =
+          let (h, _), t = time_ms (fun () -> Exec.run db (Plans.e1 db q)) in
+          (h, t)
+        in
+        let e2_field =
+          match d.Planner.plan_eager with
+          | None -> "null"
+          | Some p2 ->
+              let (h2, _), t2 = time_ms (fun () -> Exec.run db p2) in
+              plan_obj h2 t2
+        in
+        Printf.sprintf
+          "    {\"workload\": \"%s\", \"seed\": %d, \"testfd\": \"%s\",\n\
+          \     \"choice\": \"%s\",\n\
+          \     \"e1\": %s,\n\
+          \     \"e2\": %s}"
+          (json_escape name) !seed
+          (json_escape (Testfd.verdict_to_string d.Planner.verdict))
+          (json_escape (Planner.kind_to_string d.Planner.chosen_kind))
+          (plan_obj h1 t1) e2_field)
+      (json_workloads ())
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"seed\": %d,\n  \"workloads\": [\n%s\n  ]\n}\n"
+    !seed
+    (String.concat ",\n" entries);
+  close_out oc;
+  Printf.printf "wrote %s (%d workloads, seed %d)\n" path
+    (List.length (json_workloads ()))
+    !seed;
+  0
 
 let reports =
   [
@@ -586,15 +676,36 @@ let reports =
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--report" :: name :: _ -> (
+  (* --seed is positional-independent; strip it first so every workload
+     generator below sees it *)
+  let rec strip_seed = function
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> seed := s
+        | None ->
+            Printf.eprintf "invalid --seed %s\n" n;
+            exit 2);
+        strip_seed rest
+    | a :: rest -> a :: strip_seed rest
+    | [] -> []
+  in
+  match strip_seed (List.tl (Array.to_list Sys.argv)) with
+  | "--report" :: name :: _ -> (
       match List.assoc_opt name reports with
       | Some f -> exit (f ())
       | None ->
           Printf.eprintf "unknown report %s; available: %s\n" name
             (String.concat " " (List.map fst reports));
           exit 1)
-  | _ :: "--micro" :: _ -> exit (run_micro ())
+  | "--micro" :: _ -> exit (run_micro ())
+  | "--json" :: rest ->
+      let path =
+        match rest with
+        | p :: _ when String.length p > 0 && p.[0] <> '-' -> p
+        | _ -> "BENCH_results.json"
+      in
+      exit (report_json path)
   | _ ->
       List.iter (fun (_, f) -> ignore (f ())) reports;
-      ignore (run_micro ())
+      ignore (run_micro ());
+      ignore (report_json "BENCH_results.json")

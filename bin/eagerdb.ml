@@ -484,11 +484,92 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive SQL shell on an in-memory database")
     Term.(const repl $ limits_term)
 
+(* the differential fuzzing harness: the Main Theorem as an oracle *)
+let fuzz seed iters no_faults corpus replay quiet =
+  let open Eager_fuzz in
+  match replay with
+  | Some dir -> (
+      match Corpus.replay_dir dir with
+      | Ok (files, selects) ->
+          Printf.printf "corpus replay: %d file(s), %d query(ies), all green\n"
+            files selects;
+          0
+      | Error msg ->
+          Printf.printf "corpus replay FAILED: %s\n" msg;
+          1)
+  | None -> (
+      let log = if quiet then ignore else print_endline in
+      let cfg =
+        { Fuzz.seed; iters; faults = not no_faults; corpus_dir = corpus; log }
+      in
+      let s = Fuzz.run cfg in
+      print_endline (Fuzz.summary_to_string s);
+      match s.Fuzz.failures with
+      | [] -> 0
+      | failures ->
+          List.iter
+            (fun (f : Fuzz.failure) ->
+              Printf.printf "  iteration %d: %s%s\n" f.Fuzz.iteration
+                (Oracle.violation_to_string f.Fuzz.violation)
+                (match f.Fuzz.corpus_path with
+                | Some p -> " -> " ^ p
+                | None -> ""))
+            failures;
+          1)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 20260806
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Run seed.  Iteration $(i,i) draws from the independent stream \
+             (seed, i), so any failure replays standalone")
+  in
+  let iters =
+    Arg.(
+      value & opt int 500
+      & info [ "iters" ] ~docv:"K" ~doc:"Number of generated instances")
+  in
+  let no_faults =
+    Arg.(
+      value & flag
+      & info [ "no-faults" ]
+          ~doc:"Skip the injected-fault and governor-budget checks")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write shrunk repros of any violation to $(docv) as .sql files")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Instead of generating, replay every .sql under $(docv) through \
+             the parser/binder and re-run the oracle on each")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary line")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: execute generated queries as forced-E1, \
+          forced-E2 and planner's choice, and check the Main Theorem's \
+          invariants as an executable oracle")
+    Term.(
+      const fuzz $ seed $ iters $ no_faults $ corpus $ replay $ quiet)
+
 let () =
   let main =
     Cmd.group
       (Cmd.info "eagerdb" ~version:"1.0.0"
          ~doc:"Group-by pushdown demonstrator (Yan & Larson, ICDE 1994)")
-      [ run_cmd; demo_cmd; repl_cmd ]
+      [ run_cmd; demo_cmd; repl_cmd; fuzz_cmd ]
   in
   exit (Cmd.eval' main)

@@ -1,0 +1,12 @@
+-- eagerdb fuzz corpus: regression anchor
+-- minimal shape of the comparator-mutation demo (test_fuzz.ml): a
+-- single NULL-keyed group, which a 3VL-style comparator mis-judges
+-- while the engine's =n grouping handles it; must stay green under the
+-- real oracle forever
+-- replay: eagerdb fuzz --replay corpus
+-- r1: R
+CREATE TABLE S (x INTEGER, y INTEGER, PRIMARY KEY (x));
+CREATE TABLE R (a INTEGER, b INTEGER, v INTEGER);
+INSERT INTO R VALUES (1, NULL, 5), (1, NULL, 7), (2, 1, 9);
+INSERT INTO S VALUES (1, 2), (2, NULL);
+SELECT R.b, SUM(R.v) AS agg FROM R, S WHERE (R.a = S.x) GROUP BY R.b;

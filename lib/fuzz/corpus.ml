@@ -1,0 +1,128 @@
+(* Replayable regression corpus.
+
+   A corpus entry is plain SQL produced by {!Qgen.to_sql}: comment
+   header (provenance plus the [-- r1: ...] partition hint the binder
+   cannot reconstruct for aggregate-only selects), CREATE TABLEs,
+   INSERTs, and the SELECT under test.  Replay pushes the text through
+   the real front door — parser, binder, canonicaliser — and re-runs the
+   full oracle, so a checked-in entry is a permanent regression test. *)
+
+open Eager_core
+open Eager_storage
+open Eager_parser
+open Eager_robust
+
+(* ------------------------------------------------------------------ *)
+(* writing *)
+
+let sanitize s =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> ch
+      | _ -> '-')
+    s
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let write ~dir ~seed ~iteration ~reason (c : Qgen.case) =
+  ensure_dir dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "seed%d-iter%04d-%s.sql" seed iteration (sanitize reason))
+  in
+  let header =
+    [
+      "eagerdb fuzz corpus: minimal repro (delta-debugged)";
+      Printf.sprintf "seed: %d  iteration: %d" seed iteration;
+      Printf.sprintf "reason: %s" reason;
+      "replay: eagerdb fuzz --replay <this directory>";
+    ]
+  in
+  let oc = open_out path in
+  output_string oc (Qgen.to_sql ~header c);
+  close_out oc;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* replay *)
+
+(* the [-- r1: R] header names the tables of the grouped side; the binder
+   leaves the partition open (empty hint) for selects whose aggregates
+   mention no table, e.g. a bare COUNT star *)
+let r1_hint_of sql =
+  let prefix = "-- r1:" in
+  let plen = String.length prefix in
+  String.split_on_char '\n' sql
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if String.length line >= plen && String.sub line 0 plen = prefix then
+           Some
+             (String.sub line plen (String.length line - plen)
+             |> String.split_on_char ','
+             |> List.map String.trim
+             |> List.filter (fun s -> s <> ""))
+         else None)
+  |> Option.value ~default:[]
+
+let replay_sql ?equal ?faults ?fault_seed sql =
+  let hint = r1_hint_of sql in
+  match Err.protect ~kind:Err.Parse (fun () -> Parser.parse_script sql) with
+  | Error e -> Error (Err.to_string e)
+  | Ok stmts ->
+      let db = Database.create () in
+      let rec go checked = function
+        | [] ->
+            if checked = 0 then Error "corpus entry contains no SELECT"
+            else Ok checked
+        | Ast.S_select sel :: rest -> (
+            match Binder.bind_select db sel with
+            | Error msg -> Error ("bind: " ^ msg)
+            | Ok (Binder.Grouped input) -> (
+                let input = { input with Canonical.r1_hint = hint } in
+                match Canonical.of_input db input with
+                | Error msg -> Error ("canonicalise: " ^ msg)
+                | Ok q -> (
+                    let o =
+                      Oracle.check_instance ?equal ?faults ?fault_seed db q
+                    in
+                    match o.Oracle.violation with
+                    | Some v -> Error (Oracle.violation_to_string v)
+                    | None -> go (checked + 1) rest))
+            | Ok _ ->
+                Error "corpus SELECT did not bind to a grouped query")
+        | st :: rest -> (
+            match Binder.exec_statement db st with
+            | Error msg -> Error msg
+            | Ok _ -> go checked rest)
+      in
+      go 0 stmts
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let replay_file ?equal ?faults ?fault_seed path =
+  match replay_sql ?equal ?faults ?fault_seed (read_file path) with
+  | Ok n -> Ok n
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let replay_dir ?equal ?faults ?fault_seed dir =
+  if not (Sys.file_exists dir) then Ok (0, 0)
+  else
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sql")
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+    in
+    let rec go nfiles nselects = function
+      | [] -> Ok (nfiles, nselects)
+      | f :: rest -> (
+          match replay_file ?equal ?faults ?fault_seed f with
+          | Ok n -> go (nfiles + 1) (nselects + n) rest
+          | Error msg -> Error msg)
+    in
+    go 0 0 files

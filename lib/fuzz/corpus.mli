@@ -1,0 +1,43 @@
+(** Replayable regression corpus for the fuzz harness.
+
+    Entries are plain SQL (written by {!write} from a shrunk failing
+    case): a comment header with provenance and the [-- r1: ...]
+    partition hint, DDL, data, and the SELECT under test.  {!replay_sql}
+    pushes an entry through the real parser/binder/canonicaliser and
+    re-runs the full {!Oracle.check_instance}. *)
+
+open Eager_schema
+
+val write :
+  dir:string -> seed:int -> iteration:int -> reason:string ->
+  Qgen.case -> string
+(** Serialise the case under [dir] (created if missing); returns the
+    path.  File name encodes seed, iteration and reason. *)
+
+val r1_hint_of : string -> string list
+(** Parse the [-- r1: R, ...] header line (empty list when absent). *)
+
+val replay_sql :
+  ?equal:(Row.t list -> Row.t list -> bool) ->
+  ?faults:bool ->
+  ?fault_seed:int ->
+  string ->
+  (int, string) result
+(** Replay one corpus entry given as SQL text; [Ok n] is the number of
+    SELECTs that passed the oracle ([Error] if there were none). *)
+
+val replay_file :
+  ?equal:(Row.t list -> Row.t list -> bool) ->
+  ?faults:bool ->
+  ?fault_seed:int ->
+  string ->
+  (int, string) result
+
+val replay_dir :
+  ?equal:(Row.t list -> Row.t list -> bool) ->
+  ?faults:bool ->
+  ?fault_seed:int ->
+  string ->
+  (int * int, string) result
+(** Replay every [*.sql] under the directory in name order; [Ok (files,
+    selects)].  A missing directory replays vacuously as [Ok (0, 0)]. *)

@@ -1,0 +1,94 @@
+(* The differential fuzzing loop.
+
+   Iteration [i] of a run with seed [s] draws its whole instance from
+   the independent stream [Gen.make2 s i], so a failing iteration
+   regenerates standalone — no need to replay its predecessors.  A
+   violation is shrunk to a local minimum and (optionally) serialised to
+   the corpus as a replayable [.sql] repro. *)
+
+open Eager_core
+open Eager_workload
+
+type config = {
+  seed : int;
+  iters : int;
+  faults : bool;  (** run the injected-fault and governor budget checks *)
+  corpus_dir : string option;
+      (** where to write shrunk repros; [None] keeps them in memory *)
+  log : string -> unit;
+}
+
+let default_config =
+  { seed = 20260806; iters = 500; faults = true; corpus_dir = None;
+    log = ignore }
+
+type failure = {
+  iteration : int;
+  violation : Oracle.violation;
+  shrunk : Qgen.case;
+  corpus_path : string option;
+}
+
+type summary = {
+  iterations : int;
+  yes : int;  (** TestFD said YES *)
+  no : int;  (** TestFD said NO *)
+  fd_held : int;  (** instances where both FDs held *)
+  failures : failure list;
+}
+
+let summary_to_string s =
+  Printf.sprintf
+    "%d iterations: TestFD yes=%d no=%d, instance FDs held on %d, %d \
+     violation%s"
+    s.iterations s.yes s.no s.fd_held
+    (List.length s.failures)
+    (if List.length s.failures = 1 then "" else "s")
+
+let run ?equal (cfg : config) =
+  let yes = ref 0 and no = ref 0 and fd = ref 0 in
+  let failures = ref [] in
+  for i = 0 to cfg.iters - 1 do
+    let case = Qgen.generate (Gen.make2 cfg.seed i) in
+    let fault_seed = cfg.seed + i in
+    let o = Oracle.check ?equal ~faults:cfg.faults ~fault_seed case in
+    (match o.Oracle.verdict with
+    | Some Testfd.Yes -> incr yes
+    | Some (Testfd.No _) -> incr no
+    | None -> ());
+    if o.Oracle.fd_holds then incr fd;
+    match o.Oracle.violation with
+    | None -> ()
+    | Some v ->
+        cfg.log
+          (Printf.sprintf "iteration %d FAILED: %s" i
+             (Oracle.violation_to_string v));
+        let check c =
+          (Oracle.check ?equal ~faults:cfg.faults ~fault_seed c)
+            .Oracle.violation
+        in
+        let shrunk, v' = Shrink.minimize ~check case in
+        cfg.log
+          (Printf.sprintf "shrunk to %d rows: %s" (Qgen.size shrunk)
+             (Qgen.to_string shrunk));
+        let corpus_path =
+          Option.map
+            (fun dir ->
+              let path =
+                Corpus.write ~dir ~seed:cfg.seed ~iteration:i
+                  ~reason:v'.Oracle.tag shrunk
+              in
+              cfg.log (Printf.sprintf "repro written to %s" path);
+              path)
+            cfg.corpus_dir
+        in
+        failures :=
+          { iteration = i; violation = v'; shrunk; corpus_path } :: !failures
+  done;
+  {
+    iterations = cfg.iters;
+    yes = !yes;
+    no = !no;
+    fd_held = !fd;
+    failures = List.rev !failures;
+  }

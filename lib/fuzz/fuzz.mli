@@ -1,0 +1,42 @@
+(** The differential fuzzing loop: seeded generation, the three-way
+    oracle, shrinking, corpus output.
+
+    Fully deterministic: iteration [i] of seed [s] draws from the
+    independent stream [Gen.make2 s i], and fault schedules derive from
+    [s + i] — the same config always produces the same summary. *)
+
+open Eager_schema
+
+type config = {
+  seed : int;
+  iters : int;
+  faults : bool;  (** run the injected-fault and governor budget checks *)
+  corpus_dir : string option;
+      (** where to write shrunk repros; [None] keeps them in memory *)
+  log : string -> unit;
+}
+
+val default_config : config
+(** seed 20260806, 500 iterations, faults on, no corpus dir, silent. *)
+
+type failure = {
+  iteration : int;
+  violation : Oracle.violation;
+  shrunk : Qgen.case;
+  corpus_path : string option;
+}
+
+type summary = {
+  iterations : int;
+  yes : int;  (** TestFD said YES *)
+  no : int;  (** TestFD said NO *)
+  fd_held : int;  (** instances where both FDs held *)
+  failures : failure list;
+}
+
+val summary_to_string : summary -> string
+
+val run : ?equal:(Row.t list -> Row.t list -> bool) -> config -> summary
+(** [equal] is the bag comparator handed to the oracle — injectable so
+    the mutation smoke-test can plant a broken one and watch the harness
+    catch and shrink it. *)

@@ -1,0 +1,52 @@
+(** The Main Theorem as an executable oracle.
+
+    Executes one instance three ways — forced E1, forced E2, planner's
+    choice — and cross-checks the results under bag semantics with
+    NULL-aware grouping, enforcing only directions that are theorems:
+
+    - (a) TestFD YES ⇒ all three executions are bag-equal; TestFD NO ⇒
+      forcing E2 yields a typed [Planner] refusal.
+    - (b) TestFD YES ⇒ FD1/FD2 hold on the instance; both FDs holding ⇒
+      raw E1 ≡ raw E2 on the instance (instance-wise sufficiency).
+    - (c) Under injected [exec.next] faults each plan is fail-stop
+      (typed [Exec] error or the exact fault-free bag); governor row
+      budgets are a sharp threshold (exact charge passes, one less is a
+      typed [Resource] refusal). *)
+
+open Eager_storage
+open Eager_core
+open Eager_schema
+
+type violation = { tag : string; detail : string }
+(** [tag] names the broken invariant ("e2-mismatch", "fd-contradiction",
+    "fault", "budget", …); [detail] is the human-readable evidence. *)
+
+val violation_to_string : violation -> string
+
+type outcome = {
+  verdict : Testfd.verdict option;
+      (** [None] only when the case failed before TestFD ran *)
+  fd_holds : bool;  (** both instance-level FDs hold *)
+  violation : violation option;
+}
+
+val check_instance :
+  ?equal:(Row.t list -> Row.t list -> bool) ->
+  ?faults:bool ->
+  ?fault_seed:int ->
+  Database.t ->
+  Canonical.t ->
+  outcome
+(** [equal] defaults to {!Eager_exec.Exec.multiset_equal}; it is
+    injectable so the mutation smoke-test can plant a deliberately
+    broken comparator and prove the harness catches it.  [faults]
+    (default true) enables the injected-fault and governor-budget
+    checks.  Always leaves the fault registry disarmed. *)
+
+val check :
+  ?equal:(Row.t list -> Row.t list -> bool) ->
+  ?faults:bool ->
+  ?fault_seed:int ->
+  Qgen.case ->
+  outcome
+(** Materialise the case ({!Qgen.build}) and run {!check_instance}. *)

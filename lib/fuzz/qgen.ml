@@ -1,0 +1,311 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_core
+open Eager_algebra
+open Eager_parser
+open Eager_workload
+
+type s_key = No_key | Primary_x | Unique_x
+
+type case = {
+  s_key : s_key;
+  r_rows : (Value.t * Value.t * Value.t) list;
+  s_rows : (Value.t * Value.t) list;
+  c1 : int;
+  c0 : int;
+  c2 : int;
+  ga1_b : bool;
+  ga2_x : bool;
+  ga2_y : bool;
+  agg : int;
+  distinct_subset : bool;
+}
+
+let agg_kinds = 7
+
+let cr = Colref.make
+
+(* ------------------------------------------------------------------ *)
+(* generation: skewed, NULL-heavy small domains so collisions, NULL
+   groups and empty joins all appear within a few hundred iterations *)
+
+let small_val ?(null_p = 0.25) g =
+  if Gen.bool g null_p then Value.Null
+  else Value.Int (1 + Gen.skewed g 3)
+
+let generate g =
+  let s_key =
+    match Gen.int g 3 with 0 -> No_key | 1 -> Primary_x | _ -> Unique_x
+  in
+  let r_rows =
+    List.init (Gen.int g 11) (fun _ -> (small_val g, small_val g, small_val g))
+  in
+  let s_rows =
+    List.init (Gen.int g 6) (fun i ->
+        let x =
+          match s_key with
+          | Primary_x -> Value.Int (i + 1)
+          | Unique_x ->
+              (* distinct when non-NULL; NULLs may repeat — SQL2 UNIQUE *)
+              if Gen.int g 3 = 0 then Value.Null else Value.Int (i + 1)
+          | No_key -> small_val g
+        in
+        (x, small_val g))
+  in
+  let ga1_b = Gen.bool g 0.5 in
+  let ga2_x = Gen.bool g 0.5 in
+  let ga2_y = Gen.bool g 0.5 in
+  (* the canonical class requires at least one grouping column *)
+  let ga2_x = if (not ga1_b) && (not ga2_x) && not ga2_y then true else ga2_x in
+  {
+    s_key;
+    r_rows;
+    s_rows;
+    c1 = Gen.int g 3;
+    c0 = (if Gen.int g 4 = 0 then 0 else 1 + Gen.int g 2);
+    c2 = Gen.int g 3;
+    ga1_b;
+    ga2_x;
+    ga2_y;
+    agg = Gen.int g agg_kinds;
+    distinct_subset = Gen.int g 4 = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* materialisation *)
+
+let coldef name : Table_def.column_def =
+  { Table_def.cname = name; ctype = Ctype.Int; domain = None }
+
+let db_of (c : case) =
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "S"
+       [ coldef "x"; coldef "y" ]
+       (match c.s_key with
+       | Primary_x -> [ Constr.Primary_key [ "x" ] ]
+       | Unique_x -> [ Constr.Unique [ "x" ] ]
+       | No_key -> []));
+  Database.create_table db
+    (Table_def.make "R" [ coldef "a"; coldef "b"; coldef "v" ] []);
+  List.iter (fun (a, b, v) -> Database.insert_exn db "R" [ a; b; v ]) c.r_rows;
+  (* the generator respects the S key, but a shrunk case may not: dropping
+     an S row never creates a duplicate, yet stay refusal-safe anyway *)
+  List.iter (fun (x, y) -> ignore (Database.insert db "S" [ x; y ])) c.s_rows;
+  db
+
+let where_conjuncts (c : case) =
+  (match c.c1 with
+  | 1 -> [ Expr.Cmp (Expr.Ge, Expr.col "R" "b", Expr.int 1) ]
+  | 2 -> [ Expr.eq (Expr.col "R" "b") (Expr.int 1) ]
+  | _ -> [])
+  @ (match c.c0 with
+    | 1 -> [ Expr.eq (Expr.col "R" "a") (Expr.col "S" "x") ]
+    | 2 ->
+        [
+          Expr.eq (Expr.col "R" "a") (Expr.col "S" "x");
+          Expr.eq (Expr.col "R" "b") (Expr.col "S" "y");
+        ]
+    | _ -> [])
+  @
+  match c.c2 with
+  | 1 -> [ Expr.Cmp (Expr.Le, Expr.col "S" "y", Expr.int 2) ]
+  | 2 -> [ Expr.eq (Expr.col "S" "y") (Expr.int 2) ]
+  | _ -> []
+
+let group_by (c : case) =
+  (if c.ga1_b then [ cr "R" "b" ] else [])
+  @ (if c.ga2_x then [ cr "S" "x" ] else [])
+  @ if c.ga2_y then [ cr "S" "y" ] else []
+
+let agg_of (c : case) =
+  let v = Expr.col "R" "v" in
+  let name = cr "" "agg" in
+  match c.agg with
+  | 0 -> Agg.count name v
+  | 1 -> Agg.sum name v
+  | 2 -> Agg.min_ name v
+  | 3 -> Agg.max_ name v
+  | 4 -> Agg.avg name v
+  | 5 -> Agg.count_distinct name v
+  | _ -> Agg.count_star name
+
+let select_cols (c : case) =
+  let ga = group_by c in
+  if c.distinct_subset then
+    (* Theorem 2: DISTINCT over a strict subset of the grouping columns
+       (when there is more than one to drop from) *)
+    match ga with _ :: (_ :: _ as rest) -> rest | all -> all
+  else ga
+
+let input_of (c : case) : Canonical.input =
+  {
+    Canonical.sources =
+      [
+        { Canonical.table = "R"; rel = "R" };
+        { Canonical.table = "S"; rel = "S" };
+      ];
+    where = Expr.conj (where_conjuncts c);
+    group_by = group_by c;
+    select_cols = select_cols c;
+    select_aggs = [ agg_of c ];
+    select_distinct = c.distinct_subset;
+    select_having = None;
+    r1_hint = [ "R" ];
+  }
+
+let build (c : case) =
+  let db = db_of c in
+  match Canonical.of_input db (input_of c) with
+  | Ok q -> Ok (db, q)
+  | Error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* SQL emission, via the AST printer so the text re-parses verbatim *)
+
+let texpr_of_value = function
+  | Value.Null -> Ast.E_null
+  | Value.Int n -> Ast.E_int n
+  | Value.Float f -> Ast.E_float f
+  | Value.Str s -> Ast.E_str s
+  | Value.Bool b -> Ast.E_bool b
+
+let statements (c : case) =
+  let int_ty = { Ast.tybase = "INTEGER"; tyarg = None } in
+  let col name = Ast.It_column { name; ty = int_ty; constraints = [] } in
+  let s_table =
+    Ast.S_create_table
+      ( "S",
+        [ col "x"; col "y" ]
+        @
+        match c.s_key with
+        | Primary_x -> [ Ast.It_primary [ "x" ] ]
+        | Unique_x -> [ Ast.It_unique [ "x" ] ]
+        | No_key -> [] )
+  in
+  let r_table = Ast.S_create_table ("R", [ col "a"; col "b"; col "v" ]) in
+  let inserts =
+    (match c.r_rows with
+    | [] -> []
+    | rows ->
+        [
+          Ast.S_insert
+            ( "R",
+              List.map
+                (fun (a, b, v) -> List.map texpr_of_value [ a; b; v ])
+                rows );
+        ])
+    @
+    match c.s_rows with
+    | [] -> []
+    | rows ->
+        [
+          Ast.S_insert
+            ("S", List.map (fun (x, y) -> List.map texpr_of_value [ x; y ]) rows);
+        ]
+  in
+  let ecol (r : Colref.t) = Ast.E_col (Some r.Colref.rel, r.Colref.name) in
+  let agg_item =
+    let v = Ast.E_col (Some "R", "v") in
+    let call =
+      match c.agg with
+      | 0 -> Ast.E_call ("COUNT", [ v ])
+      | 1 -> Ast.E_call ("SUM", [ v ])
+      | 2 -> Ast.E_call ("MIN", [ v ])
+      | 3 -> Ast.E_call ("MAX", [ v ])
+      | 4 -> Ast.E_call ("AVG", [ v ])
+      | 5 -> Ast.E_call ("COUNT_DISTINCT", [ v ])
+      | _ -> Ast.E_call ("COUNT", [ Ast.E_star ])
+    in
+    (call, Some "agg")
+  in
+  let where =
+    let rec conj = function
+      | [] -> None
+      | [ e ] -> Some e
+      | e :: rest -> (
+          match conj rest with
+          | None -> Some e
+          | Some r -> Some (Ast.E_bin ("AND", e, r)))
+    in
+    let atom (e : Expr.t) =
+      match e with
+      | Expr.Cmp (op, Expr.Col a, Expr.Col b) ->
+          let op =
+            match op with
+            | Expr.Eq -> "="
+            | Expr.Ge -> ">="
+            | Expr.Le -> "<="
+            | Expr.Lt -> "<"
+            | Expr.Gt -> ">"
+            | Expr.Ne -> "<>"
+          in
+          Ast.E_bin (op, ecol a, ecol b)
+      | Expr.Cmp (op, Expr.Col a, Expr.Const (Value.Int n)) ->
+          let op =
+            match op with
+            | Expr.Eq -> "="
+            | Expr.Ge -> ">="
+            | Expr.Le -> "<="
+            | Expr.Lt -> "<"
+            | Expr.Gt -> ">"
+            | Expr.Ne -> "<>"
+          in
+          Ast.E_bin (op, ecol a, Ast.E_int n)
+      | _ -> Eager_robust.Err.failf Eager_robust.Err.Planner
+               "qgen: unexpected predicate shape %s" (Expr.to_string e)
+    in
+    conj (List.map atom (where_conjuncts c))
+  in
+  let select =
+    Ast.S_select
+      {
+        Ast.distinct = c.distinct_subset;
+        items =
+          List.map (fun cref -> (ecol cref, None)) (select_cols c)
+          @ [ agg_item ];
+        from = [ ("R", None); ("S", None) ];
+        where;
+        group_by =
+          List.map (fun (r : Colref.t) -> (Some r.Colref.rel, r.Colref.name))
+            (group_by c);
+        having = None;
+        order_by = [];
+      }
+  in
+  (s_table :: r_table :: inserts) @ [ select ]
+
+let to_sql ?(header = []) (c : case) =
+  let b = Buffer.create 512 in
+  List.iter (fun line -> Buffer.add_string b ("-- " ^ line ^ "\n")) header;
+  Buffer.add_string b "-- r1: R\n";
+  List.iter
+    (fun st -> Buffer.add_string b (Ast.statement_to_string st ^ ";\n"))
+    (statements c);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let size (c : case) = List.length c.r_rows + List.length c.s_rows
+
+let pp ppf (c : case) =
+  let v = Value.to_string in
+  Format.fprintf ppf
+    "@[<v>R = [%s]@,S = [%s] (%s)@,c1=%d c0=%d c2=%d  ga1_b=%b ga2_x=%b \
+     ga2_y=%b  agg=%d distinct_subset=%b@]"
+    (String.concat "; "
+       (List.map
+          (fun (a, b, c) -> Printf.sprintf "(%s,%s,%s)" (v a) (v b) (v c))
+          c.r_rows))
+    (String.concat "; "
+       (List.map (fun (x, y) -> Printf.sprintf "(%s,%s)" (v x) (v y)) c.s_rows))
+    (match c.s_key with
+    | No_key -> "no key"
+    | Primary_x -> "PRIMARY KEY (x)"
+    | Unique_x -> "UNIQUE (x)")
+    c.c1 c.c0 c.c2 c.ga1_b c.ga2_x c.ga2_y c.agg c.distinct_subset
+
+let to_string c = Format.asprintf "%a" pp c

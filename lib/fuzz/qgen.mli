@@ -1,0 +1,55 @@
+(** Seeded generator of Yan/Larson-form instances: schema (keys,
+    nullable columns), skewed NULL-heavy data, and a query drawn from
+    the canonical class [SELECT ga, AGG(R.v) FROM R, S WHERE C1 ∧ C0 ∧
+    C2 GROUP BY ga], including the Theorem 2 DISTINCT/subset-projection
+    variants.
+
+    Everything is a function of the supplied {!Eager_workload.Gen.t};
+    the record {!case} is deliberately concrete so the shrinker can
+    propose structural simplifications. *)
+
+open Eager_value
+open Eager_storage
+open Eager_core
+open Eager_parser
+open Eager_workload
+
+type s_key = No_key | Primary_x | Unique_x
+(** Key declared on [S(x, y)]: none, PRIMARY KEY (x), or UNIQUE (x) —
+    the declaration TestFD consults for FD2. *)
+
+type case = {
+  s_key : s_key;
+  r_rows : (Value.t * Value.t * Value.t) list;  (** R(a, b, v) *)
+  s_rows : (Value.t * Value.t) list;  (** S(x, y) *)
+  c1 : int;  (** R-only predicate: 0 none, 1 [b >= 1], 2 [b = 1] *)
+  c0 : int;  (** join predicate: 0 none, 1 [a = x], 2 [a = x AND b = y] *)
+  c2 : int;  (** S-only predicate: 0 none, 1 [y <= 2], 2 [y = 2] *)
+  ga1_b : bool;  (** group by R.b *)
+  ga2_x : bool;  (** group by S.x *)
+  ga2_y : bool;  (** group by S.y *)
+  agg : int;  (** 0..6: COUNT, SUM, MIN, MAX, AVG, COUNT DISTINCT, COUNT star *)
+  distinct_subset : bool;
+      (** Theorem 2 variant: SELECT DISTINCT over a strict subset of the
+          grouping columns *)
+}
+
+val agg_kinds : int
+
+val generate : Gen.t -> case
+(** Draw a case; always has at least one grouping column. *)
+
+val build : case -> (Database.t * Canonical.t, string) result
+(** Materialise the instance and canonicalise the query. *)
+
+val to_sql : ?header:string list -> case -> string
+(** The case as a replayable SQL script (via the AST printer, so the
+    text re-parses verbatim); [header] lines become leading comments,
+    followed by the [-- r1: R] partition hint. *)
+
+val statements : case -> Ast.statement list
+val size : case -> int
+(** Total row count, the shrinker's progress measure. *)
+
+val pp : Format.formatter -> case -> unit
+val to_string : case -> string

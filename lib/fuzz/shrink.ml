@@ -1,0 +1,70 @@
+(* Greedy delta-debugging over {!Qgen.case}.
+
+   Candidates are proposed in a fixed order — drop a single R row, drop a
+   single S row, clear a grouping column (keeping at least one, the
+   canonical class requires it), clear a predicate, drop the DISTINCT
+   subset projection, demote the aggregate to COUNT — and the first
+   candidate that still fails restarts the scan from the smaller case
+   (first-improvement to a fixpoint).  Everything is deterministic: same
+   case + same checker ⇒ same minimum. *)
+
+let drop_nth i xs = List.filteri (fun j _ -> j <> i) xs
+
+let candidates (c : Qgen.case) : Qgen.case list =
+  let rows =
+    List.init (List.length c.r_rows) (fun i ->
+        { c with Qgen.r_rows = drop_nth i c.r_rows })
+    @ List.init (List.length c.s_rows) (fun i ->
+          { c with Qgen.s_rows = drop_nth i c.s_rows })
+  in
+  let grouping =
+    (* clear one grouping flag at a time, never going below one column *)
+    let live =
+      (if c.Qgen.ga1_b then 1 else 0)
+      + (if c.Qgen.ga2_x then 1 else 0)
+      + if c.Qgen.ga2_y then 1 else 0
+    in
+    if live <= 1 then []
+    else
+      (if c.Qgen.ga1_b then [ { c with Qgen.ga1_b = false } ] else [])
+      @ (if c.Qgen.ga2_x then [ { c with Qgen.ga2_x = false } ] else [])
+      @ if c.Qgen.ga2_y then [ { c with Qgen.ga2_y = false } ] else []
+  in
+  let predicates =
+    (if c.Qgen.c1 <> 0 then [ { c with Qgen.c1 = 0 } ] else [])
+    @ (if c.Qgen.c0 <> 0 then [ { c with Qgen.c0 = 0 } ] else [])
+    @ if c.Qgen.c2 <> 0 then [ { c with Qgen.c2 = 0 } ] else []
+  in
+  let shape =
+    (if c.Qgen.distinct_subset then
+       [ { c with Qgen.distinct_subset = false } ]
+     else [])
+    @ (if c.Qgen.agg <> 0 then [ { c with Qgen.agg = 0 } ] else [])
+    @
+    match c.Qgen.s_key with
+    | Qgen.No_key -> []
+    | _ -> [ { c with Qgen.s_key = Qgen.No_key } ]
+  in
+  rows @ grouping @ predicates @ shape
+
+let default_budget = 2000
+
+let minimize ?(budget = default_budget) ~check (c : Qgen.case) =
+  match check c with
+  | None -> invalid_arg "Shrink.minimize: the starting case does not fail"
+  | Some f0 ->
+      let budget = ref budget in
+      let rec fixpoint c f =
+        let rec scan = function
+          | [] -> (c, f)
+          | cand :: rest ->
+              if !budget <= 0 then (c, f)
+              else (
+                decr budget;
+                match check cand with
+                | Some f' -> fixpoint cand f'
+                | None -> scan rest)
+        in
+        scan (candidates c)
+      in
+      fixpoint c f0

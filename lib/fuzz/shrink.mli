@@ -1,0 +1,23 @@
+(** Greedy delta-debugging minimizer for failing fuzz cases.
+
+    Shrink order: drop single R rows, drop single S rows, clear grouping
+    columns (keeping at least one), clear predicates, drop the DISTINCT
+    subset projection, demote the aggregate to COUNT, drop the S key.
+    First-improvement, restarted to a fixpoint; fully deterministic. *)
+
+val candidates : Qgen.case -> Qgen.case list
+(** One-step simplifications, in shrink order. *)
+
+val default_budget : int
+
+val minimize :
+  ?budget:int ->
+  check:(Qgen.case -> 'f option) ->
+  Qgen.case ->
+  Qgen.case * 'f
+(** [minimize ~check c] greedily shrinks [c] while [check] keeps
+    returning [Some failure]; returns the fixpoint case and its failure.
+    [budget] caps the number of [check] calls (default
+    {!default_budget}).
+
+    @raise Invalid_argument if [check c] is [None]. *)

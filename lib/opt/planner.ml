@@ -3,6 +3,7 @@ open Eager_algebra
 open Eager_robust
 
 type kind = Lazy_group | Eager_group
+type force = E1 | E2
 
 type decision = {
   verdict : Testfd.verdict;
@@ -14,11 +15,14 @@ type decision = {
   chosen_kind : kind;
   expanded_atoms : int;
   fallback : string option;
+  forced : force option;
 }
 
 let kind_to_string = function
   | Lazy_group -> "group after join (E1)"
   | Eager_group -> "group before join (E2)"
+
+let force_to_string = function E1 -> "E1" | E2 -> "E2"
 
 (* Graceful degradation: the E2 rewrite is only sound when TestFD
    actually verifies the FD conditions (cf. Chirkova & Genesereth on
@@ -26,7 +30,8 @@ let kind_to_string = function
    complete — an internal error, an injected fault, or a governor
    deadline already blown — we demote to the canonical E1 plan and
    record why, rather than failing the query. *)
-let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) db q =
+let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) ?force db
+    q =
   let fallback = ref None in
   let demote reason = fallback := Some reason in
   let expanded_atoms, q =
@@ -84,11 +89,50 @@ let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) db q =
       chosen_kind = Lazy_group;
       expanded_atoms;
       fallback = !fallback;
+      forced = (match force with Some E1 -> Some E1 | _ -> None);
     }
   in
-  match verdict with
-  | Testfd.No _ -> lazy_decision verdict
-  | Testfd.Yes -> (
+  match force, verdict with
+  | Some E1, _ ->
+      (* forced E1: always valid — the canonical plan needs no FD check *)
+      lazy_decision verdict
+  | Some E2, Testfd.No reason ->
+      (* force hooks must stay honest: an unverified rewrite is refused
+         with a typed error, never silently executed *)
+      Err.failf Err.Planner
+        "forced E2 rejected: the rewrite is not verified — TestFD says NO \
+         (%s)"
+        reason
+  | Some E2, Testfd.Yes ->
+      let plan_eager =
+        match
+          Err.protect ~kind:Err.Planner (fun () ->
+              Plans.e2_with q ~side1 ~side2)
+        with
+        | Ok p -> p
+        | Error e ->
+            Err.raise_ (Err.add_context "forced E2: plan construction" e)
+      in
+      let cost_eager =
+        match Err.protect ~kind:Err.Planner (fun () -> Cost.cost db plan_eager)
+        with
+        | Ok c -> Some c
+        | Error _ -> None (* cost is advisory under force *)
+      in
+      {
+        verdict;
+        plan_lazy;
+        cost_lazy;
+        plan_eager = Some plan_eager;
+        cost_eager;
+        chosen = plan_eager;
+        chosen_kind = Eager_group;
+        expanded_atoms;
+        fallback = !fallback;
+        forced = Some E2;
+      }
+  | None, Testfd.No _ -> lazy_decision verdict
+  | None, Testfd.Yes -> (
       match
         let ( let* ) = Result.bind in
         let* () = Fault.check "opt.cost" in
@@ -118,12 +162,14 @@ let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) db q =
             chosen_kind;
             expanded_atoms;
             fallback = !fallback;
+            forced = None;
           })
 
 (* the planner itself can die on a malformed query (unknown tables on
    both plan shapes); this boundary turns even that into a value *)
-let decide_checked ?strict ?expand ?governor db q =
-  Err.protect ~kind:Err.Planner (fun () -> decide ?strict ?expand ?governor db q)
+let decide_checked ?strict ?expand ?governor ?force db q =
+  Err.protect ~kind:Err.Planner (fun () ->
+      decide ?strict ?expand ?governor ?force db q)
 
 let explain db d =
   let buf = Buffer.create 512 in
@@ -147,6 +193,15 @@ let explain db d =
       Buffer.add_string buf
         (Printf.sprintf "fallback: demoted to canonical E1 — %s\n" reason)
   | None -> ());
+  (match d.forced with
+  | Some f ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "strategy reason: forced %s (cost comparison bypassed by caller)\n"
+           (force_to_string f))
+  | None -> ());
   Buffer.add_string buf
-    (Printf.sprintf "chosen: %s\n" (kind_to_string d.chosen_kind));
+    (Printf.sprintf "chosen: %s%s\n"
+       (kind_to_string d.chosen_kind)
+       (match d.forced with Some _ -> " [forced]" | None -> ""));
   Buffer.contents buf

@@ -13,6 +13,11 @@ open Eager_robust
 
 type kind = Lazy_group | Eager_group
 
+type force = E1 | E2
+(** Force hooks for differential testing: bypass the cost comparison and
+    demand one specific strategy.  [E2] is only honoured when TestFD
+    verifies the rewrite — forcing never compromises soundness. *)
+
 type decision = {
   verdict : Testfd.verdict;
   plan_lazy : Plan.t;
@@ -28,12 +33,16 @@ type decision = {
       (** when set, the planner degraded gracefully: an error, injected
           fault, or budget breach inside TestFD / cost estimation demoted
           the decision to the canonical E1 plan for this reason *)
+  forced : force option;
+      (** set when the caller forced the strategy; {!explain} reports the
+          forced strategy as the reason instead of the cost comparison *)
 }
 
 val decide :
   ?strict:bool ->
   ?expand:bool ->
   ?governor:Governor.t ->
+  ?force:force ->
   Database.t ->
   Canonical.t ->
   decision
@@ -42,18 +51,26 @@ val decide :
     The E2 rewrite is proposed only when TestFD completes with YES; any
     failure inside verification or costing — including a [governor]
     deadline already exceeded — falls back to E1 with the reason recorded
-    in [fallback] (and shown by {!explain}). *)
+    in [fallback] (and shown by {!explain}).
+
+    [force] bypasses the cost comparison: [E1] always yields the canonical
+    plan; [E2] yields the eager plan {i only} when TestFD answers YES and
+    raises [Err.Error_exn] (kind [Planner]) otherwise — use
+    {!decide_checked} to receive that refusal as a typed value. *)
 
 val decide_checked :
   ?strict:bool ->
   ?expand:bool ->
   ?governor:Governor.t ->
+  ?force:force ->
   Database.t ->
   Canonical.t ->
   (decision, Err.t) result
 (** [decide] behind the typed-error boundary: even a planner that cannot
-    produce the E1 plan (e.g. every referenced table is gone) returns
-    [Error] instead of raising. *)
+    produce the E1 plan (e.g. every referenced table is gone) — or a
+    [~force:E2] request that TestFD refuses — returns [Error] instead of
+    raising. *)
 
 val explain : Database.t -> decision -> string
 val kind_to_string : kind -> string
+val force_to_string : force -> string

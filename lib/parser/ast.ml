@@ -86,6 +86,10 @@ let rec pp_texpr ppf = function
   | E_col (None, c) -> Format.pp_print_string ppf c
   | E_col (Some q, c) -> Format.fprintf ppf "%s.%s" q c
   | E_star -> Format.pp_print_string ppf "*"
+  | E_call ("COUNT_DISTINCT", [ arg ]) ->
+      (* the parser's internal name for COUNT(DISTINCT e); print the
+         surface syntax so the text re-parses *)
+      Format.fprintf ppf "COUNT(DISTINCT %a)" pp_texpr arg
   | E_call (f, args) ->
       Format.fprintf ppf "%s(%a)" f
         (Format.pp_print_list

@@ -1,7 +1,29 @@
+(* Every random choice in the repository flows through an explicit
+   [Random.State.t] created here from caller-supplied seeds — never the
+   implicit global generator, never self-initialisation (the lint
+   forbids both).  This is what lets the fuzz harness replay a failing
+   iteration bit-for-bit from its [(seed, iteration)] pair. *)
+
 type t = Random.State.t
 
 let make seed = Random.State.make [| seed; 0x9e3779b9 |]
+
+(* two-part seed: stream [minor] of run [major] — used per fuzz iteration
+   so one failing case regenerates without replaying its predecessors *)
+let make2 major minor = Random.State.make [| major; minor; 0x9e3779b9 |]
+
+(* an independent sub-stream: consumes one draw from [g], so sibling
+   splits diverge, but the child is insulated from how many draws the
+   parent makes afterwards *)
+let split g = Random.State.make [| Random.State.bits g; 0x85ebca6b |]
+
 let int g n = if n <= 0 then 0 else Random.State.int g n
+
+(* skewed toward 0: half the mass on 0, the rest uniform — the cheap
+   Zipf stand-in that makes duplicate join keys and repeated group keys
+   common in fuzzed instances *)
+let skewed g n = if n <= 0 then 0 else if Random.State.bool g then 0 else int g n
+
 let pick g arr = arr.(int g (Array.length arr))
 
 let syllables =

@@ -1,12 +1,28 @@
-(** Deterministic data-generation helpers (seeded, reproducible). *)
+(** Deterministic data-generation helpers (seeded, reproducible).
+
+    All randomness in the repository is drawn from an explicit state
+    created by {!make}/{!make2}; the implicit global generator and
+    [Random.self_init] are forbidden (enforced by [tools/lint.sh]), so a
+    seed replays bit-for-bit. *)
 
 type t
 
 val make : int -> t
 (** Seeded generator. *)
 
+val make2 : int -> int -> t
+(** [make2 major minor]: an independent stream per [(run seed, iteration)]
+    pair — a failing fuzz case regenerates from its pair alone. *)
+
+val split : t -> t
+(** An independent sub-stream (consumes one draw from the parent). *)
+
 val int : t -> int -> int
 (** [int g n] is uniform in [0, n). *)
+
+val skewed : t -> int -> int
+(** [skewed g n] is in [0, n) with half the mass on 0 — produces the
+    duplicate-heavy distributions the fuzzer wants. *)
 
 val pick : t -> 'a array -> 'a
 val name : t -> string

@@ -3,6 +3,12 @@
 # allowlist.  New code should report failures through the typed error
 # channel (Eager_robust.Err) so callers can distinguish error kinds and
 # the REPL can survive them; `Obj.magic` is never acceptable.
+#
+# Also forbids `Random.self_init` and the implicit global generator
+# (`Random.int`, `Random.bool`, ...) everywhere in lib/, bin/ and
+# bench/: all randomness must thread an explicit seeded
+# `Random.State.t` (see Eager_workload.Gen) so every run — above all
+# the fuzz harness — replays bit-for-bit from its seed.
 set -u
 
 allow=tools/lint_allowlist.txt
@@ -15,6 +21,13 @@ if grep -qE '^lib/durable/' "$allow"; then
   exit 1
 fi
 
+# Neither can the fuzz harness: an untyped failure or a nondeterministic
+# draw there invalidates the oracle's replayability guarantee.
+if grep -qE '^lib/fuzz/' "$allow"; then
+  echo "lint: lib/fuzz must stay failwith-free; remove it from $allow" >&2
+  exit 1
+fi
+
 while IFS= read -r hit; do
   file=${hit%%:*}
   if ! grep -qxF "$file" "$allow"; then
@@ -22,6 +35,16 @@ while IFS= read -r hit; do
     bad=1
   fi
 done < <(grep -rn --include='*.ml' -E 'failwith|Obj\.magic' lib bin || true)
+
+# no allowlist for nondeterminism: Random.self_init and the global
+# generator are banned outright (Random.State through Gen is the only
+# sanctioned source of randomness)
+while IFS= read -r hit; do
+  echo "lint: nondeterministic randomness (use Eager_workload.Gen): $hit" >&2
+  bad=1
+done < <(grep -rn --include='*.ml' -E \
+  'Random\.self_init|Random\.(int|bool|float|bits)[^_a-zA-Z]' \
+  lib bin bench || true)
 
 if [ "$bad" -ne 0 ]; then
   echo "lint: use Eager_robust.Err (errf/failf/protect) instead," >&2
