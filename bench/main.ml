@@ -6,12 +6,17 @@
                               then write BENCH_results.json
      main.exe --report NAME   one report: fig1 fig2 fig3 fig5 fig7 fig8
                               ex3 ex5 sweep-groups sweep-selectivity
+                              batch-sweep ...
      main.exe --micro         only the micro-benchmarks
      main.exe --json [PATH]   only the machine-readable results
                               (default PATH: BENCH_results.json)
      main.exe --seed N        seed for every generated workload (default
                               1994); all data generation threads an
                               explicit Random.State from it
+     main.exe --smoke         fast subset for CI (@bench-smoke): the
+                              batch-size sweep on Figure 1, asserting
+                              that E2's peak intermediate-row high-water
+                              mark stays strictly below E1's
 
    See EXPERIMENTS.md for the paper-vs-measured record. *)
 
@@ -433,6 +438,82 @@ let report_estimator () =
   0
 
 (* ------------------------------------------------------------------ *)
+(* batch-size sweep: the pull pipeline's knob.  Throughput is total
+   rows produced across all operators per second (pipeline work rate);
+   peak is the high-water mark of simultaneously live intermediate rows
+   — the memory axis where group-by before join pays off (E2's hash
+   join builds over ~100 aggregated rows instead of 10000 base rows). *)
+
+let swept_batch_sizes = [ 1; 16; 256; 1024; 8192 ]
+
+let profiled_run db plan batch_rows =
+  let options = { Exec.default_options with batch_rows } in
+  let (h, st, _, prof), t =
+    time_ms (fun () -> Exec.run_profiled ~options db plan)
+  in
+  let produced = Optree.total_produced st in
+  let rows_per_sec =
+    float_of_int produced /. (Float.max 0.001 t /. 1000.)
+  in
+  (h, st, prof, t, rows_per_sec)
+
+let batch_sweep_points ?(sizes = swept_batch_sizes) db q =
+  let e1 = Plans.e1 db q and e2 = Plans.e2 db q in
+  List.map
+    (fun batch_rows ->
+      let _, _, prof1, t1, rps1 = profiled_run db e1 batch_rows in
+      let _, _, prof2, t2, rps2 = profiled_run db e2 batch_rows in
+      (batch_rows, (t1, rps1, prof1), (t2, rps2, prof2)))
+    sizes
+
+let print_batch_sweep points =
+  Printf.printf "%10s %10s %14s %10s %10s %14s %10s\n" "batch" "E1 (ms)"
+    "E1 rows/s" "E1 peak" "E2 (ms)" "E2 rows/s" "E2 peak";
+  List.iter
+    (fun (batch_rows, (t1, rps1, p1), (t2, rps2, p2)) ->
+      Printf.printf "%10d %10.2f %14.0f %10d %10.2f %14.0f %10d\n" batch_rows
+        t1 rps1 p1.Exec.peak_live_rows t2 rps2 p2.Exec.peak_live_rows)
+    points
+
+let report_batch_sweep () =
+  section
+    "BATCH — batch-size sweep on Figure 1 (Employee 10000 x Department \
+     100): throughput and peak live intermediate rows";
+  let w =
+    Employee_dept.setup ~seed:!seed ~employees:10_000 ~departments:100 ()
+  in
+  let points = batch_sweep_points w.Employee_dept.db w.Employee_dept.query in
+  print_batch_sweep points;
+  print_endline
+    "(peak counts rows held by pipeline breakers — hash-join build sides,\n\
+     sort buffers, group tables.  E1 must build its hash join over all\n\
+     10000 employees; E2 groups them first, streaming, and builds over\n\
+     ~100 aggregated rows, so its peak is two orders of magnitude lower\n\
+     at every batch size)";
+  0
+
+(* CI smoke: the sweep at full Figure-1 size, with the paper's memory
+   claim enforced rather than just printed *)
+let report_smoke () =
+  section "SMOKE — batch sweep + E2-peak-below-E1 assertion (Figure 1)";
+  let w =
+    Employee_dept.setup ~seed:!seed ~employees:10_000 ~departments:100 ()
+  in
+  let points =
+    batch_sweep_points ~sizes:[ 1; 1024 ] w.Employee_dept.db
+      w.Employee_dept.query
+  in
+  print_batch_sweep points;
+  let ok =
+    List.for_all
+      (fun (_, (_, _, p1), (_, _, p2)) ->
+        p2.Exec.peak_live_rows < p1.Exec.peak_live_rows)
+      points
+  in
+  Printf.printf "E2 peak strictly below E1 peak at every batch size: %b\n" ok;
+  if ok then 0 else 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure/series *)
 
 open Bechamel
@@ -615,26 +696,30 @@ let json_workloads () =
   ]
 
 let report_json path =
-  let plan_obj heap ms =
+  let plan_obj heap ms prof =
     let rows = Heap.length heap in
     Printf.sprintf
-      "{\"ms\": %.3f, \"rows\": %d, \"rows_per_sec\": %.0f}" ms rows
+      "{\"ms\": %.3f, \"rows\": %d, \"rows_per_sec\": %.0f, \
+       \"peak_live_rows\": %d}"
+      ms rows
       (float_of_int rows /. (Float.max 0.001 ms /. 1000.))
+      prof.Exec.peak_live_rows
+  in
+  let profiled db plan =
+    let (h, _, _, prof), t = time_ms (fun () -> Exec.run_profiled db plan) in
+    (h, t, prof)
   in
   let entries =
     List.map
       (fun (name, (db, q)) ->
         let d = Planner.decide db q in
-        let h1, t1 =
-          let (h, _), t = time_ms (fun () -> Exec.run db (Plans.e1 db q)) in
-          (h, t)
-        in
+        let h1, t1, prof1 = profiled db (Plans.e1 db q) in
         let e2_field =
           match d.Planner.plan_eager with
           | None -> "null"
           | Some p2 ->
-              let (h2, _), t2 = time_ms (fun () -> Exec.run db p2) in
-              plan_obj h2 t2
+              let h2, t2, prof2 = profiled db p2 in
+              plan_obj h2 t2 prof2
         in
         Printf.sprintf
           "    {\"workload\": \"%s\", \"seed\": %d, \"testfd\": \"%s\",\n\
@@ -644,17 +729,45 @@ let report_json path =
           (json_escape name) !seed
           (json_escape (Testfd.verdict_to_string d.Planner.verdict))
           (json_escape (Planner.kind_to_string d.Planner.chosen_kind))
-          (plan_obj h1 t1) e2_field)
+          (plan_obj h1 t1 prof1) e2_field)
       (json_workloads ())
   in
+  (* the batch-size sweep on Figure 1: rows/sec here is pipeline
+     throughput (total rows produced across operators per second) *)
+  let sweep_entries =
+    let w =
+      Employee_dept.setup ~seed:!seed ~employees:10_000 ~departments:100 ()
+    in
+    batch_sweep_points w.Employee_dept.db w.Employee_dept.query
+    |> List.map (fun (batch_rows, (t1, rps1, p1), (t2, rps2, p2)) ->
+           let side t rps p =
+             Printf.sprintf
+               "{\"ms\": %.3f, \"rows_per_sec\": %.0f, \"peak_live_rows\": \
+                %d}"
+               t rps p.Exec.peak_live_rows
+           in
+           Printf.sprintf
+             "    {\"batch_rows\": %d, \"e1\": %s, \"e2\": %s}" batch_rows
+             (side t1 rps1 p1) (side t2 rps2 p2))
+  in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"seed\": %d,\n  \"workloads\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"workloads\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"batch_sweep_fig1\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
     !seed
-    (String.concat ",\n" entries);
+    (String.concat ",\n" entries)
+    (String.concat ",\n" sweep_entries);
   close_out oc;
-  Printf.printf "wrote %s (%d workloads, seed %d)\n" path
+  Printf.printf "wrote %s (%d workloads + %d sweep points, seed %d)\n" path
     (List.length (json_workloads ()))
-    !seed;
+    (List.length sweep_entries) !seed;
   0
 
 let reports =
@@ -673,6 +786,7 @@ let reports =
     ("unique", report_unique);
     ("sweep-scale", report_sweep_scale);
     ("estimator", report_estimator);
+    ("batch-sweep", report_batch_sweep);
   ]
 
 let () =
@@ -698,6 +812,7 @@ let () =
             (String.concat " " (List.map fst reports));
           exit 1)
   | "--micro" :: _ -> exit (run_micro ())
+  | "--smoke" :: _ -> exit (report_smoke ())
   | "--json" :: rest ->
       let path =
         match rest with

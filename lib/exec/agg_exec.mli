@@ -2,7 +2,11 @@
 
     A compiled aggregate owns mutable accumulator state per group; [update]
     folds one input row in and [finalize] evaluates the arithmetic shell over
-    the accumulated aggregate-function results. *)
+    the accumulated aggregate-function results.
+
+    Accumulators are constant-size per group, which is what lets the batched
+    pull pipeline's grouping operators buffer one [group_state] per group
+    rather than the grouped input itself (see DESIGN.md §11). *)
 
 open Eager_value
 open Eager_schema

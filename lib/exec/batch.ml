@@ -1,0 +1,57 @@
+open Eager_schema
+
+type t = {
+  schema : Schema.t;
+  rows : Row.t array; (* capacity-sized; slots >= len are garbage *)
+  mutable len : int;
+}
+
+let default_rows = 1024
+
+(* Capacities are clamped so that a caller asking for "one huge batch"
+   (e.g. batch_rows = max_int to emulate full materialization) does not
+   allocate a max_int-sized array up front. *)
+let max_capacity = 65_536
+
+let clamp_capacity n = if n < 1 then 1 else min n max_capacity
+
+let dummy_row : Row.t = [||]
+
+let create ?(capacity = default_rows) schema =
+  let capacity = clamp_capacity capacity in
+  { schema; rows = Array.make capacity dummy_row; len = 0 }
+
+let schema b = b.schema
+let length b = b.len
+let capacity b = Array.length b.rows
+let is_empty b = b.len = 0
+let is_full b = b.len >= Array.length b.rows
+
+let clear b = b.len <- 0
+
+let add b row =
+  (* callers check [is_full] before adding; a full batch is a bug in the
+     operator, not a data condition *)
+  if is_full b then invalid_arg "Batch.add: batch is full";
+  b.rows.(b.len) <- row;
+  b.len <- b.len + 1
+
+let get b i =
+  if i < 0 || i >= b.len then invalid_arg "Batch.get: out of bounds";
+  b.rows.(i)
+
+let iter f b =
+  for i = 0 to b.len - 1 do
+    f b.rows.(i)
+  done
+
+let fold f init b =
+  let acc = ref init in
+  for i = 0 to b.len - 1 do
+    acc := f !acc b.rows.(i)
+  done;
+  !acc
+
+let of_array schema rows = { schema; rows; len = Array.length rows }
+
+let to_array b = Array.sub b.rows 0 b.len

@@ -1,0 +1,45 @@
+(** A batch: the unit of data flow in the pull-based pipeline.
+
+    A fixed-capacity array of rows sharing one schema.  Operators pull
+    batches from their children, transform them, and push rows into an
+    output batch; only pipeline breakers (hash-build sides, sorts, final
+    aggregation) ever hold more than a couple of batches alive.  Batches
+    are reused across [next] calls by the operator that owns them, so a
+    consumer must not retain a batch across pulls — copy rows out
+    (they are immutable and safely shared) if they must survive. *)
+
+open Eager_schema
+
+type t
+
+val default_rows : int
+(** Default batch capacity (rows), used when options don't override it. *)
+
+val max_capacity : int
+(** Hard cap on a single batch's capacity; requests above it are clamped
+    (so [batch_rows = max_int] emulates full materialization without a
+    max_int-sized allocation). *)
+
+val clamp_capacity : int -> int
+
+val create : ?capacity:int -> Schema.t -> t
+val schema : t -> Schema.t
+val length : t -> int
+val capacity : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+val clear : t -> unit
+(** Reset to length 0 for refilling; does not free the row slots. *)
+
+val add : t -> Row.t -> unit
+(** Raises [Invalid_argument] when full — check {!is_full} first. *)
+
+val get : t -> int -> Row.t
+val iter : (Row.t -> unit) -> t -> unit
+val fold : ('a -> Row.t -> 'a) -> 'a -> t -> 'a
+
+val of_array : Schema.t -> Row.t array -> t
+(** Wrap an array as a full batch (no copy). *)
+
+val to_array : t -> Row.t array
+(** Copy the live prefix out. *)

@@ -14,6 +14,7 @@ type options = {
   params : Expr.env;
   use_indexes : bool;
   governor : Governor.t;
+  batch_rows : int;
 }
 
 let default_options =
@@ -23,7 +24,10 @@ let default_options =
     params = Expr.no_params;
     use_indexes = true;
     governor = Governor.unlimited;
+    batch_rows = Batch.default_rows;
   }
+
+type profile = { peak_live_rows : int; batch_rows : int }
 
 let split_equijoin lsch rsch pred =
   let conjs = Expr.conjuncts pred in
@@ -50,84 +54,6 @@ let covered_by_order keys order =
   in
   go keys order
 
-(* Nested-loop join/product with an optional residual predicate compiled
-   over the concatenated schema. *)
-let nested_loop out pred_opt lrows rrows =
-  List.iter
-    (fun l ->
-      List.iter
-        (fun r ->
-          let row = Row.concat l r in
-          match pred_opt with
-          | Some p when not (Tbool.holds (p row)) -> ()
-          | _ -> Heap.insert out row)
-        rrows)
-    lrows
-
-let hash_join out pred_opt lrows rrows lidx ridx =
-  let table = Hashtbl.create (List.length rrows * 2 + 1) in
-  List.iter
-    (fun r -> if all_non_null ridx r then Hashtbl.add table (Row.key_on ridx r) r)
-    rrows;
-  List.iter
-    (fun l ->
-      if all_non_null lidx l then
-        let matches = Hashtbl.find_all table (Row.key_on lidx l) in
-        List.iter
-          (fun r ->
-            let row = Row.concat l r in
-            match pred_opt with
-            | Some p when not (Tbool.holds (p row)) -> ()
-            | _ -> Heap.insert out row)
-          matches)
-    lrows
-
-(* [lsorted]/[rsorted]: the caller proved the input is already sorted on
-   the key columns, so the sort is skipped (Section 7 exploitation). *)
-let merge_join out pred_opt lrows rrows lidx ridx ~lsorted ~rsorted =
-  let l = Array.of_list (List.filter (all_non_null lidx) lrows) in
-  let r = Array.of_list (List.filter (all_non_null ridx) rrows) in
-  if not lsorted then Array.sort (Row.compare_on lidx) l;
-  if not rsorted then Array.sort (Row.compare_on ridx) r;
-  let key_cmp (a : Row.t) (b : Row.t) =
-    let n = Array.length lidx in
-    let rec go k =
-      if k >= n then 0
-      else
-        let c = Value.compare_total a.(lidx.(k)) b.(ridx.(k)) in
-        if c <> 0 then c else go (k + 1)
-    in
-    go 0
-  in
-  let nl = Array.length l and nr = Array.length r in
-  let i = ref 0 and j = ref 0 in
-  while !i < nl && !j < nr do
-    let c = key_cmp l.(!i) r.(!j) in
-    if c < 0 then incr i
-    else if c > 0 then incr j
-    else begin
-      (* find the extent of the equal-key runs on both sides *)
-      let i2 = ref !i in
-      while !i2 < nl && Row.compare_on lidx l.(!i) l.(!i2) = 0 do
-        incr i2
-      done;
-      let j2 = ref !j in
-      while !j2 < nr && Row.compare_on ridx r.(!j) r.(!j2) = 0 do
-        incr j2
-      done;
-      for a = !i to !i2 - 1 do
-        for b = !j to !j2 - 1 do
-          let row = Row.concat l.(a) r.(b) in
-          match pred_opt with
-          | Some p when not (Tbool.holds (p row)) -> ()
-          | _ -> Heap.insert out row
-        done
-      done;
-      i := !i2;
-      j := !j2
-    end
-  done
-
 (* longest prefix of [order] whose columns all appear in [cols] *)
 let order_through_projection order cols =
   let colset = Colref.set_of_list cols in
@@ -137,12 +63,521 @@ let order_through_projection order cols =
   in
   go order
 
-let run_ordered ?(options = default_options) db plan =
+(* ------------------------------------------------------------------ *)
+(* pull-pipeline infrastructure                                        *)
+
+(* A cursor yields batches until exhausted.  The batch an operator
+   returns is owned by that operator and reused on the next pull, so
+   consumers process it before pulling again (rows themselves are
+   immutable and may be retained). *)
+type cursor = unit -> Batch.t option
+
+(* Live intermediate-row accounting: pipeline breakers [acquire] rows
+   when they materialize state (hash-build sides, sort buffers, group
+   tables) and [release] them when their output is drained.  [peak] is
+   the high-water mark the bench sweep reports — the number that shrinks
+   when early aggregation shrinks a join's build side. *)
+type tracker = { mutable live : int; mutable peak : int }
+
+let acquire tr n =
+  tr.live <- tr.live + n;
+  if tr.live > tr.peak then tr.peak <- tr.live
+
+let release tr n = tr.live <- tr.live - n
+
+(* Per-operator statistics, mutated as batches flow and realized into an
+   [Optree.t] once the root cursor is drained. *)
+type opstat = {
+  mutable label : string;
+  mutable rows_out : int;
+  mutable batches_out : int;
+  kids : opstat list;
+}
+
+let opstat label kids = { label; rows_out = 0; batches_out = 0; kids }
+
+let rec realize st =
+  Optree.node ~batches:st.batches_out st.label st.rows_out
+    (List.map realize st.kids)
+
+(* Stats-only wrapper (IndexScan leaves: counted but, as before the
+   refactor, neither charged nor a fault point). *)
+let observe st (next : cursor) : cursor =
+ fun () ->
+  match next () with
+  | None -> None
+  | Some b ->
+      st.rows_out <- st.rows_out + Batch.length b;
+      st.batches_out <- st.batches_out + 1;
+      Some b
+
+(* The operator boundary of the pull pipeline: every batch crossing it
+   fires the [exec.next] fault point and is charged against the
+   governor, so budgets and injected crashes trip mid-stream while the
+   data flows, not after an operator has materialized its output. *)
+let boundary gov st (next : cursor) : cursor =
+ fun () ->
+  Fault.trip "exec.next";
+  match next () with
+  | None -> None
+  | Some b ->
+      let n = Batch.length b in
+      Governor.charge_batch gov ~rows:n;
+      st.rows_out <- st.rows_out + n;
+      st.batches_out <- st.batches_out + 1;
+      Some b
+
+(* Defer a breaker's build work to the first pull so the whole pipeline
+   stays demand-driven. *)
+let deferred (init : unit -> cursor) : cursor =
+  let built = ref None in
+  fun () ->
+    (match !built with
+    | Some c -> c
+    | None ->
+        let c = init () in
+        built := Some c;
+        c)
+      ()
+
+let dummy_row : Row.t = [||]
+
+(* Drain a child cursor into an array, keeping only rows satisfying
+   [keep]; the breaker's footprint is registered with the tracker as it
+   grows (the caller releases it when done). *)
+let drain_where tr keep (child : cursor) =
+  let buf = ref (Array.make 64 dummy_row) in
+  let len = ref 0 in
+  let push row =
+    if !len >= Array.length !buf then begin
+      let bigger = Array.make (2 * Array.length !buf) dummy_row in
+      Array.blit !buf 0 bigger 0 !len;
+      buf := bigger
+    end;
+    !buf.(!len) <- row;
+    incr len;
+    acquire tr 1
+  in
+  let rec go () =
+    match child () with
+    | None -> ()
+    | Some b ->
+        Batch.iter (fun row -> if keep row then push row) b;
+        go ()
+  in
+  go ();
+  Array.sub !buf 0 !len
+
+let drain tr child = drain_where tr (fun _ -> true) child
+
+(* Stream a materialized array back out in batches, releasing [held]
+   tracked rows once the array is fully drained. *)
+let array_source ~batch_rows ~tr ~held schema (arr : Row.t array) : cursor =
+  let pos = ref 0 in
+  let n = Array.length arr in
+  let closed = ref false in
+  fun () ->
+    if !pos >= n then begin
+      if not !closed then begin
+        closed := true;
+        release tr held
+      end;
+      None
+    end
+    else begin
+      let k = min batch_rows (n - !pos) in
+      let b = Batch.of_array schema (Array.sub arr !pos k) in
+      pos := !pos + k;
+      Some b
+    end
+
+(* ------------------------------------------------------------------ *)
+(* streaming (non-breaking) operators                                  *)
+
+let filter_cursor ~batch_rows schema test (child : cursor) : cursor =
+  let out = Batch.create ~capacity:batch_rows schema in
+  fun () ->
+    Batch.clear out;
+    let result = ref None in
+    let go = ref true in
+    while !go do
+      match child () with
+      | None ->
+          go := false;
+          if not (Batch.is_empty out) then result := Some out
+      | Some b ->
+          Batch.iter
+            (fun row -> if Tbool.holds (test row) then Batch.add out row)
+            b;
+          if not (Batch.is_empty out) then begin
+            go := false;
+            result := Some out
+          end
+    done;
+    !result
+
+(* one output row per input row *)
+let map_cursor ~batch_rows schema f (child : cursor) : cursor =
+  let out = Batch.create ~capacity:batch_rows schema in
+  fun () ->
+    match child () with
+    | None -> None
+    | Some b ->
+        Batch.clear out;
+        Batch.iter (fun row -> Batch.add out (f row)) b;
+        Some out
+
+(* DISTINCT projection streams first occurrences; the seen-key table is
+   the only state it holds (one entry per retained row). *)
+let dedup_cursor ~batch_rows ~tr schema idxs (child : cursor) : cursor =
+  let seen = Hashtbl.create 256 in
+  let out = Batch.create ~capacity:batch_rows schema in
+  let closed = ref false in
+  fun () ->
+    if !closed then None
+    else begin
+      Batch.clear out;
+      let result = ref None in
+      let go = ref true in
+      while !go do
+        match child () with
+        | None ->
+            go := false;
+            closed := true;
+            release tr (Hashtbl.length seen);
+            if not (Batch.is_empty out) then result := Some out
+        | Some b ->
+            Batch.iter
+              (fun row ->
+                let key = Row.key_on idxs row in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  acquire tr 1;
+                  Batch.add out (Row.project idxs row)
+                end)
+              b;
+            if not (Batch.is_empty out) then begin
+              go := false;
+              result := Some out
+            end
+      done;
+      !result
+    end
+
+(* ------------------------------------------------------------------ *)
+(* joins                                                               *)
+
+(* Nested loop: the inner (right) side is the pipeline breaker; the
+   outer streams batch by batch, so output order follows the outer. *)
+let nested_loop_cursor ~batch_rows ~tr schema pred_opt (lchild : cursor)
+    (rchild : cursor) : cursor =
+  deferred (fun () ->
+      let inner = drain tr rchild in
+      let ninner = Array.length inner in
+      let out = Batch.create ~capacity:batch_rows schema in
+      let lbatch = ref None in
+      let li = ref 0 in
+      let ri = ref 0 in
+      let closed = ref false in
+      fun () ->
+        if !closed then None
+        else begin
+          Batch.clear out;
+          let result = ref None in
+          let go = ref true in
+          while !go do
+            if Batch.is_full out then begin
+              go := false;
+              result := Some out
+            end
+            else
+              match !lbatch with
+              | Some b when !li < Batch.length b ->
+                  if ninner = 0 then lbatch := None
+                  else begin
+                    let row = Row.concat (Batch.get b !li) inner.(!ri) in
+                    (match pred_opt with
+                    | Some p when not (Tbool.holds (p row)) -> ()
+                    | _ -> Batch.add out row);
+                    incr ri;
+                    if !ri >= ninner then begin
+                      ri := 0;
+                      incr li
+                    end
+                  end
+              | _ -> (
+                  match lchild () with
+                  | Some b ->
+                      lbatch := Some b;
+                      li := 0;
+                      ri := 0
+                  | None ->
+                      go := false;
+                      closed := true;
+                      release tr ninner;
+                      if not (Batch.is_empty out) then result := Some out)
+          done;
+          !result
+        end)
+
+(* Hash join builds on the LEFT input and streams the probe from the
+   right — the Volcano convention.  This is what makes the eager rewrite
+   visible in memory, not just time: in E2 the build side is the
+   already-aggregated [R1'], so the hash table holds one row per group
+   instead of one per base row.  Output order follows the probe side. *)
+let hash_join_cursor ~batch_rows ~tr schema residual lidx ridx
+    (lchild : cursor) (rchild : cursor) : cursor =
+  deferred (fun () ->
+      let build : (Value.t list, Row.t) Hashtbl.t = Hashtbl.create 1024 in
+      let count = ref 0 in
+      let rec load () =
+        match lchild () with
+        | None -> ()
+        | Some b ->
+            Batch.iter
+              (fun l ->
+                if all_non_null lidx l then begin
+                  Hashtbl.add build (Row.key_on lidx l) l;
+                  incr count;
+                  acquire tr 1
+                end)
+              b;
+            load ()
+      in
+      load ();
+      let out = Batch.create ~capacity:batch_rows schema in
+      let pending = ref [] in
+      let cur = ref dummy_row in
+      let pbatch = ref None in
+      let pi = ref 0 in
+      let closed = ref false in
+      fun () ->
+        if !closed then None
+        else begin
+          Batch.clear out;
+          let result = ref None in
+          let go = ref true in
+          while !go do
+            if Batch.is_full out then begin
+              go := false;
+              result := Some out
+            end
+            else
+              match !pending with
+              | l :: rest ->
+                  pending := rest;
+                  let row = Row.concat l !cur in
+                  (match residual with
+                  | Some p when not (Tbool.holds (p row)) -> ()
+                  | _ -> Batch.add out row)
+              | [] -> (
+                  match !pbatch with
+                  | Some b when !pi < Batch.length b ->
+                      let r = Batch.get b !pi in
+                      incr pi;
+                      if all_non_null ridx r then begin
+                        cur := r;
+                        pending := Hashtbl.find_all build (Row.key_on ridx r)
+                      end
+                  | _ -> (
+                      match rchild () with
+                      | Some b ->
+                          pbatch := Some b;
+                          pi := 0
+                      | None ->
+                          go := false;
+                          closed := true;
+                          release tr !count;
+                          if not (Batch.is_empty out) then result := Some out))
+          done;
+          !result
+        end)
+
+(* Merge join breaks both sides (sorting is skipped for an input whose
+   known order covers the keys — Section 7), then streams the merge. *)
+let merge_join_cursor ~batch_rows ~tr schema residual lidx ridx ~lsorted
+    ~rsorted (lchild : cursor) (rchild : cursor) : cursor =
+  deferred (fun () ->
+      let l = drain_where tr (all_non_null lidx) lchild in
+      let r = drain_where tr (all_non_null ridx) rchild in
+      if not lsorted then Array.sort (Row.compare_on lidx) l;
+      if not rsorted then Array.sort (Row.compare_on ridx) r;
+      let key_cmp (a : Row.t) (b : Row.t) =
+        let n = Array.length lidx in
+        let rec go k =
+          if k >= n then 0
+          else
+            let c = Value.compare_total a.(lidx.(k)) b.(ridx.(k)) in
+            if c <> 0 then c else go (k + 1)
+        in
+        go 0
+      in
+      let nl = Array.length l in
+      let nr = Array.length r in
+      let held = nl + nr in
+      let i = ref 0 and j = ref 0 in
+      let i2 = ref 0 and j2 = ref 0 in
+      let a = ref 0 and b = ref 0 in
+      let in_run = ref false in
+      let out = Batch.create ~capacity:batch_rows schema in
+      let closed = ref false in
+      fun () ->
+        if !closed then None
+        else begin
+          Batch.clear out;
+          let result = ref None in
+          let go = ref true in
+          while !go do
+            if Batch.is_full out then begin
+              go := false;
+              result := Some out
+            end
+            else if !in_run then begin
+              let row = Row.concat l.(!a) r.(!b) in
+              (match residual with
+              | Some p when not (Tbool.holds (p row)) -> ()
+              | _ -> Batch.add out row);
+              incr b;
+              if !b >= !j2 then begin
+                b := !j;
+                incr a;
+                if !a >= !i2 then begin
+                  in_run := false;
+                  i := !i2;
+                  j := !j2
+                end
+              end
+            end
+            else if !i < nl && !j < nr then begin
+              let c = key_cmp l.(!i) r.(!j) in
+              if c < 0 then incr i
+              else if c > 0 then incr j
+              else begin
+                let x = ref !i in
+                while !x < nl && Row.compare_on lidx l.(!i) l.(!x) = 0 do
+                  incr x
+                done;
+                let y = ref !j in
+                while !y < nr && Row.compare_on ridx r.(!j) r.(!y) = 0 do
+                  incr y
+                done;
+                i2 := !x;
+                j2 := !y;
+                a := !i;
+                b := !j;
+                in_run := true
+              end
+            end
+            else begin
+              go := false;
+              closed := true;
+              release tr held;
+              if not (Batch.is_empty out) then result := Some out
+            end
+          done;
+          !result
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* grouping                                                            *)
+
+(* Hash aggregation: the group table (one repr row + accumulators per
+   group) is the breaker state; input rows stream through and are never
+   retained.  Emission is in first-seen order, so sorted input produces
+   sorted output. *)
+let hash_group_cursor ~batch_rows ~tr ~gov schema by_idx compiled
+    (child : cursor) : cursor =
+  deferred (fun () ->
+      let groups : (Value.t list, Row.t * Agg_exec.group_state) Hashtbl.t =
+        Hashtbl.create 256
+      in
+      let order = ref [] in
+      let rec load () =
+        match child () with
+        | None -> ()
+        | Some b ->
+            Batch.iter
+              (fun row ->
+                let key = Row.key_on by_idx row in
+                match Hashtbl.find_opt groups key with
+                | Some (_, state) -> Agg_exec.update compiled state row
+                | None ->
+                    let state = Agg_exec.fresh compiled in
+                    Agg_exec.update compiled state row;
+                    Hashtbl.add groups key (row, state);
+                    acquire tr 1;
+                    (* bound the aggregation hash table while it grows,
+                       not only at the cursor boundary *)
+                    Governor.charge_groups gov (Hashtbl.length groups);
+                    order := key :: !order)
+              b;
+            load ()
+      in
+      load ();
+      let held = Hashtbl.length groups in
+      let rows =
+        List.rev !order
+        |> List.map (fun key ->
+               let repr, state = Hashtbl.find groups key in
+               Array.append (Row.project by_idx repr)
+                 (Agg_exec.finalize compiled state))
+        |> Array.of_list
+      in
+      array_source ~batch_rows ~tr ~held schema rows)
+
+(* Sort aggregation: the sort buffer is the breaker state. *)
+let sort_group_cursor ~batch_rows ~tr schema by_idx compiled ~presorted
+    (child : cursor) : cursor =
+  deferred (fun () ->
+      let rows = drain tr child in
+      if not presorted then Array.sort (Row.compare_on by_idx) rows;
+      let n = Array.length rows in
+      let out = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let state = Agg_exec.fresh compiled in
+        let repr = rows.(!i) in
+        let j = ref !i in
+        while !j < n && Row.compare_on by_idx repr rows.(!j) = 0 do
+          Agg_exec.update compiled state rows.(!j);
+          incr j
+        done;
+        out :=
+          Array.append (Row.project by_idx repr)
+            (Agg_exec.finalize compiled state)
+          :: !out;
+        i := !j
+      done;
+      array_source ~batch_rows ~tr ~held:n schema
+        (Array.of_list (List.rev !out)))
+
+(* SQL scalar aggregation yields one row even for empty input; the
+   paper's G[GA] (scalar = false) yields zero groups instead. *)
+let scalar_fallback compiled schema (inner : cursor) : cursor =
+  let emitted = ref false in
+  let done_ = ref false in
+  fun () ->
+    match inner () with
+    | Some b ->
+        emitted := true;
+        Some b
+    | None ->
+        if !emitted || !done_ then None
+        else begin
+          done_ := true;
+          let state = Agg_exec.fresh compiled in
+          Some (Batch.of_array schema [| Agg_exec.finalize compiled state |])
+        end
+
+(* ------------------------------------------------------------------ *)
+(* compilation: plan -> cursor tree                                    *)
+
+let run_profiled ?(options = default_options) db plan =
   let params = options.params in
   let gov = options.governor in
-  (* operator boundary: budget enforcement + the [exec.next] fault hook *)
-  let bnode label rows children = Optree.boundary gov label rows children in
-  let rec eval (p : Plan.t) : Heap.t * Optree.t * Colref.t list =
+  let batch_rows = Batch.clamp_capacity options.batch_rows in
+  let tr = { live = 0; peak = 0 } in
+  let rec compile (p : Plan.t) : cursor * Schema.t * opstat * Colref.t list =
     let label = Plan.label p in
     match p with
     | Plan.Scan { table; schema; _ } ->
@@ -153,9 +588,14 @@ let run_ordered ?(options = default_options) db plan =
              stored table has %d)"
             table (Schema.arity schema)
             (Schema.arity (Heap.schema src));
-        let out = Heap.create schema in
-        Heap.iter (Heap.insert out) src;
-        (out, bnode label (Heap.length out) [], [])
+        let st = opstat label [] in
+        let hc = Heap.cursor ~batch_rows src in
+        let cur () =
+          match Heap.cursor_next hc with
+          | None -> None
+          | Some slice -> Some (Batch.of_array schema slice)
+        in
+        (boundary gov st cur, schema, st, [])
     | Plan.Select { pred; input } -> (
         (* point-lookup path: a [col = const] conjunct over a base-table
            scan with a declared single-column index *)
@@ -186,57 +626,59 @@ let run_ordered ?(options = default_options) db plan =
         in
         match index_path () with
         | Some (def, v, schema, table) ->
-            let candidates = Database.index_lookup db def [ v ] in
-            let test = Expr.compile_pred ~params schema pred in
-            let out = Heap.create schema in
-            List.iter
-              (fun row -> if Tbool.holds (test row) then Heap.insert out row)
-              candidates;
-            let leaf =
-              Optree.leaf
-                (Printf.sprintf "IndexScan %s via %s" table def.Eager_catalog.Catalog.iname)
-                (List.length candidates)
+            let candidates =
+              Array.of_list (Database.index_lookup db def [ v ])
             in
-            (out, bnode label (Heap.length out) [ leaf ], [])
+            acquire tr (Array.length candidates);
+            let leaf =
+              opstat
+                (Printf.sprintf "IndexScan %s via %s" table
+                   def.Eager_catalog.Catalog.iname)
+                []
+            in
+            let src =
+              observe leaf
+                (array_source ~batch_rows ~tr
+                   ~held:(Array.length candidates) schema candidates)
+            in
+            let test = Expr.compile_pred ~params schema pred in
+            let st = opstat label [ leaf ] in
+            ( boundary gov st (filter_cursor ~batch_rows schema test src),
+              schema,
+              st,
+              [] )
         | None ->
-            let h, st, order = eval input in
-            let test = Expr.compile_pred ~params (Heap.schema h) pred in
-            let out = Heap.create (Heap.schema h) in
-            Heap.iter
-              (fun row -> if Tbool.holds (test row) then Heap.insert out row)
-              h;
-            (out, bnode label (Heap.length out) [ st ], order))
+            let child, schema, cst, order = compile input in
+            let test = Expr.compile_pred ~params schema pred in
+            let st = opstat label [ cst ] in
+            ( boundary gov st (filter_cursor ~batch_rows schema test child),
+              schema,
+              st,
+              order ))
     | Plan.Project { dedup; cols; input } ->
-        let h, st, order = eval input in
-        let schema = Heap.schema h in
-        let idxs = Schema.indices schema cols in
-        let out = Heap.create (Schema.project schema cols) in
-        if dedup then begin
-          let seen = Hashtbl.create 256 in
-          Heap.iter
-            (fun row ->
-              let key = Row.key_on idxs row in
-              if not (Hashtbl.mem seen key) then begin
-                Hashtbl.add seen key ();
-                Heap.insert out (Row.project idxs row)
-              end)
-            h
-        end
-        else Heap.iter (fun row -> Heap.insert out (Row.project idxs row)) h;
-        ( out,
-          bnode label (Heap.length out) [ st ],
-          order_through_projection order cols )
+        let child, in_schema, cst, order = compile input in
+        let idxs = Schema.indices in_schema cols in
+        let schema = Schema.project in_schema cols in
+        let st = opstat label [ cst ] in
+        let cur =
+          if dedup then dedup_cursor ~batch_rows ~tr schema idxs child
+          else
+            map_cursor ~batch_rows schema (fun row -> Row.project idxs row)
+              child
+        in
+        (boundary gov st cur, schema, st, order_through_projection order cols)
     | Plan.Map { items; input } ->
-        let h, st, order = eval input in
-        let in_schema = Heap.schema h in
+        let child, in_schema, cst, order = compile input in
+        let schema = Plan.schema_of p in
         let fns =
           List.map (fun (_, e) -> Expr.compile ~params in_schema e) items
         in
-        let out = Heap.create (Plan.schema_of p) in
-        Heap.iter
-          (fun row ->
-            Heap.insert out (Array.of_list (List.map (fun f -> f row) fns)))
-          h;
+        let st = opstat label [ cst ] in
+        let cur =
+          map_cursor ~batch_rows schema
+            (fun row -> Array.of_list (List.map (fun f -> f row) fns))
+            child
+        in
         (* identity items keep their column's position in the sort order *)
         let identity =
           List.filter_map
@@ -254,10 +696,9 @@ let run_ordered ?(options = default_options) db plan =
           in
           prefix order
         in
-        (out, bnode label (Heap.length out) [ st ], out_order)
+        (boundary gov st cur, schema, st, out_order)
     | Plan.Sort { by; input } ->
-        let h, st, _ = eval input in
-        let schema = Heap.schema h in
+        let child, schema, cst, _ = compile input in
         let keys =
           List.map (fun (c, desc) -> (Schema.index_of schema c, desc)) by
         in
@@ -270,34 +711,38 @@ let run_ordered ?(options = default_options) db plan =
           in
           go keys
         in
-        let sorted = List.stable_sort cmp (Heap.to_list h) in
-        let out = Heap.create schema in
-        List.iter (Heap.insert out) sorted;
+        let st = opstat label [ cst ] in
+        let cur =
+          deferred (fun () ->
+              let rows = drain tr child in
+              Array.stable_sort cmp rows;
+              array_source ~batch_rows ~tr ~held:(Array.length rows) schema
+                rows)
+        in
         (* the known (ascending) order is the prefix before the first DESC *)
         let rec asc_prefix = function
           | (c, false) :: rest -> c :: asc_prefix rest
           | _ -> []
         in
-        (out, bnode label (Heap.length out) [ st ], asc_prefix by)
+        (boundary gov st cur, schema, st, asc_prefix by)
     | Plan.Product (a, b) ->
-        let ha, sa, order_a = eval a in
-        let hb, sb, _ = eval b in
-        let out = Heap.create (Schema.concat (Heap.schema ha) (Heap.schema hb)) in
-        nested_loop out None (Heap.to_list ha) (Heap.to_list hb);
+        let lcur, lsch, sa, order_a = compile a in
+        let rcur, rsch, sb, _ = compile b in
+        let schema = Schema.concat lsch rsch in
+        let st = opstat label [ sa; sb ] in
+        let cur = nested_loop_cursor ~batch_rows ~tr schema None lcur rcur in
         (* outer-loop order: the left order survives *)
-        (out, bnode label (Heap.length out) [ sa; sb ], order_a)
+        (boundary gov st cur, schema, st, order_a)
     | Plan.Join { pred; left; right } ->
-        let hl, sl, order_l = eval left in
-        let hr, sr, order_r = eval right in
-        let lsch = Heap.schema hl and rsch = Heap.schema hr in
+        let lcur, lsch, sl, order_l = compile left in
+        let rcur, rsch, sr, order_r = compile right in
         let out_schema = Schema.concat lsch rsch in
-        let out = Heap.create out_schema in
         let keys, residual = split_equijoin lsch rsch pred in
-        let lrows = Heap.to_list hl and rrows = Heap.to_list hr in
         let residual_pred =
           match residual with
           | [] -> None
-          | conjs -> Some (Expr.compile_pred ~params out_schema (Expr.conj conjs))
+          | conjs ->
+              Some (Expr.compile_pred ~params out_schema (Expr.conj conjs))
         in
         let algo =
           match options.join_algo with
@@ -307,46 +752,51 @@ let run_ordered ?(options = default_options) db plan =
         let lkeys = List.map fst keys and rkeys = List.map snd keys in
         let out_order, presorted =
           match algo, keys with
-          | (Nested_loop | Hash_join), _ | _, [] -> (order_l, 0)
+          | Nested_loop, _ | _, [] -> (order_l, 0)
+          | Hash_join, _ ->
+              (* the probe (right) side streams, so its order survives *)
+              (order_r, 0)
           | (Merge_join | Auto), _ ->
               (* merge join emits rows in join-key order *)
               let ls = covered_by_order lkeys order_l in
               let rs = covered_by_order rkeys order_r in
               (lkeys, (if ls then 1 else 0) + if rs then 1 else 0)
         in
-        (match algo, keys with
-        | Nested_loop, _ | _, [] ->
-            let full = Expr.compile_pred ~params out_schema pred in
-            nested_loop out (Some full) lrows rrows
-        | Hash_join, _ ->
-            let lidx = Schema.indices lsch lkeys in
-            let ridx = Schema.indices rsch rkeys in
-            hash_join out residual_pred lrows rrows lidx ridx
-        | Merge_join, _ ->
-            let lidx = Schema.indices lsch lkeys in
-            let ridx = Schema.indices rsch rkeys in
-            merge_join out residual_pred lrows rrows lidx ridx
-              ~lsorted:(covered_by_order lkeys order_l)
-              ~rsorted:(covered_by_order rkeys order_r)
-        | Auto, _ -> assert false);
+        let cur =
+          match algo, keys with
+          | Nested_loop, _ | _, [] ->
+              let full = Expr.compile_pred ~params out_schema pred in
+              nested_loop_cursor ~batch_rows ~tr out_schema (Some full) lcur
+                rcur
+          | Hash_join, _ ->
+              let lidx = Schema.indices lsch lkeys in
+              let ridx = Schema.indices rsch rkeys in
+              hash_join_cursor ~batch_rows ~tr out_schema residual_pred lidx
+                ridx lcur rcur
+          | Merge_join, _ ->
+              let lidx = Schema.indices lsch lkeys in
+              let ridx = Schema.indices rsch rkeys in
+              merge_join_cursor ~batch_rows ~tr out_schema residual_pred lidx
+                ridx
+                ~lsorted:(covered_by_order lkeys order_l)
+                ~rsorted:(covered_by_order rkeys order_r)
+                lcur rcur
+          | Auto, _ -> assert false
+        in
         let label =
           if presorted > 0 then
             Printf.sprintf "%s (%d presorted input%s)" label presorted
               (if presorted > 1 then "s" else "")
           else label
         in
-        (out, bnode label (Heap.length out) [ sl; sr ], out_order)
+        let st = opstat label [ sl; sr ] in
+        (boundary gov st cur, out_schema, st, out_order)
     | Plan.Group { by; aggs; scalar; unique_groups; input } ->
-        let h, st, in_order = eval input in
-        let in_schema = Heap.schema h in
+        let child, in_schema, cst, in_order = compile input in
         let by_idx = Schema.indices in_schema by in
         let compiled = Agg_exec.compile ~params in_schema aggs in
-        let out = Heap.create (Plan.schema_of p) in
-        let emit repr state =
-          let key_vals = Row.project by_idx repr in
-          Heap.insert out
-            (Array.append key_vals (Agg_exec.finalize compiled state))
-        in
+        let schema = Plan.schema_of p in
+        let st = opstat label [ cst ] in
         let out_order =
           if unique_groups then order_through_projection in_order by
           else
@@ -356,74 +806,55 @@ let run_ordered ?(options = default_options) db plan =
                 (* first-seen emission: sorted input stays sorted *)
                 if covered_by_order by in_order then by else []
         in
-        (if unique_groups then
-           Heap.iter
-             (fun row ->
-               let state = Agg_exec.fresh compiled in
-               Agg_exec.update compiled state row;
-               emit row state)
-             h
-         else
-           match options.group_algo with
-           | Hash_group ->
-               let groups : (Value.t list, Row.t * Agg_exec.group_state) Hashtbl.t
-                   =
-                 Hashtbl.create 256
-               in
-               let order = ref [] in
-               Heap.iter
-                 (fun row ->
-                   let key = Row.key_on by_idx row in
-                   match Hashtbl.find_opt groups key with
-                   | Some (_, state) -> Agg_exec.update compiled state row
-                   | None ->
-                       let state = Agg_exec.fresh compiled in
-                       Agg_exec.update compiled state row;
-                       Hashtbl.add groups key (row, state);
-                       (* bound the aggregation hash table while it grows,
-                          not only at the operator boundary *)
-                       Governor.charge_groups gov (Hashtbl.length groups);
-                       order := key :: !order)
-                 h;
-               List.iter
-                 (fun key ->
-                   let repr, state = Hashtbl.find groups key in
-                   emit repr state)
-                 (List.rev !order)
-           | Sort_group ->
-               let rows = Array.of_list (Heap.to_list h) in
-               if not (covered_by_order by in_order) then
-                 Array.sort (Row.compare_on by_idx) rows;
-               let n = Array.length rows in
-               let i = ref 0 in
-               while !i < n do
-                 let state = Agg_exec.fresh compiled in
-                 let repr = rows.(!i) in
-                 let j = ref !i in
-                 while !j < n && Row.compare_on by_idx repr rows.(!j) = 0 do
-                   Agg_exec.update compiled state rows.(!j);
-                   incr j
-                 done;
-                 emit repr state;
-                 i := !j
-               done);
-        (* SQL scalar aggregation yields one row even for empty input; the
-           paper's G[GA] (scalar = false) yields zero groups instead *)
-        if scalar && Heap.length out = 0 then begin
-          let state = Agg_exec.fresh compiled in
-          Heap.insert out (Agg_exec.finalize compiled state)
-        end;
-        (out, bnode label (Heap.length out) [ st ], out_order)
+        let inner =
+          if unique_groups then
+            (* every group is a single row (Klug/Dayal fast path): pure
+               streaming, no breaker state at all *)
+            map_cursor ~batch_rows schema
+              (fun row ->
+                let state = Agg_exec.fresh compiled in
+                Agg_exec.update compiled state row;
+                Array.append (Row.project by_idx row)
+                  (Agg_exec.finalize compiled state))
+              child
+          else
+            match options.group_algo with
+            | Hash_group ->
+                hash_group_cursor ~batch_rows ~tr ~gov schema by_idx compiled
+                  child
+            | Sort_group ->
+                sort_group_cursor ~batch_rows ~tr schema by_idx compiled
+                  ~presorted:(covered_by_order by in_order)
+                  child
+        in
+        let cur =
+          if scalar then scalar_fallback compiled schema inner else inner
+        in
+        (boundary gov st cur, schema, st, out_order)
   in
-  eval plan
+  let cur, schema, st, order = compile plan in
+  let out = Heap.create schema in
+  let rec drain_root () =
+    match cur () with
+    | None -> ()
+    | Some b ->
+        Batch.iter (Heap.insert out) b;
+        drain_root ()
+  in
+  drain_root ();
+  (out, realize st, order, { peak_live_rows = tr.peak; batch_rows })
+
+let run_ordered ?options db plan =
+  let h, st, order, _ = run_profiled ?options db plan in
+  (h, st, order)
 
 let run ?options db plan =
-  let h, st, _ = run_ordered ?options db plan in
+  let h, st, _, _ = run_profiled ?options db plan in
   (h, st)
 
 let run_rows ?options db plan =
   let h, _ = run ?options db plan in
-  Heap.to_list h
+  Heap.to_list h (* breaker-ok: API conversion of the final result *)
 
 (* The typed-error boundary: a query either completes or yields an
    [Error] — budget breaches, injected faults, missing tables and legacy
@@ -433,7 +864,10 @@ let run_checked ?options db plan =
   Err.protect ~kind:Err.Exec (fun () -> run ?options db plan)
 
 let run_rows_checked ?options db plan =
-  Result.map (fun (h, _) -> Heap.to_list h) (run_checked ?options db plan)
+  Result.map
+    (fun (h, _) ->
+      Heap.to_list h (* breaker-ok: API conversion of the final result *))
+    (run_checked ?options db plan)
 
 let multiset_equal a b =
   let tally rows =

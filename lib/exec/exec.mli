@@ -1,10 +1,19 @@
-(** Plan interpreter.
+(** Plan interpreter: a batched, pull-based operator pipeline.
 
-    Evaluates a logical plan against a database instance, materialising each
-    operator's output and recording per-operator cardinalities.  Join and
-    group-by algorithms are selectable; [`Auto] uses a hash join whenever the
-    predicate contains an equi-join conjunct and falls back to nested loops
-    otherwise.
+    Evaluates a logical plan against a database instance by compiling it
+    to a tree of cursors that stream fixed-size {!Batch} slices upward on
+    demand.  Scans, selections, projections, maps and the probe side of
+    hash joins are fully pipelined; only true pipeline breakers
+    materialize rows (hash-join build side, nested-loop inner, sort
+    buffers, merge-join inputs, aggregation tables).  Per-operator row
+    and batch counts are recorded into an {!Optree.t}, and the peak
+    number of simultaneously live intermediate rows is tracked — the
+    memory axis on which the paper's eager transformation pays off.
+    Join and group-by algorithms are selectable; [`Auto] uses a hash
+    join whenever the predicate contains an equi-join conjunct and falls
+    back to nested loops otherwise.  Hash joins build on the {i left}
+    input and stream the right (Volcano convention), so E2's join builds
+    over the already-aggregated side.
 
     Semantics notes:
     - selections and join predicates keep a row only when the condition
@@ -35,12 +44,34 @@ type options = {
           the candidates through the index instead of scanning (the
           statistics tree shows an [IndexScan] leaf) *)
   governor : Governor.t;
-      (** per-query resource budgets, enforced at every operator boundary
-          and inside hash aggregation; defaults to
+      (** per-query resource budgets, charged per batch at every cursor
+          boundary and inside hash aggregation; defaults to
           {!Eager_robust.Governor.unlimited} *)
+  batch_rows : int;
+      (** rows per batch in the pull pipeline (default
+          {!Batch.default_rows}); values below 1 are rejected and values
+          above {!Batch.max_capacity} are clamped, so [batch_rows =
+          max_int] emulates operator-at-a-time materialization *)
 }
 
 val default_options : options
+
+type profile = {
+  peak_live_rows : int;
+      (** high-water mark of simultaneously live intermediate rows held
+          by pipeline breakers (hash builds, sort buffers, group tables,
+          index candidate lists); the final output heap is excluded *)
+  batch_rows : int;  (** the clamped batch size actually used *)
+}
+
+val run_profiled :
+  ?options:options ->
+  Database.t ->
+  Plan.t ->
+  Heap.t * Optree.t * Colref.t list * profile
+(** [run_ordered] plus the execution profile; the bench sweep uses the
+    profile to show that E2's peak intermediate footprint sits strictly
+    below E1's on group-reducing workloads. *)
 
 val run : ?options:options -> Database.t -> Plan.t -> Heap.t * Optree.t
 (** May raise [Err.Error_exn] (budget breach, missing table, arity

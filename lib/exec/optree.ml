@@ -1,33 +1,36 @@
-open Eager_robust
+type t = { label : string; out_rows : int; batches : int; children : t list }
 
-type t = { label : string; out_rows : int; children : t list }
+let leaf ?(batches = 0) label out_rows = { label; out_rows; batches; children = [] }
+let node ?(batches = 0) label out_rows children =
+  { label; out_rows; batches; children }
 
-let leaf label out_rows = { label; out_rows; children = [] }
-let node label out_rows children = { label; out_rows; children }
-
-(* Operator-boundary bookkeeping: every operator finishes by building its
-   statistics node, so this is where per-query budgets are enforced and
-   where the [exec.next] fault hook lives.  Raises [Err.Error_exn] (kind
-   [Resource]) on a budget breach — the query unwinds having touched only
-   its own output heaps. *)
-let boundary gov label out_rows children =
-  Fault.trip "exec.next";
-  Governor.charge_rows gov out_rows;
-  node label out_rows children
 let in_rows t = List.map (fun c -> c.out_rows) t.children
 
 let rec total_produced t =
   t.out_rows + List.fold_left (fun acc c -> acc + total_produced c) 0 t.children
 
+let has_prefix ~prefix t =
+  String.length t.label >= String.length prefix
+  && String.sub t.label 0 (String.length prefix) = prefix
+
 let rec find ~prefix t =
-  if String.length t.label >= String.length prefix
-     && String.sub t.label 0 (String.length prefix) = prefix
-  then Some t
+  if has_prefix ~prefix t then Some t
   else List.find_map (find ~prefix) t.children
+
+let find_all ~prefix t =
+  (* pre-order, so parents come before their subtrees and the left join
+     input is listed before the right one *)
+  let rec go acc t =
+    let acc = if has_prefix ~prefix t then t :: acc else acc in
+    List.fold_left go acc t.children
+  in
+  List.rev (go [] t)
 
 let pp ppf t =
   let rec go indent n =
-    Format.fprintf ppf "%s%s   -- %d rows@," indent n.label n.out_rows;
+    Format.fprintf ppf "%s%s   -- %d rows (%d batch%s)@," indent n.label
+      n.out_rows n.batches
+      (if n.batches = 1 then "" else "es");
     List.iter (go (indent ^ "  ")) n.children
   in
   Format.fprintf ppf "@[<v>";

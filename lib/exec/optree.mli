@@ -1,17 +1,15 @@
 (** Per-operator execution statistics, mirroring the plan tree.
 
     These are the numbers printed next to the plan edges in the paper's
-    Figures 1 and 8: how many rows each operator consumed and produced. *)
+    Figures 1 and 8: how many rows each operator consumed and produced,
+    plus how many batches it emitted through the pull pipeline (a
+    pipelined operator's batch count tracks its input; a pipeline
+    breaker re-batches its materialized state). *)
 
-type t = { label : string; out_rows : int; children : t list }
+type t = { label : string; out_rows : int; batches : int; children : t list }
 
-val leaf : string -> int -> t
-val node : string -> int -> t list -> t
-
-val boundary : Eager_robust.Governor.t -> string -> int -> t list -> t
-(** [node], plus operator-boundary enforcement: fires the [exec.next]
-    fault point and charges [out_rows] against the governor.  Raises
-    [Err.Error_exn] with kind [Resource] on a budget or deadline breach. *)
+val leaf : ?batches:int -> string -> int -> t
+val node : ?batches:int -> string -> int -> t list -> t
 
 val in_rows : t -> int list
 (** Output cardinalities of the children, i.e. this operator's input sizes. *)
@@ -20,7 +18,13 @@ val total_produced : t -> int
 (** Sum of [out_rows] over the whole tree — a crude work measure. *)
 
 val find : prefix:string -> t -> t option
-(** First node (pre-order) whose label starts with [prefix]. *)
+(** First node (pre-order) whose label starts with [prefix].  When
+    several nodes match — both inputs of a self-join, say — use
+    {!find_all}; [find] commits to traversal order. *)
+
+val find_all : prefix:string -> t -> t list
+(** Every node whose label starts with [prefix], in pre-order (parents
+    first, left subtree before right). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

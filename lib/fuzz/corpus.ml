@@ -98,11 +98,47 @@ let replay_sql ?equal ?faults ?fault_seed sql =
       in
       go 0 stmts
 
+(* Bind a corpus script without running the oracle: execute the DDL and
+   DML, canonicalise each SELECT against the database state at its
+   position, and hand back the loaded database with the queries.  The
+   batch-size differential tests use this to run the same corpus plans
+   through both the pipeline and the reference evaluator. *)
+let queries_of_sql sql =
+  let hint = r1_hint_of sql in
+  match Err.protect ~kind:Err.Parse (fun () -> Parser.parse_script sql) with
+  | Error e -> Error (Err.to_string e)
+  | Ok stmts ->
+      let db = Database.create () in
+      let rec go acc = function
+        | [] ->
+            if acc = [] then Error "corpus entry contains no SELECT"
+            else Ok (db, List.rev acc)
+        | Ast.S_select sel :: rest -> (
+            match Binder.bind_select db sel with
+            | Error msg -> Error ("bind: " ^ msg)
+            | Ok (Binder.Grouped input) -> (
+                let input = { input with Canonical.r1_hint = hint } in
+                match Canonical.of_input db input with
+                | Error msg -> Error ("canonicalise: " ^ msg)
+                | Ok q -> go (q :: acc) rest)
+            | Ok _ -> Error "corpus SELECT did not bind to a grouped query")
+        | st :: rest -> (
+            match Binder.exec_statement db st with
+            | Error msg -> Error msg
+            | Ok _ -> go acc rest)
+      in
+      go [] stmts
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let queries_of_file path =
+  match queries_of_sql (read_file path) with
+  | Ok v -> Ok v
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
 
 let replay_file ?equal ?faults ?fault_seed path =
   match replay_sql ?equal ?faults ?fault_seed (read_file path) with

@@ -33,6 +33,16 @@ val replay_file :
   string ->
   (int, string) result
 
+val queries_of_sql :
+  string -> (Eager_storage.Database.t * Eager_core.Canonical.t list, string) result
+(** Bind a corpus script without running the oracle: execute its DDL/DML
+    into a fresh database and canonicalise each SELECT.  Used by the
+    batch-size differential tests, which run the resulting plans through
+    both the pipeline executor and the naive reference evaluator. *)
+
+val queries_of_file :
+  string -> (Eager_storage.Database.t * Eager_core.Canonical.t list, string) result
+
 val replay_dir :
   ?equal:(Row.t list -> Row.t list -> bool) ->
   ?faults:bool ->

@@ -5,63 +5,80 @@ type breakdown = {
   total : float;
   node_label : string;
   node_cost : float;
+  mat_rows : float;
   out_card : float;
   inputs : breakdown list;
 }
 
 let log2 x = if x <= 2.0 then 1.0 else Float.log x /. Float.log 2.0
 
+(* Since the executor became a pull pipeline, operators differ not only
+   in row touches but in what they hold alive: pipelined operators
+   (scan, select, map, the probe side of a hash join) keep at most one
+   batch, while pipeline breakers materialize whole inputs (sort
+   buffers, nested-loop inners, hash-join build sides, group tables).
+   [mat_rows] estimates that footprint and is charged into [total] at
+   unit weight, so a plan that shrinks a join's build side — exactly
+   what performing group-by before join does — is rewarded even when its
+   row-touch counts tie. *)
 let breakdown ?(sort_group = false) db plan =
   let rec go (p : Plan.t) : breakdown =
     let prof = Estimate.profile db p in
     let label = Plan.label p in
+    let mk ~node_cost ~mat_rows inputs =
+      let kids = List.fold_left (fun acc b -> acc +. b.total) 0.0 inputs in
+      { total = kids +. node_cost +. mat_rows; node_label = label; node_cost;
+        mat_rows; out_card = prof.Estimate.card; inputs }
+    in
     match p with
     | Plan.Scan _ ->
         { total = prof.Estimate.card; node_label = label;
-          node_cost = prof.Estimate.card; out_card = prof.Estimate.card;
-          inputs = [] }
+          node_cost = prof.Estimate.card; mat_rows = 0.0;
+          out_card = prof.Estimate.card; inputs = [] }
     | Plan.Select { input; _ } ->
         let bin = go input in
-        let c = bin.out_card in
-        { total = bin.total +. c; node_label = label; node_cost = c;
-          out_card = prof.Estimate.card; inputs = [ bin ] }
+        mk ~node_cost:bin.out_card ~mat_rows:0.0 [ bin ]
     | Plan.Project { dedup; input; _ } ->
         let bin = go input in
         let c = bin.out_card *. if dedup then 2.0 else 1.0 in
-        { total = bin.total +. c; node_label = label; node_cost = c;
-          out_card = prof.Estimate.card; inputs = [ bin ] }
+        (* DISTINCT holds its seen-key table, one entry per output row *)
+        mk ~node_cost:c ~mat_rows:(if dedup then prof.Estimate.card else 0.0)
+          [ bin ]
     | Plan.Product (a, b) ->
         let ba = go a and bb = go b in
-        let c = ba.out_card *. bb.out_card in
-        { total = ba.total +. bb.total +. c; node_label = label;
-          node_cost = c; out_card = prof.Estimate.card; inputs = [ ba; bb ] }
+        (* nested loop materializes the inner (right) side *)
+        mk ~node_cost:(ba.out_card *. bb.out_card) ~mat_rows:bb.out_card
+          [ ba; bb ]
     | Plan.Join { pred; left; right } ->
         let ba = go left and bb = go right in
         let lsch = Plan.schema_of left and rsch = Plan.schema_of right in
         let keys, _ = Exec.split_equijoin lsch rsch pred in
-        let c =
-          if keys = [] then ba.out_card *. bb.out_card
-          else ba.out_card +. bb.out_card +. prof.Estimate.card
-        in
-        { total = ba.total +. bb.total +. c; node_label = label;
-          node_cost = c; out_card = prof.Estimate.card; inputs = [ ba; bb ] }
+        if keys = [] then
+          (* nested loop: inner side materialized *)
+          mk ~node_cost:(ba.out_card *. bb.out_card) ~mat_rows:bb.out_card
+            [ ba; bb ]
+        else
+          (* hash join: build on the left, stream the right — the eager
+             transformation's smaller join input shows up here *)
+          mk
+            ~node_cost:(ba.out_card +. bb.out_card +. prof.Estimate.card)
+            ~mat_rows:ba.out_card [ ba; bb ]
     | Plan.Group { input; _ } ->
         let bin = go input in
         let n = bin.out_card in
-        let c = if sort_group then n *. log2 n else n in
-        { total = bin.total +. c; node_label = label; node_cost = c;
-          out_card = prof.Estimate.card; inputs = [ bin ] }
+        if sort_group then
+          (* sort grouping buffers its whole input *)
+          mk ~node_cost:(n *. log2 n) ~mat_rows:n [ bin ]
+        else
+          (* hash grouping holds one entry per group *)
+          mk ~node_cost:n ~mat_rows:prof.Estimate.card [ bin ]
     | Plan.Map { input; _ } ->
         let bin = go input in
-        let c = bin.out_card in
-        { total = bin.total +. c; node_label = label; node_cost = c;
-          out_card = prof.Estimate.card; inputs = [ bin ] }
+        mk ~node_cost:bin.out_card ~mat_rows:0.0 [ bin ]
     | Plan.Sort { input; _ } ->
         let bin = go input in
         let n = bin.out_card in
-        let c = n *. log2 n in
-        { total = bin.total +. c; node_label = label; node_cost = c;
-          out_card = prof.Estimate.card; inputs = [ bin ] }
+        mk ~node_cost:(n *. log2 n) ~mat_rows:n [ bin ]
   in
   go plan
 
@@ -69,8 +86,11 @@ let cost ?sort_group db plan = (breakdown ?sort_group db plan).total
 
 let pp_breakdown ppf b =
   let rec go indent b =
-    Format.fprintf ppf "%s%s   -- cost %.0f, est. %.0f rows@," indent
-      b.node_label b.node_cost b.out_card;
+    Format.fprintf ppf "%s%s   -- cost %.0f, est. %.0f rows%s@," indent
+      b.node_label b.node_cost b.out_card
+      (if b.mat_rows > 0.0 then
+         Printf.sprintf ", materializes %.0f" b.mat_rows
+       else "");
     List.iter (go (indent ^ "  ")) b.inputs
   in
   Format.fprintf ppf "@[<v>";

@@ -3,8 +3,13 @@
     Mirrors the executor's algorithms: a hash join costs its inputs plus its
     output, a nested-loop join (used when no equi-join conjunct exists)
     costs the product of its inputs, hash grouping costs its input, sort
-    grouping costs [n log n].  Units are abstract "row touches"; only
-    comparisons between plans are meaningful. *)
+    grouping costs [n log n].  Since the executor is a pull pipeline, the
+    model also charges [mat_rows] — the rows a pipeline {i breaker}
+    materializes (hash-join build side, nested-loop inner, sort buffer,
+    group table); pipelined operators charge none, so plans that shrink a
+    join's build side (group-by before join) are rewarded.  Units are
+    abstract "row touches"; only comparisons between plans are
+    meaningful. *)
 
 open Eager_storage
 open Eager_algebra
@@ -13,6 +18,9 @@ type breakdown = {
   total : float;
   node_label : string;
   node_cost : float;  (** this operator alone *)
+  mat_rows : float;
+      (** estimated rows this operator holds materialized (0 for fully
+          pipelined operators) *)
   out_card : float;
   inputs : breakdown list;
 }

@@ -24,18 +24,21 @@ let no_limits = { max_rows = None; max_groups = None; deadline_ms = None }
 type t = {
   limits : limits;
   started : float; (* Unix.gettimeofday at creation *)
-  mutable rows : int; (* cumulative rows materialized *)
+  mutable rows : int; (* cumulative rows emitted across all operators *)
+  mutable batches : int; (* cumulative batches pulled through boundaries *)
 }
 
-let create limits = { limits; started = Unix.gettimeofday (); rows = 0 }
+let create limits =
+  { limits; started = Unix.gettimeofday (); rows = 0; batches = 0 }
 
 (* the shared no-op governor: no limit ever fires, so the (unused) row
    counter being global is harmless *)
-let unlimited = { limits = no_limits; started = 0.; rows = 0 }
+let unlimited = { limits = no_limits; started = 0.; rows = 0; batches = 0 }
 
 let is_unlimited t = t.limits = no_limits
 
 let rows_charged t = t.rows
+let batches_charged t = t.batches
 let elapsed_ms t = (Unix.gettimeofday () -. t.started) *. 1000.
 
 let check_deadline t =
@@ -46,7 +49,7 @@ let check_deadline t =
         budget
   | _ -> ()
 
-(* charge [n] freshly materialized rows and re-check every budget; called
+(* charge [n] freshly emitted rows and re-check every budget; called
    at each operator boundary *)
 let charge_rows t n =
   if not (is_unlimited t) then begin
@@ -57,6 +60,16 @@ let charge_rows t n =
           "row budget exceeded: %d rows materialized, limit %d" t.rows cap
     | _ -> ());
     check_deadline t
+  end
+
+(* one batch of [rows] crossing a cursor boundary in the pull pipeline:
+   charges the rows and counts the batch, so budgets trip mid-stream —
+   while the batch flows — rather than after an operator has fully
+   materialized its output *)
+let charge_batch t ~rows =
+  if not (is_unlimited t) then begin
+    t.batches <- t.batches + 1;
+    charge_rows t rows
   end
 
 (* [n] live entries in an aggregation hash table *)

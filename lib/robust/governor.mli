@@ -28,12 +28,21 @@ val unlimited : t
 
 val is_unlimited : t -> bool
 val rows_charged : t -> int
+
+val batches_charged : t -> int
+(** Batches pulled through cursor boundaries (see {!charge_batch}). *)
+
 val elapsed_ms : t -> float
 
 val check_deadline : t -> unit
 val charge_rows : t -> int -> unit
 (** Charge [n] freshly materialized rows and re-check every budget;
     called at each operator boundary. *)
+
+val charge_batch : t -> rows:int -> unit
+(** One batch of [rows] crossing a cursor boundary in the pull-based
+    pipeline: counts the batch and charges the rows, so budgets trip
+    mid-stream rather than after full materialization. *)
 
 val charge_groups : t -> int -> unit
 (** [n] live entries in an aggregation hash table. *)

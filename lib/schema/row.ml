@@ -19,12 +19,11 @@ let compare_on idxs a b =
   go 0
 
 (* Normalise whole floats to ints so that the structural key respects
-   numeric [=ⁿ] across Int/Float. *)
-let normalise (v : Value.t) : Value.t =
-  match v with
-  | Value.Float f when Float.is_integer f && Float.abs f < 1e15 ->
-      Value.Int (int_of_float f)
-  | _ -> v
+   numeric [=ⁿ] across Int/Float.  The cutoff is [Value.canonical_num]'s
+   2^53 exact-conversion bound — an ad-hoc smaller cutoff (1e15, say)
+   would put [Int 10^15] and [Float 1e15] in different group-by buckets
+   even though [compare_total] calls them equal. *)
+let normalise = Value.canonical_num
 
 let key_on idxs row = Array.to_list (Array.map (fun i -> normalise row.(i)) idxs)
 

@@ -67,6 +67,38 @@ let fold f init t =
 
 let to_list t = List.init t.len (fun i -> t.rows.(i))
 
+(* A scan cursor: snapshots the heap's length at creation and hands out
+   fixed-size row slices, so a scan never materializes the relation — the
+   executor's batched pipeline reads straight out of the heap's backing
+   array.  Rows are immutable, so sharing them with the caller is safe;
+   the [generation] snapshot lets the caller detect concurrent mutation
+   (single-statement evaluation never mutates base tables, so a stale
+   cursor is a programming error, not a runtime condition). *)
+type cursor = {
+  heap : t;
+  snapshot_len : int;
+  snapshot_gen : int;
+  batch_rows : int;
+  mutable pos : int;
+}
+
+let cursor ?(batch_rows = 1024) t =
+  if batch_rows < 1 then invalid_arg "Heap.cursor: batch_rows must be >= 1";
+  { heap = t; snapshot_len = t.len; snapshot_gen = t.gen; batch_rows; pos = 0 }
+
+let cursor_next c =
+  if c.pos >= c.snapshot_len then None
+  else begin
+    if c.heap.gen <> c.snapshot_gen then
+      invalid_arg "Heap.cursor_next: heap mutated under an open cursor";
+    let n = min c.batch_rows (c.snapshot_len - c.pos) in
+    let slice = Array.sub c.heap.rows c.pos n in
+    c.pos <- c.pos + n;
+    Some slice
+  end
+
+let cursor_remaining c = c.snapshot_len - c.pos
+
 let to_seq t =
   let rec go i () =
     if i >= t.len then Seq.Nil else Seq.Cons (t.rows.(i), go (i + 1))

@@ -22,6 +22,25 @@ val iteri : (int -> Row.t -> unit) -> t -> unit
 val fold : ('a -> Row.t -> 'a) -> 'a -> t -> 'a
 val to_list : t -> Row.t list
 val to_seq : t -> Row.t Seq.t
+
+type cursor
+(** A batched scan cursor over a length snapshot of the heap.  The
+    executor's pull pipeline reads base tables through cursors instead of
+    [to_list], so a scan holds at most one batch of rows alive. *)
+
+val cursor : ?batch_rows:int -> t -> cursor
+(** Snapshot the current length and start a cursor that yields slices of
+    at most [batch_rows] rows (default 1024).  Raises [Invalid_argument]
+    if [batch_rows < 1]. *)
+
+val cursor_next : cursor -> Row.t array option
+(** The next slice, or [None] when the snapshot is exhausted.  Rows are
+    shared with the heap (rows are immutable).  Raises
+    [Invalid_argument] if the heap was mutated since the cursor opened. *)
+
+val cursor_remaining : cursor -> int
+(** Rows left in the snapshot. *)
+
 val exists : (Row.t -> bool) -> t -> bool
 val generation : t -> int
 (** Monotone counter bumped on every insert; used to invalidate caches. *)

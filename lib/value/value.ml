@@ -59,6 +59,20 @@ let compare_total a b =
       | Some c -> c
       | None -> compare (type_tag a) (type_tag b))
 
+(* 2^53: the largest magnitude below which int<->float round-trips are
+   exact.  [cmp_non_null] settles mixed Int/Float comparisons by
+   coercing the int to float, so within this range an integral Float and
+   the equal Int must share one canonical form.  Beyond it no coherent
+   canonicalization exists — [compare_total] distinguishes huge Ints
+   exactly while equating each with its rounded Float — so values there
+   are left untouched rather than collapsed. *)
+let max_exact_int_float = 9007199254740992.
+
+let canonical_num = function
+  | Float f when Float.is_integer f && Float.abs f <= max_exact_int_float ->
+      Int (int_of_float f)
+  | v -> v
+
 let arith fi ff a b =
   match a, b with
   | Null, _ | _, Null -> Null

@@ -34,6 +34,18 @@ val compare_total : t -> t -> int
     NULLs sort first and compare equal to each other, matching [null_eq]
     classes.  Cross-type comparisons order by type tag. *)
 
+val max_exact_int_float : float
+(** [2^53], the largest magnitude below which int<->float conversion is
+    exact — the range where [compare_total]'s numeric coercion is a
+    genuine equivalence. *)
+
+val canonical_num : t -> t
+(** Canonical representative of a value's [compare_total] equality
+    class: integral [Float]s with magnitude at most
+    {!max_exact_int_float} become the equal [Int]; everything else is
+    unchanged.  Structural keys (grouping, DISTINCT, hash joins) hash
+    the canonical form so bucketing agrees with [compare_total]. *)
+
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t

@@ -541,7 +541,171 @@ let test_optree () =
     go 0
   in
   Alcotest.(check bool) "printer shows cardinalities" true
-    (contains "-- 4 rows" && contains "GroupBy")
+    (contains "-- 4 rows" && contains "GroupBy");
+  Alcotest.(check bool) "printer shows batch counts" true
+    (contains "batch");
+  (* per-operator batch counts at a small batch size: 5 rows in batches
+     of 2 → the scan emits 3 batches; the select keeps 4 rows but still
+     re-batches each nonempty input slice → 3; the group's 3 rows fit 2 *)
+  let _, st2 =
+    Exec.run ~options:{ Exec.default_options with batch_rows = 2 } db plan
+  in
+  let batches prefix =
+    match Optree.find ~prefix st2 with
+    | Some n -> n.Optree.batches
+    | None -> Alcotest.failf "no %s node" prefix
+  in
+  Alcotest.(check int) "scan batches" 3 (batches "Scan");
+  Alcotest.(check int) "select batches" 3 (batches "Select");
+  Alcotest.(check int) "group batches" 2 (batches "GroupBy")
+
+let test_optree_find_all () =
+  let db = make_db () in
+  let _, st = Exec.run db (Plan.Product (scan_t, scan_u)) in
+  (* [find] commits to the first scan; [find_all] sees both, in order *)
+  (match Optree.find_all ~prefix:"Scan" st with
+  | [ l; r ] ->
+      Alcotest.(check int) "left scan first (T: 5 rows)" 5 l.Optree.out_rows;
+      Alcotest.(check int) "right scan second (U: 4 rows)" 4 r.Optree.out_rows;
+      Alcotest.(check bool) "find returns the first of them" true
+        (Optree.find ~prefix:"Scan" st = Some l)
+  | other ->
+      Alcotest.failf "expected exactly 2 scans, got %d" (List.length other));
+  Alcotest.(check int) "no match is empty" 0
+    (List.length (Optree.find_all ~prefix:"Window" st))
+
+(* ---------------- batched pull pipeline ---------------- *)
+
+(* the same plans must mean the same thing at every batch size; sweep a
+   plan that exercises scan, select, join, group and project *)
+let batch_sizes = [ 1; 2; 7; 1024; max_int ]
+
+let algo_combos =
+  [
+    (Exec.Auto, Exec.Hash_group);
+    (Exec.Nested_loop, Exec.Sort_group);
+    (Exec.Merge_join, Exec.Sort_group);
+    (Exec.Merge_join, Exec.Hash_group);
+  ]
+
+let check_against_reference ?(combos = algo_combos) name db plan =
+  let reference = Eager_exec.Ref_eval.eval db plan in
+  List.iter
+    (fun batch_rows ->
+      List.iter
+        (fun (join_algo, group_algo) ->
+          let options =
+            { Exec.default_options with join_algo; group_algo; batch_rows }
+          in
+          let got = Exec.run_rows ~options db plan in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: batch=%d algos agree with reference" name
+               (min batch_rows 99999))
+            true
+            (Exec.multiset_equal reference got))
+        combos)
+    batch_sizes
+
+let test_batch_size_invariance () =
+  let db = make_db () in
+  let plan =
+    Plan.project ~dedup:true
+      [ cr "T" "a"; cr "" "n" ]
+      (Plan.group ~by:[ cr "T" "a" ]
+         ~aggs:[ Agg.count_star (cr "" "n") ]
+         (Plan.join join_pred
+            (Plan.select (Expr.Is_not_null (Expr.col "T" "b")) scan_t)
+            scan_u))
+  in
+  check_against_reference "group-over-join" db plan;
+  (* empty input through every operator *)
+  let empty =
+    Plan.group ~by:[ cr "T" "a" ]
+      ~aggs:[ Agg.sum (cr "" "s") (Expr.col "T" "b") ]
+      (Plan.select Expr.efalse scan_t)
+  in
+  check_against_reference "empty input" db empty
+
+(* every checked-in fuzz-corpus query, replayed at several batch sizes
+   against the naive whole-relation reference evaluator *)
+let test_corpus_differential () =
+  let dir = if Sys.file_exists "../corpus" then "../corpus" else "corpus" in
+  let files =
+    if Sys.file_exists dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sql")
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+    else []
+  in
+  Alcotest.(check bool) "corpus present" true (files <> []);
+  let checked = ref 0 in
+  List.iter
+    (fun path ->
+      match Eager_fuzz.Corpus.queries_of_file path with
+      | Error msg -> Alcotest.failf "corpus load: %s" msg
+      | Ok (db, qs) ->
+          List.iter
+            (fun q ->
+              let plans =
+                (Filename.basename path ^ ":E1", Eager_core.Plans.e1 db q)
+                ::
+                (match
+                   Eager_robust.Err.protect ~kind:Eager_robust.Err.Planner
+                     (fun () -> Eager_core.Plans.e2 db q)
+                 with
+                | Ok p -> [ (Filename.basename path ^ ":E2", p) ]
+                | Error _ -> [])
+              in
+              List.iter
+                (fun (name, plan) ->
+                  incr checked;
+                  check_against_reference name db plan)
+                plans)
+            qs)
+    files;
+  Alcotest.(check bool) "at least one corpus plan checked" true (!checked > 0)
+
+(* generated queries too: a slice of the fuzz space beyond the corpus *)
+let test_generated_differential () =
+  let seeds = List.init 12 (fun k -> 1000 + k) in
+  List.iter
+    (fun seed ->
+      let case = Eager_fuzz.Qgen.generate (Eager_workload.Gen.make2 777 seed) in
+      match Eager_fuzz.Qgen.build case with
+      | Error m -> Alcotest.failf "qgen build (seed %d): %s" seed m
+      | Ok (db, q) ->
+          check_against_reference
+            ~combos:[ (Exec.Auto, Exec.Hash_group);
+                      (Exec.Merge_join, Exec.Sort_group) ]
+            (Printf.sprintf "gen seed %d" seed)
+            db
+            (Eager_core.Plans.e1 db q))
+    seeds
+
+(* the profile's high-water mark: breakers account for what they hold,
+   and the eager plan's smaller build side shows up as a lower peak *)
+let test_profile_peak () =
+  let db = make_db () in
+  let j = Plan.join join_pred scan_t scan_u in
+  let _, _, _, prof = Exec.run_profiled db j in
+  (* hash join builds the left side's non-NULL-key rows: 4 of T's 5 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "join build side tracked (peak %d)" prof.Exec.peak_live_rows)
+    true
+    (prof.Exec.peak_live_rows >= 4);
+  let w = Eager_workload.Employee_dept.setup ~employees:400 ~departments:10 () in
+  let wdb = w.Eager_workload.Employee_dept.db in
+  let q = w.Eager_workload.Employee_dept.query in
+  let peak plan =
+    let _, _, _, p = Exec.run_profiled wdb plan in
+    p.Exec.peak_live_rows
+  in
+  let p1 = peak (Eager_core.Plans.e1 wdb q) in
+  let p2 = peak (Eager_core.Plans.e2 wdb q) in
+  Alcotest.(check bool)
+    (Printf.sprintf "E2 peak (%d) strictly below E1 peak (%d)" p2 p1)
+    true (p2 < p1)
 
 (* ---------------- multiset equality ---------------- *)
 
@@ -660,6 +824,20 @@ let () =
         ] );
       ( "multiset",
         [ Alcotest.test_case "multiset_equal" `Quick test_multiset_equal ] );
-      ("stats", [ Alcotest.test_case "operator tree" `Quick test_optree ]);
+      ( "stats",
+        [
+          Alcotest.test_case "operator tree" `Quick test_optree;
+          Alcotest.test_case "find_all" `Quick test_optree_find_all;
+        ] );
+      ( "batch pipeline",
+        [
+          Alcotest.test_case "batch-size invariance" `Quick
+            test_batch_size_invariance;
+          Alcotest.test_case "corpus differential" `Quick
+            test_corpus_differential;
+          Alcotest.test_case "generated differential" `Quick
+            test_generated_differential;
+          Alcotest.test_case "peak live rows" `Quick test_profile_peak;
+        ] );
       ("properties", qsuite [ prop_join_algos_agree; prop_group_algos_agree ]);
     ]

@@ -118,6 +118,30 @@ let test_row_key_normalisation () =
   let kn = Row.key_on [| 0 |] [| Value.Null |] in
   Alcotest.(check bool) "NULL is its own class" false (kn = k1)
 
+(* regression: the whole-float normalisation cutoff used to be 1e15, so
+   [Int 10^15] and [Float 1e15] — equal under [compare_total] — landed
+   in different group-by buckets.  The cutoff is now 2^53, the bound of
+   exact int<->float conversion used by [Value.compare_total]'s
+   coercion. *)
+let test_row_key_large_numerics () =
+  let key v = Row.key_on [| 0 |] [| v |] in
+  let q = 1_000_000_000_000_000 (* 10^15, above the old 1e15 cutoff *) in
+  Alcotest.(check int) "10^15 and 1e15 compare equal" 0
+    (Value.compare_total (i q) (Value.Float 1e15));
+  Alcotest.(check bool) "10^15 and 1e15 share a key" true
+    (key (i q) = key (Value.Float 1e15));
+  (* 2^53 is still within the exact range *)
+  let m = 9007199254740992 in
+  Alcotest.(check bool) "2^53 and 2^53. share a key" true
+    (key (i m) = key (Value.Float 9007199254740992.));
+  (* beyond 2^53 floats are left alone: the canonical form never
+     manufactures an Int a float round-trip can't represent *)
+  Alcotest.(check bool) "1e16 float stays a float" true
+    (Value.canonical_num (Value.Float 1e16) = Value.Float 1e16);
+  (* fractional floats are untouched *)
+  Alcotest.(check bool) "2.5 not collapsed" true
+    (Value.canonical_num (Value.Float 2.5) = Value.Float 2.5)
+
 (* property: key equality ⇔ =ⁿ row equivalence *)
 let value_gen =
   QCheck.Gen.(
@@ -151,6 +175,8 @@ let () =
           Alcotest.test_case "operations" `Quick test_row_ops;
           Alcotest.test_case "key normalisation" `Quick
             test_row_key_normalisation;
+          Alcotest.test_case "large numeric keys" `Quick
+            test_row_key_large_numerics;
           QCheck_alcotest.to_alcotest prop_key_iff_null_eq;
         ] );
     ]

@@ -36,6 +36,28 @@ while IFS= read -r hit; do
   fi
 done < <(grep -rn --include='*.ml' -E 'failwith|Obj\.magic' lib bin || true)
 
+# The executor is a pull pipeline: whole-relation materialization
+# (Heap.to_list, List.concat over operator output) is banned in
+# lib/exec hot paths.  True pipeline breakers mark the offending line
+# with a `breaker-ok` comment stating why; ref_eval.ml is exempt
+# wholesale — it is the deliberately materializing reference oracle the
+# pipeline is differentially tested against.
+while IFS= read -r hit; do
+  line=${hit#*:*:}
+  case "$line" in
+  *breaker-ok*) ;;
+  *)
+    echo "lint: whole-relation materialization in the pull pipeline: $hit" >&2
+    echo "lint: stream through cursors/batches, or mark a true pipeline" >&2
+    echo "lint: breaker with a 'breaker-ok' comment explaining why." >&2
+    bad=1
+    ;;
+  esac
+done < <(grep -rn --include='*.ml' \
+  --exclude='ref_eval.ml' \
+  -E 'Heap\.to_list|List\.concat' \
+  lib/exec || true)
+
 # no allowlist for nondeterminism: Random.self_init and the global
 # generator are banned outright (Random.State through Gen is the only
 # sanctioned source of randomness)
