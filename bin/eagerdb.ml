@@ -373,6 +373,108 @@ let demo name =
         "unknown demo %s (try: fig1 | fig8 | ex3 | parts | sales)\n" name;
       1
 
+(* the concurrent session server (lib/server): accept/commit/session
+   threads, snapshot-isolated readers, group-committed writers *)
+let serve_main listen_s db_dir checkpoint_every max_sessions max_active
+    max_queued max_wait_ms global_rows statement_limits read_timeout_ms
+    die_on_broken_wal faults fault_seed fault_rate =
+  let open Eager_server in
+  arm_faults faults fault_seed fault_rate;
+  let listen =
+    match Client.parse_addr listen_s with
+    | Ok (Client.A_unix p) -> Server.L_unix p
+    | Ok (Client.A_tcp (h, p)) -> Server.L_tcp (h, p)
+    | Error m ->
+        prerr_endline ("error: invalid --listen address: " ^ m);
+        exit 2
+  in
+  let admission =
+    {
+      Admission.max_sessions;
+      max_active;
+      max_queued;
+      max_wait_ms;
+      global_rows;
+      statement_limits;
+    }
+  in
+  let cfg =
+    {
+      Server.listen;
+      admission;
+      read_timeout_ms;
+      db_dir;
+      checkpoint_every;
+      die_on_broken_wal;
+    }
+  in
+  match Server.start cfg with
+  | Error e ->
+      Printf.eprintf "error: %s\n" (Err.to_string e);
+      1
+  | Ok (t, recovery) -> (
+      (match (db_dir, recovery) with
+      | Some dir, Some r -> print_recovery dir r
+      | _ -> ());
+      Printf.printf "eagerdb listening on %s\n%!" (Server.bound_addr t);
+      (* the handler only requests the stop; the joins happen on a
+         helper thread so the handler itself never blocks *)
+      let request_stop _ = ignore (Thread.create (fun () -> Server.stop t) ()) in
+      List.iter
+        (fun s ->
+          try Sys.set_signal s (Sys.Signal_handle request_stop)
+          with Invalid_argument _ -> ())
+        [ Sys.sigint; Sys.sigterm ];
+      match Server.wait t with
+      | Ok () ->
+          print_endline "eagerdb: shut down";
+          0
+      | Error e ->
+          Printf.eprintf "fatal: %s\n%!" (Err.to_string e);
+          1)
+
+let sql_main connect timeout_ms retries backoff_ms seed script file =
+  let open Eager_server in
+  match Client.parse_addr connect with
+  | Error m ->
+      prerr_endline ("error: invalid --connect address: " ^ m);
+      2
+  | Ok addr -> (
+      let cfg = Client.config ~timeout_ms ~retries ~backoff_ms ~seed addr in
+      let src =
+        match (script, file) with
+        | Some s, None -> Ok s
+        | None, Some path ->
+            let ic = open_in path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            Ok s
+        | None, None -> Ok (In_channel.input_all In_channel.stdin)
+        | Some _, Some _ -> Error "give SQL either inline or with -f, not both"
+      in
+      match src with
+      | Error m ->
+          prerr_endline ("error: " ^ m);
+          2
+      | Ok src -> (
+          match Client.run cfg src with
+          | Ok (Client.Ok_text txt) ->
+              print_string txt;
+              0
+          | Ok (Client.Refused { retry_after_ms; msg }) ->
+              Printf.eprintf
+                "refused after retries (server says retry in %d ms): %s\n"
+                retry_after_ms msg;
+              3
+          | Ok (Client.Failed { kind; msg }) ->
+              print_string msg;
+              Printf.eprintf "statement failed [%s]\n" kind;
+              1
+          | Error e ->
+              Printf.eprintf "error: %s\n" (Err.to_string e);
+              1))
+
 open Cmdliner
 
 (* resource-limit flags shared by [run] and [repl]; each query gets a
@@ -409,6 +511,29 @@ let limits_term =
         { Governor.max_rows; max_groups; deadline_ms })
     $ max_rows $ max_groups $ deadline_ms)
 
+(* fault-injection flags shared by [run] and [serve] *)
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Arm fault-injection one-shots, e.g. \
+           'persist.rename\\@1,exec.next\\@3' (fire on the n-th hit)")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Arm a seeded random fault schedule over all injection points")
+
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:"Firing probability per hit for --fault-seed (default 0.01)")
+
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let db_dir =
@@ -444,32 +569,10 @@ let run_cmd =
       & info [ "save" ] ~docv:"DIR"
           ~doc:"Save the database to $(docv) after the script")
   in
-  let faults =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "faults" ] ~docv:"SPEC"
-          ~doc:
-            "Arm fault-injection one-shots, e.g. \
-             'persist.rename\\@1,exec.next\\@3' (fire on the n-th hit)")
-  in
-  let fault_seed =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "fault-seed" ] ~docv:"SEED"
-          ~doc:"Arm a seeded random fault schedule over all injection points")
-  in
-  let fault_rate =
-    Arg.(
-      value & opt float 0.01
-      & info [ "fault-rate" ] ~docv:"P"
-          ~doc:"Firing probability per hit for --fault-seed (default 0.01)")
-  in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
     Term.(
       const run_file $ db_dir $ save_dir $ limits_term $ wal $ checkpoint_every
-      $ faults $ fault_seed $ fault_rate $ file)
+      $ faults_arg $ fault_seed_arg $ fault_rate_arg $ file)
 
 let demo_cmd =
   let name_arg =
@@ -565,11 +668,152 @@ let fuzz_cmd =
     Term.(
       const fuzz $ seed $ iters $ no_faults $ corpus $ replay $ quiet)
 
+let serve_cmd =
+  let listen =
+    Arg.(
+      value
+      & opt string "unix:/tmp/eagerdb.sock"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: unix:PATH or tcp:HOST:PORT (port 0 picks a free \
+             port; the chosen one is in the 'listening on' line)")
+  in
+  let db_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR"
+          ~doc:
+            "Serve a durable database under $(docv): writes are \
+             write-ahead-logged with group commit and recovery runs at \
+             startup.  Without it the server is in-memory")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"With --db, checkpoint automatically every $(docv) logged \
+                statements")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Concurrent connections before refusing new sessions")
+  in
+  let max_active =
+    Arg.(
+      value & opt int 8
+      & info [ "max-active" ] ~docv:"N"
+          ~doc:"Statements executing at once; excess arrivals queue fairly")
+  in
+  let max_queued =
+    Arg.(
+      value & opt int 32
+      & info [ "max-queued" ] ~docv:"N"
+          ~doc:"Queued statements before shedding load with BUSY")
+  in
+  let max_wait_ms =
+    Arg.(
+      value & opt float 2000.
+      & info [ "max-wait-ms" ] ~docv:"MS"
+          ~doc:"Queue-wait budget before a statement is refused")
+  in
+  let global_rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "global-rows" ] ~docv:"N"
+          ~doc:
+            "Aggregate row budget across every executing statement (the \
+             global pool behind per-statement --max-rows)")
+  in
+  let read_timeout_ms =
+    Arg.(
+      value & opt float 30_000.
+      & info [ "read-timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-frame socket read deadline (also the idle-session \
+                timeout)")
+  in
+  let die_on_broken_wal =
+    Arg.(
+      value & flag
+      & info [ "die-on-broken-wal" ]
+          ~doc:
+            "Treat a poisoned write-ahead log as fatal and stop the server \
+             instead of degrading to read-only (the crash-test harness uses \
+             this to turn injected log faults into process deaths)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve concurrent SQL sessions over a socket (snapshot-isolated \
+          reads, group-committed writes, admission control)")
+    Term.(
+      const serve_main $ listen $ db_dir $ checkpoint_every $ max_sessions
+      $ max_active $ max_queued $ max_wait_ms $ global_rows $ limits_term
+      $ read_timeout_ms $ die_on_broken_wal $ faults_arg $ fault_seed_arg
+      $ fault_rate_arg)
+
+let sql_cmd =
+  let connect =
+    Arg.(
+      value
+      & opt string "unix:/tmp/eagerdb.sock"
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server address: unix:PATH or tcp:HOST:PORT")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30_000.
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:"Per-response read deadline in milliseconds")
+  in
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry budget for transient failures and BUSY shed responses \
+             (jittered exponential backoff, honouring the server's \
+             retry-after hint)")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 25.
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base backoff between retries, doubled per attempt")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "retry-seed" ] ~docv:"N"
+          ~doc:"Jitter seed (explicit so retry schedules are reproducible)")
+  in
+  let script =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:
+            "Read the SQL script from $(docv) (stdin if neither SQL nor -f \
+             is given)")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Send a SQL script to a running server")
+    Term.(
+      const sql_main $ connect $ timeout $ retries $ backoff $ seed $ script
+      $ file)
+
 let () =
   let main =
     Cmd.group
       (Cmd.info "eagerdb" ~version:"1.0.0"
          ~doc:"Group-by pushdown demonstrator (Yan & Larson, ICDE 1994)")
-      [ run_cmd; demo_cmd; repl_cmd; fuzz_cmd ]
+      [ run_cmd; demo_cmd; repl_cmd; fuzz_cmd; serve_cmd; sql_cmd ]
   in
   exit (Cmd.eval' main)

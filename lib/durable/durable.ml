@@ -34,6 +34,9 @@ type recovery = {
 
 let db t = t.db
 let dir t = t.dir
+let lsn t = Wal.next_seq t.wal - 1
+let wal_bytes t = Wal.bytes_logged t.wal
+let wal_broken t = Wal.broken t.wal
 
 let snapshot_exists ~dir =
   Sys.file_exists (Filename.concat dir "snapshot.eagerdb")
@@ -160,7 +163,9 @@ let checkpoint t =
 
 let exec t stmt =
   match stmt with
-  | Ast.S_select _ | Ast.S_explain _ ->
+  | Ast.S_select _ | Ast.S_explain _ | Ast.S_status ->
+      (* reads never touch the log; STATUS is answered by the server
+         front end (or refused by the binder outside one) *)
       Err.of_msg Err.Exec (Binder.exec_statement t.db stmt)
   | Ast.S_checkpoint ->
       let* lsn = checkpoint t in
@@ -194,6 +199,106 @@ let exec t stmt =
                   (Printf.sprintf "and the abort marker failed: %s"
                      (Err.to_string we))
                   e))
+
+(* Group commit: log every statement of the batch buffered, commit the
+   lot with ONE fsync, then apply each.  The single [Wal.sync] is the
+   commit point for the whole batch — a crash before it loses every
+   statement of the batch (none was acknowledged), a crash after it
+   loses none.  Apply failures leave abort markers exactly as in [exec];
+   the markers themselves are group-committed with a second sync.  The
+   per-statement results come back in order; a batch-level log failure
+   (poisoned handle, injected wal fault) replicates into every entry,
+   because with the fsync never issued none of them committed. *)
+let exec_grouped t stmts =
+  let all_failed e = List.map (fun _ -> Error e) stmts in
+  let loggable = function
+    | Ast.S_select _ | Ast.S_explain _ | Ast.S_checkpoint | Ast.S_status ->
+        false
+    | _ -> true
+  in
+  if List.exists (fun s -> not (loggable s)) stmts then
+    all_failed
+      (Err.exec
+         "exec_grouped: queries and CHECKPOINT cannot ride a group commit")
+  else
+    (* phase 1: buffered appends *)
+    let seqs =
+      List.map
+        (fun stmt ->
+          let sql = Ast.statement_to_string stmt in
+          Wal.append_buffered t.wal ~kind:Wal.Stmt sql)
+        stmts
+    in
+    match List.find_opt Result.is_error seqs with
+    | Some (Error e) -> all_failed e
+    | Some (Ok _) (* unreachable *) | None -> (
+        (* phase 2: the one fsync that commits the whole batch *)
+        match Wal.sync t.wal with
+        | Error e -> all_failed e
+        | Ok () ->
+            (* phase 3: apply each committed statement *)
+            let aborts = ref [] in
+            let results =
+              List.map2
+                (fun stmt seq ->
+                  let seq = Result.get_ok seq in
+                  match Binder.exec_statement t.db stmt with
+                  | Ok outcome ->
+                      t.since_checkpoint <- t.since_checkpoint + 1;
+                      Ok outcome
+                  | Error msg ->
+                      aborts := seq :: !aborts;
+                      Error (Err.exec "%s" msg))
+                stmts seqs
+            in
+            (* phase 4: group-commit the abort markers, if any *)
+            let abort_failure =
+              match !aborts with
+              | [] -> None
+              | victims -> (
+                  let failed =
+                    List.find_map
+                      (fun seq ->
+                        match
+                          Wal.append_buffered t.wal ~kind:Wal.Abort
+                            (string_of_int seq)
+                        with
+                        | Ok _ -> None
+                        | Error e -> Some e)
+                      (List.rev victims)
+                  in
+                  match failed with
+                  | Some e -> Some e
+                  | None -> (
+                      match Wal.sync t.wal with
+                      | Ok () -> None
+                      | Error e -> Some e))
+            in
+            let results =
+              match abort_failure with
+              | None -> results
+              | Some we ->
+                  (* the failed statements' markers may not be durable;
+                     surface that on each failed entry so the caller
+                     knows replay might re-refuse them instead *)
+                  List.map
+                    (function
+                      | Ok _ as ok -> ok
+                      | Error e ->
+                          Error
+                            (Err.add_context
+                               (Printf.sprintf
+                                  "and the abort marker failed: %s"
+                                  (Err.to_string we))
+                               e))
+                    results
+              in
+            (* auto-checkpoint once per batch, after everything applied *)
+            (match t.checkpoint_every with
+            | Some every when t.since_checkpoint >= every ->
+                ignore (checkpoint t : (int, Err.t) result)
+            | _ -> ());
+            results)
 
 let run_script_with t src ~f =
   let* stmts =

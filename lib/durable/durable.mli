@@ -50,10 +50,36 @@ val open_ :
 val db : t -> Database.t
 val dir : t -> string
 
+val lsn : t -> int
+(** The sequence number of the last logged record — the LSN readers
+    stamp their snapshots with under MVCC-lite. *)
+
+val wal_bytes : t -> int
+(** Cumulative bytes appended to the log through this session
+    (telemetry). *)
+
+val wal_broken : t -> bool
+(** The log handle is poisoned (a write failed); every further write
+    refuses with a typed error and only a restart-with-recovery clears
+    it.  The server uses this to degrade to read-only instead of
+    crashing. *)
+
 val exec : t -> Eager_parser.Ast.statement -> (Eager_parser.Binder.outcome, Err.t) result
 (** Execute one statement with WAL semantics.  Queries bypass the log;
     [CHECKPOINT] triggers {!checkpoint} and reports [Checkpointed lsn];
     everything else is logged, fsynced, then applied. *)
+
+val exec_grouped :
+  t ->
+  Eager_parser.Ast.statement list ->
+  (Eager_parser.Binder.outcome, Err.t) result list
+(** Group commit: append every statement of the batch to the log
+    buffered, commit them all with {e one} fsync ([Wal.sync] — the
+    [wal.group_commit] fault point), then apply each, leaving abort
+    markers for applies that refuse.  Returns per-statement results in
+    order.  A log failure before the sync fails the whole batch (none
+    of it was committed).  Queries and [CHECKPOINT] are refused —
+    route them around the group path. *)
 
 val checkpoint : t -> (int, Err.t) result
 (** Snapshot the database (stamped with the current LSN) and truncate

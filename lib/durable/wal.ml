@@ -110,6 +110,8 @@ type t = {
   mutable oc : out_channel;
   mutable next : int;
   mutable broken : bool;
+  mutable pending : int; (* records flushed to the OS but not yet fsynced *)
+  mutable bytes : int; (* cumulative bytes appended since open (telemetry) *)
 }
 
 let poisoned t =
@@ -124,12 +126,18 @@ let open_append ~path ~next_seq =
         flush oc;
         Unix.fsync (Unix.descr_of_out_channel oc)
       end;
-      { path; oc; next = next_seq; broken = false })
+      { path; oc; next = next_seq; broken = false; pending = 0; bytes = 0 })
 
 let next_seq t = t.next
 let broken t = t.broken
+let pending t = t.pending
+let bytes_logged t = t.bytes
 
-let append t ~kind payload =
+(* write one record and flush it to the OS — no fsync, so the record is
+   NOT yet committed.  The building block behind both [append] (which
+   fsyncs immediately) and group commit (many buffered appends, one
+   [sync]). *)
+let append_buffered t ~kind payload =
   if t.broken then poisoned t
   else
     let seq = t.next in
@@ -150,12 +158,57 @@ let append t ~kind payload =
           Fault.trip "wal.append";
           output_substring t.oc record half (total - half);
           flush t.oc;
+          total)
+    in
+    match r with
+    | Ok total ->
+        t.next <- seq + 1;
+        t.pending <- t.pending + 1;
+        t.bytes <- t.bytes + total;
+        Ok seq
+    | Error e ->
+        t.broken <- true;
+        Error (Err.add_context (Printf.sprintf "wal append #%d" seq) e)
+
+(* the group-commit point: one fsync covers every buffered record.  The
+   [wal.group_commit] hook fires after the batch is flushed but before
+   the fsync — a crash there loses (or keeps, at the OS's whim) the
+   whole tail of uncommitted records, which recovery handles as a torn /
+   unreplayed suffix. *)
+let sync t =
+  if t.broken then poisoned t
+  else if t.pending = 0 then Ok ()
+  else
+    let r =
+      Err.protect ~kind:Err.Io (fun () ->
+          Fault.trip "wal.group_commit";
+          Unix.fsync (Unix.descr_of_out_channel t.oc))
+    in
+    match r with
+    | Ok () ->
+        t.pending <- 0;
+        Ok ()
+    | Error e ->
+        t.broken <- true;
+        Error
+          (Err.add_context
+             (Printf.sprintf "wal group commit (%d pending record(s))"
+                t.pending)
+             e)
+
+let append t ~kind payload =
+  if t.broken then poisoned t
+  else
+    let seq = t.next in
+    let r =
+      let* (_ : int) = append_buffered t ~kind payload in
+      Err.protect ~kind:Err.Io (fun () ->
           Fault.trip "wal.fsync";
           Unix.fsync (Unix.descr_of_out_channel t.oc))
     in
     match r with
     | Ok () ->
-        t.next <- seq + 1;
+        t.pending <- 0;
         Ok seq
     | Error e ->
         t.broken <- true;
@@ -185,7 +238,9 @@ let truncate t =
           t.oc <- open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.path)
     in
     match r with
-    | Ok () -> Ok ()
+    | Ok () ->
+        t.pending <- 0;
+        Ok ()
     | Error e ->
         t.broken <- true;
         Error (Err.add_context "wal truncate" e)

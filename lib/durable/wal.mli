@@ -65,6 +65,31 @@ val open_append : path:string -> next_seq:int -> (t, Err.t) result
 val next_seq : t -> int
 val broken : t -> bool
 
+val pending : t -> int
+(** Records flushed to the OS but not yet covered by an fsync — the
+    group-commit window.  Zero after {!append}, {!sync} or
+    {!truncate}. *)
+
+val bytes_logged : t -> int
+(** Cumulative bytes appended through this handle since it was opened
+    (telemetry; survives nothing — it is not persisted). *)
+
+val append_buffered : t -> kind:kind -> string -> (int, Err.t) result
+(** Log one record {e without} fsyncing: the record is fully written and
+    flushed to the OS but is {b not committed} until a later {!sync}
+    (or {!append}) fsyncs the file.  The building block of group
+    commit: a writer batch is appended buffered, then one {!sync}
+    commits the lot with a single fsync.  The [wal.append] fault hook
+    fires mid-record exactly as for {!append}. *)
+
+val sync : t -> (unit, Err.t) result
+(** The group-commit point: one fsync covering every record appended
+    since the last sync.  The [wal.group_commit] fault hook fires after
+    the batch is flushed but before the fsync, so a simulated crash
+    there leaves a suffix of uncommitted (possibly torn) records that
+    recovery truncates or replays per the torn-tail rule — committed
+    statements are exactly those acknowledged after a sync. *)
+
 val append : t -> kind:kind -> string -> (int, Err.t) result
 (** Log one record and return its sequence number.  The record is fully
     written, flushed and fsynced before [Ok] — the fsync is the commit

@@ -52,6 +52,7 @@ type statement =
   | S_select of select_ast
   | S_explain of { analyze : bool; body : select_ast }
   | S_checkpoint
+  | S_status
 
 (* a string literal the lexer reads back verbatim: quotes double *)
 let string_literal s =
@@ -252,3 +253,4 @@ let statement_to_string = function
         (if analyze then "ANALYZE " else "")
         (select_to_string body)
   | S_checkpoint -> "CHECKPOINT"
+  | S_status -> "STATUS"

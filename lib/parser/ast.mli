@@ -60,6 +60,9 @@ type statement =
   | S_select of select_ast
   | S_explain of { analyze : bool; body : select_ast }
   | S_checkpoint
+  | S_status
+      (** server-session telemetry report; outside a server the binder
+          rejects it *)
       (** flush a durable session: snapshot the database and truncate its
           write-ahead log (rejected outside a WAL session) *)
 

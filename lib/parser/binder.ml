@@ -914,6 +914,10 @@ let exec_statement db (stmt : Ast.statement) : (outcome, string) result =
       (* performed by the durable session wrapper (Eager_durable.Durable),
          which intercepts the statement before it reaches here *)
       Error "CHECKPOINT requires a write-ahead-logged session (run with --wal)"
+  | Ast.S_status ->
+      (* answered by the server front end (Eager_server.Server), which
+         intercepts the statement and reports its telemetry counters *)
+      Error "STATUS requires a server session (connect to eagerdb serve)"
 
 let parse_script_safe src =
   match Parser.parse_script src with

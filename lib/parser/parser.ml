@@ -45,7 +45,7 @@ let keywords =
     "FOREIGN"; "REFERENCES"; "EXPLAIN"; "TRUE"; "FALSE"; "HAVING"; "ORDER";
     "ASC"; "DESC"; "LIKE"; "BETWEEN"; "IN"; "UPDATE"; "SET"; "DELETE";
     "INDEX"; "ON"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "ANALYZE";
-    "CHECKPOINT";
+    "CHECKPOINT"; "STATUS";
   ]
 
 let ident st =
@@ -535,6 +535,7 @@ let parse_statement_at st : Ast.statement =
     Ast.S_explain { analyze; body = parse_select_body st }
   end
   else if accept_kw st "CHECKPOINT" then Ast.S_checkpoint
+  else if accept_kw st "STATUS" then Ast.S_status
   else if is_kw st "SELECT" then Ast.S_select (parse_select_body st)
   else fail st "expected a statement"
 

@@ -1,0 +1,19 @@
+(* Monotonised wall clock.  The OCaml stdlib exposes no OS monotonic
+   source, so we build the property we actually need — a process-wide
+   non-decreasing clock — by clamping [Unix.gettimeofday] to its own
+   high-water mark.  Backward steps (the dangerous direction: they would
+   stall every deadline) are absorbed; forward steps at worst fire
+   budgets early, which degrades one query instead of unbounding it. *)
+
+let mu = Mutex.create ()
+let high_water = ref neg_infinity
+
+let now_ms () =
+  let wall = Unix.gettimeofday () *. 1000. in
+  Mutex.lock mu;
+  let now = if wall > !high_water then wall else !high_water in
+  high_water := now;
+  Mutex.unlock mu;
+  now
+
+let sleep_ms ms = if ms > 0. then Unix.sleepf (ms /. 1000.)

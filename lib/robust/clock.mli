@@ -1,0 +1,25 @@
+(** Monotonic time for budget enforcement.
+
+    [Unix.gettimeofday] follows the wall clock, which steps when NTP or
+    an operator adjusts it; a backward step would freeze every
+    {!Governor} deadline (elapsed time stops growing) and let a runaway
+    query evade its budget for as long as the adjustment was large.
+    {!now_ms} is a monotonised reading: it never goes backward, so a
+    backward wall step is absorbed (time stands still until the wall
+    catches up) and elapsed intervals never shrink.  A forward step can
+    still fire deadlines early — the safe direction for enforcement,
+    since a budget that trips early degrades one query instead of
+    letting one run forever.
+
+    Thread-safe: the high-water mark is guarded by a mutex, so sessions
+    on different threads all observe a single non-decreasing clock. *)
+
+val now_ms : unit -> float
+(** Milliseconds on a process-wide non-decreasing clock.  The absolute
+    value is meaningless; only differences are. *)
+
+val sleep_ms : float -> unit
+(** Block the calling thread for at least that many milliseconds
+    (no-op for non-positive values).  Lives here so callers that pace
+    retries or group-commit windows use the same time base they
+    measure with. *)

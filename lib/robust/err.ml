@@ -77,7 +77,7 @@ let of_fault point =
     | Some i -> (
         match String.sub point 0 i with
         | "storage" | "heap" -> Storage
-        | "persist" | "wal" -> Io
+        | "persist" | "wal" | "server" -> Io
         | "exec" -> Exec
         | "opt" -> Planner
         | _ -> Exec)
@@ -135,3 +135,11 @@ let protect ~kind f =
   | exception Invalid_argument msg -> Error (errf kind "invalid argument: %s" msg)
   | exception Not_found -> Error (make kind "internal lookup failed (Not_found)")
   | exception Sys_error msg -> Error (make Io msg)
+  | exception Unix.Unix_error (e, fn, arg) ->
+      (* a syscall refusing (EPIPE on a closed peer, ECONNREFUSED, …) is
+         an I/O condition, not a crash: the wire layer's writes run with
+         SIGPIPE ignored exactly so the failure lands here, typed *)
+      Error
+        (errf Io "%s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))

@@ -58,7 +58,8 @@ val pp : Format.formatter -> t -> unit
 
 val of_fault : string -> t
 (** Route a simulated crash into the taxonomy by its point prefix
-    ([storage.]/[heap.] → [Storage], [persist.]/[wal.] → [Io], …). *)
+    ([storage.]/[heap.] → [Storage], [persist.]/[wal.]/[server.] →
+    [Io], …). *)
 
 (** {1 Result combinators} *)
 
@@ -78,6 +79,7 @@ val map_result : ('a -> ('b, 'e) result) -> 'a list -> ('b list, 'e) result
 val protect : kind:kind -> (unit -> 'a) -> ('a, t) result
 (** Run [f], converting every escape hatch back into a typed error:
     {!Error_exn} carries one already; {!Fault_injected} is a simulated
-    crash; [Failure]/[Invalid_argument]/[Not_found] from legacy code and
-    [Sys_error] from the OS are wrapped under [kind].  Asynchronous and
-    truly unexpected exceptions still propagate. *)
+    crash; [Failure]/[Invalid_argument]/[Not_found] from legacy code are
+    wrapped under [kind]; [Sys_error] and [Unix.Unix_error] (EPIPE on a
+    closed peer, ECONNREFUSED, …) become typed [Io] errors.
+    Asynchronous and truly unexpected exceptions still propagate. *)

@@ -27,6 +27,9 @@ let all_points =
     "wal.fsync"; (* Wal.append, after the full record, before fsync *)
     "wal.truncate"; (* Wal.truncate, before the atomic rename *)
     "wal.replay"; (* Durable recovery, before applying each record *)
+    "wal.group_commit"; (* Wal.sync, after the batch is flushed, before fsync *)
+    "server.accept"; (* Server loop, before accepting a connection *)
+    "server.read"; (* Wire.read_frame, before reading from a session *)
   ]
 
 type seeded = {

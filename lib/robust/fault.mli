@@ -13,7 +13,8 @@ val all_points : string list
 (** Every point compiled into the engine: [storage.write],
     [heap.append], [persist.rename], [persist.write], [exec.next],
     [opt.testfd], [opt.cost], [wal.append], [wal.fsync],
-    [wal.truncate], [wal.replay]. *)
+    [wal.truncate], [wal.replay], [wal.group_commit], [server.accept],
+    [server.read]. *)
 
 val reset : unit -> unit
 (** Disarm everything and zero the counters. *)

@@ -6,7 +6,19 @@
      bounds intermediate blow-up (cartesian products, exploding joins);
    - [max_groups]: live aggregation-hash-table entries — bounds the
      memory of hash grouping on the group-by-before-join paths;
-   - [deadline_ms]: wall-clock budget from governor creation.
+   - [deadline_ms]: elapsed-time budget from governor creation, measured
+     on the monotonised clock ([Clock.now_ms]) so a wall-clock
+     adjustment under a long-running session can never stall (or
+     spuriously extend) enforcement.
+
+   A governor may additionally be attached to a shared [pool]: a
+   process-wide row budget spanning every statement currently executing.
+   Each batch pulled through a cursor boundary charges the pool as well,
+   so when the server is over its aggregate budget the statement that
+   tips it over gets a typed [Resource] refusal mid-stream — backpressure
+   propagated through the batch-pull boundary rather than a stall.
+   [finish] returns a statement's charge to the pool; the admission
+   controller calls it when the statement's ticket is released.
 
    Breaches raise [Err.Error_exn] with kind [Resource] so they unwind
    from deep inside iterator callbacks; [Exec.run_checked] converts them
@@ -21,25 +33,63 @@ type limits = {
 
 let no_limits = { max_rows = None; max_groups = None; deadline_ms = None }
 
-type t = {
-  limits : limits;
-  started : float; (* Unix.gettimeofday at creation *)
-  mutable rows : int; (* cumulative rows emitted across all operators *)
-  mutable batches : int; (* cumulative batches pulled through boundaries *)
+(* shared row budget across concurrently executing statements; guarded
+   by its own mutex because sessions run on separate threads *)
+type pool = {
+  pool_cap : int;
+  pool_mu : Mutex.t;
+  mutable pool_rows : int;
 }
 
-let create limits =
-  { limits; started = Unix.gettimeofday (); rows = 0; batches = 0 }
+let pool ~cap = { pool_cap = cap; pool_mu = Mutex.create (); pool_rows = 0 }
+
+let pool_in_use p =
+  Mutex.lock p.pool_mu;
+  let n = p.pool_rows in
+  Mutex.unlock p.pool_mu;
+  n
+
+let pool_cap p = p.pool_cap
+
+type t = {
+  limits : limits;
+  pool : pool option;
+  started : float; (* Clock.now_ms at creation *)
+  mutable rows : int; (* cumulative rows emitted across all operators *)
+  mutable batches : int; (* cumulative batches pulled through boundaries *)
+  mutable pooled : int; (* rows this governor has charged to the pool *)
+  mutable finished : bool;
+}
+
+let create ?pool limits =
+  {
+    limits;
+    pool;
+    started = Clock.now_ms ();
+    rows = 0;
+    batches = 0;
+    pooled = 0;
+    finished = false;
+  }
 
 (* the shared no-op governor: no limit ever fires, so the (unused) row
    counter being global is harmless *)
-let unlimited = { limits = no_limits; started = 0.; rows = 0; batches = 0 }
+let unlimited =
+  {
+    limits = no_limits;
+    pool = None;
+    started = 0.;
+    rows = 0;
+    batches = 0;
+    pooled = 0;
+    finished = false;
+  }
 
-let is_unlimited t = t.limits = no_limits
+let is_unlimited t = t.limits = no_limits && t.pool = None
 
 let rows_charged t = t.rows
 let batches_charged t = t.batches
-let elapsed_ms t = (Unix.gettimeofday () -. t.started) *. 1000.
+let elapsed_ms t = Clock.now_ms () -. t.started
 
 let check_deadline t =
   match t.limits.deadline_ms with
@@ -49,16 +99,38 @@ let check_deadline t =
         budget
   | _ -> ()
 
+(* charge [n] rows against the shared pool; the charge sticks even when
+   it breaches (the rows exist either way) and is returned by [finish] *)
+let charge_pool t n =
+  match t.pool with
+  | None -> ()
+  | Some p ->
+      Mutex.lock p.pool_mu;
+      p.pool_rows <- p.pool_rows + n;
+      t.pooled <- t.pooled + n;
+      let over = p.pool_rows > p.pool_cap in
+      let in_use = p.pool_rows in
+      Mutex.unlock p.pool_mu;
+      if over then
+        Err.failf Err.Resource
+          "global row budget exceeded: %d rows live across all sessions, \
+           limit %d"
+          in_use p.pool_cap
+
 (* charge [n] freshly emitted rows and re-check every budget; called
-   at each operator boundary *)
+   at each operator boundary.  Only the shared [unlimited] singleton
+   skips the accounting (its counters would be cross-query noise) — a
+   limit-free per-statement governor still counts, because the server's
+   telemetry reads the counters back even when nothing can trip. *)
 let charge_rows t n =
-  if not (is_unlimited t) then begin
+  if t != unlimited then begin
     t.rows <- t.rows + n;
     (match t.limits.max_rows with
     | Some cap when t.rows > cap ->
         Err.failf Err.Resource
           "row budget exceeded: %d rows materialized, limit %d" t.rows cap
     | _ -> ());
+    charge_pool t n;
     check_deadline t
   end
 
@@ -67,7 +139,7 @@ let charge_rows t n =
    while the batch flows — rather than after an operator has fully
    materialized its output *)
 let charge_batch t ~rows =
-  if not (is_unlimited t) then begin
+  if t != unlimited then begin
     t.batches <- t.batches + 1;
     charge_rows t rows
   end
@@ -79,6 +151,20 @@ let charge_groups t n =
       Err.failf Err.Resource
         "aggregation hash table exceeds %d entries (%d live groups)" cap n
   | _ -> ()
+
+(* return this statement's charge to the shared pool; idempotent, so the
+   admission controller can call it from both the normal and the unwind
+   path *)
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    match t.pool with
+    | None -> ()
+    | Some p ->
+        Mutex.lock p.pool_mu;
+        p.pool_rows <- p.pool_rows - t.pooled;
+        Mutex.unlock p.pool_mu
+  end
 
 (* result-transport variant for cold paths (planner, CLI) *)
 let check t =

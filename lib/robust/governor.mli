@@ -5,7 +5,19 @@
     they unwind from deep inside iterator callbacks;
     [Exec.run_checked] converts them to [Error].  Aborting a query never
     mutates base tables: operators only write to fresh output heaps,
-    which are dropped on unwind. *)
+    which are dropped on unwind.
+
+    Deadlines are measured on the monotonised clock ({!Clock.now_ms}),
+    so budget enforcement survives wall-clock adjustments under
+    long-running sessions.
+
+    A governor may also be attached to a shared {!pool} — a process-wide
+    row budget spanning every concurrently executing statement.  Every
+    batch pulled through a cursor boundary charges the pool, so an
+    over-budget server refuses the tipping statement mid-stream with a
+    typed [Resource] error (backpressure through the batch-pull
+    boundary) instead of stalling.  {!finish} returns the statement's
+    charge when it completes or unwinds. *)
 
 type limits = {
   max_rows : int option;
@@ -14,14 +26,27 @@ type limits = {
   max_groups : int option;
       (** live aggregation-hash-table entries — bounds the memory of
           hash grouping on the group-by-before-join paths *)
-  deadline_ms : float option;  (** wall-clock budget from creation *)
+  deadline_ms : float option;
+      (** elapsed-time budget from creation (monotonic clock) *)
 }
 
 val no_limits : limits
 
+type pool
+(** A shared row budget across concurrently executing statements
+    (thread-safe). *)
+
+val pool : cap:int -> pool
+val pool_in_use : pool -> int
+(** Rows currently charged by live (unfinished) governors. *)
+
+val pool_cap : pool -> int
+
 type t
 
-val create : limits -> t
+val create : ?pool:pool -> limits -> t
+(** [pool] attaches the governor to a shared global row budget in
+    addition to its per-statement [limits]. *)
 
 val unlimited : t
 (** The shared no-op governor: no limit ever fires. *)
@@ -36,8 +61,9 @@ val elapsed_ms : t -> float
 
 val check_deadline : t -> unit
 val charge_rows : t -> int -> unit
-(** Charge [n] freshly materialized rows and re-check every budget;
-    called at each operator boundary. *)
+(** Charge [n] freshly materialized rows and re-check every budget —
+    per-statement caps, the shared pool, the deadline; called at each
+    operator boundary. *)
 
 val charge_batch : t -> rows:int -> unit
 (** One batch of [rows] crossing a cursor boundary in the pull-based
@@ -46,6 +72,11 @@ val charge_batch : t -> rows:int -> unit
 
 val charge_groups : t -> int -> unit
 (** [n] live entries in an aggregation hash table. *)
+
+val finish : t -> unit
+(** Return this governor's charge to its shared pool (no-op without
+    one).  Idempotent; the admission controller calls it when the
+    statement's ticket is released. *)
 
 val check : t -> (unit, Err.t) result
 (** Result-transport deadline check for cold paths (planner, CLI). *)

@@ -1,0 +1,167 @@
+(* Admission control: session slots, fair-FIFO statement slots, and a
+   shared global row pool.
+
+   Waiting is implemented by polling under the lock with short sleeps
+   rather than a condition variable: OCaml's [Condition] has no timed
+   wait, and the wait budget ([max_wait_ms]) is a hard part of the
+   degradation contract — a waiter must be able to give up on schedule
+   even if no release ever happens.  The poll interval (2 ms) costs
+   nothing at this scale and keeps the implementation free of helper
+   threads.  Fairness: each waiter takes a dense arrival number; only
+   the waiter whose number is at the head of the queue may take a freed
+   slot, so admission is strictly arrival-ordered. *)
+
+open Eager_robust
+
+type config = {
+  max_sessions : int;
+  max_active : int;
+  max_queued : int;
+  max_wait_ms : float;
+  global_rows : int option;
+  statement_limits : Governor.limits;
+}
+
+let default_config =
+  {
+    max_sessions = 64;
+    max_active = 8;
+    max_queued = 32;
+    max_wait_ms = 2000.;
+    global_rows = None;
+    statement_limits = Governor.no_limits;
+  }
+
+type refusal = { reason : Err.t; retry_after_ms : int }
+
+type t = {
+  cfg : config;
+  mu : Mutex.t;
+  pool : Governor.pool option;
+  mutable n_sessions : int;
+  mutable n_active : int;
+  mutable next_arrival : int;
+  waiting : int Queue.t; (* arrival numbers, head = next to admit *)
+}
+
+let create cfg =
+  {
+    cfg;
+    mu = Mutex.create ();
+    pool = Option.map (fun cap -> Governor.pool ~cap) cfg.global_rows;
+    n_sessions = 0;
+    n_active = 0;
+    next_arrival = 0;
+    waiting = Queue.create ();
+  }
+
+let config t = t.cfg
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* back-off hint sized to the load we are shedding: the fuller the
+   queue, the longer the client should stay away *)
+let retry_hint t =
+  25 * (1 + t.n_active + Queue.length t.waiting)
+
+let refuse t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Error { reason = Err.make Err.Resource msg; retry_after_ms = retry_hint t })
+    fmt
+
+let open_session t =
+  locked t (fun () ->
+      if t.n_sessions >= t.cfg.max_sessions then
+        refuse t "server full: %d sessions connected, limit %d" t.n_sessions
+          t.cfg.max_sessions
+      else begin
+        t.n_sessions <- t.n_sessions + 1;
+        Ok ()
+      end)
+
+let close_session t =
+  locked t (fun () -> t.n_sessions <- max 0 (t.n_sessions - 1))
+
+type ticket = { gov : Governor.t; mutable released : bool }
+
+let governor tk = tk.gov
+
+let make_ticket t =
+  { gov = Governor.create ?pool:t.pool t.cfg.statement_limits; released = false }
+
+(* remove one occurrence of [x] from the queue, preserving order *)
+let queue_remove q x =
+  let keep = Queue.create () in
+  Queue.iter (fun y -> if y <> x then Queue.add y keep) q;
+  Queue.clear q;
+  Queue.transfer keep q
+
+let admit t =
+  Mutex.lock t.mu;
+  if t.n_active < t.cfg.max_active && Queue.is_empty t.waiting then begin
+    t.n_active <- t.n_active + 1;
+    let tk = make_ticket t in
+    Mutex.unlock t.mu;
+    Ok tk
+  end
+  else if Queue.length t.waiting >= t.cfg.max_queued then begin
+    let r =
+      refuse t "server overloaded: %d executing, %d queued (queue limit %d)"
+        t.n_active
+        (Queue.length t.waiting)
+        t.cfg.max_queued
+    in
+    Mutex.unlock t.mu;
+    r
+  end
+  else begin
+    let me = t.next_arrival in
+    t.next_arrival <- t.next_arrival + 1;
+    Queue.add me t.waiting;
+    let deadline = Clock.now_ms () +. t.cfg.max_wait_ms in
+    let rec wait () =
+      if t.n_active < t.cfg.max_active && Queue.peek_opt t.waiting = Some me
+      then begin
+        ignore (Queue.pop t.waiting);
+        t.n_active <- t.n_active + 1;
+        let tk = make_ticket t in
+        Mutex.unlock t.mu;
+        Ok tk
+      end
+      else if Clock.now_ms () >= deadline then begin
+        queue_remove t.waiting me;
+        let r =
+          refuse t
+            "admission wait exceeded %.0f ms (%d executing, %d queued)"
+            t.cfg.max_wait_ms t.n_active
+            (Queue.length t.waiting)
+        in
+        Mutex.unlock t.mu;
+        r
+      end
+      else begin
+        Mutex.unlock t.mu;
+        Clock.sleep_ms 2.;
+        Mutex.lock t.mu;
+        wait ()
+      end
+    in
+    wait ()
+  end
+
+let release t tk =
+  if not tk.released then begin
+    tk.released <- true;
+    Governor.finish tk.gov;
+    locked t (fun () -> t.n_active <- max 0 (t.n_active - 1))
+  end
+
+let sessions t = locked t (fun () -> t.n_sessions)
+let active t = locked t (fun () -> t.n_active)
+let queued t = locked t (fun () -> Queue.length t.waiting)
+
+let pool_in_use t =
+  match t.pool with None -> 0 | Some p -> Governor.pool_in_use p

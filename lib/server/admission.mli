@@ -1,0 +1,72 @@
+(** The Governor promoted to an admission controller.
+
+    PR 1's governor bounds one statement; a server must also bound the
+    {e sum} of its sessions.  This module owns three budgets:
+
+    - {b session slots}: at most [max_sessions] connections at once —
+      the cheapest place to shed load is before a session exists;
+    - {b statement slots}: at most [max_active] statements executing
+      concurrently, with a fair FIFO queue of at most [max_queued]
+      waiters, each waiting at most [max_wait_ms];
+    - {b a global row pool} ([global_rows]): the aggregate row budget
+      across every executing statement, charged per batch at cursor
+      boundaries through each ticket's {!Eager_robust.Governor}, so
+      over-budget load degrades mid-stream instead of stalling.
+
+    Every refusal is typed ([Err.Resource]) and carries a
+    [retry_after_ms] hint sized to the current queue depth — the
+    graceful-degradation contract: shed load visibly, never stall or
+    crash.  Fairness is FIFO: waiters are admitted strictly in arrival
+    order, so no session can starve another. *)
+
+open Eager_robust
+
+type config = {
+  max_sessions : int;  (** concurrent connections *)
+  max_active : int;  (** statements executing at once *)
+  max_queued : int;  (** waiting statements before shedding *)
+  max_wait_ms : float;  (** queue-wait budget before refusal *)
+  global_rows : int option;
+      (** aggregate row budget across all executing statements *)
+  statement_limits : Governor.limits;  (** per-statement budgets *)
+}
+
+val default_config : config
+(** 64 sessions, 8 active, 32 queued, 2000 ms wait, no global row cap,
+    no per-statement limits. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+type refusal = { reason : Err.t; retry_after_ms : int }
+(** A typed shed-load decision: [reason] has kind [Resource]; the hint
+    tells the client how long to back off before retrying. *)
+
+val open_session : t -> (unit, refusal) result
+val close_session : t -> unit
+
+type ticket
+(** One admitted statement: holds a statement slot and a governor
+    attached to the global row pool. *)
+
+val admit : t -> (ticket, refusal) result
+(** Take a statement slot, waiting fairly (FIFO) behind earlier
+    arrivals for at most [max_wait_ms].  Refuses — without blocking
+    further — when the queue is full or the wait budget lapses. *)
+
+val governor : ticket -> Governor.t
+(** Fresh per admitted statement; budget breaches inside execution
+    surface as typed [Resource] errors through the normal exec path. *)
+
+val release : t -> ticket -> unit
+(** Return the slot and the ticket's pool charge; idempotent. *)
+
+(** {1 Gauges} (for [STATUS]) *)
+
+val sessions : t -> int
+val active : t -> int
+val queued : t -> int
+val pool_in_use : t -> int
+(** Rows currently charged to the global pool (0 without one). *)

@@ -1,0 +1,139 @@
+open Eager_robust
+
+type addr = A_unix of string | A_tcp of string * int
+
+let parse_addr s =
+  let starts_with p = String.length s > String.length p
+                      && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if starts_with "unix:" then Ok (A_unix (after "unix:"))
+  else if starts_with "tcp:" then
+    match String.rindex_opt (after "tcp:") ':' with
+    | None -> Error (Printf.sprintf "tcp address %S needs HOST:PORT" s)
+    | Some i ->
+        let hp = after "tcp:" in
+        let host = String.sub hp 0 i in
+        let port_s = String.sub hp (i + 1) (String.length hp - i - 1) in
+        (match int_of_string_opt port_s with
+        | Some port when port > 0 && port < 65536 -> Ok (A_tcp (host, port))
+        | _ -> Error (Printf.sprintf "bad port in %S" s))
+  else if s <> "" then Ok (A_unix s)
+  else Error "empty address"
+
+let addr_to_string = function
+  | A_unix p -> "unix:" ^ p
+  | A_tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+type config = {
+  addr : addr;
+  timeout_ms : float;
+  retries : int;
+  backoff_ms : float;
+  seed : int;
+}
+
+let config ?(timeout_ms = 30_000.) ?(retries = 5) ?(backoff_ms = 25.)
+    ?(seed = 1) addr =
+  { addr; timeout_ms; retries; backoff_ms; seed }
+
+type response =
+  | Ok_text of string
+  | Refused of { retry_after_ms : int; msg : string }
+  | Failed of { kind : string; msg : string }
+
+type conn = { wire : Wire.conn; timeout_ms : float }
+
+(* a write to a server that died mid-request must surface as a typed
+   [Io] error (EPIPE through [Err.protect]), not kill the client *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let connect cfg =
+  Lazy.force ignore_sigpipe;
+  Err.protect ~kind:Err.Io (fun () ->
+      let fd =
+        match cfg.addr with
+        | A_unix path ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            (try Unix.connect fd (Unix.ADDR_UNIX path)
+             with e -> Unix.close fd; raise e);
+            fd
+        | A_tcp (host, port) ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            let a =
+              if host = "localhost" then Unix.inet_addr_loopback
+              else Unix.inet_addr_of_string host
+            in
+            (try Unix.connect fd (Unix.ADDR_INET (a, port))
+             with e -> Unix.close fd; raise e);
+            fd
+      in
+      { wire = Wire.of_fd fd; timeout_ms = cfg.timeout_ms })
+
+let close c = Wire.close c.wire
+
+let read_response c =
+  let ( let* ) = Err.( let* ) in
+  let* frame = Wire.read_frame c.wire ~timeout_ms:c.timeout_ms in
+  match frame with
+  | None -> Error (Err.io "server closed the connection")
+  | Some { Wire.verb = "OK"; payload; _ } -> Ok (Ok_text payload)
+  | Some { Wire.verb = "ERR"; args = kind :: _; payload } ->
+      Ok (Failed { kind; msg = payload })
+  | Some { Wire.verb = "ERR"; args = []; payload } ->
+      Ok (Failed { kind = "Io"; msg = payload })
+  | Some { Wire.verb = "BUSY"; args; payload } ->
+      let hint =
+        match args with a :: _ -> Option.value (int_of_string_opt a) ~default:0 | [] -> 0
+      in
+      Ok (Refused { retry_after_ms = hint; msg = payload })
+  | Some { Wire.verb; _ } -> Error (Err.io "unexpected server verb %S" verb)
+
+let request c sql =
+  let ( let* ) = Err.( let* ) in
+  let* () = Wire.write_frame c.wire ~verb:"STMT" sql in
+  read_response c
+
+let ping c =
+  let ( let* ) = Err.( let* ) in
+  let* () = Wire.write_frame c.wire ~verb:"PING" "" in
+  let* r = read_response c in
+  match r with
+  | Ok_text _ -> Ok ()
+  | Refused { msg; _ } | Failed { msg; _ } -> Error (Err.io "ping refused: %s" msg)
+
+(* jittered exponential backoff; an explicit PRNG state because the
+   global Random is banned repo-wide (determinism under test) *)
+let run cfg sql =
+  let rng = Random.State.make [| cfg.seed; 0x5eed |] in
+  let backoff attempt hint_ms =
+    let base = cfg.backoff_ms *. (2. ** float_of_int attempt) in
+    let jitter = 0.5 +. Random.State.float rng 1.0 in
+    let ms = Float.max (base *. jitter) (float_of_int hint_ms) in
+    Clock.sleep_ms ms
+  in
+  let attempt () =
+    match connect cfg with
+    | Error e -> Error e
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> close c) (fun () -> request c sql)
+  in
+  let rec go n =
+    match attempt () with
+    | Ok (Ok_text _ as r) | Ok (Failed _ as r) -> Ok r
+    | Ok (Refused { retry_after_ms; _ } as r) ->
+        if n >= cfg.retries then Ok r
+        else begin
+          backoff n retry_after_ms;
+          go (n + 1)
+        end
+    | Error e ->
+        if n >= cfg.retries then Error e
+        else begin
+          backoff n 0;
+          go (n + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,56 @@
+(** The client half of the wire protocol, with bounded retries.
+
+    A {!request} is one [STMT] frame and one response frame, every read
+    deadline-bounded.  {!run} adds the resilience policy: reconnect and
+    retry on transient failures (connect refused, timeouts, torn
+    frames, server-shed [BUSY] responses) with jittered exponential
+    backoff, honouring the server's [retry_after_ms] hint when one is
+    given; statement errors ([ERR] frames) are returned immediately —
+    retrying a refused statement is pointless, and retrying a script
+    that may have partially applied is wrong, which is why the server
+    only sheds load {e before} executing anything. *)
+
+open Eager_robust
+
+type addr = A_unix of string | A_tcp of string * int
+
+val parse_addr : string -> (addr, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], or a bare path (unix socket). *)
+
+val addr_to_string : addr -> string
+
+type config = {
+  addr : addr;
+  timeout_ms : float;  (** per-response read deadline *)
+  retries : int;  (** additional attempts after the first *)
+  backoff_ms : float;  (** base backoff, doubled per attempt, jittered *)
+  seed : int;  (** jitter seed — explicit so tests are reproducible *)
+}
+
+val config : ?timeout_ms:float -> ?retries:int -> ?backoff_ms:float ->
+  ?seed:int -> addr -> config
+(** Defaults: 30 s timeout, 5 retries, 25 ms base backoff, seed 1. *)
+
+type response =
+  | Ok_text of string  (** rendered result text *)
+  | Refused of { retry_after_ms : int; msg : string }
+      (** the server shed this request before executing it *)
+  | Failed of { kind : string; msg : string }
+      (** a typed statement error; not retryable *)
+
+type conn
+
+val connect : config -> (conn, Err.t) result
+val close : conn -> unit
+
+val request : conn -> string -> (response, Err.t) result
+(** Send one SQL script, read one response.  [Error] means the
+    connection itself failed (refused, timed out, torn) — the caller
+    should reconnect. *)
+
+val ping : conn -> (unit, Err.t) result
+
+val run : config -> string -> (response, Err.t) result
+(** Connect, {!request}, close — retrying transient failures and
+    [Refused] responses up to [retries] times with jittered backoff.
+    Returns the last refusal or error if the budget is exhausted. *)

@@ -1,0 +1,652 @@
+(* The session server: one accept thread, one commit thread, one thread
+   per session.
+
+   Write path: session threads never touch the WAL or the database
+   directly — they enqueue statement runs on the commit queue and block
+   on an ivar.  The commit thread drains the whole queue each wake-up
+   and commits every drained run with ONE fsync (Durable.exec_grouped),
+   which is where group commit amortization comes from: concurrency in
+   the arrival process directly becomes batching in the log.
+
+   Read path: session threads take the commit lock just long enough to
+   stamp an LSN and obtain a frozen snapshot (Snapshot.get), then run
+   the query with zero shared mutable state.  Writers committing
+   concurrently are invisible to an in-flight reader by construction. *)
+
+open Eager_storage
+open Eager_exec
+open Eager_core
+open Eager_opt
+open Eager_parser
+open Eager_durable
+open Eager_robust
+
+type listen = L_unix of string | L_tcp of string * int
+
+type config = {
+  listen : listen;
+  admission : Admission.config;
+  read_timeout_ms : float;
+  db_dir : string option;
+  checkpoint_every : int option;
+  die_on_broken_wal : bool;
+}
+
+let default_config listen =
+  {
+    listen;
+    admission = Admission.default_config;
+    read_timeout_ms = 30_000.;
+    db_dir = None;
+    checkpoint_every = None;
+    die_on_broken_wal = false;
+  }
+
+(* a write-once cell the commit thread fills and a session thread waits on *)
+module Ivar = struct
+  type 'a t = { mu : Mutex.t; cv : Condition.t; mutable v : 'a option }
+
+  let create () = { mu = Mutex.create (); cv = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.mu;
+    t.v <- Some v;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.mu
+
+  let read t =
+    Mutex.lock t.mu;
+    while Option.is_none t.v do
+      Condition.wait t.cv t.mu
+    done;
+    let v = Option.get t.v in
+    Mutex.unlock t.mu;
+    v
+end
+
+type write_req =
+  | W_batch of Ast.statement list * (Binder.outcome, Err.t) result list Ivar.t
+      (** a contiguous run of loggable writes from one request *)
+  | W_checkpoint of (Binder.outcome, Err.t) result Ivar.t
+
+type backend =
+  | Durable of Durable.t
+  | Mem of { db : Database.t; mutable mem_lsn : int }
+
+type t = {
+  cfg : config;
+  backend : backend;
+  adm : Admission.t;
+  tel : Telemetry.t;
+  snaps : Snapshot.t;
+  commit_mu : Mutex.t;  (* apply vs snapshot exclusion *)
+  q_mu : Mutex.t;
+  q_cv : Condition.t;
+  queue : write_req Queue.t;
+  mutable shutdown : bool;
+  mutable fatal : Err.t option;
+  listen_fd : Unix.file_descr;
+  addr_str : string;
+  sess_mu : Mutex.t;
+  mutable session_fds : Unix.file_descr list;
+  mutable session_threads : Thread.t list;
+  mutable core_threads : Thread.t list;  (* commit + accept *)
+  fin_mu : Mutex.t;
+  mutable finalized : bool;
+}
+
+let bound_addr t = t.addr_str
+let db_of t = match t.backend with Durable d -> Durable.db d | Mem m -> m.db
+
+let current_lsn t =
+  match t.backend with Durable d -> Durable.lsn d | Mem m -> m.mem_lsn
+
+(* ---------- shutdown plumbing ---------- *)
+
+(* idempotent, join-free: safe to call from the commit thread itself *)
+let initiate_shutdown t =
+  Mutex.lock t.q_mu;
+  let first = not t.shutdown in
+  t.shutdown <- true;
+  Condition.broadcast t.q_cv;
+  Mutex.unlock t.q_mu;
+  if first then begin
+    (* nudge every live session off its blocking select *)
+    Mutex.lock t.sess_mu;
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.session_fds;
+    Mutex.unlock t.sess_mu
+  end
+
+let set_fatal t e =
+  Mutex.lock t.q_mu;
+  if Option.is_none t.fatal then t.fatal <- Some e;
+  Mutex.unlock t.q_mu;
+  initiate_shutdown t
+
+(* ---------- commit thread ---------- *)
+
+let rec take n l =
+  if n = 0 then ([], l)
+  else
+    match l with
+    | [] -> ([], [])
+    | x :: rest ->
+        let a, b = take (n - 1) rest in
+        (x :: a, b)
+
+(* commit the drained batches in arrival order; contiguous W_batch runs
+   share one group commit, W_checkpoint acts as a barrier *)
+let process_drain t reqs =
+  Mutex.lock t.commit_mu;
+  let flush_batches = function
+    | [] -> ()
+    | batches ->
+        let all = List.concat_map fst batches in
+        let results =
+          match t.backend with
+          | Durable d ->
+              let rs = Durable.exec_grouped d all in
+              Telemetry.group_commit t.tel ~statements:(List.length all);
+              rs
+          | Mem m ->
+              List.map
+                (fun s ->
+                  match Err.of_msg Err.Bind (Binder.exec_statement m.db s) with
+                  | Ok o ->
+                      m.mem_lsn <- m.mem_lsn + 1;
+                      Ok o
+                  | Error e -> Error e)
+                all
+        in
+        let rec give rs = function
+          | [] -> ()
+          | (stmts, iv) :: rest ->
+              let mine, rs' = take (List.length stmts) rs in
+              Ivar.fill iv mine;
+              give rs' rest
+        in
+        give results batches
+  in
+  let rec go acc = function
+    | [] -> flush_batches (List.rev acc)
+    | W_batch (stmts, iv) :: rest -> go ((stmts, iv) :: acc) rest
+    | W_checkpoint iv :: rest ->
+        flush_batches (List.rev acc);
+        let r =
+          match t.backend with
+          | Durable d ->
+              Result.map (fun l -> Binder.Checkpointed l) (Durable.checkpoint d)
+          | Mem _ ->
+              Error
+                (Err.io "CHECKPOINT requires a durable server (serve --db DIR)")
+        in
+        Ivar.fill iv r;
+        go [] rest
+  in
+  go [] reqs;
+  Mutex.unlock t.commit_mu
+
+let commit_loop t =
+  let rec loop () =
+    Mutex.lock t.q_mu;
+    while Queue.is_empty t.queue && not t.shutdown do
+      Condition.wait t.q_cv t.q_mu
+    done;
+    let drained = List.of_seq (Queue.to_seq t.queue) in
+    Queue.clear t.queue;
+    let stopping = t.shutdown && drained = [] in
+    Mutex.unlock t.q_mu;
+    if stopping then ()
+    else begin
+      process_drain t drained;
+      (match t.backend with
+      | Durable d when t.cfg.die_on_broken_wal && Durable.wal_broken d ->
+          set_fatal t
+            (Err.io
+               "write-ahead log poisoned mid-commit; halting (die-on-broken-wal)")
+      | _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let enqueue t req =
+  Mutex.lock t.q_mu;
+  Queue.add req t.queue;
+  Condition.signal t.q_cv;
+  Mutex.unlock t.q_mu
+
+(* ---------- query rendering (the server-side twin of bin's printer) ---------- *)
+
+let render_table buf heap =
+  let schema = Heap.schema heap in
+  let headers =
+    Array.map (fun (c, _) -> Eager_schema.Colref.to_string c)
+      (Eager_schema.Schema.cols schema)
+  in
+  let rows =
+    Heap.to_list heap
+    |> List.map (fun row -> Array.map Eager_value.Value.to_string row)
+  in
+  let ncols = Array.length headers in
+  let widths = Array.map String.length headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)) row)
+    rows;
+  let line cells =
+    String.concat " | "
+      (List.init ncols (fun i ->
+           let s = if i < Array.length cells then cells.(i) else "" in
+           s ^ String.make (widths.(i) - String.length s) ' '))
+  in
+  let out s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  out (line headers);
+  out
+    (String.concat "-+-"
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter (fun r -> out (line r)) rows;
+  Buffer.add_string buf (Printf.sprintf "(%d rows)\n" (List.length rows))
+
+type show = Results | Explain | Explain_analyze
+
+let run_query_buf db (q : Binder.bound_query) ~governor ~order ~show buf =
+  let ( let* ) = Err.( let* ) in
+  let bprintf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let options = { Exec.default_options with governor } in
+  let checked plan k =
+    let* heap, stats = Exec.run_checked ~options db plan in
+    k (heap, stats);
+    Ok ()
+  in
+  let analyze plan =
+    let t0 = Clock.now_ms () in
+    checked (Binder.apply_order order plan) (fun (heap, stats) ->
+        bprintf "%s(%d rows in %.2f ms)\n" (Optree.to_string stats)
+          (Heap.length heap)
+          (Clock.now_ms () -. t0))
+  in
+  let finish plan =
+    match show with
+    | Explain ->
+        bprintf "%s\n"
+          (Eager_algebra.Plan.to_string (Binder.apply_order order plan));
+        Ok ()
+    | Explain_analyze -> analyze plan
+    | Results ->
+        checked (Binder.apply_order order plan) (fun (heap, _) ->
+            render_table buf heap)
+  in
+  match q with
+  | Binder.Grouped input -> (
+      match Canonical.of_input db input with
+      | Ok cq -> (
+          let* decision = Planner.decide_checked ~governor db cq in
+          match show with
+          | Explain ->
+              Buffer.add_string buf (Planner.explain db decision);
+              if order <> [] then bprintf "-- final output sorted per ORDER BY\n";
+              Ok ()
+          | Explain_analyze ->
+              bprintf "-- plan: %s\n"
+                (Planner.kind_to_string decision.Planner.chosen_kind);
+              analyze decision.Planner.chosen
+          | Results ->
+              let plan = Binder.apply_order order decision.Planner.chosen in
+              checked plan (fun (heap, _) ->
+                  render_table buf heap;
+                  bprintf "-- plan: %s\n"
+                    (Planner.kind_to_string decision.Planner.chosen_kind)))
+      | Error reason -> (
+          match Binder.to_plan db q with
+          | Ok plan ->
+              if show <> Results then
+                bprintf "-- not in the transformable class: %s\n" reason;
+              finish plan
+          | Error msg -> Error (Err.bind "%s" msg)))
+  | _ -> (
+      match Binder.to_plan db q with
+      | Ok plan -> finish plan
+      | Error msg -> Error (Err.bind "%s" msg))
+
+(* ---------- per-request statement execution ---------- *)
+
+let is_loggable_write = function
+  | Ast.S_create_table _ | Ast.S_create_domain _ | Ast.S_create_view _
+  | Ast.S_create_index _ | Ast.S_insert _ | Ast.S_update _ | Ast.S_delete _ ->
+      true
+  | Ast.S_select _ | Ast.S_explain _ | Ast.S_checkpoint | Ast.S_status -> false
+
+let rec span p = function
+  | x :: rest when p x ->
+      let a, b = span p rest in
+      (x :: a, b)
+  | l -> ([], l)
+
+let describe_outcome buf = function
+  | Binder.Created msg -> Buffer.add_string buf (msg ^ "\n")
+  | Binder.Inserted n -> Buffer.add_string buf (Printf.sprintf "%d row(s) inserted\n" n)
+  | Binder.Updated n -> Buffer.add_string buf (Printf.sprintf "%d row(s) updated\n" n)
+  | Binder.Deleted n -> Buffer.add_string buf (Printf.sprintf "%d row(s) deleted\n" n)
+  | Binder.Checkpointed lsn ->
+      Buffer.add_string buf (Printf.sprintf "checkpointed at wal lsn %d\n" lsn)
+  | Binder.Query _ | Binder.Explained _ -> ()
+
+(* a frozen reader view stamped with the current LSN; the commit lock is
+   held only for the stamp-and-copy, never during query execution *)
+let reader_snapshot t =
+  Mutex.lock t.commit_mu;
+  let lsn = current_lsn t in
+  let view = Snapshot.get t.snaps ~lsn ~db:(db_of t) in
+  Mutex.unlock t.commit_mu;
+  view
+
+let run_read t sess ~governor buf stmt =
+  let ( let* ) = Err.( let* ) in
+  let view = reader_snapshot t in
+  let rows0 = Governor.rows_charged governor in
+  let batches0 = Governor.batches_charged governor in
+  let* outcome = Err.of_msg Err.Bind (Binder.exec_statement view stmt) in
+  let* () =
+    match outcome with
+    | Binder.Query (q, order) ->
+        run_query_buf view q ~governor ~order ~show:Results buf
+    | Binder.Explained (q, order, an) ->
+        let* () =
+          run_query_buf view q ~governor ~order
+            ~show:(if an then Explain_analyze else Explain)
+            buf
+        in
+        Buffer.add_string buf ("-- " ^ Telemetry.session_line sess ^ "\n");
+        Ok ()
+    | other ->
+        (* unreachable: writes are routed to the commit queue *)
+        describe_outcome buf other;
+        Ok ()
+  in
+  Telemetry.query_served t.tel sess
+    ~rows_pulled:(Governor.rows_charged governor - rows0)
+    ~batches:(Governor.batches_charged governor - batches0);
+  Ok ()
+
+let status_report t =
+  Telemetry.render t.tel ~snapshot_lsn:(current_lsn t)
+    ~sessions:(Admission.sessions t.adm) ~active:(Admission.active t.adm)
+    ~queued:(Admission.queued t.adm)
+
+let run_write_batch t sess buf run =
+  let ( let* ) = Err.( let* ) in
+  let iv = Ivar.create () in
+  enqueue t (W_batch (run, iv));
+  let results = Ivar.read iv in
+  Err.iter_result
+    (fun (stmt, result) ->
+      let* outcome = result in
+      describe_outcome buf outcome;
+      Telemetry.write_committed t.tel sess
+        ~wal_bytes:(String.length (Ast.statement_to_string stmt));
+      Ok ())
+    (List.combine run results)
+
+(* execute one parsed request under one admission ticket, rendering into
+   [buf]; the first failing statement stops the request *)
+let run_statements t sess ~governor buf stmts =
+  let ( let* ) = Err.( let* ) in
+  let rec go = function
+    | [] -> Ok ()
+    | (s :: _ as l) when is_loggable_write s ->
+        let run, rest = span is_loggable_write l in
+        let* () = run_write_batch t sess buf run in
+        go rest
+    | Ast.S_checkpoint :: rest ->
+        let iv = Ivar.create () in
+        enqueue t (W_checkpoint iv);
+        let* outcome = Ivar.read iv in
+        describe_outcome buf outcome;
+        go rest
+    | Ast.S_status :: rest ->
+        Buffer.add_string buf (status_report t);
+        go rest
+    | stmt :: rest ->
+        let* () = run_read t sess ~governor buf stmt in
+        go rest
+  in
+  go stmts
+
+let parse_request payload =
+  match Parser.parse_script payload with
+  | exception Parser.Parse_error m -> Error (Err.parse "%s" m)
+  | stmts -> Ok stmts
+
+(* handle one STMT frame; Error means the socket write failed and the
+   session should end — statement failures are answered in-band *)
+let handle_request t sess conn payload =
+  match parse_request payload with
+  | Error e ->
+      Telemetry.errored t.tel sess;
+      Wire.err conn ~kind:(Err.kind_to_string (Err.kind e)) (Err.to_string e)
+  | Ok stmts -> (
+      match Admission.admit t.adm with
+      | Error (r : Admission.refusal) ->
+          (* shed load: typed refusal, nothing was executed, safe retry *)
+          Telemetry.budget_refused t.tel sess;
+          Wire.busy conn ~retry_after_ms:r.retry_after_ms
+            (Err.to_string r.reason)
+      | Ok ticket ->
+          let buf = Buffer.create 256 in
+          let outcome =
+            Fun.protect
+              ~finally:(fun () -> Admission.release t.adm ticket)
+              (fun () ->
+                run_statements t sess
+                  ~governor:(Admission.governor ticket)
+                  buf stmts)
+          in
+          (match outcome with
+          | Ok () -> Wire.ok conn (Buffer.contents buf)
+          | Error e ->
+              if Err.kind e = Err.Resource then Telemetry.degraded t.tel sess
+              else Telemetry.errored t.tel sess;
+              Buffer.add_string buf ("error: " ^ Err.to_string e ^ "\n");
+              Wire.err conn
+                ~kind:(Err.kind_to_string (Err.kind e))
+                (Buffer.contents buf)))
+
+(* ---------- session + accept threads ---------- *)
+
+let unregister_session t fd =
+  Mutex.lock t.sess_mu;
+  t.session_fds <- List.filter (fun f -> f != fd) t.session_fds;
+  Mutex.unlock t.sess_mu
+
+let session_loop t fd =
+  let conn = Wire.of_fd fd in
+  let sess = Telemetry.connect t.tel in
+  let finish () =
+    Telemetry.disconnect t.tel sess;
+    unregister_session t fd;
+    Wire.close conn
+  in
+  match Admission.open_session t.adm with
+  | Error (r : Admission.refusal) ->
+      Telemetry.budget_refused t.tel sess;
+      ignore
+        (Wire.busy conn ~retry_after_ms:r.retry_after_ms
+           (Err.to_string r.reason));
+      finish ()
+  | Ok () ->
+      Fun.protect
+        ~finally:(fun () ->
+          Admission.close_session t.adm;
+          finish ())
+        (fun () ->
+          let rec loop () =
+            if t.shutdown then ()
+            else
+              match
+                Wire.read_frame ~fault:"server.read" conn
+                  ~timeout_ms:t.cfg.read_timeout_ms
+              with
+              | Ok None -> ()
+              | Ok (Some { Wire.verb = "PING"; _ }) -> (
+                  match Wire.ok conn "pong" with
+                  | Ok () -> loop ()
+                  | Error _ -> ())
+              | Ok (Some { Wire.verb = "STMT"; payload; _ }) -> (
+                  match handle_request t sess conn payload with
+                  | Ok () -> loop ()
+                  | Error _ -> () (* peer gone *))
+              | Ok (Some { Wire.verb; _ }) -> (
+                  match
+                    Wire.err conn ~kind:"Io"
+                      (Printf.sprintf "unknown verb %S" verb)
+                  with
+                  | Ok () -> loop ()
+                  | Error _ -> ())
+              | Error e ->
+                  (* read timeout, torn frame, or injected server.read
+                     fault: answer if the pipe still works, then drop
+                     the session — never hang it *)
+                  Telemetry.errored t.tel sess;
+                  ignore
+                    (Wire.err conn
+                       ~kind:(Err.kind_to_string (Err.kind e))
+                       (Err.to_string e))
+          in
+          loop ())
+
+let spawn_session t fd =
+  Mutex.lock t.sess_mu;
+  t.session_fds <- fd :: t.session_fds;
+  let th = Thread.create (fun () -> session_loop t fd) () in
+  t.session_threads <- th :: t.session_threads;
+  Mutex.unlock t.sess_mu
+
+let accept_loop t =
+  let rec loop () =
+    if t.shutdown then begin
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      match t.cfg.listen with
+      | L_unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | L_tcp _ -> ()
+    end
+    else
+      (* short select so shutdown is noticed without a connection *)
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error _ -> loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Fault.check "server.accept" with
+          | Error _ ->
+              (* injected accept failure: shed this connection (the
+                 client sees EOF and retries), keep serving *)
+              (try
+                 let fd, _ = Unix.accept t.listen_fd in
+                 Unix.close fd
+               with Unix.Unix_error _ -> ());
+              loop ()
+          | Ok () -> (
+              match Unix.accept t.listen_fd with
+              | exception Unix.Unix_error _ -> loop ()
+              | fd, _ ->
+                  spawn_session t fd;
+                  loop ()))
+  in
+  loop ()
+
+(* ---------- lifecycle ---------- *)
+
+let bind_listener listen =
+  Err.protect ~kind:Err.Io (fun () ->
+      match listen with
+      | L_unix path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 64;
+          (fd, "unix:" ^ path)
+      | L_tcp (host, port) ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          let addr =
+            if host = "localhost" then Unix.inet_addr_loopback
+            else Unix.inet_addr_of_string host
+          in
+          Unix.bind fd (Unix.ADDR_INET (addr, port));
+          Unix.listen fd 64;
+          let bound =
+            match Unix.getsockname fd with
+            | Unix.ADDR_INET (a, p) ->
+                Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
+            | _ -> Printf.sprintf "tcp:%s:%d" host port
+          in
+          (fd, bound))
+
+let start cfg =
+  let ( let* ) = Err.( let* ) in
+  let* backend, recovery =
+    match cfg.db_dir with
+    | None -> Ok (Mem { db = Database.create (); mem_lsn = 0 }, None)
+    | Some dir ->
+        let* d, r =
+          Durable.open_ ?checkpoint_every:cfg.checkpoint_every ~dir ()
+        in
+        Ok (Durable d, Some r)
+  in
+  match bind_listener cfg.listen with
+  | Error e ->
+      (match backend with Durable d -> Durable.close d | Mem _ -> ());
+      Error e
+  | Ok (listen_fd, addr_str) ->
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      let t =
+        {
+          cfg;
+          backend;
+          adm = Admission.create cfg.admission;
+          tel = Telemetry.create ();
+          snaps = Snapshot.create ();
+          commit_mu = Mutex.create ();
+          q_mu = Mutex.create ();
+          q_cv = Condition.create ();
+          queue = Queue.create ();
+          shutdown = false;
+          fatal = None;
+          listen_fd;
+          addr_str;
+          sess_mu = Mutex.create ();
+          session_fds = [];
+          session_threads = [];
+          core_threads = [];
+          fin_mu = Mutex.create ();
+          finalized = false;
+        }
+      in
+      t.core_threads <-
+        [ Thread.create commit_loop t; Thread.create accept_loop t ];
+      Ok (t, recovery)
+
+let wait t =
+  List.iter Thread.join t.core_threads;
+  (* accept thread is gone: the session list can only shrink now *)
+  Mutex.lock t.sess_mu;
+  let sessions = t.session_threads in
+  Mutex.unlock t.sess_mu;
+  List.iter Thread.join sessions;
+  Mutex.lock t.fin_mu;
+  let first = not t.finalized in
+  t.finalized <- true;
+  Mutex.unlock t.fin_mu;
+  if first then
+    (match t.backend with Durable d -> Durable.close d | Mem _ -> ());
+  match t.fatal with None -> Ok () | Some e -> Error e
+
+let stop t =
+  initiate_shutdown t;
+  ignore (wait t)

@@ -1,0 +1,61 @@
+(** The concurrent multi-session front end.
+
+    One thread per session, one commit thread, one accept thread.
+    Readers run against immutable LSN-stamped snapshots ({!Snapshot});
+    writers are serialized through a commit queue whose drain is a
+    group commit — every writer waiting at the moment the commit
+    thread wakes shares a single WAL fsync ([Durable.exec_grouped]).
+    Admission control ({!Admission}) bounds sessions, concurrent
+    statements, queue depth and the aggregate row budget; every
+    refusal is a typed [Resource] error carried to the client as a
+    [BUSY] frame with a retry-after hint.
+
+    Degradation ladder, mildest first:
+    + per-statement budget breach → that request fails typed, session
+      lives;
+    + admission refusal → [BUSY] + retry-after, nothing executed;
+    + session cap → refused at accept;
+    + poisoned WAL (a log write failed) → writes refuse typed, reads
+      keep serving — unless [die_on_broken_wal] is set, in which case
+      the server stops with the error (the crash-test matrix uses this
+      to simulate a kill at an injected wal fault).
+
+    The server never calls [exit]; {!wait} returns and the caller
+    decides. *)
+
+open Eager_robust
+open Eager_durable
+
+type listen = L_unix of string | L_tcp of string * int
+
+type config = {
+  listen : listen;
+  admission : Admission.config;
+  read_timeout_ms : float;
+      (** per-frame read deadline — also the idle-session timeout *)
+  db_dir : string option;
+      (** WAL-backed ([Durable]) when set; in-memory otherwise *)
+  checkpoint_every : int option;
+  die_on_broken_wal : bool;
+}
+
+val default_config : listen -> config
+
+type t
+
+val start : config -> (t * Durable.recovery option, Err.t) result
+(** Bind the listener, run recovery (WAL mode), spawn the accept and
+    commit threads.  [Error] if the address cannot be bound or
+    recovery fails. *)
+
+val wait : t -> (unit, Err.t) result
+(** Block until {!stop} or a fatal condition; returns the fatal error
+    if there was one. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, wake and drain the commit
+    queue, nudge every live session off its socket, join the threads,
+    close the durable session.  Idempotent. *)
+
+val bound_addr : t -> string
+(** Human-readable listening address (for "listening on ..." lines). *)

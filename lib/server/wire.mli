@@ -1,0 +1,46 @@
+(** The wire protocol: length-prefixed text frames with deadlines.
+
+    {v
+    frame  := <verb> (' ' <arg>)* ' ' <len> '\n' <len payload bytes>
+    v}
+
+    Client → server verbs: [STMT] (payload: a SQL script) and [PING].
+    Server → client verbs: [OK] (payload: rendered result text),
+    [ERR <kind>] (payload: message), and [BUSY <retry_after_ms>]
+    (payload: message) — the shed-load response carrying its
+    client-visible back-off hint.
+
+    Every read is deadline-bounded: the reader multiplexes
+    [Unix.select] with a budget, so a stalled or malicious peer can
+    never hang a session thread — the lint rule banning naked blocking
+    reads in [lib/server] is discharged here, once, behind this
+    interface.  Writes push whole frames and treat [EPIPE]/short
+    writes as typed [Io] errors (the server ignores [SIGPIPE]). *)
+
+open Eager_robust
+
+type conn
+(** A connection with its private read buffer.  Not thread-safe; each
+    session thread owns exactly one. *)
+
+val of_fd : Unix.file_descr -> conn
+val close : conn -> unit
+
+type frame = { verb : string; args : string list; payload : string }
+
+val read_frame :
+  ?fault:string -> conn -> timeout_ms:float -> (frame option, Err.t) result
+(** The next frame; [Ok None] on an orderly EOF at a frame boundary.
+    [fault] names a fault-injection point checked before touching the
+    socket ([server.read] on the server side).  Timeouts, torn frames,
+    oversized headers/payloads and mid-frame EOF are typed [Io]
+    errors. *)
+
+val write_frame :
+  conn -> verb:string -> ?args:string list -> string -> (unit, Err.t) result
+
+(** {1 Shorthands} *)
+
+val ok : conn -> string -> (unit, Err.t) result
+val err : conn -> kind:string -> string -> (unit, Err.t) result
+val busy : conn -> retry_after_ms:int -> string -> (unit, Err.t) result

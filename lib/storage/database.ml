@@ -40,6 +40,37 @@ let create () =
 
 let catalog t = t.cat
 
+(* A frozen copy for MVCC-lite readers: the catalog value is captured
+   (it is updated functionally, so sharing is safe), every heap is
+   copied (rows shared — they are immutable engine-wide), and every
+   derived cache starts empty.  Later mutations of the live database
+   never show through the snapshot, and vice versa. *)
+let snapshot t =
+  let heaps = Hashtbl.create (Hashtbl.length t.heaps) in
+  Hashtbl.iter (fun name h -> Hashtbl.replace heaps name (Heap.copy h)) t.heaps;
+  {
+    cat = t.cat;
+    heaps;
+    stats_cache = Hashtbl.create 16;
+    key_indexes = Hashtbl.create 16;
+    sec_indexes = Hashtbl.create 16;
+  }
+
+(* A reader's private view over a frozen snapshot: heaps are shared with
+   the snapshot (nobody mutates a snapshot, so sharing the row storage
+   is safe) but the derived caches — statistics, key indexes, secondary
+   indexes — are private, because two reader threads filling the same
+   hashtable concurrently could corrupt it.  O(#tables), so handing one
+   to every statement is cheap. *)
+let reader_view t =
+  {
+    cat = t.cat;
+    heaps = Hashtbl.copy t.heaps;
+    stats_cache = Hashtbl.create 16;
+    key_indexes = Hashtbl.create 16;
+    sec_indexes = Hashtbl.create 16;
+  }
+
 (* Drop every cached derived structure for [tname]: statistics, key
    indexes (keyed by table name) and secondary indexes (keyed by index
    name, resolved through the catalog).  Compaction counters alone cannot

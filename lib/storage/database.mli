@@ -12,6 +12,21 @@ type t
 
 val create : unit -> t
 val catalog : t -> Catalog.t
+
+val snapshot : t -> t
+(** A frozen, independent copy: heaps are duplicated (rows shared —
+    they are immutable engine-wide), the catalog value is captured, and
+    derived caches start empty.  Mutations of either instance never
+    show through the other.  This is the MVCC-lite version a server
+    stamps with the commit LSN and hands to readers. *)
+
+(** [reader_view t] is a private view sharing [t]'s heaps but owning
+    fresh derived caches (statistics, key/secondary indexes).  Intended
+    for concurrent readers over one frozen {!snapshot}: row storage is
+    safely shared because snapshots are never mutated, while the
+    mutable caches stay per-reader so threads cannot race on them.
+    O(#tables). *)
+val reader_view : t -> t
 val create_table : t -> Table_def.t -> unit
 (** Registers the table and its empty heap.  Any cached index or
     statistics state left over from a previously dropped table of the

@@ -44,6 +44,20 @@ let of_rows schema rows =
   List.iter (insert t) rows;
   t
 
+(* An independent heap holding the same rows.  Only the backing array is
+   duplicated: rows themselves are immutable engine-wide (UPDATE builds
+   fresh arrays), so sharing them across copies is safe — this is what
+   makes MVCC-lite snapshots O(row count) pointer copies rather than
+   O(data).  Counters restart: the copy has its own mutation history. *)
+let copy t =
+  {
+    schema = t.schema;
+    rows = Array.sub t.rows 0 (max 16 t.len);
+    len = t.len;
+    gen = 0;
+    compactions = 0;
+  }
+
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Heap.get: out of bounds";
   t.rows.(i)

@@ -11,6 +11,13 @@ type t
 
 val create : Schema.t -> t
 val of_rows : Schema.t -> Row.t list -> t
+
+(** [copy t] is an independent heap with the same contents.  Rows are
+    shared — they are immutable engine-wide; only the backing array is
+    duplicated, so later mutations of either heap never show through
+    the other, and generation/compaction counters restart at zero. *)
+val copy : t -> t
+
 val schema : t -> Schema.t
 val length : t -> int
 val insert : t -> Row.t -> unit

@@ -400,6 +400,148 @@ let test_replay_crash_then_retry () =
   Alcotest.(check string) "state intact" before (fingerprint (Durable.db s2));
   Durable.close s2
 
+(* ==================== group commit (exec_grouped) ================= *)
+
+let grouped_batch =
+  [
+    "CREATE TABLE t (id INT NOT NULL, grp INT, val INT, PRIMARY KEY (id))";
+    "INSERT INTO t VALUES (1, 1, 10)";
+    "INSERT INTO t VALUES (2, 1, 20)";
+    "INSERT INTO t VALUES (3, 2, 30)";
+    "INSERT INTO t VALUES (4, 2, 40)";
+  ]
+
+let test_grouped_basic () =
+  let dir = fresh_dir "grouped_basic" in
+  let s, _ = open_ok dir in
+  let results =
+    Durable.exec_grouped s (List.map Parser.parse_statement grouped_batch)
+  in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.fail (Printf.sprintf "stmt %d: %s" i (Err.to_string e)))
+    results;
+  Alcotest.(check int) "rows applied" 4 (Database.row_count (Durable.db s) "t");
+  Alcotest.(check int) "lsn advanced by the whole batch" 5 (Durable.lsn s);
+  Durable.close s;
+  let s2, r = open_ok dir in
+  Alcotest.(check int) "all records replayed" 5 r.Durable.replayed;
+  Alcotest.(check int) "rows after recovery" 4
+    (Database.row_count (Durable.db s2) "t");
+  Durable.close s2
+
+let test_grouped_abort_marker () =
+  let dir = fresh_dir "grouped_abort" in
+  let s, _ = open_ok dir in
+  let batch =
+    List.map Parser.parse_statement
+      [
+        "CREATE TABLE t (id INT NOT NULL, grp INT, val INT, PRIMARY KEY (id))";
+        "INSERT INTO t VALUES (1, 1, 10)";
+        "INSERT INTO nosuch VALUES (1)";
+        "INSERT INTO t VALUES (2, 1, 20)";
+      ]
+  in
+  (match Durable.exec_grouped s batch with
+  | [ Ok _; Ok _; Error _; Ok _ ] -> ()
+  | rs ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected result shape (%d results)" (List.length rs)));
+  Alcotest.(check int) "good statements applied" 2
+    (Database.row_count (Durable.db s) "t");
+  Durable.close s;
+  let s2, r = open_ok dir in
+  Alcotest.(check int) "abort marker honoured on replay" 1
+    r.Durable.skipped_aborted;
+  Alcotest.(check int) "rows after recovery" 2
+    (Database.row_count (Durable.db s2) "t");
+  Durable.close s2
+
+(* a failed group-commit fsync fails the WHOLE batch in the living
+   session (nothing applied, nothing acked, the handle is poisoned); on
+   restart the statements MAY replay, because their records were fully
+   written before the fsync — the same durability zone the wal.fsync
+   single-statement test pins down *)
+let test_grouped_sync_fault () =
+  let dir = fresh_dir "grouped_sync" in
+  let s, _ = open_ok dir in
+  List.iter (exec_ok s) setup_sql;
+  Fault.reset ();
+  Fault.arm_nth "wal.group_commit" 1;
+  let batch =
+    List.map Parser.parse_statement
+      [ "INSERT INTO t VALUES (4, 2, 40)"; "INSERT INTO t VALUES (5, 2, 50)" ]
+  in
+  let results = Durable.exec_grouped s batch in
+  Fault.reset ();
+  List.iter
+    (fun r ->
+      match r with
+      | Ok _ -> Alcotest.fail "a statement of the failed batch was acked"
+      | Error e ->
+          Alcotest.(check bool) "typed Io" true (Err.kind e = Err.Io))
+    results;
+  Alcotest.(check int) "nothing applied in the living session" 3
+    (Database.row_count (Durable.db s) "t");
+  (match exec_sql s "INSERT INTO t VALUES (6, 2, 60)" with
+  | Ok _ -> Alcotest.fail "poisoned session accepted a statement"
+  | Error _ -> ());
+  Durable.close s;
+  let s2, _ = open_ok dir in
+  Alcotest.(check int) "flushed records replay after restart" 5
+    (Database.row_count (Durable.db s2) "t");
+  Durable.close s2
+
+(* The torn-batch property: cut the log after a multi-record group
+   commit at EVERY byte offset; recovery must always succeed and land
+   on exactly the longest valid record prefix (what Wal.scan can still
+   read whole), with the torn-tail accounting matching the cut. *)
+let test_grouped_torn_prefix () =
+  let dir = fresh_dir "grouped_torn" in
+  let s, _ = open_ok dir in
+  List.iter
+    (fun r ->
+      match r with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Err.to_string e))
+    (Durable.exec_grouped s (List.map Parser.parse_statement grouped_batch));
+  Durable.close s;
+  let path = Wal.path ~dir in
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let hlen = String.length "eagerdb wal v1\n" in
+  for cut = hlen to String.length full - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub full 0 cut);
+    close_out oc;
+    let expected_records, expected_dropped =
+      match Wal.scan path with
+      | Ok (rs, Wal.Complete) -> (List.length rs, 0)
+      | Ok (rs, Wal.Torn { dropped; _ }) -> (List.length rs, dropped)
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "cut %d: scan rejected a prefix: %s" cut
+               (Err.to_string e))
+    in
+    let s2, r = open_ok dir in
+    Alcotest.(check int)
+      (Printf.sprintf "cut %d: replay = longest valid prefix" cut)
+      expected_records r.Durable.replayed;
+    Alcotest.(check int)
+      (Printf.sprintf "cut %d: torn accounting" cut)
+      expected_dropped r.Durable.torn_bytes;
+    if expected_records > 0 then
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d: rows = replayed inserts" cut)
+        (expected_records - 1)
+        (Database.row_count (Durable.db s2) "t");
+    Durable.close s2
+  done
+
 (* =============== kill/restart matrix: 120 schedules =============== *)
 
 (* A deterministic random workload: inserts with unique keys, updates,
@@ -573,6 +715,17 @@ let () =
             test_interrupted_checkpoint;
           Alcotest.test_case "crash mid-replay, retry succeeds" `Quick
             test_replay_crash_then_retry;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "one sync commits the batch" `Quick
+            test_grouped_basic;
+          Alcotest.test_case "abort markers inside a batch" `Quick
+            test_grouped_abort_marker;
+          Alcotest.test_case "failed sync fails the whole batch" `Quick
+            test_grouped_sync_fault;
+          Alcotest.test_case "torn batch recovers the longest valid prefix"
+            `Quick test_grouped_torn_prefix;
         ] );
       ( "matrix",
         [

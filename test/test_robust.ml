@@ -111,7 +111,8 @@ let test_registry () =
     [
       "storage.write"; "heap.append"; "persist.rename"; "persist.write";
       "exec.next"; "opt.testfd"; "opt.cost"; "wal.append"; "wal.fsync";
-      "wal.truncate"; "wal.replay";
+      "wal.truncate"; "wal.replay"; "wal.group_commit"; "server.accept";
+      "server.read";
     ]
     Fault.all_points
 

@@ -1,0 +1,412 @@
+(* Server tests: the monotonised clock, admission control (slots, FIFO
+   fairness, the global row pool), the wire protocol's deadline-bounded
+   framing, LSN-stamped snapshot reuse, and end-to-end socket sessions —
+   concurrent writers sharing group commits, BUSY shed responses with
+   retry-after hints, typed mid-stream Resource degradation, STATUS
+   telemetry, injected server.* faults, and die-on-broken-wal. *)
+
+open Eager_storage
+open Eager_parser
+open Eager_durable
+open Eager_robust
+open Eager_server
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go k = k + m <= n && (String.sub s k m = sub || go (k + 1)) in
+  go 0
+
+let fresh_path =
+  let n = ref 0 in
+  fun name ext ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eagerdb_srv_%s_%d_%d%s" name (Unix.getpid ()) !n ext)
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (name ^ ": " ^ Err.to_string e)
+
+(* ========================= monotonised clock ====================== *)
+
+let test_clock () =
+  let prev = ref (Clock.now_ms ()) in
+  for _ = 1 to 1000 do
+    let now = Clock.now_ms () in
+    if now < !prev then Alcotest.fail "clock went backwards";
+    prev := now
+  done;
+  let t0 = Clock.now_ms () in
+  Clock.sleep_ms 20.;
+  let dt = Clock.now_ms () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sleep advances the clock (%.1f ms)" dt)
+    true (dt >= 10.)
+
+(* ========================= admission control ====================== *)
+
+let adm_config =
+  {
+    Admission.max_sessions = 2;
+    max_active = 1;
+    max_queued = 0;
+    max_wait_ms = 50.;
+    global_rows = None;
+    statement_limits = Eager_robust.Governor.no_limits;
+  }
+
+let test_admission_refusal () =
+  let t = Admission.create adm_config in
+  let k1 = match Admission.admit t with Ok k -> k | Error _ -> Alcotest.fail "first admit refused" in
+  (match Admission.admit t with
+  | Ok _ -> Alcotest.fail "over-cap admit accepted"
+  | Error (r : Admission.refusal) ->
+      Alcotest.(check bool) "typed Resource" true
+        (Err.kind r.reason = Err.Resource);
+      Alcotest.(check bool) "carries a retry hint" true (r.retry_after_ms > 0));
+  Admission.release t k1;
+  Admission.release t k1 (* idempotent *);
+  (match Admission.admit t with
+  | Ok k -> Admission.release t k
+  | Error _ -> Alcotest.fail "slot not returned");
+  (* session slots are independent of statement slots *)
+  let open_ok tag =
+    match Admission.open_session t with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail (tag ^ ": session refused under the cap")
+  in
+  open_ok "s1";
+  open_ok "s2";
+  (match Admission.open_session t with
+  | Ok () -> Alcotest.fail "session cap ignored"
+  | Error (r : Admission.refusal) ->
+      Alcotest.(check bool) "typed Resource" true
+        (Err.kind r.reason = Err.Resource));
+  Admission.close_session t;
+  Admission.close_session t;
+  Alcotest.(check int) "sessions drained" 0 (Admission.sessions t)
+
+let test_admission_fifo () =
+  let cfg =
+    { adm_config with max_queued = 4; max_wait_ms = 5000.; max_sessions = 8 }
+  in
+  let t = Admission.create cfg in
+  let holder =
+    match Admission.admit t with
+    | Ok k -> k
+    | Error _ -> Alcotest.fail "holder refused"
+  in
+  let mu = Mutex.create () in
+  let order = ref [] in
+  let spawn tag delay =
+    Thread.create
+      (fun () ->
+        Thread.delay delay;
+        match Admission.admit t with
+        | Ok k ->
+            Mutex.lock mu;
+            order := tag :: !order;
+            Mutex.unlock mu;
+            Thread.delay 0.01;
+            Admission.release t k
+        | Error _ ->
+            Mutex.lock mu;
+            order := (tag ^ "!") :: !order;
+            Mutex.unlock mu)
+      ()
+  in
+  (* stagger arrivals so the queue order is unambiguous *)
+  let a = spawn "a" 0. in
+  let b = spawn "b" 0.08 in
+  let c = spawn "c" 0.16 in
+  Thread.delay 0.35;
+  Admission.release t holder;
+  List.iter Thread.join [ a; b; c ];
+  Alcotest.(check (list string))
+    "admitted strictly in arrival order" [ "a"; "b"; "c" ] (List.rev !order)
+
+let test_global_pool () =
+  let p = Governor.pool ~cap:10 in
+  let g1 = Governor.create ~pool:p Governor.no_limits in
+  Governor.charge_rows g1 6;
+  Alcotest.(check int) "pool charged" 6 (Governor.pool_in_use p);
+  let g2 = Governor.create ~pool:p Governor.no_limits in
+  (match Governor.charge_rows g2 5 with
+  | () -> Alcotest.fail "over-budget charge accepted"
+  | exception Err.Error_exn e ->
+      Alcotest.(check bool) "typed Resource" true (Err.kind e = Err.Resource);
+      Alcotest.(check bool) "names the global budget" true
+        (contains (Err.to_string e) "global row budget"));
+  (* the breaching charge sticks until the statement unwinds *)
+  Alcotest.(check int) "charge sticks" 11 (Governor.pool_in_use p);
+  Governor.finish g2;
+  Governor.finish g2;
+  Alcotest.(check int) "g2 returned" 6 (Governor.pool_in_use p);
+  Governor.finish g1;
+  Alcotest.(check int) "drained" 0 (Governor.pool_in_use p)
+
+(* =========================== wire framing ========================= *)
+
+let test_wire_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ca = Wire.of_fd a and cb = Wire.of_fd b in
+  ok "w1" (Wire.write_frame ca ~verb:"STMT" ~args:[ "x"; "y" ] "line one\nline two");
+  ok "w2" (Wire.write_frame ca ~verb:"PING" "");
+  (match ok "r1" (Wire.read_frame cb ~timeout_ms:2000.) with
+  | Some { Wire.verb = "STMT"; args = [ "x"; "y" ]; payload } ->
+      Alcotest.(check string) "payload with newlines" "line one\nline two"
+        payload
+  | _ -> Alcotest.fail "first frame mangled");
+  (* the second frame was already buffered by the first read *)
+  (match ok "r2" (Wire.read_frame cb ~timeout_ms:2000.) with
+  | Some { Wire.verb = "PING"; args = []; payload = "" } -> ()
+  | _ -> Alcotest.fail "second frame mangled");
+  (* no data: the read must time out, typed, never hang *)
+  let t0 = Clock.now_ms () in
+  (match Wire.read_frame cb ~timeout_ms:80. with
+  | Error e ->
+      Alcotest.(check bool) "typed Io" true (Err.kind e = Err.Io);
+      Alcotest.(check bool) "says timeout" true
+        (contains (Err.to_string e) "timed out")
+  | Ok _ -> Alcotest.fail "read with no data did not time out");
+  Alcotest.(check bool) "timed out promptly" true (Clock.now_ms () -. t0 < 2000.);
+  (* orderly EOF at a frame boundary is Ok None *)
+  Wire.close ca;
+  (match ok "eof" (Wire.read_frame cb ~timeout_ms:2000.) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "EOF should be Ok None");
+  Wire.close cb
+
+(* ======================= LSN-stamped snapshots ==================== *)
+
+let stmt db sql = ignore (Binder.exec_statement db (Parser.parse_statement sql))
+
+let test_snapshot_reuse () =
+  let db = Database.create () in
+  stmt db "CREATE TABLE t (a INT)";
+  stmt db "INSERT INTO t VALUES (1)";
+  let sn = Snapshot.create () in
+  let v1 = Snapshot.get sn ~lsn:1 ~db in
+  Alcotest.(check int) "snapshot sees one row" 1 (Database.row_count v1 "t");
+  (* a later write is invisible to the stamped snapshot *)
+  stmt db "INSERT INTO t VALUES (2)";
+  let v1' = Snapshot.get sn ~lsn:1 ~db in
+  Alcotest.(check int) "same-LSN reader reuses the frozen copy" 1
+    (Database.row_count v1' "t");
+  Alcotest.(check int) "one deep copy so far" 1 (Snapshot.copies sn);
+  let v2 = Snapshot.get sn ~lsn:2 ~db in
+  Alcotest.(check int) "new LSN sees the commit" 2 (Database.row_count v2 "t");
+  Alcotest.(check int) "second copy taken" 2 (Snapshot.copies sn);
+  Alcotest.(check (option int)) "cache holds the newest" (Some 2)
+    (Snapshot.cached_lsn sn);
+  (* the old view is immutable even as the live db moves on *)
+  stmt db "INSERT INTO t VALUES (3)";
+  Alcotest.(check int) "old view unchanged" 1 (Database.row_count v1 "t")
+
+(* ====================== end-to-end socket tests =================== *)
+
+let start_server ?(admission = Admission.default_config) ?db_dir
+    ?(die_on_broken_wal = false) name =
+  let sock = fresh_path name ".sock" in
+  let cfg =
+    {
+      (Server.default_config (Server.L_unix sock)) with
+      admission;
+      db_dir;
+      die_on_broken_wal;
+      read_timeout_ms = 5000.;
+    }
+  in
+  let t, _ = ok "server start" (Server.start cfg) in
+  (t, Client.config ~timeout_ms:5000. ~retries:0 (Client.A_unix sock))
+
+let run_ok ccfg sql =
+  match ok "run" (Client.run ccfg sql) with
+  | Client.Ok_text txt -> txt
+  | Client.Refused { msg; _ } -> Alcotest.fail ("refused: " ^ msg)
+  | Client.Failed { msg; kind } ->
+      Alcotest.fail (Printf.sprintf "failed [%s]: %s" kind msg)
+
+let test_end_to_end () =
+  Fault.reset ();
+  let srv, ccfg = start_server "e2e" in
+  let out = run_ok ccfg "CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1,10),(2,20),(1,30);" in
+  Alcotest.(check bool) "insert acked" true (contains out "3 row(s) inserted");
+  let out = run_ok ccfg "SELECT t.a, SUM(t.b) FROM t GROUP BY t.a;" in
+  Alcotest.(check bool) "rows rendered" true (contains out "(2 rows)");
+  let out = run_ok ccfg "STATUS;" in
+  Alcotest.(check bool) "global line" true (contains out "server: sessions=");
+  Alcotest.(check bool) "per-session line" true (contains out "session ");
+  let out = run_ok ccfg "EXPLAIN SELECT t.a, SUM(t.b) FROM t GROUP BY t.a;" in
+  Alcotest.(check bool) "explain carries telemetry" true
+    (contains out "-- session ");
+  (match ok "parse error" (Client.run ccfg "SELEKT;") with
+  | Client.Failed { kind; _ } -> Alcotest.(check string) "typed" "Parse" kind
+  | _ -> Alcotest.fail "bad SQL should fail typed");
+  (* the session (and server) survived the failed statement *)
+  let out = run_ok ccfg "SELECT t.a FROM t;" in
+  Alcotest.(check bool) "still serving" true (contains out "(3 rows)");
+  Server.stop srv
+
+let test_session_cap_busy () =
+  Fault.reset ();
+  let admission = { Admission.default_config with max_sessions = 1 } in
+  let srv, ccfg = start_server ~admission "busy" in
+  let held = ok "connect" (Client.connect ccfg) in
+  ok "held session serves" (Client.ping held);
+  (* the slot is taken the moment the session opens, before any frame *)
+  (match Client.run ccfg "STATUS;" with
+  | Ok (Client.Refused { retry_after_ms; msg }) ->
+      Alcotest.(check bool) "hint" true (retry_after_ms >= 0);
+      Alcotest.(check bool) "typed Resource message" true
+        (contains msg "Resource")
+  | Error _ ->
+      (* the shed session was torn down before the BUSY landed — an
+         acceptable (transient, retryable) shape of the same refusal *)
+      ()
+  | Ok (Client.Ok_text _) -> Alcotest.fail "second session was not shed"
+  | Ok (Client.Failed { msg; _ }) ->
+      Alcotest.fail ("shed surfaced as a statement failure: " ^ msg));
+  Client.close held;
+  (* with retries the client rides out the release race *)
+  let retrying = { ccfg with Client.retries = 10; backoff_ms = 20. } in
+  let out = run_ok retrying "STATUS;" in
+  Alcotest.(check bool) "slot freed" true (contains out "server:");
+  Server.stop srv
+
+let test_global_rows_degrade () =
+  Fault.reset ();
+  let admission = { Admission.default_config with global_rows = Some 5 } in
+  let srv, ccfg = start_server ~admission "degrade" in
+  ignore (run_ok ccfg "CREATE TABLE t (a INT); INSERT INTO t VALUES (1),(2),(3),(4),(5),(6),(7),(8),(9),(10);");
+  (match ok "over budget" (Client.run ccfg "SELECT t.a FROM t;") with
+  | Client.Failed { kind; msg } ->
+      Alcotest.(check string) "typed Resource" "Resource" kind;
+      Alcotest.(check bool) "names the global budget" true
+        (contains msg "global row budget")
+  | _ -> Alcotest.fail "over-budget read should degrade typed");
+  (* degradation is per statement: the server keeps serving *)
+  let out = run_ok ccfg "STATUS;" in
+  Alcotest.(check bool) "degraded counted" true (contains out "degraded=1");
+  Server.stop srv
+
+let test_concurrent_writers_group_commit () =
+  Fault.reset ();
+  let dir = fresh_path "gc" ".db" in
+  let srv, ccfg = start_server ~db_dir:dir "gc" in
+  ignore (run_ok ccfg "CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id));");
+  let n = 8 in
+  let failures = ref [] in
+  let mu = Mutex.create () in
+  let writer i =
+    Thread.create
+      (fun () ->
+        let sql = Printf.sprintf "INSERT INTO t VALUES (%d, %d);" i (i * 10) in
+        match Client.run { ccfg with Client.retries = 5; backoff_ms = 10.; seed = i } sql with
+        | Ok (Client.Ok_text out) when contains out "1 row(s) inserted" -> ()
+        | r ->
+            Mutex.lock mu;
+            failures :=
+              (match r with
+              | Ok (Client.Failed { msg; _ }) -> msg
+              | Ok (Client.Refused { msg; _ }) -> "refused: " ^ msg
+              | Error e -> Err.to_string e
+              | Ok (Client.Ok_text out) -> "odd ack: " ^ out)
+              :: !failures;
+            Mutex.unlock mu)
+      ()
+  in
+  let threads = List.init n writer in
+  List.iter Thread.join threads;
+  (match !failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        (Printf.sprintf "%d/%d writers failed, e.g. %s" (List.length !failures)
+           n f));
+  let out = run_ok ccfg "SELECT t.id FROM t;" in
+  Alcotest.(check bool) "every acked write visible" true
+    (contains out (Printf.sprintf "(%d rows)" n));
+  let status = run_ok ccfg "STATUS;" in
+  Alcotest.(check bool) "group commits happened" true
+    (contains status "group_commits=");
+  Server.stop srv;
+  (* every acked write is durable: reopen the directory directly *)
+  let s, _ = ok "reopen" (Durable.open_ ~dir ()) in
+  Alcotest.(check int) "acked rows survived restart" n
+    (Database.row_count (Durable.db s) "t");
+  Durable.close s
+
+let test_server_read_fault () =
+  Fault.reset ();
+  let srv, ccfg = start_server "readfault" in
+  ignore (run_ok ccfg "CREATE TABLE t (a INT);");
+  (* let the finished session's thread drain past its last read_frame
+     (which checks the fault point) before arming, so the one-shot fault
+     deterministically hits the next session's first read *)
+  Thread.delay 0.1;
+  Fault.arm_nth "server.read" 1;
+  (match Client.run ccfg "STATUS;" with
+  | Ok (Client.Failed { kind; msg }) ->
+      Alcotest.(check string) "typed Io" "Io" kind;
+      Alcotest.(check bool) "names the fault" true
+        (contains msg "server.read")
+  | Ok _ -> Alcotest.fail "injected read fault should fail the request"
+  | Error _ -> (* the server may drop the session before answering *) ());
+  Fault.reset ();
+  (* one session died; the server did not *)
+  let out = run_ok ccfg "STATUS;" in
+  Alcotest.(check bool) "server survived" true (contains out "server:");
+  Server.stop srv
+
+let test_die_on_broken_wal () =
+  Fault.reset ();
+  let dir = fresh_path "die" ".db" in
+  let srv, ccfg = start_server ~db_dir:dir ~die_on_broken_wal:true "die" in
+  ignore (run_ok ccfg "CREATE TABLE t (a INT);");
+  Thread.delay 0.1;
+  Fault.arm_nth "wal.group_commit" 1;
+  (match Client.run ccfg "INSERT INTO t VALUES (1);" with
+  | Ok (Client.Failed _) | Error _ -> ()
+  | Ok (Client.Ok_text _) -> Alcotest.fail "write was acked across a failed sync"
+  | Ok (Client.Refused _) -> Alcotest.fail "unexpected shed");
+  Fault.reset ();
+  (match Server.wait srv with
+  | Error e ->
+      Alcotest.(check bool) "fatal is the poisoned WAL" true
+        (contains (Err.to_string e) "die-on-broken-wal")
+  | Ok () -> Alcotest.fail "server should stop fatally on a poisoned WAL")
+
+let () =
+  Alcotest.run "server"
+    [
+      ("clock", [ Alcotest.test_case "monotone" `Quick test_clock ]);
+      ( "admission",
+        [
+          Alcotest.test_case "typed refusals with hints" `Quick
+            test_admission_refusal;
+          Alcotest.test_case "FIFO fairness" `Quick test_admission_fifo;
+          Alcotest.test_case "global row pool" `Quick test_global_pool;
+        ] );
+      ( "wire",
+        [ Alcotest.test_case "frames round-trip, reads bounded" `Quick
+            test_wire_roundtrip ] );
+      ( "snapshot",
+        [ Alcotest.test_case "LSN-stamped reuse + immutability" `Quick
+            test_snapshot_reuse ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "end-to-end statements" `Quick test_end_to_end;
+          Alcotest.test_case "session cap sheds with BUSY" `Quick
+            test_session_cap_busy;
+          Alcotest.test_case "global budget degrades typed" `Quick
+            test_global_rows_degrade;
+          Alcotest.test_case "concurrent writers, one log" `Quick
+            test_concurrent_writers_group_commit;
+          Alcotest.test_case "server.read fault drops one session" `Quick
+            test_server_read_fault;
+          Alcotest.test_case "die-on-broken-wal is fatal" `Quick
+            test_die_on_broken_wal;
+        ] );
+    ]

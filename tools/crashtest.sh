@@ -94,8 +94,100 @@ for point in persist.write persist.rename; do
   expect "check_$db" '(3 rows)'
 done
 
+# --- concurrent writers, server killed mid group commit -------------
+# A one-shot fault at wal.group_commit fires after the batch is written
+# but before the fsync — the commit point for the whole batch.
+# --die-on-broken-wal turns the poisoned log into a process death, so
+# the server dies mid-commit with writers in flight.  The oracle is
+# ack-implies-durable: every insert whose client saw an OK must be
+# there after restart.  Unacked inserts MAY also be there — exactly
+# those whose record reached the log file before the failed fsync (the
+# same recovery semantics the wal.fsync scenario pins down) — but never
+# more than were submitted, and never a torn one (recovery itself must
+# succeed).
+wait_for_sock() {
+  local sock=$1 i
+  for i in $(seq 100); do
+    [ -S "$sock" ] && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+run seed_gc gc_db "$seed"
+gc_sock="$tmp/gc.sock"
+"$exe" serve --listen "unix:$gc_sock" --db "$tmp/gc_db" \
+  --die-on-broken-wal --faults wal.group_commit@1 \
+  >"$tmp/serve_gc.out" 2>&1 &
+gc_srv=$!
+if ! wait_for_sock "$gc_sock"; then
+  say "FAIL serve_gc: server never came up"
+  sed "s/^/  | /" "$tmp/serve_gc.out"
+  fail=1
+else
+  gc_pids=""
+  for i in 1 2 3; do
+    "$exe" sql --connect "unix:$gc_sock" --retries 0 --timeout 10000 \
+      "INSERT INTO t VALUES (4$i, 0);" >"$tmp/gc_c$i.out" 2>&1 &
+    gc_pids="$gc_pids $!"
+  done
+  for p in $gc_pids; do wait "$p" || true; done
+  if wait "$gc_srv"; then
+    say "FAIL serve_gc: expected the poisoned WAL to stop the server"
+    sed "s/^/  | /" "$tmp/serve_gc.out"
+    fail=1
+  fi
+  expect serve_gc 'die-on-broken-wal'
+  acked=0
+  for i in 1 2 3; do
+    grep -q 'row(s) inserted' "$tmp/gc_c$i.out" && acked=$((acked + 1))
+  done
+  run check_gc gc_db "$count"
+  rows=$(sed -n 's/.*(\([0-9][0-9]*\) rows).*/\1/p' "$tmp/check_gc.out")
+  if [ -z "$rows" ] || [ "$rows" -lt $((3 + acked)) ] || [ "$rows" -gt 6 ]; then
+    say "FAIL check_gc: recovered $rows row(s), acked $acked — want between $((3 + acked)) and 6"
+    sed "s/^/  | /" "$tmp/check_gc.out"
+    fail=1
+  fi
+fi
+
+# --- concurrent writers acked, then SIGKILL -------------------------
+# Without faults every writer is acked (each ack follows the batch's
+# fsync), then the server is killed outright.  Every acked row must
+# survive recovery: group commit may batch the fsyncs but must never
+# ack ahead of one.
+run seed_kc kc_db "$seed"
+kc_sock="$tmp/kc.sock"
+"$exe" serve --listen "unix:$kc_sock" --db "$tmp/kc_db" \
+  >"$tmp/serve_kc.out" 2>&1 &
+kc_srv=$!
+if ! wait_for_sock "$kc_sock"; then
+  say "FAIL serve_kc: server never came up"
+  sed "s/^/  | /" "$tmp/serve_kc.out"
+  fail=1
+else
+  kc_pids=""
+  for i in 1 2 3; do
+    "$exe" sql --connect "unix:$kc_sock" --timeout 10000 \
+      "INSERT INTO t VALUES (5$i, 0);" >"$tmp/kc_c$i.out" 2>&1 &
+    kc_pids="$kc_pids $!"
+  done
+  for p in $kc_pids; do wait "$p" || true; done
+  for i in 1 2 3; do
+    if ! grep -q 'row(s) inserted' "$tmp/kc_c$i.out"; then
+      say "FAIL kc_c$i: concurrent insert was not acked"
+      sed "s/^/  | /" "$tmp/kc_c$i.out"
+      fail=1
+    fi
+  done
+  kill -9 "$kc_srv" 2>/dev/null
+  wait "$kc_srv" 2>/dev/null
+  run check_kc kc_db "$count"
+  expect check_kc '(6 rows)'
+fi
+
 if [ "$fail" -ne 0 ]; then
   say "FAILED"
   exit 1
 fi
-say "OK (6 crash points survived kill/restart)"
+say "OK (6 crash points + 2 concurrent-writer kills survived restart)"

@@ -28,6 +28,13 @@ if grep -qE '^lib/fuzz/' "$allow"; then
   exit 1
 fi
 
+# Nor the server: an untyped failure in a session thread kills the whole
+# process, not one statement — the opposite of graceful degradation.
+if grep -qE '^lib/server/' "$allow"; then
+  echo "lint: lib/server must stay failwith-free; remove it from $allow" >&2
+  exit 1
+fi
+
 while IFS= read -r hit; do
   file=${hit%%:*}
   if ! grep -qxF "$file" "$allow"; then
@@ -57,6 +64,25 @@ done < <(grep -rn --include='*.ml' \
   --exclude='ref_eval.ml' \
   -E 'Heap\.to_list|List\.concat' \
   lib/exec || true)
+
+# A session thread must never block without a deadline: every socket
+# read in lib/server goes through Wire.read_frame's select-with-budget
+# loop.  A naked blocking read is banned unless the line carries a
+# `timeout-ok` marker naming what bounds it.
+while IFS= read -r hit; do
+  line=${hit#*:*:}
+  case "$line" in
+  *timeout-ok*) ;;
+  *)
+    echo "lint: unbounded blocking read in lib/server: $hit" >&2
+    echo "lint: route reads through Wire.read_frame (select + budget)," >&2
+    echo "lint: or mark the line 'timeout-ok: <what bounds it>'." >&2
+    bad=1
+    ;;
+  esac
+done < <(grep -rn --include='*.ml' -E \
+  'Unix\.read[^_a-zA-Z]|input_line|really_input|In_channel\.input' \
+  lib/server || true)
 
 # no allowlist for nondeterminism: Random.self_init and the global
 # generator are banned outright (Random.State through Gen is the only

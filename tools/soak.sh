@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Multi-session soak: hammer one server with concurrent readers, writers
+# and STATUS probes under deliberately tiny admission budgets, and
+# assert the degradation contract end to end:
+#   - over-budget load is shed with typed refusals (BUSY + retry-after)
+#     or typed Resource errors, never anything untyped;
+#   - no client ever hangs (every request is wrapped in `timeout`);
+#   - the server neither crashes nor wedges, and still shuts down
+#     cleanly on SIGTERM after the storm.
+#
+# Usage: soak.sh path/to/eagerdb.exe
+set -u
+
+exe=${1:?usage: soak.sh path/to/eagerdb.exe}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fail=0
+say() { echo "soak: $*"; }
+
+sock="$tmp/soak.sock"
+"$exe" serve --listen "unix:$sock" --db "$tmp/db" \
+  --max-active 2 --max-queued 2 --max-wait-ms 60 --global-rows 4000 \
+  --read-timeout-ms 5000 >"$tmp/serve.out" 2>&1 &
+srv=$!
+up=0
+for _ in $(seq 100); do
+  [ -S "$sock" ] && up=1 && break
+  sleep 0.05
+done
+if [ "$up" -ne 1 ]; then
+  say "FAIL: server never came up"
+  sed "s/^/  | /" "$tmp/serve.out"
+  exit 1
+fi
+
+vals="(0,0)"
+for i in $(seq 1 99); do vals="$vals,($i,$((i % 7)))"; done
+if ! timeout 30 "$exe" sql --connect "unix:$sock" \
+  "CREATE TABLE s (id INT, g INT); INSERT INTO s VALUES $vals;" \
+  >"$tmp/seed.out" 2>&1; then
+  say "FAIL: seeding the soak table"
+  sed "s/^/  | /" "$tmp/seed.out"
+  exit 1
+fi
+
+# 12 sessions x 5 rounds: a third grouped reads, a third writers, a
+# third STATUS probes; every request retries shed responses with
+# jittered backoff seeded per client+round so reruns are comparable
+clients=12
+rounds=5
+pids=""
+for c in $(seq 1 "$clients"); do
+  (
+    for r in $(seq 1 "$rounds"); do
+      case $((c % 3)) in
+      0) sql="SELECT s.g, COUNT(*) FROM s GROUP BY s.g;" ;;
+      1) sql="INSERT INTO s VALUES ($((1000 + c * 10 + r)), $c);" ;;
+      2) sql="STATUS;" ;;
+      esac
+      timeout 60 "$exe" sql --connect "unix:$sock" \
+        --retries 6 --backoff-ms 10 --retry-seed $((c * 100 + r)) \
+        --timeout 10000 "$sql" >/dev/null 2>>"$tmp/client_$c.err"
+      echo "rc=$?" >>"$tmp/client_$c.rc"
+    done
+  ) &
+  pids="$pids $!"
+done
+for p in $pids; do wait "$p" || true; done
+
+ok=0
+shed=0
+for c in $(seq 1 "$clients"); do
+  while IFS= read -r line; do
+    rc=${line#rc=}
+    case "$rc" in
+    0) ok=$((ok + 1)) ;;
+    3) shed=$((shed + 1)) ;; # refused even after the retry budget
+    1)
+      # acceptable only as a typed Resource degradation
+      if grep -q 'Resource' "$tmp/client_$c.err"; then
+        shed=$((shed + 1))
+      else
+        say "FAIL: client $c failed untyped (rc=1)"
+        sed "s/^/  | /" "$tmp/client_$c.err"
+        fail=1
+      fi
+      ;;
+    124)
+      say "FAIL: client $c hung (timeout)"
+      fail=1
+      ;;
+    *)
+      say "FAIL: client $c exited rc=$rc"
+      sed "s/^/  | /" "$tmp/client_$c.err"
+      fail=1
+      ;;
+    esac
+  done <"$tmp/client_$c.rc"
+done
+
+total=$((clients * rounds))
+say "$ok/$total requests served, $shed shed typed"
+if [ "$ok" -lt $((total / 2)) ]; then
+  say "FAIL: fewer than half the requests were served"
+  fail=1
+fi
+
+if ! kill -0 "$srv" 2>/dev/null; then
+  say "FAIL: server died during the soak"
+  sed "s/^/  | /" "$tmp/serve.out"
+  fail=1
+else
+  status=$(timeout 30 "$exe" sql --connect "unix:$sock" "STATUS;" 2>&1)
+  echo "$status" | grep -q '^server:' || {
+    say "FAIL: STATUS after the soak"
+    echo "$status" | sed "s/^/  | /"
+    fail=1
+  }
+  say "post-soak ${status%%$'\n'*}"
+  kill -TERM "$srv"
+  if ! timeout 30 tail --pid="$srv" -f /dev/null; then
+    say "FAIL: server did not shut down on SIGTERM"
+    fail=1
+  elif ! grep -q 'shut down' "$tmp/serve.out"; then
+    say "FAIL: no clean shutdown line"
+    sed "s/^/  | /" "$tmp/serve.out"
+    fail=1
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  say "FAILED"
+  exit 1
+fi
+say "OK"
