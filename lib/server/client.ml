@@ -14,8 +14,10 @@ let parse_addr s =
         let hp = after "tcp:" in
         let host = String.sub hp 0 i in
         let port_s = String.sub hp (i + 1) (String.length hp - i - 1) in
+        (* port 0 is legal on the listen side: the kernel picks a free
+           port and serve prints the chosen one *)
         (match int_of_string_opt port_s with
-        | Some port when port > 0 && port < 65536 -> Ok (A_tcp (host, port))
+        | Some port when port >= 0 && port < 65536 -> Ok (A_tcp (host, port))
         | _ -> Error (Printf.sprintf "bad port in %S" s))
   else if s <> "" then Ok (A_unix s)
   else Error "empty address"
@@ -61,11 +63,12 @@ let connect cfg =
              with e -> Unix.close fd; raise e);
             fd
         | A_tcp (host, port) ->
-            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
             let a =
-              if host = "localhost" then Unix.inet_addr_loopback
-              else Unix.inet_addr_of_string host
+              match Wire.resolve_host host with
+              | Ok a -> a
+              | Error e -> Err.raise_ e
             in
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
             (try Unix.connect fd (Unix.ADDR_INET (a, port))
              with e -> Unix.close fd; raise e);
             fd
@@ -114,26 +117,48 @@ let run cfg sql =
     let ms = Float.max (base *. jitter) (float_of_int hint_ms) in
     Clock.sleep_ms ms
   in
+  (* Retry discipline: an attempt is retried only when the server
+     cannot have executed the script.  Safe: connect failures (nothing
+     sent), incomplete sends (a torn request frame never parses, so the
+     server answers ERR without executing), and BUSY refusals (shed
+     before execution by contract).  NOT safe: any failure after the
+     request frame was fully written — a read timeout or lost
+     connection there may postdate the commit, and blindly re-running
+     the script would apply non-idempotent writes twice. *)
   let attempt () =
     match connect cfg with
-    | Error e -> Error e
+    | Error e -> `Unsent e
     | Ok c ->
-        Fun.protect ~finally:(fun () -> close c) (fun () -> request c sql)
+        Fun.protect
+          ~finally:(fun () -> close c)
+          (fun () ->
+            match Wire.write_frame c.wire ~verb:"STMT" sql with
+            | Error e -> `Unsent e
+            | Ok () -> (
+                match read_response c with
+                | Ok r -> `Response r
+                | Error e -> `Sent e))
   in
   let rec go n =
     match attempt () with
-    | Ok (Ok_text _ as r) | Ok (Failed _ as r) -> Ok r
-    | Ok (Refused { retry_after_ms; _ } as r) ->
+    | `Response (Ok_text _ as r) | `Response (Failed _ as r) -> Ok r
+    | `Response (Refused { retry_after_ms; _ } as r) ->
         if n >= cfg.retries then Ok r
         else begin
           backoff n retry_after_ms;
           go (n + 1)
         end
-    | Error e ->
+    | `Unsent e ->
         if n >= cfg.retries then Error e
         else begin
           backoff n 0;
           go (n + 1)
         end
+    | `Sent e ->
+        Error
+          (Err.add_context
+             "request was sent and the server may have executed it; not \
+              retrying"
+             e)
   in
   go 0

@@ -2,13 +2,17 @@
 
     A {!request} is one [STMT] frame and one response frame, every read
     deadline-bounded.  {!run} adds the resilience policy: reconnect and
-    retry on transient failures (connect refused, timeouts, torn
-    frames, server-shed [BUSY] responses) with jittered exponential
-    backoff, honouring the server's [retry_after_ms] hint when one is
-    given; statement errors ([ERR] frames) are returned immediately —
-    retrying a refused statement is pointless, and retrying a script
-    that may have partially applied is wrong, which is why the server
-    only sheds load {e before} executing anything. *)
+    retry with jittered exponential backoff, honouring the server's
+    [retry_after_ms] hint when one is given — but only on failures
+    where the server cannot have executed the script: connect
+    failures, incomplete sends (a torn request frame never parses),
+    and server-shed [BUSY] responses (shed {e before} execution by
+    contract).  A failure {e after} the request frame was fully
+    written (response-read timeout, connection lost) is surfaced to
+    the caller instead of retried: the loss may postdate the commit,
+    and silently re-running non-idempotent writes would apply them
+    twice.  Statement errors ([ERR] frames) are returned immediately —
+    retrying a refused statement is pointless. *)
 
 open Eager_robust
 
@@ -51,6 +55,9 @@ val request : conn -> string -> (response, Err.t) result
 val ping : conn -> (unit, Err.t) result
 
 val run : config -> string -> (response, Err.t) result
-(** Connect, {!request}, close — retrying transient failures and
-    [Refused] responses up to [retries] times with jittered backoff.
-    Returns the last refusal or error if the budget is exhausted. *)
+(** Connect, {!request}, close — retrying duplicate-safe failures
+    (connect errors, incomplete sends, [Refused] responses) up to
+    [retries] times with jittered backoff.  Returns the last refusal
+    or error if the budget is exhausted; a post-send transport error
+    is returned without retrying (the server may have executed the
+    script — the error's context says so). *)

@@ -212,11 +212,24 @@ let commit_loop t =
   in
   loop ()
 
+(* Refuse new work once shutdown has begun.  The commit thread exits
+   as soon as (shutdown && queue empty) holds under [q_mu]; an enqueue
+   racing past that check would park its session on an ivar nobody will
+   ever fill, and [wait] (which joins session threads) would deadlock.
+   Checking the flag under the same mutex closes the race: either the
+   commit thread sees our request before exiting, or we see the flag. *)
 let enqueue t req =
   Mutex.lock t.q_mu;
-  Queue.add req t.queue;
-  Condition.signal t.q_cv;
-  Mutex.unlock t.q_mu
+  if t.shutdown then begin
+    Mutex.unlock t.q_mu;
+    Error (Err.io "server is shutting down; statement not executed")
+  end
+  else begin
+    Queue.add req t.queue;
+    Condition.signal t.q_cv;
+    Mutex.unlock t.q_mu;
+    Ok ()
+  end
 
 (* ---------- query rendering (the server-side twin of bin's printer) ---------- *)
 
@@ -382,7 +395,7 @@ let status_report t =
 let run_write_batch t sess buf run =
   let ( let* ) = Err.( let* ) in
   let iv = Ivar.create () in
-  enqueue t (W_batch (run, iv));
+  let* () = enqueue t (W_batch (run, iv)) in
   let results = Ivar.read iv in
   Err.iter_result
     (fun (stmt, result) ->
@@ -405,7 +418,7 @@ let run_statements t sess ~governor buf stmts =
         go rest
     | Ast.S_checkpoint :: rest ->
         let iv = Ivar.create () in
-        enqueue t (W_checkpoint iv);
+        let* () = enqueue t (W_checkpoint iv) in
         let* outcome = Ivar.read iv in
         describe_outcome buf outcome;
         go rest
@@ -520,12 +533,24 @@ let session_loop t fd =
           in
           loop ())
 
+(* The shutdown flag is checked under [sess_mu], the same mutex
+   initiate_shutdown's one-time nudge pass takes: either this fd makes
+   the list before the pass (and gets nudged), or we see the flag and
+   refuse — a late-accepted session can never sit in read_frame waiting
+   out the full read timeout before noticing shutdown. *)
 let spawn_session t fd =
   Mutex.lock t.sess_mu;
-  t.session_fds <- fd :: t.session_fds;
-  let th = Thread.create (fun () -> session_loop t fd) () in
-  t.session_threads <- th :: t.session_threads;
-  Mutex.unlock t.sess_mu
+  if t.shutdown then begin
+    Mutex.unlock t.sess_mu;
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    t.session_fds <- fd :: t.session_fds;
+    let th = Thread.create (fun () -> session_loop t fd) () in
+    t.session_threads <- th :: t.session_threads;
+    Mutex.unlock t.sess_mu
+  end
 
 let accept_loop t =
   let rec loop () =
@@ -571,12 +596,13 @@ let bind_listener listen =
           Unix.listen fd 64;
           (fd, "unix:" ^ path)
       | L_tcp (host, port) ->
+          let addr =
+            match Wire.resolve_host host with
+            | Ok a -> a
+            | Error e -> Err.raise_ e
+          in
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
           Unix.setsockopt fd Unix.SO_REUSEADDR true;
-          let addr =
-            if host = "localhost" then Unix.inet_addr_loopback
-            else Unix.inet_addr_of_string host
-          in
           Unix.bind fd (Unix.ADDR_INET (addr, port));
           Unix.listen fd 64;
           let bound =

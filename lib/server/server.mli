@@ -55,7 +55,9 @@ val wait : t -> (unit, Err.t) result
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, wake and drain the commit
     queue, nudge every live session off its socket, join the threads,
-    close the durable session.  Idempotent. *)
+    close the durable session.  Writes and checkpoints that arrive
+    after shutdown begins are refused with a typed [Io] error rather
+    than queued (nobody would ever commit them).  Idempotent. *)
 
 val bound_addr : t -> string
 (** Human-readable listening address (for "listening on ..." lines). *)

@@ -9,6 +9,32 @@ open Eager_robust
 let max_header = 256
 let max_payload = 16 * 1024 * 1024
 
+(* The loopback shortcut and dotted-quad literals resolve without a
+   syscall; any other name goes through getaddrinfo (DNS, /etc/hosts) —
+   so tcp:db.internal:7070 works, not just IP literals. *)
+let resolve_host host =
+  if host = "localhost" then Ok Unix.inet_addr_loopback
+  else
+    match Unix.inet_addr_of_string host with
+    | a -> Ok a
+    | exception Failure _ -> (
+        let infos =
+          try
+            Unix.getaddrinfo host ""
+              [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+          with Unix.Unix_error _ | Not_found -> []
+        in
+        match
+          List.find_map
+            (fun ai ->
+              match ai.Unix.ai_addr with
+              | Unix.ADDR_INET (a, _) -> Some a
+              | _ -> None)
+            infos
+        with
+        | Some a -> Ok a
+        | None -> Error (Err.io "cannot resolve host %S" host))
+
 type conn = { fd : Unix.file_descr; buf : Buffer.t }
 
 let of_fd fd = { fd; buf = Buffer.create 4096 }

@@ -19,6 +19,12 @@
 
 open Eager_robust
 
+val resolve_host : string -> (Unix.inet_addr, Err.t) result
+(** ["localhost"], a dotted-quad literal, or any name resolvable via
+    [getaddrinfo] (DNS, /etc/hosts) → an IPv4 address; a typed [Io]
+    error when the name does not resolve.  Shared by the server's
+    listener bind and the client's connect. *)
+
 type conn
 (** A connection with its private read buffer.  Not thread-safe; each
     session thread owns exactly one. *)

@@ -360,6 +360,75 @@ let test_server_read_fault () =
   Alcotest.(check bool) "server survived" true (contains out "server:");
   Server.stop srv
 
+let test_resolve_host () =
+  (match Wire.resolve_host "localhost" with
+  | Ok a ->
+      Alcotest.(check string) "loopback" "127.0.0.1"
+        (Unix.string_of_inet_addr a)
+  | Error e -> Alcotest.fail (Err.to_string e));
+  (match Wire.resolve_host "192.0.2.7" with
+  | Ok a ->
+      Alcotest.(check string) "dotted-quad literal" "192.0.2.7"
+        (Unix.string_of_inet_addr a)
+  | Error e -> Alcotest.fail (Err.to_string e));
+  match Wire.resolve_host "no-such-host.invalid" with
+  | Ok _ -> Alcotest.fail "resolved an .invalid name"
+  | Error e -> Alcotest.(check bool) "typed Io" true (Err.kind e = Err.Io)
+
+(* regression: stopping the server while writers are mid-request used to
+   race the commit thread's exit — a batch enqueued just after the final
+   drain parked its session on an ivar nobody fills, and Server.stop
+   (which joins session threads) deadlocked.  enqueue now refuses under
+   the queue mutex once shutdown begins, so stop must return promptly
+   and every writer must end with an ack or a typed error. *)
+let test_stop_under_write_load () =
+  Fault.reset ();
+  let srv, ccfg = start_server "stopload" in
+  ignore (run_ok ccfg "CREATE TABLE t (a INT);");
+  let writers =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            for k = 0 to 30 do
+              ignore
+                (Client.run
+                   { ccfg with Client.retries = 0; seed = (i * 100) + k }
+                   (Printf.sprintf "INSERT INTO t VALUES (%d);" ((i * 100) + k)))
+            done)
+          ())
+  in
+  Thread.delay 0.05;
+  let mu = Mutex.create () in
+  let stopped = ref false in
+  let stopper =
+    Thread.create
+      (fun () ->
+        Server.stop srv;
+        Mutex.lock mu;
+        stopped := true;
+        Mutex.unlock mu)
+      ()
+  in
+  let deadline = Clock.now_ms () +. 15_000. in
+  let rec poll () =
+    let done_ =
+      Mutex.lock mu;
+      let d = !stopped in
+      Mutex.unlock mu;
+      d
+    in
+    if done_ then ()
+    else if Clock.now_ms () > deadline then
+      Alcotest.fail "Server.stop wedged under concurrent write load"
+    else begin
+      Thread.delay 0.05;
+      poll ()
+    end
+  in
+  poll ();
+  List.iter Thread.join writers;
+  Thread.join stopper
+
 let test_die_on_broken_wal () =
   Fault.reset ();
   let dir = fresh_path "die" ".db" in
@@ -390,8 +459,11 @@ let () =
           Alcotest.test_case "global row pool" `Quick test_global_pool;
         ] );
       ( "wire",
-        [ Alcotest.test_case "frames round-trip, reads bounded" `Quick
-            test_wire_roundtrip ] );
+        [
+          Alcotest.test_case "frames round-trip, reads bounded" `Quick
+            test_wire_roundtrip;
+          Alcotest.test_case "host resolution" `Quick test_resolve_host;
+        ] );
       ( "snapshot",
         [ Alcotest.test_case "LSN-stamped reuse + immutability" `Quick
             test_snapshot_reuse ] );
@@ -406,6 +478,8 @@ let () =
             test_concurrent_writers_group_commit;
           Alcotest.test_case "server.read fault drops one session" `Quick
             test_server_read_fault;
+          Alcotest.test_case "stop under concurrent write load" `Quick
+            test_stop_under_write_load;
           Alcotest.test_case "die-on-broken-wal is fatal" `Quick
             test_die_on_broken_wal;
         ] );
