@@ -695,6 +695,129 @@ let json_workloads () =
       (w.Sales.db, w.Sales.query) );
   ]
 
+(* replication overhead: group-committed insert throughput on a live
+   server, with and without a hot standby consuming the WAL stream.
+   The commit tap publishes into the hub either way (it is always
+   installed); the "on" side adds a connected sender session and a
+   standby applying every record, and also reports how long the standby
+   needed to drain to the primary's final LSN after the last ack. *)
+let repl_throughput ~standby:with_standby ~inserts ~writers =
+  let module Server = Eager_server.Server in
+  let module Client = Eager_server.Client in
+  let ok what = function
+    | Ok v -> v
+    | Error e ->
+        Printf.eprintf "bench replication: %s: %s\n" what
+          (Eager_robust.Err.to_string e);
+        exit 2
+  in
+  let uniq =
+    Printf.sprintf "%d_%d_%s" (Unix.getpid ()) inserts
+      (if with_standby then "on" else "off")
+  in
+  let path base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      ("eagerdb_bench_" ^ base ^ uniq)
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go k = k + m <= n && (String.sub s k m = sub || go (k + 1)) in
+    go 0
+  in
+  let psock = path "p.sock" in
+  let prim, _ =
+    ok "primary start"
+      (Server.start
+         {
+           (Server.default_config (Server.L_unix psock)) with
+           db_dir = Some (path "pdb");
+           read_timeout_ms = 10_000.;
+         })
+  in
+  let stby =
+    if not with_standby then None
+    else
+      Some
+        (fst
+           (ok "standby start"
+              (Server.start
+                 {
+                   (Server.default_config (Server.L_unix (path "s.sock"))) with
+                   db_dir = Some (path "sdb");
+                   read_timeout_ms = 10_000.;
+                   role =
+                     Server.Standby
+                       { primary = Client.A_unix psock; repl_seed = !seed };
+                 })))
+  in
+  let pcfg = Client.config ~timeout_ms:10_000. ~retries:5 (Client.A_unix psock) in
+  let run_ok sql =
+    match ok sql (Client.run pcfg sql) with
+    | Client.Ok_text out -> out
+    | Client.Refused { msg; _ } | Client.Failed { msg; _ } ->
+        Printf.eprintf "bench replication: %s: %s\n" sql msg;
+        exit 2
+  in
+  ignore (run_ok "CREATE TABLE b (id INT NOT NULL, PRIMARY KEY (id));");
+  let per_writer = inserts / writers in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init writers (fun w ->
+        Thread.create
+          (fun () ->
+            for k = 1 to per_writer do
+              ignore
+                (run_ok
+                   (Printf.sprintf "INSERT INTO b VALUES (%d);"
+                      ((w * 1_000_000) + k)))
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let commit_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let final_lsn = 1 + (per_writer * writers) in
+  let catchup_ms =
+    match stby with
+    | None -> None
+    | Some _ ->
+        let scfg =
+          Client.config ~timeout_ms:10_000. ~retries:5
+            (Client.A_unix (path "s.sock"))
+        in
+        let t1 = Unix.gettimeofday () in
+        let target = Printf.sprintf "applied_lsn=%d" final_lsn in
+        let rec drain () =
+          match Client.run scfg "STATUS;" with
+          | Ok (Client.Ok_text out) when contains out target -> ()
+          | _ ->
+              Thread.delay 0.01;
+              drain ()
+        in
+        drain ();
+        Some ((Unix.gettimeofday () -. t1) *. 1000.)
+  in
+  Server.stop prim;
+  Option.iter Server.stop stby;
+  let commits = per_writer * writers in
+  let per_sec = float_of_int commits /. (Float.max 0.001 commit_ms /. 1000.) in
+  (commits, commit_ms, per_sec, catchup_ms)
+
+let json_replication () =
+  let inserts = 400 and writers = 4 in
+  let side ~standby =
+    let commits, ms, per_sec, catchup = repl_throughput ~standby ~inserts ~writers in
+    Printf.sprintf "{\"commits\": %d, \"ms\": %.1f, \"commits_per_sec\": %.0f%s}"
+      commits ms per_sec
+      (match catchup with
+      | None -> ""
+      | Some c -> Printf.sprintf ", \"standby_drain_ms\": %.1f" c)
+  in
+  Printf.sprintf
+    "{\"writers\": %d,\n\
+    \     \"replication_off\": %s,\n\
+    \     \"replication_on\": %s}"
+    writers (side ~standby:false) (side ~standby:true)
+
 let report_json path =
   let plan_obj heap ms prof =
     let rows = Heap.length heap in
@@ -750,6 +873,7 @@ let report_json path =
              "    {\"batch_rows\": %d, \"e1\": %s, \"e2\": %s}" batch_rows
              (side t1 rps1 p1) (side t2 rps2 p2))
   in
+  let replication = json_replication () in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -759,11 +883,13 @@ let report_json path =
     \  ],\n\
     \  \"batch_sweep_fig1\": [\n\
      %s\n\
-    \  ]\n\
+    \  ],\n\
+    \  \"replication\": %s\n\
      }\n"
     !seed
     (String.concat ",\n" entries)
-    (String.concat ",\n" sweep_entries);
+    (String.concat ",\n" sweep_entries)
+    replication;
   close_out oc;
   Printf.printf "wrote %s (%d workloads + %d sweep points, seed %d)\n" path
     (List.length (json_workloads ()))

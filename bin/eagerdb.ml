@@ -157,6 +157,10 @@ let print_outcome db ~limits = function
   | Binder.Updated n -> Printf.printf "%d row(s) updated\n" n
   | Binder.Deleted n -> Printf.printf "%d row(s) deleted\n" n
   | Binder.Checkpointed lsn -> Printf.printf "checkpointed at wal lsn %d\n" lsn
+  | Binder.Backed_up { dir; lsn } ->
+      Printf.printf "backup written to %s at wal lsn %d\n" dir lsn
+  | Binder.Promoted lsn ->
+      Printf.printf "promoted to primary at wal lsn %d\n" lsn
   | Binder.Query (q, order) -> run_query db q ~limits ~order ~show:Results
   | Binder.Explained (q, order, an) ->
       run_query db q ~limits ~order
@@ -374,10 +378,13 @@ let demo name =
       1
 
 (* the concurrent session server (lib/server): accept/commit/session
-   threads, snapshot-isolated readers, group-committed writers *)
-let serve_main listen_s db_dir checkpoint_every max_sessions max_active
-    max_queued max_wait_ms global_rows statement_limits read_timeout_ms
-    die_on_broken_wal faults fault_seed fault_rate =
+   threads, snapshot-isolated readers, group-committed writers.
+   [primary] switches the node into standby mode: read-only, following
+   that address's WAL stream until PROMOTE (or SIGUSR1) flips it. *)
+let serve_main ~primary ~repl_seed ~repl_retain listen_s db_dir
+    checkpoint_every max_sessions max_active max_queued max_wait_ms
+    global_rows statement_limits read_timeout_ms die_on_broken_wal faults
+    fault_seed fault_rate =
   let open Eager_server in
   arm_faults faults fault_seed fault_rate;
   let listen =
@@ -387,6 +394,16 @@ let serve_main listen_s db_dir checkpoint_every max_sessions max_active
     | Error m ->
         prerr_endline ("error: invalid --listen address: " ^ m);
         exit 2
+  in
+  let role =
+    match primary with
+    | None -> Server.Primary
+    | Some addr_s -> (
+        match Client.parse_addr addr_s with
+        | Ok primary -> Server.Standby { primary; repl_seed }
+        | Error m ->
+            prerr_endline ("error: invalid --primary address: " ^ m);
+            exit 2)
   in
   let admission =
     {
@@ -406,6 +423,8 @@ let serve_main listen_s db_dir checkpoint_every max_sessions max_active
       db_dir;
       checkpoint_every;
       die_on_broken_wal;
+      role;
+      repl_retain;
     }
   in
   match Server.start cfg with
@@ -416,7 +435,13 @@ let serve_main listen_s db_dir checkpoint_every max_sessions max_active
       (match (db_dir, recovery) with
       | Some dir, Some r -> print_recovery dir r
       | _ -> ());
-      Printf.printf "eagerdb listening on %s\n%!" (Server.bound_addr t);
+      (match role with
+      | Server.Standby _ ->
+          Printf.printf "eagerdb standby listening on %s (following %s)\n%!"
+            (Server.bound_addr t)
+            (Option.value primary ~default:"?")
+      | Server.Primary ->
+          Printf.printf "eagerdb listening on %s\n%!" (Server.bound_addr t));
       (* the handler only requests the stop; the joins happen on a
          helper thread so the handler itself never blocks *)
       let request_stop _ = ignore (Thread.create (fun () -> Server.stop t) ()) in
@@ -425,6 +450,29 @@ let serve_main listen_s db_dir checkpoint_every max_sessions max_active
           try Sys.set_signal s (Sys.Signal_handle request_stop)
           with Invalid_argument _ -> ())
         [ Sys.sigint; Sys.sigterm ];
+      (* SIGUSR1 = operator-driven promotion.  The handler only raises a
+         flag; a poll thread does the actual (joining) work, because a
+         signal handler must never block on a thread join *)
+      let want_promote = ref false in
+      (try
+         Sys.set_signal Sys.sigusr1
+           (Sys.Signal_handle (fun _ -> want_promote := true))
+       with Invalid_argument _ -> ());
+      ignore
+        (Thread.create
+           (fun () ->
+             while true do
+               if !want_promote then begin
+                 want_promote := false;
+                 match Server.promote t with
+                 | Ok lsn ->
+                     Printf.printf "promoted to primary at wal lsn %d\n%!" lsn
+                 | Error e ->
+                     Printf.eprintf "promote: %s\n%!" (Err.to_string e)
+               end;
+               Clock.sleep_ms 100.
+             done)
+           ());
       match Server.wait t with
       | Ok () ->
           print_endline "eagerdb: shut down";
@@ -432,6 +480,63 @@ let serve_main listen_s db_dir checkpoint_every max_sessions max_active
       | Error e ->
           Printf.eprintf "fatal: %s\n%!" (Err.to_string e);
           1)
+
+(* offline backup: open (recover) the directory, seal a backup of it.
+   The hot path — no downtime, commit-queue barrier — is the BACKUP
+   statement against a running server: eagerdb sql "BACKUP 'dest'" *)
+let backup_main db_dir dest faults fault_seed fault_rate =
+  arm_faults faults fault_seed fault_rate;
+  match Durable.open_ ~dir:db_dir () with
+  | Error e ->
+      Printf.eprintf "error recovering %s: %s\n" db_dir (Err.to_string e);
+      1
+  | Ok (session, recovery) ->
+      print_recovery db_dir recovery;
+      let r = Durable.backup session ~dir:dest in
+      Durable.close session;
+      (match r with
+      | Ok lsn ->
+          Printf.printf "backup written to %s at wal lsn %d\n" dest lsn;
+          0
+      | Error e ->
+          Printf.eprintf "error: %s\n" (Err.to_string e);
+          1)
+
+let restore_main verify_only src dest =
+  if verify_only then (
+    match Backup.verify ~dir:src with
+    | Ok lsn ->
+        Printf.printf "backup %s verifies at wal lsn %d\n" src lsn;
+        0
+    | Error e ->
+        Printf.eprintf "error: %s\n" (Err.to_string e);
+        1)
+  else
+    match dest with
+    | None ->
+        prerr_endline
+          "error: restore needs a destination directory (or --verify-only)";
+        2
+    | Some dest -> (
+        match Backup.restore ~from_dir:src ~to_dir:dest with
+        | Error e ->
+            Printf.eprintf "error: %s\n" (Err.to_string e);
+            1
+        | Ok lsn -> (
+            (* prove the restored directory actually recovers *)
+            match Durable.open_ ~dir:dest () with
+            | Ok (s, recovery) ->
+                print_recovery dest recovery;
+                Durable.close s;
+                Printf.printf "restored %s into %s (backup lsn %d)\n" src dest
+                  lsn;
+                0
+            | Error e ->
+                Printf.eprintf
+                  "error: backup verified and copied, but the restored \
+                   directory failed recovery: %s\n"
+                  (Err.to_string e);
+                1))
 
 let sql_main connect timeout_ms retries backoff_ms seed script file =
   let open Eager_server in
@@ -668,93 +773,178 @@ let fuzz_cmd =
     Term.(
       const fuzz $ seed $ iters $ no_faults $ corpus $ replay $ quiet)
 
+(* server flags shared by [serve] and [standby] *)
+let srv_listen =
+  Arg.(
+    value
+    & opt string "unix:/tmp/eagerdb.sock"
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Listen address: unix:PATH or tcp:HOST:PORT (port 0 picks a free \
+           port; the chosen one is in the 'listening on' line)")
+
+let srv_db_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ] ~docv:"DIR"
+        ~doc:
+          "Serve a durable database under $(docv): writes are \
+           write-ahead-logged with group commit and recovery runs at \
+           startup.  Without it the server is in-memory")
+
+let srv_checkpoint_every =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"With --db, checkpoint automatically every $(docv) logged \
+              statements")
+
+let srv_max_sessions =
+  Arg.(
+    value & opt int 64
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:"Concurrent connections before refusing new sessions")
+
+let srv_max_active =
+  Arg.(
+    value & opt int 8
+    & info [ "max-active" ] ~docv:"N"
+        ~doc:"Statements executing at once; excess arrivals queue fairly")
+
+let srv_max_queued =
+  Arg.(
+    value & opt int 32
+    & info [ "max-queued" ] ~docv:"N"
+        ~doc:"Queued statements before shedding load with BUSY")
+
+let srv_max_wait_ms =
+  Arg.(
+    value & opt float 2000.
+    & info [ "max-wait-ms" ] ~docv:"MS"
+        ~doc:"Queue-wait budget before a statement is refused")
+
+let srv_global_rows =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "global-rows" ] ~docv:"N"
+        ~doc:
+          "Aggregate row budget across every executing statement (the \
+           global pool behind per-statement --max-rows)")
+
+let srv_read_timeout_ms =
+  Arg.(
+    value & opt float 30_000.
+    & info [ "read-timeout-ms" ] ~docv:"MS"
+        ~doc:"Per-frame socket read deadline (also the idle-session \
+              timeout)")
+
+let srv_die_on_broken_wal =
+  Arg.(
+    value & flag
+    & info [ "die-on-broken-wal" ]
+        ~doc:
+          "Treat a poisoned write-ahead log as fatal and stop the server \
+           instead of degrading to read-only (the crash-test harness uses \
+           this to turn injected log faults into process deaths)")
+
+let srv_repl_retain =
+  Arg.(
+    value & opt int 1024
+    & info [ "repl-retain" ] ~docv:"N"
+        ~doc:
+          "Committed WAL records kept in memory for replication catch-up; \
+           standbys further behind are caught up from the on-disk log, and \
+           past a checkpoint truncation told to re-seed from a backup")
+
+let srv_repl_seed =
+  Arg.(
+    value & opt int 1
+    & info [ "repl-seed" ] ~docv:"N"
+        ~doc:"Jitter seed for the standby's reconnect backoff (explicit so \
+              failover drills are reproducible)")
+
+let serve_term primary_t =
+  Term.(
+    const (fun primary repl_seed repl_retain -> serve_main ~primary ~repl_seed ~repl_retain)
+    $ primary_t $ srv_repl_seed $ srv_repl_retain $ srv_listen $ srv_db_dir
+    $ srv_checkpoint_every $ srv_max_sessions $ srv_max_active $ srv_max_queued
+    $ srv_max_wait_ms $ srv_global_rows $ limits_term $ srv_read_timeout_ms
+    $ srv_die_on_broken_wal $ faults_arg $ fault_seed_arg $ fault_rate_arg)
+
 let serve_cmd =
-  let listen =
-    Arg.(
-      value
-      & opt string "unix:/tmp/eagerdb.sock"
-      & info [ "listen" ] ~docv:"ADDR"
-          ~doc:
-            "Listen address: unix:PATH or tcp:HOST:PORT (port 0 picks a free \
-             port; the chosen one is in the 'listening on' line)")
-  in
-  let db_dir =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "db" ] ~docv:"DIR"
-          ~doc:
-            "Serve a durable database under $(docv): writes are \
-             write-ahead-logged with group commit and recovery runs at \
-             startup.  Without it the server is in-memory")
-  in
-  let checkpoint_every =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "checkpoint-every" ] ~docv:"N"
-          ~doc:"With --db, checkpoint automatically every $(docv) logged \
-                statements")
-  in
-  let max_sessions =
-    Arg.(
-      value & opt int 64
-      & info [ "max-sessions" ] ~docv:"N"
-          ~doc:"Concurrent connections before refusing new sessions")
-  in
-  let max_active =
-    Arg.(
-      value & opt int 8
-      & info [ "max-active" ] ~docv:"N"
-          ~doc:"Statements executing at once; excess arrivals queue fairly")
-  in
-  let max_queued =
-    Arg.(
-      value & opt int 32
-      & info [ "max-queued" ] ~docv:"N"
-          ~doc:"Queued statements before shedding load with BUSY")
-  in
-  let max_wait_ms =
-    Arg.(
-      value & opt float 2000.
-      & info [ "max-wait-ms" ] ~docv:"MS"
-          ~doc:"Queue-wait budget before a statement is refused")
-  in
-  let global_rows =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "global-rows" ] ~docv:"N"
-          ~doc:
-            "Aggregate row budget across every executing statement (the \
-             global pool behind per-statement --max-rows)")
-  in
-  let read_timeout_ms =
-    Arg.(
-      value & opt float 30_000.
-      & info [ "read-timeout-ms" ] ~docv:"MS"
-          ~doc:"Per-frame socket read deadline (also the idle-session \
-                timeout)")
-  in
-  let die_on_broken_wal =
-    Arg.(
-      value & flag
-      & info [ "die-on-broken-wal" ]
-          ~doc:
-            "Treat a poisoned write-ahead log as fatal and stop the server \
-             instead of degrading to read-only (the crash-test harness uses \
-             this to turn injected log faults into process deaths)")
-  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve concurrent SQL sessions over a socket (snapshot-isolated \
-          reads, group-committed writes, admission control)")
+          reads, group-committed writes, admission control).  A durable \
+          server also serves REPL streams to standbys and the BACKUP \
+          statement")
+    (serve_term Term.(const None))
+
+let standby_cmd =
+  let primary =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "primary" ] ~docv:"ADDR"
+          ~doc:
+            "The primary to follow (unix:PATH or tcp:HOST:PORT).  The \
+             standby serves reads and STATUS only, replays the primary's \
+             WAL stream as it arrives, reconnects with jittered backoff \
+             when the stream breaks, and becomes a primary on PROMOTE (or \
+             SIGUSR1)")
+  in
+  Cmd.v
+    (Cmd.info "standby"
+       ~doc:
+         "Serve a read-only hot standby replaying a primary's WAL stream \
+          (requires --db; PROMOTE or SIGUSR1 fails over)")
+    (serve_term Term.(const Option.some $ primary))
+
+let backup_cmd =
+  let db_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR" ~doc:"The database directory to back up")
+  in
+  let dest =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DEST")
+  in
+  Cmd.v
+    (Cmd.info "backup"
+       ~doc:
+         "Write a checksummed, LSN-stamped backup (snapshot + WAL tail + \
+          manifest) of a database directory into a fresh DEST.  This \
+          subcommand opens the directory itself — for a hot backup of a \
+          live server, run the BACKUP statement through it instead: \
+          eagerdb sql \"BACKUP 'DEST'\"")
     Term.(
-      const serve_main $ listen $ db_dir $ checkpoint_every $ max_sessions
-      $ max_active $ max_queued $ max_wait_ms $ global_rows $ limits_term
-      $ read_timeout_ms $ die_on_broken_wal $ faults_arg $ fault_seed_arg
+      const backup_main $ db_dir $ dest $ faults_arg $ fault_seed_arg
       $ fault_rate_arg)
+
+let restore_cmd =
+  let verify_only =
+    Arg.(
+      value & flag
+      & info [ "verify-only" ]
+          ~doc:"Only verify the backup's checksums and LSN stamps; write \
+                nothing")
+  in
+  let src =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BACKUP_DIR")
+  in
+  let dest = Arg.(value & pos 1 (some string) None & info [] ~docv:"DEST") in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Verify a backup end to end (manifest checksums, snapshot trailer, \
+          full WAL scan — any corrupted byte is a typed refusal) and copy \
+          it into a fresh DEST ready to serve")
+    Term.(const restore_main $ verify_only $ src $ dest)
 
 let sql_cmd =
   let connect =
@@ -814,6 +1004,7 @@ let () =
     Cmd.group
       (Cmd.info "eagerdb" ~version:"1.0.0"
          ~doc:"Group-by pushdown demonstrator (Yan & Larson, ICDE 1994)")
-      [ run_cmd; demo_cmd; repl_cmd; fuzz_cmd; serve_cmd; sql_cmd ]
+      [ run_cmd; demo_cmd; repl_cmd; fuzz_cmd; serve_cmd; standby_cmd;
+        backup_cmd; restore_cmd; sql_cmd ]
   in
   exit (Cmd.eval' main)

@@ -1,0 +1,190 @@
+(* Online hot backup: a checksummed, LSN-stamped snapshot plus the WAL
+   tail, copied into a fresh directory and sealed by a manifest.  See
+   backup.mli for the trust model; the invariant that matters here is
+   that [verify] must refuse a backup in which ANY byte of any file
+   changed — a backup is an archival artifact, so even damage a live
+   recovery would shrug off (a torn WAL tail) is corruption. *)
+
+open Eager_robust
+open Eager_parser
+
+let ( let* ) = Err.( let* )
+
+let manifest_name = "backup.eagerdb"
+let snapshot_name = "snapshot.eagerdb"
+let manifest_magic = "eagerdb backup v1"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* write [content] to [path] in two halves with [fault] tripped between
+   them, then fsync — so an injected crash mid-copy deterministically
+   leaves a torn file that [verify] rejects *)
+let write_file ?fault path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let half = String.length content / 2 in
+      output_substring oc content 0 half;
+      (match fault with None -> () | Some point -> Fault.trip point);
+      output_substring oc content half (String.length content - half);
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc))
+
+(* a backup lands only in a fresh directory: never silently clobber an
+   existing database or an earlier backup *)
+let ensure_fresh_dir dir =
+  if Sys.file_exists dir then
+    if not (Sys.is_directory dir) then
+      Error (Err.io "backup target %s exists and is not a directory" dir)
+    else if Sys.readdir dir <> [||] then
+      Error (Err.io "backup target %s exists and is not empty" dir)
+    else Ok ()
+  else Err.protect ~kind:Err.Io (fun () -> Unix.mkdir dir 0o755)
+
+let write ~db ~lsn ~wal_path ~dir =
+  let result =
+    let* () = ensure_fresh_dir dir in
+    (* the caller holds the commit barrier, so the snapshot and the WAL
+       tail describe the same instant: every record in the tail is at or
+       below [lsn] and already folded into the snapshot *)
+    let* () = Persist.save ~wal_lsn:lsn db ~dir in
+    let* snapshot_bytes =
+      Err.protect ~kind:Err.Io (fun () ->
+          read_file (Filename.concat dir snapshot_name))
+    in
+    (* copy only the valid prefix of the WAL: a torn tail on the primary
+       (a poisoned handle's half-written record) was never acknowledged
+       and must not ride into an archive that [verify] will hold to a
+       stricter standard *)
+    let* wal_bytes =
+      if not (Sys.file_exists wal_path) then Ok "eagerdb wal v1\n"
+      else
+        let* _records, tail = Wal.scan wal_path in
+        let* content = Err.protect ~kind:Err.Io (fun () -> read_file wal_path) in
+        match tail with
+        | Wal.Complete -> Ok content
+        | Wal.Torn { valid_len; _ } -> Ok (String.sub content 0 valid_len)
+    in
+    let* () =
+      Err.protect ~kind:Err.Io (fun () ->
+          write_file ~fault:"backup.copy"
+            (Filename.concat dir Wal.file_name)
+            wal_bytes)
+    in
+    (* the manifest seals the backup: written last, so a crash at any
+       earlier instant leaves a directory [verify] refuses outright *)
+    let manifest =
+      Printf.sprintf "%s\nlsn %d\nsnapshot %s\nwal %s\n" manifest_magic lsn
+        (Digest.to_hex (Digest.string snapshot_bytes))
+        (Digest.to_hex (Digest.string wal_bytes))
+    in
+    let* () =
+      Err.protect ~kind:Err.Io (fun () ->
+          write_file (Filename.concat dir manifest_name) manifest)
+    in
+    Ok lsn
+  in
+  Err.with_context (Printf.sprintf "backup to %s" dir) result
+
+let parse_manifest content =
+  match String.split_on_char '\n' content with
+  | [ magic; lsn_line; snap_line; wal_line; "" ]
+    when String.equal magic manifest_magic -> (
+      let field prefix line =
+        let p = prefix ^ " " in
+        let pl = String.length p in
+        if String.length line > pl && String.sub line 0 pl = p then
+          Some (String.sub line pl (String.length line - pl))
+        else None
+      in
+      match
+        (field "lsn" lsn_line, field "snapshot" snap_line, field "wal" wal_line)
+      with
+      | Some lsn_s, Some snap_md5, Some wal_md5 -> (
+          match int_of_string_opt lsn_s with
+          | Some lsn
+            when lsn >= 0
+                 && String.length snap_md5 = 32
+                 && String.length wal_md5 = 32 ->
+              Ok (lsn, snap_md5, wal_md5)
+          | _ -> Error (Err.io "backup manifest rejected: malformed fields"))
+      | _ -> Error (Err.io "backup manifest rejected: malformed fields"))
+  | _ -> Error (Err.io "backup manifest rejected: not an eagerdb backup")
+
+let verify ~dir =
+  let result =
+    let must_read name =
+      let path = Filename.concat dir name in
+      if not (Sys.file_exists path) then
+        Error (Err.io "backup incomplete: %s is missing" name)
+      else Err.protect ~kind:Err.Io (fun () -> read_file path)
+    in
+    let* manifest = must_read manifest_name in
+    let* lsn, snap_md5, wal_md5 = parse_manifest manifest in
+    let check name content recorded =
+      let actual = Digest.to_hex (Digest.string content) in
+      if String.equal actual recorded then Ok ()
+      else
+        Error
+          (Err.io
+             "backup rejected: %s fails its manifest checksum (stored %s, \
+              computed %s)"
+             name recorded actual)
+    in
+    let* snapshot_bytes = must_read snapshot_name in
+    let* () = check snapshot_name snapshot_bytes snap_md5 in
+    let* wal_bytes = must_read Wal.file_name in
+    let* () = check Wal.file_name wal_bytes wal_md5 in
+    (* belt and braces beyond the manifest: the snapshot's own trailer
+       must verify, and the WAL must scan clean end to end — in an
+       archive even a torn tail is corruption, not crash residue *)
+    let* db_lsn = Persist.load_with_lsn ~dir in
+    let* records, tail = Wal.scan (Filename.concat dir Wal.file_name) in
+    let* () =
+      match tail with
+      | Wal.Complete -> Ok ()
+      | Wal.Torn { dropped; _ } ->
+          Error
+            (Err.io "backup rejected: WAL tail is torn (%d trailing byte(s))"
+               dropped)
+    in
+    let* () =
+      match List.rev records with
+      | { Wal.seq; _ } :: _ when seq > lsn ->
+          Error
+            (Err.io
+               "backup rejected: WAL reaches record #%d beyond the manifest \
+                lsn %d"
+               seq lsn)
+      | _ -> Ok ()
+    in
+    let _db, snap_lsn = db_lsn in
+    if snap_lsn <> lsn then
+      Error
+        (Err.io "backup rejected: snapshot is stamped lsn %d, manifest says %d"
+           snap_lsn lsn)
+    else Ok lsn
+  in
+  Err.with_context (Printf.sprintf "verifying backup %s" dir) result
+
+let restore ~from_dir ~to_dir =
+  let result =
+    let* lsn = verify ~dir:from_dir in
+    let* () = ensure_fresh_dir to_dir in
+    let copy name =
+      Err.protect ~kind:Err.Io (fun () ->
+          write_file (Filename.concat to_dir name)
+            (read_file (Filename.concat from_dir name)))
+    in
+    let* () = copy snapshot_name in
+    let* () = copy Wal.file_name in
+    Ok lsn
+  in
+  Err.with_context
+    (Printf.sprintf "restoring %s into %s" from_dir to_dir)
+    result

@@ -21,6 +21,9 @@ type t = {
   dir : string;
   checkpoint_every : int option;
   mutable since_checkpoint : int;
+  mutable tap : (Wal.record list -> unit) option;
+      (* invoked with each batch of records immediately after the fsync
+         that commits them — the replication feed *)
 }
 
 type recovery = {
@@ -37,6 +40,12 @@ let dir t = t.dir
 let lsn t = Wal.next_seq t.wal - 1
 let wal_bytes t = Wal.bytes_logged t.wal
 let wal_broken t = Wal.broken t.wal
+let set_commit_tap t tap = t.tap <- tap
+
+let committed t records =
+  match (t.tap, records) with
+  | None, _ | _, [] -> ()
+  | Some tap, records -> tap records
 
 let snapshot_exists ~dir =
   Sys.file_exists (Filename.concat dir "snapshot.eagerdb")
@@ -136,7 +145,7 @@ let open_ ?checkpoint_every ~dir () =
         Ok true
       else Ok false
     in
-    let t = { db; wal; dir; checkpoint_every; since_checkpoint = 0 } in
+    let t = { db; wal; dir; checkpoint_every; since_checkpoint = 0; tap = None } in
     let recovery =
       {
         snapshot_lsn = lsn;
@@ -161,18 +170,70 @@ let checkpoint t =
   in
   Err.with_context "checkpoint" result
 
+let backup t ~dir:target =
+  Backup.write ~db:t.db ~lsn:(lsn t) ~wal_path:(Wal.path ~dir:t.dir)
+    ~dir:target
+
+(* Standby-side replication apply: log the shipped record verbatim (the
+   fsync is the standby's commit point too), then apply statements.  The
+   standby NEVER originates records of its own — an abort marker for an
+   apply that failed on the primary arrives as the next stream record,
+   and a statement that refuses locally refused on the primary too, so
+   its marker is already in flight; synthesising one here would desync
+   the two logs' sequence numbering and poison every later handshake. *)
+let ingest t (r : Wal.record) =
+  let* () = Fault.check "repl.recv" in
+  let expected = Wal.next_seq t.wal in
+  if r.seq <> expected then
+    Error
+      (Err.io "replication stream out of order: got record #%d, expected #%d"
+         r.seq expected)
+  else
+    let* stmt =
+      match r.kind with
+      | Wal.Abort -> Ok None
+      | Wal.Stmt -> (
+          match Parser.parse_statement r.payload with
+          | stmt -> Ok (Some stmt)
+          | exception Parser.Parse_error msg ->
+              Error
+                (Err.io "shipped record #%d does not re-parse: %s" r.seq msg)
+          | exception Lexer.Lex_error msg ->
+              Error (Err.io "shipped record #%d does not re-lex: %s" r.seq msg))
+    in
+    let* (_ : int) = Wal.append t.wal ~kind:r.kind r.payload in
+    committed t [ r ];
+    (match stmt with
+    | None -> ()
+    | Some stmt -> (
+        match Binder.exec_statement t.db stmt with
+        | Ok _ -> t.since_checkpoint <- t.since_checkpoint + 1
+        | Error _ ->
+            (* the primary's apply refused this statement too; its abort
+               marker is the next record in the stream *)
+            ()));
+    match t.checkpoint_every with
+    | Some every when t.since_checkpoint >= every ->
+        let* (_ : int) = checkpoint t in
+        Ok ()
+    | _ -> Ok ()
+
 let exec t stmt =
   match stmt with
-  | Ast.S_select _ | Ast.S_explain _ | Ast.S_status ->
-      (* reads never touch the log; STATUS is answered by the server
-         front end (or refused by the binder outside one) *)
+  | Ast.S_select _ | Ast.S_explain _ | Ast.S_status | Ast.S_promote ->
+      (* reads never touch the log; STATUS and PROMOTE are answered by
+         the server front end (or refused by the binder outside one) *)
       Err.of_msg Err.Exec (Binder.exec_statement t.db stmt)
   | Ast.S_checkpoint ->
       let* lsn = checkpoint t in
       Ok (Binder.Checkpointed lsn)
+  | Ast.S_backup dir ->
+      let* lsn = backup t ~dir in
+      Ok (Binder.Backed_up { dir; lsn })
   | _ ->
       let sql = Ast.statement_to_string stmt in
       let* seq = Wal.append t.wal ~kind:Wal.Stmt sql in
+      committed t [ { Wal.seq; kind = Wal.Stmt; payload = sql } ];
       let applied = Binder.exec_statement t.db stmt in
       (match applied with
       | Ok outcome ->
@@ -189,11 +250,15 @@ let exec t stmt =
           (* logged but not applied: leave an abort marker so replay
              skips the record.  If even that write fails the handle is
              poisoned and the session refuses further statements. *)
-          let aborted = Wal.append t.wal ~kind:Wal.Abort (string_of_int seq) in
+          let marker = string_of_int seq in
+          let aborted = Wal.append t.wal ~kind:Wal.Abort marker in
           let e = Err.exec "%s" msg in
           Error
             (match aborted with
-            | Ok _ -> e
+            | Ok mseq ->
+                committed t
+                  [ { Wal.seq = mseq; kind = Wal.Abort; payload = marker } ];
+                e
             | Error we ->
                 Err.add_context
                   (Printf.sprintf "and the abort marker failed: %s"
@@ -212,22 +277,21 @@ let exec t stmt =
 let exec_grouped t stmts =
   let all_failed e = List.map (fun _ -> Error e) stmts in
   let loggable = function
-    | Ast.S_select _ | Ast.S_explain _ | Ast.S_checkpoint | Ast.S_status ->
+    | Ast.S_select _ | Ast.S_explain _ | Ast.S_checkpoint | Ast.S_status
+    | Ast.S_backup _ | Ast.S_promote ->
         false
     | _ -> true
   in
   if List.exists (fun s -> not (loggable s)) stmts then
     all_failed
       (Err.exec
-         "exec_grouped: queries and CHECKPOINT cannot ride a group commit")
+         "exec_grouped: queries, CHECKPOINT, BACKUP and PROMOTE cannot ride \
+          a group commit")
   else
     (* phase 1: buffered appends *)
+    let sqls = List.map Ast.statement_to_string stmts in
     let seqs =
-      List.map
-        (fun stmt ->
-          let sql = Ast.statement_to_string stmt in
-          Wal.append_buffered t.wal ~kind:Wal.Stmt sql)
-        stmts
+      List.map (fun sql -> Wal.append_buffered t.wal ~kind:Wal.Stmt sql) sqls
     in
     match List.find_opt Result.is_error seqs with
     | Some (Error e) -> all_failed e
@@ -236,6 +300,14 @@ let exec_grouped t stmts =
         match Wal.sync t.wal with
         | Error e -> all_failed e
         | Ok () ->
+            committed t
+              (List.map2
+                 (fun sql seq ->
+                   { Wal.seq = Result.get_ok seq;
+                     kind = Wal.Stmt;
+                     payload = sql;
+                   })
+                 sqls seqs);
             (* phase 3: apply each committed statement *)
             let aborts = ref [] in
             let results =
@@ -256,22 +328,34 @@ let exec_grouped t stmts =
               match !aborts with
               | [] -> None
               | victims -> (
+                  let markers =
+                    List.map
+                      (fun victim ->
+                        ( victim,
+                          Wal.append_buffered t.wal ~kind:Wal.Abort
+                            (string_of_int victim) ))
+                      (List.rev victims)
+                  in
                   let failed =
                     List.find_map
-                      (fun seq ->
-                        match
-                          Wal.append_buffered t.wal ~kind:Wal.Abort
-                            (string_of_int seq)
-                        with
-                        | Ok _ -> None
-                        | Error e -> Some e)
-                      (List.rev victims)
+                      (fun (_, r) ->
+                        match r with Ok _ -> None | Error e -> Some e)
+                      markers
                   in
                   match failed with
                   | Some e -> Some e
                   | None -> (
                       match Wal.sync t.wal with
-                      | Ok () -> None
+                      | Ok () ->
+                          committed t
+                            (List.map
+                               (fun (victim, r) ->
+                                 { Wal.seq = Result.get_ok r;
+                                   kind = Wal.Abort;
+                                   payload = string_of_int victim;
+                                 })
+                               markers);
+                          None
                       | Error e -> Some e))
             in
             let results =

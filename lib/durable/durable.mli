@@ -67,6 +67,7 @@ val wal_broken : t -> bool
 val exec : t -> Eager_parser.Ast.statement -> (Eager_parser.Binder.outcome, Err.t) result
 (** Execute one statement with WAL semantics.  Queries bypass the log;
     [CHECKPOINT] triggers {!checkpoint} and reports [Checkpointed lsn];
+    [BACKUP 'dir'] triggers {!backup} and reports [Backed_up];
     everything else is logged, fsynced, then applied. *)
 
 val exec_grouped :
@@ -84,6 +85,32 @@ val exec_grouped :
 val checkpoint : t -> (int, Err.t) result
 (** Snapshot the database (stamped with the current LSN) and truncate
     the log.  Returns the LSN. *)
+
+val backup : t -> dir:string -> (int, Err.t) result
+(** Online hot backup: seal a checksummed, LSN-stamped copy of the
+    session (snapshot + WAL tail + manifest, see {!Backup}) into the
+    fresh directory [dir] and return the LSN it is consistent as of.
+    The session itself is untouched — no truncation, no counter reset —
+    so a backup is {e not} a checkpoint.  The caller must ensure no
+    statement executes concurrently (the server takes its commit-queue
+    barrier; a single-threaded session is always safe). *)
+
+val set_commit_tap : t -> (Wal.record list -> unit) option -> unit
+(** Install (or clear) the replication feed: called with each batch of
+    records immediately after the fsync that commits them, on the
+    committing thread.  The callback must not raise and must not call
+    back into this session. *)
+
+val ingest : t -> Wal.record -> (unit, Err.t) result
+(** Apply one record shipped from a primary's commit tap: verify it
+    carries exactly the next sequence number, log it verbatim (the
+    fsync is the standby's commit point too), then apply it if it is a
+    statement.  A statement that refuses to apply is tolerated — the
+    primary's abort marker for it is the next record in the stream; the
+    standby never originates records of its own, or the two logs'
+    numbering would diverge.  An out-of-order or unparseable record is
+    a typed [Io] error (the stream is broken; reconnect and re-handshake).
+    Fault point [repl.recv] fires before anything is written. *)
 
 val run_script_with :
   t ->

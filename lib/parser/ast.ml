@@ -53,6 +53,8 @@ type statement =
   | S_explain of { analyze : bool; body : select_ast }
   | S_checkpoint
   | S_status
+  | S_backup of string
+  | S_promote
 
 (* a string literal the lexer reads back verbatim: quotes double *)
 let string_literal s =
@@ -254,3 +256,5 @@ let statement_to_string = function
         (select_to_string body)
   | S_checkpoint -> "CHECKPOINT"
   | S_status -> "STATUS"
+  | S_backup dir -> Printf.sprintf "BACKUP %s" (string_literal dir)
+  | S_promote -> "PROMOTE"

@@ -60,11 +60,18 @@ type statement =
   | S_select of select_ast
   | S_explain of { analyze : bool; body : select_ast }
   | S_checkpoint
+      (** flush a durable session: snapshot the database and truncate its
+          write-ahead log (rejected outside a WAL session) *)
   | S_status
       (** server-session telemetry report; outside a server the binder
           rejects it *)
-      (** flush a durable session: snapshot the database and truncate its
-          write-ahead log (rejected outside a WAL session) *)
+  | S_backup of string
+      (** [BACKUP 'dir'] — online hot backup: write a checksummed,
+          LSN-stamped snapshot plus the WAL tail into a fresh directory
+          (rejected outside a WAL session) *)
+  | S_promote
+      (** promote a standby to a read-write primary (rejected outside a
+          server session) *)
 
 val pp_texpr : Format.formatter -> texpr -> unit
 val texpr_to_string : texpr -> string

@@ -33,6 +33,8 @@ type outcome =
   | Updated of int
   | Deleted of int
   | Checkpointed of int
+  | Backed_up of { dir : string; lsn : int }
+  | Promoted of int
   | Query of bound_query * (Colref.t * bool) list
   | Explained of bound_query * (Colref.t * bool) list * bool
 
@@ -918,6 +920,14 @@ let exec_statement db (stmt : Ast.statement) : (outcome, string) result =
       (* answered by the server front end (Eager_server.Server), which
          intercepts the statement and reports its telemetry counters *)
       Error "STATUS requires a server session (connect to eagerdb serve)"
+  | Ast.S_backup _ ->
+      (* performed by the durable session wrapper, which owns the WAL
+         file the backup must copy *)
+      Error "BACKUP requires a write-ahead-logged session (run with --wal)"
+  | Ast.S_promote ->
+      (* answered by the server front end: only a server has a
+         replication role to change *)
+      Error "PROMOTE requires a server session (connect to eagerdb serve)"
 
 let parse_script_safe src =
   match Parser.parse_script src with

@@ -45,6 +45,13 @@ type outcome =
       (** a durable session flushed its WAL; the snapshot's LSN.  Only
           produced by [Eager_durable.Durable] — [exec_statement] itself
           rejects CHECKPOINT because it has no log to truncate *)
+  | Backed_up of { dir : string; lsn : int }
+      (** an online hot backup landed in [dir], consistent as of [lsn].
+          Only produced by [Eager_durable.Durable] — [exec_statement]
+          itself rejects BACKUP because it has no WAL to copy *)
+  | Promoted of int
+      (** a standby took over as primary at the given LSN.  Only produced
+          by the server front end ([Eager_server.Server]) *)
   | Query of bound_query * (Colref.t * bool) list
       (** query plus its resolved ORDER BY (empty when none) *)
   | Explained of bound_query * (Colref.t * bool) list * bool

@@ -45,7 +45,7 @@ let keywords =
     "FOREIGN"; "REFERENCES"; "EXPLAIN"; "TRUE"; "FALSE"; "HAVING"; "ORDER";
     "ASC"; "DESC"; "LIKE"; "BETWEEN"; "IN"; "UPDATE"; "SET"; "DELETE";
     "INDEX"; "ON"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "ANALYZE";
-    "CHECKPOINT"; "STATUS";
+    "CHECKPOINT"; "STATUS"; "BACKUP"; "PROMOTE";
   ]
 
 let ident st =
@@ -536,6 +536,14 @@ let parse_statement_at st : Ast.statement =
   end
   else if accept_kw st "CHECKPOINT" then Ast.S_checkpoint
   else if accept_kw st "STATUS" then Ast.S_status
+  else if accept_kw st "BACKUP" then begin
+    match peek st with
+    | Tstring dir when dir <> "" ->
+        advance st;
+        Ast.S_backup dir
+    | _ -> fail st "BACKUP needs a non-empty 'directory' string literal"
+  end
+  else if accept_kw st "PROMOTE" then Ast.S_promote
   else if is_kw st "SELECT" then Ast.S_select (parse_select_body st)
   else fail st "expected a statement"
 

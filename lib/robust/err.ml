@@ -77,7 +77,7 @@ let of_fault point =
     | Some i -> (
         match String.sub point 0 i with
         | "storage" | "heap" -> Storage
-        | "persist" | "wal" | "server" -> Io
+        | "persist" | "wal" | "server" | "repl" | "backup" -> Io
         | "exec" -> Exec
         | "opt" -> Planner
         | _ -> Exec)

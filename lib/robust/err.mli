@@ -58,8 +58,8 @@ val pp : Format.formatter -> t -> unit
 
 val of_fault : string -> t
 (** Route a simulated crash into the taxonomy by its point prefix
-    ([storage.]/[heap.] → [Storage], [persist.]/[wal.]/[server.] →
-    [Io], …). *)
+    ([storage.]/[heap.] → [Storage], [persist.]/[wal.]/[server.]/
+    [repl.]/[backup.] → [Io], …). *)
 
 (** {1 Result combinators} *)
 

@@ -30,6 +30,9 @@ let all_points =
     "wal.group_commit"; (* Wal.sync, after the batch is flushed, before fsync *)
     "server.accept"; (* Server loop, before accepting a connection *)
     "server.read"; (* Wire.read_frame, before reading from a session *)
+    "repl.send"; (* replication sender, before shipping a record frame *)
+    "repl.recv"; (* standby applier, before ingesting a shipped record *)
+    "backup.copy"; (* Backup.write, mid-way through copying the WAL tail *)
   ]
 
 type seeded = {

@@ -14,7 +14,7 @@ val all_points : string list
     [heap.append], [persist.rename], [persist.write], [exec.next],
     [opt.testfd], [opt.cost], [wal.append], [wal.fsync],
     [wal.truncate], [wal.replay], [wal.group_commit], [server.accept],
-    [server.read]. *)
+    [server.read], [repl.send], [repl.recv], [backup.copy]. *)
 
 val reset : unit -> unit
 (** Disarm everything and zero the counters. *)

@@ -112,9 +112,19 @@ let ping c =
 let run cfg sql =
   let rng = Random.State.make [| cfg.seed; 0x5eed |] in
   let backoff attempt hint_ms =
-    let base = cfg.backoff_ms *. (2. ** float_of_int attempt) in
-    let jitter = 0.5 +. Random.State.float rng 1.0 in
-    let ms = Float.max (base *. jitter) (float_of_int hint_ms) in
+    let ms =
+      if hint_ms > 0 then
+        (* a typed [Resource] refusal carries the server's own estimate
+           of when capacity frees up; sleep that (lightly jittered
+           against a thundering herd) instead of walking the
+           exponential ladder, which over- or under-shoots the hint on
+           every rung *)
+        float_of_int hint_ms *. (0.9 +. Random.State.float rng 0.4)
+      else
+        cfg.backoff_ms
+        *. (2. ** float_of_int attempt)
+        *. (0.5 +. Random.State.float rng 1.0)
+    in
     Clock.sleep_ms ms
   in
   (* Retry discipline: an attempt is retried only when the server

@@ -2,9 +2,11 @@
 
     A {!request} is one [STMT] frame and one response frame, every read
     deadline-bounded.  {!run} adds the resilience policy: reconnect and
-    retry with jittered exponential backoff, honouring the server's
-    [retry_after_ms] hint when one is given — but only on failures
-    where the server cannot have executed the script: connect
+    retry, sleeping the server's [retry_after_ms] hint (lightly
+    jittered) when a typed [Resource] refusal carries one, and falling
+    back to jittered exponential backoff only when there is no hint —
+    but retrying only on failures where the server cannot have executed
+    the script: connect
     failures, incomplete sends (a torn request frame never parses),
     and server-shed [BUSY] responses (shed {e before} execution by
     contract).  A failure {e after} the request frame was fully

@@ -1,0 +1,452 @@
+(* WAL-shipping replication: the hub (primary side), the sender loop
+   that streams a hub to one standby, and the applier loop (standby
+   side) that feeds shipped records into [Durable.ingest].
+
+   The protocol is asynchronous and ack-free: the standby sends one
+   [REPL <last_lsn>] handshake, then only reads.  Records ship in
+   strict sequence order as [RECD] frames; when the primary has nothing
+   new it sends [RHB] heartbeats so the standby can tell an idle
+   primary from a dead one.  A standby that falls behind the hub's
+   retention window is caught up from the primary's on-disk WAL; one
+   that falls behind the WAL itself (a checkpoint truncated the
+   records) is refused with a typed error telling it to re-seed from a
+   fresh backup — shipping a snapshot inline is a different protocol,
+   not a silent fallback. *)
+
+open Eager_robust
+open Eager_durable
+
+let ( let* ) = Err.( let* )
+
+(* ---------- the hub: committed records fanned out to senders ---------- *)
+
+type entry = { record : Wal.record; pub_ms : float }
+
+type hub = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  retain : int;
+  entries : entry Queue.t;  (* oldest first, bounded by [retain] *)
+  mutable last_seq : int;  (* highest seq ever published (or the LSN at creation) *)
+  mutable closed : bool;
+}
+
+let create_hub ~retain ~lsn =
+  {
+    mu = Mutex.create ();
+    cv = Condition.create ();
+    retain = max 1 retain;
+    entries = Queue.create ();
+    last_seq = lsn;
+    closed = false;
+  }
+
+let hub_last_seq hub =
+  Mutex.lock hub.mu;
+  let v = hub.last_seq in
+  Mutex.unlock hub.mu;
+  v
+
+let publish hub records =
+  let now = Clock.now_ms () in
+  Mutex.lock hub.mu;
+  List.iter
+    (fun (r : Wal.record) ->
+      Queue.add { record = r; pub_ms = now } hub.entries;
+      hub.last_seq <- max hub.last_seq r.seq;
+      if Queue.length hub.entries > hub.retain then
+        ignore (Queue.pop hub.entries))
+    records;
+  Condition.broadcast hub.cv;
+  Mutex.unlock hub.mu
+
+let close_hub hub =
+  Mutex.lock hub.mu;
+  hub.closed <- true;
+  Condition.broadcast hub.cv;
+  Mutex.unlock hub.mu
+
+type wait_result =
+  | Records of entry list  (* every retained entry with seq > the cursor *)
+  | Gap  (* entries past the cursor exist but were evicted *)
+  | Idle  (* nothing newer; send a heartbeat *)
+  | Closed
+
+(* [Condition.wait] has no deadline, so the idle path polls: waiters
+   wake at worst [poll_ms] after a publish.  Replication lag is bounded
+   by the poll interval, not the load. *)
+let wait_since hub ~seq ~timeout_ms =
+  let poll_ms = 20. in
+  let deadline = Clock.now_ms () +. timeout_ms in
+  let rec look () =
+    if hub.closed then Closed
+    else if hub.last_seq <= seq then
+      if Clock.now_ms () >= deadline then Idle
+      else begin
+        Mutex.unlock hub.mu;
+        Clock.sleep_ms poll_ms;
+        Mutex.lock hub.mu;
+        look ()
+      end
+    else
+      let fresh =
+        Queue.fold
+          (fun acc e -> if e.record.Wal.seq > seq then e :: acc else acc)
+          [] hub.entries
+        |> List.rev
+      in
+      match fresh with
+      | [] -> Gap
+      | { record = { Wal.seq = first; _ }; _ } :: _ ->
+          if first > seq + 1 then Gap else Records fresh
+  in
+  Mutex.lock hub.mu;
+  let r = look () in
+  Mutex.unlock hub.mu;
+  r
+
+(* ---------- frame encoding ---------- *)
+
+let kind_to_wire = function Wal.Stmt -> "stmt" | Wal.Abort -> "abort"
+
+let kind_of_wire = function
+  | "stmt" -> Ok Wal.Stmt
+  | "abort" -> Ok Wal.Abort
+  | s -> Error (Err.io "replication stream: unknown record kind %S" s)
+
+let send_record conn ~primary_lsn (e : entry) =
+  let* () = Fault.check "repl.send" in
+  Wire.write_frame conn ~verb:"RECD"
+    ~args:
+      [
+        string_of_int e.record.Wal.seq;
+        kind_to_wire e.record.Wal.kind;
+        string_of_int primary_lsn;
+        Printf.sprintf "%.0f" e.pub_ms;
+      ]
+    e.record.Wal.payload
+
+let send_heartbeat conn ~primary_lsn =
+  Wire.write_frame conn ~verb:"RHB"
+    ~args:[ string_of_int primary_lsn; Printf.sprintf "%.0f" (Clock.now_ms ()) ]
+    ""
+
+(* ---------- the sender: one per connected standby session ---------- *)
+
+type sender_stats = {
+  mutable shipped_lsn : int;  (* last record seq written to this peer *)
+}
+
+(* Catch a standby up from the on-disk WAL when the hub has evicted the
+   records it needs.  The scan races benignly with the commit thread's
+   appends: a record mid-write shows up as a torn tail (ignored — the
+   hub covers everything that recent), and a concurrent truncate swaps
+   the file under a private fd.  Returns the records in (cursor, end],
+   or a typed error when the file starts past the cursor — those
+   records were checkpointed away and only a fresh backup can re-seed
+   the standby. *)
+let catch_up_from_file ~wal_path ~cursor =
+  let* records, _tail = Wal.scan wal_path in
+  let fresh = List.filter (fun (r : Wal.record) -> r.seq > cursor) records in
+  match fresh with
+  | { Wal.seq = first; _ } :: _ when first > cursor + 1 ->
+      Error
+        (Err.io
+           "standby at lsn %d is behind the primary's oldest available \
+            record #%d (checkpoint truncated the gap); re-seed it from a \
+            fresh backup"
+           cursor first)
+  | fresh -> Ok fresh
+
+(* Stream records to one standby until the peer drops, the hub closes,
+   or an error (including an injected [repl.send] fault) ends the
+   session.  [heartbeat_ms] bounds how long the peer waits to learn the
+   primary is alive; [stats] is live telemetry for STATUS. *)
+let sender_loop ~hub ~wal_path ~conn ~heartbeat_ms ~stats ~cursor =
+  let rec go cursor =
+    stats.shipped_lsn <- cursor;
+    match wait_since hub ~seq:cursor ~timeout_ms:heartbeat_ms with
+    | Closed -> Ok ()
+    | Idle ->
+        let* () = send_heartbeat conn ~primary_lsn:(hub_last_seq hub) in
+        go cursor
+    | Records entries ->
+        let primary_lsn = hub_last_seq hub in
+        let* cursor =
+          List.fold_left
+            (fun acc e ->
+              let* _ = acc in
+              let* () = send_record conn ~primary_lsn e in
+              Ok e.record.Wal.seq)
+            (Ok cursor) entries
+        in
+        go cursor
+    | Gap -> (
+        let* fresh = catch_up_from_file ~wal_path ~cursor in
+        match fresh with
+        | [] ->
+            (* the WAL has nothing past the cursor either, yet the hub
+               says newer records exist: they are gone entirely *)
+            Error
+              (Err.io
+                 "standby at lsn %d needs records the primary no longer \
+                  retains; re-seed it from a fresh backup"
+                 cursor)
+        | fresh ->
+            let primary_lsn = hub_last_seq hub in
+            let now = Clock.now_ms () in
+            let* cursor =
+              List.fold_left
+                (fun acc r ->
+                  let* _ = acc in
+                  let* () =
+                    send_record conn ~primary_lsn { record = r; pub_ms = now }
+                  in
+                  Ok r.Wal.seq)
+                (Ok cursor) fresh
+            in
+            go cursor)
+  in
+  go cursor
+
+(* ---------- the applier: the standby's ingest thread ---------- *)
+
+type standby_stats = {
+  smu : Mutex.t;
+  mutable connected : bool;
+  mutable applied_lsn : int;
+  mutable primary_lsn : int;  (* last value the stream reported *)
+  mutable lag_ms : float;  (* apply time minus publish time, last record *)
+  mutable reconnects : int;
+}
+
+let standby_stats ~lsn =
+  {
+    smu = Mutex.create ();
+    connected = false;
+    applied_lsn = lsn;
+    primary_lsn = lsn;
+    lag_ms = 0.;
+    reconnects = 0;
+  }
+
+let standby_line st ~primary =
+  Mutex.lock st.smu;
+  let line =
+    Printf.sprintf
+      "repl: role=standby primary=%s connected=%s applied_lsn=%d \
+       primary_lsn=%d lag_records=%d lag_ms=%.0f reconnects=%d"
+      primary
+      (if st.connected then "yes" else "no")
+      st.applied_lsn st.primary_lsn
+      (max 0 (st.primary_lsn - st.applied_lsn))
+      st.lag_ms st.reconnects
+  in
+  Mutex.unlock st.smu;
+  line
+
+type applier = {
+  amu : Mutex.t;
+  mutable stop : bool;
+  mutable live_fd : Unix.file_descr option;
+  mutable thread : Thread.t option;
+  stats : standby_stats;
+}
+
+let applier_stopped a =
+  Mutex.lock a.amu;
+  let v = a.stop in
+  Mutex.unlock a.amu;
+  v
+
+(* register/clear the live socket so [stop_applier] can yank a blocked
+   read; returns false when stop won the race and the fd must not be
+   used *)
+let applier_track a fd =
+  Mutex.lock a.amu;
+  let usable = not a.stop in
+  a.live_fd <- (if usable then Some fd else None);
+  Mutex.unlock a.amu;
+  usable
+
+let applier_untrack a =
+  Mutex.lock a.amu;
+  a.live_fd <- None;
+  Mutex.unlock a.amu
+
+let connect_primary addr =
+  Err.protect ~kind:Err.Io (fun () ->
+      match addr with
+      | Client.A_unix path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX path)
+           with e ->
+             Unix.close fd;
+             raise e);
+          fd
+      | Client.A_tcp (host, port) ->
+          let a =
+            match Wire.resolve_host host with
+            | Ok a -> a
+            | Error e -> Err.raise_ e
+          in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_INET (a, port))
+           with e ->
+             Unix.close fd;
+             raise e);
+          fd)
+
+(* One connection's lifetime: handshake from the current LSN, then
+   apply RECD frames until the stream breaks.  [ingest] is the server's
+   closure (it takes the commit lock and feeds [Durable.ingest]);
+   [lsn_now] reads the standby's own LSN.  Ok () = orderly end (stop or
+   primary shutdown); Error = broken stream, caller decides on retry. *)
+let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now (a : applier) =
+  let* fd = connect_primary addr in
+  if not (applier_track a fd) then begin
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Ok ()
+  end
+  else
+    let conn = Wire.of_fd fd in
+    Fun.protect
+      ~finally:(fun () ->
+        applier_untrack a;
+        Mutex.lock a.stats.smu;
+        a.stats.connected <- false;
+        Mutex.unlock a.stats.smu;
+        Wire.close conn)
+      (fun () ->
+        let* () =
+          Wire.write_frame conn ~verb:"REPL"
+            ~args:[ string_of_int (lsn_now ()) ]
+            ""
+        in
+        let rec pump () =
+          if applier_stopped a then Ok ()
+          else
+            let* frame = Wire.read_frame conn ~timeout_ms:read_timeout_ms in
+            match frame with
+            | None -> Ok ()  (* primary closed the stream in an orderly way *)
+            | Some { Wire.verb = "OK"; _ } ->
+                (* handshake accepted *)
+                Mutex.lock a.stats.smu;
+                a.stats.connected <- true;
+                Mutex.unlock a.stats.smu;
+                pump ()
+            | Some { Wire.verb = "ERR"; payload; _ } ->
+                (* typed refusal from the primary: split-brain or an
+                   unservable gap.  Not retryable — surface it. *)
+                Error (Err.io "primary refused replication: %s" payload)
+            | Some { Wire.verb = "RHB"; args = plsn :: _; _ } ->
+                Mutex.lock a.stats.smu;
+                (match int_of_string_opt plsn with
+                | Some l ->
+                    a.stats.primary_lsn <- max a.stats.primary_lsn l;
+                    if a.stats.applied_lsn >= l then a.stats.lag_ms <- 0.
+                | None -> ());
+                Mutex.unlock a.stats.smu;
+                pump ()
+            | Some
+                {
+                  Wire.verb = "RECD";
+                  args = seq :: kind :: plsn :: pub :: _;
+                  payload;
+                } -> (
+                match (int_of_string_opt seq, kind_of_wire kind) with
+                | Some seq, Ok kind ->
+                    let record = { Wal.seq; kind; payload } in
+                    let* () = ingest record in
+                    Mutex.lock a.stats.smu;
+                    a.stats.applied_lsn <- seq;
+                    (match int_of_string_opt plsn with
+                    | Some l -> a.stats.primary_lsn <- max a.stats.primary_lsn l
+                    | None -> ());
+                    (match float_of_string_opt pub with
+                    | Some pub_ms ->
+                        a.stats.lag_ms <- Float.max 0. (Clock.now_ms () -. pub_ms)
+                    | None -> ());
+                    Mutex.unlock a.stats.smu;
+                    pump ()
+                | None, _ ->
+                    Error (Err.io "replication stream: bad seq %S" seq)
+                | _, (Error _ as e) -> e)
+            | Some { Wire.verb; _ } ->
+                Error (Err.io "replication stream: unexpected verb %S" verb)
+        in
+        pump ())
+
+(* Reconnect forever with jittered exponential backoff (explicit PRNG —
+   the global [Random] is banned repo-wide) until [stop_applier].  A
+   broken stream is logged to [on_error] and retried; only [stop] ends
+   the loop, because a standby's whole job is to outlive its primary's
+   bad days. *)
+let applier_loop ~addr ~read_timeout_ms ~backoff_ms ~seed ~ingest ~lsn_now
+    ~on_error (a : applier) =
+  let rng = Random.State.make [| seed; 0x9eb1 |] in
+  let rec go attempt =
+    if applier_stopped a then ()
+    else
+      match applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now a with
+      | Ok () ->
+          (* orderly close: the primary shut down (or we are stopping);
+             keep trying from a fresh backoff ladder *)
+          if not (applier_stopped a) then begin
+            pause 0;
+            go 1
+          end
+      | Error e ->
+          on_error e;
+          if not (applier_stopped a) then begin
+            Mutex.lock a.stats.smu;
+            a.stats.reconnects <- a.stats.reconnects + 1;
+            Mutex.unlock a.stats.smu;
+            pause attempt;
+            go (min (attempt + 1) 8)
+          end
+  and pause attempt =
+    let base = backoff_ms *. (2. ** float_of_int attempt) in
+    let jitter = 0.5 +. Random.State.float rng 1.0 in
+    Clock.sleep_ms (Float.min (base *. jitter) 2_000.)
+  in
+  go 0
+
+let start_applier ~addr ~read_timeout_ms ~backoff_ms ~seed ~lsn ~ingest
+    ~on_error =
+  let a =
+    {
+      amu = Mutex.create ();
+      stop = false;
+      live_fd = None;
+      thread = None;
+      stats = standby_stats ~lsn;
+    }
+  in
+  a.thread <-
+    Some
+      (Thread.create
+         (fun () ->
+           applier_loop ~addr ~read_timeout_ms ~backoff_ms ~seed ~ingest
+             ~lsn_now:(fun () ->
+               Mutex.lock a.stats.smu;
+               let l = a.stats.applied_lsn in
+               Mutex.unlock a.stats.smu;
+               l)
+             ~on_error a)
+         ());
+  a
+
+let stop_applier a =
+  Mutex.lock a.amu;
+  a.stop <- true;
+  (match a.live_fd with
+  | Some fd -> (
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ());
+  let th = a.thread in
+  a.thread <- None;
+  Mutex.unlock a.amu;
+  match th with Some th -> Thread.join th | None -> ()
+
+let applier_stats a = a.stats

@@ -1,0 +1,105 @@
+(** WAL-shipping replication: hub, sender, applier.
+
+    Asynchronous, ack-free log shipping.  The primary's commit tap
+    {!publish}es each fsynced batch into a bounded in-memory {!hub};
+    one {!sender_loop} per connected standby streams records out as
+    [RECD] frames (heartbeating with [RHB] when idle), catching up from
+    the on-disk WAL when the hub's retention window has moved on, and
+    refusing with a typed error when a checkpoint truncated the records
+    a standby needs — that standby must re-seed from a fresh backup.
+
+    The standby side is an {!applier}: a thread that connects to the
+    primary, handshakes with a single [REPL <last_lsn>] frame, feeds
+    every shipped record to an [ingest] closure (the server wraps
+    [Durable.ingest] in its commit lock), and reconnects with jittered
+    exponential backoff whenever the stream breaks.  Only
+    {!stop_applier} (promotion or shutdown) ends it.
+
+    Fault points: [repl.send] fires before each outbound record frame;
+    [repl.recv] fires inside [Durable.ingest]. *)
+
+open Eager_robust
+open Eager_durable
+
+(** {1 Primary side} *)
+
+type hub
+
+val create_hub : retain:int -> lsn:int -> hub
+(** A hub whose coverage starts at [lsn] (the primary's LSN at server
+    start) and which retains the most recent [retain] records. *)
+
+val publish : hub -> Wal.record list -> unit
+(** Called by the commit tap with each fsynced batch, on the commit
+    thread.  Never blocks beyond a queue push. *)
+
+val close_hub : hub -> unit
+(** Wake every sender with [Closed]; part of server shutdown. *)
+
+val hub_last_seq : hub -> int
+
+type entry = { record : Wal.record; pub_ms : float }
+(** A retained record plus the commit-tap publication time — the
+    standby's lag_ms is [now - pub_ms] of the last applied record. *)
+
+type wait_result =
+  | Records of entry list  (** contiguous records after the cursor *)
+  | Gap
+      (** the hub's retention window moved past the cursor; catch up
+          from the on-disk WAL *)
+  | Idle  (** nothing new within the timeout — heartbeat time *)
+  | Closed  (** server shutting down *)
+
+val wait_since : hub -> seq:int -> timeout_ms:float -> wait_result
+(** Everything published after [seq], blocking up to [timeout_ms]. *)
+
+type sender_stats = { mutable shipped_lsn : int }
+
+val sender_loop :
+  hub:hub ->
+  wal_path:string ->
+  conn:Wire.conn ->
+  heartbeat_ms:float ->
+  stats:sender_stats ->
+  cursor:int ->
+  (unit, Err.t) result
+(** Stream to one standby from [cursor] (its handshake LSN) until the
+    hub closes ([Ok ()]), the peer drops, or a typed error (injected
+    [repl.send] fault, unservable gap) ends the session. *)
+
+(** {1 Standby side} *)
+
+type standby_stats = {
+  smu : Mutex.t;
+  mutable connected : bool;
+  mutable applied_lsn : int;
+  mutable primary_lsn : int;
+  mutable lag_ms : float;
+  mutable reconnects : int;
+}
+
+val standby_line : standby_stats -> primary:string -> string
+(** The STATUS line: role, connection state, applied/primary LSN, lag
+    in records and milliseconds, reconnect count. *)
+
+type applier
+
+val start_applier :
+  addr:Client.addr ->
+  read_timeout_ms:float ->
+  backoff_ms:float ->
+  seed:int ->
+  lsn:int ->
+  ingest:(Wal.record -> (unit, Err.t) result) ->
+  on_error:(Err.t -> unit) ->
+  applier
+(** Spawn the applier thread.  [lsn] is the standby's recovered LSN
+    (the first handshake value); [ingest] must be thread-safe against
+    the server's readers (take the commit lock).  [on_error] observes
+    each broken-stream error before the reconnect backoff. *)
+
+val stop_applier : applier -> unit
+(** Stop, yank any blocked read, join the thread.  Idempotent in
+    effect; the handle is dead afterwards. *)
+
+val applier_stats : applier -> standby_stats

@@ -23,6 +23,8 @@ open Eager_robust
 
 type listen = L_unix of string | L_tcp of string * int
 
+type role = Primary | Standby of { primary : Client.addr; repl_seed : int }
+
 type config = {
   listen : listen;
   admission : Admission.config;
@@ -30,6 +32,8 @@ type config = {
   db_dir : string option;
   checkpoint_every : int option;
   die_on_broken_wal : bool;
+  role : role;
+  repl_retain : int;
 }
 
 let default_config listen =
@@ -40,7 +44,13 @@ let default_config listen =
     db_dir = None;
     checkpoint_every = None;
     die_on_broken_wal = false;
+    role = Primary;
+    repl_retain = 1024;
   }
+
+(* how long a standby waits between heartbeats before declaring the
+   stream dead; senders heartbeat at a quarter of this *)
+let repl_heartbeat_ms = 250.
 
 (* a write-once cell the commit thread fills and a session thread waits on *)
 module Ivar = struct
@@ -68,6 +78,10 @@ type write_req =
   | W_batch of Ast.statement list * (Binder.outcome, Err.t) result list Ivar.t
       (** a contiguous run of loggable writes from one request *)
   | W_checkpoint of (Binder.outcome, Err.t) result Ivar.t
+  | W_backup of string * (Binder.outcome, Err.t) result Ivar.t
+      (** online hot backup: a commit-queue barrier, so the snapshot and
+          WAL tail it seals describe one quiesced instant — without ever
+          blocking readers, who run on frozen snapshots anyway *)
 
 type backend =
   | Durable of Durable.t
@@ -93,6 +107,12 @@ type t = {
   mutable core_threads : Thread.t list;  (* commit + accept *)
   fin_mu : Mutex.t;
   mutable finalized : bool;
+  (* replication *)
+  hub : Repl.hub option;  (* Some iff the backend is durable *)
+  role_mu : Mutex.t;  (* guards the fields below *)
+  mutable is_standby : bool;
+  mutable applier : Repl.applier option;
+  mutable senders : Repl.sender_stats list;  (* live outbound streams *)
 }
 
 let bound_addr t = t.addr_str
@@ -116,7 +136,14 @@ let initiate_shutdown t =
     List.iter
       (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       t.session_fds;
-    Mutex.unlock t.sess_mu
+    Mutex.unlock t.sess_mu;
+    (* wake outbound replication streams and stop the inbound one *)
+    (match t.hub with Some hub -> Repl.close_hub hub | None -> ());
+    Mutex.lock t.role_mu;
+    let applier = t.applier in
+    t.applier <- None;
+    Mutex.unlock t.role_mu;
+    match applier with Some a -> Repl.stop_applier a | None -> ()
   end
 
 let set_fatal t e =
@@ -181,6 +208,19 @@ let process_drain t reqs =
           | Mem _ ->
               Error
                 (Err.io "CHECKPOINT requires a durable server (serve --db DIR)")
+        in
+        Ivar.fill iv r;
+        go [] rest
+    | W_backup (dir, iv) :: rest ->
+        flush_batches (List.rev acc);
+        let r =
+          match t.backend with
+          | Durable d ->
+              Result.map
+                (fun lsn -> Binder.Backed_up { dir; lsn })
+                (Durable.backup d ~dir)
+          | Mem _ ->
+              Error (Err.io "BACKUP requires a durable server (serve --db DIR)")
         in
         Ivar.fill iv r;
         go [] rest
@@ -333,7 +373,9 @@ let is_loggable_write = function
   | Ast.S_create_table _ | Ast.S_create_domain _ | Ast.S_create_view _
   | Ast.S_create_index _ | Ast.S_insert _ | Ast.S_update _ | Ast.S_delete _ ->
       true
-  | Ast.S_select _ | Ast.S_explain _ | Ast.S_checkpoint | Ast.S_status -> false
+  | Ast.S_select _ | Ast.S_explain _ | Ast.S_checkpoint | Ast.S_status
+  | Ast.S_backup _ | Ast.S_promote ->
+      false
 
 let rec span p = function
   | x :: rest when p x ->
@@ -348,6 +390,12 @@ let describe_outcome buf = function
   | Binder.Deleted n -> Buffer.add_string buf (Printf.sprintf "%d row(s) deleted\n" n)
   | Binder.Checkpointed lsn ->
       Buffer.add_string buf (Printf.sprintf "checkpointed at wal lsn %d\n" lsn)
+  | Binder.Backed_up { dir; lsn } ->
+      Buffer.add_string buf
+        (Printf.sprintf "backup written to %s at wal lsn %d\n" dir lsn)
+  | Binder.Promoted lsn ->
+      Buffer.add_string buf
+        (Printf.sprintf "promoted to primary at wal lsn %d\n" lsn)
   | Binder.Query _ | Binder.Explained _ -> ()
 
 (* a frozen reader view stamped with the current LSN; the commit lock is
@@ -387,8 +435,39 @@ let run_read t sess ~governor buf stmt =
     ~batches:(Governor.batches_charged governor - batches0);
   Ok ()
 
+(* the replication line of STATUS: role, LSN positions, lag *)
+let repl_line t =
+  match t.hub with
+  | None -> None
+  | Some hub ->
+      Mutex.lock t.role_mu;
+      let line =
+        match (t.is_standby, t.applier) with
+        | true, Some a ->
+            let primary =
+              match t.cfg.role with
+              | Standby { primary; _ } -> Client.addr_to_string primary
+              | Primary -> "?"
+            in
+            Repl.standby_line (Repl.applier_stats a) ~primary
+        | _ ->
+            let hub_lsn = Repl.hub_last_seq hub in
+            let shipped =
+              List.fold_left
+                (fun acc (s : Repl.sender_stats) -> min acc s.shipped_lsn)
+                hub_lsn t.senders
+            in
+            Printf.sprintf
+              "repl: role=primary peers=%d shipped_lsn=%d hub_lsn=%d \
+               lag_records=%d retain=%d"
+              (List.length t.senders) shipped hub_lsn (hub_lsn - shipped)
+              t.cfg.repl_retain
+      in
+      Mutex.unlock t.role_mu;
+      Some line
+
 let status_report t =
-  Telemetry.render t.tel ~snapshot_lsn:(current_lsn t)
+  Telemetry.render ?repl:(repl_line t) t.tel ~snapshot_lsn:(current_lsn t)
     ~sessions:(Admission.sessions t.adm) ~active:(Admission.active t.adm)
     ~queued:(Admission.queued t.adm)
 
@@ -406,6 +485,43 @@ let run_write_batch t sess buf run =
       Ok ())
     (List.combine run results)
 
+(* Promotion: stop the inbound stream, flip the role.  The hub and
+   commit tap have been live since start (a standby publishes what it
+   ingests), so the moment the flag flips this node serves writes and
+   REPL streams with no further wiring. *)
+let promote t =
+  match t.backend with
+  | Mem _ -> Error (Err.io "PROMOTE requires a durable server (serve --db DIR)")
+  | Durable d ->
+      Mutex.lock t.role_mu;
+      if not t.is_standby then begin
+        Mutex.unlock t.role_mu;
+        Error (Err.io "already primary; PROMOTE is a standby operation")
+      end
+      else begin
+        let applier = t.applier in
+        t.applier <- None;
+        t.is_standby <- false;
+        Mutex.unlock t.role_mu;
+        (match applier with Some a -> Repl.stop_applier a | None -> ());
+        (* the applier is joined: the LSN is quiescent until writes start *)
+        Ok (Durable.lsn d)
+      end
+
+let standby_now t =
+  Mutex.lock t.role_mu;
+  let v = t.is_standby in
+  Mutex.unlock t.role_mu;
+  v
+
+let refuse_on_standby t what =
+  if standby_now t then
+    Error
+      (Err.io "%s refused: this node is a read-only standby (PROMOTE it, or \
+               address the primary)"
+         what)
+  else Ok ()
+
 (* execute one parsed request under one admission ticket, rendering into
    [buf]; the first failing statement stops the request *)
 let run_statements t sess ~governor buf stmts =
@@ -413,14 +529,27 @@ let run_statements t sess ~governor buf stmts =
   let rec go = function
     | [] -> Ok ()
     | (s :: _ as l) when is_loggable_write s ->
+        let* () = refuse_on_standby t "write" in
         let run, rest = span is_loggable_write l in
         let* () = run_write_batch t sess buf run in
         go rest
     | Ast.S_checkpoint :: rest ->
+        let* () = refuse_on_standby t "CHECKPOINT" in
         let iv = Ivar.create () in
         let* () = enqueue t (W_checkpoint iv) in
         let* outcome = Ivar.read iv in
         describe_outcome buf outcome;
+        go rest
+    | Ast.S_backup dir :: rest ->
+        let* () = refuse_on_standby t "BACKUP" in
+        let iv = Ivar.create () in
+        let* () = enqueue t (W_backup (dir, iv)) in
+        let* outcome = Ivar.read iv in
+        describe_outcome buf outcome;
+        go rest
+    | Ast.S_promote :: rest ->
+        let* lsn = promote t in
+        describe_outcome buf (Binder.Promoted lsn);
         go rest
     | Ast.S_status :: rest ->
         Buffer.add_string buf (status_report t);
@@ -477,6 +606,72 @@ let unregister_session t fd =
   t.session_fds <- List.filter (fun f -> f != fd) t.session_fds;
   Mutex.unlock t.sess_mu
 
+(* One REPL handshake turns this session into an outbound replication
+   stream; the session ends when the stream does.  Split-brain stance:
+   a standby announcing an LSN ahead of ours is the fingerprint of a
+   diverged history (it was promoted, took writes, and is now talking
+   to the old primary) — serving it would silently fork the data, so
+   the handshake is refused with a typed error and this node keeps
+   running untouched. *)
+let handle_repl t conn args =
+  let refuse msg = ignore (Wire.err conn ~kind:"Io" msg : (unit, Err.t) result) in
+  match (t.backend, t.hub) with
+  | Mem _, _ | _, None ->
+      refuse "replication requires a durable server (serve --db DIR)"
+  | Durable d, Some hub -> (
+      if standby_now t then
+        refuse
+          "this node is a standby; cascading replication is not supported — \
+           connect to the primary"
+      else
+        match args with
+        | lsn_s :: _ -> (
+            match int_of_string_opt lsn_s with
+            | Some peer_lsn when peer_lsn >= 0 -> (
+                Mutex.lock t.commit_mu;
+                let my_lsn = Durable.lsn d in
+                Mutex.unlock t.commit_mu;
+                if peer_lsn > my_lsn then
+                  refuse
+                    (Printf.sprintf
+                       "split-brain refused: peer is at lsn %d, ahead of this \
+                        primary at lsn %d — it has a diverged history and \
+                        must be re-seeded, not replicated to"
+                       peer_lsn my_lsn)
+                else
+                  match Wire.ok conn (Printf.sprintf "streaming from %d" my_lsn) with
+                  | Error _ -> ()
+                  | Ok () ->
+                      let stats = { Repl.shipped_lsn = peer_lsn } in
+                      Mutex.lock t.role_mu;
+                      t.senders <- stats :: t.senders;
+                      Mutex.unlock t.role_mu;
+                      Fun.protect
+                        ~finally:(fun () ->
+                          Mutex.lock t.role_mu;
+                          t.senders <-
+                            List.filter (fun s -> s != stats) t.senders;
+                          Mutex.unlock t.role_mu)
+                        (fun () ->
+                          match
+                            Repl.sender_loop ~hub
+                              ~wal_path:(Wal.path ~dir:(Durable.dir d))
+                              ~conn ~heartbeat_ms:(repl_heartbeat_ms /. 4.)
+                              ~stats ~cursor:peer_lsn
+                          with
+                          | Ok () -> ()
+                          | Error e ->
+                              (* a typed end of stream (unservable gap,
+                                 injected repl.send fault): tell the peer
+                                 if the pipe still works, then drop *)
+                              ignore
+                                (Wire.err conn
+                                   ~kind:(Err.kind_to_string (Err.kind e))
+                                   (Err.to_string e)
+                                  : (unit, Err.t) result)))
+            | _ -> refuse "REPL handshake needs a non-negative lsn argument")
+        | [] -> refuse "REPL handshake needs a non-negative lsn argument")
+
 let session_loop t fd =
   let conn = Wire.of_fd fd in
   let sess = Telemetry.connect t.tel in
@@ -514,6 +709,10 @@ let session_loop t fd =
                   match handle_request t sess conn payload with
                   | Ok () -> loop ()
                   | Error _ -> () (* peer gone *))
+              | Ok (Some { Wire.verb = "REPL"; args; _ }) ->
+                  (* the session becomes an outbound replication stream
+                     and ends with it — no loop back to the verb reader *)
+                  handle_repl t conn args
               | Ok (Some { Wire.verb; _ }) -> (
                   match
                     Wire.err conn ~kind:"Io"
@@ -615,6 +814,15 @@ let bind_listener listen =
 
 let start cfg =
   let ( let* ) = Err.( let* ) in
+  let* () =
+    match (cfg.role, cfg.db_dir) with
+    | Standby _, None ->
+        Error
+          (Err.io
+             "a standby must be durable (standby --db DIR): it has no other \
+              place to log the shipped records")
+    | _ -> Ok ()
+  in
   let* backend, recovery =
     match cfg.db_dir with
     | None -> Ok (Mem { db = Database.create (); mem_lsn = 0 }, None)
@@ -631,10 +839,29 @@ let start cfg =
   | Ok (listen_fd, addr_str) ->
       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
        with Invalid_argument _ -> ());
+      (* Every durable node gets a hub and a commit tap, whatever its
+         role: a standby publishes what it ingests, so at PROMOTE the
+         outbound machinery is already warm, and a primary's hub starts
+         covering records from its recovered LSN. *)
+      let hub =
+        match backend with
+        | Durable d ->
+            let hub =
+              Repl.create_hub ~retain:cfg.repl_retain ~lsn:(Durable.lsn d)
+            in
+            Durable.set_commit_tap d (Some (Repl.publish hub));
+            Some hub
+        | Mem _ -> None
+      in
       let t =
         {
           cfg;
           backend;
+          hub;
+          role_mu = Mutex.create ();
+          is_standby = (match cfg.role with Standby _ -> true | Primary -> false);
+          applier = None;
+          senders = [];
           adm = Admission.create cfg.admission;
           tel = Telemetry.create ();
           snaps = Snapshot.create ();
@@ -654,6 +881,21 @@ let start cfg =
           finalized = false;
         }
       in
+      (match (cfg.role, backend) with
+      | Standby { primary; repl_seed }, Durable d ->
+          let ingest r =
+            Mutex.lock t.commit_mu;
+            let res = Durable.ingest d r in
+            Mutex.unlock t.commit_mu;
+            res
+          in
+          t.applier <-
+            Some
+              (Repl.start_applier ~addr:primary
+                 ~read_timeout_ms:(repl_heartbeat_ms *. 20.)
+                 ~backoff_ms:25. ~seed:repl_seed ~lsn:(Durable.lsn d) ~ingest
+                 ~on_error:(fun _ -> ()))
+      | _ -> ());
       t.core_threads <-
         [ Thread.create commit_loop t; Thread.create accept_loop t ];
       Ok (t, recovery)

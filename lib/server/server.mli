@@ -28,6 +28,12 @@ open Eager_durable
 
 type listen = L_unix of string | L_tcp of string * int
 
+type role =
+  | Primary
+  | Standby of { primary : Client.addr; repl_seed : int }
+      (** follow [primary]'s WAL stream, serving reads only.  [repl_seed]
+          drives the reconnect jitter (the global [Random] is banned). *)
+
 type config = {
   listen : listen;
   admission : Admission.config;
@@ -37,6 +43,11 @@ type config = {
       (** WAL-backed ([Durable]) when set; in-memory otherwise *)
   checkpoint_every : int option;
   die_on_broken_wal : bool;
+  role : role;
+  repl_retain : int;
+      (** committed records kept in memory for replication catch-up;
+          standbys further behind are served from the on-disk WAL, and
+          past that told to re-seed from a backup *)
 }
 
 val default_config : listen -> config
@@ -61,3 +72,10 @@ val stop : t -> unit
 
 val bound_addr : t -> string
 (** Human-readable listening address (for "listening on ..." lines). *)
+
+val promote : t -> (int, Err.t) result
+(** Promote a standby to primary: stop and join the inbound replication
+    applier, then start accepting writes and serving [REPL] streams at
+    the returned LSN.  A typed error on a node that is already primary
+    or has no durable backend.  Also reachable in-band as the [PROMOTE]
+    statement; this entry point exists for the operator signal path. *)

@@ -48,7 +48,14 @@ val session_line : session -> string
 (** ["session 3: queries=12 rows_pulled=480 ..."] — appended to EXPLAIN
     responses and printed per session by [STATUS]. *)
 
-val render : t -> snapshot_lsn:int -> sessions:int -> active:int -> queued:int -> string
+val render :
+  ?repl:string ->
+  t ->
+  snapshot_lsn:int ->
+  sessions:int ->
+  active:int ->
+  queued:int ->
+  string
 (** The full [STATUS] report: a global line (with the caller-supplied
-    admission gauges and WAL position) followed by one line per live
-    session. *)
+    admission gauges and WAL position), the replication line when the
+    caller supplies one, then one line per live session. *)

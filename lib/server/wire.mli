@@ -4,11 +4,14 @@
     frame  := <verb> (' ' <arg>)* ' ' <len> '\n' <len payload bytes>
     v}
 
-    Client → server verbs: [STMT] (payload: a SQL script) and [PING].
-    Server → client verbs: [OK] (payload: rendered result text),
-    [ERR <kind>] (payload: message), and [BUSY <retry_after_ms>]
-    (payload: message) — the shed-load response carrying its
-    client-visible back-off hint.
+    Client → server verbs: [STMT] (payload: a SQL script), [PING], and
+    [REPL <lsn>] — the replication handshake that turns the session
+    into an outbound WAL stream.  Server → client verbs: [OK] (payload:
+    rendered result text), [ERR <kind>] (payload: message), [BUSY
+    <retry_after_ms>] (payload: message) — the shed-load response
+    carrying its client-visible back-off hint — and, on a replication
+    stream, [RECD <seq> <kind> <primary_lsn> <pub_ms>] (payload: the
+    record) and [RHB <primary_lsn> <now_ms>] heartbeats.
 
     Every read is deadline-bounded: the reader multiplexes
     [Unix.select] with a budget, so a stalled or malicious peer can

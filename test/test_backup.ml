@@ -1,0 +1,277 @@
+(* Backup/restore tests: the hot-backup artifact (manifest + snapshot +
+   WAL tail) round-trips through verify/restore to the exact logical
+   state, a backup taken at LSN L is byte-equivalent to a quiesced
+   checkpoint of the first L committed records, and — the trust model —
+   corrupting ANY single byte of any file in the backup turns restore
+   into a typed refusal, never a partial load (a property checked over
+   every byte offset of every file). *)
+
+open Eager_storage
+open Eager_parser
+open Eager_durable
+open Eager_robust
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go k = k + m <= n && (String.sub s k m = sub || go (k + 1)) in
+  go 0
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eagerdb_backup_%s_%d_%d" name (Unix.getpid ()) !n)
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (name ^ ": " ^ Err.to_string e)
+
+let open_ok dir = ok ("open " ^ dir) (Durable.open_ ~dir ())
+let exec_ok s sql = ignore (ok sql (Durable.exec s (Parser.parse_statement sql)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* Canonical digest of a database: regenerated DDL plus sorted rows. *)
+let fingerprint db =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Persist.ddl_of_database db);
+  Eager_catalog.Catalog.tables (Database.catalog db)
+  |> List.map (fun (td : Eager_catalog.Table_def.t) -> td.Eager_catalog.Table_def.tname)
+  |> List.sort compare
+  |> List.iter (fun name ->
+         Buffer.add_string buf ("== " ^ name ^ "\n");
+         Heap.to_list (Database.heap db name)
+         |> List.map (fun row ->
+                String.concat ","
+                  (Array.to_list
+                     (Array.map Eager_value.Value.to_string row)))
+         |> List.sort compare
+         |> List.iter (fun r -> Buffer.add_string buf (r ^ "\n")));
+  Buffer.contents buf
+
+let script =
+  [
+    "CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id))";
+    "INSERT INTO t VALUES (1, 10)";
+    "INSERT INTO t VALUES (2, 20)";
+    "INSERT INTO t VALUES (3, 30)";
+  ]
+
+let populated name =
+  Fault.reset ();
+  let s, _ = open_ok (fresh_dir name) in
+  List.iter (exec_ok s) script;
+  s
+
+(* ========================== round trip ============================ *)
+
+let test_roundtrip () =
+  let s = populated "rt" in
+  let bdir = fresh_dir "rt_bak" in
+  (* through the statement surface, like a live session would *)
+  (match
+     ok "BACKUP" (Durable.exec s (Parser.parse_statement
+                                    (Printf.sprintf "BACKUP '%s'" bdir)))
+   with
+  | Binder.Backed_up { dir; lsn } ->
+      Alcotest.(check string) "echoes the dir" bdir dir;
+      Alcotest.(check int) "stamped with the current lsn" (Durable.lsn s) lsn
+  | _ -> Alcotest.fail "BACKUP returned the wrong outcome");
+  let lsn = ok "verify" (Backup.verify ~dir:bdir) in
+  Alcotest.(check int) "verify agrees on the lsn" (Durable.lsn s) lsn;
+  let rdir = fresh_dir "rt_restored" in
+  let rlsn = ok "restore" (Backup.restore ~from_dir:bdir ~to_dir:rdir) in
+  Alcotest.(check int) "restore reports the lsn" lsn rlsn;
+  let r, _ = open_ok rdir in
+  Alcotest.(check string) "restored state equals the source"
+    (fingerprint (Durable.db s))
+    (fingerprint (Durable.db r));
+  Durable.close r;
+  Durable.close s
+
+(* A backup taken at LSN L, restored and checkpointed, produces the
+   byte-identical snapshot a quiesced node would write after exactly
+   the first L committed records — even though the source kept
+   committing after the backup was cut. *)
+let test_prefix_byte_equivalence () =
+  let s = populated "px" in
+  let cut = Durable.lsn s in
+  let bdir = fresh_dir "px_bak" in
+  let blsn = ok "backup" (Durable.backup s ~dir:bdir) in
+  Alcotest.(check int) "cut at the live lsn" cut blsn;
+  (* the source moves on; the backup must not *)
+  exec_ok s "INSERT INTO t VALUES (4, 40)";
+  exec_ok s "DELETE FROM t WHERE t.id = 1";
+  let rdir = fresh_dir "px_restored" in
+  ignore (ok "restore" (Backup.restore ~from_dir:bdir ~to_dir:rdir));
+  let r, _ = open_ok rdir in
+  Alcotest.(check int) "restored to the cut lsn" cut (Durable.lsn r);
+  let _ = ok "checkpoint" (Durable.checkpoint r) in
+  Durable.close r;
+  (* the oracle: replay the first L statements on a fresh database and
+     save it quiesced at the same lsn *)
+  let refdb = Database.create () in
+  List.iter
+    (fun sql ->
+      match Binder.exec_statement refdb (Parser.parse_statement sql) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail (sql ^ ": " ^ msg))
+    script;
+  let refdir = fresh_dir "px_ref" in
+  ignore (ok "save" (Persist.save ~wal_lsn:cut refdb ~dir:refdir));
+  Alcotest.(check string) "snapshot bytes are identical"
+    (read_file (Filename.concat refdir "snapshot.eagerdb"))
+    (read_file (Filename.concat rdir "snapshot.eagerdb"));
+  Durable.close s
+
+(* ===================== the corruption property ==================== *)
+
+let backup_files = [ "snapshot.eagerdb"; "wal.eagerdb"; "backup.eagerdb" ]
+
+(* Flipping any single byte anywhere in the backup — snapshot, WAL
+   tail, or the manifest itself — must turn verify into a typed
+   refusal.  Exhaustive over every byte offset of every file. *)
+let test_every_byte_corruption () =
+  let s = populated "corrupt" in
+  let bdir = fresh_dir "corrupt_bak" in
+  ignore (ok "backup" (Durable.backup s ~dir:bdir));
+  Durable.close s;
+  ignore (ok "pristine verify" (Backup.verify ~dir:bdir));
+  List.iter
+    (fun file ->
+      let path = Filename.concat bdir file in
+      let pristine = read_file path in
+      String.iteri
+        (fun i b ->
+          let corrupted = Bytes.of_string pristine in
+          Bytes.set corrupted i (Char.chr (Char.code b lxor 1));
+          write_file path (Bytes.to_string corrupted);
+          (match Backup.verify ~dir:bdir with
+          | Ok _ ->
+              Alcotest.fail
+                (Printf.sprintf "verify accepted %s with byte %d flipped"
+                   file i)
+          | Error e ->
+              if Err.kind e <> Err.Io then
+                Alcotest.fail
+                  (Printf.sprintf "%s byte %d: refusal not typed Io: %s" file
+                     i (Err.to_string e)));
+          write_file path pristine)
+        pristine;
+      (* restoring a corrupted backup must also refuse, before writing
+         anything usable into the target *)
+      let corrupted = Bytes.of_string pristine in
+      Bytes.set corrupted 0 (Char.chr (Char.code pristine.[0] lxor 1));
+      write_file path (Bytes.to_string corrupted);
+      let rdir = fresh_dir "corrupt_restored" in
+      (match Backup.restore ~from_dir:bdir ~to_dir:rdir with
+      | Ok _ -> Alcotest.fail ("restore accepted a corrupted " ^ file)
+      | Error _ -> ());
+      Alcotest.(check bool)
+        ("no partial restore after corrupted " ^ file)
+        false
+        (Sys.file_exists (Filename.concat rdir "snapshot.eagerdb"));
+      write_file path pristine)
+    backup_files;
+  ignore (ok "still pristine" (Backup.verify ~dir:bdir))
+
+(* Growing or shrinking a file is as fatal as flipping a byte. *)
+let test_truncation_and_growth () =
+  let s = populated "trunc" in
+  let bdir = fresh_dir "trunc_bak" in
+  ignore (ok "backup" (Durable.backup s ~dir:bdir));
+  Durable.close s;
+  List.iter
+    (fun file ->
+      let path = Filename.concat bdir file in
+      let pristine = read_file path in
+      write_file path (String.sub pristine 0 (String.length pristine - 1));
+      (match Backup.verify ~dir:bdir with
+      | Ok _ -> Alcotest.fail ("verify accepted truncated " ^ file)
+      | Error _ -> ());
+      write_file path (pristine ^ "x");
+      (match Backup.verify ~dir:bdir with
+      | Ok _ -> Alcotest.fail ("verify accepted grown " ^ file)
+      | Error _ -> ());
+      write_file path pristine;
+      Sys.remove path;
+      (match Backup.verify ~dir:bdir with
+      | Ok _ -> Alcotest.fail ("verify accepted missing " ^ file)
+      | Error _ -> ());
+      write_file path pristine)
+    backup_files;
+  ignore (ok "restored to pristine" (Backup.verify ~dir:bdir))
+
+(* ====================== failure-path hygiene ====================== *)
+
+let test_fresh_dir_refusal () =
+  let s = populated "fresh" in
+  let bdir = fresh_dir "fresh_bak" in
+  ignore (ok "backup" (Durable.backup s ~dir:bdir));
+  (match Durable.backup s ~dir:bdir with
+  | Ok _ -> Alcotest.fail "backup overwrote an existing backup"
+  | Error e ->
+      Alcotest.(check bool) "names the non-empty target" true
+        (contains (Err.to_string e) "not empty"));
+  Durable.close s
+
+let test_injected_copy_fault () =
+  Fault.reset ();
+  let s = populated "fault" in
+  let bdir = fresh_dir "fault_bak" in
+  Fault.arm_nth "backup.copy" 1;
+  (match Durable.backup s ~dir:bdir with
+  | Ok _ -> Alcotest.fail "backup succeeded across an injected copy fault"
+  | Error e ->
+      Alcotest.(check bool) "typed Io" true (Err.kind e = Err.Io));
+  Fault.reset ();
+  (* the torn artifact left behind must never verify: the manifest is
+     written last, so a backup that did not finish has none *)
+  (match Backup.verify ~dir:bdir with
+  | Ok _ -> Alcotest.fail "a torn backup verified"
+  | Error e ->
+      Alcotest.(check bool) "refusal names the missing seal" true
+        (contains (Err.to_string e) "incomplete"));
+  (* and the source is unharmed: a clean retry into a fresh dir works *)
+  let bdir2 = fresh_dir "fault_bak2" in
+  ignore (ok "retry" (Durable.backup s ~dir:bdir2));
+  ignore (ok "retry verifies" (Backup.verify ~dir:bdir2));
+  Durable.close s
+
+let () =
+  Alcotest.run "backup"
+    [
+      ( "round trip",
+        [
+          Alcotest.test_case "backup → verify → restore → reopen" `Quick
+            test_roundtrip;
+          Alcotest.test_case "byte-equivalent to a quiesced checkpoint"
+            `Quick test_prefix_byte_equivalence;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "every flipped byte refuses typed" `Quick
+            test_every_byte_corruption;
+          Alcotest.test_case "truncated/grown/missing files refuse" `Quick
+            test_truncation_and_growth;
+        ] );
+      ( "failure paths",
+        [
+          Alcotest.test_case "non-empty target refused" `Quick
+            test_fresh_dir_refusal;
+          Alcotest.test_case "injected backup.copy fault leaves no lie"
+            `Quick test_injected_copy_fault;
+        ] );
+    ]

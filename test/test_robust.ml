@@ -91,6 +91,9 @@ let test_err_channel () =
       ("persist.rename", Err.Io);
       ("exec.next", Err.Exec);
       ("opt.testfd", Err.Planner);
+      ("repl.send", Err.Io);
+      ("repl.recv", Err.Io);
+      ("backup.copy", Err.Io);
     ];
   (* protect adopts every escape hatch *)
   check_kind "legacy failwith" Err.Exec
@@ -112,7 +115,7 @@ let test_registry () =
       "storage.write"; "heap.append"; "persist.rename"; "persist.write";
       "exec.next"; "opt.testfd"; "opt.cost"; "wal.append"; "wal.fsync";
       "wal.truncate"; "wal.replay"; "wal.group_commit"; "server.accept";
-      "server.read";
+      "server.read"; "repl.send"; "repl.recv"; "backup.copy";
     ]
     Fault.all_points
 

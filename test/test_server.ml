@@ -429,6 +429,258 @@ let test_stop_under_write_load () =
   List.iter Thread.join writers;
   Thread.join stopper
 
+(* ========================== replication =========================== *)
+
+let mk_rec seq payload = { Wal.seq; kind = Wal.Stmt; payload }
+
+let test_repl_hub () =
+  let hub = Repl.create_hub ~retain:3 ~lsn:0 in
+  (* fresh records are delivered in order *)
+  Repl.publish hub [ mk_rec 1 "a"; mk_rec 2 "b" ];
+  (match Repl.wait_since hub ~seq:0 ~timeout_ms:1000. with
+  | Repl.Records es ->
+      Alcotest.(check (list int)) "in order" [ 1; 2 ]
+        (List.map (fun (e : Repl.entry) -> e.record.Wal.seq) es)
+  | _ -> Alcotest.fail "expected fresh records");
+  Alcotest.(check int) "hub tracks the tip" 2 (Repl.hub_last_seq hub);
+  (* a caught-up sender waits out the timeout and gets Idle *)
+  (match Repl.wait_since hub ~seq:2 ~timeout_ms:50. with
+  | Repl.Idle -> ()
+  | _ -> Alcotest.fail "caught-up sender should idle");
+  (* eviction past the retention window turns into a Gap, not a skip *)
+  Repl.publish hub [ mk_rec 3 "c"; mk_rec 4 "d"; mk_rec 5 "e"; mk_rec 6 "f" ];
+  (match Repl.wait_since hub ~seq:2 ~timeout_ms:50. with
+  | Repl.Gap -> ()
+  | Repl.Records es ->
+      Alcotest.fail
+        (Printf.sprintf "evicted cursor got records starting at %d"
+           (match es with e :: _ -> e.record.Wal.seq | [] -> -1))
+  | _ -> Alcotest.fail "evicted cursor should see a gap");
+  (* close wakes everyone with Closed *)
+  Repl.close_hub hub;
+  match Repl.wait_since hub ~seq:6 ~timeout_ms:1000. with
+  | Repl.Closed -> ()
+  | _ -> Alcotest.fail "closed hub should report Closed"
+
+(* raw-wire REPL handshakes: an in-memory server refuses replication
+   outright, and a durable primary refuses a standby claiming a FUTURE
+   lsn — diverged history, the split-brain guard *)
+let test_repl_handshake_refusals () =
+  Fault.reset ();
+  let raw_repl sock lsn =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    let conn = Wire.of_fd fd in
+    ok "handshake"
+      (Wire.write_frame conn ~verb:"REPL" ~args:[ string_of_int lsn ] "");
+    let frame = ok "reply" (Wire.read_frame conn ~timeout_ms:5000.) in
+    Wire.close conn;
+    match frame with
+    | Some { Wire.verb; payload; _ } -> (verb, payload)
+    | None -> Alcotest.fail "server closed without answering the handshake"
+  in
+  (* in-memory server: no WAL, nothing to ship *)
+  let sock_mem = fresh_path "replmem" ".sock" in
+  let cfg = { (Server.default_config (Server.L_unix sock_mem)) with read_timeout_ms = 5000. } in
+  let srv, _ = ok "start mem" (Server.start cfg) in
+  let verb, msg = raw_repl sock_mem 0 in
+  Alcotest.(check string) "mem server refuses REPL" "ERR" verb;
+  Alcotest.(check bool) "says why" true (contains msg "durable");
+  Server.stop srv;
+  (* durable primary at lsn 2: a peer claiming lsn 7 has a diverged log *)
+  let dir = fresh_path "replsb" ".db" in
+  let srv, ccfg = start_server ~db_dir:dir "replsb" in
+  ignore (run_ok ccfg "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);");
+  let sock =
+    match ccfg.Client.addr with Client.A_unix p -> p | _ -> assert false
+  in
+  let verb, msg = raw_repl sock 7 in
+  Alcotest.(check string) "future lsn refused" "ERR" verb;
+  Alcotest.(check bool) "names the divergence" true (contains msg "diverged");
+  (* an honest handshake still streams *)
+  let verb, msg = raw_repl sock 0 in
+  Alcotest.(check string) "honest handshake accepted" "OK" verb;
+  Alcotest.(check bool) "announces the stream" true (contains msg "streaming");
+  Server.stop srv
+
+let start_standby ~primary_sock name =
+  let sock = fresh_path name ".sock" in
+  let dir = fresh_path name ".db" in
+  let cfg =
+    {
+      (Server.default_config (Server.L_unix sock)) with
+      db_dir = Some dir;
+      read_timeout_ms = 5000.;
+      role =
+        Server.Standby
+          { primary = Client.A_unix primary_sock; repl_seed = 7 };
+    }
+  in
+  let t, _ = ok "standby start" (Server.start cfg) in
+  (t, Client.config ~timeout_ms:5000. ~retries:0 (Client.A_unix sock))
+
+let await ?(timeout_ms = 10_000.) name pred =
+  let deadline = Clock.now_ms () +. timeout_ms in
+  let rec go () =
+    if pred () then ()
+    else if Clock.now_ms () > deadline then
+      Alcotest.fail ("timed out waiting for " ^ name)
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let test_replication_end_to_end () =
+  Fault.reset ();
+  let pdir = fresh_path "prim" ".db" in
+  let prim, pcfg = start_server ~db_dir:pdir "prim" in
+  let psock =
+    match pcfg.Client.addr with Client.A_unix p -> p | _ -> assert false
+  in
+  ignore (run_ok pcfg "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);");
+  let stby, scfg = start_standby ~primary_sock:psock "stby" in
+  (* the standby catches up from its handshake lsn and then follows *)
+  ignore (run_ok pcfg "INSERT INTO t VALUES (2); INSERT INTO t VALUES (3);");
+  await "standby catch-up" (fun () ->
+      match Client.run scfg "SELECT t.a FROM t;" with
+      | Ok (Client.Ok_text out) -> contains out "(3 rows)"
+      | _ -> false);
+  (* STATUS tells the whole replication story, on both sides *)
+  let sstatus = run_ok scfg "STATUS;" in
+  Alcotest.(check bool) "standby role line" true
+    (contains sstatus "repl: role=standby");
+  Alcotest.(check bool) "connected" true (contains sstatus "connected=yes");
+  Alcotest.(check bool) "applied lsn" true (contains sstatus "applied_lsn=4");
+  Alcotest.(check bool) "no lag" true (contains sstatus "lag_records=0");
+  await "primary sees the peer ship lsn 4" (fun () ->
+      let p = run_ok pcfg "STATUS;" in
+      contains p "repl: role=primary peers=1" && contains p "shipped_lsn=4");
+  (* a standby is read-only: writes, checkpoints and backups refuse *)
+  (match ok "write on standby" (Client.run scfg "INSERT INTO t VALUES (9);") with
+  | Client.Failed { kind; msg } ->
+      Alcotest.(check string) "typed Io" "Io" kind;
+      Alcotest.(check bool) "names the standby" true
+        (contains msg "read-only standby")
+  | _ -> Alcotest.fail "standby accepted a write");
+  (match ok "backup on standby" (Client.run scfg "CHECKPOINT;") with
+  | Client.Failed { msg; _ } ->
+      Alcotest.(check bool) "checkpoint refused" true
+        (contains msg "read-only standby")
+  | _ -> Alcotest.fail "standby accepted a checkpoint");
+  (* failover: kill the primary, promote the standby, write through it *)
+  Server.stop prim;
+  (match Server.promote stby with
+  | Ok lsn -> Alcotest.(check int) "promoted at the applied lsn" 4 lsn
+  | Error e -> Alcotest.fail ("promote: " ^ Err.to_string e));
+  (match Server.promote stby with
+  | Ok _ -> Alcotest.fail "second promote should refuse"
+  | Error e ->
+      Alcotest.(check bool) "already primary" true
+        (contains (Err.to_string e) "already primary"));
+  let out = run_ok scfg "INSERT INTO t VALUES (4); SELECT t.a FROM t;" in
+  Alcotest.(check bool) "promoted node accepts writes" true
+    (contains out "(4 rows)");
+  let sstatus = run_ok scfg "STATUS;" in
+  Alcotest.(check bool) "role flipped" true
+    (contains sstatus "repl: role=primary");
+  Server.stop stby
+
+(* a live BACKUP under concurrent writers cuts a consistent prefix:
+   verify passes, and the restored database holds exactly the first
+   [lsn] committed records — acked-but-later writes are absent, torn
+   state never appears *)
+let test_hot_backup_under_load () =
+  Fault.reset ();
+  let dir = fresh_path "hotbak" ".db" in
+  let srv, ccfg = start_server ~db_dir:dir "hotbak" in
+  ignore (run_ok ccfg "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id));");
+  let stop = ref false in
+  let mu = Mutex.create () in
+  let writers =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            let k = ref 0 in
+            let stopped () =
+              Mutex.lock mu;
+              let s = !stop in
+              Mutex.unlock mu;
+              s
+            in
+            while not (stopped ()) do
+              ignore
+                (Client.run
+                   { ccfg with Client.retries = 2; seed = (i * 1000) + !k }
+                   (Printf.sprintf "INSERT INTO t VALUES (%d);"
+                      ((i * 100_000) + !k)));
+              incr k
+            done)
+          ())
+  in
+  Thread.delay 0.1;
+  let bdir = fresh_path "hotbak" ".bak" in
+  let out = run_ok ccfg (Printf.sprintf "BACKUP '%s';" bdir) in
+  Alcotest.(check bool) "backup acked with an lsn" true
+    (contains out "backup written to");
+  Mutex.lock mu;
+  stop := true;
+  Mutex.unlock mu;
+  List.iter Thread.join writers;
+  Server.stop srv;
+  let blsn = ok "verify" (Backup.verify ~dir:bdir) in
+  let rdir = fresh_path "hotbak" ".restored" in
+  ignore (ok "restore" (Backup.restore ~from_dir:bdir ~to_dir:rdir));
+  let r, _ = ok "reopen restored" (Durable.open_ ~dir:rdir ()) in
+  Alcotest.(check int) "restored to the backup lsn" blsn (Durable.lsn r);
+  (* lsn 1 was the CREATE TABLE; every later record is one insert *)
+  Alcotest.(check int) "exactly the first lsn's rows" (blsn - 1)
+    (Database.row_count (Durable.db r) "t");
+  Durable.close r
+
+(* the sql client sleeps the server's retry_after_ms hint instead of
+   walking its exponential ladder: a shed with a large hint must delay
+   the retry by at least (jitter floor x hint) even though the
+   configured base backoff is a millisecond *)
+let test_client_honors_retry_hint () =
+  let sock = fresh_path "hint" ".sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 4;
+  let server =
+    Thread.create
+      (fun () ->
+        (* first attempt: shed with a 150 ms hint; second: serve *)
+        let serve reply =
+          let fd, _ = Unix.accept lfd in
+          let conn = Wire.of_fd fd in
+          (match Wire.read_frame conn ~timeout_ms:5000. with
+          | Ok (Some _) -> reply conn
+          | _ -> ());
+          Wire.close conn
+        in
+        serve (fun conn ->
+            ignore (Wire.busy conn ~retry_after_ms:150 "shed for the test"));
+        serve (fun conn -> ignore (Wire.ok conn "served")))
+      ()
+  in
+  let cfg =
+    Client.config ~timeout_ms:5000. ~retries:1 ~backoff_ms:1. ~seed:3
+      (Client.A_unix sock)
+  in
+  let t0 = Clock.now_ms () in
+  (match ok "run" (Client.run cfg "STATUS;") with
+  | Client.Ok_text out -> Alcotest.(check string) "served" "served" out
+  | _ -> Alcotest.fail "retry did not reach the second serve");
+  let dt = Clock.now_ms () -. t0 in
+  Thread.join server;
+  Unix.close lfd;
+  Alcotest.(check bool)
+    (Printf.sprintf "slept the hint, not the 1 ms ladder (%.0f ms)" dt)
+    true
+    (dt >= 0.9 *. 150.)
+
 let test_die_on_broken_wal () =
   Fault.reset ();
   let dir = fresh_path "die" ".db" in
@@ -482,5 +734,18 @@ let () =
             test_stop_under_write_load;
           Alcotest.test_case "die-on-broken-wal is fatal" `Quick
             test_die_on_broken_wal;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "hub: records, idle, gap, closed" `Quick
+            test_repl_hub;
+          Alcotest.test_case "handshake refusals (mem, split-brain)" `Quick
+            test_repl_handshake_refusals;
+          Alcotest.test_case "standby follows, refuses writes, promotes"
+            `Quick test_replication_end_to_end;
+          Alcotest.test_case "hot backup under write load" `Quick
+            test_hot_backup_under_load;
+          Alcotest.test_case "client sleeps the retry hint" `Quick
+            test_client_honors_retry_hint;
         ] );
     ]

@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# End-to-end failover drill:
+#   - spawn a durable primary with a one-shot repl.send fault armed (the
+#     replication stream WILL break mid-drill and the standby must
+#     reconnect), and a durable standby following it;
+#   - hammer the primary with concurrent writers, recording every acked
+#     insert (the ack-implies-durable oracle);
+#   - quiesce, wait for the standby to report zero lag at the primary's
+#     final LSN, then SIGKILL the primary — no shutdown courtesy;
+#   - promote the standby via the operator signal path (SIGUSR1) and
+#     verify it flips to role=primary, accepts writes, and holds every
+#     acked row;
+#   - finally SIGTERM the survivor and prove a clean exit.
+#
+# Usage: failover.sh path/to/eagerdb.exe
+set -u
+
+exe=${1:?usage: failover.sh path/to/eagerdb.exe}
+tmp=$(mktemp -d)
+primary_pid=""
+standby_pid=""
+cleanup() {
+  [ -n "$primary_pid" ] && kill -9 "$primary_pid" 2>/dev/null
+  [ -n "$standby_pid" ] && kill -9 "$standby_pid" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+say() { echo "failover: $*"; }
+
+psock="$tmp/primary.sock"
+ssock="$tmp/standby.sock"
+
+sql() { # sql <sock> <script>
+  timeout 30 "$exe" sql --connect "unix:$1" --retries 5 --backoff-ms 20 "$2"
+}
+
+wait_sock() { # wait_sock <path> <what>
+  for _ in $(seq 200); do
+    [ -S "$1" ] && return 0
+    sleep 0.05
+  done
+  say "FAIL: $2 never came up"
+  sed "s/^/  | /" "$tmp/primary.out" "$tmp/standby.out" 2>/dev/null
+  exit 1
+}
+
+# --- spawn the pair (primary with a one-shot repl.send fault armed:
+# the 20th shipped record frame dies, forcing a standby reconnect) ---
+"$exe" serve --listen "unix:$psock" --db "$tmp/pdb" \
+  --faults 'repl.send@20' \
+  --read-timeout-ms 5000 >"$tmp/primary.out" 2>&1 &
+primary_pid=$!
+wait_sock "$psock" "primary"
+
+"$exe" standby --listen "unix:$ssock" --db "$tmp/sdb" \
+  --primary "unix:$psock" --repl-seed 42 \
+  --read-timeout-ms 5000 >"$tmp/standby.out" 2>&1 &
+standby_pid=$!
+wait_sock "$ssock" "standby"
+
+if ! sql "$psock" "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id));" \
+  >"$tmp/seed.out" 2>&1; then
+  say "FAIL: creating the drill table"
+  sed "s/^/  | /" "$tmp/seed.out"
+  exit 1
+fi
+
+# --- concurrent writers, each recording its acked ids ---
+writers=4
+rounds=20
+pids=""
+for c in $(seq 1 "$writers"); do
+  (
+    for r in $(seq 1 "$rounds"); do
+      id=$((c * 100000 + r))
+      out=$(sql "$psock" "INSERT INTO t VALUES ($id);" 2>&1)
+      case "$out" in
+      *"1 row(s) inserted"*) echo "$id" >>"$tmp/acked.$c" ;;
+      esac
+    done
+  ) &
+  pids="$pids $!"
+done
+for p in $pids; do wait "$p"; done
+cat "$tmp"/acked.* | sort -n >"$tmp/acked" 2>/dev/null || : >"$tmp/acked"
+acked=$(wc -l <"$tmp/acked")
+if [ "$acked" -lt $((writers * rounds / 2)) ]; then
+  say "FAIL: only $acked/$((writers * rounds)) writes acked — the drill needs load"
+  exit 1
+fi
+say "$acked/$((writers * rounds)) writes acked"
+
+# --- catch-up barrier: the standby must reach the primary's final LSN
+# (replication is async; the oracle below is only fair after quiesce) ---
+plsn=$(sql "$psock" "STATUS;" | grep -oE 'hub_lsn=[0-9]+' | cut -d= -f2)
+if [ -z "$plsn" ]; then
+  say "FAIL: primary STATUS has no hub_lsn"
+  exit 1
+fi
+caught=0
+for _ in $(seq 200); do
+  st=$(sql "$ssock" "STATUS;" 2>/dev/null)
+  case "$st" in
+  *"applied_lsn=$plsn"*) caught=1 && break ;;
+  esac
+  sleep 0.05
+done
+if [ "$caught" -ne 1 ]; then
+  say "FAIL: standby never caught up to lsn $plsn"
+  sql "$ssock" "STATUS;" | sed "s/^/  | /"
+  exit 1
+fi
+reconnects=$(sql "$ssock" "STATUS;" | grep -oE 'reconnects=[0-9]+' | cut -d= -f2)
+say "standby caught up to lsn $plsn (reconnects=$reconnects after the injected repl.send fault)"
+
+# --- the failure: no SIGTERM courtesy for the primary ---
+kill -9 "$primary_pid"
+wait "$primary_pid" 2>/dev/null
+primary_pid=""
+say "primary SIGKILLed"
+
+# --- promote via the operator signal path ---
+kill -USR1 "$standby_pid"
+promoted=0
+for _ in $(seq 200); do
+  st=$(sql "$ssock" "STATUS;" 2>/dev/null)
+  case "$st" in
+  *"repl: role=primary"*) promoted=1 && break ;;
+  esac
+  sleep 0.05
+done
+if [ "$promoted" -ne 1 ]; then
+  say "FAIL: standby never promoted after SIGUSR1"
+  sed "s/^/  | /" "$tmp/standby.out"
+  exit 1
+fi
+say "standby promoted"
+
+# --- the oracle: every acked write survived the failover ---
+sql "$ssock" "SELECT t.id FROM t;" >"$tmp/survivor.rows" 2>&1
+missing=0
+while IFS= read -r id; do
+  if ! grep -qE "^$id *\$" "$tmp/survivor.rows"; then
+    say "FAIL: acked id $id missing after failover"
+    missing=1
+  fi
+done <"$tmp/acked"
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+say "all $acked acked writes present on the promoted node"
+
+# --- and the survivor still takes writes and stops cleanly ---
+if ! sql "$ssock" "INSERT INTO t VALUES (999999);" >/dev/null 2>&1; then
+  say "FAIL: promoted node refused a write"
+  exit 1
+fi
+kill -TERM "$standby_pid"
+for _ in $(seq 100); do
+  kill -0 "$standby_pid" 2>/dev/null || break
+  sleep 0.05
+done
+if kill -0 "$standby_pid" 2>/dev/null; then
+  say "FAIL: promoted node ignored SIGTERM"
+  exit 1
+fi
+standby_pid=""
+say "OK"

@@ -84,6 +84,24 @@ done < <(grep -rn --include='*.ml' -E \
   'Unix\.read[^_a-zA-Z]|input_line|really_input|In_channel\.input' \
   lib/server || true)
 
+# Every fault point named at a hook site (Fault.check/trip, ~fault:)
+# must be registered in Fault.all_points: the seeded crash matrix and
+# the fuzz harness iterate that list, so an unregistered point never
+# fires under them and its failure path silently loses coverage.
+registered=$(sed -n '/^let all_points/,/^  \]/p' lib/robust/fault.ml |
+  grep -oE '"[a-z_.]+"' | tr -d '"')
+while IFS= read -r hit; do
+  point=$(printf '%s' "$hit" | grep -oE '"[a-z_.]+"' | head -1 | tr -d '"')
+  [ -n "$point" ] || continue
+  if ! printf '%s\n' "$registered" | grep -qxF "$point"; then
+    echo "lint: fault point \"$point\" is not in Fault.all_points: $hit" >&2
+    echo "lint: register it there so the crash matrix exercises it." >&2
+    bad=1
+  fi
+done < <(grep -rn --include='*.ml' -E \
+  'Fault\.(check|trip) "[a-z_.]+"|~fault:"[a-z_.]+"' \
+  lib bin | grep -v 'lib/robust/fault\.ml' || true)
+
 # no allowlist for nondeterminism: Random.self_init and the global
 # generator are banned outright (Random.State through Gen is the only
 # sanctioned source of randomness)
