@@ -79,12 +79,12 @@ let run_query db (q : Binder.bound_query) ~limits ~order ~(show : show) =
   | Binder.Grouped input -> (
       match Canonical.of_input db input with
       | Ok cq -> (
-          match Planner.decide_checked ~governor db cq with
+          match Planner.decide ~governor db cq with
           | Error e -> print_err e
           | Ok decision -> (
               match show with
               | Explain ->
-                  print_string (Planner.explain db decision);
+                  print_string (Explain.text db decision);
                   if order <> [] then
                     print_endline "-- final output sorted per ORDER BY"
               | Explain_analyze ->
@@ -341,8 +341,14 @@ let repl limits =
 
 let demo name =
   let report db (q : Canonical.t) =
-    let decision = Planner.decide db q in
-    print_string (Planner.explain db decision);
+    let decision =
+      match Planner.decide db q with
+      | Ok d -> d
+      | Error e ->
+          print_err e;
+          exit 1
+    in
+    print_string (Explain.text db decision);
     let h1, s1 = Exec.run db (Plans.e1 db q) in
     print_endline "-- executed E1:";
     print_endline (Optree.to_string s1);
@@ -693,7 +699,7 @@ let repl_cmd =
     Term.(const repl $ limits_term)
 
 (* the differential fuzzing harness: the Main Theorem as an oracle *)
-let fuzz seed iters no_faults corpus replay quiet =
+let fuzz seed iters no_faults corpus replay multiway quiet =
   let open Eager_fuzz in
   match replay with
   | Some dir -> (
@@ -705,25 +711,41 @@ let fuzz seed iters no_faults corpus replay quiet =
       | Error msg ->
           Printf.printf "corpus replay FAILED: %s\n" msg;
           1)
-  | None -> (
+  | None ->
       let log = if quiet then ignore else print_endline in
       let cfg =
         { Fuzz.seed; iters; faults = not no_faults; corpus_dir = corpus; log }
       in
-      let s = Fuzz.run cfg in
-      print_endline (Fuzz.summary_to_string s);
-      match s.Fuzz.failures with
-      | [] -> 0
-      | failures ->
-          List.iter
-            (fun (f : Fuzz.failure) ->
-              Printf.printf "  iteration %d: %s%s\n" f.Fuzz.iteration
-                (Oracle.violation_to_string f.Fuzz.violation)
-                (match f.Fuzz.corpus_path with
-                | Some p -> " -> " ^ p
-                | None -> ""))
-            failures;
-          1)
+      if multiway then (
+        let s = Fuzz.run_multiway cfg in
+        print_endline (Fuzz.multiway_summary_to_string s);
+        match s.Fuzz.mw_failures with
+        | [] -> 0
+        | failures ->
+            List.iter
+              (fun (f : Fuzz.multiway_failure) ->
+                Printf.printf "  iteration %d: %s%s\n" f.Fuzz.mw_iteration
+                  (Oracle.violation_to_string f.Fuzz.mw_violation)
+                  (match f.Fuzz.mw_corpus_path with
+                  | Some p -> " -> " ^ p
+                  | None -> ""))
+              failures;
+            1)
+      else
+        let s = Fuzz.run cfg in
+        print_endline (Fuzz.summary_to_string s);
+        match s.Fuzz.failures with
+        | [] -> 0
+        | failures ->
+            List.iter
+              (fun (f : Fuzz.failure) ->
+                Printf.printf "  iteration %d: %s%s\n" f.Fuzz.iteration
+                  (Oracle.violation_to_string f.Fuzz.violation)
+                  (match f.Fuzz.corpus_path with
+                  | Some p -> " -> " ^ p
+                  | None -> ""))
+              failures;
+            1
 
 let fuzz_cmd =
   let seed =
@@ -761,6 +783,16 @@ let fuzz_cmd =
             "Instead of generating, replay every .sql under $(docv) through \
              the parser/binder and re-run the oracle on each")
   in
+  let multiway =
+    Arg.(
+      value & flag
+      & info [ "multiway" ]
+          ~doc:
+            "Generate 3-4 relation chain/star instances instead of the \
+             two-relation canonical form, and sweep every forced \
+             aggregation placement (full and partial at each admissible \
+             cut) against forced E1 and the reference evaluator")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary line")
   in
@@ -771,7 +803,8 @@ let fuzz_cmd =
           forced-E2 and planner's choice, and check the Main Theorem's \
           invariants as an executable oracle")
     Term.(
-      const fuzz $ seed $ iters $ no_faults $ corpus $ replay $ quiet)
+      const fuzz $ seed $ iters $ no_faults $ corpus $ replay $ multiway
+      $ quiet)
 
 (* server flags shared by [serve] and [standby] *)
 let srv_listen =

@@ -1,0 +1,13 @@
+-- eagerdb fuzz corpus: three-relation chain with keyed dimensions and
+-- NULL join keys.  TestFD answers YES at cut {R} (S.x PRIMARY KEY
+-- chains to T's key via S.y = T.u), so replay exercises the full eager
+-- push, every partial placement, and the fault/budget checks on each.
+-- replay: eagerdb fuzz --replay <this directory>
+-- r1: R
+CREATE TABLE S (x INTEGER, y INTEGER, PRIMARY KEY (x));
+CREATE TABLE T (u INTEGER, w INTEGER, PRIMARY KEY (u));
+CREATE TABLE R (a INTEGER, b INTEGER, v INTEGER);
+INSERT INTO R VALUES (1, 1, 10), (1, 2, 20), (2, NULL, 30), (NULL, 1, 40), (3, 3, NULL), (1, 1, 50);
+INSERT INTO S VALUES (1, 1), (2, 2), (3, NULL);
+INSERT INTO T VALUES (1, 5), (2, NULL);
+SELECT S.x, SUM(R.v) AS agg FROM R, S, T WHERE R.a = S.x AND S.y = T.u GROUP BY S.x;

@@ -1,0 +1,16 @@
+-- eagerdb fuzz corpus: four-relation star (R is the hub), no declared
+-- keys, NULL-heavy join columns.  TestFD is NO at every cut, so replay
+-- exercises the unconditional partial (E2p) placements below each of
+-- the seven admissible cuts against forced E1 and the reference
+-- evaluator, including flush epochs under the tiny partial cap.
+-- replay: eagerdb fuzz --replay <this directory>
+-- r1: R
+CREATE TABLE S (x INTEGER, y INTEGER);
+CREATE TABLE T (u INTEGER, w INTEGER);
+CREATE TABLE U (p INTEGER, q INTEGER);
+CREATE TABLE R (a INTEGER, b INTEGER, c INTEGER, v INTEGER);
+INSERT INTO R VALUES (1, 1, 1, 1), (1, 1, 1, 2), (2, 1, NULL, 3), (NULL, 2, 1, 4), (1, 2, 2, NULL);
+INSERT INTO S VALUES (1, 1), (1, 2), (2, NULL);
+INSERT INTO T VALUES (1, 1), (2, 2), (NULL, 1);
+INSERT INTO U VALUES (1, 1), (2, NULL);
+SELECT S.y, T.w, COUNT(R.v) AS agg FROM R, S, T, U WHERE R.a = S.x AND R.b = T.u AND R.c = U.p GROUP BY S.y, T.w;

@@ -19,7 +19,11 @@ let time_ms f =
   (r, (Sys.time () -. t0) *. 1000.)
 
 let describe db q =
-  let d = Planner.decide db q in
+  let d =
+    match Planner.decide db q with
+    | Ok d -> d
+    | Error e -> failwith (Eager_robust.Err.to_string e)
+  in
   let (_, t1) = time_ms (fun () -> Exec.run_rows db (Plans.e1 db q)) in
   let (_, t2) = time_ms (fun () -> Exec.run_rows db (Plans.e2 db q)) in
   (d, t1, t2)
@@ -67,6 +71,7 @@ let () =
         t1 t2
         (match d.Planner.chosen_kind with
         | Planner.Eager_group -> "E2"
+        | Planner.Eager_partial_group -> "E2p"
         | Planner.Lazy_group -> "E1"))
     (Sweep.by_fanin ~employees ~departments:[ 10; 100; 1000; employees ] ());
 
@@ -83,6 +88,7 @@ let () =
         t1 t2
         (match d.Planner.chosen_kind with
         | Planner.Eager_group -> "E2"
+        | Planner.Eager_partial_group -> "E2p"
         | Planner.Lazy_group -> "E1"))
     (Sweep.by_selectivity ~employees ~departments
        ~fractions:[ 0.01; 0.1; 0.5; 1.0 ] ())

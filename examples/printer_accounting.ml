@@ -53,7 +53,11 @@ let () =
       print_endline
         "eligible: the optimizer may also flatten the view into the join"
   | Error r -> Printf.printf "not eligible: %s\n" r);
-  let d = Planner.decide db q in
+  let d =
+    match Planner.decide db q with
+    | Ok d -> d
+    | Error e -> failwith (Eager_robust.Err.to_string e)
+  in
   Printf.printf "cost, materialise-view strategy (E2): %s\n"
     (match d.Planner.cost_eager with
     | Some c -> Printf.sprintf "%.0f" c

@@ -62,9 +62,13 @@ let () =
   | Testfd.No r -> Printf.printf "TestFD: NO (%s)\n" r);
 
   (* let the cost-based planner pick a side *)
-  let decision = Planner.decide db q in
+  let decision =
+    match Planner.decide db q with
+    | Ok d -> d
+    | Error e -> failwith (Eager_robust.Err.to_string e)
+  in
   print_newline ();
-  print_string (Planner.explain db decision);
+  print_string (Explain.text db decision);
 
   (* execute the chosen plan *)
   let heap, stats = Exec.run db decision.Planner.chosen in

@@ -17,7 +17,11 @@ let () =
 
   print_endline "== revenue per customer (8000 orders, 200 customers) ==";
   print_endline (Format.asprintf "%a" Canonical.pp q);
-  let d = Planner.decide db q in
+  let d =
+    match Planner.decide db q with
+    | Ok d -> d
+    | Error e -> failwith (Eager_robust.Err.to_string e)
+  in
   Printf.printf "\nTestFD: %s\n" (Testfd.verdict_to_string d.Planner.verdict);
   Printf.printf "cost lazy (E1): %.0f   cost eager (E2): %s   chosen: %s\n"
     d.Planner.cost_lazy

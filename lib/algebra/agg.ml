@@ -79,6 +79,58 @@ let rec out_type schema = function
       if Ctype.equal ta tb then ta else Ctype.Float
   | Neg a -> out_type schema a
 
+(* Partial/final decomposition for eager (partial) pre-aggregation.
+
+   Each aggregate-function call is replaced by a combining call over a
+   fresh partial column: COUNT-like calls pre-count and re-SUM, SUM
+   re-SUMs, MIN/MAX re-apply themselves, and AVG splits into a partial
+   SUM and COUNT pair divided at the top (the numerator is multiplied by
+   1.0 so an integer operand column cannot fall into integer division —
+   AVG's output is always a float).  COUNT(DISTINCT _) is not
+   decomposable: partial duplicate elimination cannot be re-combined
+   without the full value sets. *)
+exception Not_decomposable of string
+
+let decompose (aggs : t list) : (t list * t list, string) result =
+  let partials = ref [] in
+  let n = ref 0 in
+  let fresh_partial calc =
+    let name = Colref.make "" (Printf.sprintf "p$%d" !n) in
+    incr n;
+    partials := make name calc :: !partials;
+    Expr.Col name
+  in
+  let rec final (c : calc) : calc =
+    match c with
+    | Const v -> Const v
+    | Neg a -> Neg (final a)
+    | Arith (op, a, b) -> Arith (op, final a, final b)
+    | Call f -> (
+        match f with
+        | Count_star -> Call (Sum (fresh_partial (Call Count_star)))
+        | Count e -> Call (Sum (fresh_partial (Call (Count e))))
+        | Sum e -> Call (Sum (fresh_partial (Call (Sum e))))
+        | Min e -> Call (Min (fresh_partial (Call (Min e))))
+        | Max e -> Call (Max (fresh_partial (Call (Max e))))
+        | Avg e ->
+            let psum = fresh_partial (Call (Sum e)) in
+            let pcount = fresh_partial (Call (Count e)) in
+            Arith
+              ( Expr.Div,
+                Arith (Expr.Mul, Call (Sum psum), Const (Value.Float 1.0)),
+                Call (Sum pcount) )
+        | Count_distinct _ ->
+            raise
+              (Not_decomposable
+                 "COUNT(DISTINCT _) is not decomposable into partial \
+                  aggregates"))
+  in
+  match List.map (fun a -> { a with calc = final a.calc }) aggs with
+  | finals -> Ok (List.rev !partials, finals)
+  | exception Not_decomposable msg -> Error msg
+
+let decomposable aggs = Result.is_ok (decompose aggs)
+
 let func_to_string = function
   | Count_star -> "COUNT(*)"
   | Count e -> Printf.sprintf "COUNT(%s)" (Expr.to_string e)

@@ -52,6 +52,20 @@ val out_type : Schema.t -> calc -> Ctype.t
 (** Result type given the input schema: COUNT is [Int], AVG is [Float],
     SUM/MIN/MAX take the operand's type. *)
 
+val decompose : t list -> (t list * t list, string) result
+(** [decompose aggs] splits a list of aggregates into
+    [(partials, finals)] for eager partial pre-aggregation below a join:
+    [partials] are computed by a {!Eager_algebra.Plan.Partial_group}
+    below, each under a fresh reserved ["p$<i>"] output name, and
+    [finals] re-combine those partial columns in a finalizing group above
+    (COUNT/COUNT(e) → SUM of partial counts, SUM → SUM, MIN/MAX →
+    MIN/MAX, AVG → partial SUM and COUNT divided at the top).  The
+    [finals] keep the original output names, so everything above the
+    finalizing group is unchanged.  [Error] when any aggregate contains
+    [COUNT(DISTINCT _)], which has no partial form. *)
+
+val decomposable : t list -> bool
+
 val func_to_string : func -> string
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -14,6 +14,12 @@ type t =
       unique_groups : bool;
       input : t;
     }
+  | Partial_group of {
+      by : Colref.t list;
+      aggs : Agg.t list;
+      cap : int;
+      input : t;
+    }
   | Sort of { by : (Colref.t * bool) list; input : t }
   | Map of { items : (Colref.t * Expr.t) list; input : t }
 
@@ -31,6 +37,11 @@ let group ?(scalar = false) ?(unique_groups = false) ~by ~aggs input =
   if scalar && by <> [] then
     invalid_arg "Plan.group: scalar aggregation cannot have grouping columns";
   Group { by; aggs; scalar; unique_groups; input }
+
+let partial_group ~by ~aggs ~cap input =
+  if cap < 1 then
+    invalid_arg "Plan.partial_group: the flush cap must be at least 1";
+  Partial_group { by; aggs; cap; input }
 
 let rec schema_of = function
   | Scan { schema; _ } -> schema
@@ -52,7 +63,7 @@ let rec schema_of = function
   | Project { cols; input; _ } -> Schema.project (schema_of input) cols
   | Product (a, b) -> Schema.concat (schema_of a) (schema_of b)
   | Join { left; right; _ } -> Schema.concat (schema_of left) (schema_of right)
-  | Group { by; aggs; input; _ } ->
+  | Group { by; aggs; input; _ } | Partial_group { by; aggs; input; _ } ->
       let inner = schema_of input in
       let by_cols = List.map (fun c -> (c, Schema.type_of inner c)) by in
       let agg_cols =
@@ -65,7 +76,7 @@ let rec schema_of = function
 let rec relations = function
   | Scan { rel; _ } -> [ rel ]
   | Select { input; _ } | Project { input; _ } | Group { input; _ }
-  | Sort { input; _ } | Map { input; _ } ->
+  | Partial_group { input; _ } | Sort { input; _ } | Map { input; _ } ->
       relations input
   | Product (a, b) | Join { left = a; right = b; _ } ->
       relations a @ relations b
@@ -102,11 +113,18 @@ let node_label = function
         (match aggs with
         | [] -> ""
         | _ -> " " ^ String.concat ", " (List.map Agg.to_string aggs))
+  | Partial_group { by; aggs; cap; _ } ->
+      Printf.sprintf "PartialGroupBy [%s]%s (cap %d)"
+        (String.concat ", " (List.map Colref.to_string by))
+        (match aggs with
+        | [] -> ""
+        | _ -> " " ^ String.concat ", " (List.map Agg.to_string aggs))
+        cap
 
 let children = function
   | Scan _ -> []
   | Select { input; _ } | Project { input; _ } | Group { input; _ }
-  | Sort { input; _ } | Map { input; _ } ->
+  | Partial_group { input; _ } | Sort { input; _ } | Map { input; _ } ->
       [ input ]
   | Product (a, b) | Join { left = a; right = b; _ } -> [ a; b ]
 

@@ -36,6 +36,24 @@ type t =
               is false. *)
       input : t;
     }
+  | Partial_group of {
+      by : Colref.t list;
+      aggs : Agg.t list;
+      cap : int;
+          (** Flush threshold: the executor's group table never holds more
+              than about [cap] live groups — when it fills, the current
+              (group, partial-accumulator) rows are emitted and the table
+              is cleared, so the same group may appear several times in
+              the output stream. *)
+      input : t;
+    }
+      (** Partial pre-aggregation (the eager-aggregation generalization
+          and the memory-efficient multi-way aggregation technique): like
+          {!constructor:Group} with [scalar = false], except the operator
+          is free to emit {i several} partial rows per group.  Only sound
+          under a finalizing [Group] whose aggregates re-combine the
+          partials (see [Eager_algebra.Agg.decompose]); the planner never
+          emits it bare. *)
   | Sort of { by : (Colref.t * bool) list; input : t }
       (** ORDER BY; the flag is [true] for DESC.  NULLs sort first on
           ascending columns (the [Value.compare_total] order). *)
@@ -66,6 +84,9 @@ val group :
   t
 (** [scalar] and [unique_groups] default to [false]; raises
     [Invalid_argument] if [scalar] is set with non-empty [by]. *)
+
+val partial_group : by:Colref.t list -> aggs:Agg.t list -> cap:int -> t -> t
+(** Raises [Invalid_argument] when [cap < 1]. *)
 
 val schema_of : t -> Schema.t
 (** Raises [Failure] on ill-formed plans (unknown columns etc.). *)

@@ -96,6 +96,32 @@ let e2_with (q : Canonical.t) ~side1 ~side2 =
   let r2' = Plan.project (Canonical.ga2_plus q) side2 in
   final_project q (join_sides q r1' r2')
 
+(* Eager partial pre-aggregation: a bounded Partial_group on GA1+ below
+   the join, a finalizing Group on GA1 ∪ GA2 above it.  Unlike E2 this
+   needs no FD verification: GA1+ contains every R1-side column C0
+   references, so all rows of one partial group have identical join
+   behaviour (equal join-column values, including the all-NULL case,
+   which fails every comparison identically), and summing the partial
+   counts/sums across the join reproduces exactly E1's per-row
+   duplication.  The price is the extra finalizing Group — soundness
+   traded against a strictly taller plan, arbitrated by cost. *)
+let eager_partial_with (q : Canonical.t) ~cap ~side1 ~side2 =
+  match Agg.decompose q.Canonical.aggs with
+  | Error msg -> Error msg
+  | Ok (partials, finals) ->
+      let r1' =
+        Plan.partial_group ~by:(Canonical.ga1_plus q) ~aggs:partials ~cap
+          side1
+      in
+      let r2' = Plan.project (Canonical.ga2_plus q) side2 in
+      let joined = join_sides q r1' r2' in
+      let grouped =
+        Plan.group
+          ~by:(q.Canonical.ga1 @ q.Canonical.ga2)
+          ~aggs:finals joined
+      in
+      Ok (final_project q grouped)
+
 let e1 db (q : Canonical.t) =
   e1_with q ~side1:(side1 db q) ~side2:(side2 db q)
 

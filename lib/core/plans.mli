@@ -33,6 +33,18 @@ val e1_with : Canonical.t -> side1:Plan.t -> side2:Plan.t -> Plan.t
 
 val e2_with : Canonical.t -> side1:Plan.t -> side2:Plan.t -> Plan.t
 
+val eager_partial_with :
+  Canonical.t -> cap:int -> side1:Plan.t -> side2:Plan.t ->
+  (Plan.t, string) result
+(** The eager {i partial} pre-aggregation plan: a bounded
+    [Partial_group] on [GA1+] below the join (flushing at [cap] live
+    groups) and a finalizing [Group] on [GA1 ∪ GA2] above it, with the
+    aggregates split by {!Eager_algebra.Agg.decompose}.  Sound with no
+    FD check for any decomposable aggregate list — [GA1+] covers all
+    R1-side join columns, so a partial group's rows join identically and
+    re-combining partials reproduces E1's duplication.  [Error] when an
+    aggregate is not decomposable (COUNT(DISTINCT _)). *)
+
 val e2_r1_prime : Database.t -> Canonical.t -> Plan.t
 (** The sub-plan [R1' = F[AA] G[GA1+] σC1 R1] of E2 — exposed because the
     reverse transformation of Section 8 materialises exactly this plan as

@@ -1,0 +1,151 @@
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+
+type t = {
+  input : Canonical.input;
+  rels : string list;
+  schemas : (string * Schema.t) list;
+  conjuncts : Expr.t list;
+  agg_rels : string list;
+}
+
+let of_input db (q : Canonical.input) : (t, string) result =
+  let ( let* ) = Result.bind in
+  let* schemas =
+    List.fold_left
+      (fun acc (s : Canonical.source) ->
+        let* acc = acc in
+        match Catalog.find_table (Database.catalog db) s.Canonical.table with
+        | None -> Error (Printf.sprintf "unknown table %s" s.Canonical.table)
+        | Some td ->
+            Ok ((s.Canonical.rel, Table_def.schema ~rel:s.Canonical.rel td)
+                :: acc))
+      (Ok []) q.Canonical.sources
+    |> Result.map List.rev
+  in
+  let rels = List.map fst schemas in
+  let* () =
+    if List.length (List.sort_uniq String.compare rels) <> List.length rels
+    then Error "duplicate range variables in FROM clause"
+    else Ok ()
+  in
+  let aa =
+    List.fold_left
+      (fun acc a -> Colref.Set.union acc (Agg.columns a))
+      Colref.Set.empty q.Canonical.select_aggs
+  in
+  let agg_rels =
+    List.filter
+      (fun r ->
+        List.mem r q.Canonical.r1_hint
+        || Colref.Set.exists
+             (fun c -> Schema.mem (List.assoc r schemas) c)
+             aa)
+      rels
+  in
+  Ok
+    {
+      input = q;
+      rels;
+      schemas;
+      conjuncts = Expr.conjuncts q.Canonical.where;
+      agg_rels;
+    }
+
+let input_of_canonical (q : Canonical.t) : Canonical.input =
+  {
+    Canonical.sources = q.Canonical.r1 @ q.Canonical.r2;
+    where = Expr.conj (q.Canonical.c1 @ q.Canonical.c0 @ q.Canonical.c2);
+    group_by = q.Canonical.ga1 @ q.Canonical.ga2;
+    select_cols = q.Canonical.sga1 @ q.Canonical.sga2;
+    select_aggs = q.Canonical.aggs;
+    select_distinct = q.Canonical.distinct;
+    select_having = q.Canonical.having;
+    r1_hint = List.map (fun (s : Canonical.source) -> s.Canonical.rel)
+        q.Canonical.r1;
+  }
+
+let of_canonical db q = of_input db (input_of_canonical q)
+let n_relations t = List.length t.rels
+let default_cut t = t.agg_rels
+
+(* Subsets of the free (non-aggregation) relations, smallest first; the
+   cut is [agg_rels ∪ subset].  The mask space is exponential, so the
+   free list is clipped to 16 relations — far beyond the join-order DP's
+   own 12-relation ceiling — before enumeration. *)
+let cuts ?(max_cuts = 64) t =
+  let required = t.agg_rels in
+  let free =
+    List.filter (fun r -> not (List.mem r required)) t.rels
+  in
+  let free = List.filteri (fun i _ -> i < 16) free in
+  let free = Array.of_list free in
+  let k = Array.length free in
+  if k = 0 then []
+  else begin
+    let full = (1 lsl k) - 1 in
+    let masks = ref [] in
+    for mask = full - 1 downto 0 do
+      (* mask < full keeps P ⊊ rels; an empty P needs at least one rel *)
+      if mask > 0 || required <> [] then masks := mask :: !masks
+    done;
+    let popcount m =
+      let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+      go m 0
+    in
+    let ordered =
+      List.stable_sort
+        (fun a b -> compare (popcount a, a) (popcount b, b))
+        !masks
+    in
+    let take =
+      List.filteri (fun i _ -> i < max_cuts) ordered
+    in
+    List.map
+      (fun mask ->
+        let chosen = ref [] in
+        for i = k - 1 downto 0 do
+          if mask land (1 lsl i) <> 0 then chosen := free.(i) :: !chosen
+        done;
+        (* back to FROM order *)
+        List.filter
+          (fun r -> List.mem r required || List.mem r !chosen)
+          t.rels)
+      take
+  end
+
+let canonical_at db t cut =
+  let ( let* ) = Result.bind in
+  let* () =
+    match List.find_opt (fun r -> not (List.mem r t.rels)) cut with
+    | Some r -> Error (Printf.sprintf "cut names unknown relation %s" r)
+    | None -> Ok ()
+  in
+  let* () =
+    match List.find_opt (fun r -> not (List.mem r cut)) t.agg_rels with
+    | Some r ->
+        Error
+          (Printf.sprintf
+             "cut must contain aggregation relation %s (its columns feed \
+              the aggregates)"
+             r)
+    | None -> Ok ()
+  in
+  let* () =
+    if cut = [] then Error "cut is empty"
+    else if List.for_all (fun r -> List.mem r cut) t.rels then
+      Error "cut covers the whole FROM list (nothing to join against)"
+    else Ok ()
+  in
+  Canonical.of_input db { t.input with Canonical.r1_hint = cut }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>join graph over {%s}@,agg rels: {%s}@,conjuncts: %s@]"
+    (String.concat ", " t.rels)
+    (String.concat ", " t.agg_rels)
+    (match t.conjuncts with
+    | [] -> "TRUE"
+    | cs -> String.concat " AND " (List.map Expr.to_string cs))

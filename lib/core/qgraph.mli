@@ -1,0 +1,67 @@
+(** The general join-graph IR behind N-way eager-aggregation placement.
+
+    {!Canonical.t} fixes one two-sided partition of the FROM list — the
+    paper's R1/R2 — chosen by where the aggregation columns live.  For
+    N-way join trees that partition is just {i one} of several legal
+    "cuts": any subset [P] of the relations that contains every
+    aggregation-column relation can play the R1 role, with the grouping
+    pushed below the joins to the rest.  [Qgraph.t] keeps the query in
+    unpartitioned form — relations, predicate conjuncts, grouping and
+    aggregation — and materialises a {!Canonical.t} view per candidate
+    cut on demand, so the whole existing TestFD / plan-building machinery
+    applies cut by cut.
+
+    When the query has exactly two relations there is a single candidate
+    cut and {!canonical_at} recovers the classic R1/R2 form — the
+    compatibility path every pre-existing caller exercises. *)
+
+open Eager_schema
+open Eager_expr
+open Eager_storage
+
+type t = private {
+  input : Canonical.input;  (** the original, unpartitioned query *)
+  rels : string list;  (** range variables in FROM order *)
+  schemas : (string * Schema.t) list;  (** per-relation resolved schema *)
+  conjuncts : Expr.t list;  (** WHERE split into conjuncts *)
+  agg_rels : string list;
+      (** relations that must sit below every cut: those carrying an
+          aggregation column, plus any [r1_hint] designations *)
+}
+
+val of_input : Database.t -> Canonical.input -> (t, string) result
+(** Resolve sources against the catalog and collect the aggregation
+    relations.  Unlike {!Canonical.of_input} this does not partition and
+    so accepts queries whose aggregation columns span every relation
+    (they merely admit no cut). *)
+
+val input_of_canonical : Canonical.t -> Canonical.input
+(** Reconstruct the unpartitioned input from an already-canonicalised
+    query: sources are [r1 @ r2], the WHERE clause is [C1 ∧ C0 ∧ C2],
+    and the hint pins [r1]'s relations below the cut.  Composing with
+    {!of_input} lifts a {!Canonical.t} into the graph form. *)
+
+val of_canonical : Database.t -> Canonical.t -> (t, string) result
+(** [of_input db (input_of_canonical q)]. *)
+
+val n_relations : t -> int
+
+val default_cut : t -> string list
+(** The cut {!Canonical.of_input}'s own partition would pick: exactly
+    the aggregation relations (in FROM order). *)
+
+val cuts : ?max_cuts:int -> t -> string list list
+(** All candidate cuts, deterministically ordered (small cuts first,
+    FROM-order within a size): every [P] with [agg_rels ⊆ P ⊊ rels],
+    [P] non-empty.  Returns [[]] when the aggregation relations already
+    cover the whole FROM list.  At most [max_cuts] (default 64) are
+    returned; the count is exponential in the free relations, so the
+    truncation is announced by the planner, not silent here. *)
+
+val canonical_at : Database.t -> t -> string list -> (Canonical.t, string) result
+(** The two-sided view at one cut: re-canonicalise with [r1_hint = P],
+    so R1 is exactly [P] and R2 the remaining relations.  Errors when
+    [P] is not a candidate cut ([agg_rels ⊈ P], unknown relation, empty
+    either side) or the underlying validation fails. *)
+
+val pp : Format.formatter -> t -> unit

@@ -525,6 +525,82 @@ let hash_group_cursor ~batch_rows ~tr ~gov schema by_idx compiled
       in
       array_source ~batch_rows ~tr ~held schema rows)
 
+(* Partial pre-aggregation: a bounded group table that flushes its
+   (group, partial-accumulator) rows whenever it reaches [cap] live
+   groups, so memory stays O(cap + one batch) no matter how many groups
+   the input holds — the memory-efficient aggregation technique for
+   multi-way joins.  The output stream may therefore contain several
+   rows per group (one per flush epoch); it is only correct under a
+   finalizing [Group] that re-combines them, which is the only way the
+   planner emits this operator. *)
+let partial_group_cursor ~batch_rows ~tr ~gov schema by_idx compiled ~cap
+    (child : cursor) : cursor =
+  let cap = max 1 cap in
+  let groups : (Value.t list, Row.t * Agg_exec.group_state) Hashtbl.t =
+    Hashtbl.create (min cap 256)
+  in
+  let order = ref [] in
+  let pending = ref [] in
+  let finished = ref false in
+  let flush () =
+    let rows =
+      (* [!order] is latest-first; rev_map restores first-seen order *)
+      List.rev_map
+        (fun key ->
+          let repr, state = Hashtbl.find groups key in
+          Array.append (Row.project by_idx repr)
+            (Agg_exec.finalize compiled state))
+        !order
+    in
+    release tr (Hashtbl.length groups);
+    Hashtbl.reset groups;
+    order := [];
+    pending := rows
+  in
+  let absorb b =
+    Batch.iter
+      (fun row ->
+        let key = Row.key_on by_idx row in
+        match Hashtbl.find_opt groups key with
+        | Some (_, state) -> Agg_exec.update compiled state row
+        | None ->
+            let state = Agg_exec.fresh compiled in
+            Agg_exec.update compiled state row;
+            Hashtbl.add groups key (row, state);
+            acquire tr 1;
+            Governor.charge_groups gov (Hashtbl.length groups);
+            order := key :: !order)
+      b
+  in
+  let out = Batch.create ~capacity:batch_rows schema in
+  fun () ->
+    Batch.clear out;
+    let eof = ref false in
+    while (not !eof) && not (Batch.is_full out) do
+      match !pending with
+      | row :: rest ->
+          Batch.add out row;
+          pending := rest
+      | [] ->
+          if !finished then eof := true
+          else begin
+            (* refill until the cap trips (a whole input batch is always
+               absorbed, so the table can overshoot by one batch) or the
+               child is exhausted *)
+            let rec pull () =
+              if Hashtbl.length groups < cap then
+                match child () with
+                | Some b ->
+                    absorb b;
+                    pull ()
+                | None -> finished := true
+            in
+            pull ();
+            if Hashtbl.length groups = 0 then eof := true else flush ()
+          end
+    done;
+    if Batch.is_empty out then None else Some out
+
 (* Sort aggregation: the sort buffer is the breaker state. *)
 let sort_group_cursor ~batch_rows ~tr schema by_idx compiled ~presorted
     (child : cursor) : cursor =
@@ -831,6 +907,18 @@ let run_profiled ?(options = default_options) db plan =
           if scalar then scalar_fallback compiled schema inner else inner
         in
         (boundary gov st cur, schema, st, out_order)
+    | Plan.Partial_group { by; aggs; cap; input } ->
+        let child, in_schema, cst, _ = compile input in
+        let by_idx = Schema.indices in_schema by in
+        let compiled = Agg_exec.compile ~params in_schema aggs in
+        let schema = Plan.schema_of p in
+        let st = opstat label [ cst ] in
+        let cur =
+          partial_group_cursor ~batch_rows ~tr ~gov schema by_idx compiled
+            ~cap child
+        in
+        (* flush epochs may repeat groups, so no order survives *)
+        (boundary gov st cur, schema, st, [])
   in
   let cur, schema, st, order = compile plan in
   let out = Heap.create schema in

@@ -127,5 +127,11 @@ let eval ?(params = Expr.no_params) db (plan : Plan.t) : Row.t list =
           else out
         in
         (Plan.schema_of p, out)
+    | Plan.Partial_group { by; aggs; cap = _; input } ->
+        (* A full group table is a valid partial aggregation (the flush
+           cap was simply never reached), so the reference semantics are
+           plain grouping — one (group, partial) row per group. *)
+        go (Plan.Group { by; aggs; scalar = false; unique_groups = false;
+                         input })
   in
   snd (go plan)

@@ -25,24 +25,34 @@ let sanitize s =
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
-let write ~dir ~seed ~iteration ~reason (c : Qgen.case) =
+let write_raw ~dir ~filename sql =
   ensure_dir dir;
-  let path =
-    Filename.concat dir
-      (Printf.sprintf "seed%d-iter%04d-%s.sql" seed iteration (sanitize reason))
-  in
-  let header =
-    [
-      "eagerdb fuzz corpus: minimal repro (delta-debugged)";
-      Printf.sprintf "seed: %d  iteration: %d" seed iteration;
-      Printf.sprintf "reason: %s" reason;
-      "replay: eagerdb fuzz --replay <this directory>";
-    ]
-  in
+  let path = Filename.concat dir filename in
   let oc = open_out path in
-  output_string oc (Qgen.to_sql ~header c);
+  output_string oc sql;
   close_out oc;
   path
+
+let repro_header ~seed ~iteration ~reason =
+  [
+    "eagerdb fuzz corpus: minimal repro (delta-debugged)";
+    Printf.sprintf "seed: %d  iteration: %d" seed iteration;
+    Printf.sprintf "reason: %s" reason;
+    "replay: eagerdb fuzz --replay <this directory>";
+  ]
+
+let write ~dir ~seed ~iteration ~reason (c : Qgen.case) =
+  write_raw ~dir
+    ~filename:
+      (Printf.sprintf "seed%d-iter%04d-%s.sql" seed iteration (sanitize reason))
+    (Qgen.to_sql ~header:(repro_header ~seed ~iteration ~reason) c)
+
+let write_multiway ~dir ~seed ~iteration ~reason (c : Mgen.case) =
+  write_raw ~dir
+    ~filename:
+      (Printf.sprintf "multiway-seed%d-iter%04d-%s.sql" seed iteration
+         (sanitize reason))
+    (Mgen.to_sql ~header:(repro_header ~seed ~iteration ~reason) c)
 
 (* ------------------------------------------------------------------ *)
 (* replay *)

@@ -14,6 +14,15 @@ val write :
 (** Serialise the case under [dir] (created if missing); returns the
     path.  File name encodes seed, iteration and reason. *)
 
+val write_multiway :
+  dir:string -> seed:int -> iteration:int -> reason:string ->
+  Mgen.case -> string
+(** {!write} for a multi-way (3–4 relation) case; the file name gains a
+    [multiway-] prefix. *)
+
+val write_raw : dir:string -> filename:string -> string -> string
+(** Write an already-rendered SQL entry verbatim; returns the path. *)
+
 val r1_hint_of : string -> string list
 (** Parse the [-- r1: R, ...] header line (empty list when absent). *)
 

@@ -92,3 +92,84 @@ let run ?equal (cfg : config) =
     fd_held = !fd;
     failures = List.rev !failures;
   }
+
+(* ------------------------------------------------------------------ *)
+(* the multi-way placement loop: 3-4 relation chain/star instances,
+   each swept through every forced aggregation placement by the oracle.
+   Cases are born small, so failures are reported (and serialised)
+   unshrunk. *)
+
+type multiway_failure = {
+  mw_iteration : int;
+  mw_violation : Oracle.violation;
+  mw_case : Mgen.case;
+  mw_corpus_path : string option;
+}
+
+type multiway_summary = {
+  mw_iterations : int;
+  mw_yes : int;
+  mw_no : int;
+  mw_fd_held : int;
+  mw_failures : multiway_failure list;
+}
+
+let multiway_summary_to_string s =
+  Printf.sprintf
+    "%d multi-way iterations: TestFD yes=%d no=%d, instance FDs held on %d, \
+     %d violation%s"
+    s.mw_iterations s.mw_yes s.mw_no s.mw_fd_held
+    (List.length s.mw_failures)
+    (if List.length s.mw_failures = 1 then "" else "s")
+
+let run_multiway ?equal (cfg : config) =
+  let yes = ref 0 and no = ref 0 and fd = ref 0 in
+  let failures = ref [] in
+  for i = 0 to cfg.iters - 1 do
+    let case = Mgen.generate (Gen.make2 cfg.seed i) in
+    let fault_seed = cfg.seed + i in
+    let o =
+      match Mgen.build case with
+      | Error msg ->
+          {
+            Oracle.verdict = None;
+            fd_holds = false;
+            violation = Some { Oracle.tag = "build"; detail = msg };
+          }
+      | Ok (db, q) ->
+          Oracle.check_instance ?equal ~faults:cfg.faults ~fault_seed db q
+    in
+    (match o.Oracle.verdict with
+    | Some Testfd.Yes -> incr yes
+    | Some (Testfd.No _) -> incr no
+    | None -> ());
+    if o.Oracle.fd_holds then incr fd;
+    match o.Oracle.violation with
+    | None -> ()
+    | Some v ->
+        cfg.log
+          (Printf.sprintf "multi-way iteration %d FAILED: %s" i
+             (Oracle.violation_to_string v));
+        cfg.log (Mgen.to_string case);
+        let mw_corpus_path =
+          Option.map
+            (fun dir ->
+              let path =
+                Corpus.write_multiway ~dir ~seed:cfg.seed ~iteration:i
+                  ~reason:v.Oracle.tag case
+              in
+              cfg.log (Printf.sprintf "repro written to %s" path);
+              path)
+            cfg.corpus_dir
+        in
+        failures :=
+          { mw_iteration = i; mw_violation = v; mw_case = case; mw_corpus_path }
+          :: !failures
+  done;
+  {
+    mw_iterations = cfg.iters;
+    mw_yes = !yes;
+    mw_no = !no;
+    mw_fd_held = !fd;
+    mw_failures = List.rev !failures;
+  }

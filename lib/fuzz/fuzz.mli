@@ -40,3 +40,29 @@ val run : ?equal:(Row.t list -> Row.t list -> bool) -> config -> summary
 (** [equal] is the bag comparator handed to the oracle — injectable so
     the mutation smoke-test can plant a broken one and watch the harness
     catch and shrink it. *)
+
+type multiway_failure = {
+  mw_iteration : int;
+  mw_violation : Oracle.violation;
+  mw_case : Mgen.case;
+      (** multi-way cases are born small; there is no shrinker *)
+  mw_corpus_path : string option;
+}
+
+type multiway_summary = {
+  mw_iterations : int;
+  mw_yes : int;  (** TestFD said YES on the default cut *)
+  mw_no : int;
+  mw_fd_held : int;
+  mw_failures : multiway_failure list;
+}
+
+val multiway_summary_to_string : multiway_summary -> string
+
+val run_multiway :
+  ?equal:(Row.t list -> Row.t list -> bool) -> config -> multiway_summary
+(** The same loop over {!Mgen} instances: 3–4 relation chain/star join
+    graphs, each swept through {i every} forced aggregation placement
+    (full and partial at each admissible cut) by the oracle's invariant
+    (d), with partial plans cross-checked against the reference
+    evaluator. *)

@@ -1,0 +1,371 @@
+(* Multi-way (3-4 relation) instance generator for the placement fuzzer.
+
+   The aggregated relation is always R; S, T and (in 4-relation cases) U
+   are dimension relations joined in a chain (R-S-T-U) or a star (R is
+   the hub).  Data is Int-only on purpose: partial pre-aggregation
+   re-associates SUM/AVG accumulation, and float rounding would make
+   bag-comparison against the reference evaluator flaky. *)
+
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_core
+open Eager_algebra
+open Eager_parser
+open Eager_workload
+
+type shape = Chain | Star
+
+type case = {
+  shape : shape;
+  nrels : int;
+  s_keyed : bool;
+  t_keyed : bool;
+  u_keyed : bool;
+  r_rows : (Value.t * Value.t * Value.t * Value.t) list;
+  s_rows : (Value.t * Value.t) list;
+  t_rows : (Value.t * Value.t) list;
+  u_rows : (Value.t * Value.t) list;
+  ga_rb : bool;
+  ga_sx : bool;
+  ga_sy : bool;
+  ga_tu : bool;
+  ga_tw : bool;
+  ga_uq : bool;
+  c_r : bool;
+  c_s : bool;
+  agg : int;
+}
+
+let cr = Colref.make
+
+(* ------------------------------------------------------------------ *)
+(* generation: the same skewed NULL-heavy small domains as Qgen, so
+   NULL join keys, NULL groups and empty intermediate joins all appear
+   within a few hundred iterations *)
+
+let small_val ?(null_p = 0.25) g =
+  if Gen.bool g null_p then Value.Null
+  else Value.Int (1 + Gen.skewed g 3)
+
+(* a dimension relation: when keyed, the join column is a dense
+   non-NULL PRIMARY KEY; otherwise it is drawn from the small skewed
+   domain like everything else *)
+let dim_rows g ~keyed ~max_rows =
+  List.init (Gen.int g max_rows) (fun i ->
+      let k = if keyed then Value.Int (i + 1) else small_val g in
+      (k, small_val g))
+
+let generate g =
+  let nrels = if Gen.bool g 0.5 then 3 else 4 in
+  let shape = if Gen.bool g 0.5 then Chain else Star in
+  let s_keyed = Gen.bool g 0.5 in
+  let t_keyed = Gen.bool g 0.5 in
+  let u_keyed = Gen.bool g 0.5 in
+  let r_rows =
+    List.init (Gen.int g 8) (fun _ ->
+        (small_val g, small_val g, small_val g, small_val g))
+  in
+  let s_rows = dim_rows g ~keyed:s_keyed ~max_rows:5 in
+  let t_rows = dim_rows g ~keyed:t_keyed ~max_rows:5 in
+  let u_rows = if nrels = 4 then dim_rows g ~keyed:u_keyed ~max_rows:4 else [] in
+  let ga_rb = Gen.bool g 0.4 in
+  (* grouping by the keyed join columns (S.x, T.u) is what lets FD2
+     chain across the far side, so TestFD-YES cuts actually appear *)
+  let ga_sx = Gen.bool g 0.4 in
+  let ga_sy = Gen.bool g 0.4 in
+  let ga_tu = Gen.bool g 0.3 in
+  let ga_tw = Gen.bool g 0.4 in
+  let ga_uq = nrels = 4 && Gen.bool g 0.4 in
+  (* the canonical class requires at least one grouping column *)
+  let ga_sy =
+    if not (ga_rb || ga_sx || ga_sy || ga_tu || ga_tw || ga_uq) then true
+    else ga_sy
+  in
+  {
+    shape;
+    nrels;
+    s_keyed;
+    t_keyed;
+    u_keyed;
+    r_rows;
+    s_rows;
+    t_rows;
+    u_rows;
+    ga_rb;
+    ga_sx;
+    ga_sy;
+    ga_tu;
+    ga_tw;
+    ga_uq;
+    c_r = Gen.bool g 0.33;
+    c_s = Gen.bool g 0.33;
+    agg = Gen.int g Qgen.agg_kinds;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* materialisation *)
+
+let coldef name : Table_def.column_def =
+  { Table_def.cname = name; ctype = Ctype.Int; domain = None }
+
+let key cols keyed = if keyed then [ Constr.Primary_key cols ] else []
+
+let db_of (c : case) =
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "S" [ coldef "x"; coldef "y" ] (key [ "x" ] c.s_keyed));
+  Database.create_table db
+    (Table_def.make "T" [ coldef "u"; coldef "w" ] (key [ "u" ] c.t_keyed));
+  if c.nrels = 4 then
+    Database.create_table db
+      (Table_def.make "U" [ coldef "p"; coldef "q" ] (key [ "p" ] c.u_keyed));
+  Database.create_table db
+    (Table_def.make "R" [ coldef "a"; coldef "b"; coldef "c"; coldef "v" ] []);
+  List.iter
+    (fun (a, b, cc, v) -> Database.insert_exn db "R" [ a; b; cc; v ])
+    c.r_rows;
+  List.iter (fun (x, y) -> Database.insert_exn db "S" [ x; y ]) c.s_rows;
+  List.iter (fun (u, w) -> Database.insert_exn db "T" [ u; w ]) c.t_rows;
+  if c.nrels = 4 then
+    List.iter (fun (p, q) -> Database.insert_exn db "U" [ p; q ]) c.u_rows;
+  db
+
+let join_conjuncts (c : case) =
+  match c.shape with
+  | Chain ->
+      [
+        Expr.eq (Expr.col "R" "a") (Expr.col "S" "x");
+        Expr.eq (Expr.col "S" "y") (Expr.col "T" "u");
+      ]
+      @
+      if c.nrels = 4 then
+        [ Expr.eq (Expr.col "T" "w") (Expr.col "U" "p") ]
+      else []
+  | Star ->
+      [
+        Expr.eq (Expr.col "R" "a") (Expr.col "S" "x");
+        Expr.eq (Expr.col "R" "b") (Expr.col "T" "u");
+      ]
+      @
+      if c.nrels = 4 then
+        [ Expr.eq (Expr.col "R" "c") (Expr.col "U" "p") ]
+      else []
+
+let where_conjuncts (c : case) =
+  (if c.c_r then [ Expr.Cmp (Expr.Ge, Expr.col "R" "b", Expr.int 1) ] else [])
+  @ (if c.c_s then [ Expr.Cmp (Expr.Le, Expr.col "S" "y", Expr.int 2) ] else [])
+  @ join_conjuncts c
+
+let group_by (c : case) =
+  (if c.ga_rb then [ cr "R" "b" ] else [])
+  @ (if c.ga_sx then [ cr "S" "x" ] else [])
+  @ (if c.ga_sy then [ cr "S" "y" ] else [])
+  @ (if c.ga_tu then [ cr "T" "u" ] else [])
+  @ (if c.ga_tw then [ cr "T" "w" ] else [])
+  @ if c.ga_uq then [ cr "U" "q" ] else []
+
+let agg_of (c : case) =
+  let v = Expr.col "R" "v" in
+  let name = cr "" "agg" in
+  match c.agg with
+  | 0 -> Agg.count name v
+  | 1 -> Agg.sum name v
+  | 2 -> Agg.min_ name v
+  | 3 -> Agg.max_ name v
+  | 4 -> Agg.avg name v
+  | 5 -> Agg.count_distinct name v
+  | _ -> Agg.count_star name
+
+let sources (c : case) =
+  [
+    { Canonical.table = "R"; rel = "R" };
+    { Canonical.table = "S"; rel = "S" };
+    { Canonical.table = "T"; rel = "T" };
+  ]
+  @ if c.nrels = 4 then [ { Canonical.table = "U"; rel = "U" } ] else []
+
+let input_of (c : case) : Canonical.input =
+  {
+    Canonical.sources = sources c;
+    where = Expr.conj (where_conjuncts c);
+    group_by = group_by c;
+    select_cols = group_by c;
+    select_aggs = [ agg_of c ];
+    select_distinct = false;
+    select_having = None;
+    r1_hint = [ "R" ];
+  }
+
+let build (c : case) =
+  let db = db_of c in
+  match Canonical.of_input db (input_of c) with
+  | Ok q -> Ok (db, q)
+  | Error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* SQL emission, via the AST printer so the text re-parses verbatim *)
+
+let texpr_of_value = function
+  | Value.Null -> Ast.E_null
+  | Value.Int n -> Ast.E_int n
+  | Value.Float f -> Ast.E_float f
+  | Value.Str s -> Ast.E_str s
+  | Value.Bool b -> Ast.E_bool b
+
+let statements (c : case) =
+  let int_ty = { Ast.tybase = "INTEGER"; tyarg = None } in
+  let col name = Ast.It_column { name; ty = int_ty; constraints = [] } in
+  let dim_table name k kcol keyed =
+    Ast.S_create_table
+      (name, [ col kcol; col k ] @ if keyed then [ Ast.It_primary [ kcol ] ] else [])
+  in
+  let tables =
+    [
+      dim_table "S" "y" "x" c.s_keyed;
+      dim_table "T" "w" "u" c.t_keyed;
+    ]
+    @ (if c.nrels = 4 then [ dim_table "U" "q" "p" c.u_keyed ] else [])
+    @ [ Ast.S_create_table ("R", [ col "a"; col "b"; col "c"; col "v" ]) ]
+  in
+  let insert name rows =
+    match rows with
+    | [] -> []
+    | rows -> [ Ast.S_insert (name, List.map (List.map texpr_of_value) rows) ]
+  in
+  let inserts =
+    insert "R" (List.map (fun (a, b, cc, v) -> [ a; b; cc; v ]) c.r_rows)
+    @ insert "S" (List.map (fun (x, y) -> [ x; y ]) c.s_rows)
+    @ insert "T" (List.map (fun (u, w) -> [ u; w ]) c.t_rows)
+    @
+    if c.nrels = 4 then insert "U" (List.map (fun (p, q) -> [ p; q ]) c.u_rows)
+    else []
+  in
+  let ecol (r : Colref.t) = Ast.E_col (Some r.Colref.rel, r.Colref.name) in
+  let agg_item =
+    let v = Ast.E_col (Some "R", "v") in
+    let call =
+      match c.agg with
+      | 0 -> Ast.E_call ("COUNT", [ v ])
+      | 1 -> Ast.E_call ("SUM", [ v ])
+      | 2 -> Ast.E_call ("MIN", [ v ])
+      | 3 -> Ast.E_call ("MAX", [ v ])
+      | 4 -> Ast.E_call ("AVG", [ v ])
+      | 5 -> Ast.E_call ("COUNT_DISTINCT", [ v ])
+      | _ -> Ast.E_call ("COUNT", [ Ast.E_star ])
+    in
+    (call, Some "agg")
+  in
+  let where =
+    let rec conj = function
+      | [] -> None
+      | [ e ] -> Some e
+      | e :: rest -> (
+          match conj rest with
+          | None -> Some e
+          | Some r -> Some (Ast.E_bin ("AND", e, r)))
+    in
+    let atom (e : Expr.t) =
+      match e with
+      | Expr.Cmp (op, Expr.Col a, Expr.Col b) ->
+          let op =
+            match op with
+            | Expr.Eq -> "="
+            | Expr.Ge -> ">="
+            | Expr.Le -> "<="
+            | Expr.Lt -> "<"
+            | Expr.Gt -> ">"
+            | Expr.Ne -> "<>"
+          in
+          Ast.E_bin (op, ecol a, ecol b)
+      | Expr.Cmp (op, Expr.Col a, Expr.Const (Value.Int n)) ->
+          let op =
+            match op with
+            | Expr.Eq -> "="
+            | Expr.Ge -> ">="
+            | Expr.Le -> "<="
+            | Expr.Lt -> "<"
+            | Expr.Gt -> ">"
+            | Expr.Ne -> "<>"
+          in
+          Ast.E_bin (op, ecol a, Ast.E_int n)
+      | _ ->
+          Eager_robust.Err.failf Eager_robust.Err.Planner
+            "mgen: unexpected predicate shape %s" (Expr.to_string e)
+    in
+    conj (List.map atom (where_conjuncts c))
+  in
+  let select =
+    Ast.S_select
+      {
+        Ast.distinct = false;
+        items =
+          List.map (fun cref -> (ecol cref, None)) (group_by c) @ [ agg_item ];
+        from =
+          List.map (fun (s : Canonical.source) -> (s.Canonical.table, None))
+            (sources c);
+        where;
+        group_by =
+          List.map (fun (r : Colref.t) -> (Some r.Colref.rel, r.Colref.name))
+            (group_by c);
+        having = None;
+        order_by = [];
+      }
+  in
+  tables @ inserts @ [ select ]
+
+let to_sql ?(header = []) (c : case) =
+  let b = Buffer.create 512 in
+  List.iter (fun line -> Buffer.add_string b ("-- " ^ line ^ "\n")) header;
+  Buffer.add_string b "-- r1: R\n";
+  List.iter
+    (fun st -> Buffer.add_string b (Ast.statement_to_string st ^ ";\n"))
+    (statements c);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let size (c : case) =
+  List.length c.r_rows + List.length c.s_rows + List.length c.t_rows
+  + List.length c.u_rows
+
+let to_string (c : case) =
+  let v = Value.to_string in
+  let pair (a, b) = Printf.sprintf "(%s,%s)" (v a) (v b) in
+  let lines =
+    [
+      Printf.sprintf "%s over %d relations"
+        (match c.shape with Chain -> "chain" | Star -> "star")
+        c.nrels;
+      Printf.sprintf "R = [%s]"
+        (String.concat "; "
+           (List.map
+              (fun (a, b, cc, vv) ->
+                Printf.sprintf "(%s,%s,%s,%s)" (v a) (v b) (v cc) (v vv))
+              c.r_rows));
+      Printf.sprintf "S = [%s]%s"
+        (String.concat "; " (List.map pair c.s_rows))
+        (if c.s_keyed then " (PRIMARY KEY (x))" else "");
+      Printf.sprintf "T = [%s]%s"
+        (String.concat "; " (List.map pair c.t_rows))
+        (if c.t_keyed then " (PRIMARY KEY (u))" else "");
+    ]
+    @ (if c.nrels = 4 then
+         [
+           Printf.sprintf "U = [%s]%s"
+             (String.concat "; " (List.map pair c.u_rows))
+             (if c.u_keyed then " (PRIMARY KEY (p))" else "");
+         ]
+       else [])
+    @ [
+        Printf.sprintf
+          "ga: rb=%b sx=%b sy=%b tu=%b tw=%b uq=%b  locals: c_r=%b c_s=%b  \
+           agg=%d"
+          c.ga_rb c.ga_sx c.ga_sy c.ga_tu c.ga_tw c.ga_uq c.c_r c.c_s c.agg;
+      ]
+  in
+  String.concat "\n" lines
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,64 @@
+(** Seeded generator of {i multi-way} (3–4 relation) instances for the
+    placement fuzzer: chain and star join graphs over an aggregated
+    relation [R], NULL-heavy Int-only data, optional keys on the
+    dimension relations, and a query from the N-ary canonical class
+    [SELECT ga, AGG(R.v) FROM R, S, T(, U) WHERE joins ∧ locals GROUP
+    BY ga].
+
+    Everything is a function of the supplied {!Eager_workload.Gen.t}.
+    Cases are born small (a handful of rows per relation), so there is
+    no shrinker — a failing case is already close to minimal. *)
+
+open Eager_value
+open Eager_storage
+open Eager_core
+open Eager_parser
+open Eager_workload
+
+type shape = Chain | Star
+(** Chain: [R.a = S.x AND S.y = T.u (AND T.w = U.p)].
+    Star: [R.a = S.x AND R.b = T.u (AND R.c = U.p)] — [R] is the hub. *)
+
+type case = {
+  shape : shape;
+  nrels : int;  (** 3 or 4 — whether [U] participates *)
+  s_keyed : bool;  (** PRIMARY KEY (x) on [S] *)
+  t_keyed : bool;  (** PRIMARY KEY (u) on [T] *)
+  u_keyed : bool;  (** PRIMARY KEY (p) on [U] *)
+  r_rows : (Value.t * Value.t * Value.t * Value.t) list;  (** R(a, b, c, v) *)
+  s_rows : (Value.t * Value.t) list;  (** S(x, y) *)
+  t_rows : (Value.t * Value.t) list;  (** T(u, w) *)
+  u_rows : (Value.t * Value.t) list;  (** U(p, q) *)
+  ga_rb : bool;  (** group by R.b *)
+  ga_sx : bool;
+      (** group by S.x — a (possibly keyed) join column, which is what
+          lets FD2 chain across the far side and TestFD answer YES *)
+  ga_sy : bool;  (** group by S.y *)
+  ga_tu : bool;  (** group by T.u (ditto) *)
+  ga_tw : bool;  (** group by T.w *)
+  ga_uq : bool;  (** group by U.q (forced off when [nrels = 3]) *)
+  c_r : bool;  (** local predicate [R.b >= 1] *)
+  c_s : bool;  (** local predicate [S.y <= 2] *)
+  agg : int;
+      (** 0..6: COUNT, SUM, MIN, MAX, AVG, COUNT DISTINCT, COUNT star —
+          same coding as {!Qgen.case} *)
+}
+
+val generate : Gen.t -> case
+(** Draw a case; always has at least one grouping column. *)
+
+val build : case -> (Database.t * Canonical.t, string) result
+(** Materialise the instance and canonicalise the query with
+    [r1_hint = ["R"]]. *)
+
+val to_sql : ?header:string list -> case -> string
+(** The case as a replayable SQL script (via the AST printer, so the
+    text re-parses verbatim); [header] lines become leading comments,
+    followed by the [-- r1: R] partition hint. *)
+
+val statements : case -> Ast.statement list
+val size : case -> int
+(** Total row count across all relations. *)
+
+val pp : Format.formatter -> case -> unit
+val to_string : case -> string

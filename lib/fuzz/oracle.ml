@@ -145,6 +145,94 @@ let budget_checks ~equal db plans =
     plans
 
 (* ------------------------------------------------------------------ *)
+(* invariant (d): every aggregation placement the planner can emit —
+   full or partial, at any admissible cut of the join graph — returns
+   the same bag as forced E1, and the partial-operator pipeline agrees
+   with the reference evaluator.  Partial placements run under a tiny
+   operator cap so the flush-epoch path (repeated partial groups) is
+   exercised on every instance. *)
+
+let placement_checks ~equal db q rows1 =
+  match Qgraph.of_canonical db q with
+  | Error msg -> viol "qgraph" "join-graph construction failed: %s" msg
+  | Ok g ->
+      let decomposable = Eager_algebra.Agg.decomposable q.Canonical.aggs in
+      List.iter
+        (fun cut ->
+          let below = String.concat ", " cut in
+          (match
+             Planner.decide
+               ~force:(Planner.Force_placement { below = cut; partial = false })
+               db q
+           with
+          | Ok d ->
+              let rows =
+                run_exn ~tag:"placement-run"
+                  ~what:
+                    (Printf.sprintf "forced full placement below {%s}" below)
+                  db d.Planner.chosen
+              in
+              if not (equal rows1 rows) then
+                viol "placement-mismatch"
+                  "full placement below {%s} diverges from forced E1: got %s, \
+                   want %s"
+                  below (rows_to_string rows) (rows_to_string rows1)
+          | Error e -> (
+              (* a typed Planner refusal is TestFD answering NO at this
+                 cut — legitimate; anything else is a harness bug *)
+              match Err.kind e with
+              | Err.Planner -> ()
+              | k ->
+                  viol "placement-reject"
+                    "forced full placement below {%s} refused with kind %s, \
+                     expected Planner (%s)"
+                    below (Err.kind_to_string k) (Err.to_string e)));
+          match
+            Planner.decide ~partial_cap:2
+              ~force:(Planner.Force_placement { below = cut; partial = true })
+              db q
+          with
+          | Ok d ->
+              let what =
+                Printf.sprintf "forced partial placement below {%s}" below
+              in
+              let rows = run_exn ~tag:"partial-run" ~what db d.Planner.chosen in
+              if not (equal rows1 rows) then
+                viol "partial-mismatch"
+                  "partial placement below {%s} diverges from forced E1: got \
+                   %s, want %s"
+                  below (rows_to_string rows) (rows_to_string rows1);
+              (match
+                 Err.protect ~kind:Err.Exec (fun () ->
+                     Ref_eval.eval db d.Planner.chosen)
+               with
+              | Error e ->
+                  viol "partial-ref" "%s: reference evaluation failed: %s" what
+                    (Err.to_string e)
+              | Ok ref_rows ->
+                  if not (equal ref_rows rows) then
+                    viol "partial-ref-mismatch"
+                      "partial placement below {%s}: pipeline and reference \
+                       evaluator disagree: exec=%s ref=%s"
+                      below (rows_to_string rows) (rows_to_string ref_rows))
+          | Error e -> (
+              match (Err.kind e, decomposable) with
+              | Err.Planner, false -> ()
+                  (* COUNT(DISTINCT) is not decomposable — typed refusal
+                     is the specified behavior *)
+              | Err.Planner, true ->
+                  viol "partial-reject"
+                    "partial placement below {%s} refused although the \
+                     aggregates are decomposable: %s"
+                    below (Err.to_string e)
+              | k, _ ->
+                  viol "partial-reject"
+                    "forced partial placement below {%s} refused with kind %s \
+                     (%s)"
+                    below (Err.kind_to_string k) (Err.to_string e)))
+        (Qgraph.cuts g)
+
+(* ------------------------------------------------------------------ *)
 
 let check_instance ?(equal = Exec.multiset_equal) ?(faults = true)
     ?(fault_seed = 1) db q =
@@ -152,7 +240,7 @@ let check_instance ?(equal = Exec.multiset_equal) ?(faults = true)
   try
     (* forced E1 is the reference execution *)
     let d1 =
-      match Planner.decide_checked ~force:Planner.E1 db q with
+      match Planner.decide ~force:Planner.E1 db q with
       | Ok d -> d
       | Error e -> viol "e1-plan" "forced E1 refused: %s" (Err.to_string e)
     in
@@ -161,7 +249,7 @@ let check_instance ?(equal = Exec.multiset_equal) ?(faults = true)
     (* (a): forced E2 agrees when TestFD certifies; refused (typed) when
        it does not *)
     let e2_info =
-      match (Planner.decide_checked ~force:Planner.E2 db q, verdict) with
+      match (Planner.decide ~force:Planner.E2 db q, verdict) with
       | Ok d2, Testfd.Yes ->
           let rows2 =
             run_exn ~tag:"e2-run" ~what:"forced E2" db d2.Planner.chosen
@@ -187,7 +275,7 @@ let check_instance ?(equal = Exec.multiset_equal) ?(faults = true)
     in
     (* (a) continued: the unforced planner picks either strategy, but its
        answer must be the same bag *)
-    (match Planner.decide_checked db q with
+    (match Planner.decide db q with
     | Ok dc ->
         let rc =
           run_exn ~tag:"choice-run" ~what:"planner's choice" db
@@ -213,14 +301,20 @@ let check_instance ?(equal = Exec.multiset_equal) ?(faults = true)
     if fd_holds then (
       (* sufficiency, instance-wise: both FDs hold ⇒ the raw plans agree
          on this instance even when TestFD was conservatively NO *)
-      match Err.protect ~kind:Err.Planner (fun () -> Plans.e2 db q) with
+      match
+        (* the theorem check runs the raw two-sided plans on purpose,
+           bypassing the planner under test *)
+        Err.protect ~kind:Err.Planner (fun () ->
+            Plans.e2 db q (* legacy-plan-ok: theorem check *))
+      with
       | Error e ->
           viol "fd-sufficiency"
             "instance FDs hold but the raw E2 plan failed to build: %s"
             (Err.to_string e)
       | Ok p2 ->
           let raw1 =
-            run_exn ~tag:"fd-sufficiency" ~what:"raw E1" db (Plans.e1 db q)
+            run_exn ~tag:"fd-sufficiency" ~what:"raw E1" db
+              (Plans.e1 db q (* legacy-plan-ok: theorem check *))
           in
           if not (equal rows1 raw1) then
             viol "expand-mismatch"
@@ -233,6 +327,8 @@ let check_instance ?(equal = Exec.multiset_equal) ?(faults = true)
               "both instance FDs hold but raw E1 and raw E2 disagree: \
                E1=%s E2=%s"
               (rows_to_string raw1) (rows_to_string raw2));
+    (* (d): the full placement sweep over the join graph *)
+    placement_checks ~equal db q rows1;
     (* (c): fail-stop under injected faults and sharp governor budgets *)
     if faults then (
       let plans =

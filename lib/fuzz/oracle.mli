@@ -11,7 +11,15 @@
     - (c) Under injected [exec.next] faults each plan is fail-stop
       (typed [Exec] error or the exact fault-free bag); governor row
       budgets are a sharp threshold (exact charge passes, one less is a
-      typed [Resource] refusal). *)
+      typed [Resource] refusal).
+    - (d) Every aggregation placement over the join graph — full
+      group-by or partial pre-aggregation forced below any admissible
+      cut — returns the same bag as forced E1; partial placements run
+      under a tiny operator cap (so flush epochs repeat groups) and are
+      additionally cross-checked against the naive reference evaluator.
+      A full placement may be refused (typed [Planner]) when TestFD
+      says NO at that cut; a partial placement may be refused only for
+      non-decomposable aggregates (COUNT DISTINCT). *)
 
 open Eager_storage
 open Eager_core

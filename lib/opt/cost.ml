@@ -72,6 +72,12 @@ let breakdown ?(sort_group = false) db plan =
         else
           (* hash grouping holds one entry per group *)
           mk ~node_cost:n ~mat_rows:prof.Estimate.card [ bin ]
+    | Plan.Partial_group { cap; input; _ } ->
+        let bin = go input in
+        (* bounded group table: never more than [cap] live entries *)
+        mk ~node_cost:bin.out_card
+          ~mat_rows:(Float.min prof.Estimate.card (float_of_int cap))
+          [ bin ]
     | Plan.Map { input; _ } ->
         let bin = go input in
         mk ~node_cost:bin.out_card ~mat_rows:0.0 [ bin ]

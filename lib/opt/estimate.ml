@@ -220,5 +220,31 @@ let rec profile db (p : Plan.t) : profile =
           Colref.Map.empty by
       in
       { card = groups; ndv; nullfrac; hist = Colref.Map.empty }
+  | Plan.Partial_group { by; aggs; input; _ } ->
+      (* Optimistically assume the flush cap is never hit, so the output
+         looks like plain grouping (one row per group).  Flushing only
+         adds rows, so this is a lower bound on the partial stream. *)
+      let pin = profile db input in
+      let groups =
+        Float.max 1.0
+          (Float.min pin.card (combined_ndv ~ndv:(lookup_ndv pin.ndv) by))
+      in
+      let ndv =
+        List.fold_left
+          (fun m c ->
+            Colref.Map.add c (Float.min groups (lookup_ndv pin.ndv c)) m)
+          Colref.Map.empty by
+      in
+      let ndv =
+        List.fold_left
+          (fun m (a : Agg.t) -> Colref.Map.add a.Agg.name groups m)
+          ndv aggs
+      in
+      let nullfrac =
+        List.fold_left
+          (fun m c -> Colref.Map.add c (lookup_nf pin.nullfrac c) m)
+          Colref.Map.empty by
+      in
+      { card = groups; ndv; nullfrac; hist = Colref.Map.empty }
 
 let card db p = (profile db p).card

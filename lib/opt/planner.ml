@@ -2,8 +2,12 @@ open Eager_core
 open Eager_algebra
 open Eager_robust
 
-type kind = Lazy_group | Eager_group
-type force = E1 | E2
+type kind = Lazy_group | Eager_group | Eager_partial_group
+
+type force =
+  | E1
+  | E2
+  | Force_placement of { below : string list; partial : bool }
 
 type decision = {
   verdict : Testfd.verdict;
@@ -16,22 +20,39 @@ type decision = {
   expanded_atoms : int;
   fallback : string option;
   forced : force option;
+  candidates : Placement.t list;
 }
 
 let kind_to_string = function
   | Lazy_group -> "group after join (E1)"
   | Eager_group -> "group before join (E2)"
+  | Eager_partial_group -> "partial group before join (E2p)"
 
-let force_to_string = function E1 -> "E1" | E2 -> "E2"
+let force_to_string = function
+  | E1 -> "E1"
+  | E2 -> "E2"
+  | Force_placement { below; partial } ->
+      Printf.sprintf "%s placement below {%s}"
+        (if partial then "partial" else "full")
+        (String.concat ", " below)
 
-(* Graceful degradation: the E2 rewrite is only sound when TestFD
-   actually verifies the FD conditions (cf. Chirkova & Genesereth on
-   dependency-based rewrites).  Whenever verification or costing cannot
-   complete — an internal error, an injected fault, or a governor
-   deadline already blown — we demote to the canonical E1 plan and
-   record why, rather than failing the query. *)
-let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) ?force db
-    q =
+let rank placements =
+  List.stable_sort
+    (fun (a : Placement.t) (b : Placement.t) -> Float.compare a.cost b.cost)
+    placements
+
+let rels_of sources =
+  List.map (fun (s : Canonical.source) -> s.Canonical.rel) sources
+
+(* Graceful degradation: an eager rewrite is only proposed when its
+   validity argument actually goes through — TestFD for the full push
+   (cf. Chirkova & Genesereth on dependency-based rewrites),
+   decomposability for the partial one.  Whenever verification or
+   costing cannot complete — an internal error, an injected fault, or a
+   governor deadline already blown — we demote to the canonical E1 plan
+   and record why, rather than failing the query. *)
+let decide_raw ?strict ?(expand = true) ?(governor = Governor.unlimited)
+    ?force ?(partial_cap = 1024) ?(max_cuts = 16) db q =
   let fallback = ref None in
   let demote reason = fallback := Some reason in
   let expanded_atoms, q =
@@ -62,14 +83,7 @@ let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) ?force db
           demote reason;
           Testfd.No reason
   in
-  (* multi-table sides go through the DP join-order enumerator *)
-  let side sources conjuncts fallback_plan =
-    if List.length sources >= 3 then Join_order.best_tree db sources conjuncts
-    else fallback_plan
-  in
-  let side1 = side q.Canonical.r1 q.Canonical.c1 (Plans.side1 db q) in
-  let side2 = side q.Canonical.r2 q.Canonical.c2 (Plans.side2 db q) in
-  let plan_lazy = Plans.e1_with q ~side1 ~side2 in
+  let plan_lazy = Placement.lower_lazy db q in
   let cost_lazy =
     match Err.protect ~kind:Err.Planner (fun () -> Cost.cost db plan_lazy) with
     | Ok c -> c
@@ -77,6 +91,10 @@ let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) ?force db
         (* E1 is the plan of last resort: run it even uncosted *)
         demote (Printf.sprintf "cost model failed on E1: %s" (Err.to_string e));
         Float.infinity
+  in
+  let lazy_cand =
+    { Placement.mode = Placement.Lazy; below = []; verdict = None;
+      plan = plan_lazy; cost = cost_lazy }
   in
   let lazy_decision verdict =
     {
@@ -90,7 +108,68 @@ let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) ?force db
       expanded_atoms;
       fallback = !fallback;
       forced = (match force with Some E1 -> Some E1 | _ -> None);
+      candidates = [ lazy_cand ];
     }
+  in
+  (* every placement at one cut: the full E2 push when TestFD verifies
+     it, the partial push when the aggregates decompose *)
+  let candidates_at g cut : Placement.t list =
+    match Qgraph.canonical_at db g cut with
+    | Error _ -> []
+    | Ok qc ->
+        let full =
+          match
+            Err.protect ~kind:Err.Planner (fun () -> Testfd.test ?strict db qc)
+          with
+          | Ok Testfd.Yes -> (
+              match
+                Err.protect ~kind:Err.Planner (fun () ->
+                    let p =
+                      Placement.restore_order ~like:q qc
+                        (Placement.lower_full db qc)
+                    in
+                    (p, Cost.cost db p))
+              with
+              | Ok (p, c) ->
+                  [ { Placement.mode = Placement.Eager_full; below = cut;
+                      verdict = Some Testfd.Yes; plan = p; cost = c } ]
+              | Error _ -> [])
+          | Ok (Testfd.No _) | Error _ -> []
+        in
+        let partial =
+          match
+            Err.protect ~kind:Err.Planner (fun () ->
+                match Placement.lower_partial db ~cap:partial_cap qc with
+                | Ok p ->
+                    let p = Placement.restore_order ~like:q qc p in
+                    Some (p, Cost.cost db p)
+                | Error _ -> None)
+          with
+          | Ok (Some (p, c)) ->
+              [ { Placement.mode = Placement.Eager_partial; below = cut;
+                  verdict = None; plan = p; cost = c } ]
+          | Ok None | Error _ -> []
+        in
+        full @ partial
+  in
+  let enumerate () =
+    match Qgraph.of_canonical db q with
+    | Error _ -> []
+    | Ok g ->
+        List.concat_map
+          (fun cut ->
+            match Governor.check governor with
+            | Error _ -> [] (* deadline blown mid-enumeration: stop adding *)
+            | Ok () -> candidates_at g cut)
+          (Qgraph.cuts ~max_cuts g)
+  in
+  let default_full ranked =
+    List.find_opt
+      (fun (p : Placement.t) ->
+        p.mode = Placement.Eager_full
+        && List.sort String.compare p.below
+           = List.sort String.compare (rels_of q.Canonical.r1))
+      ranked
   in
   match force, verdict with
   | Some E1, _ ->
@@ -106,8 +185,7 @@ let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) ?force db
   | Some E2, Testfd.Yes ->
       let plan_eager =
         match
-          Err.protect ~kind:Err.Planner (fun () ->
-              Plans.e2_with q ~side1 ~side2)
+          Err.protect ~kind:Err.Planner (fun () -> Placement.lower_full db q)
         with
         | Ok p -> p
         | Error e ->
@@ -118,6 +196,12 @@ let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) ?force db
         with
         | Ok c -> Some c
         | Error _ -> None (* cost is advisory under force *)
+      in
+      let cand =
+        { Placement.mode = Placement.Eager_full;
+          below = rels_of q.Canonical.r1; verdict = Some Testfd.Yes;
+          plan = plan_eager;
+          cost = Option.value cost_eager ~default:Float.infinity }
       in
       {
         verdict;
@@ -130,78 +214,103 @@ let decide ?strict ?(expand = true) ?(governor = Governor.unlimited) ?force db
         expanded_atoms;
         fallback = !fallback;
         forced = Some E2;
+        candidates = rank [ lazy_cand; cand ];
       }
-  | None, Testfd.No _ -> lazy_decision verdict
-  | None, Testfd.Yes -> (
+  | Some (Force_placement { below; partial }), _ ->
+      let g =
+        match Qgraph.of_canonical db q with
+        | Ok g -> g
+        | Error msg ->
+            Err.failf Err.Planner "forced placement rejected: %s" msg
+      in
+      let qc =
+        match Qgraph.canonical_at db g below with
+        | Ok qc -> qc
+        | Error msg ->
+            Err.failf Err.Planner "forced placement rejected: %s" msg
+      in
+      let plan, chosen_kind, cand_verdict =
+        if partial then
+          match Placement.lower_partial db ~cap:partial_cap qc with
+          | Ok p -> (p, Eager_partial_group, None)
+          | Error msg ->
+              Err.failf Err.Planner "forced partial placement rejected: %s"
+                msg
+        else
+          match Testfd.test ?strict db qc with
+          | Testfd.No reason ->
+              Err.failf Err.Planner
+                "forced placement rejected: the rewrite is not verified — \
+                 TestFD says NO at cut {%s} (%s)"
+                (String.concat ", " below) reason
+          | Testfd.Yes -> (Placement.lower_full db qc, Eager_group, Some Testfd.Yes)
+      in
+      let plan = Placement.restore_order ~like:q qc plan in
+      let cost =
+        match Err.protect ~kind:Err.Planner (fun () -> Cost.cost db plan) with
+        | Ok c -> Some c
+        | Error _ -> None (* cost is advisory under force *)
+      in
+      let cand =
+        { Placement.mode =
+            (if partial then Placement.Eager_partial else Placement.Eager_full);
+          below; verdict = cand_verdict; plan;
+          cost = Option.value cost ~default:Float.infinity }
+      in
+      {
+        verdict;
+        plan_lazy;
+        cost_lazy;
+        plan_eager = None;
+        cost_eager = None;
+        chosen = plan;
+        chosen_kind;
+        expanded_atoms;
+        fallback = !fallback;
+        forced = force;
+        candidates = rank [ lazy_cand; cand ];
+      }
+  | None, _ when !fallback <> None -> lazy_decision verdict
+  | None, _ -> (
       match
         let ( let* ) = Result.bind in
         let* () = Fault.check "opt.cost" in
-        let* () = Governor.check governor in
-        Err.protect ~kind:Err.Planner (fun () ->
-            let plan_eager = Plans.e2_with q ~side1 ~side2 in
-            (plan_eager, Cost.cost db plan_eager))
+        Governor.check governor
       with
       | Error e ->
-          (* E2 construction or costing failed: budget breach or error
-             inside cost estimation — demote to E1 *)
+          (* enumeration or costing unavailable: budget breach or
+             injected fault — demote to E1 *)
           demote
             (Printf.sprintf "eager plan abandoned: %s" (Err.to_string e));
           lazy_decision verdict
-      | Ok (plan_eager, cost_eager) ->
-          let chosen, chosen_kind =
-            if cost_eager < cost_lazy then (plan_eager, Eager_group)
-            else (plan_lazy, Lazy_group)
+      | Ok () ->
+          let ranked = rank (lazy_cand :: enumerate ()) in
+          let best = List.hd ranked in
+          let chosen_kind =
+            match best.Placement.mode with
+            | Placement.Lazy -> Lazy_group
+            | Placement.Eager_full -> Eager_group
+            | Placement.Eager_partial -> Eager_partial_group
           in
+          let dflt = default_full ranked in
           {
             verdict;
             plan_lazy;
             cost_lazy;
-            plan_eager = Some plan_eager;
-            cost_eager = Some cost_eager;
-            chosen;
+            plan_eager = Option.map (fun (p : Placement.t) -> p.plan) dflt;
+            cost_eager = Option.map (fun (p : Placement.t) -> p.cost) dflt;
+            chosen = best.Placement.plan;
             chosen_kind;
             expanded_atoms;
             fallback = !fallback;
             forced = None;
+            candidates = ranked;
           })
 
 (* the planner itself can die on a malformed query (unknown tables on
    both plan shapes); this boundary turns even that into a value *)
-let decide_checked ?strict ?expand ?governor ?force db q =
+let decide ?strict ?expand ?governor ?force ?partial_cap ?max_cuts db q =
   Err.protect ~kind:Err.Planner (fun () ->
-      decide ?strict ?expand ?governor ?force db q)
+      decide_raw ?strict ?expand ?governor ?force ?partial_cap ?max_cuts db q)
 
-let explain db d =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf
-    (Printf.sprintf "TestFD: %s\n" (Testfd.verdict_to_string d.verdict));
-  if d.expanded_atoms > 0 then
-    Buffer.add_string buf
-      (Printf.sprintf "predicate expansion: %d derived binding(s)\n"
-         d.expanded_atoms);
-  Buffer.add_string buf
-    (Format.asprintf "E1 (lazy):@.%a@." Cost.pp_breakdown
-       (Cost.breakdown db d.plan_lazy));
-  (match d.plan_eager with
-  | Some p ->
-      Buffer.add_string buf
-        (Format.asprintf "E2 (eager):@.%a@." Cost.pp_breakdown
-           (Cost.breakdown db p))
-  | None -> ());
-  (match d.fallback with
-  | Some reason ->
-      Buffer.add_string buf
-        (Printf.sprintf "fallback: demoted to canonical E1 — %s\n" reason)
-  | None -> ());
-  (match d.forced with
-  | Some f ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "strategy reason: forced %s (cost comparison bypassed by caller)\n"
-           (force_to_string f))
-  | None -> ());
-  Buffer.add_string buf
-    (Printf.sprintf "chosen: %s%s\n"
-       (kind_to_string d.chosen_kind)
-       (match d.forced with Some _ -> " [forced]" | None -> ""));
-  Buffer.contents buf
+let decide_exn = decide_raw

@@ -1,28 +1,42 @@
-(** The cost-based decision: validity by TestFD, desirability by cost.
+(** The cost-based decision: validity by TestFD (or decomposability),
+    desirability by cost.
 
     The paper establishes {i when the transformation is valid} (Theorem 1/2,
     TestFD) and observes that validity does not imply profitability
-    (Section 7, Figure 8).  The planner combines both: it proposes E2 only
-    when TestFD says YES, and picks whichever of E1/E2 the cost model
-    prefers. *)
+    (Section 7, Figure 8).  The planner combines both, generalised to
+    N-way join trees: every candidate cut of the join graph
+    ({!Eager_core.Qgraph.cuts}) yields up to two eager placements — the
+    full E2 rewrite when TestFD verifies the cut, and the partial
+    pre-aggregation (bounded [Partial_group] plus finalizing group) when
+    the aggregates are decomposable — and the cost model ranks them all
+    against the canonical E1.  The two-relation case degenerates to the
+    paper's binary E1-vs-E2 comparison. *)
 
 open Eager_core
 open Eager_storage
 open Eager_algebra
 open Eager_robust
 
-type kind = Lazy_group | Eager_group
+type kind = Lazy_group | Eager_group | Eager_partial_group
 
-type force = E1 | E2
+type force =
+  | E1
+  | E2
+  | Force_placement of { below : string list; partial : bool }
+      (** demand the aggregation be placed below exactly this cut —
+          fully ([partial = false], requires TestFD = YES at the cut) or
+          partially ([partial = true], requires decomposable
+          aggregates) *)
 (** Force hooks for differential testing: bypass the cost comparison and
-    demand one specific strategy.  [E2] is only honoured when TestFD
-    verifies the rewrite — forcing never compromises soundness. *)
+    demand one specific strategy.  Unsound demands are refused with a
+    typed error — forcing never compromises soundness. *)
 
 type decision = {
-  verdict : Testfd.verdict;
+  verdict : Testfd.verdict;  (** TestFD at the default (classic R1/R2) cut *)
   plan_lazy : Plan.t;
   cost_lazy : float;
   plan_eager : Plan.t option;
+      (** the full E2 plan at the default cut, when TestFD verified it *)
   cost_eager : float option;
   chosen : Plan.t;
   chosen_kind : kind;
@@ -34,8 +48,12 @@ type decision = {
           fault, or budget breach inside TestFD / cost estimation demoted
           the decision to the canonical E1 plan for this reason *)
   forced : force option;
-      (** set when the caller forced the strategy; {!explain} reports the
+      (** set when the caller forced the strategy; EXPLAIN reports the
           forced strategy as the reason instead of the cost comparison *)
+  candidates : Placement.t list;
+      (** every costed placement, cheapest first (ties favour earlier
+          entries, so E1 wins a dead heat); [chosen] is the head unless
+          forcing or a fallback intervened *)
 }
 
 val decide :
@@ -43,34 +61,44 @@ val decide :
   ?expand:bool ->
   ?governor:Governor.t ->
   ?force:force ->
+  ?partial_cap:int ->
+  ?max_cuts:int ->
   Database.t ->
   Canonical.t ->
-  decision
-(** [expand] (default true) applies {!Eager_core.Expand.query} first, so
-    derived constant bindings shrink the eager plan's grouping input.
-    The E2 rewrite is proposed only when TestFD completes with YES; any
-    failure inside verification or costing — including a [governor]
-    deadline already exceeded — falls back to E1 with the reason recorded
-    in [fallback] (and shown by {!explain}).
+  (decision, Err.t) result
+(** The planner's single entry point, behind the typed-error boundary:
+    even a planner that cannot produce the E1 plan (e.g. every
+    referenced table is gone) — or a forced rewrite that fails
+    verification — returns [Error] instead of raising.
 
-    [force] bypasses the cost comparison: [E1] always yields the canonical
-    plan; [E2] yields the eager plan {i only} when TestFD answers YES and
-    raises [Err.Error_exn] (kind [Planner]) otherwise — use
-    {!decide_checked} to receive that refusal as a typed value. *)
+    [expand] (default true) applies {!Eager_core.Expand.query} first, so
+    derived constant bindings shrink the eager plans' grouping inputs.
+    Any failure inside verification or costing — including a [governor]
+    deadline already exceeded — falls back to E1 with the reason
+    recorded in [fallback] (and shown by {!Explain}).
 
-val decide_checked :
+    [partial_cap] (default 1024) bounds the partial operator's live
+    groups; [max_cuts] (default 16) bounds placement enumeration.
+
+    [force] bypasses the cost comparison: [E1] always yields the
+    canonical plan; [E2] yields the full eager plan at the default cut
+    {i only} when TestFD answers YES; [Force_placement] pins the cut
+    (and mode) explicitly.  Refused demands are [Error]s of kind
+    [Planner]. *)
+
+val decide_exn :
   ?strict:bool ->
   ?expand:bool ->
   ?governor:Governor.t ->
   ?force:force ->
+  ?partial_cap:int ->
+  ?max_cuts:int ->
   Database.t ->
   Canonical.t ->
-  (decision, Err.t) result
-(** [decide] behind the typed-error boundary: even a planner that cannot
-    produce the E1 plan (e.g. every referenced table is gone) — or a
-    [~force:E2] request that TestFD refuses — returns [Error] instead of
-    raising. *)
+  decision
+[@@ocaml.deprecated "use Planner.decide, which returns a result"]
+(** Raising variant kept for one release for out-of-tree callers;
+    raises [Err.Error_exn] where {!decide} returns [Error]. *)
 
-val explain : Database.t -> decision -> string
 val kind_to_string : kind -> string
 val force_to_string : force -> string

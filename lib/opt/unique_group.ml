@@ -78,6 +78,17 @@ let rec facts_of db (p : Plan.t) : facts =
           fds = [ Fd.of_sets bys outs ];
           sources = [ ([ bys ], outs) ];
         }
+  | Plan.Partial_group { by; aggs; input; _ } ->
+      (* Flushing may emit several rows per group, so unlike [Group] the
+         grouping columns are NOT a key of the output — record the output
+         columns with no candidate key. *)
+      let outs =
+        Colref.Set.union
+          (Colref.set_of_list by)
+          (Colref.set_of_list (List.map (fun (a : Agg.t) -> a.Agg.name) aggs))
+      in
+      ignore (facts_of db input);
+      { empty_facts with sources = [ ([], outs) ] }
 
 let groups_are_unique db ~by input =
   let f = facts_of db input in
@@ -112,3 +123,6 @@ let rec mark db (p : Plan.t) : Plan.t =
         unique_groups || ((not scalar) && by <> [] && groups_are_unique db ~by input)
       in
       Plan.Group { by; aggs; scalar; unique_groups; input }
+  | Plan.Partial_group { by; aggs; cap; input } ->
+      (* never unique: flush epochs can repeat a group *)
+      Plan.Partial_group { by; aggs; cap; input = mark db input }

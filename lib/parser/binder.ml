@@ -67,6 +67,20 @@ let bind_type db (ty : Ast.type_ast) :
 
 type env = (string * Schema.t) list
 
+let unqualified_hits (env : env) name =
+  List.filter_map
+    (fun (rel, schema) ->
+      let c = Colref.make rel name in
+      if Schema.mem schema c then Some c else None)
+    env
+
+(* every candidate is named, so fixing the query on a wide FROM list
+   (three or more relations) needs no trial and error *)
+let ambiguous name candidates =
+  Error
+    (Printf.sprintf "ambiguous column %s (candidates: %s)" name
+       (String.concat ", " (List.map Colref.to_string candidates)))
+
 let resolve_col (env : env) qualifier name : (Colref.t, string) result =
   match qualifier with
   | Some q -> (
@@ -77,17 +91,10 @@ let resolve_col (env : env) qualifier name : (Colref.t, string) result =
           if Schema.mem schema c then Ok c
           else Error (Printf.sprintf "unknown column %s.%s" q name))
   | None -> (
-      let hits =
-        List.filter_map
-          (fun (rel, schema) ->
-            let c = Colref.make rel name in
-            if Schema.mem schema c then Some c else None)
-          env
-      in
-      match hits with
+      match unqualified_hits env name with
       | [ c ] -> Ok c
       | [] -> Error (Printf.sprintf "unknown column %s" name)
-      | _ -> Error (Printf.sprintf "ambiguous column %s" name))
+      | hits -> ambiguous name hits)
 
 let binop_of_string = function
   | "+" -> Ok (`Arith Expr.Add)
@@ -380,11 +387,16 @@ let resolve_col_renamed (parts : from_parts) qualifier name =
           (fun (_, vis) c acc -> if vis = name then c :: acc else acc)
           parts.renames []
       in
-      match view_hits, resolve_col parts.env None name with
-      | [ c ], Error _ -> Ok c
-      | [], r -> r
-      | [ _ ], Ok _ -> Error (Printf.sprintf "ambiguous column %s" name)
-      | _ :: _ :: _, _ -> Error (Printf.sprintf "ambiguous column %s" name))
+      let env_hits = unqualified_hits parts.env name in
+      match view_hits, env_hits with
+      | [], [ c ] -> Ok c
+      | [], [] -> Error (Printf.sprintf "unknown column %s" name)
+      | [], hits -> ambiguous name hits
+      | [ c ], [] -> Ok c
+      | [ c ], _ :: _ :: _ ->
+          (* a unique view rename shadows an ambiguity among base tables *)
+          Ok c
+      | _ -> ambiguous name (view_hits @ env_hits))
 
 (* bind an expression against a from_parts (with view renames) *)
 let bind_expr_renamed (parts : from_parts) e =
@@ -675,6 +687,9 @@ let bind_select db (s : Ast.select_ast) : (bound_query, string) result =
              r1_hint = [];
            })
 
+let bind_select_checked db s =
+  Eager_robust.Err.of_msg Eager_robust.Err.Bind (bind_select db s)
+
 (* ---------------- ORDER BY ---------------- *)
 
 let output_columns (q : bound_query) : Colref.t list =
@@ -740,7 +755,9 @@ let to_plan db (q : bound_query) : (Plan.t, string) result =
       (* Even queries outside the canonical class (e.g. aggregates on every
          table) are executable: build the straightforward plan directly. *)
       match Canonical.of_input db input with
-      | Ok q -> Ok (Plans.e1 db q)
+      (* naive fallback for statements the planner is never offered —
+         correctness baseline, not a planned path *)
+      | Ok q -> Ok (Plans.e1 db q) (* legacy-plan-ok: naive fallback *)
       | Error _ ->
           let tree =
             Plans.join_tree db input.Canonical.sources

@@ -59,6 +59,15 @@ type outcome =
           plan and report actual cardinalities *)
 
 val bind_select : Database.t -> Ast.select_ast -> (bound_query, string) result
+(** An ambiguous unqualified column is rejected with an error naming
+    {i every} candidate relation ("ambiguous column c (candidates: A.c,
+    B.c, G.c)") — with three or more relations in FROM, pointing at just
+    one pair would send the user hunting. *)
+
+val bind_select_checked :
+  Database.t -> Ast.select_ast -> (bound_query, Eager_robust.Err.t) result
+(** {!bind_select} with failures lifted to the typed error channel
+    (kind [Bind]). *)
 
 val to_plan : Database.t -> bound_query -> (Plan.t, string) result
 (** The straightforward (lazy) plan for any bound query. *)

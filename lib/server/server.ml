@@ -339,10 +339,10 @@ let run_query_buf db (q : Binder.bound_query) ~governor ~order ~show buf =
   | Binder.Grouped input -> (
       match Canonical.of_input db input with
       | Ok cq -> (
-          let* decision = Planner.decide_checked ~governor db cq in
+          let* decision = Planner.decide ~governor db cq in
           match show with
           | Explain ->
-              Buffer.add_string buf (Planner.explain db decision);
+              Buffer.add_string buf (Explain.text db decision);
               if order <> [] then bprintf "-- final output sorted per ORDER BY\n";
               Ok ()
           | Explain_analyze ->

@@ -1,0 +1,96 @@
+open Eager_value
+open Eager_schema
+open Eager_expr
+open Eager_catalog
+open Eager_storage
+open Eager_algebra
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+let setup ?(seed = 23) ?(parts = 10_000) ?(suppliers = 50) ?(regions = 5) () =
+  let g = Gen.make seed in
+  let db = Database.create () in
+  Database.create_table db
+    (Table_def.make "Region"
+       [
+         { Table_def.cname = "RegionNo"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "RegionName"; ctype = Ctype.String; domain = None };
+       ]
+       [ Constr.Primary_key [ "RegionNo" ] ]);
+  Database.create_table db
+    (Table_def.make "Supplier"
+       [
+         { Table_def.cname = "SupplierNo"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Name"; ctype = Ctype.String; domain = None };
+         { Table_def.cname = "RegionNo"; ctype = Ctype.Int; domain = None };
+       ]
+       [
+         Constr.Primary_key [ "SupplierNo" ];
+         Constr.Foreign_key
+           {
+             cols = [ "RegionNo" ];
+             ref_table = "Region";
+             ref_cols = [ "RegionNo" ];
+           };
+       ]);
+  Database.create_table db
+    (Table_def.make "Part"
+       [
+         { Table_def.cname = "PartNo"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "SupplierNo"; ctype = Ctype.Int; domain = None };
+         { Table_def.cname = "Qty"; ctype = Ctype.Int; domain = None };
+       ]
+       []);
+  for r = 1 to regions do
+    Database.insert_exn db "Region"
+      [ Value.Int r; Value.Str (Printf.sprintf "Region-%s" (Gen.name g)) ]
+  done;
+  for s = 1 to suppliers do
+    Database.insert_exn db "Supplier"
+      [ Value.Int s; Value.Str (Gen.name g); Value.Int (1 + Gen.int g regions) ]
+  done;
+  for p = 1 to parts do
+    let supplier =
+      if Gen.bool g 0.05 then Value.Null
+      else Value.Int (1 + Gen.int g suppliers)
+    in
+    let qty =
+      if Gen.bool g 0.05 then Value.Null else Value.Int (1 + Gen.int g 100)
+    in
+    Database.insert_exn db "Part" [ Value.Int p; supplier; qty ]
+  done;
+  let query =
+    Canonical.of_input_exn db
+      {
+        Canonical.sources =
+          [
+            { Canonical.table = "Part"; rel = "P" };
+            { Canonical.table = "Supplier"; rel = "S" };
+            { Canonical.table = "Region"; rel = "G" };
+          ];
+        where =
+          Expr.conj
+            [
+              Expr.eq (Expr.col "P" "SupplierNo") (Expr.col "S" "SupplierNo");
+              Expr.eq (Expr.col "S" "RegionNo") (Expr.col "G" "RegionNo");
+            ];
+        group_by = [ Colref.make "G" "RegionName" ];
+        select_cols = [ Colref.make "G" "RegionName" ];
+        select_aggs =
+          [
+            Agg.sum (Colref.make "" "total_qty") (Expr.col "P" "Qty");
+            Agg.count (Colref.make "" "parts") (Expr.col "P" "PartNo");
+          ];
+        select_distinct = false;
+        select_having = None;
+        r1_hint = [ "P" ];
+      }
+  in
+  { db; query }
+
+let sql _ =
+  "SELECT G.RegionName, SUM(P.Qty) AS total_qty, COUNT(P.PartNo) AS parts \
+   FROM Part P, Supplier S, Region G \
+   WHERE P.SupplierNo = S.SupplierNo AND S.RegionNo = G.RegionNo \
+   GROUP BY G.RegionName"

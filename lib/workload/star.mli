@@ -1,0 +1,40 @@
+(** Three-relation star workload: Part → Supplier → Region.
+
+    {v
+    Region(RegionNo, RegionName)                  PK RegionNo
+    Supplier(SupplierNo, Name, RegionNo)          PK SupplierNo
+    Part(PartNo, SupplierNo, Qty)                 (no key; Qty nullable)
+    v}
+
+    The canonical query aggregates parts per region name:
+
+    {v
+    SELECT G.RegionName, SUM(P.Qty) AS total_qty, COUNT(P.PartNo) AS parts
+    FROM Part P, Supplier S, Region G
+    WHERE P.SupplierNo = S.SupplierNo AND S.RegionNo = G.RegionNo
+    GROUP BY G.RegionName
+    v}
+
+    This is the N-way scenario the two-relation form cannot express:
+    the full eager push at cut [{P}] is invalid (many suppliers share a
+    region, so grouping Part by SupplierNo yields one row per supplier,
+    not per region — TestFD says NO), but the {i partial} placement
+    pre-aggregates ~[parts] rows down to ~[suppliers] partial groups
+    below both joins and lets the finalizing group above merge them per
+    region.  The cost model should therefore pick an eager-partial
+    placement unforced. *)
+
+open Eager_storage
+open Eager_core
+
+type t = { db : Database.t; query : Canonical.t }
+
+val setup :
+  ?seed:int -> ?parts:int -> ?suppliers:int -> ?regions:int -> unit -> t
+(** Defaults: [seed 23], [parts 10_000], [suppliers 50], [regions 5].
+    ~5% of parts have a NULL SupplierNo (they join nothing) and ~5% a
+    NULL Qty (ignored by SUM, counted by neither aggregate).  The
+    canonical partition hint puts [P] alone on the aggregated side. *)
+
+val sql : t -> string
+(** The query as SQL text (for EXPLAIN demos and docs). *)

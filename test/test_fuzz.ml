@@ -139,14 +139,14 @@ let build_exn c =
 
 let test_force_verdicts () =
   let db, q = build_exn fixed_yes in
-  (match Planner.decide_checked db q with
+  (match Planner.decide db q with
   | Ok d -> (
       match d.Planner.verdict with
       | Testfd.Yes -> ()
       | Testfd.No r -> Alcotest.failf "expected YES, got NO (%s)" r)
   | Error e -> Alcotest.failf "decide: %s" (Err.to_string e));
   let db', q' = build_exn fixed_no in
-  match Planner.decide_checked db' q' with
+  match Planner.decide db' q' with
   | Ok d -> (
       match d.Planner.verdict with
       | Testfd.No _ -> ()
@@ -155,7 +155,7 @@ let test_force_verdicts () =
 
 let test_force_e2_refused_when_invalid () =
   let db, q = build_exn fixed_no in
-  match Planner.decide_checked ~force:Planner.E2 db q with
+  match Planner.decide ~force:Planner.E2 db q with
   | Ok _ -> Alcotest.fail "forced E2 must be refused when TestFD says NO"
   | Error e ->
       Alcotest.(check string)
@@ -166,10 +166,10 @@ let test_force_explain_says_forced () =
   let db, q = build_exn fixed_yes in
   List.iter
     (fun force ->
-      match Planner.decide_checked ~force db q with
+      match Planner.decide ~force db q with
       | Error e -> Alcotest.failf "force: %s" (Err.to_string e)
       | Ok d ->
-          let text = Planner.explain db d in
+          let text = Explain.text db d in
           let has_forced =
             let needle = "forced" in
             let nl = String.length needle and tl = String.length text in
@@ -315,6 +315,30 @@ let test_determinism () =
   Alcotest.(check bool) "a different seed explores differently" true
     (a.Fuzz.yes <> c.Fuzz.yes || a.Fuzz.no <> c.Fuzz.no || a = c)
 
+(* the multi-way loop: green on a seeded window, and deterministic *)
+let test_multiway_green_and_deterministic () =
+  let cfg = { Fuzz.default_config with Fuzz.seed = 20260806; iters = 60 } in
+  let a = Fuzz.run_multiway cfg in
+  (match a.Fuzz.mw_failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "multi-way iteration %d: %s" f.Fuzz.mw_iteration
+        (Oracle.violation_to_string f.Fuzz.mw_violation));
+  Alcotest.(check int) "all iterations ran" 60 a.Fuzz.mw_iterations;
+  Alcotest.(check bool) "verdicts were counted" true
+    (a.Fuzz.mw_yes + a.Fuzz.mw_no = 60);
+  let b = Fuzz.run_multiway cfg in
+  Alcotest.(check bool) "identical summaries" true (a = b)
+
+(* a multi-way case round-trips through the SQL front door: parse,
+   bind the N-relation FROM, re-canonicalise under the header hint and
+   pass the full oracle — the same path a corpus replay takes *)
+let test_multiway_sql_round_trip () =
+  let case = Mgen.generate (Eager_workload.Gen.make2 20260806 7) in
+  match Corpus.replay_sql ~faults:false (Mgen.to_sql case) with
+  | Ok n -> Alcotest.(check int) "one SELECT checked" 1 n
+  | Error msg -> Alcotest.failf "multi-way round trip: %s" msg
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -363,8 +387,15 @@ let () =
         [
           Alcotest.test_case "SQL round-trips through the front door" `Quick
             test_sql_round_trip;
+          Alcotest.test_case "multi-way SQL round-trips too" `Quick
+            test_multiway_sql_round_trip;
           Alcotest.test_case "checked-in anchors replay green" `Quick
             test_checked_in_corpus_replays;
+        ] );
+      ( "multiway",
+        [
+          Alcotest.test_case "placement sweep green + deterministic" `Quick
+            test_multiway_green_and_deterministic;
         ] );
       ( "determinism",
         [ Alcotest.test_case "seed determines summary" `Quick test_determinism ];

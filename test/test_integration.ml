@@ -21,7 +21,11 @@ let exec_query db (q : Binder.bound_query) order =
     match q with
     | Binder.Grouped input -> (
         match Canonical.of_input db input with
-        | Ok cq -> (Planner.decide db cq).Planner.chosen
+        | Ok cq -> (
+            match Planner.decide db cq with
+            | Ok d -> d.Planner.chosen
+            | Error e ->
+                Alcotest.fail ("planner: " ^ Eager_robust.Err.to_string e))
         | Error _ -> (
             match Binder.to_plan db q with
             | Ok p -> p

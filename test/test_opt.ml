@@ -94,26 +94,33 @@ let test_cost_breakdown () =
 
 (* ---------------- planner ---------------- *)
 
+let decide_ok db q =
+  match Planner.decide db q with
+  | Ok d -> d
+  | Error e -> Alcotest.fail ("Planner.decide: " ^ Eager_robust.Err.to_string e)
+
 let test_planner_fig1 () =
   let w = Employee_dept.setup () in
-  let d = Planner.decide w.Employee_dept.db w.Employee_dept.query in
+  let d = decide_ok w.Employee_dept.db w.Employee_dept.query in
   (match d.Planner.verdict with
   | Testfd.Yes -> ()
   | Testfd.No r -> Alcotest.fail r);
   Alcotest.(check bool) "eager plan exists" true (Option.is_some d.Planner.plan_eager);
   (match d.Planner.chosen_kind with
   | Planner.Eager_group -> ()
-  | Planner.Lazy_group -> Alcotest.fail "planner should pick E2 on Figure 1")
+  | Planner.Lazy_group | Planner.Eager_partial_group ->
+      Alcotest.fail "planner should pick E2 on Figure 1")
 
 let test_planner_fig8 () =
   let w = Contrived.setup () in
-  let d = Planner.decide w.Contrived.db w.Contrived.query in
+  let d = decide_ok w.Contrived.db w.Contrived.query in
   (match d.Planner.verdict with
   | Testfd.Yes -> ()
   | Testfd.No r -> Alcotest.fail ("valid but refused: " ^ r));
   match d.Planner.chosen_kind with
   | Planner.Lazy_group -> ()
-  | Planner.Eager_group -> Alcotest.fail "planner should pick E1 on Figure 8"
+  | Planner.Eager_group | Planner.Eager_partial_group ->
+      Alcotest.fail "planner should pick E1 on Figure 8"
 
 let test_planner_invalid_query () =
   (* invalid transformation: no eager plan is even proposed *)
@@ -137,12 +144,25 @@ let test_planner_invalid_query () =
         r1_hint = [];
       }
   in
-  let d = Planner.decide db q in
-  Alcotest.(check bool) "no eager plan" true (Option.is_none d.Planner.plan_eager);
+  let d = decide_ok db q in
+  Alcotest.(check bool) "no full eager plan" true
+    (Option.is_none d.Planner.plan_eager);
   (match d.Planner.chosen_kind with
-  | Planner.Lazy_group -> ()
-  | Planner.Eager_group -> Alcotest.fail "must fall back to lazy");
-  let text = Planner.explain db d in
+  | Planner.Eager_group ->
+      Alcotest.fail "full E2 must not be chosen when TestFD says NO"
+  | Planner.Lazy_group | Planner.Eager_partial_group -> ());
+  (* the unverified full rewrite never even appears among the candidates *)
+  Alcotest.(check bool) "no full-E2 candidate" true
+    (List.for_all
+       (fun (p : Placement.t) -> p.Placement.mode <> Placement.Eager_full)
+       d.Planner.candidates);
+  (* the partial rewrite needs no FD check, so it may (and here does)
+     still beat E1 *)
+  Alcotest.(check bool) "a partial candidate was enumerated" true
+    (List.exists
+       (fun (p : Placement.t) -> p.Placement.mode = Placement.Eager_partial)
+       d.Planner.candidates);
+  let text = Explain.text db d in
   Alcotest.(check bool) "explain prints" true (String.length text > 20)
 
 (* ---------------- unique-group detection (Klug/Dayal) ---------------- *)
@@ -362,6 +382,7 @@ let test_join_order_beats_greedy () =
     | Eager_algebra.Plan.Select { input; _ }
     | Eager_algebra.Plan.Project { input; _ }
     | Eager_algebra.Plan.Group { input; _ }
+    | Eager_algebra.Plan.Partial_group { input; _ }
     | Eager_algebra.Plan.Sort { input; _ }
     | Eager_algebra.Plan.Map { input; _ } ->
         has_product input
@@ -431,13 +452,14 @@ let test_planner_uses_dp_for_wide_sides () =
       }
   in
   Alcotest.(check int) "three tables on R1" 3 (List.length q.Canonical.r1);
-  let d = Planner.decide db q in
+  let d = decide_ok db q in
   let rec has_product = function
     | Eager_algebra.Plan.Product _ -> true
     | Eager_algebra.Plan.Scan _ -> false
     | Eager_algebra.Plan.Select { input; _ }
     | Eager_algebra.Plan.Project { input; _ }
     | Eager_algebra.Plan.Group { input; _ }
+    | Eager_algebra.Plan.Partial_group { input; _ }
     | Eager_algebra.Plan.Sort { input; _ }
     | Eager_algebra.Plan.Map { input; _ } ->
         has_product input

@@ -427,7 +427,46 @@ let test_bind_unqualified_and_ambiguous () =
     bind_err db "SELECT DeptID FROM Employee E, Department D"
   in
   Alcotest.(check bool) "ambiguity reported" true
-    (String.length msg > 0 && String.sub msg 0 9 = "ambiguous")
+    (String.length msg > 0 && String.sub msg 0 9 = "ambiguous");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names E.DeptID" true (contains msg "E.DeptID");
+  Alcotest.(check bool) "names D.DeptID" true (contains msg "D.DeptID")
+
+let test_bind_ambiguous_three_way () =
+  let db = setup_db () in
+  (* with three relations in FROM the error must name every candidate, not
+     just the first colliding pair *)
+  let msg =
+    bind_err db "SELECT DeptID FROM Employee E, Department D, Department D2"
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "ambiguity reported" true
+    (String.length msg > 0 && String.sub msg 0 9 = "ambiguous");
+  Alcotest.(check bool) "candidate list present" true (contains msg "candidates:");
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Printf.sprintf "names %s" c) true (contains msg c))
+    [ "E.DeptID"; "D.DeptID"; "D2.DeptID" ];
+  (* the typed channel classifies it as a binding failure *)
+  match
+    Binder.bind_select_checked db
+      (Parser.parse_select
+         "SELECT DeptID FROM Employee E, Department D, Department D2")
+  with
+  | Ok _ -> Alcotest.fail "expected a typed binder error"
+  | Error e ->
+      Alcotest.(check bool) "kind is Bind" true
+        (e.Eager_robust.Err.kind = Eager_robust.Err.Bind);
+      Alcotest.(check bool) "typed error names all candidates" true
+        (contains (Eager_robust.Err.to_string e) "D2.DeptID")
 
 let test_bind_errors () =
   let db = setup_db () in
@@ -560,6 +599,8 @@ let () =
           Alcotest.test_case "grouped query" `Quick test_bind_grouped;
           Alcotest.test_case "name resolution" `Quick
             test_bind_unqualified_and_ambiguous;
+          Alcotest.test_case "three-way ambiguity names all candidates" `Quick
+            test_bind_ambiguous_three_way;
           Alcotest.test_case "binder errors" `Quick test_bind_errors;
           Alcotest.test_case "statement round trip" `Quick
             test_exec_statement_roundtrip;

@@ -33,6 +33,11 @@ let check_contains name sub s =
     (Printf.sprintf "%s: %S in %S" name sub s)
     true (contains s sub)
 
+let decide_ok ?governor db q =
+  match Planner.decide ?governor db q with
+  | Ok d -> d
+  | Error e -> Alcotest.fail ("Planner.decide: " ^ Err.to_string e)
+
 let check_kind name kind = function
   | Ok _ -> Alcotest.fail (name ^ ": expected Error, got Ok")
   | Error e ->
@@ -205,7 +210,10 @@ let test_random_schedules () =
        Fault.with_seeded ~seed ~rate:0.003 (fun () ->
            attempt (fun () -> Exec.run_rows db (Plans.e1 db q));
            attempt (fun () -> Exec.run_rows db (Plans.e2 db q));
-           attempt (fun () -> Planner.decide db q);
+           attempt (fun () ->
+               match Planner.decide db q with
+               | Ok d -> d
+               | Error e -> Err.raise_ e);
            (* a write either lands wholly or not at all *)
            (match Database.insert_result victim "K" [ i !next_id; i 0 ] with
            | Ok () ->
@@ -287,17 +295,17 @@ let test_planner_fallback () =
   let w = Employee_dept.setup ~employees:200 ~departments:10 () in
   let db = w.Employee_dept.db and q = w.Employee_dept.query in
   Fault.reset ();
-  let d0 = Planner.decide db q in
+  let d0 = decide_ok db q in
   Alcotest.(check bool) "healthy decide has no fallback" true
     (d0.Planner.fallback = None);
   let demoted name =
-    let d = Planner.decide db q in
+    let d = decide_ok db q in
     Fault.reset ();
     check_contains (name ^ " demotes to E1") "E1"
       (Planner.kind_to_string d.Planner.chosen_kind);
     Alcotest.(check bool) (name ^ " records a reason") true
       (d.Planner.fallback <> None);
-    check_contains (name ^ " explain") "fallback" (Planner.explain db d)
+    check_contains (name ^ " explain") "fallback" (Explain.text db d)
   in
   Fault.arm_nth "opt.testfd" 1;
   demoted "opt.testfd fault";
@@ -307,10 +315,10 @@ let test_planner_fallback () =
   let gov =
     Governor.create { Governor.no_limits with Governor.deadline_ms = Some 0. }
   in
-  let d = Planner.decide ~governor:gov db q in
+  let d = decide_ok ~governor:gov db q in
   Alcotest.(check bool) "deadline demotes" true (d.Planner.fallback <> None);
-  (* decide_checked survives even an unplannable query *)
-  match Planner.decide_checked db q with
+  (* decide survives even an unplannable query *)
+  match Planner.decide db q with
   | Ok d -> Alcotest.(check bool) "checked healthy" true (d.Planner.fallback = None)
   | Error e -> Alcotest.fail (Err.to_string e)
 

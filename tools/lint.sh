@@ -102,6 +102,29 @@ done < <(grep -rn --include='*.ml' -E \
   'Fault\.(check|trip) "[a-z_.]+"|~fault:"[a-z_.]+"' \
   lib bin | grep -v 'lib/robust/fault\.ml' || true)
 
+# The two-sided Plans.e1/e2 constructors are the legacy N=2 planning
+# surface: they hard-code one join with aggregation either fully above
+# or fully below it.  All plan construction in lib/ goes through the
+# join-graph pipeline (Qgraph / Placement / Planner) so every query
+# benefits from placement enumeration and the per-cut TestFD gate.
+# Sanctioned: lib/core (where the constructors live) and
+# lib/opt/placement.ml (the bridge that lowers chosen placements onto
+# them).  Any other use in lib/ must carry a `legacy-plan-ok` marker
+# stating why it deliberately bypasses the planner.
+while IFS= read -r hit; do
+  line=${hit#*:*:}
+  case "$line" in
+  *legacy-plan-ok*) ;;
+  *)
+    echo "lint: legacy two-sided plan construction outside lib/core: $hit" >&2
+    echo "lint: plan through Planner.decide / Placement (join-graph" >&2
+    echo "lint: pipeline), or mark the line 'legacy-plan-ok: <why>'." >&2
+    bad=1
+    ;;
+  esac
+done < <(grep -rn --include='*.ml' -E 'Plans\.(e1|e2)' lib |
+  grep -vE '^lib/(core|opt/placement\.ml)' || true)
+
 # no allowlist for nondeterminism: Random.self_init and the global
 # generator are banned outright (Random.State through Gen is the only
 # sanctioned source of randomness)
