@@ -114,7 +114,7 @@ let run_query db (q : Binder.bound_query) ~limits ~order ~(show : show) =
    with --fault-rate arms a seeded random schedule over every registered
    injection point.  Both exist to rehearse failure handling from the
    CLI the same way the test harness does. *)
-let arm_faults spec seed rate =
+let arm_faults ?fault_points spec seed rate =
   let invalid fmt =
     Printf.ksprintf
       (fun m ->
@@ -147,9 +147,26 @@ let arm_faults spec seed rate =
                    invalid "%s: the part after '@' must be a positive integer"
                      item
              end));
+  let points =
+    match fault_points with
+    | None -> None
+    | Some spec ->
+        let pts =
+          String.split_on_char ',' spec
+          |> List.map String.trim
+          |> List.filter (fun p -> p <> "")
+        in
+        List.iter
+          (fun p ->
+            if not (List.mem p Fault.all_points) then
+              invalid "unknown point %s in --fault-points (known: %s)" p
+                (String.concat ", " Fault.all_points))
+          pts;
+        if pts = [] then None else Some pts
+  in
   match seed with
   | None -> ()
-  | Some seed -> Fault.arm_seeded ~seed ~rate ()
+  | Some seed -> Fault.arm_seeded ~seed ~rate ?points ()
 
 let print_outcome db ~limits = function
   | Binder.Created msg -> Printf.printf "%s\n" msg
@@ -387,12 +404,23 @@ let demo name =
    threads, snapshot-isolated readers, group-committed writers.
    [primary] switches the node into standby mode: read-only, following
    that address's WAL stream until PROMOTE (or SIGUSR1) flips it. *)
-let serve_main ~primary ~repl_seed ~repl_retain listen_s db_dir
-    checkpoint_every max_sessions max_active max_queued max_wait_ms
-    global_rows statement_limits read_timeout_ms die_on_broken_wal faults
-    fault_seed fault_rate =
+let serve_main ~primary ~repl_seed ~repl_retain ~peers ~lease_ms
+    ~no_auto_failover listen_s db_dir checkpoint_every max_sessions max_active
+    max_queued max_wait_ms global_rows statement_limits read_timeout_ms
+    die_on_broken_wal faults fault_seed fault_rate fault_points =
   let open Eager_server in
-  arm_faults faults fault_seed fault_rate;
+  arm_faults ?fault_points faults fault_seed fault_rate;
+  let peers =
+    List.concat_map (String.split_on_char ',') peers
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match Client.parse_addr s with
+           | Ok a -> a
+           | Error m ->
+               prerr_endline ("error: invalid --peers address: " ^ m);
+               exit 2)
+  in
   let listen =
     match Client.parse_addr listen_s with
     | Ok (Client.A_unix p) -> Server.L_unix p
@@ -431,6 +459,9 @@ let serve_main ~primary ~repl_seed ~repl_retain listen_s db_dir
       die_on_broken_wal;
       role;
       repl_retain;
+      peers;
+      lease_ms;
+      auto_failover = not no_auto_failover;
     }
   in
   match Server.start cfg with
@@ -544,14 +575,16 @@ let restore_main verify_only src dest =
                   (Err.to_string e);
                 1))
 
-let sql_main connect timeout_ms retries backoff_ms seed script file =
+let sql_main connect timeout_ms retries backoff_ms seed redirects script file =
   let open Eager_server in
   match Client.parse_addr connect with
   | Error m ->
       prerr_endline ("error: invalid --connect address: " ^ m);
       2
   | Ok addr -> (
-      let cfg = Client.config ~timeout_ms ~retries ~backoff_ms ~seed addr in
+      let cfg =
+        Client.config ~timeout_ms ~retries ~backoff_ms ~seed ~redirects addr
+      in
       let src =
         match (script, file) with
         | Some s, None -> Ok s
@@ -806,6 +839,53 @@ let fuzz_cmd =
       const fuzz $ seed $ iters $ no_faults $ corpus $ replay $ multiway
       $ quiet)
 
+(* the failover chaos harness: seeded 3-node cluster schedules *)
+let chaos seed schedules max_seconds quiet =
+  Eager_fuzz.Chaos.run ~exe:Sys.executable_name ~seed ~schedules ~max_seconds
+    ~quiet
+
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 20260808
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Sweep seed.  Schedule $(i,i) derives its private generator and \
+             the spawned servers' fault schedules from (seed, i), so a \
+             failing schedule replays standalone")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 8
+      & info [ "schedules" ] ~docv:"K"
+          ~doc:
+            "Number of schedules; fault templates (primary SIGKILL, \
+             SIGSTOP/SIGCONT partition, backwards clock jumps, slow \
+             fsyncs) cycle round-robin")
+  in
+  let max_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:
+            "Wall-clock cap: stop launching new schedules after $(docv) \
+             seconds (started schedules always finish)")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Only print failures and the summary line")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Failover chaos harness: boot seeded 3-node clusters, inject one \
+          fault per schedule, and check that exactly one node stays \
+          writable, every acked write survives on the final primary, and \
+          the standbys converge to byte-identical WALs")
+    Term.(const chaos $ seed $ schedules $ max_seconds $ quiet)
+
 (* server flags shared by [serve] and [standby] *)
 let srv_listen =
   Arg.(
@@ -899,13 +979,61 @@ let srv_repl_seed =
         ~doc:"Jitter seed for the standby's reconnect backoff (explicit so \
               failover drills are reproducible)")
 
+let srv_peers =
+  Arg.(
+    value & opt_all string []
+    & info [ "peers" ] ~docv:"ADDRS"
+        ~doc:
+          "The OTHER nodes of the cluster (comma-separated or repeated; \
+           unix:PATH or tcp:HOST:PORT).  Naming them arms lease-based \
+           automated failover: the primary grants leases over its \
+           replication streams and suspends writes when no standby \
+           acknowledges it within --lease-ms; a standby whose lease \
+           observation lapses elects deterministically among the peers \
+           (highest applied LSN wins, ties to the smallest address) and \
+           promotes itself, bumping the cluster epoch that fences the old \
+           primary out")
+
+let srv_lease_ms =
+  Arg.(
+    value & opt float 1000.
+    & info [ "lease-ms" ] ~docv:"MS"
+        ~doc:
+          "The write-lease window: how long the primary may keep acking \
+           writes after its last successful ship to a standby, and how \
+           long a standby waits (plus a skew margin) after the last grant \
+           before electing")
+
+let srv_no_auto_failover =
+  Arg.(
+    value & flag
+    & info [ "no-auto-failover" ]
+        ~doc:
+          "Keep replication and epoch fencing, but never elect, suspend or \
+           self-promote: promotion stays manual (PROMOTE or SIGUSR1) even \
+           when --peers is set")
+
+let fault_points_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-points" ] ~docv:"POINTS"
+        ~doc:
+          "With --fault-seed, restrict the seeded schedule to this \
+           comma-separated subset of injection points (the chaos harness \
+           uses this to aim at one subsystem at a time)")
+
 let serve_term primary_t =
   Term.(
-    const (fun primary repl_seed repl_retain -> serve_main ~primary ~repl_seed ~repl_retain)
-    $ primary_t $ srv_repl_seed $ srv_repl_retain $ srv_listen $ srv_db_dir
+    const (fun primary repl_seed repl_retain peers lease_ms no_auto_failover ->
+        serve_main ~primary ~repl_seed ~repl_retain ~peers ~lease_ms
+          ~no_auto_failover)
+    $ primary_t $ srv_repl_seed $ srv_repl_retain $ srv_peers $ srv_lease_ms
+    $ srv_no_auto_failover $ srv_listen $ srv_db_dir
     $ srv_checkpoint_every $ srv_max_sessions $ srv_max_active $ srv_max_queued
     $ srv_max_wait_ms $ srv_global_rows $ limits_term $ srv_read_timeout_ms
-    $ srv_die_on_broken_wal $ faults_arg $ fault_seed_arg $ fault_rate_arg)
+    $ srv_die_on_broken_wal $ faults_arg $ fault_seed_arg $ fault_rate_arg
+    $ fault_points_arg)
 
 let serve_cmd =
   Cmd.v
@@ -914,7 +1042,10 @@ let serve_cmd =
          "Serve concurrent SQL sessions over a socket (snapshot-isolated \
           reads, group-committed writes, admission control).  A durable \
           server also serves REPL streams to standbys and the BACKUP \
-          statement")
+          statement; with --peers it takes part in lease-based automated \
+          failover (leases ride the replication stream, elections are \
+          deterministic, every promotion bumps an epoch that fences the \
+          old primary out)")
     (serve_term Term.(const None))
 
 let standby_cmd =
@@ -1014,6 +1145,17 @@ let sql_cmd =
       & info [ "retry-seed" ] ~docv:"N"
           ~doc:"Jitter seed (explicit so retry schedules are reproducible)")
   in
+  let redirects =
+    Arg.(
+      value & opt int 2
+      & info [ "redirects" ] ~docv:"N"
+          ~doc:
+            "Fenced redirects to follow before giving up: a node that lost \
+             (or never held) the write lease refuses with a typed Fenced \
+             error naming the new primary, and the client re-aims the \
+             script there (duplicate-safe — the refusal precedes \
+             execution).  0 pins the client to --connect")
+  in
   let script =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
   in
@@ -1029,15 +1171,15 @@ let sql_cmd =
   Cmd.v
     (Cmd.info "sql" ~doc:"Send a SQL script to a running server")
     Term.(
-      const sql_main $ connect $ timeout $ retries $ backoff $ seed $ script
-      $ file)
+      const sql_main $ connect $ timeout $ retries $ backoff $ seed
+      $ redirects $ script $ file)
 
 let () =
   let main =
     Cmd.group
       (Cmd.info "eagerdb" ~version:"1.0.0"
          ~doc:"Group-by pushdown demonstrator (Yan & Larson, ICDE 1994)")
-      [ run_cmd; demo_cmd; repl_cmd; fuzz_cmd; serve_cmd; standby_cmd;
-        backup_cmd; restore_cmd; sql_cmd ]
+      [ run_cmd; demo_cmd; repl_cmd; fuzz_cmd; chaos_cmd; serve_cmd;
+        standby_cmd; backup_cmd; restore_cmd; sql_cmd ]
   in
   exit (Cmd.eval' main)

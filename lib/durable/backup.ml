@@ -46,7 +46,7 @@ let ensure_fresh_dir dir =
     else Ok ()
   else Err.protect ~kind:Err.Io (fun () -> Unix.mkdir dir 0o755)
 
-let write ~db ~lsn ~wal_path ~dir =
+let write ~db ~lsn ~epoch ~wal_path ~dir =
   let result =
     let* () = ensure_fresh_dir dir in
     (* the caller holds the commit barrier, so the snapshot and the WAL
@@ -78,10 +78,16 @@ let write ~db ~lsn ~wal_path ~dir =
     in
     (* the manifest seals the backup: written last, so a crash at any
        earlier instant leaves a directory [verify] refuses outright *)
-    let manifest =
-      Printf.sprintf "%s\nlsn %d\nsnapshot %s\nwal %s\n" manifest_magic lsn
+    let body =
+      Printf.sprintf "%s\nlsn %d\nepoch %d\nsnapshot %s\nwal %s\n"
+        manifest_magic lsn epoch
         (Digest.to_hex (Digest.string snapshot_bytes))
         (Digest.to_hex (Digest.string wal_bytes))
+    in
+    (* the seal line checksums the manifest itself, so fields the file
+       checksums cannot vouch for (the epoch) are still tamper-evident *)
+    let manifest =
+      body ^ Printf.sprintf "seal %s\n" (Digest.to_hex (Digest.string body))
     in
     let* () =
       Err.protect ~kind:Err.Io (fun () ->
@@ -91,10 +97,29 @@ let write ~db ~lsn ~wal_path ~dir =
   in
   Err.with_context (Printf.sprintf "backup to %s" dir) result
 
+(* manifests written before failover lack the epoch and seal lines and
+   parse as epoch 0 — the same back-compat rule as 5-field WAL headers.
+   Epoch-bearing manifests must carry a valid seal: the epoch is the one
+   field no file checksum vouches for. *)
 let parse_manifest content =
-  match String.split_on_char '\n' content with
-  | [ magic; lsn_line; snap_line; wal_line; "" ]
-    when String.equal magic manifest_magic -> (
+  let lines_epoch =
+    match String.split_on_char '\n' content with
+    | [ magic; lsn_line; epoch_line; snap_line; wal_line; seal_line; "" ]
+      when String.equal magic manifest_magic ->
+        let body =
+          String.concat "\n"
+            [ magic; lsn_line; epoch_line; snap_line; wal_line; "" ]
+        in
+        if String.equal seal_line ("seal " ^ Digest.to_hex (Digest.string body))
+        then Some ((lsn_line, snap_line, wal_line), Some epoch_line)
+        else None
+    | [ magic; lsn_line; snap_line; wal_line; "" ]
+      when String.equal magic manifest_magic ->
+        Some ((lsn_line, snap_line, wal_line), None)
+    | _ -> None
+  in
+  match lines_epoch with
+  | Some ((lsn_line, snap_line, wal_line), epoch_line) -> (
       let field prefix line =
         let p = prefix ^ " " in
         let pl = String.length p in
@@ -102,19 +127,28 @@ let parse_manifest content =
           Some (String.sub line pl (String.length line - pl))
         else None
       in
+      let epoch =
+        match epoch_line with
+        | None -> Some 0
+        | Some line ->
+            Option.bind (field "epoch" line) int_of_string_opt
+      in
       match
-        (field "lsn" lsn_line, field "snapshot" snap_line, field "wal" wal_line)
+        ( field "lsn" lsn_line,
+          epoch,
+          field "snapshot" snap_line,
+          field "wal" wal_line )
       with
-      | Some lsn_s, Some snap_md5, Some wal_md5 -> (
+      | Some lsn_s, Some epoch, Some snap_md5, Some wal_md5 -> (
           match int_of_string_opt lsn_s with
           | Some lsn
-            when lsn >= 0
+            when lsn >= 0 && epoch >= 0
                  && String.length snap_md5 = 32
                  && String.length wal_md5 = 32 ->
-              Ok (lsn, snap_md5, wal_md5)
+              Ok (lsn, epoch, snap_md5, wal_md5)
           | _ -> Error (Err.io "backup manifest rejected: malformed fields"))
       | _ -> Error (Err.io "backup manifest rejected: malformed fields"))
-  | _ -> Error (Err.io "backup manifest rejected: not an eagerdb backup")
+  | None -> Error (Err.io "backup manifest rejected: not an eagerdb backup")
 
 let verify ~dir =
   let result =
@@ -125,7 +159,7 @@ let verify ~dir =
       else Err.protect ~kind:Err.Io (fun () -> read_file path)
     in
     let* manifest = must_read manifest_name in
-    let* lsn, snap_md5, wal_md5 = parse_manifest manifest in
+    let* lsn, epoch, snap_md5, wal_md5 = parse_manifest manifest in
     let check name content recorded =
       let actual = Digest.to_hex (Digest.string content) in
       if String.equal actual recorded then Ok ()
@@ -163,6 +197,18 @@ let verify ~dir =
                seq lsn)
       | _ -> Ok ()
     in
+    let* () =
+      match
+        List.find_opt (fun (r : Wal.record) -> r.epoch > epoch) records
+      with
+      | Some r ->
+          Error
+            (Err.io
+               "backup rejected: record #%d carries epoch %d beyond the \
+                manifest epoch %d"
+               r.seq r.epoch epoch)
+      | None -> Ok ()
+    in
     let _db, snap_lsn = db_lsn in
     if snap_lsn <> lsn then
       Error
@@ -175,6 +221,11 @@ let verify ~dir =
 let restore ~from_dir ~to_dir =
   let result =
     let* lsn = verify ~dir:from_dir in
+    let* manifest =
+      Err.protect ~kind:Err.Io (fun () ->
+          read_file (Filename.concat from_dir manifest_name))
+    in
+    let* _lsn, epoch, _snap_md5, _wal_md5 = parse_manifest manifest in
     let* () = ensure_fresh_dir to_dir in
     let copy name =
       Err.protect ~kind:Err.Io (fun () ->
@@ -183,6 +234,11 @@ let restore ~from_dir ~to_dir =
     in
     let* () = copy snapshot_name in
     let* () = copy Wal.file_name in
+    (* re-seed the epoch file so the restored node rejoins the cluster
+       at the epoch the backup was taken under, not at 0 *)
+    let* () =
+      if epoch > 0 then Wal.persist_epoch ~dir:to_dir epoch else Ok ()
+    in
     Ok lsn
   in
   Err.with_context

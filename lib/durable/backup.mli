@@ -2,9 +2,11 @@
 
     A backup is a fresh directory holding three files: the LSN-stamped
     snapshot ([snapshot.eagerdb]), the WAL tail ([wal.eagerdb], valid
-    prefix only), and a manifest ([backup.eagerdb]) recording the LSN
-    and an md5 of each of the other two.  The manifest is written last,
-    so an interrupted backup is never mistaken for a complete one.
+    prefix only), and a manifest ([backup.eagerdb]) recording the LSN,
+    the cluster epoch, and an md5 of each of the other two.  The
+    manifest is written last, so an interrupted backup is never
+    mistaken for a complete one.  Manifests written before failover
+    existed lack the epoch line and parse as epoch 0.
 
     The trust model is stricter than live recovery's: recovery forgives
     a torn WAL tail (crash residue), but a backup is an archival
@@ -19,16 +21,17 @@ open Eager_robust
 val write :
   db:Database.t ->
   lsn:int ->
+  epoch:int ->
   wal_path:string ->
   dir:string ->
   (int, Err.t) result
-(** Seal a backup of [db] (consistent as of [lsn], with the WAL at
-    [wal_path] describing exactly the records at or below [lsn]) into
-    the fresh directory [dir]; returns [lsn].  The caller must hold
-    whatever barrier makes that consistency claim true — in the durable
-    session that is simply "between statements", in the server the
-    commit-queue barrier.  Refuses a non-empty [dir].  Fault point
-    [backup.copy] fires mid-way through the WAL copy. *)
+(** Seal a backup of [db] (consistent as of [lsn] under cluster epoch
+    [epoch], with the WAL at [wal_path] describing exactly the records
+    at or below [lsn]) into the fresh directory [dir]; returns [lsn].
+    The caller must hold whatever barrier makes that consistency claim
+    true — in the durable session that is simply "between statements",
+    in the server the commit-queue barrier.  Refuses a non-empty [dir].
+    Fault point [backup.copy] fires mid-way through the WAL copy. *)
 
 val verify : dir:string -> (int, Err.t) result
 (** Check every file of the backup in [dir] against its manifest (plus
@@ -37,6 +40,8 @@ val verify : dir:string -> (int, Err.t) result
 
 val restore : from_dir:string -> to_dir:string -> (int, Err.t) result
 (** {!verify} the backup in [from_dir], then copy it into the fresh
-    directory [to_dir], ready for [Durable.open_].  Nothing is written
-    unless verification passes, so a damaged backup never produces a
-    partially-restored database. *)
+    directory [to_dir] (re-seeding [epoch.eagerdb] from the manifest so
+    the restored node rejoins the cluster at the right epoch), ready
+    for [Durable.open_].  Nothing is written unless verification
+    passes, so a damaged backup never produces a partially-restored
+    database. *)

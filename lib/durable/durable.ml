@@ -135,7 +135,22 @@ let open_ ?checkpoint_every ~dir () =
       List.fold_left (fun _ (r : Wal.record) -> r.seq) 0 records
     in
     let next_seq = max last_seq lsn + 1 in
-    let* wal = Wal.open_append ~path:wal_path ~next_seq in
+    (* the cluster epoch is the max of the epoch file and what the log
+       records carry; if the records are ahead (the epoch file write is
+       atomic, but belt and braces) re-persist before trusting it *)
+    let* file_epoch = Wal.load_epoch ~dir in
+    let record_epoch =
+      List.fold_left (fun acc (r : Wal.record) -> max acc r.epoch) 0 records
+    in
+    let epoch = max file_epoch record_epoch in
+    let* () =
+      if record_epoch > file_epoch then Wal.persist_epoch ~dir epoch
+      else Ok ()
+    in
+    let* wal =
+      Wal.open_append ~path:wal_path ~next_seq ~epoch ~rec_epoch:record_epoch
+        ()
+    in
     (* a log whose every record is covered by the snapshot is the
        residue of a checkpoint that crashed between snapshot and
        truncate; finish the job *)
@@ -160,6 +175,24 @@ let open_ ?checkpoint_every ~dir () =
   in
   Err.with_context (Printf.sprintf "recovering %s" dir) result
 
+let epoch t = Wal.epoch t.wal
+
+(* Ratchet the cluster epoch: persist first, adopt in memory second, so
+   a failure leaves us at the old epoch (safe: the caller refuses to
+   promote / ingest) rather than acting on an epoch a crash would
+   forget. *)
+let set_epoch t e =
+  if e <= epoch t then Ok ()
+  else
+    let* () = Wal.persist_epoch ~dir:t.dir e in
+    Wal.set_epoch t.wal e;
+    Ok ()
+
+let bump_epoch t =
+  let e = epoch t + 1 in
+  let* () = set_epoch t e in
+  Ok e
+
 let checkpoint t =
   let lsn = Wal.next_seq t.wal - 1 in
   let result =
@@ -171,8 +204,8 @@ let checkpoint t =
   Err.with_context "checkpoint" result
 
 let backup t ~dir:target =
-  Backup.write ~db:t.db ~lsn:(lsn t) ~wal_path:(Wal.path ~dir:t.dir)
-    ~dir:target
+  Backup.write ~db:t.db ~lsn:(lsn t) ~epoch:(epoch t)
+    ~wal_path:(Wal.path ~dir:t.dir) ~dir:target
 
 (* Standby-side replication apply: log the shipped record verbatim (the
    fsync is the standby's commit point too), then apply statements.  The
@@ -188,7 +221,20 @@ let ingest t (r : Wal.record) =
     Error
       (Err.io "replication stream out of order: got record #%d, expected #%d"
          r.seq expected)
+  else if r.epoch < Wal.rec_epoch t.wal then
+    (* epoch fencing: a zombie primary that lost an election can never
+       rewrite history — its records carry an epoch below the log's
+       high-water mark and die here.  The fence is the RECORD epoch, not
+       the node's floor: a standby that has observed a promotion (floor
+       bumped) must still ingest the older-epoch backlog it is catching
+       up through — the stream-level handshake guard is what keeps
+       whole zombie streams out. *)
+    Error
+      (Err.fenced
+         "record #%d carries stale epoch %d but this log is at epoch %d"
+         r.seq r.epoch (Wal.rec_epoch t.wal))
   else
+    let* () = set_epoch t r.epoch in
     let* stmt =
       match r.kind with
       | Wal.Abort -> Ok None
@@ -201,7 +247,7 @@ let ingest t (r : Wal.record) =
           | exception Lexer.Lex_error msg ->
               Error (Err.io "shipped record #%d does not re-lex: %s" r.seq msg))
     in
-    let* (_ : int) = Wal.append t.wal ~kind:r.kind r.payload in
+    let* (_ : int) = Wal.append ~epoch:r.epoch t.wal ~kind:r.kind r.payload in
     committed t [ r ];
     (match stmt with
     | None -> ()
@@ -233,7 +279,8 @@ let exec t stmt =
   | _ ->
       let sql = Ast.statement_to_string stmt in
       let* seq = Wal.append t.wal ~kind:Wal.Stmt sql in
-      committed t [ { Wal.seq; kind = Wal.Stmt; payload = sql } ];
+      committed t
+        [ { Wal.seq; kind = Wal.Stmt; payload = sql; epoch = epoch t } ];
       let applied = Binder.exec_statement t.db stmt in
       (match applied with
       | Ok outcome ->
@@ -257,7 +304,8 @@ let exec t stmt =
             (match aborted with
             | Ok mseq ->
                 committed t
-                  [ { Wal.seq = mseq; kind = Wal.Abort; payload = marker } ];
+                  [ { Wal.seq = mseq; kind = Wal.Abort; payload = marker;
+                      epoch = epoch t } ];
                 e
             | Error we ->
                 Err.add_context
@@ -306,6 +354,7 @@ let exec_grouped t stmts =
                    { Wal.seq = Result.get_ok seq;
                      kind = Wal.Stmt;
                      payload = sql;
+                     epoch = epoch t;
                    })
                  sqls seqs);
             (* phase 3: apply each committed statement *)
@@ -353,6 +402,7 @@ let exec_grouped t stmts =
                                  { Wal.seq = Result.get_ok r;
                                    kind = Wal.Abort;
                                    payload = string_of_int victim;
+                                   epoch = epoch t;
                                  })
                                markers);
                           None

@@ -54,6 +54,19 @@ val lsn : t -> int
 (** The sequence number of the last logged record — the LSN readers
     stamp their snapshots with under MVCC-lite. *)
 
+val epoch : t -> int
+(** The cluster epoch stamped into records this session commits.
+    Recovered on open as the max of the [epoch.eagerdb] file and the
+    log's records; 0 on a database that never failed over. *)
+
+val set_epoch : t -> int -> (unit, Err.t) result
+(** Ratchet the epoch to a higher value observed from the cluster,
+    persisting it durably {e before} adopting it (a failure leaves the
+    old epoch in force).  Lower or equal values are a no-op. *)
+
+val bump_epoch : t -> (int, Err.t) result
+(** Promotion: durably advance to (and return) the next epoch. *)
+
 val wal_bytes : t -> int
 (** Cumulative bytes appended to the log through this session
     (telemetry). *)
@@ -110,7 +123,12 @@ val ingest : t -> Wal.record -> (unit, Err.t) result
     standby never originates records of its own, or the two logs'
     numbering would diverge.  An out-of-order or unparseable record is
     a typed [Io] error (the stream is broken; reconnect and re-handshake).
-    Fault point [repl.recv] fires before anything is written. *)
+    A record carrying an epoch {e below} this node's is refused with a
+    typed [Fenced] error — the epoch fence that stops a zombie primary
+    from ever shipping history — while a higher epoch is durably adopted
+    before the record lands, and the record is logged under its own
+    epoch so the two logs stay byte-identical.  Fault point [repl.recv]
+    fires before anything is written. *)
 
 val run_script_with :
   t ->

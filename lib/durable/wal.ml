@@ -19,7 +19,7 @@ let kind_of_name = function
   | "abort" -> Some Abort
   | _ -> None
 
-type record = { seq : int; kind : kind; payload : string }
+type record = { seq : int; kind : kind; payload : string; epoch : int }
 type tail = Complete | Torn of { valid_len : int; dropped : int }
 
 (* ------------------------------------------------------------------ *)
@@ -31,15 +31,23 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* "#rec <seq> <kind> <len> <md5hex>" — None on any malformation; the
-   caller decides whether that means torn or corrupt *)
+(* "#rec <seq> <kind> <len> <md5hex> [<epoch>]" — None on any
+   malformation; the caller decides whether that means torn or corrupt.
+   The epoch field arrived with lease-based failover; logs written
+   before it carry 5-field headers and parse as epoch 0. *)
 let parse_header line =
-  match String.split_on_char ' ' line with
-  | [ "#rec"; seq; kind; len; md5 ] -> (
+  let fields, epoch =
+    match String.split_on_char ' ' line with
+    | [ t; s; k; l; m; e ] -> (Some (t, s, k, l, m), int_of_string_opt e)
+    | [ t; s; k; l; m ] -> (Some (t, s, k, l, m), Some 0)
+    | _ -> (None, None)
+  in
+  match (fields, epoch) with
+  | Some ("#rec", seq, kind, len, md5), Some epoch -> (
       match (int_of_string_opt seq, kind_of_name kind, int_of_string_opt len) with
       | Some seq, Some kind, Some len
-        when seq > 0 && len >= 0 && String.length md5 = 32 ->
-          Some (seq, kind, len, md5)
+        when seq > 0 && len >= 0 && epoch >= 0 && String.length md5 = 32 ->
+          Some (seq, kind, len, md5, epoch)
       | _ -> None)
   | _ -> None
 
@@ -66,7 +74,7 @@ let scan path =
           fmt
       in
       let records = ref [] in
-      let rec loop pos prev_seq =
+      let rec loop pos prev_seq prev_epoch =
         if pos = n then Ok Complete
         else
           match String.index_from_opt content pos '\n' with
@@ -77,7 +85,7 @@ let scan path =
               let line = String.sub content pos (nl - pos) in
               match parse_header line with
               | None -> corrupt pos "bad record header %S" line
-              | Some (seq, kind, len, md5) ->
+              | Some (seq, kind, len, md5, epoch) ->
                   let payload_start = nl + 1 in
                   let record_end = payload_start + len + 1 in
                   if record_end > n then torn pos
@@ -91,12 +99,18 @@ let scan path =
                       else corrupt pos "record #%d fails its checksum" seq
                     else if prev_seq > 0 && seq <> prev_seq + 1 then
                       corrupt pos "sequence jumps from #%d to #%d" prev_seq seq
+                    else if epoch < prev_epoch then
+                      (* epochs only ever ratchet up (a promotion bumps
+                         them); a decrease means a stale primary's
+                         records were spliced in — never crash residue *)
+                      corrupt pos "epoch regresses from %d to %d at #%d"
+                        prev_epoch epoch seq
                     else begin
-                      records := { seq; kind; payload } :: !records;
-                      loop record_end seq
+                      records := { seq; kind; payload; epoch } :: !records;
+                      loop record_end seq epoch
                     end)
       in
-      let* tail = loop hlen 0 in
+      let* tail = loop hlen 0 0 in
       Ok (List.rev !records, tail)
 
 let truncate_to path valid_len =
@@ -112,12 +126,18 @@ type t = {
   mutable broken : bool;
   mutable pending : int; (* records flushed to the OS but not yet fsynced *)
   mutable bytes : int; (* cumulative bytes appended since open (telemetry) *)
+  mutable epoch : int; (* stamped into every record this handle appends *)
+  mutable rec_epoch : int;
+      (* epoch of the last record in the file — the log's high-water
+         mark.  Distinct from [epoch], the node's fencing floor: a
+         standby that has observed a promotion holds floor > high-water
+         until the new primary's records arrive. *)
 }
 
 let poisoned t =
   Error (Err.io "write-ahead log %s is poisoned after a failed write; restart the session to recover" t.path)
 
-let open_append ~path ~next_seq =
+let open_append ~path ~next_seq ?(epoch = 0) ?(rec_epoch = 0) () =
   Err.protect ~kind:Err.Io (fun () ->
       let fresh = (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0 in
       let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
@@ -126,27 +146,45 @@ let open_append ~path ~next_seq =
         flush oc;
         Unix.fsync (Unix.descr_of_out_channel oc)
       end;
-      { path; oc; next = next_seq; broken = false; pending = 0; bytes = 0 })
+      { path; oc; next = next_seq; broken = false; pending = 0; bytes = 0;
+        epoch; rec_epoch })
 
 let next_seq t = t.next
 let broken t = t.broken
 let pending t = t.pending
 let bytes_logged t = t.bytes
+let epoch t = t.epoch
+let rec_epoch t = t.rec_epoch
+
+let set_epoch t e = if e > t.epoch then t.epoch <- e
 
 (* write one record and flush it to the OS — no fsync, so the record is
    NOT yet committed.  The building block behind both [append] (which
    fsyncs immediately) and group commit (many buffered appends, one
    [sync]). *)
-let append_buffered t ~kind payload =
+let append_buffered ?epoch t ~kind payload =
   if t.broken then poisoned t
   else
     let seq = t.next in
+    (* a standby ingesting shipped records passes the record's own epoch
+       so its log stays byte-identical to the primary's; local appends
+       stamp the handle's current epoch *)
+    let epoch = match epoch with Some e -> e | None -> t.epoch in
+    if epoch < t.rec_epoch then
+      (* scan treats an in-file epoch decrease as corruption; refuse to
+         write one rather than poison the log for the next recovery *)
+      Error
+        (Err.io
+           "record #%d would regress the log's epoch from %d to %d" seq
+           t.rec_epoch epoch)
+    else
     let r =
       Err.protect ~kind:Err.Io (fun () ->
           let header =
-            Printf.sprintf "#rec %d %s %d %s\n" seq (kind_name kind)
+            Printf.sprintf "#rec %d %s %d %s %d\n" seq (kind_name kind)
               (String.length payload)
               (Digest.to_hex (Digest.string payload))
+              epoch
           in
           let record = header ^ payload ^ "\n" in
           let total = String.length record in
@@ -165,6 +203,7 @@ let append_buffered t ~kind payload =
         t.next <- seq + 1;
         t.pending <- t.pending + 1;
         t.bytes <- t.bytes + total;
+        t.rec_epoch <- epoch;
         Ok seq
     | Error e ->
         t.broken <- true;
@@ -182,6 +221,7 @@ let sync t =
     let r =
       Err.protect ~kind:Err.Io (fun () ->
           Fault.trip "wal.group_commit";
+          Fault.lag "wal.slow_fsync";
           Unix.fsync (Unix.descr_of_out_channel t.oc))
     in
     match r with
@@ -196,14 +236,15 @@ let sync t =
                 t.pending)
              e)
 
-let append t ~kind payload =
+let append ?epoch t ~kind payload =
   if t.broken then poisoned t
   else
     let seq = t.next in
     let r =
-      let* (_ : int) = append_buffered t ~kind payload in
+      let* (_ : int) = append_buffered ?epoch t ~kind payload in
       Err.protect ~kind:Err.Io (fun () ->
           Fault.trip "wal.fsync";
+          Fault.lag "wal.slow_fsync";
           Unix.fsync (Unix.descr_of_out_channel t.oc))
     in
     match r with
@@ -248,3 +289,44 @@ let truncate t =
 let close t =
   t.broken <- true;
   close_out_noerr t.oc
+
+(* ------------------------------------------------------------------ *)
+(* epoch persistence.  The cluster epoch outlives the log itself — a
+   checkpoint truncates every record, and with them the only on-disk
+   trace of the epoch — so it gets its own tiny file, rewritten
+   atomically (tmp + fsync + rename) on every ratchet. *)
+
+let epoch_file_name = "epoch.eagerdb"
+let epoch_path ~dir = Filename.concat dir epoch_file_name
+
+let load_epoch ~dir =
+  let p = epoch_path ~dir in
+  if not (Sys.file_exists p) then Ok 0
+  else
+    let* content = Err.protect ~kind:Err.Io (fun () -> read_file p) in
+    match int_of_string_opt (String.trim content) with
+    | Some e when e >= 0 -> Ok e
+    | _ -> Error (Err.io "%s: malformed epoch file %S" p content)
+
+let persist_epoch ~dir e =
+  let p = epoch_path ~dir in
+  let tmp = p ^ ".tmp" in
+  Err.protect ~kind:Err.Io (fun () ->
+      let committed = ref false in
+      Fun.protect
+        ~finally:(fun () ->
+          if not !committed then try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc (string_of_int e);
+              output_char oc '\n';
+              flush oc;
+              Unix.fsync (Unix.descr_of_out_channel oc));
+          (* a crash here leaves the old epoch on disk — safe, because
+             an epoch is only acted on after it is durably recorded *)
+          Fault.trip "wal.epoch";
+          Sys.rename tmp p;
+          committed := true))

@@ -4,7 +4,7 @@
 
     {v
     file   := "eagerdb wal v1\n" record*
-    record := "#rec <seq> <kind> <len> <md5hex>\n" <payload> "\n"
+    record := "#rec <seq> <kind> <len> <md5hex> <epoch>\n" <payload> "\n"
     kind   := "stmt" | "abort"
     v}
 
@@ -15,6 +15,13 @@
     payload is the SQL text of one committed statement; an [abort]
     payload is the decimal [seq] of an earlier [stmt] record whose
     apply step failed after logging — replay must skip the victim.
+
+    [epoch] is the cluster epoch the record was committed under (see
+    failover in DESIGN.md §15): it only ever ratchets up within a file —
+    a decrease is rejected as corruption, since promotions bump the
+    epoch and fencing stops a stale primary from appending.  Logs
+    written before the field existed carry 5-field headers and parse as
+    epoch 0.
 
     Torn-tail rule: damage confined to the final bytes of the file
     (half-written header line, short payload, missing terminator, bad
@@ -33,7 +40,7 @@ val path : dir:string -> string
 
 type kind = Stmt | Abort
 
-type record = { seq : int; kind : kind; payload : string }
+type record = { seq : int; kind : kind; payload : string; epoch : int }
 
 type tail =
   | Complete
@@ -57,13 +64,35 @@ type t
     caller believes was logged.  Recovery (re-scan) is the only way
     back. *)
 
-val open_append : path:string -> next_seq:int -> (t, Err.t) result
+val open_append :
+  path:string ->
+  next_seq:int ->
+  ?epoch:int ->
+  ?rec_epoch:int ->
+  unit ->
+  (t, Err.t) result
 (** Open for appending, creating the file (with its header) if absent.
     The caller must have {!scan}ned first and pass the sequence number
-    the next record should carry. *)
+    the next record should carry; [epoch] (default 0) is stamped into
+    subsequent local appends, and [rec_epoch] (default 0) is the epoch
+    of the log's last existing record — the monotonicity floor for
+    appends. *)
 
 val next_seq : t -> int
 val broken : t -> bool
+
+val epoch : t -> int
+(** The epoch stamped into local appends — the node's fencing floor. *)
+
+val rec_epoch : t -> int
+(** The epoch of the last record appended (or recovered): the log's
+    high-water mark.  Lags {!epoch} on a standby that has observed a
+    promotion but not yet applied the new primary's records; an append
+    below it is refused (scan would flag the file as corrupt). *)
+
+val set_epoch : t -> int -> unit
+(** Raise the handle's epoch (lower values are ignored — epochs only
+    ratchet up). *)
 
 val pending : t -> int
 (** Records flushed to the OS but not yet covered by an fsync — the
@@ -74,13 +103,16 @@ val bytes_logged : t -> int
 (** Cumulative bytes appended through this handle since it was opened
     (telemetry; survives nothing — it is not persisted). *)
 
-val append_buffered : t -> kind:kind -> string -> (int, Err.t) result
+val append_buffered : ?epoch:int -> t -> kind:kind -> string -> (int, Err.t) result
 (** Log one record {e without} fsyncing: the record is fully written and
     flushed to the OS but is {b not committed} until a later {!sync}
     (or {!append}) fsyncs the file.  The building block of group
     commit: a writer batch is appended buffered, then one {!sync}
     commits the lot with a single fsync.  The [wal.append] fault hook
-    fires mid-record exactly as for {!append}. *)
+    fires mid-record exactly as for {!append}.  [?epoch] overrides the
+    handle's epoch stamp — a standby ingesting shipped records passes
+    the record's own epoch so its log stays byte-identical to the
+    primary's. *)
 
 val sync : t -> (unit, Err.t) result
 (** The group-commit point: one fsync covering every record appended
@@ -90,7 +122,7 @@ val sync : t -> (unit, Err.t) result
     recovery truncates or replays per the torn-tail rule — committed
     statements are exactly those acknowledged after a sync. *)
 
-val append : t -> kind:kind -> string -> (int, Err.t) result
+val append : ?epoch:int -> t -> kind:kind -> string -> (int, Err.t) result
 (** Log one record and return its sequence number.  The record is fully
     written, flushed and fsynced before [Ok] — the fsync is the commit
     point.  Fault hooks: [wal.append] fires after only half the record
@@ -109,3 +141,21 @@ val truncate : t -> (unit, Err.t) result
     it never restarts. *)
 
 val close : t -> unit
+
+(** {1 Epoch persistence}
+
+    The cluster epoch must survive a checkpoint (which truncates every
+    record, and with them the only in-log trace of the epoch), so it
+    lives in its own one-line file [epoch.eagerdb], rewritten atomically
+    on every ratchet.  A missing file reads as epoch 0. *)
+
+val epoch_file_name : string
+(** ["epoch.eagerdb"]. *)
+
+val load_epoch : dir:string -> (int, Err.t) result
+
+val persist_epoch : dir:string -> int -> (unit, Err.t) result
+(** Durably record [e]: temp write + fsync + atomic rename.  The
+    [wal.epoch] fault point fires between fsync and rename — a crash
+    there leaves the old epoch, which is safe because an epoch is only
+    acted on after it is durably recorded. *)

@@ -1,0 +1,495 @@
+(* Deterministic chaos harness for lease-based failover: each schedule
+   boots a REAL 3-node cluster (three eagerdb processes over unix
+   sockets), drives seeded writer load through a redirect-following
+   client, injects one fault from the schedule's template — SIGKILL the
+   primary, SIGSTOP/SIGCONT partition, backwards clock jumps
+   (clock.jump), slow fsyncs (wal.slow_fsync) — and then checks three
+   invariants:
+
+     1. exactly one node accepts writes;
+     2. every acked write is present on the final primary;
+     3. the live standbys converge to a byte-identical WAL.
+
+   Everything is derived from the schedule seed (an explicit
+   [Random.State]; the global [Random] is banned repo-wide), so a
+   failing schedule replays exactly. *)
+
+open Eager_robust
+open Eager_server
+
+type template = Kill | Partition | Clockjump | Slowdisk
+
+let template_name = function
+  | Kill -> "kill"
+  | Partition -> "partition"
+  | Clockjump -> "clock-jump"
+  | Slowdisk -> "slow-disk"
+
+let templates = [| Kill; Partition; Clockjump; Slowdisk |]
+
+(* ------------------------- small utilities ------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go k = k + m <= n && (String.sub s k m = sub || go (k + 1)) in
+  go 0
+
+(* "applied_lsn=17" -> 17; the first occurrence of [key]= wins *)
+let field_int st key =
+  let pat = key ^ "=" in
+  let pl = String.length pat in
+  let n = String.length st in
+  let rec find i =
+    if i + pl > n then None
+    else if String.sub st i pl = pat then
+      let j = ref (i + pl) in
+      while !j < n && st.[!j] >= '0' && st.[!j] <= '9' do
+        incr j
+      done;
+      if !j > i + pl then int_of_string_opt (String.sub st (i + pl) (!j - i - pl))
+      else None
+    else find (i + 1)
+  in
+  find 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------ nodes ----------------------------- *)
+
+type node = {
+  name : string;
+  sock : string;
+  dir : string; (* the CURRENT db dir; a revive re-seeds into a fresh one *)
+  log : string;
+  mutable db_gen : int;
+  mutable pid : int option;
+}
+
+let client ?(redirects = 2) n =
+  Client.config ~timeout_ms:4000. ~retries:0 ~redirects
+    (Client.A_unix n.sock)
+
+let sql n stmt =
+  match Client.run (client n) stmt with
+  | Ok r -> r
+  | Error e -> Client.Failed { kind = "Io"; msg = Err.to_string e }
+
+let status_of n =
+  match n.pid with
+  | None -> ""
+  | Some _ -> (
+      match sql n "STATUS;" with Client.Ok_text s -> s | _ -> "")
+
+let db_dir n = Printf.sprintf "%s.%d" n.dir n.db_gen
+
+let spawn ~exe n args =
+  (try Sys.remove n.sock with Sys_error _ -> ());
+  let out =
+    Unix.openfile n.log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let argv = Array.of_list (exe :: args) in
+  let pid = Unix.create_process exe argv Unix.stdin out out in
+  Unix.close out;
+  n.pid <- Some pid
+
+let signal_node n s =
+  match n.pid with
+  | None -> ()
+  | Some pid -> ( try Unix.kill pid s with Unix.Unix_error _ -> ())
+
+let reap n =
+  match n.pid with
+  | None -> ()
+  | Some pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      n.pid <- None
+
+let wait_for ?(timeout_ms = 20_000.) what pred =
+  let deadline = Clock.now_ms () +. timeout_ms in
+  let rec go () =
+    if pred () then Ok ()
+    else if Clock.now_ms () > deadline then
+      Error (Printf.sprintf "timed out waiting for %s" what)
+    else begin
+      Clock.sleep_ms 50.;
+      go ()
+    end
+  in
+  go ()
+
+(* ---------------------- one chaos schedule ------------------------ *)
+
+type outcome = { mutable acked : int list }
+
+let lease_ms = 300.
+
+let peer_args others =
+  List.concat_map (fun o -> [ "--peers"; "unix:" ^ o.sock ]) others
+
+let common_args =
+  [ "--read-timeout-ms"; "5000"; "--lease-ms"; string_of_float lease_ms ]
+
+let spawn_primary ~exe ?faults n ~others =
+  let fargs =
+    match faults with
+    | None -> []
+    | Some (points, seed, rate) ->
+        [
+          "--fault-seed"; string_of_int seed;
+          "--fault-rate"; string_of_float rate;
+          "--fault-points"; points;
+        ]
+  in
+  spawn ~exe n
+    ([ "serve"; "--listen"; "unix:" ^ n.sock; "--db"; db_dir n ]
+    @ peer_args others @ common_args @ fargs)
+
+let spawn_standby ~exe ?faults n ~primary ~others ~seed =
+  let fargs =
+    match faults with
+    | None -> []
+    | Some (points, fseed, rate) ->
+        [
+          "--fault-seed"; string_of_int fseed;
+          "--fault-rate"; string_of_float rate;
+          "--fault-points"; points;
+        ]
+  in
+  spawn ~exe n
+    ([
+       "standby"; "--listen"; "unix:" ^ n.sock; "--db"; db_dir n;
+       "--primary"; "unix:" ^ primary.sock;
+       "--repl-seed"; string_of_int seed;
+     ]
+    @ peer_args others @ common_args @ fargs)
+
+let wait_sock n =
+  wait_for ~timeout_ms:10_000. (n.name ^ " socket")
+      (fun () -> Sys.file_exists n.sock)
+
+(* insert [id], trying every live node; the redirect-following client
+   turns a standby's refusal into a hop to the primary, so which node we
+   START at does not matter — that is the availability story under
+   test.  Returns true iff some node acked. *)
+let try_insert nodes id =
+  let stmt = Printf.sprintf "INSERT INTO t VALUES (%d);" id in
+  List.exists
+    (fun n ->
+      match n.pid with
+      | None -> false
+      | Some _ -> (
+          match sql n stmt with
+          | Client.Ok_text out -> contains out "inserted"
+          | _ -> false))
+    nodes
+
+(* a burst of writes; every acked id goes into the oracle *)
+let write_burst nodes out ~base ~count =
+  for k = 1 to count do
+    let id = base + k in
+    if try_insert nodes id then out.acked <- id :: out.acked
+  done
+
+let live_nodes nodes = List.filter (fun n -> n.pid <> None) nodes
+
+let find_primary nodes =
+  List.find_opt
+    (fun n ->
+      let st = status_of n in
+      contains st "failover: epoch=" && contains st "role=primary")
+    (live_nodes nodes)
+
+(* invariant 1: exactly one live node accepts a write (no redirects) *)
+let check_one_writable nodes probe_id =
+  let writable =
+    List.filter
+      (fun n ->
+        match n.pid with
+        | None -> false
+        | Some _ -> (
+            match
+              Client.run
+                (client ~redirects:0 n)
+                (Printf.sprintf "INSERT INTO t VALUES (%d);" probe_id)
+            with
+            | Ok (Client.Ok_text out) -> contains out "inserted"
+            | _ -> false))
+      nodes
+  in
+  match writable with
+  | [ _ ] -> Ok ()
+  | l ->
+      Error
+        (Printf.sprintf "%d writable nodes (%s), expected exactly 1"
+           (List.length l)
+           (String.concat "," (List.map (fun n -> n.name) l)))
+
+(* invariant 2: every acked id is a row on the final primary *)
+let check_acked_present primary out =
+  match sql primary "SELECT t.a FROM t;" with
+  | Client.Ok_text rows ->
+      let present = Hashtbl.create 512 in
+      List.iter
+        (fun line ->
+          match int_of_string_opt (String.trim line) with
+          | Some id -> Hashtbl.replace present id ()
+          | None -> ())
+        (String.split_on_char '\n' rows);
+      let missing =
+        List.filter (fun id -> not (Hashtbl.mem present id)) out.acked
+      in
+      if missing = [] then Ok ()
+      else
+        Error
+          (Printf.sprintf "%d acked writes missing on %s (first: %d)"
+             (List.length missing) primary.name (List.hd missing))
+  | r ->
+      Error
+        (Printf.sprintf "reading back rows on %s failed: %s" primary.name
+           (match r with
+           | Client.Failed { msg; _ } -> msg
+           | _ -> "unexpected response"))
+
+(* invariant 3: once every live standby reports zero lag, the WALs of
+   all live nodes are byte-identical (standbys re-log shipped records
+   verbatim, epochs included) *)
+let check_convergence nodes primary =
+  let hub =
+    match field_int (status_of primary) "hub_lsn" with Some v -> v | None -> -1
+  in
+  let standbys =
+    List.filter (fun n -> n.pid <> None && n.name <> primary.name) nodes
+  in
+  let caught (n : node) =
+    let st = status_of n in
+    match field_int st "applied_lsn" with Some l -> l = hub | None -> false
+  in
+  match
+    wait_for ~timeout_ms:15_000. "standby convergence" (fun () ->
+        List.for_all caught standbys)
+  with
+  | Error m -> Error m
+  | Ok () -> (
+      let wal n = Filename.concat (db_dir n) "wal.eagerdb" in
+      let pw = read_file (wal primary) in
+      match
+        List.find_opt (fun n -> read_file (wal n) <> pw) standbys
+      with
+      | Some n ->
+          Error
+            (Printf.sprintf "%s's WAL diverges from %s's after convergence"
+               n.name primary.name)
+      | None -> Ok ())
+
+let ( let* ) = Result.bind
+
+(* the schedule body: returns Ok () or Error reason *)
+let run_schedule ~exe ~tmp ~index ~seed ~template =
+  let rng = Random.State.make [| seed; index; 0xc4a05 |] in
+  let node name =
+    {
+      name;
+      sock = Filename.concat tmp (Printf.sprintf "s%d_%s.sock" index name);
+      dir = Filename.concat tmp (Printf.sprintf "s%d_%s.db" index name);
+      log = Filename.concat tmp (Printf.sprintf "s%d_%s.log" index name);
+      db_gen = 0;
+      pid = None;
+    }
+  in
+  let a = node "a" and b = node "b" and c = node "c" in
+  let nodes = [ a; b; c ] in
+  let out = { acked = [] } in
+  let fault_seed = Random.State.int rng 1_000_000 in
+  Fun.protect
+    ~finally:(fun () -> List.iter reap nodes)
+    (fun () ->
+      (* clock-jump arms the fault on a standby (its lease observation
+         must absorb the jump); slow-disk arms on the primary (its
+         fsyncs stall but the lease must survive) *)
+      let pfaults =
+        if template = Slowdisk then Some ("wal.slow_fsync", fault_seed, 0.05)
+        else None
+      in
+      let sfaults =
+        if template = Clockjump then Some ("clock.jump", fault_seed, 0.2)
+        else None
+      in
+      spawn_primary ~exe ?faults:pfaults a ~others:[ b; c ];
+      let* () = wait_sock a in
+      spawn_standby ~exe ?faults:sfaults b ~primary:a ~others:[ a; c ]
+        ~seed:(seed + index);
+      spawn_standby ~exe c ~primary:a ~others:[ a; b ]
+        ~seed:(seed + index + 1);
+      let* () = wait_sock b in
+      let* () = wait_sock c in
+      (* both standbys must be granted leases before semi-sync writes
+         can ack *)
+      let* () =
+        wait_for "standbys connected" (fun () ->
+            match field_int (status_of a) "peers" with
+            | Some p -> p >= 2
+            | None -> false)
+      in
+      let* () =
+        wait_for "schema created" (fun () ->
+            match sql a "CREATE TABLE t (a INT);" with
+            | Client.Ok_text _ -> true
+            | _ -> false)
+      in
+      let base = (index + 1) * 1_000_000 in
+      write_burst nodes out ~base ~count:(20 + Random.State.int rng 10);
+      if out.acked = [] then Error "no write acked before the fault"
+      else begin
+        (* ---- the fault ---- *)
+        let* () =
+          match template with
+          | Kill ->
+              signal_node a Sys.sigkill;
+              reap a;
+              let* () =
+                wait_for "post-kill promotion" (fun () ->
+                    find_primary nodes <> None)
+              in
+              (* revive the dead node as a freshly-seeded standby of the
+                 winner: it must catch up from lsn 0 and converge *)
+              let winner =
+                match find_primary nodes with Some w -> w | None -> assert false
+              in
+              let loser =
+                List.find (fun n -> n.name <> winner.name && n.name <> "a")
+                  nodes
+              in
+              a.db_gen <- a.db_gen + 1;
+              spawn_standby ~exe a ~primary:winner ~others:[ winner; loser ]
+                ~seed:(seed + index + 2);
+              wait_sock a
+          | Partition ->
+              signal_node a Sys.sigstop;
+              let* () =
+                wait_for "post-partition promotion" (fun () ->
+                    find_primary nodes <> None
+                    && (match find_primary nodes with
+                       | Some w -> w.name <> "a"
+                       | None -> false))
+              in
+              (* heal: the zombie comes back, probes the cluster, and
+                 must fence itself *)
+              signal_node a Sys.sigcont;
+              let* () =
+                wait_for "zombie fences itself" (fun () ->
+                    contains (status_of a) "role=fenced")
+              in
+              (* a fenced node is out of the cluster for good: reap it
+                 so the convergence check ranges over live nodes only
+                 (its WAL legitimately holds unacked superseded
+                 records) *)
+              reap a;
+              Ok ()
+          | Clockjump | Slowdisk ->
+              (* no process dies: the cluster must simply ride it out
+                 without a spurious election *)
+              Clock.sleep_ms (3. *. lease_ms);
+              let st = List.map status_of (live_nodes nodes) in
+              if List.exists (fun s -> contains s "epoch=1") st then
+                Error "spurious failover under an absorbed fault"
+              else Ok ()
+        in
+        (* ---- more load after the fault ---- *)
+        let* () =
+          wait_for "a primary settles" (fun () -> find_primary nodes <> None)
+        in
+        let primary =
+          match find_primary nodes with Some p -> p | None -> assert false
+        in
+        (* semi-sync: the primary cannot ack until a standby is streaming
+           again, so wait for one connected sender before the burst *)
+        let* () =
+          wait_for "primary regains a connected standby" (fun () ->
+              match field_int (status_of primary) "peers" with
+              | Some p -> p >= 1
+              | None -> false)
+        in
+        write_burst nodes out
+          ~base:(base + 100_000)
+          ~count:(20 + Random.State.int rng 10);
+        let* () =
+          match template with
+          | Kill | Partition ->
+              if primary.name = "a" then
+                Error "the faulted primary is still primary"
+              else Ok ()
+          | Clockjump | Slowdisk ->
+              if primary.name <> "a" then
+                Error "spurious promotion under an absorbed fault"
+              else Ok ()
+        in
+        (* ---- invariants ---- *)
+        let* () = check_acked_present primary out in
+        let* () = check_convergence nodes primary in
+        let* () = check_one_writable nodes (base + 999_999) in
+        Ok ()
+      end)
+
+(* --------------------------- the sweep ---------------------------- *)
+
+let run ~exe ~seed ~schedules ~max_seconds ~quiet =
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eagerdb_chaos_%d" (Unix.getpid ()))
+  in
+  rm_rf tmp;
+  Unix.mkdir tmp 0o755;
+  (* EAGERDB_CHAOS_KEEP=1 preserves the temp dir (sockets, db dirs,
+     per-node logs) for post-mortem on a failing schedule *)
+  let keep = Sys.getenv_opt "EAGERDB_CHAOS_KEEP" <> None in
+  let started = Clock.now_ms () in
+  let say fmt = Printf.ksprintf (fun s -> print_endline ("chaos: " ^ s)) fmt in
+  let failures = ref 0 in
+  let ran = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> if keep then print_endline ("chaos: kept " ^ tmp) else rm_rf tmp)
+    (fun () ->
+      (try
+         for i = 0 to schedules - 1 do
+           let budget_left =
+             match max_seconds with
+             | None -> true
+             | Some s -> Clock.now_ms () -. started < s *. 1000.
+           in
+           if budget_left then begin
+             let template = templates.(i mod Array.length templates) in
+             incr ran;
+             match run_schedule ~exe ~tmp ~index:i ~seed ~template with
+             | Ok () ->
+                 if not quiet then
+                   say "schedule %d (%s) seed=%d OK" i
+                     (template_name template) seed
+             | Error reason ->
+                 incr failures;
+                 say "schedule %d (%s) seed=%d FAIL: %s" i
+                   (template_name template) seed reason
+           end
+         done
+       with e ->
+         incr failures;
+         say "driver exception: %s" (Printexc.to_string e));
+      say "%d/%d schedules passed%s" (!ran - !failures) !ran
+        (match max_seconds with
+        | Some s when !ran < schedules ->
+            Printf.sprintf " (wall-clock cap %.0fs reached after %d)" s !ran
+        | _ -> "");
+      if !failures = 0 then 0 else 1)

@@ -1,0 +1,32 @@
+(** Deterministic chaos harness for lease-based automated failover.
+
+    Each schedule boots a real 3-node cluster (three [eagerdb]
+    processes over unix sockets in a private temp dir), drives seeded
+    writer load through a redirect-following client, injects one fault
+    from the schedule's template — SIGKILL the primary, a
+    SIGSTOP/SIGCONT partition, backwards clock jumps ([clock.jump]) or
+    slow fsyncs ([wal.slow_fsync]) armed via the seeded fault CLI — and
+    checks three invariants:
+
+    + exactly one node accepts writes (probed with redirect-following
+      disabled, so a refusal cannot masquerade as an ack elsewhere);
+    + every acked write is a row on the final primary;
+    + once every live standby reports the primary's LSN, the WALs of
+      all live nodes are byte-identical.
+
+    All randomness threads an explicit seeded [Random.State], and fault
+    schedules inside the spawned servers are themselves seeded, so a
+    failing schedule replays exactly from [(seed, index)]. *)
+
+val run :
+  exe:string ->
+  seed:int ->
+  schedules:int ->
+  max_seconds:float option ->
+  quiet:bool ->
+  int
+(** Run [schedules] schedules (templates cycle round-robin), stopping
+    early once [max_seconds] of wall clock have elapsed (started
+    schedules always finish).  Prints one line per schedule plus a
+    summary; returns the process exit code: 0 iff every schedule that
+    ran passed. *)

@@ -10,6 +10,9 @@ let high_water = ref neg_infinity
 
 let now_ms () =
   let wall = Unix.gettimeofday () *. 1000. in
+  (* the [clock.jump] fault steps the raw sample 10s backwards before
+     monotonisation — a fake NTP correction the clamp must absorb *)
+  let wall = if Fault.hit "clock.jump" then wall -. 10_000. else wall in
   Mutex.lock mu;
   let now = if wall > !high_water then wall else !high_water in
   high_water := now;

@@ -21,6 +21,7 @@ type kind =
   | Planner
   | Resource
   | Io
+  | Fenced
 
 type t = { kind : kind; msg : string; context : string list }
 
@@ -38,6 +39,7 @@ let kind_to_string = function
   | Planner -> "Planner"
   | Resource -> "Resource"
   | Io -> "Io"
+  | Fenced -> "Fenced"
 
 let make kind msg = { kind; msg; context = [] }
 let kind t = t.kind
@@ -52,6 +54,24 @@ let exec fmt = errf Exec fmt
 let planner fmt = errf Planner fmt
 let resource fmt = errf Resource fmt
 let io fmt = errf Io fmt
+let fenced fmt = errf Fenced fmt
+
+(* Fenced errors carry the new primary's address as a [redirect=<addr>]
+   token in the message, so it survives the wire round-trip without a
+   protocol change.  [redirect_of_msg] is the inverse. *)
+let redirect_of_msg msg =
+  let prefix = "redirect=" in
+  let plen = String.length prefix in
+  (* wire payloads end in a newline, so split on all whitespace lest the
+     terminator ride along inside the address token *)
+  String.map (function ' ' | '\t' | '\n' | '\r' -> ' ' | c -> c) msg
+  |> String.split_on_char ' '
+  |> List.find_map (fun tok ->
+         if
+           String.length tok > plen
+           && String.sub tok 0 plen = prefix
+         then Some (String.sub tok plen (String.length tok - plen))
+         else None)
 
 let raise_ t = raise (Error_exn t)
 

@@ -17,6 +17,10 @@ type kind =
   | Planner  (** optimizer internals failed (normally demoted, not raised) *)
   | Resource  (** a {!Governor} budget was breached *)
   | Io  (** filesystem / snapshot trouble *)
+  | Fenced
+      (** the node lost the cluster lease or observed a higher epoch:
+          writes are refused and the message names the new primary as a
+          [redirect=<addr>] token (see {!redirect_of_msg}) *)
 
 type t = { kind : kind; msg : string; context : string list }
 
@@ -43,6 +47,12 @@ val exec : ('a, unit, string, t) format4 -> 'a
 val planner : ('a, unit, string, t) format4 -> 'a
 val resource : ('a, unit, string, t) format4 -> 'a
 val io : ('a, unit, string, t) format4 -> 'a
+val fenced : ('a, unit, string, t) format4 -> 'a
+
+val redirect_of_msg : string -> string option
+(** Extract the [redirect=<addr>] token a {!Fenced} message carries, if
+    any — how a client learns where the new primary listens without a
+    wire-protocol change. *)
 
 val raise_ : t -> 'a
 (** Raise as {!Error_exn} (hot-path transport). *)

@@ -33,6 +33,11 @@ let all_points =
     "repl.send"; (* replication sender, before shipping a record frame *)
     "repl.recv"; (* standby applier, before ingesting a shipped record *)
     "backup.copy"; (* Backup.write, mid-way through copying the WAL tail *)
+    "repl.lease"; (* replication sender, drops the piggybacked lease grant *)
+    "server.election"; (* standby election, before probing peers *)
+    "wal.epoch"; (* Durable epoch persistence, before the atomic rename *)
+    "clock.jump"; (* Clock.now_ms, steps the raw wall sample backwards *)
+    "wal.slow_fsync"; (* Wal.sync, injects latency before the fsync *)
   ]
 
 type seeded = {
@@ -108,6 +113,12 @@ let trip point = if armed () && fires point then raise (Err.Fault_injected point
 
 let check point =
   if armed () && fires point then Error (Err.of_fault point) else Ok ()
+
+(* boolean transport, for hooks that alter behaviour instead of failing
+   (a dropped lease grant, a backwards clock sample, a slow fsync) *)
+let hit point = armed () && fires point
+
+let lag ?(ms = 150.) point = if hit point then Unix.sleepf (ms /. 1000.)
 
 (* run [f] with a schedule armed, always disarming afterwards *)
 let with_seeded ~seed ~rate ?points f =

@@ -14,7 +14,9 @@ val all_points : string list
     [heap.append], [persist.rename], [persist.write], [exec.next],
     [opt.testfd], [opt.cost], [wal.append], [wal.fsync],
     [wal.truncate], [wal.replay], [wal.group_commit], [server.accept],
-    [server.read], [repl.send], [repl.recv], [backup.copy]. *)
+    [server.read], [repl.send], [repl.recv], [backup.copy],
+    [repl.lease], [server.election], [wal.epoch], [clock.jump],
+    [wal.slow_fsync]. *)
 
 val reset : unit -> unit
 (** Disarm everything and zero the counters. *)
@@ -39,6 +41,15 @@ val trip : string -> unit
 
 val check : string -> (unit, Err.t) result
 (** Result-transport variant of {!trip}. *)
+
+val hit : string -> bool
+(** Boolean transport: true iff this hit fires.  For hooks that alter
+    behaviour instead of failing — a dropped lease grant, a backwards
+    clock sample.  Near-free when nothing is armed (one branch). *)
+
+val lag : ?ms:float -> string -> unit
+(** Sleep [ms] (default 150) iff this hit fires — injected latency for
+    slow-disk schedules. *)
 
 val with_seeded :
   seed:int -> rate:float -> ?points:string list -> (unit -> 'a) -> 'a

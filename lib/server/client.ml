@@ -32,11 +32,12 @@ type config = {
   retries : int;
   backoff_ms : float;
   seed : int;
+  redirects : int;
 }
 
 let config ?(timeout_ms = 30_000.) ?(retries = 5) ?(backoff_ms = 25.)
-    ?(seed = 1) addr =
-  { addr; timeout_ms; retries; backoff_ms; seed }
+    ?(seed = 1) ?(redirects = 2) addr =
+  { addr; timeout_ms; retries; backoff_ms; seed; redirects }
 
 type response =
   | Ok_text of string
@@ -135,7 +136,7 @@ let run cfg sql =
      request frame was fully written — a read timeout or lost
      connection there may postdate the commit, and blindly re-running
      the script would apply non-idempotent writes twice. *)
-  let attempt () =
+  let attempt cfg =
     match connect cfg with
     | Error e -> `Unsent e
     | Ok c ->
@@ -149,20 +150,31 @@ let run cfg sql =
                 | Ok r -> `Response r
                 | Error e -> `Sent e))
   in
-  let rec go n =
-    match attempt () with
+  let rec go cfg hops n =
+    match attempt cfg with
+    | `Response (Failed { kind = "Fenced"; msg } as r) -> (
+        (* the node we asked lost (or never held) the write lease; a
+           [redirect=<addr>] token names the new primary.  Following it
+           is duplicate-safe: a fenced node refuses BEFORE executing,
+           so the statement has not run anywhere yet. *)
+        match Err.redirect_of_msg msg with
+        | Some target when hops < cfg.redirects -> (
+            match parse_addr target with
+            | Ok addr -> go { cfg with addr } (hops + 1) 0
+            | Error _ -> Ok r)
+        | _ -> Ok r)
     | `Response (Ok_text _ as r) | `Response (Failed _ as r) -> Ok r
     | `Response (Refused { retry_after_ms; _ } as r) ->
         if n >= cfg.retries then Ok r
         else begin
           backoff n retry_after_ms;
-          go (n + 1)
+          go cfg hops (n + 1)
         end
     | `Unsent e ->
         if n >= cfg.retries then Error e
         else begin
           backoff n 0;
-          go (n + 1)
+          go cfg hops (n + 1)
         end
     | `Sent e ->
         Error
@@ -171,4 +183,4 @@ let run cfg sql =
               retrying"
              e)
   in
-  go 0
+  go cfg 0 0

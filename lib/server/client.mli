@@ -31,11 +31,15 @@ type config = {
   retries : int;  (** additional attempts after the first *)
   backoff_ms : float;  (** base backoff, doubled per attempt, jittered *)
   seed : int;  (** jitter seed — explicit so tests are reproducible *)
+  redirects : int;
+      (** [Fenced] redirects {!run} follows before giving up; 0 pins the
+          client to its configured node (a probe that must not wander) *)
 }
 
 val config : ?timeout_ms:float -> ?retries:int -> ?backoff_ms:float ->
-  ?seed:int -> addr -> config
-(** Defaults: 30 s timeout, 5 retries, 25 ms base backoff, seed 1. *)
+  ?seed:int -> ?redirects:int -> addr -> config
+(** Defaults: 30 s timeout, 5 retries, 25 ms base backoff, seed 1,
+    2 redirects. *)
 
 type response =
   | Ok_text of string  (** rendered result text *)
@@ -62,4 +66,9 @@ val run : config -> string -> (response, Err.t) result
     [retries] times with jittered backoff.  Returns the last refusal
     or error if the budget is exhausted; a post-send transport error
     is returned without retrying (the server may have executed the
-    script — the error's context says so). *)
+    script — the error's context says so).
+
+    A [Fenced] failure naming a new primary ([redirect=<addr>] in the
+    message) is followed transparently, up to [redirects] hops: a
+    fenced node refuses {e before} executing, so re-running the script
+    at the named primary cannot double-apply it. *)

@@ -114,7 +114,15 @@ let kind_of_wire = function
   | "abort" -> Ok Wal.Abort
   | s -> Error (Err.io "replication stream: unknown record kind %S" s)
 
-let send_record conn ~primary_lsn (e : entry) =
+(* The lease grant rides every RECD/RHB frame as two trailing args
+   (<epoch> <lease_ms>) the pre-failover protocol simply ignores —
+   pattern matches on the standby side take a prefix.  A grant of 0 ms
+   is "no lease" (failover disabled, or the [repl.lease] fault ate the
+   grant); the standby then lets its observation window lapse. *)
+let lease_grant ~lease_ms =
+  if lease_ms > 0. && Fault.hit "repl.lease" then 0. else lease_ms
+
+let send_record conn ~primary_lsn ~lease_ms (e : entry) =
   let* () = Fault.check "repl.send" in
   Wire.write_frame conn ~verb:"RECD"
     ~args:
@@ -123,18 +131,32 @@ let send_record conn ~primary_lsn (e : entry) =
         kind_to_wire e.record.Wal.kind;
         string_of_int primary_lsn;
         Printf.sprintf "%.0f" e.pub_ms;
+        (* the record's OWN epoch, not the primary's current one: ingest
+           re-logs it verbatim so the two WALs stay byte-identical *)
+        string_of_int e.record.Wal.epoch;
+        Printf.sprintf "%.0f" (lease_grant ~lease_ms);
       ]
     e.record.Wal.payload
 
-let send_heartbeat conn ~primary_lsn =
+let send_heartbeat conn ~primary_lsn ~epoch ~lease_ms =
   Wire.write_frame conn ~verb:"RHB"
-    ~args:[ string_of_int primary_lsn; Printf.sprintf "%.0f" (Clock.now_ms ()) ]
+    ~args:
+      [
+        string_of_int primary_lsn;
+        Printf.sprintf "%.0f" (Clock.now_ms ());
+        string_of_int epoch;
+        Printf.sprintf "%.0f" (lease_grant ~lease_ms);
+      ]
     ""
 
 (* ---------- the sender: one per connected standby session ---------- *)
 
 type sender_stats = {
   mutable shipped_lsn : int;  (* last record seq written to this peer *)
+  mutable last_send_ms : float;
+      (* when the last frame (record or heartbeat) reached this peer's
+         socket — what the primary's own lease check reads: the lease is
+         held iff SOME sender wrote within the lease window *)
 }
 
 (* Catch a standby up from the on-disk WAL when the hub has evicted the
@@ -162,13 +184,25 @@ let catch_up_from_file ~wal_path ~cursor =
    or an error (including an injected [repl.send] fault) ends the
    session.  [heartbeat_ms] bounds how long the peer waits to learn the
    primary is alive; [stats] is live telemetry for STATUS. *)
-let sender_loop ~hub ~wal_path ~conn ~heartbeat_ms ~stats ~cursor =
+let sender_loop ~hub ~wal_path ~conn ~heartbeat_ms ~stats ~cursor ~epoch_now
+    ~lease_ms =
+  let sent r =
+    match r with
+    | Ok () ->
+        stats.last_send_ms <- Clock.now_ms ();
+        Ok ()
+    | Error _ as e -> e
+  in
   let rec go cursor =
     stats.shipped_lsn <- cursor;
     match wait_since hub ~seq:cursor ~timeout_ms:heartbeat_ms with
     | Closed -> Ok ()
     | Idle ->
-        let* () = send_heartbeat conn ~primary_lsn:(hub_last_seq hub) in
+        let* () =
+          sent
+            (send_heartbeat conn ~primary_lsn:(hub_last_seq hub)
+               ~epoch:(epoch_now ()) ~lease_ms)
+        in
         go cursor
     | Records entries ->
         let primary_lsn = hub_last_seq hub in
@@ -176,7 +210,7 @@ let sender_loop ~hub ~wal_path ~conn ~heartbeat_ms ~stats ~cursor =
           List.fold_left
             (fun acc e ->
               let* _ = acc in
-              let* () = send_record conn ~primary_lsn e in
+              let* () = sent (send_record conn ~primary_lsn ~lease_ms e) in
               Ok e.record.Wal.seq)
             (Ok cursor) entries
         in
@@ -200,7 +234,9 @@ let sender_loop ~hub ~wal_path ~conn ~heartbeat_ms ~stats ~cursor =
                 (fun acc r ->
                   let* _ = acc in
                   let* () =
-                    send_record conn ~primary_lsn { record = r; pub_ms = now }
+                    sent
+                      (send_record conn ~primary_lsn ~lease_ms
+                         { record = r; pub_ms = now })
                   in
                   Ok r.Wal.seq)
                 (Ok cursor) fresh
@@ -218,6 +254,11 @@ type standby_stats = {
   mutable primary_lsn : int;  (* last value the stream reported *)
   mutable lag_ms : float;  (* apply time minus publish time, last record *)
   mutable reconnects : int;
+  mutable stream_epoch : int;  (* highest epoch the stream has carried *)
+  mutable lease_ms : float;  (* size of the last non-zero grant *)
+  mutable lease_deadline_ms : float;
+      (* when the lease observation window lapses (monotonised clock);
+         0 = no grant ever observed on this connection *)
 }
 
 let standby_stats ~lsn =
@@ -228,19 +269,24 @@ let standby_stats ~lsn =
     primary_lsn = lsn;
     lag_ms = 0.;
     reconnects = 0;
+    stream_epoch = 0;
+    lease_ms = 0.;
+    lease_deadline_ms = 0.;
   }
 
 let standby_line st ~primary =
   Mutex.lock st.smu;
+  let lease_remaining = Float.max 0. (st.lease_deadline_ms -. Clock.now_ms ()) in
   let line =
     Printf.sprintf
       "repl: role=standby primary=%s connected=%s applied_lsn=%d \
-       primary_lsn=%d lag_records=%d lag_ms=%.0f reconnects=%d"
+       primary_lsn=%d lag_records=%d lag_ms=%.0f reconnects=%d \
+       stream_epoch=%d lease_remaining_ms=%.0f"
       primary
       (if st.connected then "yes" else "no")
       st.applied_lsn st.primary_lsn
       (max 0 (st.primary_lsn - st.applied_lsn))
-      st.lag_ms st.reconnects
+      st.lag_ms st.reconnects st.stream_epoch lease_remaining
   in
   Mutex.unlock st.smu;
   line
@@ -297,19 +343,58 @@ let connect_primary addr =
              raise e);
           fd)
 
-(* One connection's lifetime: handshake from the current LSN, then
-   apply RECD frames until the stream breaks.  [ingest] is the server's
-   closure (it takes the commit lock and feeds [Durable.ingest]);
-   [lsn_now] reads the standby's own LSN.  Ok () = orderly end (stop or
-   primary shutdown); Error = broken stream, caller decides on retry. *)
-let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now (a : applier) =
+(* ---------- election probes ---------- *)
+
+type vote = { v_addr : string; v_lsn : int; v_epoch : int; v_role : string }
+
+(* One ELEC round-trip on a throwaway connection: connect, probe, read
+   the VOTE, close.  Used by a standby candidate ranking the cluster
+   and by a primary's prober sniffing for a successor epoch after a
+   partition heals.  The connect itself may block (no deadline on the
+   syscall), but the unix/loopback sockets failover runs over refuse
+   dead peers immediately; the read is deadline-bounded like every
+   other read in this library. *)
+let probe ~addr ~timeout_ms ~epoch ~lsn ~self =
+  let* fd = connect_primary addr in
+  let conn = Wire.of_fd fd in
+  Fun.protect
+    ~finally:(fun () -> Wire.close conn)
+    (fun () ->
+      let* () = Wire.elec conn ~epoch ~lsn ~addr:self in
+      let* frame = Wire.read_frame conn ~timeout_ms in
+      match frame with
+      | Some { Wire.verb = "VOTE"; args = a :: l :: e :: r :: _; _ } -> (
+          match (int_of_string_opt l, int_of_string_opt e) with
+          | Some v_lsn, Some v_epoch ->
+              Ok { v_addr = a; v_lsn; v_epoch; v_role = r }
+          | _ -> Error (Err.io "election probe: malformed VOTE from %s" a))
+      | Some { Wire.verb = "ERR"; payload; _ } ->
+          Error (Err.io "election probe refused: %s" payload)
+      | Some { Wire.verb; _ } ->
+          Error (Err.io "election probe: unexpected verb %S" verb)
+      | None -> Error (Err.io "election probe: peer closed without voting"))
+
+(* One connection's lifetime: handshake from the current LSN and
+   epoch, then apply RECD frames until the stream breaks.  [ingest] is
+   the server's closure (it takes the commit lock and feeds
+   [Durable.ingest]); [lsn_now]/[epoch_now] read the standby's own LSN
+   and cluster-epoch floor; [observe] reports every epoch + lease grant
+   the stream carries back to the server (the failover monitor's food).
+   Ok completed = orderly end (stop or primary shutdown), with
+   [completed] recording whether the handshake's OK ever arrived — a
+   primary that accepts then immediately drops ends Ok false, and the
+   caller must keep escalating backoff or it hot-loops.  Error = broken
+   stream, caller decides on retry. *)
+let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now ~epoch_now ~observe
+    (a : applier) =
   let* fd = connect_primary addr in
   if not (applier_track a fd) then begin
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    Ok ()
+    Ok false
   end
   else
     let conn = Wire.of_fd fd in
+    let handshook = ref false in
     Fun.protect
       ~finally:(fun () ->
         applier_untrack a;
@@ -320,26 +405,73 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now (a : applier) =
       (fun () ->
         let* () =
           Wire.write_frame conn ~verb:"REPL"
-            ~args:[ string_of_int (lsn_now ()) ]
+            ~args:
+              [ string_of_int (lsn_now ()); string_of_int (epoch_now ()) ]
             ""
         in
+        (* every grant extends the lease observation window; every epoch
+           ratchets the stream's high-water mark *)
+        let note_grant ~epoch ~lease =
+          Mutex.lock a.stats.smu;
+          if epoch > a.stats.stream_epoch then a.stats.stream_epoch <- epoch;
+          if lease > 0. then begin
+            a.stats.lease_ms <- lease;
+            a.stats.lease_deadline_ms <- Clock.now_ms () +. lease
+          end;
+          Mutex.unlock a.stats.smu;
+          observe ~epoch ~lease_ms:lease
+        in
+        (* a stream speaking from a lower epoch than ours is a zombie
+           primary: refuse it even when it ships nothing (record-level
+           fencing in [Durable.ingest] never sees an idle stream) *)
+        let guard_epoch epoch =
+          if epoch < epoch_now () then
+            Error
+              (Err.fenced
+                 "replication stream speaks from stale epoch %d but this \
+                  node is at epoch %d"
+                 epoch (epoch_now ()))
+          else Ok ()
+        in
+        let int_arg ?(default = 0) s =
+          match int_of_string_opt s with Some v -> v | None -> default
+        in
+        let float_arg ?(default = 0.) s =
+          match float_of_string_opt s with Some v -> v | None -> default
+        in
         let rec pump () =
-          if applier_stopped a then Ok ()
+          if applier_stopped a then Ok !handshook
           else
             let* frame = Wire.read_frame conn ~timeout_ms:read_timeout_ms in
             match frame with
-            | None -> Ok ()  (* primary closed the stream in an orderly way *)
-            | Some { Wire.verb = "OK"; _ } ->
-                (* handshake accepted *)
+            | None ->
+                Ok !handshook  (* primary closed the stream in an orderly way *)
+            | Some { Wire.verb = "OK"; args; _ } ->
+                (* handshake accepted; the reply names the primary's
+                   current epoch *)
+                let epoch =
+                  match args with
+                  | e :: _ -> int_arg ~default:(epoch_now ()) e
+                  | [] -> epoch_now ()
+                in
+                let* () = guard_epoch epoch in
+                handshook := true;
                 Mutex.lock a.stats.smu;
                 a.stats.connected <- true;
                 Mutex.unlock a.stats.smu;
+                note_grant ~epoch ~lease:0.;
                 pump ()
             | Some { Wire.verb = "ERR"; payload; _ } ->
                 (* typed refusal from the primary: split-brain or an
                    unservable gap.  Not retryable — surface it. *)
                 Error (Err.io "primary refused replication: %s" payload)
-            | Some { Wire.verb = "RHB"; args = plsn :: _; _ } ->
+            | Some { Wire.verb = "RHB"; args = plsn :: rest; _ } ->
+                let epoch, lease =
+                  match rest with
+                  | _now :: e :: l :: _ -> (int_arg ~default:(epoch_now ()) e, float_arg l)
+                  | _ -> (epoch_now (), 0.)
+                in
+                let* () = guard_epoch epoch in
                 Mutex.lock a.stats.smu;
                 (match int_of_string_opt plsn with
                 | Some l ->
@@ -347,16 +479,25 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now (a : applier) =
                     if a.stats.applied_lsn >= l then a.stats.lag_ms <- 0.
                 | None -> ());
                 Mutex.unlock a.stats.smu;
+                note_grant ~epoch ~lease;
                 pump ()
             | Some
                 {
                   Wire.verb = "RECD";
-                  args = seq :: kind :: plsn :: pub :: _;
+                  args = seq :: kind :: plsn :: pub :: rest;
                   payload;
                 } -> (
                 match (int_of_string_opt seq, kind_of_wire kind) with
                 | Some seq, Ok kind ->
-                    let record = { Wal.seq; kind; payload } in
+                    let epoch, lease =
+                      match rest with
+                      | e :: l :: _ -> (int_arg e, float_arg l)
+                      | _ -> (0, 0.)
+                    in
+                    let record = { Wal.seq; kind; payload; epoch } in
+                    (* a stale-epoch record dies inside ingest (typed
+                       Fenced), so the zombie fence holds even if the
+                       stream's heartbeats lied *)
                     let* () = ingest record in
                     Mutex.lock a.stats.smu;
                     a.stats.applied_lsn <- seq;
@@ -368,6 +509,7 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now (a : applier) =
                         a.stats.lag_ms <- Float.max 0. (Clock.now_ms () -. pub_ms)
                     | None -> ());
                     Mutex.unlock a.stats.smu;
+                    note_grant ~epoch ~lease;
                     pump ()
                 | None, _ ->
                     Error (Err.io "replication stream: bad seq %S" seq)
@@ -381,27 +523,45 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now (a : applier) =
    the global [Random] is banned repo-wide) until [stop_applier].  A
    broken stream is logged to [on_error] and retried; only [stop] ends
    the loop, because a standby's whole job is to outlive its primary's
-   bad days. *)
+   bad days.  The ladder resets only after a COMPLETED handshake: a
+   primary that accepts the connection and immediately drops it (a
+   listener up but a hub wedged, a proxy half-open) used to reset the
+   ladder on every connect and hot-loop the standby at the base
+   interval. *)
 let applier_loop ~addr ~read_timeout_ms ~backoff_ms ~seed ~ingest ~lsn_now
-    ~on_error (a : applier) =
+    ~epoch_now ~observe ~on_error (a : applier) =
   let rng = Random.State.make [| seed; 0x9eb1 |] in
+  let count_reconnect () =
+    Mutex.lock a.stats.smu;
+    a.stats.reconnects <- a.stats.reconnects + 1;
+    Mutex.unlock a.stats.smu
+  in
   let rec go attempt =
     if applier_stopped a then ()
     else
-      match applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now a with
-      | Ok () ->
-          (* orderly close: the primary shut down (or we are stopping);
-             keep trying from a fresh backoff ladder *)
+      match
+        applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now ~epoch_now
+          ~observe a
+      with
+      | Ok true ->
+          (* orderly close after a real session: the primary shut down
+             (or we are stopping); retry from a fresh backoff ladder *)
           if not (applier_stopped a) then begin
             pause 0;
             go 1
           end
+      | Ok false ->
+          (* accept-then-drop without an OK: treat like a broken stream
+             and keep escalating, or a flapping primary hot-loops us *)
+          if not (applier_stopped a) then begin
+            count_reconnect ();
+            pause attempt;
+            go (min (attempt + 1) 8)
+          end
       | Error e ->
           on_error e;
           if not (applier_stopped a) then begin
-            Mutex.lock a.stats.smu;
-            a.stats.reconnects <- a.stats.reconnects + 1;
-            Mutex.unlock a.stats.smu;
+            count_reconnect ();
             pause attempt;
             go (min (attempt + 1) 8)
           end
@@ -413,7 +573,7 @@ let applier_loop ~addr ~read_timeout_ms ~backoff_ms ~seed ~ingest ~lsn_now
   go 0
 
 let start_applier ~addr ~read_timeout_ms ~backoff_ms ~seed ~lsn ~ingest
-    ~on_error =
+    ~epoch_now ~observe ~on_error =
   let a =
     {
       amu = Mutex.create ();
@@ -433,7 +593,7 @@ let start_applier ~addr ~read_timeout_ms ~backoff_ms ~seed ~lsn ~ingest
                let l = a.stats.applied_lsn in
                Mutex.unlock a.stats.smu;
                l)
-             ~on_error a)
+             ~epoch_now ~observe ~on_error a)
          ());
   a
 

@@ -9,14 +9,24 @@
     a standby needs — that standby must re-seed from a fresh backup.
 
     The standby side is an {!applier}: a thread that connects to the
-    primary, handshakes with a single [REPL <last_lsn>] frame, feeds
-    every shipped record to an [ingest] closure (the server wraps
+    primary, handshakes with a single [REPL <last_lsn> <epoch>] frame,
+    feeds every shipped record to an [ingest] closure (the server wraps
     [Durable.ingest] in its commit lock), and reconnects with jittered
-    exponential backoff whenever the stream breaks.  Only
-    {!stop_applier} (promotion or shutdown) ends it.
+    exponential backoff whenever the stream breaks — the ladder resets
+    only after a {e completed} handshake, so an accept-then-drop
+    primary cannot hot-loop the standby.  Only {!stop_applier}
+    (promotion or shutdown) ends it.
+
+    Failover rides this stream: every [RECD]/[RHB] frame carries two
+    trailing args [<epoch> <lease_ms>] — the cluster epoch and a lease
+    grant the standby's failover monitor watches (see DESIGN.md §15).
+    A stream speaking from a lower epoch than the standby's is refused
+    with a typed [Fenced] error (the zombie fence for idle streams;
+    stale {e records} die inside [Durable.ingest]).
 
     Fault points: [repl.send] fires before each outbound record frame;
-    [repl.recv] fires inside [Durable.ingest]. *)
+    [repl.lease] eats an outbound lease grant; [repl.recv] fires inside
+    [Durable.ingest]. *)
 
 open Eager_robust
 open Eager_durable
@@ -53,7 +63,12 @@ type wait_result =
 val wait_since : hub -> seq:int -> timeout_ms:float -> wait_result
 (** Everything published after [seq], blocking up to [timeout_ms]. *)
 
-type sender_stats = { mutable shipped_lsn : int }
+type sender_stats = {
+  mutable shipped_lsn : int;
+  mutable last_send_ms : float;
+      (** when the last frame reached this peer — the primary holds its
+          lease iff {e some} sender wrote within the lease window *)
+}
 
 val sender_loop :
   hub:hub ->
@@ -62,10 +77,33 @@ val sender_loop :
   heartbeat_ms:float ->
   stats:sender_stats ->
   cursor:int ->
+  epoch_now:(unit -> int) ->
+  lease_ms:float ->
   (unit, Err.t) result
 (** Stream to one standby from [cursor] (its handshake LSN) until the
     hub closes ([Ok ()]), the peer drops, or a typed error (injected
-    [repl.send] fault, unservable gap) ends the session. *)
+    [repl.send] fault, unservable gap) ends the session.  Each frame
+    carries [epoch_now ()] (records carry their own stamped epoch) and
+    a [lease_ms] grant; pass [lease_ms = 0.] when failover is off. *)
+
+(** {1 Elections} *)
+
+type vote = { v_addr : string; v_lsn : int; v_epoch : int; v_role : string }
+(** A peer's answer to an election probe: its listen address, applied
+    LSN, cluster epoch and role (["primary"]/["standby"]/["fenced"]). *)
+
+val probe :
+  addr:Client.addr ->
+  timeout_ms:float ->
+  epoch:int ->
+  lsn:int ->
+  self:string ->
+  (vote, Err.t) result
+(** One [ELEC]/[VOTE] round-trip on a throwaway connection.  [epoch]
+    and [lsn] announce the prober's position; [self] its address.  The
+    caller ranks candidates by (LSN, address) — highest LSN wins, ties
+    to the smallest address — and treats a live primary at an equal or
+    higher epoch as an abort. *)
 
 (** {1 Standby side} *)
 
@@ -76,11 +114,17 @@ type standby_stats = {
   mutable primary_lsn : int;
   mutable lag_ms : float;
   mutable reconnects : int;
+  mutable stream_epoch : int;  (** highest epoch the stream has carried *)
+  mutable lease_ms : float;  (** size of the last non-zero grant *)
+  mutable lease_deadline_ms : float;
+      (** when the lease observation window lapses (monotonised clock);
+          0 = no grant ever observed *)
 }
 
 val standby_line : standby_stats -> primary:string -> string
 (** The STATUS line: role, connection state, applied/primary LSN, lag
-    in records and milliseconds, reconnect count. *)
+    in records and milliseconds, reconnect count, stream epoch and
+    remaining lease. *)
 
 type applier
 
@@ -91,12 +135,17 @@ val start_applier :
   seed:int ->
   lsn:int ->
   ingest:(Wal.record -> (unit, Err.t) result) ->
+  epoch_now:(unit -> int) ->
+  observe:(epoch:int -> lease_ms:float -> unit) ->
   on_error:(Err.t -> unit) ->
   applier
 (** Spawn the applier thread.  [lsn] is the standby's recovered LSN
     (the first handshake value); [ingest] must be thread-safe against
-    the server's readers (take the commit lock).  [on_error] observes
-    each broken-stream error before the reconnect backoff. *)
+    the server's readers (take the commit lock); [epoch_now] is the
+    node's cluster-epoch floor (handshake arg + zombie-stream guard);
+    [observe] is called with every epoch/lease the stream carries, on
+    the applier thread — it must not block.  [on_error] observes each
+    broken-stream error before the reconnect backoff. *)
 
 val stop_applier : applier -> unit
 (** Stop, yank any blocked read, join the thread.  Idempotent in

@@ -34,6 +34,9 @@ type config = {
   die_on_broken_wal : bool;
   role : role;
   repl_retain : int;
+  peers : Client.addr list;
+  lease_ms : float;
+  auto_failover : bool;
 }
 
 let default_config listen =
@@ -46,11 +49,27 @@ let default_config listen =
     die_on_broken_wal = false;
     role = Primary;
     repl_retain = 1024;
+    peers = [];
+    lease_ms = 1_000.;
+    auto_failover = true;
   }
 
 (* how long a standby waits between heartbeats before declaring the
    stream dead; senders heartbeat at a quarter of this *)
 let repl_heartbeat_ms = 250.
+
+(* Failover is armed only when the operator names the rest of the
+   cluster: a peerless server never elects, never fences itself for a
+   lapsed lease, and never holds commits for a standby ack — exactly
+   the pre-failover behaviour. *)
+let failover_active cfg = cfg.auto_failover && cfg.peers <> []
+
+(* The skew margin a standby adds past its lease-observation deadline
+   before electing: the primary self-suspends at [lease_ms] after its
+   last successful send, and grants can only arrive at or after the
+   send, so by [deadline + skew] a live-but-slow primary has already
+   stopped acking writes (see DESIGN.md §15 for the timing argument). *)
+let skew_margin_ms cfg = Float.max 100. (cfg.lease_ms /. 2.)
 
 (* a write-once cell the commit thread fills and a session thread waits on *)
 module Ivar = struct
@@ -87,6 +106,13 @@ type backend =
   | Durable of Durable.t
   | Mem of { db : Database.t; mutable mem_lsn : int }
 
+(* A primary that lost its place in the cluster: it keeps serving reads
+   on its last-known history, but every write refuses with a typed
+   [Fenced] error, and only a restart (re-seeded from the new history)
+   clears the state.  [leader] fills in as the successor is
+   discovered. *)
+type fenced = { at_epoch : int; new_epoch : int; leader : string option }
+
 type t = {
   cfg : config;
   backend : backend;
@@ -113,6 +139,12 @@ type t = {
   mutable is_standby : bool;
   mutable applier : Repl.applier option;
   mutable senders : Repl.sender_stats list;  (* live outbound streams *)
+  (* failover *)
+  mutable fenced : fenced option;
+  mutable primary_addr : Client.addr option;  (* current upstream (standby) *)
+  mutable elections : int;
+  mutable grace_until_ms : float;
+      (* lease grace after start/promotion: no suspension, no election *)
 }
 
 let bound_addr t = t.addr_str
@@ -120,6 +152,118 @@ let db_of t = match t.backend with Durable d -> Durable.db d | Mem m -> m.db
 
 let current_lsn t =
   match t.backend with Durable d -> Durable.lsn d | Mem m -> m.mem_lsn
+
+let epoch_of t = match t.backend with Durable d -> Durable.epoch d | Mem _ -> 0
+
+let standby_now t =
+  Mutex.lock t.role_mu;
+  let v = t.is_standby in
+  Mutex.unlock t.role_mu;
+  v
+
+let is_fenced t =
+  Mutex.lock t.role_mu;
+  let v = Option.is_some t.fenced in
+  Mutex.unlock t.role_mu;
+  v
+
+(* ---------- fencing ---------- *)
+
+(* Fence this primary out of the cluster: a higher epoch exists, so some
+   standby won an election past us.  Reads keep serving (the data up to
+   our last commit is real history), writes refuse from here on, and the
+   hub closes so every outbound stream — which would be shipping grants
+   for a lease we no longer hold — dies now.  Idempotent; later calls
+   may fill in a newly discovered leader or a higher epoch. *)
+let fence t ~new_epoch ~leader =
+  Mutex.lock t.role_mu;
+  let first = Option.is_none t.fenced && not t.is_standby in
+  (match t.fenced with
+  | Some f ->
+      let leader = if Option.is_some leader then leader else f.leader in
+      t.fenced <- Some { f with new_epoch = max f.new_epoch new_epoch; leader }
+  | None ->
+      if not t.is_standby then
+        t.fenced <- Some { at_epoch = epoch_of t; new_epoch; leader });
+  Mutex.unlock t.role_mu;
+  if first then
+    match t.hub with Some hub -> Repl.close_hub hub | None -> ()
+
+let fenced_err t ~what =
+  Mutex.lock t.role_mu;
+  let f = t.fenced in
+  Mutex.unlock t.role_mu;
+  match f with
+  | None -> None
+  | Some f ->
+      Some
+        (Err.fenced
+           "%s refused: this node was fenced at epoch %d (the cluster moved \
+            on to epoch %d)%s"
+           what f.at_epoch f.new_epoch
+           (match f.leader with
+           | Some l -> Printf.sprintf " — the new primary is redirect=%s" l
+           | None -> ""))
+
+(* The primary holds its lease iff SOME outbound stream delivered a
+   frame (and with it a grant) within the lease window — or we are
+   inside the startup/promotion grace, when no standby has had time to
+   connect yet.  [last_send_ms] reads race benignly with the sender
+   threads: a stale read errs toward giving the lease up early, never
+   toward keeping it. *)
+let holds_lease t =
+  let now = Clock.now_ms () in
+  Mutex.lock t.role_mu;
+  let grace = t.grace_until_ms in
+  let last =
+    List.fold_left
+      (fun acc (s : Repl.sender_stats) -> Float.max acc s.last_send_ms)
+      0. t.senders
+  in
+  Mutex.unlock t.role_mu;
+  now <= grace || (last > 0. && now -. last <= t.cfg.lease_ms)
+
+(* Semi-synchronous acknowledgement, failover mode only: a batch is
+   reported committed only once some standby's stream has the records on
+   its socket — otherwise an acked write could die with this node and be
+   missing from whichever standby wins the election.  Bounded by the
+   lease window; on timeout the batch IS durable locally, but it is
+   answered with a typed error telling the client to treat it as failed
+   (if the cluster moves on, the epoch fence erases it; if this node
+   survives, the write stands — the classic semi-sync ambiguity, scoped
+   to a window the operator chose). *)
+let await_ship t d =
+  if not (failover_active t.cfg) || standby_now t then Ok ()
+  else begin
+    let target = Durable.lsn d in
+    let deadline = Clock.now_ms () +. t.cfg.lease_ms in
+    let shipped () =
+      Mutex.lock t.role_mu;
+      let v =
+        List.fold_left
+          (fun acc (s : Repl.sender_stats) -> max acc s.shipped_lsn)
+          (-1) t.senders
+      in
+      Mutex.unlock t.role_mu;
+      v
+    in
+    let rec wait () =
+      if shipped () >= target then Ok ()
+      else if Clock.now_ms () >= deadline then
+        Error
+          (Err.io
+             "commit is durable on this node but no standby acknowledged it \
+              within the %.0f ms lease window; treat the statement as failed \
+              — if the cluster elects a new primary this write will be \
+              fenced away with this node"
+             t.cfg.lease_ms)
+      else begin
+        Clock.sleep_ms 2.;
+        wait ()
+      end
+    in
+    wait ()
+  end
 
 (* ---------- shutdown plumbing ---------- *)
 
@@ -169,14 +313,31 @@ let process_drain t reqs =
   Mutex.lock t.commit_mu;
   let flush_batches = function
     | [] -> ()
-    | batches ->
+    | batches -> (
+        match fenced_err t ~what:"write" with
+        | Some e ->
+            (* the commit queue is poisoned: runs that were enqueued
+               before the fence landed refuse without touching the WAL —
+               the fenced node must not extend a superseded history *)
+            Telemetry.fenced_refused t.tel;
+            List.iter
+              (fun (stmts, iv) ->
+                Ivar.fill iv (List.map (fun _ -> Error e) stmts))
+              batches
+        | None ->
         let all = List.concat_map fst batches in
         let results =
           match t.backend with
           | Durable d ->
               let rs = Durable.exec_grouped d all in
               Telemetry.group_commit t.tel ~statements:(List.length all);
-              rs
+              (match await_ship t d with
+              | Ok () -> rs
+              | Error e ->
+                  (* committed locally, never acked: downgrade every
+                     success to the typed never-acked error; statement
+                     refusals stay what they were *)
+                  List.map (function Ok _ -> Error e | r -> r) rs)
           | Mem m ->
               List.map
                 (fun s ->
@@ -194,7 +355,7 @@ let process_drain t reqs =
               Ivar.fill iv mine;
               give rs' rest
         in
-        give results batches
+        give results batches)
   in
   let rec go acc = function
     | [] -> flush_batches (List.rev acc)
@@ -445,12 +606,19 @@ let repl_line t =
         match (t.is_standby, t.applier) with
         | true, Some a ->
             let primary =
-              match t.cfg.role with
-              | Standby { primary; _ } -> Client.addr_to_string primary
-              | Primary -> "?"
+              match t.primary_addr with
+              | Some a -> Client.addr_to_string a
+              | None -> "?"
             in
             Repl.standby_line (Repl.applier_stats a) ~primary
-        | _ ->
+        | true, None ->
+            (* mid-retarget (or a failed promotion): still a standby,
+               just between streams — never claim to be a primary *)
+            Printf.sprintf "repl: role=standby primary=%s connected=no"
+              (match t.primary_addr with
+              | Some a -> Client.addr_to_string a
+              | None -> "?")
+        | false, _ ->
             let hub_lsn = Repl.hub_last_seq hub in
             let shipped =
               List.fold_left
@@ -466,8 +634,81 @@ let repl_line t =
       Mutex.unlock t.role_mu;
       Some line
 
+(* the failover line of STATUS: epoch, who holds the lease and for how
+   much longer, how many election rounds this node has run *)
+let failover_line t =
+  match t.backend with
+  | Mem _ -> None
+  | Durable d ->
+      if not (failover_active t.cfg) && Durable.epoch d = 0 && not (is_fenced t)
+      then None
+      else begin
+        let now = Clock.now_ms () in
+        Mutex.lock t.role_mu;
+        let fenced = t.fenced in
+        let standby = t.is_standby in
+        let elections = t.elections in
+        let primary = t.primary_addr in
+        let grace = t.grace_until_ms in
+        let applier = t.applier in
+        let last_send =
+          List.fold_left
+            (fun acc (s : Repl.sender_stats) -> Float.max acc s.last_send_ms)
+            0. t.senders
+        in
+        Mutex.unlock t.role_mu;
+        let role, holder, remaining =
+          match fenced with
+          | Some f ->
+              ("fenced", Option.value f.leader ~default:"?", 0.)
+          | None ->
+              if standby then begin
+                let deadline =
+                  match applier with
+                  | Some a ->
+                      let st = Repl.applier_stats a in
+                      Mutex.lock st.Repl.smu;
+                      let v = st.Repl.lease_deadline_ms in
+                      Mutex.unlock st.Repl.smu;
+                      v
+                  | None -> 0.
+                in
+                let holder =
+                  if deadline > now then
+                    match primary with
+                    | Some a -> Client.addr_to_string a
+                    | None -> "?"
+                  else "-"
+                in
+                ("standby", holder, Float.max 0. (deadline -. now))
+              end
+              else
+                let remaining =
+                  Float.max (grace -. now)
+                    (if last_send > 0. then
+                       t.cfg.lease_ms -. (now -. last_send)
+                     else 0.)
+                in
+                let holder = if remaining > 0. then t.addr_str else "-" in
+                ("primary", holder, Float.max 0. remaining)
+        in
+        Some
+          (Printf.sprintf
+             "failover: epoch=%d role=%s lease_holder=%s \
+              lease_remaining_ms=%.0f elections=%d peers=%d lease_ms=%.0f"
+             (Durable.epoch d) role holder remaining elections
+             (List.length t.cfg.peers) t.cfg.lease_ms)
+      end
+
 let status_report t =
-  Telemetry.render ?repl:(repl_line t) t.tel ~snapshot_lsn:(current_lsn t)
+  let repl =
+    match (repl_line t, failover_line t) with
+    | None, None -> None
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | Some a, Some b -> Some (a ^ "\n" ^ b)
+  in
+  Telemetry.render ?repl t.tel ~snapshot_lsn:(current_lsn t)
     ~sessions:(Admission.sessions t.adm) ~active:(Admission.active t.adm)
     ~queued:(Admission.queued t.adm)
 
@@ -485,42 +726,88 @@ let run_write_batch t sess buf run =
       Ok ())
     (List.combine run results)
 
-(* Promotion: stop the inbound stream, flip the role.  The hub and
-   commit tap have been live since start (a standby publishes what it
-   ingests), so the moment the flag flips this node serves writes and
-   REPL streams with no further wiring. *)
+(* Promotion: stop the inbound stream, durably bump the cluster epoch,
+   flip the role.  The hub and commit tap have been live since start (a
+   standby publishes what it ingests), so the moment the flag flips this
+   node serves writes and REPL streams with no further wiring.  The
+   epoch bump happens BEFORE the first write is accepted: every record
+   this primary commits carries the new epoch, which is what fences the
+   old primary's zombie stream out of the rest of the cluster. *)
 let promote t =
   match t.backend with
   | Mem _ -> Error (Err.io "PROMOTE requires a durable server (serve --db DIR)")
   | Durable d ->
       Mutex.lock t.role_mu;
-      if not t.is_standby then begin
+      if Option.is_some t.fenced then begin
+        Mutex.unlock t.role_mu;
+        Error
+          (Err.io
+             "this node was fenced out of the cluster; re-seed it from a \
+              fresh backup before promoting it")
+      end
+      else if not t.is_standby then begin
         Mutex.unlock t.role_mu;
         Error (Err.io "already primary; PROMOTE is a standby operation")
       end
       else begin
         let applier = t.applier in
         t.applier <- None;
-        t.is_standby <- false;
         Mutex.unlock t.role_mu;
         (match applier with Some a -> Repl.stop_applier a | None -> ());
-        (* the applier is joined: the LSN is quiescent until writes start *)
-        Ok (Durable.lsn d)
+        (* the applier is joined: the LSN is quiescent until writes
+           start.  Flip the role only after the bump persists — on
+           failure the node stays a read-only standby (its monitor will
+           retry the election) rather than becoming a primary whose
+           records are indistinguishable from the dead one's. *)
+        match Durable.bump_epoch d with
+        | Error e ->
+            Error (Err.add_context "promotion aborted before taking writes" e)
+        | Ok _new_epoch ->
+            Mutex.lock t.role_mu;
+            t.is_standby <- false;
+            t.primary_addr <- None;
+            t.grace_until_ms <- Clock.now_ms () +. (2. *. t.cfg.lease_ms);
+            Mutex.unlock t.role_mu;
+            Ok (Durable.lsn d)
       end
 
-let standby_now t =
-  Mutex.lock t.role_mu;
-  let v = t.is_standby in
-  Mutex.unlock t.role_mu;
-  v
-
-let refuse_on_standby t what =
-  if standby_now t then
-    Error
-      (Err.io "%s refused: this node is a read-only standby (PROMOTE it, or \
-               address the primary)"
-         what)
-  else Ok ()
+(* The write-refusal ladder, checked before anything is enqueued:
+   fenced beats standby beats a lapsed lease.  The first two refuse with
+   a typed [Fenced] error whose [redirect=<addr>] token lets [Client.run]
+   re-aim the statement at the real primary (duplicate-safe: refusal
+   precedes execution); the lease case is a [Resource] suspension — this
+   node is still the primary, it just cannot prove it right now, so it
+   degrades to read-only instead of risking a split brain. *)
+let refuse_writes t what =
+  match fenced_err t ~what with
+  | Some e ->
+      Telemetry.fenced_refused t.tel;
+      Error e
+  | None ->
+      if standby_now t then begin
+        Telemetry.fenced_refused t.tel;
+        Mutex.lock t.role_mu;
+        let primary = t.primary_addr in
+        Mutex.unlock t.role_mu;
+        Error
+          (Err.fenced
+             "%s refused: this node is a read-only standby (PROMOTE it, or \
+              address the primary)%s"
+             what
+             (match primary with
+             | Some a ->
+                 Printf.sprintf " — the primary is redirect=%s"
+                   (Client.addr_to_string a)
+             | None -> ""))
+      end
+      else if failover_active t.cfg && not (holds_lease t) then
+        Error
+          (Err.resource
+             "%s suspended: no standby acknowledged this primary within the \
+              %.0f ms lease window, so it degrades to read-only rather than \
+              risk a split brain; retry once a standby reconnects"
+             what t.cfg.lease_ms)
+      else Ok ()
 
 (* execute one parsed request under one admission ticket, rendering into
    [buf]; the first failing statement stops the request *)
@@ -529,19 +816,19 @@ let run_statements t sess ~governor buf stmts =
   let rec go = function
     | [] -> Ok ()
     | (s :: _ as l) when is_loggable_write s ->
-        let* () = refuse_on_standby t "write" in
+        let* () = refuse_writes t "write" in
         let run, rest = span is_loggable_write l in
         let* () = run_write_batch t sess buf run in
         go rest
     | Ast.S_checkpoint :: rest ->
-        let* () = refuse_on_standby t "CHECKPOINT" in
+        let* () = refuse_writes t "CHECKPOINT" in
         let iv = Ivar.create () in
         let* () = enqueue t (W_checkpoint iv) in
         let* outcome = Ivar.read iv in
         describe_outcome buf outcome;
         go rest
     | Ast.S_backup dir :: rest ->
-        let* () = refuse_on_standby t "BACKUP" in
+        let* () = refuse_writes t "BACKUP" in
         let iv = Ivar.create () in
         let* () = enqueue t (W_backup (dir, iv)) in
         let* outcome = Ivar.read iv in
@@ -614,24 +901,52 @@ let unregister_session t fd =
    the handshake is refused with a typed error and this node keeps
    running untouched. *)
 let handle_repl t conn args =
-  let refuse msg = ignore (Wire.err conn ~kind:"Io" msg : (unit, Err.t) result) in
+  let refuse ?(kind = "Io") msg =
+    ignore (Wire.err conn ~kind msg : (unit, Err.t) result)
+  in
   match (t.backend, t.hub) with
   | Mem _, _ | _, None ->
       refuse "replication requires a durable server (serve --db DIR)"
   | Durable d, Some hub -> (
+      match fenced_err t ~what:"replication" with
+      | Some e ->
+          (* a fenced primary must not ship its superseded history (or
+             grants for a lease it no longer holds); the redirect sends
+             the standby to the real primary *)
+          refuse ~kind:"Fenced" (Err.to_string e)
+      | None ->
       if standby_now t then
         refuse
           "this node is a standby; cascading replication is not supported — \
            connect to the primary"
       else
         match args with
-        | lsn_s :: _ -> (
+        | lsn_s :: rest -> (
+            let peer_epoch =
+              match rest with
+              | e :: _ -> Option.value (int_of_string_opt e) ~default:0
+              | [] -> 0
+            in
             match int_of_string_opt lsn_s with
             | Some peer_lsn when peer_lsn >= 0 -> (
                 Mutex.lock t.commit_mu;
                 let my_lsn = Durable.lsn d in
                 Mutex.unlock t.commit_mu;
-                if peer_lsn > my_lsn then
+                let my_epoch = Durable.epoch d in
+                if peer_epoch > my_epoch then begin
+                  (* the peer lives in a later epoch: an election went
+                     past us while we were not looking.  Fence first,
+                     then refuse — this handshake is the zombie's wake-up
+                     call. *)
+                  fence t ~new_epoch:peer_epoch ~leader:None;
+                  refuse ~kind:"Fenced"
+                    (Printf.sprintf
+                       "split-brain refused: peer speaks from epoch %d but \
+                        this node is still at epoch %d — this node has been \
+                        superseded and is now fenced"
+                       peer_epoch my_epoch)
+                end
+                else if peer_lsn > my_lsn then
                   refuse
                     (Printf.sprintf
                        "split-brain refused: peer is at lsn %d, ahead of this \
@@ -639,10 +954,19 @@ let handle_repl t conn args =
                         must be re-seeded, not replicated to"
                        peer_lsn my_lsn)
                 else
-                  match Wire.ok conn (Printf.sprintf "streaming from %d" my_lsn) with
+                  match
+                    Wire.write_frame conn ~verb:"OK"
+                      ~args:[ string_of_int my_epoch ]
+                      (Printf.sprintf "streaming from %d" my_lsn)
+                  with
                   | Error _ -> ()
                   | Ok () ->
-                      let stats = { Repl.shipped_lsn = peer_lsn } in
+                      let stats =
+                        {
+                          Repl.shipped_lsn = peer_lsn;
+                          last_send_ms = Clock.now_ms ();
+                        }
+                      in
                       Mutex.lock t.role_mu;
                       t.senders <- stats :: t.senders;
                       Mutex.unlock t.role_mu;
@@ -658,6 +982,10 @@ let handle_repl t conn args =
                               ~wal_path:(Wal.path ~dir:(Durable.dir d))
                               ~conn ~heartbeat_ms:(repl_heartbeat_ms /. 4.)
                               ~stats ~cursor:peer_lsn
+                              ~epoch_now:(fun () -> Durable.epoch d)
+                              ~lease_ms:
+                                (if failover_active t.cfg then t.cfg.lease_ms
+                                 else 0.)
                           with
                           | Ok () -> ()
                           | Error e ->
@@ -671,6 +999,20 @@ let handle_repl t conn args =
                                   : (unit, Err.t) result)))
             | _ -> refuse "REPL handshake needs a non-negative lsn argument")
         | [] -> refuse "REPL handshake needs a non-negative lsn argument")
+
+(* Answer an election probe with the bare facts: our address, applied
+   LSN, epoch and role.  A vote is not a promise (there is no Raft-style
+   term ledger): the CANDIDATE ranks the answers, and safety comes from
+   the quorum requirement plus epoch fencing — see DESIGN.md §15. *)
+let handle_elec t conn =
+  Mutex.lock t.role_mu;
+  let role =
+    if Option.is_some t.fenced then "fenced"
+    else if t.is_standby then "standby"
+    else "primary"
+  in
+  Mutex.unlock t.role_mu;
+  Wire.vote conn ~addr:t.addr_str ~lsn:(current_lsn t) ~epoch:(epoch_of t) ~role
 
 let session_loop t fd =
   let conn = Wire.of_fd fd in
@@ -709,6 +1051,12 @@ let session_loop t fd =
                   match handle_request t sess conn payload with
                   | Ok () -> loop ()
                   | Error _ -> () (* peer gone *))
+              | Ok (Some { Wire.verb = "ELEC"; _ }) -> (
+                  (* an election probe (or a primary's prober): answer
+                     with our position and keep the session alive *)
+                  match handle_elec t conn with
+                  | Ok () -> loop ()
+                  | Error _ -> ())
               | Ok (Some { Wire.verb = "REPL"; args; _ }) ->
                   (* the session becomes an outbound replication stream
                      and ends with it — no loop back to the verb reader *)
@@ -782,6 +1130,200 @@ let accept_loop t =
                   loop ()))
   in
   loop ()
+
+(* ---------- the failover monitor ---------- *)
+
+(* Spawn (or re-point) the inbound replication stream.  Guarded against
+   a racing shutdown: an applier created after [initiate_shutdown]'s
+   stop pass already ran would never be stopped, so re-check under
+   [role_mu] — either the stop pass sees the applier we set, or we see
+   the flag and stop it ourselves. *)
+let spawn_applier t d ~addr =
+  let seed =
+    match t.cfg.role with
+    | Standby { repl_seed; _ } -> repl_seed
+    | Primary -> 1
+  in
+  let ingest r =
+    Mutex.lock t.commit_mu;
+    let res = Durable.ingest d r in
+    Mutex.unlock t.commit_mu;
+    res
+  in
+  let a =
+    Repl.start_applier ~addr ~read_timeout_ms:(repl_heartbeat_ms *. 20.)
+      ~backoff_ms:25. ~seed ~lsn:(Durable.lsn d) ~ingest
+      ~epoch_now:(fun () -> Durable.epoch d)
+      ~observe:(fun ~epoch ~lease_ms:_ ->
+        (* every grant ratchets this node's durable epoch floor, so a
+           zombie stream is refused even before it ships a record *)
+        if epoch > Durable.epoch d then
+          ignore (Durable.set_epoch d epoch : (unit, Err.t) result))
+      ~on_error:(fun _ -> ())
+  in
+  Mutex.lock t.role_mu;
+  let racing_shutdown = t.shutdown in
+  if not racing_shutdown then begin
+    t.applier <- Some a;
+    t.primary_addr <- Some addr
+  end;
+  Mutex.unlock t.role_mu;
+  if racing_shutdown then Repl.stop_applier a
+
+(* Re-point the inbound stream at a newly discovered primary.  A no-op
+   when we already follow that address. *)
+let retarget t d ~addr =
+  Mutex.lock t.role_mu;
+  let same = t.primary_addr = Some addr in
+  let applier = if same then None else t.applier in
+  if not same then t.applier <- None;
+  Mutex.unlock t.role_mu;
+  if not same then begin
+    (match applier with Some a -> Repl.stop_applier a | None -> ());
+    spawn_applier t d ~addr
+  end
+
+let bump_grace t ms =
+  Mutex.lock t.role_mu;
+  t.grace_until_ms <- Float.max t.grace_until_ms (Clock.now_ms () +. ms);
+  Mutex.unlock t.role_mu
+
+(* One election round, run on the failover thread after the lease
+   observation window lapsed past the skew margin.  Deterministic: probe
+   every peer, require a quorum of the full cluster (self included),
+   rank candidates by (applied LSN, address) — highest LSN wins, ties to
+   the smallest address — and promote only if this node is the unique
+   maximum.  A live primary at our epoch or above aborts the round (the
+   lapse was a stall or a healed partition, not a death). *)
+let run_election t d ~self =
+  Mutex.lock t.role_mu;
+  t.elections <- t.elections + 1;
+  Mutex.unlock t.role_mu;
+  let my_epoch = Durable.epoch d in
+  let my_lsn = Durable.lsn d in
+  let votes =
+    List.filter_map
+      (fun addr ->
+        match
+          Repl.probe ~addr
+            ~timeout_ms:(Float.max 250. (t.cfg.lease_ms /. 2.))
+            ~epoch:(my_epoch + 1) ~lsn:my_lsn ~self
+        with
+        | Ok v -> Some v
+        | Error _ -> None)
+      t.cfg.peers
+  in
+  let live_primary =
+    List.find_opt
+      (fun (v : Repl.vote) -> v.v_role = "primary" && v.v_epoch >= my_epoch)
+      votes
+  in
+  match live_primary with
+  | Some v ->
+      `Primary_alive (if v.v_epoch > my_epoch then Some v.v_addr else None)
+  | None ->
+      let cluster = List.length t.cfg.peers + 1 in
+      let quorum = (cluster / 2) + 1 in
+      if 1 + List.length votes < quorum then `No_quorum
+      else
+        let beats_me (v : Repl.vote) =
+          v.v_role = "standby"
+          && (v.v_lsn > my_lsn || (v.v_lsn = my_lsn && v.v_addr < self))
+        in
+        if List.exists beats_me votes then `Lost else `Won
+
+(* The standby side of one monitor tick: elect when the lease
+   observation window (extended by every grant the stream carries) has
+   lapsed past the skew margin. *)
+let standby_tick t d ~self =
+  let lease = t.cfg.lease_ms in
+  let now = Clock.now_ms () in
+  Mutex.lock t.role_mu;
+  let applier = t.applier in
+  let grace = t.grace_until_ms in
+  Mutex.unlock t.role_mu;
+  let observed =
+    match applier with
+    | Some a ->
+        let st = Repl.applier_stats a in
+        Mutex.lock st.Repl.smu;
+        let v = st.Repl.lease_deadline_ms in
+        Mutex.unlock st.Repl.smu;
+        v
+    | None -> 0.
+  in
+  let deadline = Float.max observed grace in
+  if now > deadline +. skew_margin_ms t.cfg then begin
+    match Fault.check "server.election" with
+    | Error _ ->
+        (* the injected fault forfeits this round; re-arm and retry at
+           the next lapse *)
+        bump_grace t lease
+    | Ok () -> (
+        match run_election t d ~self with
+        | `Won -> (
+            match promote t with Ok _ -> () | Error _ -> bump_grace t lease)
+        | `Primary_alive (Some leader) ->
+            (* a successor exists: follow it *)
+            (match Client.parse_addr leader with
+            | Ok addr -> retarget t d ~addr
+            | Error _ -> ());
+            bump_grace t lease
+        | `Primary_alive None | `Lost | `No_quorum ->
+            (* the healed primary's grants, or the winner's promotion,
+               will show up on the stream; don't spin the cluster with
+               back-to-back rounds in the meantime *)
+            bump_grace t lease)
+  end
+
+(* The primary side of one monitor tick: probe one peer (round-robin)
+   for evidence of a successor epoch.  A fenced or superseded primary
+   learns its fate here even if no standby ever reconnects to tell it. *)
+let primary_tick t d ~self ~round =
+  match t.cfg.peers with
+  | [] -> ()
+  | peers -> (
+      let addr = List.nth peers (round mod List.length peers) in
+      let my_epoch = Durable.epoch d in
+      let my_lsn = Durable.lsn d in
+      match
+        Repl.probe ~addr
+          ~timeout_ms:(Float.max 250. (t.cfg.lease_ms /. 2.))
+          ~epoch:my_epoch ~lsn:my_lsn ~self
+      with
+      | Error _ -> ()
+      | Ok v ->
+          if v.Repl.v_epoch > my_epoch then
+            fence t ~new_epoch:v.v_epoch
+              ~leader:(if v.v_role = "primary" then Some v.v_addr else None)
+          else if v.v_role = "primary" && v.v_epoch = my_epoch then
+            (* two primaries inside one epoch — the state the lease is
+               built to prevent; if it happens anyway (operator promoted
+               by hand, clocks jumped), the deterministic (lsn, addr)
+               tie-break fences the loser on both sides *)
+            if v.v_lsn > my_lsn || (v.v_lsn = my_lsn && v.v_addr < self) then
+              fence t ~new_epoch:my_epoch ~leader:(Some v.v_addr))
+
+(* The monitor thread: poll at a tenth of the lease.  Standbys watch
+   their lease-observation window; primaries probe for a successor
+   roughly once per lease interval. *)
+let failover_loop t =
+  match t.backend with
+  | Mem _ -> ()
+  | Durable d ->
+      let self = t.addr_str in
+      let poll = Float.max 20. (t.cfg.lease_ms /. 10.) in
+      let rec loop round =
+        if t.shutdown then ()
+        else begin
+          (if standby_now t then standby_tick t d ~self
+           else if (not (is_fenced t)) && round mod 10 = 0 then
+             primary_tick t d ~self ~round:(round / 10));
+          Clock.sleep_ms poll;
+          loop (round + 1)
+        end
+      in
+      loop 0
 
 (* ---------- lifecycle ---------- *)
 
@@ -862,6 +1404,15 @@ let start cfg =
           is_standby = (match cfg.role with Standby _ -> true | Primary -> false);
           applier = None;
           senders = [];
+          fenced = None;
+          primary_addr =
+            (match cfg.role with
+            | Standby { primary; _ } -> Some primary
+            | Primary -> None);
+          elections = 0;
+          (* boot grace: give the cluster 3 leases to find each other
+             before anyone suspends writes or calls an election *)
+          grace_until_ms = Clock.now_ms () +. (3. *. cfg.lease_ms);
           adm = Admission.create cfg.admission;
           tel = Telemetry.create ();
           snaps = Snapshot.create ();
@@ -882,22 +1433,14 @@ let start cfg =
         }
       in
       (match (cfg.role, backend) with
-      | Standby { primary; repl_seed }, Durable d ->
-          let ingest r =
-            Mutex.lock t.commit_mu;
-            let res = Durable.ingest d r in
-            Mutex.unlock t.commit_mu;
-            res
-          in
-          t.applier <-
-            Some
-              (Repl.start_applier ~addr:primary
-                 ~read_timeout_ms:(repl_heartbeat_ms *. 20.)
-                 ~backoff_ms:25. ~seed:repl_seed ~lsn:(Durable.lsn d) ~ingest
-                 ~on_error:(fun _ -> ()))
+      | Standby { primary; _ }, Durable d -> spawn_applier t d ~addr:primary
       | _ -> ());
       t.core_threads <-
-        [ Thread.create commit_loop t; Thread.create accept_loop t ];
+        [ Thread.create commit_loop t; Thread.create accept_loop t ]
+        @ (match backend with
+          | Durable _ when failover_active cfg ->
+              [ Thread.create failover_loop t ]
+          | _ -> []);
       Ok (t, recovery)
 
 let wait t =

@@ -48,6 +48,22 @@ type config = {
       (** committed records kept in memory for replication catch-up;
           standbys further behind are served from the on-disk WAL, and
           past that told to re-seed from a backup *)
+  peers : Client.addr list;
+      (** the OTHER nodes of the cluster.  Non-empty (with
+          [auto_failover]) arms lease-based failover: the primary
+          piggybacks lease grants on its replication stream and
+          suspends writes when no standby acknowledges it within
+          [lease_ms]; a standby whose lease observation lapses runs a
+          deterministic election among the peers (highest applied LSN
+          wins, ties to the smallest address; quorum is a majority of
+          the full cluster) and self-promotes, bumping the cluster
+          epoch that fences the old primary out.  Empty = the
+          pre-failover behaviour, exactly. *)
+  lease_ms : float;  (** the write lease window (and semi-sync ack bound) *)
+  auto_failover : bool;
+      (** [false] disarms elections, fencing-by-lease and semi-sync
+          acks even when [peers] is set — replication keeps flowing,
+          promotion stays manual (PROMOTE / SIGUSR1) *)
 }
 
 val default_config : listen -> config

@@ -28,6 +28,7 @@ type t = {
   mutable g_group_commits : int;
   mutable g_grouped_stmts : int;
   mutable g_connected : int; (* sessions ever accepted *)
+  mutable g_fenced : int; (* writes refused because the node is fenced/standby *)
 }
 
 let create () =
@@ -44,6 +45,7 @@ let create () =
     g_group_commits = 0;
     g_grouped_stmts = 0;
     g_connected = 0;
+    g_fenced = 0;
   }
 
 let locked t f =
@@ -102,6 +104,8 @@ let errored t s =
       s.errors <- s.errors + 1;
       t.g_errors <- t.g_errors + 1)
 
+let fenced_refused t = locked t (fun () -> t.g_fenced <- t.g_fenced + 1)
+
 let group_commit t ~statements =
   locked t (fun () ->
       t.g_group_commits <- t.g_group_commits + 1;
@@ -121,10 +125,11 @@ let render ?repl t ~snapshot_lsn ~sessions ~active ~queued =
         (Printf.sprintf
            "server: sessions=%d (ever %d) active=%d queued=%d queries=%d \
             rows_pulled=%d wal_bytes=%d group_commits=%d grouped_stmts=%d \
-            refusals=%d degraded=%d errors=%d snapshot_lsn=%d\n"
+            refusals=%d degraded=%d errors=%d fenced_refused=%d \
+            snapshot_lsn=%d\n"
            sessions t.g_connected active queued t.g_queries t.g_rows
            t.g_wal_bytes t.g_group_commits t.g_grouped_stmts t.g_refusals
-           t.g_degradations t.g_errors snapshot_lsn);
+           t.g_degradations t.g_errors t.g_fenced snapshot_lsn);
       (match repl with
       | Some line ->
           Buffer.add_string buf line;

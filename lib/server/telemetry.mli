@@ -39,6 +39,11 @@ val degraded : t -> session -> unit
 
 val errored : t -> session -> unit
 
+val fenced_refused : t -> unit
+(** A write refused because this node is fenced out of the cluster (or
+    is a standby redirecting the client) — counted globally because the
+    refusal is a property of the node, not of the asking session. *)
+
 val group_commit : t -> statements:int -> unit
 (** One WAL sync covering [statements] logged statements. *)
 

@@ -146,5 +146,16 @@ let write_frame c ~verb ?(args = []) payload =
 let ok c payload = write_frame c ~verb:"OK" payload
 let err c ~kind payload = write_frame c ~verb:"ERR" ~args:[ kind ] payload
 
+(* election frames: a candidate probes with ELEC, a peer answers VOTE *)
+let elec c ~epoch ~lsn ~addr =
+  write_frame c ~verb:"ELEC"
+    ~args:[ string_of_int epoch; string_of_int lsn; addr ]
+    ""
+
+let vote c ~addr ~lsn ~epoch ~role =
+  write_frame c ~verb:"VOTE"
+    ~args:[ addr; string_of_int lsn; string_of_int epoch; role ]
+    ""
+
 let busy c ~retry_after_ms payload =
   write_frame c ~verb:"BUSY" ~args:[ string_of_int retry_after_ms ] payload

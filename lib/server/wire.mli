@@ -4,14 +4,22 @@
     frame  := <verb> (' ' <arg>)* ' ' <len> '\n' <len payload bytes>
     v}
 
-    Client → server verbs: [STMT] (payload: a SQL script), [PING], and
-    [REPL <lsn>] — the replication handshake that turns the session
-    into an outbound WAL stream.  Server → client verbs: [OK] (payload:
-    rendered result text), [ERR <kind>] (payload: message), [BUSY
+    Client → server verbs: [STMT] (payload: a SQL script), [PING],
+    [REPL <lsn> <epoch>] — the replication handshake that turns the
+    session into an outbound WAL stream — and [ELEC <epoch> <lsn>
+    <addr>] — an election probe from a standby candidate (or the
+    primary's own prober).  Server → client verbs: [OK] (payload:
+    rendered result text; on a replication handshake the first arg is
+    the primary's epoch), [ERR <kind>] (payload: message), [BUSY
     <retry_after_ms>] (payload: message) — the shed-load response
-    carrying its client-visible back-off hint — and, on a replication
-    stream, [RECD <seq> <kind> <primary_lsn> <pub_ms>] (payload: the
-    record) and [RHB <primary_lsn> <now_ms>] heartbeats.
+    carrying its client-visible back-off hint — [VOTE <addr> <lsn>
+    <epoch> <role>] answering an election probe, and, on a replication
+    stream, [RECD <seq> <kind> <primary_lsn> <pub_ms> <epoch>
+    <lease_ms>] (payload: the record) and [RHB <primary_lsn> <now_ms>
+    <epoch> <lease_ms>] heartbeats — the trailing epoch + lease args
+    piggyback the failover lease grant on the existing stream, and
+    pre-failover peers simply ignore them (arg lists are matched by
+    prefix).
 
     Every read is deadline-bounded: the reader multiplexes
     [Unix.select] with a budget, so a stalled or malicious peer can
@@ -53,3 +61,16 @@ val write_frame :
 val ok : conn -> string -> (unit, Err.t) result
 val err : conn -> kind:string -> string -> (unit, Err.t) result
 val busy : conn -> retry_after_ms:int -> string -> (unit, Err.t) result
+
+val elec :
+  conn -> epoch:int -> lsn:int -> addr:string -> (unit, Err.t) result
+(** An election probe: "[addr] proposes to take epoch [epoch] at lsn
+    [lsn] — who are you and where do you stand?" *)
+
+val vote :
+  conn -> addr:string -> lsn:int -> epoch:int -> role:string ->
+  (unit, Err.t) result
+(** The answer to {!elec}: this node's listen address, applied LSN,
+    cluster epoch and role (["primary"]/["standby"]/["fenced"]).  The
+    caller ranks candidates by (lsn, addr) and aborts if a live primary
+    at an equal or higher epoch answers. *)

@@ -101,6 +101,26 @@ let test_roundtrip () =
   Durable.close r;
   Durable.close s
 
+(* The cluster epoch rides the manifest and is re-seeded on restore, so
+   a node rebuilt from a backup rejoins the cluster where it left off
+   (a restored zombie at epoch 0 would accept a stale primary's
+   stream). *)
+let test_epoch_roundtrip () =
+  let s = populated "ep" in
+  ignore (ok "set epoch" (Durable.set_epoch s 4));
+  exec_ok s "INSERT INTO t VALUES (4, 40)";
+  let bdir = fresh_dir "ep_bak" in
+  ignore (ok "backup" (Durable.backup s ~dir:bdir));
+  Durable.close s;
+  Alcotest.(check bool) "manifest carries the epoch" true
+    (contains (read_file (Filename.concat bdir "backup.eagerdb")) "epoch 4");
+  let rdir = fresh_dir "ep_restored" in
+  ignore (ok "restore" (Backup.restore ~from_dir:bdir ~to_dir:rdir));
+  let r, _ = open_ok rdir in
+  Alcotest.(check int) "restored node rejoins at the backup's epoch" 4
+    (Durable.epoch r);
+  Durable.close r
+
 (* A backup taken at LSN L, restored and checkpointed, produces the
    byte-identical snapshot a quiesced node would write after exactly
    the first L committed records — even though the source kept
@@ -259,6 +279,8 @@ let () =
             test_roundtrip;
           Alcotest.test_case "byte-equivalent to a quiesced checkpoint"
             `Quick test_prefix_byte_equivalence;
+          Alcotest.test_case "cluster epoch rides the manifest" `Quick
+            test_epoch_roundtrip;
         ] );
       ( "corruption",
         [

@@ -88,7 +88,7 @@ let test_wal_roundtrip () =
   (match Wal.scan path with
   | Ok ([], Wal.Complete) -> ()
   | _ -> Alcotest.fail "missing file should scan as empty+complete");
-  let w = ok "open" (Wal.open_append ~path ~next_seq:1) in
+  let w = ok "open" (Wal.open_append ~path ~next_seq:1 ()) in
   let payloads =
     [ "INSERT INTO t VALUES (1, 'a')"; "line one\nline two"; ""; "2" ]
   in
@@ -118,7 +118,7 @@ let test_wal_roundtrip () =
    the file is always classified torn, never corrupt *)
 let test_wal_torn_prefixes () =
   let path = wal_file "torn" in
-  let w = ok "open" (Wal.open_append ~path ~next_seq:1) in
+  let w = ok "open" (Wal.open_append ~path ~next_seq:1 ()) in
   ignore (ok "a1" (Wal.append w ~kind:Wal.Stmt "CREATE TABLE x (a INT)"));
   ignore (ok "a2" (Wal.append w ~kind:Wal.Stmt "INSERT INTO x VALUES (1)"));
   Wal.close w;
@@ -162,7 +162,7 @@ let test_wal_corruption () =
   let path = wal_file "corrupt" in
   let build () =
     if Sys.file_exists path then Sys.remove path;
-    let w = ok "open" (Wal.open_append ~path ~next_seq:1) in
+    let w = ok "open" (Wal.open_append ~path ~next_seq:1 ()) in
     ignore (ok "a1" (Wal.append w ~kind:Wal.Stmt "CREATE TABLE x (a INT)"));
     ignore (ok "a2" (Wal.append w ~kind:Wal.Stmt "INSERT INTO x VALUES (1)"));
     Wal.close w;
@@ -215,7 +215,7 @@ let test_wal_corruption () =
 
 let test_wal_poisoned () =
   let path = wal_file "poisoned" in
-  let w = ok "open" (Wal.open_append ~path ~next_seq:1) in
+  let w = ok "open" (Wal.open_append ~path ~next_seq:1 ()) in
   Fault.reset ();
   Fault.arm_nth "wal.append" 1;
   (match Wal.append w ~kind:Wal.Stmt "INSERT INTO x VALUES (1)" with
@@ -684,6 +684,155 @@ let test_workload_roundtrip () =
     Durable.close s2
   done
 
+(* ==================== epochs (failover fencing) =================== *)
+
+(* epochs ride the 6th header field, ratchet monotonically within a log,
+   and survive both scan and the dedicated epoch.eagerdb file *)
+let test_wal_epoch_roundtrip () =
+  let path = wal_file "epoch" in
+  let w = ok "open" (Wal.open_append ~path ~next_seq:1 ~epoch:3 ()) in
+  Alcotest.(check int) "handle epoch" 3 (Wal.epoch w);
+  ignore (ok "a1" (Wal.append w ~kind:Wal.Stmt "CREATE TABLE e (a INT)"));
+  Wal.set_epoch w 4;
+  Wal.set_epoch w 2 (* epochs only ratchet up; this is a no-op *);
+  Alcotest.(check int) "set_epoch ratchets" 4 (Wal.epoch w);
+  ignore (ok "a2" (Wal.append w ~kind:Wal.Stmt "INSERT INTO e VALUES (1)"));
+  (* a standby re-logs shipped records under the record's own epoch *)
+  ignore (ok "a3" (Wal.append ~epoch:7 w ~kind:Wal.Stmt "INSERT INTO e VALUES (2)"));
+  Wal.close w;
+  let records, tail = ok "scan" (Wal.scan path) in
+  Alcotest.(check bool) "complete" true (tail = Wal.Complete);
+  Alcotest.(check (list int))
+    "epochs survive the round-trip" [ 3; 4; 7 ]
+    (List.map (fun (r : Wal.record) -> r.epoch) records);
+  (* an epoch that regresses mid-log is corruption, not history *)
+  let w = ok "reopen" (Wal.open_append ~path ~next_seq:4 ~epoch:7 ()) in
+  ignore (ok "a4" (Wal.append ~epoch:5 w ~kind:Wal.Stmt "INSERT INTO e VALUES (3)"));
+  Wal.close w;
+  (match Wal.scan path with
+  | Error e ->
+      Alcotest.(check bool) "names the regression" true
+        (contains (Err.to_string e) "epoch regresses")
+  | Ok _ -> Alcotest.fail "scan accepted an epoch regression")
+
+(* logs written before failover carry 5-field headers: they scan as
+   epoch 0 and stay appendable *)
+let test_wal_epoch_legacy () =
+  let path = wal_file "epoch_legacy" in
+  let payload = "CREATE TABLE l (a INT)" in
+  let oc = open_out_bin path in
+  output_string oc "eagerdb wal v1\n";
+  output_string oc
+    (Printf.sprintf "#rec 1 stmt %d %s\n%s\n" (String.length payload)
+       (Digest.to_hex (Digest.string payload))
+       payload);
+  close_out oc;
+  let records, tail = ok "scan legacy" (Wal.scan path) in
+  Alcotest.(check bool) "complete" true (tail = Wal.Complete);
+  Alcotest.(check (list int))
+    "legacy headers parse as epoch 0" [ 0 ]
+    (List.map (fun (r : Wal.record) -> r.epoch) records)
+
+let test_epoch_file_roundtrip () =
+  let dir = fresh_dir "epoch_file" in
+  Unix.mkdir dir 0o755;
+  Alcotest.(check int) "missing file reads 0" 0
+    (ok "load" (Wal.load_epoch ~dir));
+  ignore (ok "persist" (Wal.persist_epoch ~dir 6));
+  Alcotest.(check int) "round-trip" 6 (ok "reload" (Wal.load_epoch ~dir));
+  (* a crash between tmp-write and rename leaves the old epoch in force *)
+  Fault.reset ();
+  Fault.arm_nth "wal.epoch" 1;
+  (match Wal.persist_epoch ~dir 9 with
+  | Ok () -> Alcotest.fail "persist should fail at the injected fault"
+  | Error _ -> ());
+  Fault.reset ();
+  Alcotest.(check int) "old epoch survives the crash" 6
+    (ok "reload after fault" (Wal.load_epoch ~dir))
+
+(* the session-level story: bump on promotion, recover across reopen
+   (including past a checkpoint, which truncates every record), and
+   fence stale-epoch ingests *)
+let test_durable_epoch_recovery () =
+  let dir = fresh_dir "epoch_durable" in
+  let s, _ = open_ok dir in
+  Alcotest.(check int) "fresh db at epoch 0" 0 (Durable.epoch s);
+  List.iter (exec_ok s) setup_sql;
+  Alcotest.(check int) "promotion bumps to 1" 1
+    (ok "bump" (Durable.bump_epoch s));
+  ignore (ok "set" (Durable.set_epoch s 3));
+  ignore (ok "set lower (no-op)" (Durable.set_epoch s 1));
+  Alcotest.(check int) "ratcheted to 3" 3 (Durable.epoch s);
+  exec_ok s "INSERT INTO t VALUES (4, 2, 40)";
+  ignore (ok "checkpoint" (Durable.checkpoint s));
+  Durable.close s;
+  let s2, _ = open_ok dir in
+  Alcotest.(check int) "epoch survives checkpoint + reopen" 3
+    (Durable.epoch s2);
+  Durable.close s2
+
+let test_ingest_epoch_fence () =
+  let dir = fresh_dir "epoch_ingest" in
+  let s, _ = open_ok dir in
+  let mk seq epoch payload = { Wal.seq; kind = Wal.Stmt; payload; epoch } in
+  ignore
+    (ok "ingest at epoch 2"
+       (Durable.ingest s (mk 1 2 "CREATE TABLE t (a INT)")));
+  Alcotest.(check int) "higher epoch adopted" 2 (Durable.epoch s);
+  (* a record from a fenced (zombie) primary speaks from a lower epoch *)
+  (match Durable.ingest s (mk 2 1 "INSERT INTO t VALUES (1)") with
+  | Ok () -> Alcotest.fail "ingest accepted a stale-epoch record"
+  | Error e ->
+      Alcotest.(check bool) "typed Fenced" true (Err.kind e = Err.Fenced);
+      Alcotest.(check int) "refused record not applied" 1 (Durable.lsn s));
+  ignore
+    (ok "same-epoch record lands"
+       (Durable.ingest s (mk 2 2 "INSERT INTO t VALUES (1)")));
+  Alcotest.(check int) "applied" 2 (Durable.lsn s);
+  Durable.close s;
+  (* the adopted epoch is durable: a reopen still fences epoch-1 *)
+  let s2, _ = open_ok dir in
+  Alcotest.(check int) "adopted epoch recovered" 2 (Durable.epoch s2);
+  (match Durable.ingest s2 (mk 3 1 "INSERT INTO t VALUES (2)") with
+  | Ok () -> Alcotest.fail "reopen forgot the epoch fence"
+  | Error e ->
+      Alcotest.(check bool) "still typed Fenced" true
+        (Err.kind e = Err.Fenced));
+  Durable.close s2
+
+(* The fence is the log's record high-water epoch, NOT the node's floor:
+   a freshly seeded standby adopts the winner's epoch from its first
+   handshake (floor bumps immediately) yet must still ingest the
+   older-epoch backlog it is catching up through — the chaos harness's
+   kill-and-revive template found this as a livelock (empty WAL, floor
+   ahead, every shipped record refused). *)
+let test_ingest_backlog_behind_floor () =
+  let dir = fresh_dir "epoch_backlog" in
+  let s, _ = open_ok dir in
+  let mk seq epoch payload = { Wal.seq; kind = Wal.Stmt; payload; epoch } in
+  (* the handshake grant: floor jumps to 3 before any record arrives *)
+  ignore (ok "adopt the stream's epoch" (Durable.set_epoch s 3));
+  Alcotest.(check int) "floor bumped" 3 (Durable.epoch s);
+  ignore
+    (ok "epoch-0 backlog record lands"
+       (Durable.ingest s (mk 1 0 "CREATE TABLE t (a INT)")));
+  ignore
+    (ok "epoch-2 backlog record lands"
+       (Durable.ingest s (mk 2 2 "INSERT INTO t VALUES (1)")));
+  (* but history may never regress mid-log *)
+  (match Durable.ingest s (mk 3 1 "INSERT INTO t VALUES (2)") with
+  | Ok () -> Alcotest.fail "ingest let the log's epoch regress"
+  | Error e ->
+      Alcotest.(check bool) "typed Fenced" true (Err.kind e = Err.Fenced));
+  Alcotest.(check int) "floor survived the backlog" 3 (Durable.epoch s);
+  Alcotest.(check int) "backlog applied" 2 (Durable.lsn s);
+  Durable.close s;
+  (* the caught-up log recovers clean: regression-free by construction *)
+  let s2, recovery = open_ok dir in
+  Alcotest.(check int) "records replayed" 2 recovery.Durable.replayed;
+  Alcotest.(check int) "floor recovered" 3 (Durable.epoch s2);
+  Durable.close s2
+
 let () =
   Alcotest.run "durable"
     [
@@ -726,6 +875,21 @@ let () =
             test_grouped_sync_fault;
           Alcotest.test_case "torn batch recovers the longest valid prefix"
             `Quick test_grouped_torn_prefix;
+        ] );
+      ( "epochs",
+        [
+          Alcotest.test_case "wal epoch round-trip + regression rejected"
+            `Quick test_wal_epoch_roundtrip;
+          Alcotest.test_case "legacy 5-field headers parse as epoch 0" `Quick
+            test_wal_epoch_legacy;
+          Alcotest.test_case "epoch file round-trip + crashed persist" `Quick
+            test_epoch_file_roundtrip;
+          Alcotest.test_case "epoch recovery across checkpoint/reopen" `Quick
+            test_durable_epoch_recovery;
+          Alcotest.test_case "ingest fences stale epochs" `Quick
+            test_ingest_epoch_fence;
+          Alcotest.test_case "backlog behind the floor still ingests" `Quick
+            test_ingest_backlog_behind_floor;
         ] );
       ( "matrix",
         [

@@ -113,6 +113,46 @@ let test_err_channel () =
     (Err.protect ~kind:Err.Exec (fun () ->
          ignore (open_in "/nonexistent/robust"); ()))
 
+(* ------------------- clock monotonicity (failover) ------------------ *)
+
+(* The failover machinery (lease deadlines, election backoff) trusts
+   [Clock.now_ms] never to step backwards.  The [clock.jump] fault
+   subtracts 10 s from the raw wall sample before monotonisation — a
+   fake NTP correction the high-water clamp must absorb. *)
+let test_clock_monotone_under_jumps () =
+  Fault.reset ();
+  (* establish a high-water mark with the fault disarmed *)
+  let base = Clock.now_ms () in
+  (* every subsequent sample jumps 10 s backwards *)
+  Fault.arm_seeded ~seed:11 ~rate:1.0 ~points:[ "clock.jump" ] ();
+  let prev = ref base in
+  for i = 1 to 200 do
+    let t = Clock.now_ms () in
+    if t < !prev then
+      Alcotest.fail
+        (Printf.sprintf
+           "clock stepped backwards at sample %d: %.3f after %.3f" i t !prev);
+    prev := t
+  done;
+  Fault.reset ();
+  (* disarmed again: the clock resumes real time without a discontinuity
+     below the water mark *)
+  let after = Clock.now_ms () in
+  Alcotest.(check bool) "post-fault sample not below the mark" true
+    (after >= !prev);
+  Alcotest.(check bool) "post-fault sample not below pre-fault time" true
+    (after >= base);
+  (* seeded sub-1.0 rates interleave jumped and honest samples; the
+     clamp must hold across the mix as well *)
+  Fault.arm_seeded ~seed:23 ~rate:0.4 ~points:[ "clock.jump" ] ();
+  let prev = ref (Clock.now_ms ()) in
+  for _ = 1 to 200 do
+    let t = Clock.now_ms () in
+    Alcotest.(check bool) "mixed schedule stays monotone" true (t >= !prev);
+    prev := t
+  done;
+  Fault.reset ()
+
 let test_registry () =
   Alcotest.(check (slist string compare))
     "every compiled-in point is registered"
@@ -121,6 +161,8 @@ let test_registry () =
       "exec.next"; "opt.testfd"; "opt.cost"; "wal.append"; "wal.fsync";
       "wal.truncate"; "wal.replay"; "wal.group_commit"; "server.accept";
       "server.read"; "repl.send"; "repl.recv"; "backup.copy";
+      "repl.lease"; "server.election"; "wal.epoch"; "clock.jump";
+      "wal.slow_fsync";
     ]
     Fault.all_points
 
@@ -488,6 +530,8 @@ let () =
       ( "faults",
         [
           Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "clock monotone under backward jumps" `Quick
+            test_clock_monotone_under_jumps;
           Alcotest.test_case "every point fires" `Quick test_points_fire;
           Alcotest.test_case "write atomicity" `Quick test_write_atomicity;
           Alcotest.test_case "120 seeded schedules" `Quick

@@ -431,7 +431,7 @@ let test_stop_under_write_load () =
 
 (* ========================== replication =========================== *)
 
-let mk_rec seq payload = { Wal.seq; kind = Wal.Stmt; payload }
+let mk_rec seq payload = { Wal.seq; kind = Wal.Stmt; payload; epoch = 0 }
 
 let test_repl_hub () =
   let hub = Repl.create_hub ~retain:3 ~lsn:0 in
@@ -557,22 +557,36 @@ let test_replication_end_to_end () =
   await "primary sees the peer ship lsn 4" (fun () ->
       let p = run_ok pcfg "STATUS;" in
       contains p "repl: role=primary peers=1" && contains p "shipped_lsn=4");
-  (* a standby is read-only: writes, checkpoints and backups refuse *)
-  (match ok "write on standby" (Client.run scfg "INSERT INTO t VALUES (9);") with
+  (* a standby is read-only: writes, checkpoints and backups refuse with
+     a typed [Fenced] error whose redirect token names the primary *)
+  let noredir = { scfg with Client.redirects = 0 } in
+  (match ok "write on standby" (Client.run noredir "INSERT INTO t VALUES (9);") with
   | Client.Failed { kind; msg } ->
-      Alcotest.(check string) "typed Io" "Io" kind;
+      Alcotest.(check string) "typed Fenced" "Fenced" kind;
       Alcotest.(check bool) "names the standby" true
-        (contains msg "read-only standby")
+        (contains msg "read-only standby");
+      (match Err.redirect_of_msg msg with
+      | Some target ->
+          Alcotest.(check string) "redirect names the primary"
+            ("unix:" ^ psock) target
+      | None -> Alcotest.fail "standby refusal carried no redirect token")
   | _ -> Alcotest.fail "standby accepted a write");
-  (match ok "backup on standby" (Client.run scfg "CHECKPOINT;") with
+  (match ok "backup on standby" (Client.run noredir "CHECKPOINT;") with
   | Client.Failed { msg; _ } ->
       Alcotest.(check bool) "checkpoint refused" true
         (contains msg "read-only standby")
   | _ -> Alcotest.fail "standby accepted a checkpoint");
+  (* the default client follows the redirect to the live primary, so the
+     same statement sent at the standby lands as a primary commit *)
+  ignore (run_ok scfg "INSERT INTO t VALUES (7);");
+  await "standby applies the redirected write" (fun () ->
+      match Client.run noredir "SELECT t.a FROM t;" with
+      | Ok (Client.Ok_text out) -> contains out "(4 rows)"
+      | _ -> false);
   (* failover: kill the primary, promote the standby, write through it *)
   Server.stop prim;
   (match Server.promote stby with
-  | Ok lsn -> Alcotest.(check int) "promoted at the applied lsn" 4 lsn
+  | Ok lsn -> Alcotest.(check int) "promoted at the applied lsn" 5 lsn
   | Error e -> Alcotest.fail ("promote: " ^ Err.to_string e));
   (match Server.promote stby with
   | Ok _ -> Alcotest.fail "second promote should refuse"
@@ -581,7 +595,7 @@ let test_replication_end_to_end () =
         (contains (Err.to_string e) "already primary"));
   let out = run_ok scfg "INSERT INTO t VALUES (4); SELECT t.a FROM t;" in
   Alcotest.(check bool) "promoted node accepts writes" true
-    (contains out "(4 rows)");
+    (contains out "(5 rows)");
   let sstatus = run_ok scfg "STATUS;" in
   Alcotest.(check bool) "role flipped" true
     (contains sstatus "repl: role=primary");
@@ -699,6 +713,207 @@ let test_die_on_broken_wal () =
         (contains (Err.to_string e) "die-on-broken-wal")
   | Ok () -> Alcotest.fail "server should stop fatally on a poisoned WAL")
 
+(* ================== lease-based automated failover ================ *)
+
+(* A 3-node cluster: kill the primary and exactly one standby
+   self-promotes (deterministic election — equal LSNs, smallest address
+   wins), bumping the epoch; the other retargets; a redirect-following
+   client keeps writing through the transition; no acked write is
+   lost. *)
+let test_auto_promotion () =
+  Fault.reset ();
+  let psock = fresh_path "fo_p" ".sock" in
+  let s1sock = fresh_path "fo_s1" ".sock" in
+  let s2sock = fresh_path "fo_s2" ".sock" in
+  let lease_ms = 250. in
+  let mk ~sock ~db ~role ~peers =
+    let cfg =
+      {
+        (Server.default_config (Server.L_unix sock)) with
+        db_dir = Some (fresh_path db ".db");
+        read_timeout_ms = 5000.;
+        role;
+        peers = List.map (fun p -> Client.A_unix p) peers;
+        lease_ms;
+      }
+    in
+    fst (ok ("start " ^ db) (Server.start cfg))
+  in
+  let prim =
+    mk ~sock:psock ~db:"fo_p" ~role:Server.Primary ~peers:[ s1sock; s2sock ]
+  in
+  let pcfg = Client.config ~timeout_ms:5000. ~retries:0 (Client.A_unix psock) in
+  let s1 =
+    mk ~sock:s1sock ~db:"fo_s1"
+      ~role:(Server.Standby { primary = Client.A_unix psock; repl_seed = 3 })
+      ~peers:[ psock; s2sock ]
+  in
+  let s2 =
+    mk ~sock:s2sock ~db:"fo_s2"
+      ~role:(Server.Standby { primary = Client.A_unix psock; repl_seed = 4 })
+      ~peers:[ psock; s1sock ]
+  in
+  let c1 = Client.config ~timeout_ms:5000. ~retries:0 (Client.A_unix s1sock) in
+  let c2 = Client.config ~timeout_ms:5000. ~retries:0 (Client.A_unix s2sock) in
+  await "both standbys connected" (fun () ->
+      contains (run_ok pcfg "STATUS;") "peers=2");
+  (* semi-sync in force: this ack means a standby has the records *)
+  ignore (run_ok pcfg "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);");
+  let caught_up cfg =
+    match Client.run cfg "SELECT t.a FROM t;" with
+    | Ok (Client.Ok_text out) -> contains out "(1 rows)"
+    | _ -> false
+  in
+  await "standbys caught up" (fun () -> caught_up c1 && caught_up c2);
+  let pstatus = run_ok pcfg "STATUS;" in
+  Alcotest.(check bool) "primary failover line" true
+    (contains pstatus "failover: epoch=0 role=primary");
+  Alcotest.(check bool) "primary holds the lease" true
+    (contains pstatus ("lease_holder=unix:" ^ psock));
+  (* kill the primary: the lease lapses and an election follows *)
+  Server.stop prim;
+  let status_of cfg =
+    match Client.run cfg "STATUS;" with
+    | Ok (Client.Ok_text out) -> out
+    | _ -> ""
+  in
+  let promoted st = contains st "failover: epoch=1 role=primary" in
+  await "one standby self-promotes" (fun () ->
+      promoted (status_of c1) || promoted (status_of c2));
+  let winner, wsock, loser =
+    if promoted (status_of c1) then (c1, s1sock, c2) else (c2, s2sock, c1)
+  in
+  let wstatus = run_ok winner "STATUS;" in
+  Alcotest.(check bool) "promotion bumped the epoch" true
+    (contains wstatus "failover: epoch=1");
+  Alcotest.(check bool) "election counted" true
+    (contains wstatus "elections=1");
+  Alcotest.(check bool) "no acked write lost" true
+    (contains (run_ok winner "SELECT t.a FROM t;") "(1 rows)");
+  (* exactly one node accepts writes *)
+  let writable cfg =
+    match
+      Client.run { cfg with Client.redirects = 0 }
+        "INSERT INTO t VALUES (2);"
+    with
+    | Ok (Client.Ok_text _) -> 1
+    | _ -> 0
+  in
+  await "exactly one writable node" (fun () ->
+      writable winner + writable loser = 1);
+  (* the loser retargets to the new primary; a redirect-following client
+     pointed at it keeps writing through the transition *)
+  await "loser redirects to the winner" (fun () ->
+      match Client.run loser "INSERT INTO t VALUES (3);" with
+      | Ok (Client.Ok_text _) -> true
+      | _ -> false);
+  let wstatus = run_ok winner "STATUS;" in
+  Alcotest.(check bool) "winner still holds the lease" true
+    (contains wstatus ("lease_holder=unix:" ^ wsock));
+  Server.stop s1;
+  Server.stop s2
+
+(* A primary greeted by a REPL handshake from a higher epoch has been
+   superseded: it fences itself — reads keep serving, writes refuse with
+   a typed [Fenced] error, PROMOTE refuses, STATUS says so. *)
+let test_zombie_fencing () =
+  Fault.reset ();
+  let dir = fresh_path "zombie" ".db" in
+  let srv, ccfg = start_server ~db_dir:dir "zombie" in
+  ignore (run_ok ccfg "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);");
+  let sock =
+    match ccfg.Client.addr with Client.A_unix p -> p | _ -> assert false
+  in
+  (* a peer speaking from epoch 5 is the zombie's wake-up call *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let conn = Wire.of_fd fd in
+  ok "handshake"
+    (Wire.write_frame conn ~verb:"REPL" ~args:[ "0"; "5" ] "");
+  (match ok "reply" (Wire.read_frame conn ~timeout_ms:5000.) with
+  | Some { Wire.verb = "ERR"; args = kind :: _; payload } ->
+      Alcotest.(check string) "typed Fenced on the wire" "Fenced" kind;
+      Alcotest.(check bool) "names the epochs" true
+        (contains payload "epoch 5")
+  | _ -> Alcotest.fail "higher-epoch handshake not refused");
+  Wire.close conn;
+  (* fenced: reads live, writes refuse, PROMOTE refuses *)
+  Alcotest.(check bool) "reads keep serving" true
+    (contains (run_ok ccfg "SELECT t.a FROM t;") "(1 rows)");
+  (match ok "fenced write" (Client.run ccfg "INSERT INTO t VALUES (2);") with
+  | Client.Failed { kind; msg } ->
+      Alcotest.(check string) "typed Fenced" "Fenced" kind;
+      Alcotest.(check bool) "explains the supersession" true
+        (contains msg "fenced at epoch 0")
+  | _ -> Alcotest.fail "fenced node accepted a write");
+  (match Server.promote srv with
+  | Ok _ -> Alcotest.fail "fenced node allowed PROMOTE"
+  | Error e ->
+      Alcotest.(check bool) "promote names the remedy" true
+        (contains (Err.to_string e) "re-seed"));
+  let status = run_ok ccfg "STATUS;" in
+  Alcotest.(check bool) "STATUS says fenced" true
+    (contains status "role=fenced");
+  Server.stop srv
+
+(* Regression: a primary that accepts the connection and immediately
+   drops it must NOT reset the reconnect ladder — that hot-looped the
+   standby at the base interval.  The ladder resets only after a
+   completed handshake. *)
+let test_accept_drop_backoff () =
+  Fault.reset ();
+  let sock = fresh_path "flap" ".sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 16;
+  let amu = Mutex.create () in
+  let accepts = ref 0 in
+  let stop = ref false in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          match Unix.accept lfd with
+          | fd, _ ->
+              Unix.close fd;
+              Mutex.lock amu;
+              incr accepts;
+              let live = not !stop in
+              Mutex.unlock amu;
+              if live then go ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        go ())
+      ()
+  in
+  let a =
+    Repl.start_applier ~addr:(Client.A_unix sock) ~read_timeout_ms:1000.
+      ~backoff_ms:25. ~seed:5 ~lsn:0
+      ~ingest:(fun _ -> Ok ())
+      ~epoch_now:(fun () -> 0)
+      ~observe:(fun ~epoch:_ ~lease_ms:_ -> ())
+      ~on_error:(fun _ -> ())
+  in
+  Thread.delay 1.5;
+  Repl.stop_applier a;
+  Mutex.lock amu;
+  stop := true;
+  let n = !accepts in
+  Mutex.unlock amu;
+  (* nudge the acceptor off its blocking accept, then tear down *)
+  (try
+     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     Unix.connect fd (Unix.ADDR_UNIX sock);
+     Unix.close fd
+   with Unix.Unix_error _ -> ());
+  Thread.join acceptor;
+  Unix.close lfd;
+  Sys.remove sock;
+  Alcotest.(check bool)
+    (Printf.sprintf "ladder escalates (%d connects in 1.5s)" n)
+    true
+    (n >= 2 && n <= 15)
+
 let () =
   Alcotest.run "server"
     [
@@ -747,5 +962,14 @@ let () =
             test_hot_backup_under_load;
           Alcotest.test_case "client sleeps the retry hint" `Quick
             test_client_honors_retry_hint;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "primary dies, a standby self-promotes" `Quick
+            test_auto_promotion;
+          Alcotest.test_case "higher-epoch handshake fences a zombie" `Quick
+            test_zombie_fencing;
+          Alcotest.test_case "accept-then-drop keeps escalating backoff"
+            `Quick test_accept_drop_backoff;
         ] );
     ]

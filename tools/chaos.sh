@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full failover chaos sweep: >= 50 seeded 3-node schedules cycling the
+# four fault templates (primary SIGKILL, SIGSTOP/SIGCONT partition,
+# backwards clock jumps, slow fsyncs).  Each schedule must show an
+# automatic promotion (or prove the fault was absorbed without one), no
+# lost acked write, exactly one writable node, and byte-identical WALs
+# on the converged standbys.  A failing schedule replays standalone:
+#   eagerdb chaos --schedules $((i+1)) --seed $seed   # runs 0..i
+# and EAGERDB_CHAOS_KEEP=1 preserves the cluster's temp dir (db dirs,
+# per-node logs) for post-mortem.
+#
+# Usage: chaos.sh path/to/eagerdb.exe [schedules] [seed]
+set -u
+
+exe=${1:?usage: chaos.sh path/to/eagerdb.exe [schedules] [seed]}
+schedules=${2:-52}
+seed=${3:-20260808}
+chaos_pid=""
+# the harness reaps its own clusters, but if THIS script dies the
+# harness (and with it the clusters) must not be orphaned — dune would
+# otherwise wait on them forever
+cleanup() {
+  [ -n "$chaos_pid" ] && kill -9 "$chaos_pid" 2>/dev/null
+}
+trap cleanup EXIT
+
+"$exe" chaos --schedules "$schedules" --seed "$seed" --quiet &
+chaos_pid=$!
+wait "$chaos_pid"
+rc=$?
+chaos_pid=""
+exit "$rc"

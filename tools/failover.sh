@@ -19,7 +19,11 @@ exe=${1:?usage: failover.sh path/to/eagerdb.exe}
 tmp=$(mktemp -d)
 primary_pid=""
 standby_pid=""
+writer_pids=""
+# an early `exit 1` anywhere below must not orphan the servers or the
+# writer subshells — dune would otherwise wait on them forever
 cleanup() {
+  for p in $writer_pids; do kill -9 "$p" 2>/dev/null; done
   [ -n "$primary_pid" ] && kill -9 "$primary_pid" 2>/dev/null
   [ -n "$standby_pid" ] && kill -9 "$standby_pid" 2>/dev/null
   rm -rf "$tmp"
@@ -68,7 +72,6 @@ fi
 # --- concurrent writers, each recording its acked ids ---
 writers=4
 rounds=20
-pids=""
 for c in $(seq 1 "$writers"); do
   (
     for r in $(seq 1 "$rounds"); do
@@ -79,9 +82,10 @@ for c in $(seq 1 "$writers"); do
       esac
     done
   ) &
-  pids="$pids $!"
+  writer_pids="$writer_pids $!"
 done
-for p in $pids; do wait "$p"; done
+for p in $writer_pids; do wait "$p"; done
+writer_pids=""
 cat "$tmp"/acked.* | sort -n >"$tmp/acked" 2>/dev/null || : >"$tmp/acked"
 acked=$(wc -l <"$tmp/acked")
 if [ "$acked" -lt $((writers * rounds / 2)) ]; then

@@ -84,23 +84,48 @@ done < <(grep -rn --include='*.ml' -E \
   'Unix\.read[^_a-zA-Z]|input_line|really_input|In_channel\.input' \
   lib/server || true)
 
-# Every fault point named at a hook site (Fault.check/trip, ~fault:)
-# must be registered in Fault.all_points: the seeded crash matrix and
-# the fuzz harness iterate that list, so an unregistered point never
-# fires under them and its failure path silently loses coverage.
+# Every fault point named at a hook site (Fault.check/trip/hit/lag,
+# ~fault:) must be registered in Fault.all_points: the seeded crash
+# matrix, the fuzz harness and the chaos driver iterate that list, so an
+# unregistered point never fires under them and its failure path
+# silently loses coverage.
 registered=$(sed -n '/^let all_points/,/^  \]/p' lib/robust/fault.ml |
   grep -oE '"[a-z_.]+"' | tr -d '"')
-while IFS= read -r hit; do
-  point=$(printf '%s' "$hit" | grep -oE '"[a-z_.]+"' | head -1 | tr -d '"')
-  [ -n "$point" ] || continue
-  if ! printf '%s\n' "$registered" | grep -qxF "$point"; then
-    echo "lint: fault point \"$point\" is not in Fault.all_points: $hit" >&2
-    echo "lint: register it there so the crash matrix exercises it." >&2
-    bad=1
-  fi
-done < <(grep -rn --include='*.ml' -E \
-  'Fault\.(check|trip) "[a-z_.]+"|~fault:"[a-z_.]+"' \
-  lib bin | grep -v 'lib/robust/fault\.ml' || true)
+check_fault_sites() { # check_fault_sites <registered-list> ; reads hits on stdin
+  local reg=$1 rc=0 hit point
+  while IFS= read -r hit; do
+    point=$(printf '%s' "$hit" | grep -oE '"[a-z_.]+"' | head -1 | tr -d '"')
+    [ -n "$point" ] || continue
+    if ! printf '%s\n' "$reg" | grep -qxF "$point"; then
+      echo "lint: fault point \"$point\" is not in Fault.all_points: $hit" >&2
+      echo "lint: register it there so the crash matrix exercises it." >&2
+      rc=1
+    fi
+  done
+  return "$rc"
+}
+fault_sites() { # fault_sites <dir>...
+  grep -rn --include='*.ml' -E \
+    'Fault\.(check|trip|hit|lag) "[a-z_.]+"|Fault\.lag [^"]* "[a-z_.]+"|~fault:"[a-z_.]+"' \
+    "$@" | grep -v 'lib/robust/fault\.ml' || true
+}
+check_fault_sites "$registered" < <(fault_sites lib bin) || bad=1
+
+# Self-test: the rule must actually catch an unregistered hook site —
+# a regex that silently stops matching (a new Fault entry point, say)
+# would otherwise rot into false confidence.
+selftest=$(mktemp -d)
+cat >"$selftest/bad.ml" <<'EOF'
+let f () = Fault.trip "lint.selftest_unregistered"
+let g () = Fault.hit "lint.selftest_hit"
+let h () = Fault.lag ~ms:5. "lint.selftest_lag"
+EOF
+if check_fault_sites "$registered" < <(fault_sites "$selftest") 2>/dev/null; then
+  echo "lint: SELF-TEST FAILED — an unregistered fault point slipped past" >&2
+  echo "lint: the fault-registration rule (check the regex in fault_sites)." >&2
+  bad=1
+fi
+rm -rf "$selftest"
 
 # The two-sided Plans.e1/e2 constructors are the legacy N=2 planning
 # surface: they hard-code one join with aggregation either fully above

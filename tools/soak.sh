@@ -13,7 +13,16 @@ set -u
 
 exe=${1:?usage: soak.sh path/to/eagerdb.exe}
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+srv=""
+pids=""
+# an early `exit 1` anywhere below must not orphan the server or the
+# client subshells — dune would otherwise wait on them forever
+cleanup() {
+  for p in $pids; do kill -9 "$p" 2>/dev/null; done
+  [ -n "$srv" ] && kill -9 "$srv" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
 fail=0
 say() { echo "soak: $*"; }
 
@@ -66,6 +75,7 @@ for c in $(seq 1 "$clients"); do
   pids="$pids $!"
 done
 for p in $pids; do wait "$p" || true; done
+pids=""
 
 ok=0
 shed=0
