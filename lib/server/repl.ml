@@ -2,16 +2,21 @@
    that streams a hub to one standby, and the applier loop (standby
    side) that feeds shipped records into [Durable.ingest].
 
-   The protocol is asynchronous and ack-free: the standby sends one
-   [REPL <last_lsn>] handshake, then only reads.  Records ship in
-   strict sequence order as [RECD] frames; when the primary has nothing
-   new it sends [RHB] heartbeats so the standby can tell an idle
-   primary from a dead one.  A standby that falls behind the hub's
-   retention window is caught up from the primary's on-disk WAL; one
-   that falls behind the WAL itself (a checkpoint truncated the
-   records) is refused with a typed error telling it to re-seed from a
-   fresh backup — shipping a snapshot inline is a different protocol,
-   not a silent fallback. *)
+   The standby sends one [REPL <last_lsn>] handshake, then the stream
+   is duplex: records ship down in strict sequence order as [RECD]
+   frames ([RHB] heartbeats when idle), and the standby answers every
+   frame with a cumulative [RACK] carrying its applied LSN and the
+   echoed send-timestamp of the last lease grant it observed.  Those
+   acks — never the local write success — are what advance the
+   primary's semi-sync watermark and renew its lease: a partition
+   whose TCP buffers keep absorbing frames stops producing acks, so
+   the primary's lease lapses on schedule even though its sends keep
+   "succeeding".  A standby that falls behind the hub's retention
+   window is caught up from the primary's on-disk WAL; one that falls
+   behind the WAL itself (a checkpoint truncated the records) is
+   refused with a typed error telling it to re-seed from a fresh
+   backup — shipping a snapshot inline is a different protocol, not a
+   silent fallback. *)
 
 open Eager_robust
 open Eager_durable
@@ -135,6 +140,10 @@ let send_record conn ~primary_lsn ~lease_ms (e : entry) =
            re-logs it verbatim so the two WALs stay byte-identical *)
         string_of_int e.record.Wal.epoch;
         Printf.sprintf "%.0f" (lease_grant ~lease_ms);
+        (* the grant's send time, echoed back in the standby's RACK —
+           the lease renews from THIS instant, so the primary's
+           reckoning is always at or before the standby's observation *)
+        Printf.sprintf "%.0f" (Clock.now_ms ());
       ]
     e.record.Wal.payload
 
@@ -155,9 +164,55 @@ type sender_stats = {
   mutable shipped_lsn : int;  (* last record seq written to this peer *)
   mutable last_send_ms : float;
       (* when the last frame (record or heartbeat) reached this peer's
-         socket — what the primary's own lease check reads: the lease is
-         held iff SOME sender wrote within the lease window *)
+         socket — telemetry only: a local write proves nothing about
+         delivery, so neither the lease nor semi-sync ever reads it *)
+  mutable acked_lsn : int;
+      (* highest applied LSN the standby has ACKNOWLEDGED ([RACK]) —
+         the semi-sync watermark: a commit is reported shipped only
+         once some sender's acked_lsn covers it *)
+  mutable lease_anchor_ms : float;
+      (* send-timestamp of the last lease grant the standby echoed
+         back — what the primary's lease check reads: the lease is
+         held iff now - anchor <= lease_ms for SOME sender.  Anchoring
+         at the grant's SEND time (not the ack's arrival) keeps the
+         timing argument one-sided: the standby observed that grant at
+         or after the anchor, so its observation window always
+         outlives the primary's own reckoning (DESIGN.md §15) *)
 }
+
+(* Drain whatever RACK frames the standby has pushed back up the
+   stream.  Never blocks on a quiet socket ([Wire.readable] is a
+   zero-timeout peek); a closed or misbehaving peer ends the session
+   with a typed error, exactly like a failed send. *)
+let drain_acks ~conn ~(stats : sender_stats) =
+  let rec go () =
+    if not (Wire.readable conn) then Ok ()
+    else
+      let* frame = Wire.read_frame conn ~timeout_ms:1_000. in
+      match frame with
+      | None -> Error (Err.io "standby closed the replication stream")
+      | Some { Wire.verb = "RACK"; args = lsn :: rest; _ } -> (
+          match int_of_string_opt lsn with
+          | Some l ->
+              if l > stats.acked_lsn then stats.acked_lsn <- l;
+              (match rest with
+              | g :: _ when g <> "-" -> (
+                  match float_of_string_opt g with
+                  | Some a ->
+                      (* clamp to now: a garbled echo from the future
+                         must not mint a lease longer than lease_ms *)
+                      let a = Float.min a (Clock.now_ms ()) in
+                      if a > stats.lease_anchor_ms then
+                        stats.lease_anchor_ms <- a
+                  | None -> ())
+              | _ -> ());
+              go ()
+          | None -> Error (Err.io "replication ack: bad lsn %S" lsn))
+      | Some { Wire.verb; _ } ->
+          Error
+            (Err.io "replication stream: unexpected inbound verb %S" verb)
+  in
+  go ()
 
 (* Catch a standby up from the on-disk WAL when the hub has evicted the
    records it needs.  The scan races benignly with the commit thread's
@@ -195,7 +250,15 @@ let sender_loop ~hub ~wal_path ~conn ~heartbeat_ms ~stats ~cursor ~epoch_now
   in
   let rec go cursor =
     stats.shipped_lsn <- cursor;
-    match wait_since hub ~seq:cursor ~timeout_ms:heartbeat_ms with
+    let* () = drain_acks ~conn ~stats in
+    (* an outstanding ack shortens the idle wait: the RACK for what we
+       just shipped is on the wire and a semi-sync commit is spinning
+       on [acked_lsn] — don't make it wait out a full heartbeat *)
+    let wait_ms =
+      if stats.acked_lsn < cursor then Float.min heartbeat_ms 10.
+      else heartbeat_ms
+    in
+    match wait_since hub ~seq:cursor ~timeout_ms:wait_ms with
     | Closed -> Ok ()
     | Idle ->
         let* () =
@@ -320,7 +383,14 @@ let applier_untrack a =
   a.live_fd <- None;
   Mutex.unlock a.amu
 
-let connect_primary addr =
+(* Connect with a deadline.  A TCP connect to an unreachable peer can
+   block for the kernel's own timeout — tens of seconds, far past any
+   lease — which would park the single failover monitor thread and
+   stall elections, so the attempt goes non-blocking and waits for
+   writability under the same [timeout_ms] budget as the reads.
+   Unix-domain connects complete (or refuse) immediately and keep the
+   plain path. *)
+let connect_primary ~timeout_ms addr =
   Err.protect ~kind:Err.Io (fun () ->
       match addr with
       | Client.A_unix path ->
@@ -337,36 +407,59 @@ let connect_primary addr =
             | Error e -> Err.raise_ e
           in
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          (try Unix.connect fd (Unix.ADDR_INET (a, port))
+          (try
+             Unix.set_nonblock fd;
+             (try Unix.connect fd (Unix.ADDR_INET (a, port))
+              with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+                match
+                  Unix.select [] [ fd ] []
+                    (Float.max 0.001 (timeout_ms /. 1000.))
+                with
+                | _, [], _ ->
+                    raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+                | _ -> (
+                    match Unix.getsockopt_error fd with
+                    | None -> ()
+                    | Some err ->
+                        raise (Unix.Unix_error (err, "connect", "")))));
+             Unix.clear_nonblock fd;
+             fd
            with e ->
              Unix.close fd;
-             raise e);
-          fd)
+             raise e))
 
 (* ---------- election probes ---------- *)
 
-type vote = { v_addr : string; v_lsn : int; v_epoch : int; v_role : string }
+type vote = {
+  v_addr : string;
+  v_lsn : int;
+  v_epoch : int;
+  v_role : string;
+  v_granted : bool;
+}
 
 (* One ELEC round-trip on a throwaway connection: connect, probe, read
    the VOTE, close.  Used by a standby candidate ranking the cluster
    and by a primary's prober sniffing for a successor epoch after a
-   partition heals.  The connect itself may block (no deadline on the
-   syscall), but the unix/loopback sockets failover runs over refuse
-   dead peers immediately; the read is deadline-bounded like every
-   other read in this library. *)
-let probe ~addr ~timeout_ms ~epoch ~lsn ~self =
-  let* fd = connect_primary addr in
+   partition heals.  Both the connect and the read are bounded by
+   [timeout_ms] — an unreachable TCP peer must not park the failover
+   monitor for the kernel's connect timeout. *)
+let probe ~addr ~timeout_ms ~epoch ~lsn ~self ~candidate =
+  let* fd = connect_primary ~timeout_ms addr in
   let conn = Wire.of_fd fd in
   Fun.protect
     ~finally:(fun () -> Wire.close conn)
     (fun () ->
-      let* () = Wire.elec conn ~epoch ~lsn ~addr:self in
+      let* () = Wire.elec conn ~epoch ~lsn ~addr:self ~candidate in
       let* frame = Wire.read_frame conn ~timeout_ms in
       match frame with
-      | Some { Wire.verb = "VOTE"; args = a :: l :: e :: r :: _; _ } -> (
+      | Some { Wire.verb = "VOTE"; args = a :: l :: e :: r :: rest; _ } -> (
           match (int_of_string_opt l, int_of_string_opt e) with
           | Some v_lsn, Some v_epoch ->
-              Ok { v_addr = a; v_lsn; v_epoch; v_role = r }
+              (* a missing ballot reads as withheld: quorum errs toward
+                 NOT promoting *)
+              let v_granted = match rest with g :: _ -> g = "y" | [] -> false in
+              Ok { v_addr = a; v_lsn; v_epoch; v_role = r; v_granted }
           | _ -> Error (Err.io "election probe: malformed VOTE from %s" a))
       | Some { Wire.verb = "ERR"; payload; _ } ->
           Error (Err.io "election probe refused: %s" payload)
@@ -387,7 +480,7 @@ let probe ~addr ~timeout_ms ~epoch ~lsn ~self =
    stream, caller decides on retry. *)
 let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now ~epoch_now ~observe
     (a : applier) =
-  let* fd = connect_primary addr in
+  let* fd = connect_primary ~timeout_ms:read_timeout_ms addr in
   if not (applier_track a fd) then begin
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Ok false
@@ -439,6 +532,16 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now ~epoch_now ~observe
         let float_arg ?(default = 0.) s =
           match float_of_string_opt s with Some v -> v | None -> default
         in
+        (* acknowledge the frame just processed: cumulative applied LSN
+           plus the echoed send-timestamp of its lease grant ("-" when
+           it carried none) — the primary renews its lease and reports
+           semi-sync commits only off these, never off its own sends *)
+        let ack ~grant =
+          Mutex.lock a.stats.smu;
+          let lsn = a.stats.applied_lsn in
+          Mutex.unlock a.stats.smu;
+          Wire.rack conn ~lsn ~grant
+        in
         let rec pump () =
           if applier_stopped a then Ok !handshook
           else
@@ -460,16 +563,23 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now ~epoch_now ~observe
                 a.stats.connected <- true;
                 Mutex.unlock a.stats.smu;
                 note_grant ~epoch ~lease:0.;
+                let* () = ack ~grant:"-" in
                 pump ()
             | Some { Wire.verb = "ERR"; payload; _ } ->
                 (* typed refusal from the primary: split-brain or an
                    unservable gap.  Not retryable — surface it. *)
                 Error (Err.io "primary refused replication: %s" payload)
             | Some { Wire.verb = "RHB"; args = plsn :: rest; _ } ->
-                let epoch, lease =
+                let epoch, lease, token =
                   match rest with
-                  | _now :: e :: l :: _ -> (int_arg ~default:(epoch_now ()) e, float_arg l)
-                  | _ -> (epoch_now (), 0.)
+                  | sent :: e :: l :: _ ->
+                      let lease = float_arg l in
+                      ( int_arg ~default:(epoch_now ()) e,
+                        lease,
+                        (* the heartbeat's own timestamp IS its send
+                           time — echo it iff a grant rode along *)
+                        if lease > 0. then sent else "-" )
+                  | _ -> (epoch_now (), 0., "-")
                 in
                 let* () = guard_epoch epoch in
                 Mutex.lock a.stats.smu;
@@ -480,6 +590,7 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now ~epoch_now ~observe
                 | None -> ());
                 Mutex.unlock a.stats.smu;
                 note_grant ~epoch ~lease;
+                let* () = ack ~grant:token in
                 pump ()
             | Some
                 {
@@ -489,10 +600,13 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now ~epoch_now ~observe
                 } -> (
                 match (int_of_string_opt seq, kind_of_wire kind) with
                 | Some seq, Ok kind ->
-                    let epoch, lease =
+                    let epoch, lease, token =
                       match rest with
-                      | e :: l :: _ -> (int_arg e, float_arg l)
-                      | _ -> (0, 0.)
+                      | e :: l :: sent :: _ ->
+                          let lease = float_arg l in
+                          (int_arg e, lease, if lease > 0. then sent else "-")
+                      | e :: l :: [] -> (int_arg e, float_arg l, "-")
+                      | _ -> (0, 0., "-")
                     in
                     let record = { Wal.seq; kind; payload; epoch } in
                     (* a stale-epoch record dies inside ingest (typed
@@ -510,6 +624,7 @@ let applier_once ~addr ~read_timeout_ms ~ingest ~lsn_now ~epoch_now ~observe
                     | None -> ());
                     Mutex.unlock a.stats.smu;
                     note_grant ~epoch ~lease;
+                    let* () = ack ~grant:token in
                     pump ()
                 | None, _ ->
                     Error (Err.io "replication stream: bad seq %S" seq)

@@ -1,12 +1,16 @@
 (** WAL-shipping replication: hub, sender, applier.
 
-    Asynchronous, ack-free log shipping.  The primary's commit tap
-    {!publish}es each fsynced batch into a bounded in-memory {!hub};
-    one {!sender_loop} per connected standby streams records out as
-    [RECD] frames (heartbeating with [RHB] when idle), catching up from
-    the on-disk WAL when the hub's retention window has moved on, and
-    refusing with a typed error when a checkpoint truncated the records
-    a standby needs — that standby must re-seed from a fresh backup.
+    The primary's commit tap {!publish}es each fsynced batch into a
+    bounded in-memory {!hub}; one {!sender_loop} per connected standby
+    streams records out as [RECD] frames (heartbeating with [RHB] when
+    idle), catching up from the on-disk WAL when the hub's retention
+    window has moved on, and refusing with a typed error when a
+    checkpoint truncated the records a standby needs — that standby
+    must re-seed from a fresh backup.  The stream is duplex: the
+    standby acknowledges every frame with a cumulative [RACK], and
+    those acks — never local write success — are what advance the
+    primary's semi-sync watermark ([acked_lsn]) and renew its lease
+    ([lease_anchor_ms]).
 
     The standby side is an {!applier}: a thread that connects to the
     primary, handshakes with a single [REPL <last_lsn> <epoch>] frame,
@@ -66,8 +70,17 @@ val wait_since : hub -> seq:int -> timeout_ms:float -> wait_result
 type sender_stats = {
   mutable shipped_lsn : int;
   mutable last_send_ms : float;
-      (** when the last frame reached this peer — the primary holds its
-          lease iff {e some} sender wrote within the lease window *)
+      (** when the last frame reached this peer's socket — telemetry
+          only; delivery is proven by acks, not writes *)
+  mutable acked_lsn : int;
+      (** highest applied LSN the standby acknowledged — the semi-sync
+          watermark *)
+  mutable lease_anchor_ms : float;
+      (** send-timestamp of the last lease grant the standby echoed:
+          the primary holds its lease iff [now - anchor <= lease_ms]
+          for {e some} sender.  Anchored at the grant's send (not the
+          ack's arrival) so the standby's observation window always
+          outlives the primary's reckoning — see DESIGN.md §15 *)
 }
 
 val sender_loop :
@@ -88,9 +101,19 @@ val sender_loop :
 
 (** {1 Elections} *)
 
-type vote = { v_addr : string; v_lsn : int; v_epoch : int; v_role : string }
+type vote = {
+  v_addr : string;
+  v_lsn : int;
+  v_epoch : int;
+  v_role : string;
+  v_granted : bool;
+      (** the responder's ballot for the probe's target epoch: each
+          peer grants at most one candidate per epoch per window, so
+          two racing candidates can never both assemble a quorum *)
+}
 (** A peer's answer to an election probe: its listen address, applied
-    LSN, cluster epoch and role (["primary"]/["standby"]/["fenced"]). *)
+    LSN, cluster epoch, role (["primary"]/["standby"]/["fenced"]) and
+    ballot. *)
 
 val probe :
   addr:Client.addr ->
@@ -98,12 +121,18 @@ val probe :
   epoch:int ->
   lsn:int ->
   self:string ->
+  candidate:bool ->
   (vote, Err.t) result
-(** One [ELEC]/[VOTE] round-trip on a throwaway connection.  [epoch]
-    and [lsn] announce the prober's position; [self] its address.  The
-    caller ranks candidates by (LSN, address) — highest LSN wins, ties
-    to the smallest address — and treats a live primary at an equal or
-    higher epoch as an abort. *)
+(** One [ELEC]/[VOTE] round-trip on a throwaway connection; both the
+    connect and the read are bounded by [timeout_ms].  [epoch] and
+    [lsn] announce the prober's position; [self] its address;
+    [candidate] whether this probe may collect a ballot (false for
+    fact-finding sweeps — a primary checking for a successor, an
+    abstaining standby looking for the leader).  The caller ranks
+    candidates by (epoch, LSN, address) — newest history wins, then
+    highest LSN, ties to the smallest address — needs a quorum of
+    granted ballots to promote, and treats a live primary at an equal
+    or higher epoch as an abort. *)
 
 (** {1 Standby side} *)
 

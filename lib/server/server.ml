@@ -65,11 +65,22 @@ let repl_heartbeat_ms = 250.
 let failover_active cfg = cfg.auto_failover && cfg.peers <> []
 
 (* The skew margin a standby adds past its lease-observation deadline
-   before electing: the primary self-suspends at [lease_ms] after its
-   last successful send, and grants can only arrive at or after the
-   send, so by [deadline + skew] a live-but-slow primary has already
-   stopped acking writes (see DESIGN.md §15 for the timing argument). *)
+   before electing: the primary self-suspends at [lease_ms] after the
+   send-instant of the last grant a standby ACKNOWLEDGED, and the
+   standby observed that grant at or after the send, so by
+   [deadline + skew] a live-but-slow primary has already stopped
+   acking writes (see DESIGN.md §15 for the timing argument). *)
 let skew_margin_ms cfg = Float.max 100. (cfg.lease_ms /. 2.)
+
+(* How long a granted ballot binds its voter.  It must comfortably
+   outlast one election round — every probe timing out, plus the
+   winner's promotion fsync — or a voter could back a second candidate
+   while the first is still mid-promotion; it must also expire, or a
+   winner that died between collecting grants and promoting would wedge
+   the cluster on its stale ballots. *)
+let vote_window_ms cfg =
+  let probe = Float.max 250. (cfg.lease_ms /. 2.) in
+  (2. *. cfg.lease_ms) +. (float_of_int (List.length cfg.peers) *. probe)
 
 (* a write-once cell the commit thread fills and a session thread waits on *)
 module Ivar = struct
@@ -145,6 +156,13 @@ type t = {
   mutable elections : int;
   mutable grace_until_ms : float;
       (* lease grace after start/promotion: no suspension, no election *)
+  (* the ballot ledger: at most one candidate granted per target epoch
+     per window (all under role_mu).  In-memory only — a restart forgets
+     it — but the window it needs to hold is one election round, and a
+     restart takes longer than that. *)
+  mutable voted_epoch : int;
+  mutable voted_for : string;
+  mutable voted_at_ms : float;
 }
 
 let bound_addr t = t.addr_str
@@ -205,50 +223,56 @@ let fenced_err t ~what =
            | Some l -> Printf.sprintf " — the new primary is redirect=%s" l
            | None -> ""))
 
-(* The primary holds its lease iff SOME outbound stream delivered a
-   frame (and with it a grant) within the lease window — or we are
-   inside the startup/promotion grace, when no standby has had time to
-   connect yet.  [last_send_ms] reads race benignly with the sender
-   threads: a stale read errs toward giving the lease up early, never
-   toward keeping it. *)
+(* The primary holds its lease iff SOME standby ACKNOWLEDGED a recent
+   grant — or we are inside the startup/promotion grace, when no
+   standby has had time to connect yet.  A local socket write proves
+   nothing (a partition's TCP buffers absorb frames indefinitely), so
+   the lease reads [lease_anchor_ms]: the send-instant of the last
+   grant a standby echoed back in an RACK.  The standby observed that
+   grant AT OR AFTER the anchor, so its observation window always
+   outlives this reckoning — delivery failure lapses both sides, the
+   primary first.  Reads race benignly with the sender threads: a
+   stale read errs toward giving the lease up early, never toward
+   keeping it. *)
 let holds_lease t =
   let now = Clock.now_ms () in
   Mutex.lock t.role_mu;
   let grace = t.grace_until_ms in
-  let last =
+  let anchor =
     List.fold_left
-      (fun acc (s : Repl.sender_stats) -> Float.max acc s.last_send_ms)
+      (fun acc (s : Repl.sender_stats) -> Float.max acc s.lease_anchor_ms)
       0. t.senders
   in
   Mutex.unlock t.role_mu;
-  now <= grace || (last > 0. && now -. last <= t.cfg.lease_ms)
+  now <= grace || (anchor > 0. && now -. anchor <= t.cfg.lease_ms)
 
 (* Semi-synchronous acknowledgement, failover mode only: a batch is
-   reported committed only once some standby's stream has the records on
-   its socket — otherwise an acked write could die with this node and be
-   missing from whichever standby wins the election.  Bounded by the
-   lease window; on timeout the batch IS durable locally, but it is
-   answered with a typed error telling the client to treat it as failed
-   (if the cluster moves on, the epoch fence erases it; if this node
-   survives, the write stands — the classic semi-sync ambiguity, scoped
-   to a window the operator chose). *)
+   reported committed only once some standby ACKNOWLEDGED applying the
+   records (its RACK covers the batch's LSN) — a record sitting in
+   this node's socket buffer dies with it under a partition, so a
+   local write success counts for nothing.  Bounded by the lease
+   window; on timeout the batch IS durable locally, but it is answered
+   with a typed error telling the client to treat it as failed (if the
+   cluster moves on, the epoch fence erases it; if this node survives,
+   the write stands — the classic semi-sync ambiguity, scoped to a
+   window the operator chose). *)
 let await_ship t d =
   if not (failover_active t.cfg) || standby_now t then Ok ()
   else begin
     let target = Durable.lsn d in
     let deadline = Clock.now_ms () +. t.cfg.lease_ms in
-    let shipped () =
+    let acked () =
       Mutex.lock t.role_mu;
       let v =
         List.fold_left
-          (fun acc (s : Repl.sender_stats) -> max acc s.shipped_lsn)
+          (fun acc (s : Repl.sender_stats) -> max acc s.acked_lsn)
           (-1) t.senders
       in
       Mutex.unlock t.role_mu;
       v
     in
     let rec wait () =
-      if shipped () >= target then Ok ()
+      if acked () >= target then Ok ()
       else if Clock.now_ms () >= deadline then
         Error
           (Err.io
@@ -307,10 +331,19 @@ let rec take n l =
         let a, b = take (n - 1) rest in
         (x :: a, b)
 
-(* commit the drained batches in arrival order; contiguous W_batch runs
-   share one group commit, W_checkpoint acts as a barrier *)
+(* Commit the drained batches in arrival order; contiguous W_batch runs
+   share one group commit, W_checkpoint acts as a barrier.  [commit_mu]
+   is held only around the backend mutations (apply vs snapshot
+   exclusion) — NOT across the semi-sync wait, which can last a whole
+   lease window: a reader stamping a snapshot, or a reconnecting
+   standby's handshake reading the LSN under the same lock, must never
+   be held hostage by a commit that is waiting for that very standby's
+   ack. *)
 let process_drain t reqs =
-  Mutex.lock t.commit_mu;
+  let locked f =
+    Mutex.lock t.commit_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.commit_mu) f
+  in
   let flush_batches = function
     | [] -> ()
     | batches -> (
@@ -329,7 +362,7 @@ let process_drain t reqs =
         let results =
           match t.backend with
           | Durable d ->
-              let rs = Durable.exec_grouped d all in
+              let rs = locked (fun () -> Durable.exec_grouped d all) in
               Telemetry.group_commit t.tel ~statements:(List.length all);
               (match await_ship t d with
               | Ok () -> rs
@@ -339,14 +372,17 @@ let process_drain t reqs =
                      refusals stay what they were *)
                   List.map (function Ok _ -> Error e | r -> r) rs)
           | Mem m ->
-              List.map
-                (fun s ->
-                  match Err.of_msg Err.Bind (Binder.exec_statement m.db s) with
-                  | Ok o ->
-                      m.mem_lsn <- m.mem_lsn + 1;
-                      Ok o
-                  | Error e -> Error e)
-                all
+              locked (fun () ->
+                  List.map
+                    (fun s ->
+                      match
+                        Err.of_msg Err.Bind (Binder.exec_statement m.db s)
+                      with
+                      | Ok o ->
+                          m.mem_lsn <- m.mem_lsn + 1;
+                          Ok o
+                      | Error e -> Error e)
+                    all)
         in
         let rec give rs = function
           | [] -> ()
@@ -365,7 +401,10 @@ let process_drain t reqs =
         let r =
           match t.backend with
           | Durable d ->
-              Result.map (fun l -> Binder.Checkpointed l) (Durable.checkpoint d)
+              locked (fun () ->
+                  Result.map
+                    (fun l -> Binder.Checkpointed l)
+                    (Durable.checkpoint d))
           | Mem _ ->
               Error
                 (Err.io "CHECKPOINT requires a durable server (serve --db DIR)")
@@ -377,17 +416,17 @@ let process_drain t reqs =
         let r =
           match t.backend with
           | Durable d ->
-              Result.map
-                (fun lsn -> Binder.Backed_up { dir; lsn })
-                (Durable.backup d ~dir)
+              locked (fun () ->
+                  Result.map
+                    (fun lsn -> Binder.Backed_up { dir; lsn })
+                    (Durable.backup d ~dir))
           | Mem _ ->
               Error (Err.io "BACKUP requires a durable server (serve --db DIR)")
         in
         Ivar.fill iv r;
         go [] rest
   in
-  go [] reqs;
-  Mutex.unlock t.commit_mu
+  go [] reqs
 
 let commit_loop t =
   let rec loop () =
@@ -625,10 +664,15 @@ let repl_line t =
                 (fun acc (s : Repl.sender_stats) -> min acc s.shipped_lsn)
                 hub_lsn t.senders
             in
+            let acked =
+              List.fold_left
+                (fun acc (s : Repl.sender_stats) -> min acc s.acked_lsn)
+                hub_lsn t.senders
+            in
             Printf.sprintf
-              "repl: role=primary peers=%d shipped_lsn=%d hub_lsn=%d \
-               lag_records=%d retain=%d"
-              (List.length t.senders) shipped hub_lsn (hub_lsn - shipped)
+              "repl: role=primary peers=%d shipped_lsn=%d acked_lsn=%d \
+               hub_lsn=%d lag_records=%d retain=%d"
+              (List.length t.senders) shipped acked hub_lsn (hub_lsn - shipped)
               t.cfg.repl_retain
       in
       Mutex.unlock t.role_mu;
@@ -651,9 +695,9 @@ let failover_line t =
         let primary = t.primary_addr in
         let grace = t.grace_until_ms in
         let applier = t.applier in
-        let last_send =
+        let anchor =
           List.fold_left
-            (fun acc (s : Repl.sender_stats) -> Float.max acc s.last_send_ms)
+            (fun acc (s : Repl.sender_stats) -> Float.max acc s.lease_anchor_ms)
             0. t.senders
         in
         Mutex.unlock t.role_mu;
@@ -685,8 +729,7 @@ let failover_line t =
               else
                 let remaining =
                   Float.max (grace -. now)
-                    (if last_send > 0. then
-                       t.cfg.lease_ms -. (now -. last_send)
+                    (if anchor > 0. then t.cfg.lease_ms -. (now -. anchor)
                      else 0.)
                 in
                 let holder = if remaining > 0. then t.addr_str else "-" in
@@ -965,6 +1008,12 @@ let handle_repl t conn args =
                         {
                           Repl.shipped_lsn = peer_lsn;
                           last_send_ms = Clock.now_ms ();
+                          (* the handshake LSN is the standby's own
+                             statement of what it has — seed the
+                             semi-sync watermark there; the lease
+                             anchor stays 0 until a grant is echoed *)
+                          acked_lsn = peer_lsn;
+                          lease_anchor_ms = 0.;
                         }
                       in
                       Mutex.lock t.role_mu;
@@ -1000,19 +1049,69 @@ let handle_repl t conn args =
             | _ -> refuse "REPL handshake needs a non-negative lsn argument")
         | [] -> refuse "REPL handshake needs a non-negative lsn argument")
 
-(* Answer an election probe with the bare facts: our address, applied
-   LSN, epoch and role.  A vote is not a promise (there is no Raft-style
-   term ledger): the CANDIDATE ranks the answers, and safety comes from
-   the quorum requirement plus epoch fencing — see DESIGN.md §15. *)
-let handle_elec t conn =
+(* Answer an election probe with the bare facts — our address, applied
+   LSN, epoch, role — plus one BALLOT: whether this node grants the
+   prober its vote for the probe's target epoch.  The ledger grants at
+   most one candidate per target epoch per window, which is what makes
+   "two candidates both conclude Won off racing LSN snapshots"
+   impossible: a quorum of grants can only assemble behind one of them
+   (any two quorums share a voter, and that voter granted once).  The
+   facts are answered either way — candidates rank every response, but
+   count only grants toward quorum.  Ballots expire after
+   [vote_window_ms] so a winner that died between collecting grants
+   and promoting cannot wedge the cluster.  See DESIGN.md §15. *)
+let handle_elec t conn args =
+  let req_epoch, req_lsn, req_addr, req_candidate =
+    match args with
+    | e :: l :: a :: rest ->
+        ( Option.value (int_of_string_opt e) ~default:0,
+          Option.value (int_of_string_opt l) ~default:(-1),
+          a,
+          (* pre-flag peers always probed as candidates *)
+          match rest with "f" :: _ -> false | _ -> true )
+    | _ -> (0, -1, "", false)
+  in
+  let my_epoch = epoch_of t in
+  let my_lsn = current_lsn t in
+  let now = Clock.now_ms () in
   Mutex.lock t.role_mu;
   let role =
     if Option.is_some t.fenced then "fenced"
     else if t.is_standby then "standby"
     else "primary"
   in
+  (* Ranked voting: the ballot goes only to a candidate this node could
+     not beat itself.  The prober's history lives one epoch below its
+     target; compare by (epoch, lsn, address) — the same total order
+     run_election uses to rank candidates — so grants always point at
+     the deterministic winner.  A stale-history candidate collects
+     facts, never ballots; and when this node is not an eligible rival
+     (it is the primary, or fenced) the address tie-break is waived. *)
+  let hist_epoch = req_epoch - 1 in
+  let outranks_me =
+    hist_epoch > my_epoch
+    || (hist_epoch = my_epoch
+       && (req_lsn > my_lsn
+          || (req_lsn = my_lsn
+             && (req_addr < t.addr_str || role <> "standby"))))
+  in
+  let granted =
+    req_addr <> "" && req_candidate
+    (* an election into an epoch the cluster already reached must never
+       count *)
+    && req_epoch > my_epoch
+    && outranks_me
+    && (req_epoch > t.voted_epoch
+       || (req_epoch = t.voted_epoch && req_addr = t.voted_for)
+       || now -. t.voted_at_ms > vote_window_ms t.cfg)
+  in
+  if granted then begin
+    t.voted_epoch <- req_epoch;
+    t.voted_for <- req_addr;
+    t.voted_at_ms <- now
+  end;
   Mutex.unlock t.role_mu;
-  Wire.vote conn ~addr:t.addr_str ~lsn:(current_lsn t) ~epoch:(epoch_of t) ~role
+  Wire.vote conn ~addr:t.addr_str ~lsn:my_lsn ~epoch:my_epoch ~role ~granted
 
 let session_loop t fd =
   let conn = Wire.of_fd fd in
@@ -1051,10 +1150,10 @@ let session_loop t fd =
                   match handle_request t sess conn payload with
                   | Ok () -> loop ()
                   | Error _ -> () (* peer gone *))
-              | Ok (Some { Wire.verb = "ELEC"; _ }) -> (
+              | Ok (Some { Wire.verb = "ELEC"; args; _ }) -> (
                   (* an election probe (or a primary's prober): answer
                      with our position and keep the session alive *)
-                  match handle_elec t conn with
+                  match handle_elec t conn args with
                   | Ok () -> loop ()
                   | Error _ -> ())
               | Ok (Some { Wire.verb = "REPL"; args; _ }) ->
@@ -1189,48 +1288,122 @@ let bump_grace t ms =
   Mutex.unlock t.role_mu
 
 (* One election round, run on the failover thread after the lease
-   observation window lapsed past the skew margin.  Deterministic: probe
-   every peer, require a quorum of the full cluster (self included),
-   rank candidates by (applied LSN, address) — highest LSN wins, ties to
-   the smallest address — and promote only if this node is the unique
-   maximum.  A live primary at our epoch or above aborts the round (the
-   lapse was a stall or a healed partition, not a death). *)
+   observation window lapsed past the skew margin.  Deterministic:
+   probe every peer, rank candidates by (epoch, applied LSN, address) —
+   the newest epoch's history outranks any LSN from an older one (an
+   old primary restarted on its stale WAL must never resurrect fenced
+   history), then highest LSN, ties to the smallest address — and
+   promote only if this node is the unique maximum AND holds a quorum
+   of the full cluster's GRANTED ballots (self included).  Each peer
+   grants one ballot per target epoch per window, so two candidates
+   racing on shifting LSN snapshots can never both reach quorum.  A
+   live primary at our epoch or above aborts the round (the lapse was
+   a stall or a healed partition, not a death). *)
 let run_election t d ~self =
-  Mutex.lock t.role_mu;
-  t.elections <- t.elections + 1;
-  Mutex.unlock t.role_mu;
+  let now = Clock.now_ms () in
   let my_epoch = Durable.epoch d in
   let my_lsn = Durable.lsn d in
-  let votes =
-    List.filter_map
-      (fun addr ->
-        match
-          Repl.probe ~addr
-            ~timeout_ms:(Float.max 250. (t.cfg.lease_ms /. 2.))
-            ~epoch:(my_epoch + 1) ~lsn:my_lsn ~self
-        with
-        | Ok v -> Some v
-        | Error _ -> None)
-      t.cfg.peers
+  let target = my_epoch + 1 in
+  Mutex.lock t.role_mu;
+  t.elections <- t.elections + 1;
+  (* claim our own ballot first: granting it to a peer and then running
+     as a candidate in the same window would be voting for both sides *)
+  let can_self =
+    target > t.voted_epoch
+    || (target = t.voted_epoch && t.voted_for = self)
+    || now -. t.voted_at_ms > vote_window_ms t.cfg
   in
-  let live_primary =
-    List.find_opt
-      (fun (v : Repl.vote) -> v.v_role = "primary" && v.v_epoch >= my_epoch)
-      votes
+  if can_self then begin
+    t.voted_epoch <- target;
+    t.voted_for <- self;
+    t.voted_at_ms <- now
+  end;
+  Mutex.unlock t.role_mu;
+  (* a failed round must release our self-ballot: two standbys that
+     lapse together would otherwise each hold their own ballot fresh
+     forever and withhold from the other — a split-vote livelock.  The
+     release is safe because a failed round's self-ballot was never
+     part of any assembled quorum (only our own, which did not form). *)
+  let release_self result =
+    (match result with
+    | `Won _ -> ()
+    | `Lost | `No_quorum | `Primary_alive _ ->
+        Mutex.lock t.role_mu;
+        if t.voted_epoch = target && t.voted_for = self then
+          t.voted_at_ms <- 0.;
+        Mutex.unlock t.role_mu);
+    result
   in
-  match live_primary with
-  | Some v ->
-      `Primary_alive (if v.v_epoch > my_epoch then Some v.v_addr else None)
-  | None ->
-      let cluster = List.length t.cfg.peers + 1 in
-      let quorum = (cluster / 2) + 1 in
-      if 1 + List.length votes < quorum then `No_quorum
-      else
-        let beats_me (v : Repl.vote) =
-          v.v_role = "standby"
-          && (v.v_lsn > my_lsn || (v.v_lsn = my_lsn && v.v_addr < self))
-        in
-        if List.exists beats_me votes then `Lost else `Won
+  (* Even without our own ballot we still sweep the peers: an
+     abstaining standby must discover the new primary (to retarget) or
+     the better-placed rival; but it announces itself as a fact-finder,
+     not a candidate, so it cannot pin anyone's ledger. *)
+  begin
+    let attempt () =
+    let votes =
+      List.filter_map
+        (fun addr ->
+          match
+            Repl.probe ~addr
+              ~timeout_ms:(Float.max 250. (t.cfg.lease_ms /. 2.))
+              ~epoch:target ~lsn:my_lsn ~self ~candidate:can_self
+          with
+          | Ok v -> Some v
+          | Error _ -> None)
+        t.cfg.peers
+    in
+    let live_primary =
+      List.find_opt
+        (fun (v : Repl.vote) -> v.v_role = "primary" && v.v_epoch >= my_epoch)
+        votes
+    in
+    match live_primary with
+    | Some v ->
+        `Primary_alive (if v.v_epoch > my_epoch then Some v.v_addr else None)
+    | None ->
+        let cluster = List.length t.cfg.peers + 1 in
+        let quorum = (cluster / 2) + 1 in
+        if 1 + List.length votes < quorum then `No_quorum
+        else
+          let beats_me (v : Repl.vote) =
+            v.v_role = "standby"
+            && (v.v_epoch > my_epoch
+               || (v.v_epoch = my_epoch
+                  && (v.v_lsn > my_lsn
+                     || (v.v_lsn = my_lsn && v.v_addr < self))))
+          in
+          let grants =
+            (if can_self then 1 else 0)
+            + List.length
+                (List.filter (fun (v : Repl.vote) -> v.v_granted) votes)
+          in
+          if List.exists beats_me votes then `Lost
+          else if (not can_self) || grants < quorum then `No_quorum
+          else
+            (* promote past every epoch observed in the round, not just
+               our own: bump_epoch advances from the floor we set, so
+               the new epoch is strictly greater than anything any
+               responder has used *)
+            `Won
+              (List.fold_left
+                 (fun acc (v : Repl.vote) -> max acc v.v_epoch)
+                 my_epoch votes)
+    in
+    (* Two standbys that lapse together each self-vote before the
+       other's probe lands, so the first sweep can find every ballot
+       withheld.  The rival's round concludes [`Lost] against our
+       ranked position within milliseconds and releases its ballot, so
+       a short in-round re-probe collects it — one election, not a
+       drawn-out series of [`No_quorum] rounds. *)
+    let rec go n =
+      match attempt () with
+      | `No_quorum when can_self && n < 2 ->
+          Thread.delay (Float.max 20. (t.cfg.lease_ms /. 10.) /. 1000.);
+          go (n + 1)
+      | result -> result
+    in
+    release_self (go 0)
+  end
 
 (* The standby side of one monitor tick: elect when the lease
    observation window (extended by every grant the stream carries) has
@@ -1261,7 +1434,14 @@ let standby_tick t d ~self =
         bump_grace t lease
     | Ok () -> (
         match run_election t d ~self with
-        | `Won -> (
+        | `Won max_seen -> (
+            (* ratchet the epoch floor over everything the round saw
+               BEFORE bumping: a re-minted epoch would let fenced
+               history back in *)
+            if max_seen > Durable.epoch d then
+              (match Durable.set_epoch d max_seen with
+              | Ok () -> ()
+              | Error _ -> ());
             match promote t with Ok _ -> () | Error _ -> bump_grace t lease)
         | `Primary_alive (Some leader) ->
             (* a successor exists: follow it *)
@@ -1289,7 +1469,7 @@ let primary_tick t d ~self ~round =
       match
         Repl.probe ~addr
           ~timeout_ms:(Float.max 250. (t.cfg.lease_ms /. 2.))
-          ~epoch:my_epoch ~lsn:my_lsn ~self
+          ~epoch:my_epoch ~lsn:my_lsn ~self ~candidate:false
       with
       | Error _ -> ()
       | Ok v ->
@@ -1413,6 +1593,9 @@ let start cfg =
           (* boot grace: give the cluster 3 leases to find each other
              before anyone suspends writes or calls an election *)
           grace_until_ms = Clock.now_ms () +. (3. *. cfg.lease_ms);
+          voted_epoch = 0;
+          voted_for = "";
+          voted_at_ms = 0.;
           adm = Admission.create cfg.admission;
           tel = Telemetry.create ();
           snaps = Snapshot.create ();

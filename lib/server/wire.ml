@@ -126,6 +126,17 @@ let read_frame ?fault c ~timeout_ms =
       in
       payload_loop ()
 
+(* a zero-timeout peek: bytes already buffered, or pending on the
+   socket — how a duplex peer (the replication sender draining RACKs)
+   reads opportunistically without ever blocking its write path *)
+let readable c =
+  Buffer.length c.buf > 0
+  ||
+  match Unix.select [ c.fd ] [] [] 0. with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error _ -> false
+
 let write_all fd s =
   Err.protect ~kind:Err.Io (fun () ->
       let b = Bytes.of_string s in
@@ -146,16 +157,37 @@ let write_frame c ~verb ?(args = []) payload =
 let ok c payload = write_frame c ~verb:"OK" payload
 let err c ~kind payload = write_frame c ~verb:"ERR" ~args:[ kind ] payload
 
-(* election frames: a candidate probes with ELEC, a peer answers VOTE *)
-let elec c ~epoch ~lsn ~addr =
+(* election frames: a candidate probes with ELEC, a peer answers VOTE.
+   The trailing flag separates a real candidacy ("c" — may collect
+   ballots) from a fact-finding sweep ("f" — a primary checking for a
+   successor, or an abstaining standby looking for the new leader);
+   granting a ballot to a fact-finder would pin the voter's ledger to a
+   node that is not even running. *)
+let elec c ~epoch ~lsn ~addr ~candidate =
   write_frame c ~verb:"ELEC"
-    ~args:[ string_of_int epoch; string_of_int lsn; addr ]
+    ~args:
+      [ string_of_int epoch; string_of_int lsn; addr;
+        (if candidate then "c" else "f");
+      ]
     ""
 
-let vote c ~addr ~lsn ~epoch ~role =
+let vote c ~addr ~lsn ~epoch ~role ~granted =
   write_frame c ~verb:"VOTE"
-    ~args:[ addr; string_of_int lsn; string_of_int epoch; role ]
+    ~args:
+      [
+        addr;
+        string_of_int lsn;
+        string_of_int epoch;
+        role;
+        (if granted then "y" else "n");
+      ]
     ""
+
+(* replication ack, standby → primary: the applied LSN plus the echoed
+   send-timestamp of the last observed lease grant ("-" when the frame
+   carried none) — what actually renews the primary's lease *)
+let rack c ~lsn ~grant =
+  write_frame c ~verb:"RACK" ~args:[ string_of_int lsn; grant ] ""
 
 let busy c ~retry_after_ms payload =
   write_frame c ~verb:"BUSY" ~args:[ string_of_int retry_after_ms ] payload

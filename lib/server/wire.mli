@@ -7,19 +7,25 @@
     Client → server verbs: [STMT] (payload: a SQL script), [PING],
     [REPL <lsn> <epoch>] — the replication handshake that turns the
     session into an outbound WAL stream — and [ELEC <epoch> <lsn>
-    <addr>] — an election probe from a standby candidate (or the
-    primary's own prober).  Server → client verbs: [OK] (payload:
+    <addr> <candidate>] — an election probe, where [candidate] is
+    ["c"] for a real candidacy (may collect a ballot) or ["f"] for a
+    fact-finding sweep (facts only: the primary's successor check, an
+    abstaining standby's leader search).  Server → client verbs: [OK] (payload:
     rendered result text; on a replication handshake the first arg is
     the primary's epoch), [ERR <kind>] (payload: message), [BUSY
     <retry_after_ms>] (payload: message) — the shed-load response
     carrying its client-visible back-off hint — [VOTE <addr> <lsn>
-    <epoch> <role>] answering an election probe, and, on a replication
-    stream, [RECD <seq> <kind> <primary_lsn> <pub_ms> <epoch>
-    <lease_ms>] (payload: the record) and [RHB <primary_lsn> <now_ms>
-    <epoch> <lease_ms>] heartbeats — the trailing epoch + lease args
-    piggyback the failover lease grant on the existing stream, and
-    pre-failover peers simply ignore them (arg lists are matched by
-    prefix).
+    <epoch> <role> <granted>] answering an election probe, and, on a
+    replication stream, [RECD <seq> <kind> <primary_lsn> <pub_ms>
+    <epoch> <lease_ms> <sent_ms>] (payload: the record) and [RHB
+    <primary_lsn> <sent_ms> <epoch> <lease_ms>] heartbeats — the
+    trailing epoch + lease args piggyback the failover lease grant on
+    the existing stream, and pre-failover peers simply ignore them
+    (arg lists are matched by prefix).  The stream is duplex: the
+    standby answers every frame with [RACK <applied_lsn>
+    <grant_echo>], the cumulative ack that advances the primary's
+    semi-sync watermark and (when [grant_echo] repeats a grant's
+    [sent_ms]) renews its lease.
 
     Every read is deadline-bounded: the reader multiplexes
     [Unix.select] with a budget, so a stalled or malicious peer can
@@ -56,6 +62,12 @@ val read_frame :
 val write_frame :
   conn -> verb:string -> ?args:string list -> string -> (unit, Err.t) result
 
+val readable : conn -> bool
+(** A zero-timeout peek: true when bytes are already buffered or
+    pending on the socket, so a [read_frame] is very unlikely to
+    block.  Lets a duplex peer (the replication sender draining acks)
+    read opportunistically without stalling its write path. *)
+
 (** {1 Shorthands} *)
 
 val ok : conn -> string -> (unit, Err.t) result
@@ -63,14 +75,28 @@ val err : conn -> kind:string -> string -> (unit, Err.t) result
 val busy : conn -> retry_after_ms:int -> string -> (unit, Err.t) result
 
 val elec :
-  conn -> epoch:int -> lsn:int -> addr:string -> (unit, Err.t) result
+  conn -> epoch:int -> lsn:int -> addr:string -> candidate:bool ->
+  (unit, Err.t) result
 (** An election probe: "[addr] proposes to take epoch [epoch] at lsn
-    [lsn] — who are you and where do you stand?" *)
+    [lsn] — who are you and where do you stand?"  [candidate] is the
+    trailing ["c"]/["f"] flag: only a real candidacy may collect
+    ballots; a fact-finding sweep (a primary checking for a successor,
+    an abstaining standby looking for the new leader) gets facts
+    only. *)
 
 val vote :
   conn -> addr:string -> lsn:int -> epoch:int -> role:string ->
-  (unit, Err.t) result
+  granted:bool -> (unit, Err.t) result
 (** The answer to {!elec}: this node's listen address, applied LSN,
-    cluster epoch and role (["primary"]/["standby"]/["fenced"]).  The
-    caller ranks candidates by (lsn, addr) and aborts if a live primary
-    at an equal or higher epoch answers. *)
+    cluster epoch and role (["primary"]/["standby"]/["fenced"]), plus
+    one ballot — whether this node grants the prober its vote for the
+    probe's target epoch (at most one candidate per epoch per window).
+    The caller ranks candidates by (epoch, lsn, addr), needs a quorum
+    of grants to promote, and aborts if a live primary at an equal or
+    higher epoch answers. *)
+
+val rack : conn -> lsn:int -> grant:string -> (unit, Err.t) result
+(** A standby's per-frame replication ack: its applied LSN (cumulative,
+    the primary's semi-sync watermark) and the echoed [sent_ms] of the
+    lease grant the acked frame carried (["-"] when it carried none) —
+    echoing a grant is what renews the primary's lease. *)
