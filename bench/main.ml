@@ -567,6 +567,58 @@ let report_smoke () =
   if ok then 0 else 1
 
 (* ------------------------------------------------------------------ *)
+(* the paged engine under pressure: Figure 1 with a buffer pool far
+   below the lazy plan's build side.  Both plans run to completion
+   through the spill breakers and agree on the result; the eager plan's
+   pinned-page high-water mark stays strictly below the lazy plan's,
+   because one group row per department fits the pool while one build
+   row per employee cannot. *)
+
+let spill_storage =
+  { Database.pool_pages = Some 32; page_size = 1024; spill_dir = None }
+
+let spill_measurements () =
+  let w =
+    Employee_dept.setup ~storage:spill_storage ~seed:!seed ~employees:10_000
+      ~departments:100 ()
+  in
+  let db = w.Employee_dept.db and q = w.Employee_dept.query in
+  let pool =
+    match Database.buffer_pool db with
+    | Some p -> p
+    | None -> failwith "paged workload has no buffer pool"
+  in
+  let measure plan =
+    Buffer_pool.reset_peak pool;
+    let options = { Exec.default_options with spill = Spill.for_db db } in
+    let rows, ms = time_ms (fun () -> Exec.run_rows ~options db plan) in
+    (rows, ms, (Buffer_pool.stats pool).Buffer_pool.peak_pinned)
+  in
+  let m1 = measure (Plans.e1 db q) in
+  let m2 = measure (Plans.e2 db q) in
+  (db, m1, m2)
+
+let report_spill () =
+  section
+    "SPILL — Figure 1 on the paged engine (32-page pool << E1 build side)";
+  let db, (r1, t1, peak1), (r2, t2, peak2) = spill_measurements () in
+  let s = Option.get (Database.pool_stats db) in
+  Printf.printf "%-24s %12s %12s %14s\n" "" "rows" "time (ms)" "peak pinned";
+  Printf.printf "%-24s %12d %12.2f %14d\n" "plan1 (lazy)" (List.length r1) t1
+    peak1;
+  Printf.printf "%-24s %12d %12.2f %14d\n" "plan2 (eager)" (List.length r2) t2
+    peak2;
+  Printf.printf
+    "pool: hits=%d misses=%d evictions=%d page_reads=%d page_writes=%d\n"
+    s.Buffer_pool.hits s.Buffer_pool.misses s.Buffer_pool.evictions
+    s.Buffer_pool.page_reads s.Buffer_pool.page_writes;
+  let identical = Exec.multiset_equal r1 r2 in
+  Printf.printf "results identical: %b\n" identical;
+  Printf.printf "E2 peak pinned strictly below E1's: %b\n" (peak2 < peak1);
+  Database.close_storage db;
+  if identical && peak2 < peak1 then 0 else 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure/series *)
 
 open Bechamel
@@ -957,6 +1009,31 @@ let report_json path =
       (String.concat ", " ranked)
       (side rows1 t1 peak1) (side rows2 t2 peak2)
   in
+  (* Figure 1 through the spill breakers: a 32-page pool far below the
+     lazy plan's build side, peak measured in pinned pages *)
+  let spill_entry =
+    let db, (r1, t1, peak1), (r2, t2, peak2) = spill_measurements () in
+    let side rows ms peak =
+      Printf.sprintf
+        "{\"ms\": %.3f, \"rows\": %d, \"rows_per_sec\": %.0f, \
+         \"peak_pinned_pages\": %d}"
+        ms (List.length rows)
+        (float_of_int (List.length rows) /. (Float.max 0.001 ms /. 1000.))
+        peak
+    in
+    let entry =
+      Printf.sprintf
+        "{\"workload\": \"fig1_spill\", \"seed\": %d, \"pool_pages\": %d,\n\
+        \     \"page_size\": %d,\n\
+        \     \"e1\": %s,\n\
+        \     \"e2\": %s}"
+        !seed
+        (Option.value ~default:0 spill_storage.Database.pool_pages)
+        spill_storage.Database.page_size (side r1 t1 peak1) (side r2 t2 peak2)
+    in
+    Database.close_storage db;
+    entry
+  in
   let replication = json_replication () in
   let oc = open_out path in
   Printf.fprintf oc
@@ -969,13 +1046,14 @@ let report_json path =
     \  \"batch_sweep_fig1\": [\n\
      %s\n\
     \  ],\n\
+    \  \"spill_fig1\": %s,\n\
     \  \"replication\": %s\n\
      }\n"
     !seed
     (String.concat ",\n" entries)
     nway_entry
     (String.concat ",\n" sweep_entries)
-    replication;
+    spill_entry replication;
   close_out oc;
   Printf.printf "wrote %s (%d workloads + %d sweep points, seed %d)\n" path
     (List.length (json_workloads ()))
@@ -1000,6 +1078,7 @@ let reports =
     ("estimator", report_estimator);
     ("batch-sweep", report_batch_sweep);
     ("nway", report_nway);
+    ("spill", report_spill);
   ]
 
 let () =

@@ -51,9 +51,14 @@ type show = Results | Explain | Explain_analyze
 let print_err e = Printf.printf "error: %s\n" (Err.to_string e)
 
 let run_query db (q : Binder.bound_query) ~limits ~order ~(show : show) =
-  (* fresh governor per statement: the deadline clock starts here *)
+  (* fresh governor per statement: the deadline clock starts here; on a
+     paged database the breakers also get a fresh spill budget and the
+     planner costs page IOs *)
   let governor = Governor.create limits in
-  let options = { Exec.default_options with governor } in
+  let options =
+    { Exec.default_options with governor; spill = Spill.for_db db }
+  in
+  let io = Cost.default_io db in
   let checked plan k =
     match Exec.run_checked ~options db plan with
     | Ok (heap, stats) -> k (heap, stats)
@@ -79,7 +84,7 @@ let run_query db (q : Binder.bound_query) ~limits ~order ~(show : show) =
   | Binder.Grouped input -> (
       match Canonical.of_input db input with
       | Ok cq -> (
-          match Planner.decide ~governor db cq with
+          match Planner.decide ~governor ?io db cq with
           | Error e -> print_err e
           | Ok decision -> (
               match show with
@@ -206,8 +211,8 @@ let final_save db save_dir =
           Printf.eprintf "error saving %s: %s\n" dir (Err.to_string e);
           1)
 
-let run_file db_dir save_dir limits wal checkpoint_every faults fault_seed
-    fault_rate path =
+let run_file db_dir save_dir limits storage wal checkpoint_every faults
+    fault_seed fault_rate path =
   let src =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -225,7 +230,7 @@ let run_file db_dir save_dir limits wal checkpoint_every faults fault_seed
         (* arm before recovery so injected crashes exercise replay and
            checkpoint completion, not just fresh appends *)
         arm_faults faults fault_seed fault_rate;
-        match Durable.open_ ?checkpoint_every ~dir () with
+        match Durable.open_ ?checkpoint_every ?storage ~dir () with
         | Error e ->
             Printf.eprintf "error recovering %s: %s\n" dir (Err.to_string e);
             1
@@ -247,9 +252,9 @@ let run_file db_dir save_dir limits wal checkpoint_every faults fault_seed
   else
     let db =
       match db_dir with
-      | None -> Database.create ()
+      | None -> Database.create ?storage ()
       | Some dir -> (
-          match Persist.load ~dir with
+          match Persist.load ?storage ~dir () with
           | Ok db ->
               Printf.printf "loaded database from %s\n" dir;
               db
@@ -265,8 +270,8 @@ let run_file db_dir save_dir limits wal checkpoint_every faults fault_seed
         1
     | Ok () -> final_save db save_dir
 
-let repl limits =
-  let db = ref (Database.create ()) in
+let repl limits storage =
+  let db = ref (Database.create ?storage ()) in
   let timing = ref false in
   print_endline
     "eagerdb — SQL statements end with ';'.  \\q quits, \\h lists \
@@ -308,7 +313,7 @@ let repl limits =
         | Ok () -> Printf.printf "saved to %s\n" dir
         | Error e -> print_err e)
     | [ "\\load"; dir ] -> (
-        match Persist.load ~dir with
+        match Persist.load ~dir () with
         | Ok d ->
             db := d;
             Printf.printf "loaded %s\n" dir
@@ -405,9 +410,10 @@ let demo name =
    [primary] switches the node into standby mode: read-only, following
    that address's WAL stream until PROMOTE (or SIGUSR1) flips it. *)
 let serve_main ~primary ~repl_seed ~repl_retain ~peers ~lease_ms
-    ~no_auto_failover listen_s db_dir checkpoint_every max_sessions max_active
-    max_queued max_wait_ms global_rows statement_limits read_timeout_ms
-    die_on_broken_wal faults fault_seed fault_rate fault_points =
+    ~no_auto_failover ~storage listen_s db_dir checkpoint_every max_sessions
+    max_active max_queued max_wait_ms global_rows statement_limits
+    read_timeout_ms die_on_broken_wal faults fault_seed fault_rate fault_points
+    =
   let open Eager_server in
   arm_faults ?fault_points faults fault_seed fault_rate;
   let peers =
@@ -455,6 +461,7 @@ let serve_main ~primary ~repl_seed ~repl_retain ~peers ~lease_ms
       admission;
       read_timeout_ms;
       db_dir;
+      storage;
       checkpoint_every;
       die_on_broken_wal;
       role;
@@ -650,10 +657,63 @@ let limits_term =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Per-query wall-clock budget in milliseconds")
   in
+  let max_page_ios =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-page-ios" ] ~docv:"N"
+          ~doc:
+            "Abort a query once it has caused more than $(docv) physical \
+             page transfers (buffer-pool miss reads, eviction write-backs, \
+             spill pages); only meaningful with $(b,--pages)")
+  in
   Term.(
-    const (fun max_rows max_groups deadline_ms ->
-        { Governor.max_rows; max_groups; deadline_ms })
-    $ max_rows $ max_groups $ deadline_ms)
+    const (fun max_rows max_groups deadline_ms max_page_ios ->
+        { Governor.max_rows; max_groups; deadline_ms; max_page_ios })
+    $ max_rows $ max_groups $ deadline_ms $ max_page_ios)
+
+(* paged-storage flags shared by [run], [repl] and [serve]: they select
+   the buffer-pool-backed engine instead of the default RAM heaps *)
+let storage_term =
+  let pages =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pages" ] ~docv:"N"
+          ~doc:
+            "Run over the paged storage engine with an $(docv)-page buffer \
+             pool (LRU-K replacement, checksummed 4 KiB pages).  0 means \
+             paged but unbounded — every page stays resident")
+  in
+  let page_size =
+    Arg.(
+      value & opt int 4096
+      & info [ "page-size" ] ~docv:"BYTES"
+          ~doc:"Page size in bytes for the paged engine (default 4096)")
+  in
+  let spill_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:
+            "Scratch directory for operator spill runs (external sorts, \
+             grace hash joins, spilling aggregation).  Implies the paged \
+             engine; without --pages the pool is unbounded")
+  in
+  Term.(
+    const (fun pages page_size spill_dir ->
+        match (pages, spill_dir) with
+        | None, None -> None
+        | _ ->
+            Some
+              {
+                Database.pool_pages =
+                  (match pages with Some 0 -> None | p -> p);
+                page_size;
+                spill_dir;
+              })
+    $ pages $ page_size $ spill_dir)
 
 (* fault-injection flags shared by [run] and [serve] *)
 let faults_arg =
@@ -715,8 +775,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
     Term.(
-      const run_file $ db_dir $ save_dir $ limits_term $ wal $ checkpoint_every
-      $ faults_arg $ fault_seed_arg $ fault_rate_arg $ file)
+      const run_file $ db_dir $ save_dir $ limits_term $ storage_term $ wal
+      $ checkpoint_every $ faults_arg $ fault_seed_arg $ fault_rate_arg $ file)
 
 let demo_cmd =
   let name_arg =
@@ -729,7 +789,7 @@ let demo_cmd =
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL shell on an in-memory database")
-    Term.(const repl $ limits_term)
+    Term.(const repl $ limits_term $ storage_term)
 
 (* the differential fuzzing harness: the Main Theorem as an oracle *)
 let fuzz seed iters no_faults corpus replay multiway quiet =
@@ -1025,11 +1085,13 @@ let fault_points_arg =
 
 let serve_term primary_t =
   Term.(
-    const (fun primary repl_seed repl_retain peers lease_ms no_auto_failover ->
+    const
+      (fun primary repl_seed repl_retain peers lease_ms no_auto_failover
+           storage ->
         serve_main ~primary ~repl_seed ~repl_retain ~peers ~lease_ms
-          ~no_auto_failover)
+          ~no_auto_failover ~storage)
     $ primary_t $ srv_repl_seed $ srv_repl_retain $ srv_peers $ srv_lease_ms
-    $ srv_no_auto_failover $ srv_listen $ srv_db_dir
+    $ srv_no_auto_failover $ storage_term $ srv_listen $ srv_db_dir
     $ srv_checkpoint_every $ srv_max_sessions $ srv_max_active $ srv_max_queued
     $ srv_max_wait_ms $ srv_global_rows $ limits_term $ srv_read_timeout_ms
     $ srv_die_on_broken_wal $ faults_arg $ fault_seed_arg $ fault_rate_arg

@@ -177,7 +177,7 @@ let verify ~dir =
     (* belt and braces beyond the manifest: the snapshot's own trailer
        must verify, and the WAL must scan clean end to end — in an
        archive even a torn tail is corruption, not crash residue *)
-    let* db_lsn = Persist.load_with_lsn ~dir in
+    let* db_lsn = Persist.load_with_lsn ~dir () in
     let* records, tail = Wal.scan (Filename.concat dir Wal.file_name) in
     let* () =
       match tail with

@@ -101,15 +101,15 @@ let replay db records ~lsn =
   in
   Ok (!replayed, !skipped_failed, List.length aborted)
 
-let open_ ?checkpoint_every ~dir () =
+let open_ ?checkpoint_every ?storage ~dir () =
   let result =
     let* () =
       Err.protect ~kind:Err.Io (fun () ->
           if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
     in
     let* db, lsn =
-      if snapshot_exists ~dir then Persist.load_with_lsn ~dir
-      else Ok (Database.create (), 0)
+      if snapshot_exists ~dir then Persist.load_with_lsn ?storage ~dir ()
+      else Ok (Database.create ?storage (), 0)
     in
     let wal_path = Wal.path ~dir in
     let* records, tail = Wal.scan wal_path in
@@ -196,6 +196,10 @@ let bump_epoch t =
 let checkpoint t =
   let lsn = Wal.next_seq t.wal - 1 in
   let result =
+    (* flush-before-checkpoint barrier: a paged database writes every
+       dirty page back before the snapshot reads the heaps, so the
+       snapshot and the pager files agree *)
+    let* () = Err.protect ~kind:Err.Io (fun () -> Database.flush t.db) in
     let* () = Persist.save ~wal_lsn:lsn t.db ~dir:t.dir in
     let* () = Wal.truncate t.wal in
     t.since_checkpoint <- 0;

@@ -42,10 +42,17 @@ type recovery = {
 }
 
 val open_ :
-  ?checkpoint_every:int -> dir:string -> unit -> (t * recovery, Err.t) result
+  ?checkpoint_every:int ->
+  ?storage:Database.storage_config ->
+  dir:string ->
+  unit ->
+  (t * recovery, Err.t) result
 (** Open (creating [dir] and an empty database if nothing is there) and
     run recovery.  [checkpoint_every] enables automatic checkpoints
-    after that many logged statements. *)
+    after that many logged statements.  [storage] opens the recovered
+    database over the paged engine (buffer pool + pager files); the WAL
+    and snapshot stay the durability story, and {!checkpoint} flushes
+    the pool before snapshotting. *)
 
 val db : t -> Database.t
 val dir : t -> string

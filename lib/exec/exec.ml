@@ -15,6 +15,7 @@ type options = {
   use_indexes : bool;
   governor : Governor.t;
   batch_rows : int;
+  spill : Spill.config option;
 }
 
 let default_options =
@@ -25,6 +26,7 @@ let default_options =
     use_indexes = true;
     governor = Governor.unlimited;
     batch_rows = Batch.default_rows;
+    spill = None;
   }
 
 type profile = { peak_live_rows : int; batch_rows : int }
@@ -190,6 +192,42 @@ let array_source ~batch_rows ~tr ~held schema (arr : Row.t array) : cursor =
       pos := !pos + k;
       Some b
     end
+
+(* Adapters between the batched pull pipeline and the row streams the
+   spill algorithms speak. *)
+let rows_of_cursor (c : cursor) : Spill.row_stream =
+  let batch = ref None in
+  let i = ref 0 in
+  let rec next () =
+    match !batch with
+    | Some b when !i < Batch.length b ->
+        let row = Batch.get b !i in
+        incr i;
+        Some row
+    | _ -> (
+        match c () with
+        | None -> None
+        | Some b ->
+            batch := Some b;
+            i := 0;
+            next ())
+  in
+  next
+
+let cursor_of_rows ~batch_rows schema (s : Spill.row_stream) : cursor =
+  let out = Batch.create ~capacity:batch_rows schema in
+  fun () ->
+    Batch.clear out;
+    let rec fill () =
+      if not (Batch.is_full out) then
+        match s () with
+        | None -> ()
+        | Some row ->
+            Batch.add out row;
+            fill ()
+    in
+    fill ();
+    if Batch.is_empty out then None else Some out
 
 (* ------------------------------------------------------------------ *)
 (* streaming (non-breaking) operators                                  *)
@@ -665,7 +703,9 @@ let run_profiled ?(options = default_options) db plan =
             table (Schema.arity schema)
             (Schema.arity (Heap.schema src));
         let st = opstat label [] in
-        let hc = Heap.cursor ~batch_rows src in
+        (* a paged heap charges the governor's page-IO budget at pin
+           time, through this handle *)
+        let hc = Heap.cursor ~batch_rows ~gov src in
         let cur () =
           match Heap.cursor_next hc with
           | None -> None
@@ -737,12 +777,28 @@ let run_profiled ?(options = default_options) db plan =
         let schema = Schema.project in_schema cols in
         let st = opstat label [ cst ] in
         let cur =
-          if dedup then dedup_cursor ~batch_rows ~tr schema idxs child
-          else
-            map_cursor ~batch_rows schema (fun row -> Row.project idxs row)
-              child
+          match (dedup, options.spill) with
+          | true, Some sp ->
+              (* DISTINCT as a degenerate spilling aggregation: state-less
+                 groups whose repr row is the projected output *)
+              deferred (fun () ->
+                  cursor_of_rows ~batch_rows schema
+                    (Spill.hash_agg sp ~gov ~acquire:(acquire tr)
+                       ~release:(release tr) ~key:(Row.key_on idxs)
+                       ~fresh:(fun () -> ())
+                       ~absorb:(fun () _ -> ())
+                       ~emit:(fun repr () -> Row.project idxs repr)
+                       (rows_of_cursor child)))
+          | true, None -> dedup_cursor ~batch_rows ~tr schema idxs child
+          | false, _ ->
+              map_cursor ~batch_rows schema (fun row -> Row.project idxs row)
+                child
         in
-        (boundary gov st cur, schema, st, order_through_projection order cols)
+        let out_order =
+          if dedup && options.spill <> None then []
+          else order_through_projection order cols
+        in
+        (boundary gov st cur, schema, st, out_order)
     | Plan.Map { items; input } ->
         let child, in_schema, cst, order = compile input in
         let schema = Plan.schema_of p in
@@ -789,11 +845,18 @@ let run_profiled ?(options = default_options) db plan =
         in
         let st = opstat label [ cst ] in
         let cur =
-          deferred (fun () ->
-              let rows = drain tr child in
-              Array.stable_sort cmp rows;
-              array_source ~batch_rows ~tr ~held:(Array.length rows) schema
-                rows)
+          match options.spill with
+          | Some sp ->
+              deferred (fun () ->
+                  cursor_of_rows ~batch_rows schema
+                    (Spill.sort sp ~gov ~acquire:(acquire tr)
+                       ~release:(release tr) ~cmp (rows_of_cursor child)))
+          | None ->
+              deferred (fun () ->
+                  let rows = drain tr child in
+                  Array.stable_sort cmp rows;
+                  array_source ~batch_rows ~tr ~held:(Array.length rows)
+                    schema rows)
         in
         (* the known (ascending) order is the prefix before the first DESC *)
         let rec asc_prefix = function
@@ -830,8 +893,9 @@ let run_profiled ?(options = default_options) db plan =
           match algo, keys with
           | Nested_loop, _ | _, [] -> (order_l, 0)
           | Hash_join, _ ->
-              (* the probe (right) side streams, so its order survives *)
-              (order_r, 0)
+              (* the probe (right) side streams, so its order survives —
+                 unless the join may degrade to grace partitioning *)
+              ((if options.spill = None then order_r else []), 0)
           | (Merge_join | Auto), _ ->
               (* merge join emits rows in join-key order *)
               let ls = covered_by_order lkeys order_l in
@@ -844,11 +908,34 @@ let run_profiled ?(options = default_options) db plan =
               let full = Expr.compile_pred ~params out_schema pred in
               nested_loop_cursor ~batch_rows ~tr out_schema (Some full) lcur
                 rcur
-          | Hash_join, _ ->
+          | Hash_join, _ -> (
               let lidx = Schema.indices lsch lkeys in
               let ridx = Schema.indices rsch rkeys in
-              hash_join_cursor ~batch_rows ~tr out_schema residual_pred lidx
-                ridx lcur rcur
+              match options.spill with
+              | Some sp ->
+                  let lkey row =
+                    if all_non_null lidx row then Some (Row.key_on lidx row)
+                    else None
+                  in
+                  let rkey row =
+                    if all_non_null ridx row then Some (Row.key_on ridx row)
+                    else None
+                  in
+                  let combine l r =
+                    let row = Row.concat l r in
+                    match residual_pred with
+                    | Some p when not (Tbool.holds (p row)) -> None
+                    | _ -> Some row
+                  in
+                  deferred (fun () ->
+                      cursor_of_rows ~batch_rows out_schema
+                        (Spill.grace_join sp ~gov ~acquire:(acquire tr)
+                           ~release:(release tr) ~lkey ~rkey ~combine
+                           ~left:(rows_of_cursor lcur)
+                           ~right:(rows_of_cursor rcur) ()))
+              | None ->
+                  hash_join_cursor ~batch_rows ~tr out_schema residual_pred
+                    lidx ridx lcur rcur)
           | Merge_join, _ ->
               let lidx = Schema.indices lsch lkeys in
               let ridx = Schema.indices rsch rkeys in
@@ -879,8 +966,11 @@ let run_profiled ?(options = default_options) db plan =
             match options.group_algo with
             | Sort_group -> by
             | Hash_group ->
-                (* first-seen emission: sorted input stays sorted *)
-                if covered_by_order by in_order then by else []
+                (* first-seen emission: sorted input stays sorted — but a
+                   spilling table may emit partitions out of line *)
+                if options.spill = None && covered_by_order by in_order then
+                  by
+                else []
         in
         let inner =
           if unique_groups then
@@ -894,11 +984,62 @@ let run_profiled ?(options = default_options) db plan =
                   (Agg_exec.finalize compiled state))
               child
           else
-            match options.group_algo with
-            | Hash_group ->
+            match options.group_algo, options.spill with
+            | Hash_group, Some sp ->
+                deferred (fun () ->
+                    cursor_of_rows ~batch_rows schema
+                      (Spill.hash_agg sp ~gov ~acquire:(acquire tr)
+                         ~release:(release tr)
+                         ~on_groups:(Governor.charge_groups gov)
+                         ~key:(Row.key_on by_idx)
+                         ~fresh:(fun () -> Agg_exec.fresh compiled)
+                         ~absorb:(fun st row -> Agg_exec.update compiled st row)
+                         ~emit:(fun repr st ->
+                           Array.append (Row.project by_idx repr)
+                             (Agg_exec.finalize compiled st))
+                         (rows_of_cursor child)))
+            | Hash_group, None ->
                 hash_group_cursor ~batch_rows ~tr ~gov schema by_idx compiled
                   child
-            | Sort_group ->
+            | Sort_group, Some sp ->
+                (* external sort, then stream one group at a time off the
+                   sorted run *)
+                deferred (fun () ->
+                    let cmp = Row.compare_on by_idx in
+                    let sorted =
+                      if covered_by_order by in_order then rows_of_cursor child
+                      else
+                        Spill.sort sp ~gov ~acquire:(acquire tr)
+                          ~release:(release tr) ~cmp (rows_of_cursor child)
+                    in
+                    let pending = ref None in
+                    let next_group () =
+                      let first =
+                        match !pending with
+                        | Some _ as r ->
+                            pending := None;
+                            r
+                        | None -> sorted ()
+                      in
+                      match first with
+                      | None -> None
+                      | Some repr ->
+                          let state = Agg_exec.fresh compiled in
+                          Agg_exec.update compiled state repr;
+                          let rec fill () =
+                            match sorted () with
+                            | Some r when cmp repr r = 0 ->
+                                Agg_exec.update compiled state r;
+                                fill ()
+                            | leftover -> pending := leftover
+                          in
+                          fill ();
+                          Some
+                            (Array.append (Row.project by_idx repr)
+                               (Agg_exec.finalize compiled state))
+                    in
+                    cursor_of_rows ~batch_rows schema next_group)
+            | Sort_group, None ->
                 sort_group_cursor ~batch_rows ~tr schema by_idx compiled
                   ~presorted:(covered_by_order by in_order)
                   child
@@ -909,6 +1050,13 @@ let run_profiled ?(options = default_options) db plan =
         (boundary gov st cur, schema, st, out_order)
     | Plan.Partial_group { by; aggs; cap; input } ->
         let child, in_schema, cst, _ = compile input in
+        (* unify the partial-aggregation overflow cap onto the same
+           per-operator page budget the spilling breakers use *)
+        let cap =
+          match options.spill with
+          | Some sp -> min cap (Spill.rows_budget sp)
+          | None -> cap
+        in
         let by_idx = Schema.indices in_schema by in
         let compiled = Agg_exec.compile ~params in_schema aggs in
         let schema = Plan.schema_of p in
@@ -920,17 +1068,24 @@ let run_profiled ?(options = default_options) db plan =
         (* flush epochs may repeat groups, so no order survives *)
         (boundary gov st cur, schema, st, [])
   in
-  let cur, schema, st, order = compile plan in
-  let out = Heap.create schema in
-  let rec drain_root () =
-    match cur () with
-    | None -> ()
-    | Some b ->
-        Batch.iter (Heap.insert out) b;
-        drain_root ()
+  (* Pool reservations are cross-statement state: release whatever the
+     spill paths still hold even when a governor abort or injected fault
+     unwinds mid-stream. *)
+  let finally () =
+    match options.spill with Some sp -> Spill.cleanup sp | None -> ()
   in
-  drain_root ();
-  (out, realize st, order, { peak_live_rows = tr.peak; batch_rows })
+  Fun.protect ~finally (fun () ->
+      let cur, schema, st, order = compile plan in
+      let out = Heap.create schema in
+      let rec drain_root () =
+        match cur () with
+        | None -> ()
+        | Some b ->
+            Batch.iter (Heap.insert out) b;
+            drain_root ()
+      in
+      drain_root ();
+      (out, realize st, order, { peak_live_rows = tr.peak; batch_rows }))
 
 let run_ordered ?options db plan =
   let h, st, order, _ = run_profiled ?options db plan in

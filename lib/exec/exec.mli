@@ -52,6 +52,17 @@ type options = {
           {!Batch.default_rows}); values below 1 are rejected and values
           above {!Batch.max_capacity} are clamped, so [batch_rows =
           max_int] emulates operator-at-a-time materialization *)
+  spill : Spill.config option;
+      (** when set, every pipeline breaker runs against a per-operator
+          page budget: sorts become external merge sorts, hash
+          aggregation and DISTINCT spill non-resident keys to hash
+          partitions, hash joins degrade to grace partitioning, and
+          [Partial_group] caps its table at the same budget.  In-budget
+          state is reserved against the buffer pool (visible in the
+          pinned-page telemetry); overflow goes to runs on the scratch
+          pager.  Spilling operators promise no output order.  [None]
+          (the default) keeps every breaker fully in memory, exactly as
+          before *)
 }
 
 val default_options : options

@@ -48,8 +48,11 @@ let rows_to_string rows =
   Printf.sprintf "{%s}" (String.concat "; " (List.map Row.to_string rows))
 
 let run ?(governor = Governor.unlimited) db plan =
+  (* on a paged database the breakers run with a fresh spill budget, so
+     the sweeps exercise external sorts and grace partitioning too *)
   Exec.run_rows_checked
-    ~options:{ Exec.default_options with Exec.governor }
+    ~options:
+      { Exec.default_options with Exec.governor; spill = Spill.for_db db }
     db plan
 
 let run_exn ~tag ~what db plan =
@@ -69,11 +72,15 @@ let fail_stop ~equal ~what ~baseline db plan =
                           the fault-free baseline: got %s, want %s"
               what (rows_to_string rows) (rows_to_string baseline)
       | Error e -> (
+          (* executor faults surface as [Exec]; paged-IO faults
+             (storage.page_read/write, exec.spill) surface as [Storage] —
+             both are fail-stop *)
           match Err.kind e with
-          | Err.Exec -> ()
+          | Err.Exec | Err.Storage -> ()
           | k ->
-              viol "fault" "%s: faulted failure has kind %s, expected Exec \
-                            (%s)"
+              viol "fault"
+                "%s: faulted failure has kind %s, expected Exec or Storage \
+                 (%s)"
                 what (Err.kind_to_string k) (Err.to_string e)))
 
 let fault_checks ~equal ~fault_seed db plans =
@@ -93,6 +100,20 @@ let fault_checks ~equal ~fault_seed db plans =
           Fault.arm_seeded ~seed:fault_seed ~rate ~points:[ "exec.next" ] ();
           fail_stop ~equal
             ~what:(Printf.sprintf "%s, seeded schedule rate=%g" what rate)
+            ~baseline db plan)
+        [ 0.05; 0.5 ];
+      (* IO fault sweep: on a RAM database these points never fire (the
+         run trivially matches the baseline); on a paged database they
+         hit the pager and spill paths *)
+      List.iter
+        (fun rate ->
+          Fault.reset ();
+          Fault.arm_seeded ~seed:fault_seed ~rate
+            ~points:
+              [ "storage.page_read"; "storage.page_write"; "exec.spill" ]
+            ();
+          fail_stop ~equal
+            ~what:(Printf.sprintf "%s, seeded IO schedule rate=%g" what rate)
             ~baseline db plan)
         [ 0.05; 0.5 ])
     plans
@@ -345,8 +366,8 @@ let check_instance ?(equal = Exec.multiset_equal) ?(faults = true)
     Fault.reset ();
     { verdict = None; fd_holds = false; violation = Some v }
 
-let check ?equal ?faults ?fault_seed (c : Qgen.case) =
-  match Qgen.build c with
+let check ?equal ?faults ?fault_seed ?storage (c : Qgen.case) =
+  match Qgen.build ?storage c with
   | Error msg ->
       {
         verdict = None;

@@ -55,6 +55,8 @@ val check :
   ?equal:(Row.t list -> Row.t list -> bool) ->
   ?faults:bool ->
   ?fault_seed:int ->
+  ?storage:Database.storage_config ->
   Qgen.case ->
   outcome
-(** Materialise the case ({!Qgen.build}) and run {!check_instance}. *)
+(** Materialise the case ({!Qgen.build}, over the paged engine when
+    [storage] is given) and run {!check_instance}. *)

@@ -80,8 +80,8 @@ let generate g =
 let coldef name : Table_def.column_def =
   { Table_def.cname = name; ctype = Ctype.Int; domain = None }
 
-let db_of (c : case) =
-  let db = Database.create () in
+let db_of ?storage (c : case) =
+  let db = Database.create ?storage () in
   Database.create_table db
     (Table_def.make "S"
        [ coldef "x"; coldef "y" ]
@@ -157,8 +157,8 @@ let input_of (c : case) : Canonical.input =
     r1_hint = [ "R" ];
   }
 
-let build (c : case) =
-  let db = db_of c in
+let build ?storage (c : case) =
+  let db = db_of ?storage c in
   match Canonical.of_input db (input_of c) with
   | Ok q -> Ok (db, q)
   | Error msg -> Error msg

@@ -39,8 +39,13 @@ val agg_kinds : int
 val generate : Gen.t -> case
 (** Draw a case; always has at least one grouping column. *)
 
-val build : case -> (Database.t * Canonical.t, string) result
-(** Materialise the instance and canonicalise the query. *)
+val build :
+  ?storage:Database.storage_config ->
+  case ->
+  (Database.t * Canonical.t, string) result
+(** Materialise the instance and canonicalise the query; [storage]
+    builds it over the paged engine so the oracle sweeps exercise the
+    buffer pool and spill paths. *)
 
 val to_sql : ?header:string list -> case -> string
 (** The case as a replayable SQL script (via the AST printer, so the

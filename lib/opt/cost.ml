@@ -1,11 +1,43 @@
+open Eager_storage
 open Eager_algebra
 open Eager_exec
+
+type io_model = {
+  page_rows : int;
+  budget_pages : int;
+  seq_weight : float;
+  rand_weight : float;
+}
+
+let default_io ?budget_pages db =
+  match Database.storage_config db with
+  | None -> None
+  | Some cfg ->
+      let budget =
+        match budget_pages with
+        | Some b -> max 2 b
+        | None -> (
+            match cfg.Database.pool_pages with
+            | Some c -> max 2 (c / 2)
+            | None -> 64)
+      in
+      Some
+        {
+          page_rows = Database.page_rows db;
+          budget_pages = budget;
+          (* a random page transfer costs several sequential ones — the
+             classic rotating-ratio default, still roughly right for the
+             seek-vs-stream gap on SSDs *)
+          seq_weight = 1.0;
+          rand_weight = 4.0;
+        }
 
 type breakdown = {
   total : float;
   node_label : string;
   node_cost : float;
   mat_rows : float;
+  io_pages : float;
   out_card : float;
   inputs : breakdown list;
 }
@@ -20,20 +52,66 @@ let log2 x = if x <= 2.0 then 1.0 else Float.log x /. Float.log 2.0
    [mat_rows] estimates that footprint and is charged into [total] at
    unit weight, so a plan that shrinks a join's build side — exactly
    what performing group-by before join does — is rewarded even when its
-   row-touch counts tie. *)
-let breakdown ?(sort_group = false) db plan =
+   row-touch counts tie.
+
+   With an [io_model], the same footprints turn into physical page
+   transfers: a breaker whose state exceeds its page budget spills, and
+   every spilled page is written once and read back at least once.
+   [io_pages] estimates those transfers per operator (scan pages
+   included) and they are charged into [total] at the model's
+   sequential/random weights — so on a paged database the planner is
+   IO-aware, preferring plans whose breakers stay under budget.  Without
+   a model every [io_pages] is zero and totals are exactly the
+   row-touch figures the RAM engine has always used. *)
+let breakdown ?(sort_group = false) ?io db plan =
+  let pages card =
+    match io with
+    | None -> 0.0
+    | Some m -> Float.of_int (int_of_float (ceil (card /. Float.of_int m.page_rows)))
+  in
+  let budget_f =
+    match io with
+    | None -> Float.infinity
+    | Some m -> Float.of_int m.budget_pages
+  in
+  let seq p = match io with None -> 0.0 | Some m -> m.seq_weight *. p in
+  let rand p = match io with None -> 0.0 | Some m -> m.rand_weight *. p in
   let rec go (p : Plan.t) : breakdown =
     let prof = Estimate.profile db p in
     let label = Plan.label p in
-    let mk ~node_cost ~mat_rows inputs =
+    let mk ?(io_pages = 0.0) ?(io_cost = 0.0) ~node_cost ~mat_rows inputs =
       let kids = List.fold_left (fun acc b -> acc +. b.total) 0.0 inputs in
-      { total = kids +. node_cost +. mat_rows; node_label = label; node_cost;
-        mat_rows; out_card = prof.Estimate.card; inputs }
+      { total = kids +. node_cost +. mat_rows +. io_cost; node_label = label;
+        node_cost; mat_rows; io_pages; out_card = prof.Estimate.card; inputs }
+    in
+    (* external merge sort: if the buffer exceeds the budget, every page
+       is written and re-read once per merge pass *)
+    let sort_io n =
+      let np = pages n in
+      if np <= budget_f then (0.0, 0.0)
+      else
+        let fan = Float.max 2.0 (budget_f -. 1.0) in
+        let passes = ceil (Float.log (np /. budget_f) /. Float.log fan) in
+        let passes = Float.max 1.0 passes in
+        let transfers = 2.0 *. np *. passes in
+        (transfers, seq transfers)
+    in
+    (* spilling hash table (aggregation, DISTINCT): rows of non-resident
+       keys are partitioned out and re-read; resident groups cost no IO *)
+    let hash_spill_io ~entries ~input_rows =
+      let ep = pages entries in
+      if ep <= budget_f then (0.0, 0.0)
+      else
+        let resident = Float.min 1.0 (budget_f /. ep) in
+        let spilled = pages (input_rows *. (1.0 -. resident)) in
+        let transfers = 2.0 *. spilled in
+        (transfers, seq transfers)
     in
     match p with
     | Plan.Scan _ ->
-        { total = prof.Estimate.card; node_label = label;
-          node_cost = prof.Estimate.card; mat_rows = 0.0;
+        let np = pages prof.Estimate.card in
+        { total = prof.Estimate.card +. seq np; node_label = label;
+          node_cost = prof.Estimate.card; mat_rows = 0.0; io_pages = np;
           out_card = prof.Estimate.card; inputs = [] }
     | Plan.Select { input; _ } ->
         let bin = go input in
@@ -42,7 +120,13 @@ let breakdown ?(sort_group = false) db plan =
         let bin = go input in
         let c = bin.out_card *. if dedup then 2.0 else 1.0 in
         (* DISTINCT holds its seen-key table, one entry per output row *)
-        mk ~node_cost:c ~mat_rows:(if dedup then prof.Estimate.card else 0.0)
+        let io_pages, io_cost =
+          if dedup then
+            hash_spill_io ~entries:prof.Estimate.card ~input_rows:bin.out_card
+          else (0.0, 0.0)
+        in
+        mk ~io_pages ~io_cost ~node_cost:c
+          ~mat_rows:(if dedup then prof.Estimate.card else 0.0)
           [ bin ]
     | Plan.Product (a, b) ->
         let ba = go a and bb = go b in
@@ -57,24 +141,44 @@ let breakdown ?(sort_group = false) db plan =
           (* nested loop: inner side materialized *)
           mk ~node_cost:(ba.out_card *. bb.out_card) ~mat_rows:bb.out_card
             [ ba; bb ]
-        else
+        else begin
           (* hash join: build on the left, stream the right — the eager
-             transformation's smaller join input shows up here *)
-          mk
+             transformation's smaller join input shows up here.  An
+             over-budget build degrades to grace partitioning: both
+             sides written once and read back, the partition reads
+             scattered rather than streamed *)
+          let io_pages, io_cost =
+            let bp = pages ba.out_card in
+            if bp <= budget_f then (0.0, 0.0)
+            else
+              let pp = pages bb.out_card in
+              let transfers = 2.0 *. (bp +. pp) in
+              (transfers, seq (bp +. pp) +. rand (bp +. pp))
+          in
+          mk ~io_pages ~io_cost
             ~node_cost:(ba.out_card +. bb.out_card +. prof.Estimate.card)
             ~mat_rows:ba.out_card [ ba; bb ]
+        end
     | Plan.Group { input; _ } ->
         let bin = go input in
         let n = bin.out_card in
-        if sort_group then
+        if sort_group then begin
           (* sort grouping buffers its whole input *)
-          mk ~node_cost:(n *. log2 n) ~mat_rows:n [ bin ]
-        else
+          let io_pages, io_cost = sort_io n in
+          mk ~io_pages ~io_cost ~node_cost:(n *. log2 n) ~mat_rows:n [ bin ]
+        end
+        else begin
           (* hash grouping holds one entry per group *)
-          mk ~node_cost:n ~mat_rows:prof.Estimate.card [ bin ]
+          let io_pages, io_cost =
+            hash_spill_io ~entries:prof.Estimate.card ~input_rows:n
+          in
+          mk ~io_pages ~io_cost ~node_cost:n ~mat_rows:prof.Estimate.card
+            [ bin ]
+        end
     | Plan.Partial_group { cap; input; _ } ->
         let bin = go input in
-        (* bounded group table: never more than [cap] live entries *)
+        (* bounded group table: never more than [cap] live entries (and
+           the executor clamps the cap to the page budget), so no spill *)
         mk ~node_cost:bin.out_card
           ~mat_rows:(Float.min prof.Estimate.card (float_of_int cap))
           [ bin ]
@@ -84,18 +188,22 @@ let breakdown ?(sort_group = false) db plan =
     | Plan.Sort { input; _ } ->
         let bin = go input in
         let n = bin.out_card in
-        mk ~node_cost:(n *. log2 n) ~mat_rows:n [ bin ]
+        let io_pages, io_cost = sort_io n in
+        mk ~io_pages ~io_cost ~node_cost:(n *. log2 n) ~mat_rows:n [ bin ]
   in
   go plan
 
-let cost ?sort_group db plan = (breakdown ?sort_group db plan).total
+let cost ?sort_group ?io db plan = (breakdown ?sort_group ?io db plan).total
 
 let pp_breakdown ppf b =
   let rec go indent b =
-    Format.fprintf ppf "%s%s   -- cost %.0f, est. %.0f rows%s@," indent
+    Format.fprintf ppf "%s%s   -- cost %.0f, est. %.0f rows%s%s@," indent
       b.node_label b.node_cost b.out_card
       (if b.mat_rows > 0.0 then
          Printf.sprintf ", materializes %.0f" b.mat_rows
+       else "")
+      (if b.io_pages > 0.0 then
+         Printf.sprintf ", ~%.0f page IOs" b.io_pages
        else "");
     List.iter (go (indent ^ "  ")) b.inputs
   in

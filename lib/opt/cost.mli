@@ -9,10 +9,32 @@
     group table); pipelined operators charge none, so plans that shrink a
     join's build side (group-by before join) are rewarded.  Units are
     abstract "row touches"; only comparisons between plans are
-    meaningful. *)
+    meaningful.
+
+    On a paged database an {!io_model} extends the same footprints into
+    physical page transfers: scans read their table's pages
+    sequentially, and a breaker whose state exceeds the per-operator
+    page budget spills — external-sort merge passes rewrite every page
+    per pass, a spilling aggregation writes and re-reads the rows of
+    non-resident groups, a grace hash join writes and re-reads both
+    sides with the partition reads charged at the random weight.
+    Without a model (the RAM engine) every IO term is zero and totals
+    are unchanged. *)
 
 open Eager_storage
 open Eager_algebra
+
+type io_model = {
+  page_rows : int;  (** rows per page (see {!Database.page_rows}) *)
+  budget_pages : int;  (** per-operator in-memory budget, in pages *)
+  seq_weight : float;  (** cost of one sequential page transfer *)
+  rand_weight : float;  (** cost of one random page transfer *)
+}
+
+val default_io : ?budget_pages:int -> Database.t -> io_model option
+(** [None] on a RAM database.  The default budget mirrors the
+    executor's: half the pool capacity (at least 2), or 64 pages when
+    the pool is unbounded; weights are 1.0 sequential / 4.0 random. *)
 
 type breakdown = {
   total : float;
@@ -21,10 +43,14 @@ type breakdown = {
   mat_rows : float;
       (** estimated rows this operator holds materialized (0 for fully
           pipelined operators) *)
+  io_pages : float;
+      (** estimated physical page transfers this operator causes (0
+          without an {!io_model}) *)
   out_card : float;
   inputs : breakdown list;
 }
 
-val cost : ?sort_group:bool -> Database.t -> Plan.t -> float
-val breakdown : ?sort_group:bool -> Database.t -> Plan.t -> breakdown
+val cost : ?sort_group:bool -> ?io:io_model -> Database.t -> Plan.t -> float
+val breakdown :
+  ?sort_group:bool -> ?io:io_model -> Database.t -> Plan.t -> breakdown
 val pp_breakdown : Format.formatter -> breakdown -> unit

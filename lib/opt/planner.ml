@@ -52,7 +52,7 @@ let rels_of sources =
    governor deadline already blown — we demote to the canonical E1 plan
    and record why, rather than failing the query. *)
 let decide_raw ?strict ?(expand = true) ?(governor = Governor.unlimited)
-    ?force ?(partial_cap = 1024) ?(max_cuts = 16) db q =
+    ?force ?(partial_cap = 1024) ?(max_cuts = 16) ?io db q =
   let fallback = ref None in
   let demote reason = fallback := Some reason in
   let expanded_atoms, q =
@@ -85,7 +85,7 @@ let decide_raw ?strict ?(expand = true) ?(governor = Governor.unlimited)
   in
   let plan_lazy = Placement.lower_lazy db q in
   let cost_lazy =
-    match Err.protect ~kind:Err.Planner (fun () -> Cost.cost db plan_lazy) with
+    match Err.protect ~kind:Err.Planner (fun () -> Cost.cost ?io db plan_lazy) with
     | Ok c -> c
     | Error e ->
         (* E1 is the plan of last resort: run it even uncosted *)
@@ -128,7 +128,7 @@ let decide_raw ?strict ?(expand = true) ?(governor = Governor.unlimited)
                       Placement.restore_order ~like:q qc
                         (Placement.lower_full db qc)
                     in
-                    (p, Cost.cost db p))
+                    (p, Cost.cost ?io db p))
               with
               | Ok (p, c) ->
                   [ { Placement.mode = Placement.Eager_full; below = cut;
@@ -142,7 +142,7 @@ let decide_raw ?strict ?(expand = true) ?(governor = Governor.unlimited)
                 match Placement.lower_partial db ~cap:partial_cap qc with
                 | Ok p ->
                     let p = Placement.restore_order ~like:q qc p in
-                    Some (p, Cost.cost db p)
+                    Some (p, Cost.cost ?io db p)
                 | Error _ -> None)
           with
           | Ok (Some (p, c)) ->
@@ -192,7 +192,7 @@ let decide_raw ?strict ?(expand = true) ?(governor = Governor.unlimited)
             Err.raise_ (Err.add_context "forced E2: plan construction" e)
       in
       let cost_eager =
-        match Err.protect ~kind:Err.Planner (fun () -> Cost.cost db plan_eager)
+        match Err.protect ~kind:Err.Planner (fun () -> Cost.cost ?io db plan_eager)
         with
         | Ok c -> Some c
         | Error _ -> None (* cost is advisory under force *)
@@ -247,7 +247,7 @@ let decide_raw ?strict ?(expand = true) ?(governor = Governor.unlimited)
       in
       let plan = Placement.restore_order ~like:q qc plan in
       let cost =
-        match Err.protect ~kind:Err.Planner (fun () -> Cost.cost db plan) with
+        match Err.protect ~kind:Err.Planner (fun () -> Cost.cost ?io db plan) with
         | Ok c -> Some c
         | Error _ -> None (* cost is advisory under force *)
       in
@@ -309,8 +309,9 @@ let decide_raw ?strict ?(expand = true) ?(governor = Governor.unlimited)
 
 (* the planner itself can die on a malformed query (unknown tables on
    both plan shapes); this boundary turns even that into a value *)
-let decide ?strict ?expand ?governor ?force ?partial_cap ?max_cuts db q =
+let decide ?strict ?expand ?governor ?force ?partial_cap ?max_cuts ?io db q =
   Err.protect ~kind:Err.Planner (fun () ->
-      decide_raw ?strict ?expand ?governor ?force ?partial_cap ?max_cuts db q)
+      decide_raw ?strict ?expand ?governor ?force ?partial_cap ?max_cuts ?io db
+        q)
 
 let decide_exn = decide_raw

@@ -63,6 +63,7 @@ val decide :
   ?force:force ->
   ?partial_cap:int ->
   ?max_cuts:int ->
+  ?io:Cost.io_model ->
   Database.t ->
   Canonical.t ->
   (decision, Err.t) result
@@ -80,6 +81,12 @@ val decide :
     [partial_cap] (default 1024) bounds the partial operator's live
     groups; [max_cuts] (default 16) bounds placement enumeration.
 
+    [io] makes ranking IO-aware on a paged database (see
+    {!Cost.io_model}): placements are compared on row touches {i plus}
+    estimated page transfers, so a rewrite whose smaller breakers avoid
+    spilling wins even when its row counts tie.  Omitted, costs are the
+    pure row-touch figures.
+
     [force] bypasses the cost comparison: [E1] always yields the
     canonical plan; [E2] yields the full eager plan at the default cut
     {i only} when TestFD answers YES; [Force_placement] pins the cut
@@ -93,6 +100,7 @@ val decide_exn :
   ?force:force ->
   ?partial_cap:int ->
   ?max_cuts:int ->
+  ?io:Cost.io_model ->
   Database.t ->
   Canonical.t ->
   decision

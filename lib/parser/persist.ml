@@ -264,8 +264,8 @@ let save ?wal_lsn db ~dir =
 (* legacy directory layout (schema.sql + one CSV per table), still
    readable so databases saved by older builds keep loading *)
 
-let load_legacy ~dir =
-  let db = Database.create () in
+let load_legacy ?storage ~dir () =
+  let db = Database.create ?storage () in
   let schema_path = Filename.concat dir "schema.sql" in
   if not (Sys.file_exists schema_path) then
     Error (Err.io "%s: no snapshot or schema.sql found" dir)
@@ -385,7 +385,7 @@ let parse_sections body =
       Ok (wal_lsn, String.concat "\n" schema_lines, tabs)
   | _ -> Error (Err.io "unrecognized snapshot header")
 
-let load_snapshot path =
+let load_snapshot ?storage path =
   let* content =
     match read_file path with
     | content -> Ok content
@@ -393,7 +393,7 @@ let load_snapshot path =
   in
   let* body = verify_checksum content in
   let* wal_lsn, schema_text, tabs = parse_sections body in
-  let db = Database.create () in
+  let db = Database.create ?storage () in
   let* _ =
     match Binder.run_script db schema_text with
     | Ok _ -> Ok ()
@@ -424,16 +424,17 @@ let load_snapshot path =
   in
   Ok (db, wal_lsn)
 
-let load_with_lsn ~dir =
+let load_with_lsn ?storage ~dir () =
   let path = Filename.concat dir snapshot_file in
   let result =
     if Sys.file_exists path then
       (* contain even unexpected raises from a hostile file *)
-      Result.join (Err.protect ~kind:Err.Io (fun () -> load_snapshot path))
+      Result.join
+        (Err.protect ~kind:Err.Io (fun () -> load_snapshot ?storage path))
     else
-      let* db = load_legacy ~dir in
+      let* db = load_legacy ?storage ~dir () in
       Ok (db, 0)
   in
   Err.with_context (Printf.sprintf "loading %s" dir) result
 
-let load ~dir = Result.map fst (load_with_lsn ~dir)
+let load ?storage ~dir () = Result.map fst (load_with_lsn ?storage ~dir ())

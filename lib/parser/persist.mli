@@ -34,11 +34,19 @@ val save : ?wal_lsn:int -> Database.t -> dir:string -> (unit, Err.t) result
     omitted or [0] the line is not written and the snapshot has the
     same shape as before WAL support existed. *)
 
-val load : dir:string -> (Database.t, Err.t) result
+val load :
+  ?storage:Database.storage_config ->
+  dir:string ->
+  unit ->
+  (Database.t, Err.t) result
 (** Returns a fully loaded database or a typed [Error] — never a
     partially populated instance. *)
 
-val load_with_lsn : dir:string -> (Database.t * int, Err.t) result
+val load_with_lsn :
+  ?storage:Database.storage_config ->
+  dir:string ->
+  unit ->
+  (Database.t * int, Err.t) result
 (** {!load}, also returning the snapshot's WAL position ([0] for
     snapshots written without one, including legacy directories). *)
 

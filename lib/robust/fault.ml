@@ -38,6 +38,9 @@ let all_points =
     "wal.epoch"; (* Durable epoch persistence, before the atomic rename *)
     "clock.jump"; (* Clock.now_ms, steps the raw wall sample backwards *)
     "wal.slow_fsync"; (* Wal.sync, injects latency before the fsync *)
+    "storage.page_read"; (* Pager.read, before decoding the page image *)
+    "storage.page_write"; (* Pager.write, before the page image lands *)
+    "exec.spill"; (* Spill run store, before a spilled page is written *)
   ]
 
 type seeded = {

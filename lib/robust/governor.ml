@@ -29,9 +29,12 @@ type limits = {
   max_rows : int option;
   max_groups : int option;
   deadline_ms : float option;
+  max_page_ios : int option;
 }
 
-let no_limits = { max_rows = None; max_groups = None; deadline_ms = None }
+let no_limits =
+  { max_rows = None; max_groups = None; deadline_ms = None;
+    max_page_ios = None }
 
 (* shared row budget across concurrently executing statements; guarded
    by its own mutex because sessions run on separate threads *)
@@ -57,6 +60,7 @@ type t = {
   started : float; (* Clock.now_ms at creation *)
   mutable rows : int; (* cumulative rows emitted across all operators *)
   mutable batches : int; (* cumulative batches pulled through boundaries *)
+  mutable page_ios : int; (* physical page reads + writes charged at pin *)
   mutable pooled : int; (* rows this governor has charged to the pool *)
   mutable finished : bool;
 }
@@ -68,6 +72,7 @@ let create ?pool limits =
     started = Clock.now_ms ();
     rows = 0;
     batches = 0;
+    page_ios = 0;
     pooled = 0;
     finished = false;
   }
@@ -81,6 +86,7 @@ let unlimited =
     started = 0.;
     rows = 0;
     batches = 0;
+    page_ios = 0;
     pooled = 0;
     finished = false;
   }
@@ -143,6 +149,25 @@ let charge_batch t ~rows =
     t.batches <- t.batches + 1;
     charge_rows t rows
   end
+
+(* [n] physical page transfers (a buffer-pool miss read, an eviction
+   write-back, or a spill-run page) — charged at pin time, so the budget
+   trips while pages move rather than after an operator has churned the
+   whole pool.  The unlimited singleton skips accounting for the same
+   reason as [charge_rows]. *)
+let charge_page_ios t n =
+  if t != unlimited then begin
+    t.page_ios <- t.page_ios + n;
+    (match t.limits.max_page_ios with
+    | Some cap when t.page_ios > cap ->
+        Err.failf Err.Resource
+          "page IO budget exceeded: %d physical page transfers, limit %d"
+          t.page_ios cap
+    | _ -> ());
+    check_deadline t
+  end
+
+let page_ios_charged t = t.page_ios
 
 (* [n] live entries in an aggregation hash table *)
 let charge_groups t n =

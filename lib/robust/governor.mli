@@ -28,6 +28,10 @@ type limits = {
           hash grouping on the group-by-before-join paths *)
   deadline_ms : float option;
       (** elapsed-time budget from creation (monotonic clock) *)
+  max_page_ios : int option;
+      (** physical page transfers (buffer-pool miss reads, eviction
+          write-backs, spill-run pages) — bounds the IO a statement may
+          generate against the paged storage backend *)
 }
 
 val no_limits : limits
@@ -72,6 +76,12 @@ val charge_batch : t -> rows:int -> unit
 
 val charge_groups : t -> int -> unit
 (** [n] live entries in an aggregation hash table. *)
+
+val charge_page_ios : t -> int -> unit
+(** [n] physical page transfers (miss reads, eviction write-backs,
+    spill-run pages), charged by the buffer pool at pin time. *)
+
+val page_ios_charged : t -> int
 
 val finish : t -> unit
 (** Return this governor's charge to its shared pool (no-op without

@@ -30,6 +30,8 @@ type config = {
   admission : Admission.config;
   read_timeout_ms : float;
   db_dir : string option;
+  storage : Database.storage_config option;
+      (* paged engine: buffer pool + pager files behind every heap *)
   checkpoint_every : int option;
   die_on_broken_wal : bool;
   role : role;
@@ -45,6 +47,7 @@ let default_config listen =
     admission = Admission.default_config;
     read_timeout_ms = 30_000.;
     db_dir = None;
+    storage = None;
     checkpoint_every = None;
     die_on_broken_wal = false;
     role = Primary;
@@ -511,7 +514,10 @@ type show = Results | Explain | Explain_analyze
 let run_query_buf db (q : Binder.bound_query) ~governor ~order ~show buf =
   let ( let* ) = Err.( let* ) in
   let bprintf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let options = { Exec.default_options with governor } in
+  let options =
+    { Exec.default_options with governor; spill = Spill.for_db db }
+  in
+  let io = Cost.default_io db in
   let checked plan k =
     let* heap, stats = Exec.run_checked ~options db plan in
     k (heap, stats);
@@ -539,7 +545,7 @@ let run_query_buf db (q : Binder.bound_query) ~governor ~order ~show buf =
   | Binder.Grouped input -> (
       match Canonical.of_input db input with
       | Ok cq -> (
-          let* decision = Planner.decide ~governor db cq in
+          let* decision = Planner.decide ~governor ?io db cq in
           match show with
           | Explain ->
               Buffer.add_string buf (Explain.text db decision);
@@ -743,6 +749,22 @@ let failover_line t =
              (List.length t.cfg.peers) t.cfg.lease_ms)
       end
 
+let pool_line t =
+  match Database.pool_stats (db_of t) with
+  | None -> None
+  | Some s ->
+      let open Buffer_pool in
+      Some
+        (Printf.sprintf
+           "buffer_pool: cap=%s resident=%d pinned=%d peak_pinned=%d dirty=%d \
+            hit_rate=%.2f hits=%d misses=%d evictions=%d page_reads=%d \
+            page_writes=%d"
+           (match Database.storage_config (db_of t) with
+           | Some { Database.pool_pages = Some c; _ } -> string_of_int c
+           | _ -> "unbounded")
+           s.resident s.pinned s.peak_pinned s.dirty (hit_rate s) s.hits
+           s.misses s.evictions s.page_reads s.page_writes)
+
 let status_report t =
   let repl =
     match (repl_line t, failover_line t) with
@@ -751,9 +773,9 @@ let status_report t =
     | None, Some b -> Some b
     | Some a, Some b -> Some (a ^ "\n" ^ b)
   in
-  Telemetry.render ?repl t.tel ~snapshot_lsn:(current_lsn t)
-    ~sessions:(Admission.sessions t.adm) ~active:(Admission.active t.adm)
-    ~queued:(Admission.queued t.adm)
+  Telemetry.render ?repl ?pool:(pool_line t) t.tel
+    ~snapshot_lsn:(current_lsn t) ~sessions:(Admission.sessions t.adm)
+    ~active:(Admission.active t.adm) ~queued:(Admission.queued t.adm)
 
 let run_write_batch t sess buf run =
   let ( let* ) = Err.( let* ) in
@@ -1547,10 +1569,13 @@ let start cfg =
   in
   let* backend, recovery =
     match cfg.db_dir with
-    | None -> Ok (Mem { db = Database.create (); mem_lsn = 0 }, None)
+    | None ->
+        Ok (Mem { db = Database.create ?storage:cfg.storage (); mem_lsn = 0 },
+            None)
     | Some dir ->
         let* d, r =
-          Durable.open_ ?checkpoint_every:cfg.checkpoint_every ~dir ()
+          Durable.open_ ?checkpoint_every:cfg.checkpoint_every
+            ?storage:cfg.storage ~dir ()
         in
         Ok (Durable d, Some r)
   in

@@ -24,6 +24,7 @@
     decides. *)
 
 open Eager_robust
+open Eager_storage
 open Eager_durable
 
 type listen = L_unix of string | L_tcp of string * int
@@ -41,6 +42,11 @@ type config = {
       (** per-frame read deadline — also the idle-session timeout *)
   db_dir : string option;
       (** WAL-backed ([Durable]) when set; in-memory otherwise *)
+  storage : Database.storage_config option;
+      (** run the database on the paged engine: heaps on checksummed
+          pages behind a shared buffer pool, executor breakers spilling
+          to the scratch pager, the planner costing page IO.  [None]
+          keeps the RAM engine *)
   checkpoint_every : int option;
   die_on_broken_wal : bool;
   role : role;

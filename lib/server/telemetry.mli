@@ -55,6 +55,7 @@ val session_line : session -> string
 
 val render :
   ?repl:string ->
+  ?pool:string ->
   t ->
   snapshot_lsn:int ->
   sessions:int ->
@@ -62,5 +63,6 @@ val render :
   queued:int ->
   string
 (** The full [STATUS] report: a global line (with the caller-supplied
-    admission gauges and WAL position), the replication line when the
-    caller supplies one, then one line per live session. *)
+    admission gauges and WAL position), the buffer-pool line when the
+    caller supplies one ([pool], a paged server), the replication line
+    when the caller supplies one, then one line per live session. *)

@@ -1,0 +1,325 @@
+(* Buffer pool: decoded pages behind pin/unpin guards with LRU-2
+   replacement.
+
+   Frames hold *decoded* rows (an anti-caching layout: the codec runs
+   only at the pager boundary, on miss reads and eviction write-backs),
+   keyed by (pager tag, page id) so one pool fronts the data pager and
+   the spill pager alike.  The pool is the only module allowed to touch
+   a [Pager] directly — everything else pins.
+
+   Replacement is LRU-2: the victim is the unpinned frame whose
+   second-most-recent access is oldest, with frames touched only once
+   preferred (their backward K-distance is infinite).  Sequential floods
+   of once-touched scan pages therefore cannot displace the hot set of
+   re-referenced pages — the classic LRU-K property.
+
+   Pinned frames are never eviction candidates; when every frame is
+   pinned and the pool is at capacity, a pin that needs a free frame
+   fails with a typed [Resource] error rather than evicting under a
+   caller's feet.
+
+   [reserve]/[release] lets pipeline breakers account their in-memory
+   state (hash builds, sort buffers, group tables) against the same
+   capacity: reserved pages compete with frames for the cap and count
+   into the pinned telemetry, so "peak pinned" measures an execution's
+   true working set — the quantity the paper's E2 plans shrink.
+
+   All entry points take the pool mutex (server sessions share one
+   pool); the mutex is *not* held across [with_page] callbacks. *)
+
+open Eager_schema
+open Eager_robust
+
+type frame = {
+  fr_pager : Pager.t;
+  fr_id : int;
+  mutable rows : Row.t array;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable h1 : int; (* most recent access tick *)
+  mutable h2 : int; (* previous access tick; 0 = touched once *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  flushes : int; (* dirty write-backs from flush barriers *)
+  page_reads : int; (* physical reads, including uncached spill reads *)
+  page_writes : int; (* physical writes, including spill and evictions *)
+  resident : int;
+  dirty : int;
+  pinned : int; (* pinned frames + reserved pages, the working set *)
+  reserved : int;
+  peak_pinned : int;
+}
+
+type t = {
+  cap : int option; (* frames + reserved pages; None = unbounded *)
+  mu : Mutex.t;
+  frames : (int * int, frame) Hashtbl.t;
+  mutable tick : int;
+  mutable pinned_frames : int;
+  mutable reserved : int;
+  mutable peak_pinned : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable flushes : int;
+  mutable page_reads : int;
+  mutable page_writes : int;
+}
+
+let create ?cap () =
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Buffer_pool.create: cap must be >= 1"
+  | _ -> ());
+  {
+    cap;
+    mu = Mutex.create ();
+    frames = Hashtbl.create 64;
+    tick = 0;
+    pinned_frames = 0;
+    reserved = 0;
+    peak_pinned = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    flushes = 0;
+    page_reads = 0;
+    page_writes = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let note_peak t =
+  let live = t.pinned_frames + t.reserved in
+  if live > t.peak_pinned then t.peak_pinned <- live
+
+let touch t fr =
+  t.tick <- t.tick + 1;
+  fr.h2 <- fr.h1;
+  fr.h1 <- t.tick
+
+(* LRU-2 victim: unpinned frame with the oldest second-most-recent
+   access; h2 = 0 (touched once) sorts before any re-referenced frame *)
+let victim t =
+  Hashtbl.fold
+    (fun _ fr best ->
+      if fr.pins > 0 then best
+      else
+        match best with
+        | None -> Some fr
+        | Some b ->
+            if (fr.h2, fr.h1) < (b.h2, b.h1) then Some fr else best)
+    t.frames None
+
+let evict_one t gov =
+  match victim t with
+  | None -> false
+  | Some fr ->
+      if fr.dirty then begin
+        Pager.write fr.fr_pager fr.fr_id fr.rows;
+        t.page_writes <- t.page_writes + 1;
+        (match gov with Some g -> Governor.charge_page_ios g 1 | None -> ())
+      end;
+      Hashtbl.remove t.frames (Pager.tag fr.fr_pager, fr.fr_id);
+      t.evictions <- t.evictions + 1;
+      true
+
+(* make room for [want] more frames-or-reservations; caller holds mu *)
+let make_room t gov ~want ~why =
+  match t.cap with
+  | None -> ()
+  | Some cap ->
+      let need () = Hashtbl.length t.frames + t.reserved + want - cap in
+      let rec go () =
+        if need () > 0 then
+          if evict_one t gov then go ()
+          else
+            Err.failf Err.Resource
+              "buffer pool exhausted: %d of %d pages pinned or reserved, \
+               cannot %s"
+              (t.pinned_frames + t.reserved)
+              cap why
+      in
+      go ()
+
+let load t gov pager id =
+  let rows = Pager.read pager id in
+  t.page_reads <- t.page_reads + 1;
+  (match gov with Some g -> Governor.charge_page_ios g 1 | None -> ());
+  rows
+
+let pin ?gov t pager id =
+  locked t (fun () ->
+      let key = (Pager.tag pager, id) in
+      match Hashtbl.find_opt t.frames key with
+      | Some fr ->
+          t.hits <- t.hits + 1;
+          if fr.pins = 0 then t.pinned_frames <- t.pinned_frames + 1;
+          fr.pins <- fr.pins + 1;
+          touch t fr;
+          note_peak t;
+          fr.rows
+      | None ->
+          t.misses <- t.misses + 1;
+          make_room t gov ~want:1 ~why:(Printf.sprintf "pin page %d" id);
+          let rows = load t gov pager id in
+          let fr =
+            { fr_pager = pager; fr_id = id; rows; pins = 1; dirty = false;
+              h1 = 0; h2 = 0 }
+          in
+          touch t fr;
+          Hashtbl.add t.frames key fr;
+          t.pinned_frames <- t.pinned_frames + 1;
+          note_peak t;
+          rows)
+
+let unpin t pager id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.frames (Pager.tag pager, id) with
+      | None -> invalid_arg "Buffer_pool.unpin: page not resident"
+      | Some fr ->
+          if fr.pins <= 0 then
+            invalid_arg "Buffer_pool.unpin: page not pinned";
+          fr.pins <- fr.pins - 1;
+          if fr.pins = 0 then t.pinned_frames <- t.pinned_frames - 1)
+
+let with_page ?gov t pager id f =
+  let rows = pin ?gov t pager id in
+  Fun.protect ~finally:(fun () -> unpin t pager id) (fun () -> f rows)
+
+(* allocate a fresh page already resident and dirty: the image reaches
+   the pager only when the frame is evicted or flushed *)
+let alloc ?gov t pager rows =
+  locked t (fun () ->
+      make_room t gov ~want:1 ~why:"allocate a page";
+      let id = Pager.alloc pager in
+      let fr =
+        { fr_pager = pager; fr_id = id; rows; pins = 0; dirty = true; h1 = 0;
+          h2 = 0 }
+      in
+      touch t fr;
+      Hashtbl.add t.frames (Pager.tag pager, id) fr;
+      note_peak t;
+      id)
+
+let update ?gov t pager id f =
+  let rows = pin ?gov t pager id in
+  Fun.protect
+    ~finally:(fun () -> unpin t pager id)
+    (fun () ->
+      let rows' = f rows in
+      locked t (fun () ->
+          match Hashtbl.find_opt t.frames (Pager.tag pager, id) with
+          | None -> invalid_arg "Buffer_pool.update: page vanished while pinned"
+          | Some fr ->
+              fr.rows <- rows';
+              fr.dirty <- true))
+
+(* ---------------- breaker-state accounting ---------------- *)
+
+let reserve ?gov t n =
+  if n < 0 then invalid_arg "Buffer_pool.reserve";
+  if n > 0 then
+    locked t (fun () ->
+        make_room t gov ~want:n
+          ~why:(Printf.sprintf "reserve %d pages of operator state" n);
+        t.reserved <- t.reserved + n;
+        note_peak t)
+
+let release t n =
+  if n < 0 then invalid_arg "Buffer_pool.release";
+  if n > 0 then
+    locked t (fun () ->
+        if n > t.reserved then invalid_arg "Buffer_pool.release: over-release";
+        t.reserved <- t.reserved - n)
+
+(* ---------------- spill-run IO (uncached) ---------------- *)
+
+(* Spill runs are written once and read once, so caching their pages
+   would only pollute the hot set: runs bypass the frame table entirely
+   — write-through on append, read-through on read — while still
+   counting into the pool's physical IO telemetry and the governor's
+   page-IO budget. *)
+
+let append_page ?gov t pager rows =
+  locked t (fun () ->
+      let id = Pager.alloc pager in
+      Pager.write pager id rows;
+      t.page_writes <- t.page_writes + 1;
+      (match gov with Some g -> Governor.charge_page_ios g 1 | None -> ());
+      id)
+
+let read_page ?gov t pager id =
+  locked t (fun () -> load t gov pager id)
+
+(* ---------------- flush barrier ---------------- *)
+
+(* write every dirty frame back and fsync each distinct pager: the
+   checkpoint barrier — a snapshot taken after [flush_all] sees every
+   page the pool was still holding *)
+let flush_all t =
+  locked t (fun () ->
+      let pagers = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun _ (fr : frame) ->
+          if fr.dirty then begin
+            Pager.write fr.fr_pager fr.fr_id fr.rows;
+            fr.dirty <- false;
+            t.page_writes <- t.page_writes + 1;
+            t.flushes <- t.flushes + 1;
+            Hashtbl.replace pagers (Pager.tag fr.fr_pager) fr.fr_pager
+          end)
+        t.frames;
+      Hashtbl.iter (fun _ p -> Pager.fsync p) pagers)
+
+(* drop every frame belonging to [pager] without write-back — used when
+   a scratch pager's contents are abandoned wholesale *)
+let drop_pager t pager =
+  locked t (fun () ->
+      let tag = Pager.tag pager in
+      let doomed =
+        Hashtbl.fold
+          (fun ((tg, _) as key) fr acc ->
+            if tg = tag then (key, fr) :: acc else acc)
+          t.frames []
+      in
+      List.iter
+        (fun (key, fr) ->
+          if fr.pins > 0 then
+            invalid_arg "Buffer_pool.drop_pager: page still pinned";
+          Hashtbl.remove t.frames key)
+        doomed)
+
+let stats t =
+  locked t (fun () ->
+      let dirty =
+        Hashtbl.fold
+          (fun _ (fr : frame) n -> if fr.dirty then n + 1 else n)
+          t.frames 0
+      in
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        flushes = t.flushes;
+        page_reads = t.page_reads;
+        page_writes = t.page_writes;
+        resident = Hashtbl.length t.frames;
+        dirty;
+        pinned = t.pinned_frames + t.reserved;
+        reserved = t.reserved;
+        peak_pinned = t.peak_pinned;
+      })
+
+let reset_peak t = locked t (fun () -> t.peak_pinned <- 0)
+
+let cap t = t.cap
+
+let hit_rate (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 1.0 else float_of_int s.hits /. float_of_int total

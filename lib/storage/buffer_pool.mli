@@ -1,0 +1,84 @@
+(** Buffer pool: decoded pages behind pin/unpin guards with LRU-2
+    replacement, hit/miss/eviction telemetry, and breaker-state
+    reservation accounting.
+
+    Frames are keyed by (pager tag, page id), so one pool fronts both
+    the data pager and the spill pager.  Pinned frames are never
+    evicted; at capacity with everything pinned, a pin fails with a
+    typed [Resource] error.  Thread-safe (server sessions share one
+    pool).
+
+    This module is the only legal client of {!Pager} IO — tools/lint.sh
+    bans unguarded pager access elsewhere. *)
+
+open Eager_schema
+open Eager_robust
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  flushes : int;  (** dirty write-backs from {!flush_all} barriers *)
+  page_reads : int;  (** physical reads, including uncached spill reads *)
+  page_writes : int;  (** physical writes, including spills and evictions *)
+  resident : int;
+  dirty : int;
+  pinned : int;  (** pinned frames + reserved pages — the working set *)
+  reserved : int;
+  peak_pinned : int;  (** high-water mark of [pinned] since creation *)
+}
+
+val create : ?cap:int -> unit -> t
+(** [cap] bounds resident frames plus reserved pages; omit it for an
+    unbounded pool.  Raises [Invalid_argument] if [cap < 1]. *)
+
+val cap : t -> int option
+
+val pin : ?gov:Governor.t -> t -> Pager.t -> int -> Row.t array
+(** Fetch a page and pin it resident.  A miss performs one physical read
+    (charged to [gov] as a page IO) and may evict an unpinned victim
+    (write-back charged too).  Typed [Resource] error when the pool is
+    full of pinned pages. *)
+
+val unpin : t -> Pager.t -> int -> unit
+
+val with_page : ?gov:Governor.t -> t -> Pager.t -> int -> (Row.t array -> 'a) -> 'a
+(** Pin, run, unpin (exception-safe).  The pool mutex is not held during
+    the callback. *)
+
+val alloc : ?gov:Governor.t -> t -> Pager.t -> Row.t array -> int
+(** Allocate a fresh page, resident and dirty; it reaches the pager only
+    on eviction or flush. *)
+
+val update : ?gov:Governor.t -> t -> Pager.t -> int -> (Row.t array -> Row.t array) -> unit
+(** Pin, replace the page's rows with [f rows], mark dirty, unpin. *)
+
+val reserve : ?gov:Governor.t -> t -> int -> unit
+(** Account [n] pages of operator state (hash build, sort buffer, group
+    table) against the pool: reserved pages compete with frames for the
+    cap and count into [pinned]/[peak_pinned], so the telemetry measures
+    an execution's true working set.  Typed [Resource] error when the
+    cap cannot accommodate them. *)
+
+val release : t -> int -> unit
+
+val append_page : ?gov:Governor.t -> t -> Pager.t -> Row.t array -> int
+(** Write-through append for spill runs: allocates, writes immediately,
+    and does {e not} cache the frame (runs are written once and read
+    once — caching them would pollute the hot set).  Returns the id. *)
+
+val read_page : ?gov:Governor.t -> t -> Pager.t -> int -> Row.t array
+(** Uncached read-through, the partner of {!append_page}. *)
+
+val flush_all : t -> unit
+(** Write every dirty frame back and fsync each touched pager — the
+    flush-before-checkpoint barrier. *)
+
+val drop_pager : t -> Pager.t -> unit
+(** Forget every (unpinned) frame of [pager] without write-back. *)
+
+val stats : t -> stats
+val reset_peak : t -> unit
+val hit_rate : stats -> float

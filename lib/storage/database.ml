@@ -20,6 +20,27 @@ type sec_index = {
   entries : (Value.t list, Row.t) Hashtbl.t;
 }
 
+(* Paged storage: when a database is created with a [storage_config],
+   every table heap lives on fixed-size pages behind one shared buffer
+   pool, and a second (scratch) pager holds the executor's spill runs.
+   Pager files are run-scoped caches — durability stays with the WAL and
+   snapshots, so recovery rebuilds pages from the recovered rows instead
+   of trusting a stale page file. *)
+type storage_config = {
+  pool_pages : int option; (* buffer-pool capacity; None = unbounded *)
+  page_size : int;
+  spill_dir : string option; (* None = in-memory pagers *)
+}
+
+let default_storage = { pool_pages = None; page_size = 4096; spill_dir = None }
+
+type storage_state = {
+  scfg : storage_config;
+  pool : Buffer_pool.t;
+  data_pager : Pager.t;
+  scratch_pager : Pager.t;
+}
+
 type t = {
   mutable cat : Catalog.t;
   heaps : (string, Heap.t) Hashtbl.t;
@@ -27,18 +48,71 @@ type t = {
   (* (table, key columns) -> set of key values; used for FK lookups *)
   key_indexes : (string * string list, key_index) Hashtbl.t;
   sec_indexes : (string, sec_index) Hashtbl.t; (* by index name *)
+  storage : storage_state option;
 }
 
-let create () =
+let open_storage (cfg : storage_config) =
+  let mk name =
+    match cfg.spill_dir with
+    | None -> Pager.create_mem ~page_size:cfg.page_size ()
+    | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "%s.%d.%d.pages" name (Unix.getpid ())
+               (Hashtbl.hash (Unix.gettimeofday ()) land 0xffffff))
+        in
+        Pager.create_file ~page_size:cfg.page_size path
+  in
+  {
+    scfg = cfg;
+    pool = Buffer_pool.create ?cap:cfg.pool_pages ();
+    data_pager = mk "data";
+    scratch_pager = mk "spill";
+  }
+
+let create ?storage () =
   {
     cat = Catalog.empty;
     heaps = Hashtbl.create 16;
     stats_cache = Hashtbl.create 16;
     key_indexes = Hashtbl.create 16;
     sec_indexes = Hashtbl.create 16;
+    storage = Option.map open_storage storage;
   }
 
 let catalog t = t.cat
+let storage_config t = Option.map (fun s -> s.scfg) t.storage
+let is_paged t = Option.is_some t.storage
+let buffer_pool t = Option.map (fun s -> s.pool) t.storage
+let scratch t = Option.map (fun s -> (s.pool, s.scratch_pager)) t.storage
+let pool_stats t = Option.map (fun s -> Buffer_pool.stats s.pool) t.storage
+
+(* flush-before-checkpoint barrier: every dirty page reaches its pager
+   (and the pager its disk) before a snapshot is cut *)
+let flush t =
+  match t.storage with None -> () | Some s -> Buffer_pool.flush_all s.pool
+
+(* rows per page, estimated from the page payload capacity at a nominal
+   encoded row width — the IO cost model's translation from cardinality
+   estimates to page counts *)
+let nominal_row_bytes = 48
+
+let page_rows t =
+  match t.storage with
+  | None -> max 1 (Page.capacity ~page_size:default_storage.page_size
+                   / nominal_row_bytes)
+  | Some s ->
+      max 1
+        (Page.capacity ~page_size:s.scfg.page_size / nominal_row_bytes)
+
+let close_storage t =
+  match t.storage with
+  | None -> ()
+  | Some s ->
+      Pager.close s.data_pager;
+      Pager.close s.scratch_pager
 
 (* A frozen copy for MVCC-lite readers: the catalog value is captured
    (it is updated functionally, so sharing is safe), every heap is
@@ -54,6 +128,7 @@ let snapshot t =
     stats_cache = Hashtbl.create 16;
     key_indexes = Hashtbl.create 16;
     sec_indexes = Hashtbl.create 16;
+    storage = t.storage;
   }
 
 (* A reader's private view over a frozen snapshot: heaps are shared with
@@ -69,6 +144,7 @@ let reader_view t =
     stats_cache = Hashtbl.create 16;
     key_indexes = Hashtbl.create 16;
     sec_indexes = Hashtbl.create 16;
+    storage = t.storage;
   }
 
 (* Drop every cached derived structure for [tname]: statistics, key
@@ -89,7 +165,14 @@ let create_table t td =
   (* recreate path: a table of the same name may have lived here before *)
   evict_derived t td.Table_def.tname;
   t.cat <- Catalog.add_table t.cat td;
-  Hashtbl.replace t.heaps td.Table_def.tname (Heap.create (Table_def.schema td))
+  let h =
+    match t.storage with
+    | None -> Heap.create (Table_def.schema td)
+    | Some s ->
+        Heap.create_paged ~pool:s.pool ~pager:s.data_pager
+          (Table_def.schema td)
+  in
+  Hashtbl.replace t.heaps td.Table_def.tname h
 
 let drop_table t tname =
   match Catalog.find_table t.cat tname with

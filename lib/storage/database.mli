@@ -10,8 +10,50 @@ open Eager_catalog
 
 type t
 
-val create : unit -> t
+type storage_config = {
+  pool_pages : int option;
+      (** buffer-pool capacity in pages; [None] = unbounded *)
+  page_size : int;
+  spill_dir : string option;
+      (** directory for pager files; [None] keeps pages in memory (still
+          checksummed, still evicted — the full paged semantics without
+          filesystem traffic) *)
+}
+
+val default_storage : storage_config
+(** Unbounded pool, 4096-byte pages, in-memory pagers. *)
+
+val create : ?storage:storage_config -> unit -> t
+(** Without [storage], heaps are RAM-backed (the original engine).  With
+    it, every table lives on fixed-size checksummed pages behind one
+    shared buffer pool, plus a scratch pager for executor spill runs.
+    Pager files are run-scoped caches: durability stays with the WAL and
+    snapshots. *)
+
 val catalog : t -> Catalog.t
+
+val storage_config : t -> storage_config option
+val is_paged : t -> bool
+
+val buffer_pool : t -> Buffer_pool.t option
+
+val scratch : t -> (Buffer_pool.t * Pager.t) option
+(** The pool and scratch pager the executor uses for spill runs. *)
+
+val pool_stats : t -> Buffer_pool.stats option
+
+val flush : t -> unit
+(** Flush-before-checkpoint barrier: write every dirty page back and
+    fsync the pagers.  No-op on a RAM database. *)
+
+val page_rows : t -> int
+(** Estimated rows per page at a nominal encoded row width — how the IO
+    cost model translates cardinalities into page counts. *)
+
+val close_storage : t -> unit
+(** Close and remove the pager files (call at process exit; snapshots
+    share the pagers, so never close a database that still has live
+    readers). *)
 
 val snapshot : t -> t
 (** A frozen, independent copy: heaps are duplicated (rows shared —

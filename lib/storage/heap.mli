@@ -6,16 +6,32 @@
     part of the schema; operators that need it use {!iteri}. *)
 
 open Eager_schema
+open Eager_robust
 
 type t
 
 val create : Schema.t -> t
+(** RAM-backed heap (the original backing). *)
+
+val create_paged : pool:Buffer_pool.t -> pager:Pager.t -> Schema.t -> t
+(** Paged heap file: rows live on fixed-size pages owned by [pager] and
+    cached/pinned through [pool].  Only the tail page is ever rewritten;
+    full pages are frozen immutable, which is what keeps {!copy}
+    snapshots cheap and safe. *)
+
+val is_paged : t -> bool
+
+val page_count : t -> int
+(** Pages in the directory (0 for a RAM heap). *)
+
 val of_rows : Schema.t -> Row.t list -> t
 
-(** [copy t] is an independent heap with the same contents.  Rows are
-    shared — they are immutable engine-wide; only the backing array is
-    duplicated, so later mutations of either heap never show through
-    the other, and generation/compaction counters restart at zero. *)
+(** [copy t] is an independent heap with the same contents.  RAM: rows
+    are shared (immutable engine-wide), only the backing array is
+    duplicated.  Paged: the page directory is duplicated and the tail
+    page frozen, so both heaps share every existing immutable page and
+    append fresh pages of their own.  Generation/compaction counters
+    restart at zero either way. *)
 val copy : t -> t
 
 val schema : t -> Schema.t
@@ -35,14 +51,17 @@ type cursor
     executor's pull pipeline reads base tables through cursors instead of
     [to_list], so a scan holds at most one batch of rows alive. *)
 
-val cursor : ?batch_rows:int -> t -> cursor
+val cursor : ?batch_rows:int -> ?gov:Governor.t -> t -> cursor
 (** Snapshot the current length and start a cursor that yields slices of
-    at most [batch_rows] rows (default 1024).  Raises [Invalid_argument]
-    if [batch_rows < 1]. *)
+    at most [batch_rows] rows (default 1024).  On a paged heap each
+    slice pins exactly one page for the duration of the copy, and [gov]
+    is charged a page IO per buffer-pool miss.  Raises
+    [Invalid_argument] if [batch_rows < 1]. *)
 
 val cursor_next : cursor -> Row.t array option
 (** The next slice, or [None] when the snapshot is exhausted.  Rows are
-    shared with the heap (rows are immutable).  Raises
+    shared with the heap (rows are immutable); a paged slice never spans
+    pages, so it may be shorter than [batch_rows].  Raises
     [Invalid_argument] if the heap was mutated since the cursor opened. *)
 
 val cursor_remaining : cursor -> int

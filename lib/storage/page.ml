@@ -1,0 +1,166 @@
+(* Fixed-size checksummed page images.
+
+   A page is the unit of transfer between the buffer pool and a pager
+   backend.  The on-disk image is exactly [page_size] bytes:
+
+     bytes 0..3             magic "EPG1"
+     bytes 4..11            page id (int64 LE) — catches misdirected IO
+     bytes 12..15           row count (int32 LE)
+     bytes 16..19           payload length in bytes (int32 LE)
+     bytes 20..20+payload   encoded rows
+     ...                    zero padding
+     last 16 bytes          MD5 digest of every preceding byte
+
+   The digest covers header, payload, and padding, so flipping any single
+   byte of the image — including the padding and the header — is detected
+   at decode time and refused with a typed [Storage] error.  A torn write
+   (partial page at the tail of a file) fails the same check.
+
+   Rows are encoded self-descriptively (per-row arity, per-value tag), so
+   the codec serves both heap pages (fixed schema) and spill-run pages
+   (whatever intermediate schema an operator is carrying). *)
+
+open Eager_value
+open Eager_schema
+open Eager_robust
+
+let magic = "EPG1"
+let header_bytes = 20
+let checksum_bytes = 16
+let min_size = 128
+
+(* ---------------- value codec ---------------- *)
+
+let tag_null = '\000'
+let tag_int = '\001'
+let tag_float = '\002'
+let tag_str = '\003'
+let tag_bool_false = '\004'
+let tag_bool_true = '\005'
+
+let value_bytes = function
+  | Value.Null -> 1
+  | Value.Int _ -> 9
+  | Value.Float _ -> 9
+  | Value.Bool _ -> 1
+  | Value.Str s -> 5 + String.length s
+
+(* 2-byte arity prefix, then the values *)
+let row_bytes (row : Row.t) =
+  Array.fold_left (fun acc v -> acc + value_bytes v) 2 row
+
+let capacity ~page_size = page_size - header_bytes - checksum_bytes
+
+let put_value buf pos = function
+  | Value.Null ->
+      Bytes.set buf pos tag_null;
+      pos + 1
+  | Value.Int n ->
+      Bytes.set buf pos tag_int;
+      Bytes.set_int64_le buf (pos + 1) (Int64.of_int n);
+      pos + 9
+  | Value.Float f ->
+      Bytes.set buf pos tag_float;
+      Bytes.set_int64_le buf (pos + 1) (Int64.bits_of_float f);
+      pos + 9
+  | Value.Bool b ->
+      Bytes.set buf pos (if b then tag_bool_true else tag_bool_false);
+      pos + 1
+  | Value.Str s ->
+      Bytes.set buf pos tag_str;
+      Bytes.set_int32_le buf (pos + 1) (Int32.of_int (String.length s));
+      Bytes.blit_string s 0 buf (pos + 5) (String.length s);
+      pos + 5 + String.length s
+
+let get_value buf pos limit =
+  if pos >= limit then Err.failf Err.Storage "page payload truncated";
+  match Bytes.get buf pos with
+  | c when c = tag_null -> (Value.Null, pos + 1)
+  | c when c = tag_int ->
+      if pos + 9 > limit then Err.failf Err.Storage "page payload truncated";
+      (Value.Int (Int64.to_int (Bytes.get_int64_le buf (pos + 1))), pos + 9)
+  | c when c = tag_float ->
+      if pos + 9 > limit then Err.failf Err.Storage "page payload truncated";
+      ( Value.Float (Int64.float_of_bits (Bytes.get_int64_le buf (pos + 1))),
+        pos + 9 )
+  | c when c = tag_bool_false -> (Value.Bool false, pos + 1)
+  | c when c = tag_bool_true -> (Value.Bool true, pos + 1)
+  | c when c = tag_str ->
+      if pos + 5 > limit then Err.failf Err.Storage "page payload truncated";
+      let n = Int32.to_int (Bytes.get_int32_le buf (pos + 1)) in
+      if n < 0 || pos + 5 + n > limit then
+        Err.failf Err.Storage "page payload truncated";
+      (Value.Str (Bytes.sub_string buf (pos + 5) n), pos + 5 + n)
+  | c -> Err.failf Err.Storage "unknown value tag 0x%02x in page" (Char.code c)
+
+let put_row buf pos (row : Row.t) =
+  Bytes.set_uint16_le buf pos (Array.length row);
+  Array.fold_left (fun p v -> put_value buf p v) (pos + 2) row
+
+let get_row buf pos limit =
+  if pos + 2 > limit then Err.failf Err.Storage "page payload truncated";
+  let arity = Bytes.get_uint16_le buf pos in
+  let row = Array.make arity Value.Null in
+  let p = ref (pos + 2) in
+  for i = 0 to arity - 1 do
+    let v, p' = get_value buf !p limit in
+    row.(i) <- v;
+    p := p'
+  done;
+  (row, !p)
+
+(* ---------------- page images ---------------- *)
+
+let encode ~page_size ~id (rows : Row.t array) =
+  if page_size < min_size then
+    Err.failf Err.Storage "page size %d below minimum %d" page_size min_size;
+  let payload = Array.fold_left (fun acc r -> acc + row_bytes r) 0 rows in
+  if payload > capacity ~page_size then
+    Err.failf Err.Storage
+      "rows need %d payload bytes, page %d holds %d (use a larger \
+       --page-size)"
+      payload id (capacity ~page_size);
+  let buf = Bytes.make page_size '\000' in
+  Bytes.blit_string magic 0 buf 0 4;
+  Bytes.set_int64_le buf 4 (Int64.of_int id);
+  Bytes.set_int32_le buf 12 (Int32.of_int (Array.length rows));
+  Bytes.set_int32_le buf 16 (Int32.of_int payload);
+  let pos = ref header_bytes in
+  Array.iter (fun r -> pos := put_row buf !pos r) rows;
+  let digest = Digest.subbytes buf 0 (page_size - checksum_bytes) in
+  Bytes.blit_string digest 0 buf (page_size - checksum_bytes) checksum_bytes;
+  buf
+
+let decode ~page_size ~id buf =
+  if Bytes.length buf <> page_size then
+    Err.failf Err.Storage "page %d: image is %d bytes, expected %d (torn IO?)"
+      id (Bytes.length buf) page_size;
+  let stored =
+    Bytes.sub_string buf (page_size - checksum_bytes) checksum_bytes
+  in
+  let actual = Digest.subbytes buf 0 (page_size - checksum_bytes) in
+  if not (String.equal stored actual) then
+    Err.failf Err.Storage "page %d: checksum mismatch (corrupt or torn page)"
+      id;
+  if not (String.equal (Bytes.sub_string buf 0 4) magic) then
+    Err.failf Err.Storage "page %d: bad magic" id;
+  let stored_id = Int64.to_int (Bytes.get_int64_le buf 4) in
+  if stored_id <> id then
+    Err.failf Err.Storage "page %d: image claims to be page %d (misdirected \
+                           IO)" id stored_id;
+  let nrows = Int32.to_int (Bytes.get_int32_le buf 12) in
+  let payload = Int32.to_int (Bytes.get_int32_le buf 16) in
+  if nrows < 0 || payload < 0 || payload > capacity ~page_size then
+    Err.failf Err.Storage "page %d: implausible header (%d rows, %d bytes)" id
+      nrows payload;
+  let limit = header_bytes + payload in
+  let rows = Array.make nrows [||] in
+  let pos = ref header_bytes in
+  for i = 0 to nrows - 1 do
+    let row, p = get_row buf !pos limit in
+    rows.(i) <- row;
+    pos := p
+  done;
+  if !pos <> limit then
+    Err.failf Err.Storage "page %d: payload length disagrees with rows" id;
+  rows

@@ -1,0 +1,33 @@
+(** Fixed-size checksummed page images — the unit of transfer between
+    the buffer pool and a pager backend.
+
+    Layout: 20-byte header (magic, page id, row count, payload length),
+    self-describing row payload, zero padding, and a trailing 16-byte
+    MD5 digest covering {e every} preceding byte, so any single-byte
+    corruption of an image — header, payload, or padding — is detected
+    at decode time and refused with a typed [Storage] error. *)
+
+open Eager_schema
+
+val min_size : int
+(** Smallest legal page size (128 bytes). *)
+
+val header_bytes : int
+
+val checksum_bytes : int
+
+val row_bytes : Row.t -> int
+(** Encoded size of one row, for fits-on-page accounting. *)
+
+val capacity : page_size:int -> int
+(** Payload bytes available on a page of [page_size]. *)
+
+val encode : page_size:int -> id:int -> Row.t array -> bytes
+(** Build the full [page_size]-byte image.  Raises a typed [Storage]
+    {!Eager_robust.Err.Error_exn} if the rows exceed {!capacity}. *)
+
+val decode : page_size:int -> id:int -> bytes -> Row.t array
+(** Verify checksum, magic, and page id, then decode the rows.  Raises a
+    typed [Storage] error on any mismatch — a wrong-length image (torn
+    write), a flipped byte anywhere, or a header that disagrees with the
+    payload. *)

@@ -1,0 +1,162 @@
+(* Page-addressed storage backends.
+
+   A pager owns a flat array of fixed-size pages addressed by id.  Two
+   backends: [Mem] keeps encoded images in a hash table (paged semantics
+   — checksums, eviction, IO accounting — without touching the
+   filesystem), [File] stores page [i] at byte offset [i * page_size] of
+   one file opened O_TRUNC (pager files are run-scoped caches: durability
+   stays with the WAL + snapshots, so a restart rebuilds pages from the
+   recovered heaps rather than trusting a stale file).
+
+   Writes are atomic write-through at page granularity: the full image is
+   encoded (checksum last) before a single positioned write.  A crash
+   mid-write leaves a torn image that fails its checksum on read — the
+   same typed [Storage] refusal as bit rot.
+
+   Direct pager access is unguarded: callers get no caching, no pin
+   discipline, and no replacement policy.  Everything outside
+   [Buffer_pool] must go through the pool — tools/lint.sh enforces it. *)
+
+open Eager_robust
+
+type backend =
+  | Mem of (int, bytes) Hashtbl.t
+  | File of { fd : Unix.file_descr; path : string }
+
+type t = {
+  tag : int; (* process-unique, keys pool frames across pagers *)
+  page_size : int;
+  backend : backend;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let next_tag = ref 0
+
+let fresh_tag () =
+  incr next_tag;
+  !next_tag
+
+let create_mem ?(page_size = 4096) () =
+  if page_size < Page.min_size then
+    Err.failf Err.Storage "page size %d below minimum %d" page_size
+      Page.min_size;
+  { tag = fresh_tag (); page_size; backend = Mem (Hashtbl.create 64);
+    next_id = 0; closed = false }
+
+let create_file ?(page_size = 4096) path =
+  if page_size < Page.min_size then
+    Err.failf Err.Storage "page size %d below minimum %d" page_size
+      Page.min_size;
+  let fd =
+    try Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      Err.failf Err.Storage "cannot open pager file %s: %s" path
+        (Unix.error_message e)
+  in
+  { tag = fresh_tag (); page_size; backend = File { fd; path }; next_id = 0;
+    closed = false }
+
+let tag t = t.tag
+let page_size t = t.page_size
+let npages t = t.next_id
+
+let alloc t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let check_open t =
+  if t.closed then Err.failf Err.Storage "pager used after close"
+
+let check_id t id =
+  if id < 0 || id >= t.next_id then
+    Err.failf Err.Storage "page %d out of range (pager holds %d)" id t.next_id
+
+(* positioned full-image read; loops because read(2) may return short *)
+let really_pread fd buf off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let n = Unix.read fd buf !got (len - !got) in
+       if n = 0 then raise Exit;
+       got := !got + n
+     done
+   with Exit -> ());
+  !got
+
+let read t id =
+  check_open t;
+  check_id t id;
+  Fault.trip "storage.page_read";
+  let image =
+    match t.backend with
+    | Mem pages -> (
+        match Hashtbl.find_opt pages id with
+        | Some b -> b
+        | None -> Err.failf Err.Storage "page %d was never written" id)
+    | File { fd; path } ->
+        let buf = Bytes.create t.page_size in
+        let got = really_pread fd buf (id * t.page_size) in
+        if got <> t.page_size then
+          Err.failf Err.Storage
+            "page %d of %s: short read (%d of %d bytes — torn tail?)" id path
+            got t.page_size;
+        buf
+  in
+  Page.decode ~page_size:t.page_size ~id image
+
+let write t id rows =
+  check_open t;
+  check_id t id;
+  (* encode first: an injected fault or an oversized row leaves the
+     stored image untouched *)
+  let image = Page.encode ~page_size:t.page_size ~id rows in
+  Fault.trip "storage.page_write";
+  match t.backend with
+  | Mem pages -> Hashtbl.replace pages id (Bytes.copy image)
+  | File { fd; path } ->
+      ignore (Unix.lseek fd (id * t.page_size) Unix.SEEK_SET);
+      let wrote = Unix.write fd image 0 t.page_size in
+      if wrote <> t.page_size then
+        Err.failf Err.Storage "page %d of %s: short write (%d of %d bytes)" id
+          path wrote t.page_size
+
+let fsync t =
+  check_open t;
+  match t.backend with Mem _ -> () | File { fd; _ } -> Unix.fsync fd
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backend with
+    | Mem pages -> Hashtbl.reset pages
+    | File { fd; path } ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (try Sys.remove path with Sys_error _ -> ())
+  end
+
+(* test hook: corrupt one byte of a stored image in place, bypassing the
+   encode path, so decode-side detection can be proven byte by byte *)
+let corrupt_byte t id ~pos =
+  check_open t;
+  check_id t id;
+  match t.backend with
+  | Mem pages -> (
+      match Hashtbl.find_opt pages id with
+      | None -> Err.failf Err.Storage "page %d was never written" id
+      | Some b ->
+          let b = Bytes.copy b in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+          Hashtbl.replace pages id b)
+  | File { fd; _ } ->
+      let one = Bytes.create 1 in
+      ignore (Unix.lseek fd ((id * t.page_size) + pos) Unix.SEEK_SET);
+      if Unix.read fd one 0 1 <> 1 then
+        Err.failf Err.Storage "corrupt_byte: short read";
+      Bytes.set one 0 (Char.chr (Char.code (Bytes.get one 0) lxor 0x5a));
+      ignore (Unix.lseek fd ((id * t.page_size) + pos) Unix.SEEK_SET);
+      if Unix.write fd one 0 1 <> 1 then
+        Err.failf Err.Storage "corrupt_byte: short write"

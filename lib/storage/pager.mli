@@ -1,0 +1,58 @@
+(** Page-addressed storage backends: an in-memory image table, or one
+    file with page [i] at offset [i * page_size].
+
+    Pager files are run-scoped caches — durability stays with the WAL and
+    snapshots — so the file backend truncates on open.  Writes are atomic
+    write-through: the full checksummed image is built before one
+    positioned write, and a torn write is caught by the checksum on the
+    next read.
+
+    {b Pin-guard discipline}: direct [read]/[write]/[alloc] access is
+    reserved to {!Buffer_pool} (tools/lint.sh bans it elsewhere) — all
+    other code pins pages through the pool. *)
+
+open Eager_schema
+
+type t
+
+val create_mem : ?page_size:int -> unit -> t
+(** In-memory backend (default page size 4096).  Raises a typed
+    [Storage] error below {!Page.min_size}. *)
+
+val create_file : ?page_size:int -> string -> t
+(** File backend at the given path, truncated on open; the file is
+    removed again on {!close}. *)
+
+val tag : t -> int
+(** Process-unique identity, used to key buffer-pool frames. *)
+
+val page_size : t -> int
+
+val npages : t -> int
+(** Pages allocated so far (ids are [0 .. npages - 1]). *)
+
+val alloc : t -> int
+(** Reserve the next page id.  The page has no stored image until its
+    first [write]. *)
+
+val read : t -> int -> Row.t array
+(** Decode the stored image (checksum/magic/id verified; fires the
+    [storage.page_read] fault point).  Typed [Storage] errors on any
+    corruption, torn image, or never-written page. *)
+
+val write : t -> int -> Row.t array -> unit
+(** Atomic write-through of a full page image (fires
+    [storage.page_write]).  Typed [Storage] error if the rows exceed the
+    page capacity. *)
+
+val fsync : t -> unit
+(** Flush the file backend to stable storage (no-op for [Mem]) — the
+    checkpoint barrier calls this once after writing back dirty pages. *)
+
+val close : t -> unit
+(** Release the backend (removes a file backend's path).  Idempotent. *)
+
+val corrupt_byte : t -> int -> pos:int -> unit
+(** Test hook: XOR one byte of the stored image in place, bypassing the
+    encode path, so corruption detection can be proven for every byte
+    offset. *)

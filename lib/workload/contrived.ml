@@ -8,14 +8,14 @@ open Eager_core
 
 type t = { db : Database.t; query : Canonical.t }
 
-let setup ?(seed = 11) ?(a_rows = 10_000) ?(b_rows = 100) ?(matched_rows = 50)
-    ?(matched_groups = 10) ?(a_groups = 9_000) () =
+let setup ?storage ?(seed = 11) ?(a_rows = 10_000) ?(b_rows = 100)
+    ?(matched_rows = 50) ?(matched_groups = 10) ?(a_groups = 9_000) () =
   if matched_groups > b_rows then invalid_arg "matched_groups > b_rows";
   if matched_rows > a_rows then invalid_arg "matched_rows > a_rows";
   if a_groups < matched_groups || a_groups > a_rows then
     invalid_arg "a_groups out of range";
   let g = Gen.make seed in
-  let db = Database.create () in
+  let db = Database.create ?storage () in
   Database.create_table db
     (Table_def.make "B"
        [

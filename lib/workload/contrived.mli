@@ -13,6 +13,7 @@ open Eager_core
 type t = { db : Database.t; query : Canonical.t }
 
 val setup :
+  ?storage:Database.storage_config ->
   ?seed:int ->
   ?a_rows:int ->
   ?b_rows:int ->

@@ -8,10 +8,10 @@ open Eager_core
 
 type t = { db : Database.t; query : Canonical.t }
 
-let setup ?(seed = 42) ?(employees = 10_000) ?(departments = 100)
+let setup ?storage ?(seed = 42) ?(employees = 10_000) ?(departments = 100)
     ?(null_dept_fraction = 0.0) () =
   let g = Gen.make seed in
-  let db = Database.create () in
+  let db = Database.create ?storage () in
   Database.create_table db
     (Table_def.make "Department"
        [

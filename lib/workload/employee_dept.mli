@@ -17,6 +17,7 @@ open Eager_core
 type t = { db : Database.t; query : Canonical.t }
 
 val setup :
+  ?storage:Database.storage_config ->
   ?seed:int ->
   ?employees:int ->
   ?departments:int ->

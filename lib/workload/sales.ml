@@ -10,10 +10,10 @@ type t = { db : Database.t; query : Canonical.t }
 
 let regions = [| "north"; "south"; "east"; "west" |]
 
-let setup ?(seed = 99) ?(customers = 200) ?(orders = 8_000)
+let setup ?storage ?(seed = 99) ?(customers = 200) ?(orders = 8_000)
     ?revenue_at_least () =
   let g = Gen.make seed in
-  let db = Database.create () in
+  let db = Database.create ?storage () in
   Database.create_table db
     (Table_def.make "Customer"
        [

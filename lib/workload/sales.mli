@@ -16,6 +16,7 @@ open Eager_core
 type t = { db : Database.t; query : Canonical.t }
 
 val setup :
+  ?storage:Database.storage_config ->
   ?seed:int ->
   ?customers:int ->
   ?orders:int ->

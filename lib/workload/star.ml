@@ -8,9 +8,10 @@ open Eager_core
 
 type t = { db : Database.t; query : Canonical.t }
 
-let setup ?(seed = 23) ?(parts = 10_000) ?(suppliers = 50) ?(regions = 5) () =
+let setup ?storage ?(seed = 23) ?(parts = 10_000) ?(suppliers = 50)
+    ?(regions = 5) () =
   let g = Gen.make seed in
-  let db = Database.create () in
+  let db = Database.create ?storage () in
   Database.create_table db
     (Table_def.make "Region"
        [

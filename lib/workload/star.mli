@@ -30,7 +30,13 @@ open Eager_core
 type t = { db : Database.t; query : Canonical.t }
 
 val setup :
-  ?seed:int -> ?parts:int -> ?suppliers:int -> ?regions:int -> unit -> t
+  ?storage:Database.storage_config ->
+  ?seed:int ->
+  ?parts:int ->
+  ?suppliers:int ->
+  ?regions:int ->
+  unit ->
+  t
 (** Defaults: [seed 23], [parts 10_000], [suppliers 50], [regions 5].
     ~5% of parts have a NULL SupplierNo (they join nothing) and ~5% a
     NULL Qty (ignored by SUM, counted by neither aggregate).  The

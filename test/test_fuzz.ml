@@ -197,6 +197,36 @@ let test_oracle_green_on_fixed_cases () =
             (Oracle.violation_to_string v))
     [ ("yes-case", fixed_yes); ("no-case", fixed_no) ]
 
+(* the same oracle over the paged engine: a small pool pushes scans
+   through the buffer pool and the breakers onto scratch runs, and no
+   verdict may change — plus the seeded IO-fault schedules now have
+   live storage points to trip *)
+let test_oracle_green_on_paged_engine () =
+  let storage =
+    {
+      Eager_storage.Database.pool_pages = Some 8;
+      page_size = 1024;
+      spill_dir = None;
+    }
+  in
+  let cases =
+    [ ("yes-case", fixed_yes); ("no-case", fixed_no) ]
+    @ List.init 4 (fun k ->
+          let seed = 4200 + k in
+          ( Printf.sprintf "gen seed %d" seed,
+            Qgen.generate (Eager_workload.Gen.make2 777 seed) ))
+  in
+  List.iter
+    (fun (what, c) ->
+      match
+        (Oracle.check ~faults:true ~fault_seed:7 ~storage c).Oracle.violation
+      with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "%s (paged): unexpected violation %s" what
+            (Oracle.violation_to_string v))
+    cases
+
 (* ------------------------------------------------------------------ *)
 (* mutation smoke-test: a planted comparator bug must be caught and
    shrunk to a minimal repro *)
@@ -375,6 +405,8 @@ let () =
         ] );
       ( "oracle",
         [
+          Alcotest.test_case "green on the paged engine (faults on)" `Quick
+            test_oracle_green_on_paged_engine;
           Alcotest.test_case "green on fixed cases (faults on)" `Quick
             test_oracle_green_on_fixed_cases;
         ] );

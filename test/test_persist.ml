@@ -30,7 +30,7 @@ let test_round_trip_workload () =
   | Ok () -> ()
   | Error e -> Alcotest.fail ("save: " ^ Err.to_string e));
   let db2 =
-    match Persist.load ~dir with
+    match Persist.load ~dir () with
     | Ok db2 -> db2
     | Error e -> Alcotest.fail ("load: " ^ Err.to_string e)
   in
@@ -66,7 +66,7 @@ let test_value_fidelity () =
   | Ok () -> ()
   | Error e -> Alcotest.fail (Err.to_string e));
   let db2 =
-    match Persist.load ~dir with
+    match Persist.load ~dir () with
     | Ok d -> d
     | Error e -> Alcotest.fail (Err.to_string e)
   in
@@ -93,7 +93,7 @@ let test_constraints_survive () =
   | Ok () -> ()
   | Error e -> Alcotest.fail (Err.to_string e));
   let db2 =
-    match Persist.load ~dir with
+    match Persist.load ~dir () with
     | Ok d -> d
     | Error e -> Alcotest.fail (Err.to_string e)
   in
@@ -142,7 +142,7 @@ let test_indexes_survive () =
   | Ok () -> ()
   | Error e -> Alcotest.fail (Err.to_string e));
   let db2 =
-    match Persist.load ~dir with
+    match Persist.load ~dir () with
     | Ok d -> d
     | Error e -> Alcotest.fail (Err.to_string e)
   in
@@ -153,7 +153,7 @@ let test_indexes_survive () =
   | None -> Alcotest.fail "index lost in round trip"
 
 let test_errors () =
-  (match Persist.load ~dir:"/nonexistent/dir" with
+  (match Persist.load ~dir:"/nonexistent/dir" () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing dir must fail");
   (* strings with newlines are refused at save time *)

@@ -162,7 +162,8 @@ let test_registry () =
       "wal.truncate"; "wal.replay"; "wal.group_commit"; "server.accept";
       "server.read"; "repl.send"; "repl.recv"; "backup.copy";
       "repl.lease"; "server.election"; "wal.epoch"; "clock.jump";
-      "wal.slow_fsync";
+      "wal.slow_fsync"; "storage.page_read"; "storage.page_write";
+      "exec.spill";
     ]
     Fault.all_points
 
@@ -198,7 +199,44 @@ let test_points_fire () =
   check_kind "persist.rename is Io" Err.Io
     (fire "persist.rename" (fun () -> Persist.save db ~dir));
   (* the database is untouched by all of the above *)
-  Alcotest.(check int) "table intact" 2 (k_len db)
+  Alcotest.(check int) "table intact" 2 (k_len db);
+  (* paged IO points fire through the buffer pool and the spill store *)
+  let pool = Buffer_pool.create () in
+  let pgr = Pager.create_mem ~page_size:256 () in
+  let pid = Buffer_pool.append_page pool pgr [| [| i 1; i 2 |] |] in
+  check_kind "storage.page_write is Storage" Err.Storage
+    (fire "storage.page_write" (fun () ->
+         Err.protect ~kind:Err.Storage (fun () ->
+             Buffer_pool.append_page pool pgr [| [| i 3; i 4 |] |])));
+  check_kind "storage.page_read is Storage" Err.Storage
+    (fire "storage.page_read" (fun () ->
+         Err.protect ~kind:Err.Storage (fun () ->
+             Buffer_pool.read_page pool pgr pid)));
+  check_kind "exec.spill is Exec" Err.Exec
+    (fire "exec.spill" (fun () ->
+         Err.protect ~kind:Err.Exec (fun () ->
+             let scratch = Pager.create_mem ~page_size:256 () in
+             let sp =
+               Spill.make ~pool ~scratch ~budget_pages:2 ~page_rows:4
+             in
+             Fun.protect
+               ~finally:(fun () ->
+                 Spill.cleanup sp;
+                 Pager.close scratch)
+               (fun () ->
+                 let n = ref 0 in
+                 let input () =
+                   if !n < 200 then begin
+                     incr n;
+                     Some [| i !n |]
+                   end
+                   else None
+                 in
+                 let out = Spill.sort sp ~cmp:compare input in
+                 let rec drain () =
+                   match out () with Some _ -> drain () | None -> ()
+                 in
+                 drain ()))))
 
 (* ------------- write atomicity under injected crashes ------------- *)
 
@@ -386,7 +424,7 @@ let test_crash_safe_save () =
   | Ok () -> ()
   | Error e -> Alcotest.fail (Err.to_string e));
   let old_loadable name =
-    match Persist.load ~dir with
+    match Persist.load ~dir () with
     | Ok db' ->
         Alcotest.(check int) (name ^ ": previous snapshot intact") 2
           (k_len db')
@@ -406,7 +444,7 @@ let test_crash_safe_save () =
   (match Persist.save db ~dir with
   | Ok () -> ()
   | Error e -> Alcotest.fail ("final save: " ^ Err.to_string e));
-  match Persist.load ~dir with
+  match Persist.load ~dir () with
   | Ok db' -> Alcotest.(check int) "new snapshot visible" 3 (k_len db')
   | Error e -> Alcotest.fail (Err.to_string e)
 
@@ -445,7 +483,7 @@ let test_snapshot_corruption () =
       let oc = open_out_bin file in
       output_string oc content;
       close_out oc;
-      match Persist.load ~dir with
+      match Persist.load ~dir () with
       | Ok _ -> Alcotest.fail (name ^ ": corrupted snapshot was accepted")
       | Error e -> check_kind name Err.Io (Error e))
     cases;
@@ -453,7 +491,7 @@ let test_snapshot_corruption () =
   let oc = open_out_bin file in
   output_string oc original;
   close_out oc;
-  match Persist.load ~dir with
+  match Persist.load ~dir () with
   | Ok db' -> Alcotest.(check int) "restored snapshot loads" 2 (k_len db')
   | Error e -> Alcotest.fail (Err.to_string e)
 

@@ -51,6 +51,121 @@ let test_heap_arity_check () =
        false
      with Invalid_argument _ -> true)
 
+(* ---------------- pages and the buffer pool ---------------- *)
+
+open Eager_robust
+
+let prow a b = [| Value.Int a; Value.Str b |]
+
+let rows_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 Row.equal a b
+
+let test_page_roundtrip () =
+  let rows =
+    [|
+      [| Value.Int 1; Value.Str "x" |];
+      [| Value.Null; Value.Float 2.5 |];
+      [| Value.Bool true; Value.Str "" |];
+    |]
+  in
+  let img = Page.encode ~page_size:512 ~id:7 rows in
+  Alcotest.(check int) "image is page-sized" 512 (Bytes.length img);
+  Alcotest.(check bool) "decode round-trips" true
+    (rows_equal rows (Page.decode ~page_size:512 ~id:7 img));
+  (* wrong id refused: a page read from the wrong offset must not decode *)
+  Alcotest.(check bool) "wrong id refused" true
+    (match Page.decode ~page_size:512 ~id:8 img with
+    | _ -> false
+    | exception Err.Error_exn e -> Err.kind e = Err.Storage)
+
+(* every single byte of the image — header, payload, padding, checksum —
+   is covered: flip it and the read must refuse with a typed Storage
+   error; flip it back and the page must read cleanly again *)
+let test_corruption_every_byte () =
+  let page_size = 256 in
+  let pool = Buffer_pool.create () in
+  let pgr = Pager.create_mem ~page_size () in
+  let id =
+    Buffer_pool.append_page pool pgr [| prow 1 "hello"; prow 2 "world" |]
+  in
+  for pos = 0 to page_size - 1 do
+    Pager.corrupt_byte pgr id ~pos;
+    (match Buffer_pool.read_page pool pgr id with
+    | _ -> Alcotest.failf "byte %d: corruption accepted" pos
+    | exception Err.Error_exn e ->
+        if Err.kind e <> Err.Storage then
+          Alcotest.failf "byte %d: kind %s, want Storage" pos
+            (Err.kind_to_string (Err.kind e)));
+    (* XOR is an involution: restore and prove the refusal was the flip *)
+    Pager.corrupt_byte pgr id ~pos
+  done;
+  Alcotest.(check bool) "intact again after restores" true
+    (rows_equal
+       [| prow 1 "hello"; prow 2 "world" |]
+       (Buffer_pool.read_page pool pgr id))
+
+let test_pinned_never_evicted () =
+  let pool = Buffer_pool.create ~cap:2 () in
+  let pgr = Pager.create_mem ~page_size:256 () in
+  let a = Buffer_pool.alloc pool pgr [| prow 1 "a" |] in
+  let b = Buffer_pool.alloc pool pgr [| prow 2 "b" |] in
+  let rows_a = Buffer_pool.pin pool pgr a in
+  Alcotest.(check bool) "pin sees the page" true
+    (rows_equal [| prow 1 "a" |] rows_a);
+  (* allocating a third page must evict the unpinned b, never pinned a *)
+  let c = Buffer_pool.alloc pool pgr [| prow 3 "c" |] in
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "one eviction" 1 s.Buffer_pool.evictions;
+  Alcotest.(check bool) "evicted page written back and readable" true
+    (rows_equal [| prow 2 "b" |] (Buffer_pool.read_page pool pgr b));
+  (* a stayed resident through the eviction: re-pin is a hit *)
+  let hits0 = (Buffer_pool.stats pool).Buffer_pool.hits in
+  ignore (Buffer_pool.pin pool pgr a);
+  Buffer_pool.unpin pool pgr a;
+  Alcotest.(check int) "re-pin of pinned page is a hit" (hits0 + 1)
+    (Buffer_pool.stats pool).Buffer_pool.hits;
+  (* with every frame pinned, a further pin is a typed Resource error *)
+  ignore (Buffer_pool.pin pool pgr c);
+  Alcotest.(check bool) "pool of pinned pages refuses with Resource" true
+    (match Buffer_pool.pin pool pgr b with
+    | _ -> false
+    | exception Err.Error_exn e -> Err.kind e = Err.Resource);
+  Buffer_pool.unpin pool pgr c;
+  Buffer_pool.unpin pool pgr a;
+  (* all unpinned again: the pin succeeds by evicting *)
+  ignore (Buffer_pool.pin pool pgr b);
+  Buffer_pool.unpin pool pgr b;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check bool) "peak pinned tracked" true
+    (s.Buffer_pool.peak_pinned >= 2)
+
+let test_lru_replacement () =
+  let pool = Buffer_pool.create ~cap:3 () in
+  let pgr = Pager.create_mem ~page_size:256 () in
+  let ids = Array.init 3 (fun k -> Buffer_pool.alloc pool pgr [| prow k "p" |]) in
+  (* touch page 0 so it is the most recently used *)
+  ignore (Buffer_pool.with_page pool pgr ids.(0) Fun.id);
+  (* force an eviction; the victim must not be page 0 *)
+  ignore (Buffer_pool.alloc pool pgr [| prow 9 "q" |]);
+  let misses0 = (Buffer_pool.stats pool).Buffer_pool.misses in
+  ignore (Buffer_pool.with_page pool pgr ids.(0) Fun.id);
+  Alcotest.(check int) "recently-used page survived the eviction" misses0
+    (Buffer_pool.stats pool).Buffer_pool.misses;
+  (* reservations compete with frames for the cap *)
+  Alcotest.(check bool) "over-cap reservation refused with Resource" true
+    (match Buffer_pool.reserve pool 4 with
+    | () -> false
+    | exception Err.Error_exn e -> Err.kind e = Err.Resource);
+  Buffer_pool.reserve pool 2;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "reserved pages counted" 2 s.Buffer_pool.reserved;
+  Alcotest.(check bool) "reserved pages count into pinned" true
+    (s.Buffer_pool.pinned >= 2);
+  Buffer_pool.release pool 2;
+  Alcotest.(check int) "release returns the pages" 0
+    (Buffer_pool.stats pool).Buffer_pool.reserved
+
 (* ---------------- stats ---------------- *)
 
 let test_stats () =
@@ -409,6 +524,16 @@ let () =
           Alcotest.test_case "basics" `Quick test_heap_basics;
           Alcotest.test_case "growth" `Quick test_heap_growth;
           Alcotest.test_case "arity check" `Quick test_heap_arity_check;
+        ] );
+      ( "pages",
+        [
+          Alcotest.test_case "codec round-trip" `Quick test_page_roundtrip;
+          Alcotest.test_case "every byte of corruption detected" `Quick
+            test_corruption_every_byte;
+          Alcotest.test_case "pinned pages never evicted" `Quick
+            test_pinned_never_evicted;
+          Alcotest.test_case "LRU replacement and reservations" `Quick
+            test_lru_replacement;
         ] );
       ( "stats",
         [

@@ -31,11 +31,13 @@ run() {
   fi
 }
 
-# crash <name> <db> <script-text> <fault-spec> — expects a nonzero exit
+# crash <name> <db> <script-text> <fault-spec> [flags...] — expects a
+# nonzero exit
 crash() {
   local name=$1 db=$2 script=$3 spec=$4
+  shift 4
   printf '%s\n' "$script" >"$tmp/$name.sql"
-  if "$exe" run --wal --db "$tmp/$db" --faults "$spec" "$tmp/$name.sql" \
+  if "$exe" run --wal --db "$tmp/$db" --faults "$spec" "$@" "$tmp/$name.sql" \
     >"$tmp/$name.out" 2>&1; then
     say "FAIL $name: expected the injected crash to kill the run"
     sed "s/^/  | /" "$tmp/$name.out"
@@ -93,6 +95,33 @@ for point in persist.write persist.rename; do
   run "check_$db" "$db" "$count"
   expect "check_$db" '(3 rows)'
 done
+
+# --- the same crash points over the paged backend -------------------
+# --pages routes every table through the buffer pool and the WAL replay
+# rebuilds a paged database, so the committed prefix must come back
+# identically.  Pager files are run-scoped caches, never the source of
+# truth: the closing unpaged reopen of the same directory must see the
+# same rows.
+paged="--pages 8 --page-size 512"
+run seed_pa paged_db "$seed" $paged
+crash crash_pa paged_db "$insert4" wal.append@1 $paged
+run check_pa paged_db "$count" $paged
+expect check_pa 'torn byte(s) dropped'
+expect check_pa '(3 rows)'
+
+run seed_pf pagedf_db "$seed" $paged
+crash crash_pf pagedf_db "$insert4" wal.fsync@1 $paged
+run check_pf pagedf_db "$count" $paged
+expect check_pf '(4 rows)'
+
+run seed_pt pagedt_db "$seed" $paged
+crash crash_pt pagedt_db "CHECKPOINT;" wal.truncate@1 $paged
+run check_pt pagedt_db "$count" $paged
+expect check_pt 'finished an interrupted checkpoint'
+expect check_pt '(3 rows)'
+
+run check_px pagedf_db "$count"
+expect check_px '(4 rows)'
 
 # --- concurrent writers, server killed mid group commit -------------
 # A one-shot fault at wal.group_commit fires after the batch is written
@@ -190,4 +219,4 @@ if [ "$fail" -ne 0 ]; then
   say "FAILED"
   exit 1
 fi
-say "OK (6 crash points + 2 concurrent-writer kills survived restart)"
+say "OK (6 crash points, 3 paged replays + 2 concurrent-writer kills survived restart)"

@@ -150,6 +150,28 @@ while IFS= read -r hit; do
 done < <(grep -rn --include='*.ml' -E 'Plans\.(e1|e2)' lib |
   grep -vE '^lib/(core|opt/placement\.ml)' || true)
 
+# Raw page IO is the buffer pool's monopoly: Pager.read/write/alloc
+# outside lib/storage/buffer_pool.ml bypasses the frame cache, the
+# pin-count protocol and the pool's hit/miss/eviction telemetry, so a
+# query could do unbounded IO that no budget sees.  Everything else
+# (heaps, executor spill, checkpoints) goes through Buffer_pool's
+# with_page/append_page/read_page.  A deliberate bypass must carry a
+# `pager-ok` marker stating why.
+while IFS= read -r hit; do
+  line=${hit#*:*:}
+  case "$line" in
+  *pager-ok* | *'(*'*) ;;
+  *)
+    echo "lint: raw Pager IO outside the buffer pool: $hit" >&2
+    echo "lint: route page access through Buffer_pool (with_page /" >&2
+    echo "lint: append_page / read_page), or mark the line" >&2
+    echo "lint: 'pager-ok: <why the pool must be bypassed>'." >&2
+    bad=1
+    ;;
+  esac
+done < <(grep -rn --include='*.ml' -E 'Pager\.(read|write|alloc)[^_a-zA-Z]' \
+  lib bin | grep -v 'lib/storage/buffer_pool\.ml' || true)
+
 # no allowlist for nondeterminism: Random.self_init and the global
 # generator are banned outright (Random.State through Gen is the only
 # sanctioned source of randomness)
